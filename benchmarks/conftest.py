@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmark scenario mirrors the demonstration setup: six trains, one hour
+of operation sampled every two seconds (~10k events), plus the weather
+stream.  It is built once per session so the benchmarks measure query
+execution, not data generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sncb.scenario import Scenario, ScenarioConfig
+from repro.streaming.engine import StreamExecutionEngine
+
+
+@pytest.fixture(scope="session")
+def bench_scenario() -> Scenario:
+    return Scenario(ScenarioConfig(num_trains=6, duration_s=3600.0, interval_s=2.0, seed=42))
+
+
+@pytest.fixture(scope="session")
+def engine() -> StreamExecutionEngine:
+    return StreamExecutionEngine()
+
+
+def run_query_and_annotate(benchmark, engine, query, paper_info=None):
+    """Run a query under pytest-benchmark and attach throughput numbers.
+
+    The measured ingestion rate (events/s) and data volume (MB) are stored in
+    ``benchmark.extra_info`` so they appear in the benchmark report next to
+    the paper's figures.
+    """
+    result_holder = {}
+
+    def run():
+        result_holder["result"] = engine.execute(query)
+        return result_holder["result"]
+
+    benchmark(run)
+    result = result_holder["result"]
+    metrics = result.metrics
+    benchmark.extra_info["events_in"] = metrics.events_in
+    benchmark.extra_info["events_out"] = metrics.events_out
+    benchmark.extra_info["megabytes_in"] = round(metrics.megabytes_in, 3)
+    benchmark.extra_info["ingestion_rate_eps"] = round(metrics.ingestion_rate_eps, 1)
+    benchmark.extra_info["throughput_mb_per_s"] = round(metrics.throughput_mb_per_s, 3)
+    if paper_info is not None:
+        benchmark.extra_info["paper_events_per_s"] = paper_info.paper_events_per_s
+        benchmark.extra_info["paper_throughput_mb"] = paper_info.paper_throughput_mb
+    return result

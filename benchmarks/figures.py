@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Regenerate the data behind the paper's figures.
+
+* **Figure 2** — "SNCB Data Visualization": the rail network, the zone
+  geometries and the simulated train positions, written as GeoJSON layers.
+* **Figure 3 (a–h)** — one visualization per query: each query is executed
+  and its output becomes a GeoJSON layer (alert points with properties);
+  windowed/keyed outputs without coordinates are kept in the layer metadata.
+
+The paper renders these with Deck.gl; any GeoJSON viewer (kepler.gl, QGIS,
+geojson.io) renders the files produced here.
+
+Usage::
+
+    python benchmarks/figures.py --figure 2 --output-dir benchmarks/output
+    python benchmarks/figures.py --figure 3 --output-dir benchmarks/output
+    python benchmarks/figures.py --figure all
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import Dict
+
+from repro.queries import QUERY_CATALOG
+from repro.sncb.scenario import Scenario, ScenarioConfig
+from repro.streaming.engine import StreamExecutionEngine
+from repro.viz.layers import query_layer, scenario_overview
+
+#: Figure 3 sub-figure labels from the paper.
+FIGURE3_LABELS: Dict[str, str] = {
+    "Q1": "3a Alert Filtering",
+    "Q2": "3b Noise Monitoring",
+    "Q3": "3c Speed Monitoring",
+    "Q4": "3d Weather-Based Speed Zones",
+    "Q5": "3e Battery Monitoring",
+    "Q6": "3f Heavy Load Monitoring",
+    "Q7": "3g Unscheduled Stops",
+    "Q8": "3h Brake Monitoring",
+}
+
+
+def figure2(scenario: Scenario, output_dir: str) -> None:
+    """Write the Figure-2 layers (network, zones, train positions)."""
+    layers = scenario_overview(scenario)
+    for name, layer in layers.items():
+        path = os.path.join(output_dir, f"figure2_{name}.geojson")
+        layer.save(path)
+        print(f"  figure 2: wrote {path} ({len(layer)} features)")
+
+
+def figure3(scenario: Scenario, output_dir: str) -> None:
+    """Execute every query and write one Figure-3 layer per query."""
+    engine = StreamExecutionEngine()
+    for query_id, info in QUERY_CATALOG.items():
+        result = engine.execute(info.build(scenario))
+        layer = query_layer(query_id, result.records, title=FIGURE3_LABELS[query_id])
+        path = os.path.join(output_dir, f"figure3_{query_id.lower()}.geojson")
+        layer.save(path)
+        print(
+            f"  figure {FIGURE3_LABELS[query_id]:35} -> {path} "
+            f"({len(layer)} alert points, {len(result)} query outputs)"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--figure", choices=["2", "3", "all"], default="all")
+    parser.add_argument("--output-dir", default="benchmarks/output")
+    parser.add_argument("--duration", type=float, default=3600.0)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    os.makedirs(args.output_dir, exist_ok=True)
+    scenario = Scenario(ScenarioConfig(num_trains=6, duration_s=args.duration, interval_s=5.0, seed=args.seed))
+    print(f"Scenario: {scenario}")
+    if args.figure in ("2", "all"):
+        figure2(scenario, args.output_dir)
+    if args.figure in ("3", "all"):
+        figure3(scenario, args.output_dir)
+
+
+if __name__ == "__main__":
+    main()

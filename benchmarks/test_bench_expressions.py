@@ -1,0 +1,109 @@
+"""Experiment A3 (ablation) — MEOS expression pushdown vs. naive per-event predicate.
+
+The NebulaMEOS expressions prune work with bounding-box indexes (grid index
+over the static zones) before running exact containment tests.  The naive
+baseline evaluates the exact polygon test against *every* zone for *every*
+event — what an application would do without the MEOS integration.  The
+benchmark compares both on the geofencing workload of Q1.
+"""
+
+import pytest
+
+from repro.nebulameos.expressions import ZoneLookupExpression
+from repro.sncb.zones import ZoneType
+from repro.spatial.geometry import Point
+from repro.streaming.expressions import col, udf
+from repro.streaming.query import Query
+
+
+def _zones(scenario):
+    return scenario.zones.by_type(ZoneType.MAINTENANCE) + scenario.zones.by_type(
+        ZoneType.SPEED_RESTRICTION
+    ) + scenario.zones.by_type(ZoneType.NOISE_SENSITIVE)
+
+
+def test_indexed_zone_lookup(benchmark, engine, bench_scenario):
+    """Grid-index pruned lookup (what the NebulaMEOS ZoneLookup expression does)."""
+    from repro.spatial.index import GridIndex
+
+    index = GridIndex(0.05)
+    for zone in _zones(bench_scenario):
+        index.insert(zone.zone_id, zone.geometry)
+    lookup = ZoneLookupExpression(index)
+    query = (
+        Query.from_source(bench_scenario.source(), name="indexed-lookup")
+        .filter(col("lon").ne(None))
+        .map(zones=lookup)
+        .filter(udf(lambda r: bool(r["zones"]), name="in_any_zone"))
+    )
+    holder = {}
+
+    def run():
+        holder["result"] = engine.execute(query)
+        return holder["result"]
+
+    benchmark(run)
+    result = holder["result"]
+    benchmark.extra_info["matched_events"] = len(result)
+    benchmark.extra_info["zones"] = len(index)
+    assert len(result) > 0
+
+
+def test_naive_full_scan(benchmark, engine, bench_scenario):
+    """Baseline: exact containment against every zone for every event."""
+    zones = _zones(bench_scenario)
+
+    def in_any_zone(record):
+        lon, lat = record.get("lon"), record.get("lat")
+        if lon is None or lat is None:
+            return False
+        point = Point(float(lon), float(lat))
+        return any(zone.geometry.contains_point(point) for zone in zones)
+
+    query = (
+        Query.from_source(bench_scenario.source(), name="naive-scan")
+        .filter(udf(in_any_zone, name="in_any_zone"))
+    )
+    holder = {}
+
+    def run():
+        holder["result"] = engine.execute(query)
+        return holder["result"]
+
+    benchmark(run)
+    result = holder["result"]
+    benchmark.extra_info["matched_events"] = len(result)
+    benchmark.extra_info["zones"] = len(zones)
+    assert len(result) > 0
+
+
+def test_indexed_and_naive_agree(engine, bench_scenario):
+    """The pruned lookup must find exactly the same events as the naive scan."""
+    from repro.spatial.index import GridIndex
+
+    zones = _zones(bench_scenario)
+    index = GridIndex(0.05)
+    for zone in zones:
+        index.insert(zone.zone_id, zone.geometry)
+    lookup = ZoneLookupExpression(index)
+    indexed_query = (
+        Query.from_source(bench_scenario.source(), name="indexed")
+        .filter(col("lon").ne(None))
+        .filter(udf(lambda r: bool(lookup.evaluate(r)), name="indexed_hit"))
+    )
+
+    def in_any_zone(record):
+        lon, lat = record.get("lon"), record.get("lat")
+        if lon is None or lat is None:
+            return False
+        point = Point(float(lon), float(lat))
+        return any(zone.geometry.contains_point(point) for zone in zones)
+
+    naive_query = Query.from_source(bench_scenario.source(), name="naive").filter(
+        udf(in_any_zone, name="in_any_zone")
+    )
+    indexed_result = engine.execute(indexed_query)
+    naive_result = engine.execute(naive_query)
+    indexed_keys = {(r["device_id"], r.timestamp) for r in indexed_result}
+    naive_keys = {(r["device_id"], r.timestamp) for r in naive_result}
+    assert indexed_keys == naive_keys

@@ -1,0 +1,94 @@
+"""Experiments A4–A5 (extensions) — future-work operators under load.
+
+A4 — cost of the streaming top-k nearest-trains operator (paper §4 future
+work) relative to the plain stream.
+
+A5 — workload adaptivity: the same geofencing query with and without the
+adaptive load shedder in front of it, measuring how much of the stream is
+shed and how the alert output is preserved (alerts are priority records and
+must never be dropped).
+"""
+
+import pytest
+
+from repro.nebulameos.topk import TopKNearestOperator
+from repro.queries import QUERY_CATALOG
+from repro.streaming.adaptivity import AdaptiveLoadShedder
+from repro.streaming.expressions import col
+from repro.streaming.query import Query
+
+
+def test_topk_nearest_operator_cost(benchmark, engine, bench_scenario):
+    query = (
+        Query.from_source(bench_scenario.source(), name="topk-nearest")
+        .filter(col("lon").ne(None))
+        .apply(lambda: TopKNearestOperator(k=3, staleness_s=120.0), name="topk")
+    )
+    holder = {}
+
+    def run():
+        holder["result"] = engine.execute(query)
+        return holder["result"]
+
+    benchmark(run)
+    result = holder["result"]
+    benchmark.extra_info["events_in"] = result.metrics.events_in
+    benchmark.extra_info["ingestion_rate_eps"] = round(result.metrics.ingestion_rate_eps, 1)
+    assert len(result) > 0
+
+
+def test_passthrough_baseline_cost(benchmark, engine, bench_scenario):
+    """Baseline for A4: the same stream without the top-k operator."""
+    query = Query.from_source(bench_scenario.source(), name="passthrough").filter(col("lon").ne(None))
+    holder = {}
+
+    def run():
+        holder["result"] = engine.execute(query)
+        return holder["result"]
+
+    benchmark(run)
+    benchmark.extra_info["ingestion_rate_eps"] = round(
+        holder["result"].metrics.ingestion_rate_eps, 1
+    )
+
+
+@pytest.mark.parametrize("keep_fraction", [0.25, 0.75])
+def test_stream_with_load_shedding(benchmark, engine, bench_scenario, keep_fraction):
+    """A5: the raw stream behind an adaptive load shedder that always lets alerts through.
+
+    The shedding target is derived from the scenario's own event-time rate so
+    the stream is genuinely overloaded: ``keep_fraction`` of the non-alert
+    events survive, every alert survives.
+    """
+    stream_rate_eps = bench_scenario.config.num_trains / bench_scenario.config.interval_s
+    target_eps = max(1.0, stream_rate_eps * keep_fraction)
+    shedder_holder = {}
+
+    def shedder_factory():
+        shedder_holder["shedder"] = AdaptiveLoadShedder(
+            target_eps=target_eps, priority=col("alert").ne("")
+        )
+        return shedder_holder["shedder"]
+
+    shedded = Query.from_source(bench_scenario.source(), name=f"shedded_{keep_fraction}").apply(
+        shedder_factory, name="load_shed"
+    )
+    holder = {}
+
+    def run():
+        holder["result"] = engine.execute(shedded)
+        return holder["result"]
+
+    benchmark(run)
+    result = holder["result"]
+    shedder = shedder_holder["shedder"]
+    benchmark.extra_info["target_eps"] = target_eps
+    benchmark.extra_info["shed_ratio"] = round(shedder.shed_ratio, 3)
+    benchmark.extra_info["events_kept"] = len(result)
+    # Alerts are priority records: every alert in the raw stream survives shedding.
+    alerts_in = sum(1 for e in bench_scenario.events if e["alert"])
+    alerts_out = sum(1 for r in result if r["alert"])
+    assert alerts_out == alerts_in
+    # The stream really was overloaded relative to the target, so events were shed.
+    assert len(result) < bench_scenario.num_events
+    assert shedder.shed_ratio > (1.0 - keep_fraction) / 2.0

@@ -1,0 +1,41 @@
+"""Experiments T2–T5 — GCEP queries (paper §3.2).
+
+Paper figures: Q5 battery monitoring 0.61 MB at 8K e/s, Q6 heavy passenger
+load 3.68 MB at 32K e/s, Q7 unscheduled stops 0.40 MB at 10K e/s, Q8 brake
+monitoring 2.24 MB at 20K e/s.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_query_and_annotate
+from repro.queries import QUERY_CATALOG
+
+
+def test_q5_battery(benchmark, engine, bench_scenario):
+    info = QUERY_CATALOG["Q5"]
+    result = run_query_and_annotate(benchmark, engine, info.build(bench_scenario), info)
+    assert result.metrics.events_in >= bench_scenario.num_events
+    # The degraded train must be caught.
+    assert any(r["device_id"] == "train-2" for r in result)
+
+
+def test_q6_heavy_load(benchmark, engine, bench_scenario):
+    info = QUERY_CATALOG["Q6"]
+    result = run_query_and_annotate(benchmark, engine, info.build(bench_scenario), info)
+    assert result.metrics.events_in >= bench_scenario.num_events
+    assert all(r["avg_occupancy"] >= 0.85 for r in result)
+
+
+def test_q7_unscheduled_stops(benchmark, engine, bench_scenario):
+    info = QUERY_CATALOG["Q7"]
+    result = run_query_and_annotate(benchmark, engine, info.build(bench_scenario), info)
+    assert result.metrics.events_in >= bench_scenario.num_events
+    assert len(result) > 0
+
+
+def test_q8_brakes(benchmark, engine, bench_scenario):
+    info = QUERY_CATALOG["Q8"]
+    result = run_query_and_annotate(benchmark, engine, info.build(bench_scenario), info)
+    assert result.metrics.events_in >= bench_scenario.num_events
+    # The faulty-brake train must show up among the detected anomalies.
+    assert any(r["device_id"] == "train-4" for r in result)

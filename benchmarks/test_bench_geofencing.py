@@ -1,0 +1,36 @@
+"""Experiment T1 — geofencing queries (paper §3.1).
+
+The paper reports, for Queries 1–4 together, "a throughput of 2.24 MB with
+20K events per second (e/s)".  Each benchmark below runs one geofencing query
+over the simulated SNCB stream and records the measured ingestion rate and
+data volume in the benchmark's ``extra_info``; ``report.py`` prints the
+paper-vs-measured table.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_query_and_annotate
+from repro.queries import QUERY_CATALOG
+
+
+@pytest.mark.parametrize("query_id", ["Q1", "Q2", "Q3", "Q4"])
+def test_geofencing_query_throughput(benchmark, engine, bench_scenario, query_id):
+    info = QUERY_CATALOG[query_id]
+    query = info.build(bench_scenario)
+    result = run_query_and_annotate(benchmark, engine, query, info)
+    # The stream must be fully ingested and the query must do real work.
+    assert result.metrics.events_in >= bench_scenario.num_events
+    assert result.metrics.ingestion_rate_eps > 1_000
+
+
+def test_q1_alert_suppression_is_selective(benchmark, engine, bench_scenario):
+    """Q1's whole point is selectivity: only a tiny fraction of events survive."""
+    info = QUERY_CATALOG["Q1"]
+    result = run_query_and_annotate(benchmark, engine, info.build(bench_scenario), info)
+    assert result.metrics.selectivity < 0.05
+
+
+def test_q3_reports_only_violations(benchmark, engine, bench_scenario):
+    info = QUERY_CATALOG["Q3"]
+    result = run_query_and_annotate(benchmark, engine, info.build(bench_scenario), info)
+    assert all(r["speed_kmh"] > r["speed_limit_kmh"] for r in result)

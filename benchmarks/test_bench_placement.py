@@ -1,0 +1,43 @@
+"""Experiment A1 (ablation) — edge vs. cloud operator placement.
+
+The paper's motivation for NebulaMEOS is that spatiotemporal filtering on the
+train's edge device avoids shipping raw data over the weak uplink.  This
+benchmark runs the same geofencing query under both placements on the
+simulated topology and records transferred bytes and end-to-end latency.
+"""
+
+import pytest
+
+from repro.queries import QUERY_CATALOG
+from repro.streaming.topology import PlacementStrategy, Topology, TopologyExecution
+
+
+@pytest.fixture(scope="module")
+def topology_execution():
+    return TopologyExecution(Topology.train_deployment(num_trains=6))
+
+
+@pytest.mark.parametrize("strategy", [PlacementStrategy.EDGE_FIRST, PlacementStrategy.CLOUD_ONLY])
+def test_q1_placement(benchmark, bench_scenario, topology_execution, strategy):
+    query = QUERY_CATALOG["Q1"].build(bench_scenario)
+
+    report_holder = {}
+
+    def run():
+        report_holder["report"] = topology_execution.run(query, "train-0", strategy)
+        return report_holder["report"]
+
+    benchmark(run)
+    report = report_holder["report"]
+    benchmark.extra_info.update(report.as_dict())
+    assert report.events_in >= bench_scenario.num_events
+
+
+def test_edge_placement_transfers_less(bench_scenario, topology_execution):
+    """The headline claim: edge placement ships far less data for selective queries."""
+    query = QUERY_CATALOG["Q1"].build(bench_scenario)
+    reports = topology_execution.compare(query, "train-0")
+    edge = reports[PlacementStrategy.EDGE_FIRST.value]
+    cloud = reports[PlacementStrategy.CLOUD_ONLY.value]
+    assert edge.bytes_transferred < cloud.bytes_transferred / 10
+    assert edge.total_latency_s < cloud.total_latency_s

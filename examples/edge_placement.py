@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Edge vs. cloud placement of a geofencing query (the paper's motivation).
+
+The paper argues that pushing MEOS operators onto the train's edge device
+avoids shipping raw sensor data over weak train-to-cloud links.  This example
+quantifies that claim on the simulated deployment: the same query is executed
+once with all operators on the edge device and once with the edge forwarding
+raw events to the coordinator, and the transferred bytes / end-to-end latency
+are compared.
+
+Run with::
+
+    python examples/edge_placement.py
+"""
+
+from repro.queries import QUERY_CATALOG
+from repro.sncb.scenario import Scenario, ScenarioConfig
+from repro.streaming.topology import PlacementStrategy, Topology, TopologyExecution
+
+
+def main() -> None:
+    scenario = Scenario(ScenarioConfig(num_trains=6, duration_s=1800.0, interval_s=5.0))
+    topology = Topology.train_deployment(num_trains=6)
+    execution = TopologyExecution(topology)
+
+    print("Edge (Intel-Atom-class, 8 Mbit/s uplink) vs. cloud-only placement\n")
+    header = (
+        f"{'query':5} {'strategy':12} {'events sent':>12} {'MB sent':>9} "
+        f"{'edge cpu s':>11} {'cloud cpu s':>12} {'latency s':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for query_id in ("Q1", "Q3", "Q6"):
+        query = QUERY_CATALOG[query_id].build(scenario)
+        for strategy in (PlacementStrategy.EDGE_FIRST, PlacementStrategy.CLOUD_ONLY):
+            report = execution.run(query, "train-0", strategy)
+            print(
+                f"{query_id:5} {strategy.value:12} {report.events_transferred:12d} "
+                f"{report.megabytes_transferred:9.2f} {report.edge_compute_s:11.3f} "
+                f"{report.upstream_compute_s:12.3f} {report.total_latency_s:10.3f}"
+            )
+        print()
+    print(
+        "Selective queries (Q1, Q3) ship orders of magnitude fewer bytes with edge placement;\n"
+        "the aggregating query (Q6) still benefits because windows compress the stream."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: a geofencing query over a small synthetic GPS stream.
+
+This example shows the three layers of the library working together:
+
+1. the MEOS-style spatiotemporal types (a geofence polygon),
+2. the NebulaStream-like engine (source, expressions, query, metrics),
+3. the NebulaMEOS integration (a MEOS-backed expression used as a filter).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.nebulameos.expressions import WithinGeometryExpression
+from repro.spatial.geometry import Polygon
+from repro.streaming import ListSource, Query, Schema, StreamExecutionEngine, col
+
+
+def main() -> None:
+    # A stream of GPS fixes from two vehicles (lon/lat in planar units here).
+    schema = Schema.of("gps", device_id=str, lon=float, lat=float, speed=float, timestamp=float)
+    events = []
+    for t in range(60):
+        events.append({"device_id": "tram-1", "lon": float(t), "lat": 5.0, "speed": 30.0, "timestamp": float(t)})
+        events.append({"device_id": "tram-2", "lon": float(t), "lat": 50.0, "speed": 80.0, "timestamp": float(t) + 0.5})
+    source = ListSource(events, schema)
+
+    # A geofence: only tram-1's path crosses it.
+    geofence = Polygon.rectangle(20.0, 0.0, 40.0, 10.0)
+
+    query = (
+        Query.from_source(source, name="quickstart-geofence")
+        .filter(WithinGeometryExpression(geofence))
+        .filter(col("speed") > 20.0)
+        .map(alert=col("device_id"))
+        .project("device_id", "timestamp", "lon", "lat", "speed")
+    )
+
+    engine = StreamExecutionEngine()
+    result = engine.execute(query)
+
+    print("Optimized plan:")
+    print(query.explain())
+    print()
+    print(f"{len(result)} events inside the geofence:")
+    for record in result.records[:5]:
+        print("  ", record.as_dict())
+    print("   ...")
+    print()
+    print("Metrics:", result.metrics)
+
+
+if __name__ == "__main__":
+    main()

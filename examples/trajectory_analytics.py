@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Historical trajectory analytics with the MEOS-style API (no streaming).
+
+MEOS is first and foremost a library for analysing stored trajectories.  This
+example builds a trajectory for one simulated train, then exercises the
+MEOS-style operations the paper's NebulaMEOS expressions wrap: restriction to
+a spatiotemporal box, ever-within-distance against a geofence, speed, length
+and gap imputation.
+
+Run with::
+
+    python examples/trajectory_analytics.py
+"""
+
+from repro.mobility import (
+    TGeomPoint,
+    STBox,
+    detect_gaps,
+    edwithin,
+    fill_gaps,
+    tpoint_at_stbox,
+    tpoint_length,
+    tpoint_speed,
+)
+from repro.sncb.dataset import build_train_fleet, generate_train_events
+from repro.sncb.network import RailNetwork
+from repro.sncb.zones import ZoneCatalog, ZoneType
+from repro.spatial.measure import haversine
+from repro.temporal.time import Period
+
+
+def main() -> None:
+    network = RailNetwork()
+    train, sensors = build_train_fleet(network, num_trains=1, seed=7)[0]
+    print(f"Simulating train {train.train_id} on route {' -> '.join(train.route.path)}")
+    events = list(generate_train_events(train, sensors, start=0.0, duration=3600.0, interval=10.0))
+
+    fixes = [(e["lon"], e["lat"], e["timestamp"]) for e in events if e["lon"] is not None]
+    trajectory = TGeomPoint.from_fixes(fixes, metric=haversine)
+    print(f"  {trajectory.num_instants()} GPS fixes over {trajectory.duration / 60:.1f} minutes")
+
+    # Basic trajectory metrics.
+    print(f"  travelled distance : {tpoint_length(trajectory) / 1000:.1f} km")
+    speeds = tpoint_speed(trajectory)
+    print(f"  max speed          : {max(speeds.values) * 3.6:.0f} km/h")
+    print(f"  mean speed (tw)    : {speeds.time_weighted_average() * 3.6:.0f} km/h")
+
+    # Gap detection and imputation (GPS dropouts).
+    gaps = detect_gaps(trajectory, max_gap=15.0)
+    print(f"  gaps > 15 s        : {len(gaps)}")
+    imputed = fill_gaps(trajectory, max_gap=120.0, step=10.0)
+    print(f"  fixes after filling: {imputed.num_instants()}")
+
+    # Restriction to the first half hour and to the bounding box of a zone.
+    first_half = trajectory.at_period(Period(0, 1800, upper_inc=True))
+    if first_half is not None:
+        print(f"  first 30 min cover : {tpoint_length(first_half) / 1000:.1f} km")
+
+    zones = ZoneCatalog.for_network(network, [train.route], seed=7)
+    speed_zone = zones.by_type(ZoneType.SPEED_RESTRICTION)[0]
+    box = STBox.from_geometry(speed_zone.geometry)
+    fragments = tpoint_at_stbox(trajectory, box)
+    print(f"  visits to zone {speed_zone.zone_id!r}: {len(fragments)}")
+    for fragment in fragments:
+        print(
+            f"    from t={fragment.start_timestamp:.0f}s to t={fragment.end_timestamp:.0f}s, "
+            f"{tpoint_length(fragment) / 1000:.2f} km inside"
+        )
+
+    # Ever-within-distance of a workshop (the edwithin predicate of the paper).
+    workshop = zones.by_type(ZoneType.WORKSHOP)[0]
+    near = edwithin(trajectory, workshop.geometry, 5000.0)
+    print(f"  ever within 5 km of {workshop.name!r}: {near}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""NebulaMEOS reproduction library.
+
+This package reproduces, in pure Python, the system described in the paper
+*Mobility Stream Processing on NebulaStream and MEOS* (SIGMOD-Companion 2025):
+
+* :mod:`repro.temporal` — temporal algebra (periods, temporal values), the
+  MEOS temporal-type substrate.
+* :mod:`repro.spatial` — planar/geodesic geometry substrate.
+* :mod:`repro.mobility` — spatiotemporal types (temporal points, STBox) and
+  MEOS-style operations (``edwithin``, ``tpoint_at_stbox`` …).
+* :mod:`repro.streaming` — a NebulaStream-like stream-processing engine
+  (schemas, expressions, windows, plans, plugin registry, topology).
+* :mod:`repro.cep` — complex event processing (pattern algebra + NFA matcher).
+* :mod:`repro.nebulameos` — the paper's contribution: MEOS expressions and
+  spatiotemporal windows plugged into the stream engine.
+* :mod:`repro.sncb` — the SNCB train scenario simulator (network, trains,
+  sensors, weather, dataset, stream replay).
+* :mod:`repro.queries` — the eight demonstration queries (Q1–Q8).
+* :mod:`repro.viz` — GeoJSON export of query outputs (Deck.gl substitute).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "temporal",
+    "spatial",
+    "mobility",
+    "streaming",
+    "cep",
+    "nebulameos",
+    "sncb",
+    "queries",
+    "viz",
+]

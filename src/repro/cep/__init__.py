@@ -1,0 +1,46 @@
+"""Complex event processing (CEP) substrate.
+
+The paper's GCEP queries (Q5–Q8) extend the CEP work of Ziehn [VLDB 2020 PhD
+workshop] with geospatial predicates.  This package provides:
+
+* a **pattern algebra** (:mod:`repro.cep.patterns`): single-event atoms with
+  predicates, sequencing, conjunction, disjunction, negation, Kleene
+  iteration and ``within`` time constraints;
+* an **NFA compiler and matcher** (:mod:`repro.cep.nfa`) evaluating patterns
+  over keyed streams;
+* **geospatial predicates** (:mod:`repro.cep.gcep`) usable inside patterns
+  (inside zone, near geometry, stationary …);
+* a stream **operator** (:mod:`repro.cep.operator`) plugging the matcher into
+  the engine's pipelines.
+"""
+
+from repro.cep.patterns import (
+    EventPattern,
+    Pattern,
+    SequencePattern,
+    every,
+    seq,
+)
+from repro.cep.nfa import Match, NFAMatcher
+from repro.cep.operator import CEPOperator
+from repro.cep.gcep import (
+    inside_geometry,
+    near_geometry,
+    speed_below,
+    stationary,
+)
+
+__all__ = [
+    "Pattern",
+    "EventPattern",
+    "SequencePattern",
+    "seq",
+    "every",
+    "Match",
+    "NFAMatcher",
+    "CEPOperator",
+    "inside_geometry",
+    "near_geometry",
+    "speed_below",
+    "stationary",
+]

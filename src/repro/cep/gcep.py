@@ -1,0 +1,125 @@
+"""Geospatial predicates for complex event processing (GCEP).
+
+These helpers build record predicates usable inside CEP patterns, turning the
+plain CEP substrate into the *geospatial* CEP the paper demonstrates:
+patterns can require that events happen inside a zone, close to a geometry,
+or while the object is (not) moving.
+
+Each helper takes the names of the longitude/latitude fields so it works with
+any GPS-bearing schema.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.spatial.geometry import Geometry, Point
+from repro.spatial.index import GridIndex
+from repro.spatial.measure import Metric, haversine
+from repro.streaming.record import Record
+
+RecordPredicate = Callable[[Record], bool]
+
+
+def _position(record: Record, lon_field: str, lat_field: str) -> Optional[Point]:
+    lon = record.get(lon_field)
+    lat = record.get(lat_field)
+    if lon is None or lat is None:
+        return None
+    return Point(float(lon), float(lat))
+
+
+def inside_geometry(
+    geometry: Geometry, lon_field: str = "lon", lat_field: str = "lat"
+) -> RecordPredicate:
+    """The event's position lies inside the geometry."""
+
+    def predicate(record: Record) -> bool:
+        position = _position(record, lon_field, lat_field)
+        return position is not None and geometry.contains_point(position)
+
+    return predicate
+
+
+def outside_geometry(
+    geometry: Geometry, lon_field: str = "lon", lat_field: str = "lat"
+) -> RecordPredicate:
+    """The event's position lies outside the geometry."""
+    inside = inside_geometry(geometry, lon_field, lat_field)
+    return lambda record: not inside(record)
+
+
+def inside_any(
+    index: GridIndex, lon_field: str = "lon", lat_field: str = "lat"
+) -> RecordPredicate:
+    """The event's position lies inside any geometry of a spatial index."""
+
+    def predicate(record: Record) -> bool:
+        position = _position(record, lon_field, lat_field)
+        return position is not None and bool(index.containing(position))
+
+    return predicate
+
+
+def outside_all(
+    index: GridIndex, lon_field: str = "lon", lat_field: str = "lat"
+) -> RecordPredicate:
+    """The event's position lies outside every geometry of a spatial index."""
+    inside = inside_any(index, lon_field, lat_field)
+    return lambda record: not inside(record)
+
+
+def near_geometry(
+    geometry: Geometry,
+    distance: float,
+    lon_field: str = "lon",
+    lat_field: str = "lat",
+    metric: Metric = haversine,
+) -> RecordPredicate:
+    """The event's position is within ``distance`` (metres) of the geometry."""
+
+    def predicate(record: Record) -> bool:
+        position = _position(record, lon_field, lat_field)
+        return position is not None and geometry.distance(position, metric) <= distance
+
+    return predicate
+
+
+def speed_below(threshold: float, speed_field: str = "speed") -> RecordPredicate:
+    """The event's speed is below the threshold."""
+
+    def predicate(record: Record) -> bool:
+        speed = record.get(speed_field)
+        return speed is not None and float(speed) < threshold
+
+    return predicate
+
+
+def speed_above(threshold: float, speed_field: str = "speed") -> RecordPredicate:
+    """The event's speed is above the threshold."""
+
+    def predicate(record: Record) -> bool:
+        speed = record.get(speed_field)
+        return speed is not None and float(speed) > threshold
+
+    return predicate
+
+
+def stationary(tolerance: float = 0.5, speed_field: str = "speed") -> RecordPredicate:
+    """The object is effectively not moving."""
+    return speed_below(tolerance, speed_field)
+
+
+def all_of(*predicates: RecordPredicate) -> RecordPredicate:
+    """Conjunction of several record predicates."""
+    return lambda record: all(p(record) for p in predicates)
+
+
+def any_of(*predicates: RecordPredicate) -> RecordPredicate:
+    """Disjunction of several record predicates."""
+    return lambda record: any(p(record) for p in predicates)
+
+
+def negate(predicate: RecordPredicate) -> RecordPredicate:
+    """Negation of a record predicate."""
+    return lambda record: not predicate(record)

@@ -1,0 +1,272 @@
+"""NFA-style matcher evaluating CEP patterns over keyed streams.
+
+The matcher follows the usual "skip till next match" semantics of CEP
+engines: events that are irrelevant to a partial match are ignored, events
+matching the next expected step advance it.  Matches are bounded by the
+pattern's ``within`` window, and the number of simultaneously open partial
+matches per key is capped so adversarial streams cannot blow up memory on an
+edge device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CEPError
+from repro.cep.patterns import (
+    EventPattern,
+    IterationPattern,
+    NegationPattern,
+    Pattern,
+)
+from repro.streaming.record import Record
+
+
+@dataclass
+class Match:
+    """A completed pattern match."""
+
+    key: Tuple[Any, ...]
+    bindings: Dict[str, List[Record]]
+    start_time: float
+    end_time: float
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    def first(self, name: str) -> Record:
+        """The first record bound to a step name."""
+        return self.bindings[name][0]
+
+    def last(self, name: str) -> Record:
+        return self.bindings[name][-1]
+
+    def all(self, name: str) -> List[Record]:
+        return list(self.bindings.get(name, []))
+
+    def __repr__(self) -> str:
+        sizes = {name: len(records) for name, records in self.bindings.items()}
+        return f"Match(key={self.key}, steps={sizes}, span=({self.start_time}, {self.end_time}))"
+
+
+@dataclass
+class _Step:
+    """A positive pattern step plus the negations guarding the transition into it."""
+
+    pattern: Pattern
+    negations: List[NegationPattern] = field(default_factory=list)
+
+
+@dataclass
+class _Run:
+    """A partial match."""
+
+    step_index: int
+    bindings: Dict[str, List[Record]]
+    start_time: float
+    last_time: float
+    iteration_count: int = 0
+
+
+class NFAMatcher:
+    """Evaluates one pattern over a (keyed) record stream.
+
+    Feed records with :meth:`process`; each call returns the matches completed
+    by that record.  The matcher is deliberately eager: as soon as the final
+    step is satisfied the match is emitted (no waiting for longer
+    alternatives), and completed matches cancel other partial matches for the
+    same key that started earlier (``suppress_overlaps``), which is the
+    behaviour wanted for alerting queries.
+    """
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        max_runs_per_key: int = 64,
+        suppress_overlaps: bool = True,
+    ) -> None:
+        self.pattern = pattern
+        self.window = pattern.window
+        self.max_runs_per_key = int(max_runs_per_key)
+        self.suppress_overlaps = suppress_overlaps
+        self.steps = self._compile(pattern)
+        self._runs: Dict[Tuple[Any, ...], List[_Run]] = {}
+
+    @staticmethod
+    def _compile(pattern: Pattern) -> List[_Step]:
+        steps: List[_Step] = []
+        pending_negations: List[NegationPattern] = []
+        for part in pattern.steps():
+            if isinstance(part, NegationPattern):
+                pending_negations.append(part)
+            elif isinstance(part, (EventPattern, IterationPattern)):
+                steps.append(_Step(part, pending_negations))
+                pending_negations = []
+            else:
+                raise CEPError(f"cannot compile pattern step {part!r}")
+        if pending_negations:
+            raise CEPError(
+                "a pattern cannot end with a negation step; add a closing positive step"
+            )
+        if not steps:
+            raise CEPError("a pattern needs at least one positive step")
+        return steps
+
+    # -- processing -----------------------------------------------------------------
+
+    def process(self, key: Tuple[Any, ...], record: Record) -> List[Match]:
+        """Feed one record for a key; return matches completed by it."""
+        runs = self._runs.setdefault(key, [])
+        self._expire(runs, record.timestamp)
+        matches: List[Match] = []
+        surviving: List[_Run] = []
+
+        for run in runs:
+            outcome = self._advance(run, record)
+            if outcome == "kill":
+                continue
+            if outcome == "complete":
+                matches.append(self._to_match(key, run))
+            else:
+                surviving.append(run)
+
+        # A record matching the first step may also start a new run.
+        new_run = self._maybe_start(record)
+        if new_run is not None:
+            if len(self.steps) == 1 and self._step_satisfied(new_run, self.steps[0]):
+                matches.append(self._to_match(key, new_run))
+            else:
+                surviving.append(new_run)
+
+        if matches and self.suppress_overlaps:
+            matches = self._drop_overlapping_matches(matches)
+            latest_end = max(m.end_time for m in matches)
+            surviving = [run for run in surviving if run.start_time > latest_end]
+
+        if len(surviving) > self.max_runs_per_key:
+            surviving = surviving[-self.max_runs_per_key :]
+        self._runs[key] = surviving
+        return matches
+
+    @staticmethod
+    def _drop_overlapping_matches(matches: List[Match]) -> List[Match]:
+        """Keep only non-overlapping matches, preferring the earliest (longest) ones.
+
+        When one closing event completes several runs that started at different
+        times, the runs all describe the same episode; a single alert per
+        episode is what downstream consumers want.
+        """
+        kept: List[Match] = []
+        for match in sorted(matches, key=lambda m: (m.start_time, -m.duration)):
+            if not kept or match.start_time > kept[-1].end_time:
+                kept.append(match)
+        return kept
+
+    def _expire(self, runs: List[_Run], now: float) -> None:
+        if self.window is None:
+            return
+        runs[:] = [run for run in runs if now - run.start_time <= self.window]
+
+    def _maybe_start(self, record: Record) -> Optional[_Run]:
+        first = self.steps[0].pattern
+        if not first.matches(record):  # type: ignore[union-attr]
+            return None
+        run = _Run(
+            step_index=0,
+            bindings={first.name: [record]},  # type: ignore[union-attr]
+            start_time=record.timestamp,
+            last_time=record.timestamp,
+            iteration_count=1,
+        )
+        if isinstance(first, EventPattern):
+            run.step_index = 1
+            run.iteration_count = 0
+        return run
+
+    def _step_satisfied(self, run: _Run, step: _Step) -> bool:
+        pattern = step.pattern
+        if isinstance(pattern, EventPattern):
+            return bool(run.bindings.get(pattern.name))
+        if isinstance(pattern, IterationPattern):
+            return run.iteration_count >= pattern.min_times
+        return False
+
+    def _advance(self, run: _Run, record: Record) -> str:
+        """Advance a run with one record.
+
+        Returns ``"continue"`` (run still open), ``"complete"`` (pattern fully
+        matched) or ``"kill"`` (run invalidated).
+        """
+        if self.window is not None and record.timestamp - run.start_time > self.window:
+            return "kill"
+        if run.step_index >= len(self.steps):
+            return "kill"
+        step = self.steps[run.step_index]
+
+        for negation in step.negations:
+            if negation.matches(record):
+                return "kill"
+
+        pattern = step.pattern
+        if isinstance(pattern, EventPattern):
+            if pattern.matches(record):
+                run.bindings.setdefault(pattern.name, []).append(record)
+                run.last_time = record.timestamp
+                run.step_index += 1
+                run.iteration_count = 0
+                if run.step_index >= len(self.steps):
+                    return "complete"
+            return "continue"
+
+        if isinstance(pattern, IterationPattern):
+            if pattern.matches(record):
+                run.bindings.setdefault(pattern.name, []).append(record)
+                run.last_time = record.timestamp
+                run.iteration_count += 1
+                if pattern.max_times is not None and run.iteration_count >= pattern.max_times:
+                    run.step_index += 1
+                    run.iteration_count = 0
+                    if run.step_index >= len(self.steps):
+                        return "complete"
+                return "continue"
+            # A non-matching event ends the iteration: enough repetitions moves on,
+            # otherwise the run dies (the repetitions must be consecutive).
+            if run.iteration_count >= pattern.min_times:
+                run.step_index += 1
+                run.iteration_count = 0
+                if run.step_index >= len(self.steps):
+                    return "complete"
+                # The current record may already satisfy the next step.
+                return self._advance(run, record)
+            return "kill"
+
+        raise CEPError(f"unsupported step pattern {pattern!r}")
+
+    def _to_match(self, key: Tuple[Any, ...], run: _Run) -> Match:
+        return Match(
+            key=key,
+            bindings={name: list(records) for name, records in run.bindings.items()},
+            start_time=run.start_time,
+            end_time=run.last_time,
+        )
+
+    # -- end of stream ------------------------------------------------------------------
+
+    def flush(self) -> List[Match]:
+        """Complete runs whose only missing piece is closing an iteration.
+
+        At end-of-stream a run stuck in a final iteration step that already
+        reached ``min_times`` counts as a match (there will be no further
+        event to close it).
+        """
+        matches: List[Match] = []
+        for key, runs in self._runs.items():
+            for run in runs:
+                if run.step_index == len(self.steps) - 1:
+                    step = self.steps[-1]
+                    if isinstance(step.pattern, IterationPattern) and run.iteration_count >= step.pattern.min_times:
+                        matches.append(self._to_match(key, run))
+        self._runs.clear()
+        return matches

@@ -1,0 +1,64 @@
+"""CEP stream operator: plugs the NFA matcher into engine pipelines."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.cep.nfa import Match, NFAMatcher
+from repro.cep.patterns import Pattern
+from repro.streaming.operators import Operator
+from repro.streaming.record import Record
+
+OutputBuilder = Callable[[Match], Dict[str, Any]]
+
+
+def _default_output(match: Match) -> Dict[str, Any]:
+    """Default match payload: key, span, and per-step counts."""
+    payload: Dict[str, Any] = {
+        "match_start": match.start_time,
+        "match_end": match.end_time,
+        "match_duration": match.duration,
+    }
+    for name, records in match.bindings.items():
+        payload[f"{name}_count"] = len(records)
+    return payload
+
+
+class CEPOperator(Operator):
+    """Matches a pattern per key and emits one record per completed match."""
+
+    name = "cep"
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        key_fields: Sequence[str] = (),
+        output_builder: Optional[OutputBuilder] = None,
+        max_runs_per_key: int = 64,
+    ) -> None:
+        self.pattern = pattern
+        self.key_fields = list(key_fields)
+        self.output_builder = output_builder or _default_output
+        self.matcher = NFAMatcher(pattern, max_runs_per_key=max_runs_per_key)
+
+    def _key(self, record: Record) -> Tuple[Any, ...]:
+        return tuple(record.get(field) for field in self.key_fields)
+
+    def _emit(self, match: Match) -> Record:
+        payload = dict(self.output_builder(match))
+        for field, value in zip(self.key_fields, match.key):
+            payload.setdefault(field, value)
+        payload.setdefault("match_start", match.start_time)
+        payload.setdefault("match_end", match.end_time)
+        return Record(payload, match.end_time)
+
+    def process(self, record: Record) -> Iterable[Record]:
+        for match in self.matcher.process(self._key(record), record):
+            yield self._emit(match)
+
+    def flush(self) -> Iterable[Record]:
+        for match in self.matcher.flush():
+            yield self._emit(match)
+
+    def __repr__(self) -> str:
+        return f"CEPOperator({self.pattern!r}, keys={self.key_fields})"

@@ -1,0 +1,169 @@
+"""Pattern algebra for complex event processing.
+
+Patterns describe what to look for in a stream:
+
+* :class:`EventPattern` — a single event satisfying a predicate, bound to a
+  name so downstream logic can read the matched events.
+* :class:`SequencePattern` — patterns occurring one after the other
+  (``SEQ`` in CEP literature); relaxed contiguity (irrelevant events in
+  between are skipped).
+* :class:`IterationPattern` — Kleene-style repetition of a pattern (at least
+  ``min_times`` consecutive matches).
+* :class:`NegationPattern` — requires that no event satisfying a predicate
+  appears between the surrounding pattern steps.
+* ``within`` — a time budget for the whole match.
+
+Patterns compile to the small NFA in :mod:`repro.cep.nfa`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.errors import CEPError
+from repro.streaming.expressions import Expression, wrap
+from repro.streaming.record import Record
+
+Predicate = Union[Expression, Callable[[Record], bool]]
+
+
+def _as_predicate(predicate: Predicate) -> Callable[[Record], bool]:
+    if isinstance(predicate, Expression):
+        expr = predicate
+        return lambda record: bool(expr.evaluate(record))
+    if callable(predicate):
+        return lambda record: bool(predicate(record))
+    raise CEPError(f"not a predicate: {predicate!r}")
+
+
+class Pattern:
+    """Base class for CEP patterns."""
+
+    def __init__(self) -> None:
+        self.window: Optional[float] = None
+
+    def within(self, seconds: float) -> "Pattern":
+        """Constrain the whole match to span at most ``seconds`` of event time."""
+        if seconds <= 0:
+            raise CEPError("within() needs a positive duration")
+        self.window = float(seconds)
+        return self
+
+    def followed_by(self, other: "Pattern") -> "SequencePattern":
+        """Sequence this pattern with another one."""
+        return SequencePattern([self, other], window=self.window)
+
+    def steps(self) -> List["Pattern"]:
+        """Flattened sequential steps of the pattern."""
+        return [self]
+
+    def __repr__(self) -> str:
+        return f"<{self.__class__.__name__}>"
+
+
+class EventPattern(Pattern):
+    """A single event satisfying a predicate, bound to ``name`` in the match."""
+
+    def __init__(self, name: str, predicate: Predicate) -> None:
+        super().__init__()
+        if not name:
+            raise CEPError("an event pattern needs a name")
+        self.name = name
+        self.predicate = _as_predicate(predicate)
+
+    def matches(self, record: Record) -> bool:
+        return self.predicate(record)
+
+    def __repr__(self) -> str:
+        return f"EventPattern({self.name!r})"
+
+
+class IterationPattern(Pattern):
+    """Kleene iteration: at least ``min_times`` consecutive matching events.
+
+    "Consecutive" is interpreted per key: a non-matching event resets the
+    iteration, which is the behaviour wanted for patterns like "three
+    emergency-brake events in a row".
+    """
+
+    def __init__(self, name: str, predicate: Predicate, min_times: int = 2, max_times: Optional[int] = None) -> None:
+        super().__init__()
+        if min_times < 1:
+            raise CEPError("iteration needs min_times >= 1")
+        if max_times is not None and max_times < min_times:
+            raise CEPError("max_times must be >= min_times")
+        self.name = name
+        self.predicate = _as_predicate(predicate)
+        self.min_times = int(min_times)
+        self.max_times = max_times
+
+    def matches(self, record: Record) -> bool:
+        return self.predicate(record)
+
+    def __repr__(self) -> str:
+        return f"IterationPattern({self.name!r}, min={self.min_times})"
+
+
+class NegationPattern(Pattern):
+    """Absence of a matching event between the previous and the next step."""
+
+    def __init__(self, name: str, predicate: Predicate) -> None:
+        super().__init__()
+        self.name = name
+        self.predicate = _as_predicate(predicate)
+
+    def matches(self, record: Record) -> bool:
+        return self.predicate(record)
+
+    def __repr__(self) -> str:
+        return f"NegationPattern({self.name!r})"
+
+
+class SequencePattern(Pattern):
+    """Steps occurring in order (relaxed contiguity)."""
+
+    def __init__(self, parts: Sequence[Pattern], window: Optional[float] = None) -> None:
+        super().__init__()
+        flattened: List[Pattern] = []
+        for part in parts:
+            if isinstance(part, SequencePattern):
+                flattened.extend(part.steps())
+            else:
+                flattened.append(part)
+        if not flattened:
+            raise CEPError("a sequence pattern needs at least one step")
+        self._steps = flattened
+        self.window = window
+
+    def steps(self) -> List[Pattern]:
+        return list(self._steps)
+
+    def followed_by(self, other: Pattern) -> "SequencePattern":
+        return SequencePattern(self._steps + [other], window=self.window)
+
+    def __repr__(self) -> str:
+        names = [getattr(s, "name", s.__class__.__name__) for s in self._steps]
+        return f"SequencePattern({names}, window={self.window})"
+
+
+# -- convenience constructors -------------------------------------------------------
+
+
+def every(name: str, predicate: Predicate) -> EventPattern:
+    """An event pattern: each event satisfying ``predicate`` starts/extends a match."""
+    return EventPattern(name, predicate)
+
+
+def seq(*patterns: Pattern) -> SequencePattern:
+    """Sequence several patterns."""
+    return SequencePattern(list(patterns))
+
+
+def times(name: str, predicate: Predicate, at_least: int, at_most: Optional[int] = None) -> IterationPattern:
+    """At least ``at_least`` consecutive events satisfying ``predicate``."""
+    return IterationPattern(name, predicate, at_least, at_most)
+
+
+def absence(name: str, predicate: Predicate) -> NegationPattern:
+    """No event satisfying ``predicate`` may occur at this position."""
+    return NegationPattern(name, predicate)

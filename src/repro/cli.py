@@ -1,0 +1,154 @@
+"""Command-line interface.
+
+A small operational front-end so the library can be driven without writing
+code — the rough equivalent of NebulaStream's client tooling for this
+reproduction:
+
+* ``python -m repro.cli dataset``   — generate the SNCB dataset as JSON lines.
+* ``python -m repro.cli run Q3``    — run one catalog query, print alerts + metrics.
+* ``python -m repro.cli report``    — the paper-vs-measured throughput table.
+* ``python -m repro.cli figures``   — regenerate the Figure 2 / Figure 3 GeoJSON layers.
+* ``python -m repro.cli queries``   — list the catalog queries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.queries import QUERY_CATALOG
+from repro.sncb.scenario import Scenario, ScenarioConfig
+from repro.streaming.engine import StreamExecutionEngine
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trains", type=int, default=6, help="number of simulated trains")
+    parser.add_argument("--duration", type=float, default=3600.0, help="simulated seconds")
+    parser.add_argument("--interval", type=float, default=5.0, help="sensor sampling interval (s)")
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _scenario_from(args: argparse.Namespace) -> Scenario:
+    return Scenario(
+        ScenarioConfig(
+            num_trains=args.trains,
+            duration_s=args.duration,
+            interval_s=args.interval,
+            seed=args.seed,
+        )
+    )
+
+
+def cmd_queries(_: argparse.Namespace) -> int:
+    for info in QUERY_CATALOG.values():
+        print(f"{info.query_id}  [{info.category:10}] {info.title} — {info.description}")
+    return 0
+
+
+def cmd_dataset(args: argparse.Namespace) -> int:
+    scenario = _scenario_from(args)
+    stream = open(args.output, "w") if args.output else sys.stdout
+    try:
+        for event in scenario.events:
+            stream.write(json.dumps(event) + "\n")
+    finally:
+        if args.output:
+            stream.close()
+            print(f"wrote {len(scenario.events)} events to {args.output}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    query_id = args.query.upper()
+    if query_id not in QUERY_CATALOG:
+        print(f"unknown query {args.query!r}; known: {', '.join(QUERY_CATALOG)}", file=sys.stderr)
+        return 2
+    scenario = _scenario_from(args)
+    info = QUERY_CATALOG[query_id]
+    result = StreamExecutionEngine().execute(info.build(scenario))
+    limit = args.limit if args.limit is not None else 10
+    for record in result.records[:limit]:
+        print(json.dumps(record.as_dict(), default=str))
+    if len(result) > limit:
+        print(f"... ({len(result) - limit} more)")
+    print()
+    print(result.metrics)
+    if args.geojson:
+        from repro.viz.layers import query_layer
+
+        query_layer(query_id, result.records, title=info.title).save(args.geojson)
+        print(f"wrote {args.geojson}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from benchmarks.report import print_report, run_report, shape_check
+
+    rows = run_report(args.duration, args.interval, args.seed)
+    print_report(rows)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump({"rows": rows, "checks": shape_check(rows)}, handle, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    import os
+
+    from benchmarks.figures import figure2, figure3
+
+    scenario = _scenario_from(args)
+    os.makedirs(args.output_dir, exist_ok=True)
+    if args.figure in ("2", "all"):
+        figure2(scenario, args.output_dir)
+    if args.figure in ("3", "all"):
+        figure3(scenario, args.output_dir)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    queries = subparsers.add_parser("queries", help="list the catalog queries")
+    queries.set_defaults(func=cmd_queries)
+
+    dataset = subparsers.add_parser("dataset", help="generate the SNCB dataset as JSON lines")
+    _add_scenario_arguments(dataset)
+    dataset.add_argument("--output", type=str, default=None, help="output file (default: stdout)")
+    dataset.set_defaults(func=cmd_dataset)
+
+    run = subparsers.add_parser("run", help="run one catalog query")
+    run.add_argument("query", help="query id, e.g. Q3")
+    _add_scenario_arguments(run)
+    run.add_argument("--limit", type=int, default=None, help="max output records to print")
+    run.add_argument("--geojson", type=str, default=None, help="also write the output layer here")
+    run.set_defaults(func=cmd_run)
+
+    report = subparsers.add_parser("report", help="paper-vs-measured throughput table")
+    report.add_argument("--duration", type=float, default=3600.0)
+    report.add_argument("--interval", type=float, default=2.0)
+    report.add_argument("--seed", type=int, default=42)
+    report.add_argument("--json", type=str, default=None)
+    report.set_defaults(func=cmd_report)
+
+    figures = subparsers.add_parser("figures", help="regenerate Figure 2 / Figure 3 data")
+    figures.add_argument("--figure", choices=["2", "3", "all"], default="all")
+    figures.add_argument("--output-dir", default="benchmarks/output")
+    _add_scenario_arguments(figures)
+    figures.set_defaults(func=cmd_figures)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

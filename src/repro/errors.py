@@ -1,0 +1,33 @@
+"""Exception hierarchy shared across the repro packages."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class TemporalError(ReproError):
+    """Invalid temporal value or operation (bad period bounds, unsorted instants …)."""
+
+
+class SpatialError(ReproError):
+    """Invalid geometry or unsupported spatial operation."""
+
+
+class StreamError(ReproError):
+    """Stream engine error (bad schema, unknown field, invalid plan …)."""
+
+
+class PlanError(StreamError):
+    """A logical query plan is malformed or cannot be compiled."""
+
+
+class PluginError(StreamError):
+    """Plugin registration or lookup failed."""
+
+
+class CEPError(ReproError):
+    """Complex-event-processing pattern or matcher error."""
+
+
+class ScenarioError(ReproError):
+    """SNCB scenario / simulator configuration error."""

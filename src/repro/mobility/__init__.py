@@ -1,0 +1,78 @@
+"""Spatiotemporal types and operations (the MEOS analog).
+
+This package provides the spatiotemporal half of MEOS:
+
+* :class:`STBox` — a spatiotemporal bounding box (x, y and time ranges).
+* :class:`TGeomPoint` — a temporal point: the position of a moving object as
+  a function of time, with linear interpolation between GPS fixes.
+* :mod:`repro.mobility.operations` — module-level functions mirroring the
+  MEOS C API used by the paper (``edwithin``, ``tpoint_at_stbox``,
+  ``tpoint_at_geometry``, ``tpoint_speed`` …).
+* :mod:`repro.mobility.imputation` — gap detection, resampling and
+  interpolation of noisy/incomplete GPS streams ("real-time spatiotemporal
+  imputation" in the paper's wording).
+"""
+
+from repro.mobility.stbox import STBox
+from repro.mobility.tpoint import TGeomPoint
+from repro.mobility.operations import (
+    edwithin,
+    eintersects,
+    nearest_approach_distance,
+    tpoint_at_geometry,
+    tpoint_at_period,
+    tpoint_at_stbox,
+    tpoint_cumulative_length,
+    tpoint_direction,
+    tpoint_length,
+    tpoint_speed,
+    tdwithin,
+)
+from repro.mobility.imputation import (
+    detect_gaps,
+    fill_gaps,
+    resample,
+)
+from repro.mobility.analytics import (
+    Stop,
+    detect_stops,
+    distance_between,
+    k_nearest_trajectories,
+    nearest_approach_between,
+    temporal_heading,
+)
+from repro.mobility.similarity import (
+    dtw_distance,
+    frechet_distance,
+    hausdorff_distance,
+    synchronized_distance,
+)
+
+__all__ = [
+    "STBox",
+    "TGeomPoint",
+    "edwithin",
+    "eintersects",
+    "tdwithin",
+    "nearest_approach_distance",
+    "tpoint_at_geometry",
+    "tpoint_at_period",
+    "tpoint_at_stbox",
+    "tpoint_cumulative_length",
+    "tpoint_direction",
+    "tpoint_length",
+    "tpoint_speed",
+    "detect_gaps",
+    "fill_gaps",
+    "resample",
+    "Stop",
+    "detect_stops",
+    "distance_between",
+    "k_nearest_trajectories",
+    "nearest_approach_between",
+    "temporal_heading",
+    "hausdorff_distance",
+    "frechet_distance",
+    "dtw_distance",
+    "synchronized_distance",
+]

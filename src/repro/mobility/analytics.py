@@ -1,0 +1,145 @@
+"""Trajectory-level analytics: stops, heading, temporal distance between objects.
+
+These complement :mod:`repro.mobility.operations` with the trajectory-based
+functions the paper lists as future work: stay-point (stop) detection, a
+temporal heading, and the time-varying distance between two moving objects —
+the primitive behind "top-k nearest trains".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import TemporalError
+from repro.mobility.imputation import align
+from repro.mobility.tpoint import TGeomPoint
+from repro.spatial.geometry import Point
+from repro.temporal.interpolation import Interpolation
+from repro.temporal.time import Period
+from repro.temporal.tinstant import TInstant
+from repro.temporal.tsequence import TSequence
+
+
+@dataclass
+class Stop:
+    """A detected stay: the object remained within ``radius`` for at least ``min_duration``."""
+
+    center: Point
+    period: Period
+    radius: float
+
+    @property
+    def duration(self) -> float:
+        return self.period.duration
+
+
+def detect_stops(
+    tpoint: TGeomPoint, max_radius: float, min_duration: float
+) -> List[Stop]:
+    """Stay-point detection.
+
+    A stop is a maximal group of consecutive fixes that all lie within
+    ``max_radius`` (metric units) of the group's first fix and that spans at
+    least ``min_duration`` seconds.  This is the classic stay-point algorithm
+    used for detecting station dwells and unscheduled stops from raw GPS.
+    """
+    if max_radius <= 0 or min_duration <= 0:
+        raise TemporalError("max_radius and min_duration must be positive")
+    instants = list(tpoint.instants)
+    stops: List[Stop] = []
+    i = 0
+    while i < len(instants):
+        anchor = instants[i]
+        j = i + 1
+        while j < len(instants) and tpoint.metric.distance(
+            anchor.value.coords, instants[j].value.coords
+        ) <= max_radius:
+            j += 1
+        duration = instants[j - 1].timestamp - anchor.timestamp
+        if duration >= min_duration and j - i >= 2:
+            members = instants[i:j]
+            cx = sum(m.value.x for m in members) / len(members)
+            cy = sum(m.value.y for m in members) / len(members)
+            stops.append(
+                Stop(
+                    center=Point(cx, cy),
+                    period=Period(anchor.timestamp, members[-1].timestamp, upper_inc=True),
+                    radius=max_radius,
+                )
+            )
+            i = j
+        else:
+            i += 1
+    return stops
+
+
+def temporal_heading(tpoint: TGeomPoint) -> TSequence:
+    """Heading (azimuth in radians, [0, 2*pi)) per trajectory segment, as a stepwise temporal float.
+
+    Stationary segments repeat the previous heading (or 0 at the start).
+    """
+    instants = list(tpoint.instants)
+    if len(instants) == 1:
+        return TSequence([TInstant(0.0, instants[0].timestamp)], Interpolation.STEPWISE)
+    headings: List[TInstant] = []
+    previous_heading = 0.0
+    for a, b in zip(instants[:-1], instants[1:]):
+        dx = b.value.x - a.value.x
+        dy = b.value.y - a.value.y
+        if dx == 0 and dy == 0:
+            heading = previous_heading
+        else:
+            heading = math.atan2(dy, dx) % (2.0 * math.pi)
+        headings.append(TInstant(heading, a.timestamp))
+        previous_heading = heading
+    headings.append(TInstant(previous_heading, instants[-1].timestamp))
+    return TSequence(headings, Interpolation.STEPWISE)
+
+
+def distance_between(a: TGeomPoint, b: TGeomPoint, interval: float = 30.0) -> Optional[TSequence]:
+    """Distance between two moving objects over time (temporal float).
+
+    The trajectories are synchronized on a shared grid of ``interval``
+    seconds; ``None`` is returned when they do not overlap in time.
+    """
+    rows = align(a, b, interval)
+    if not rows:
+        return None
+    metric = a.metric
+    instants = [
+        TInstant(metric.distance(pa.coords, pb.coords), ts) for ts, pa, pb in rows
+    ]
+    return TSequence(instants, Interpolation.LINEAR)
+
+
+def nearest_approach_between(a: TGeomPoint, b: TGeomPoint, interval: float = 10.0) -> float:
+    """Smallest synchronized distance ever reached between two moving objects."""
+    distances = distance_between(a, b, interval)
+    if distances is None:
+        return math.inf
+    return float(distances.min_value())
+
+
+def k_nearest_trajectories(
+    target: TGeomPoint,
+    others: Sequence[Tuple[object, TGeomPoint]],
+    k: int,
+    interval: float = 30.0,
+) -> List[Tuple[object, float]]:
+    """The k moving objects that come closest to ``target`` (by synchronized distance).
+
+    Returns ``(key, distance)`` pairs sorted by distance; objects that never
+    overlap ``target`` in time are ranked last (infinite distance) and only
+    included if fewer than ``k`` overlapping objects exist.  This is the
+    batch form of the paper's "top-k nearest trains" future-work query; the
+    streaming form lives in :class:`repro.nebulameos.topk.TopKNearestOperator`.
+    """
+    if k < 1:
+        raise TemporalError("k must be at least 1")
+    ranked = [
+        (key, nearest_approach_between(target, other, interval)) for key, other in others
+    ]
+    ranked.sort(key=lambda pair: pair[1])
+    return ranked[:k]

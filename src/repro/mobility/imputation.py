@@ -1,0 +1,86 @@
+"""Spatiotemporal imputation of GPS streams.
+
+The paper advertises "real-time spatiotemporal imputation and analytics"; in
+practice that means dealing with GPS dropouts and irregular sampling on the
+edge device.  The functions here detect gaps in a trajectory, fill small gaps
+by linear interpolation, and resample trajectories onto a regular grid — the
+building blocks the streaming trajectory builder uses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import TemporalError
+from repro.mobility.tpoint import TGeomPoint
+from repro.temporal.interpolation import Interpolation
+from repro.temporal.time import Period
+from repro.temporal.tinstant import TInstant
+from repro.temporal.tsequence import TSequence
+
+
+def detect_gaps(tpoint: TGeomPoint, max_gap: float) -> List[Period]:
+    """Periods between consecutive fixes that are further apart than ``max_gap`` seconds."""
+    if max_gap <= 0:
+        raise TemporalError("max_gap must be positive")
+    gaps: List[Period] = []
+    timestamps = tpoint.timestamps
+    for prev, curr in zip(timestamps[:-1], timestamps[1:]):
+        if curr - prev > max_gap:
+            gaps.append(Period(prev, curr))
+    return gaps
+
+
+def fill_gaps(tpoint: TGeomPoint, max_gap: float, step: float) -> TGeomPoint:
+    """Insert interpolated fixes every ``step`` seconds inside gaps up to ``max_gap``.
+
+    Gaps longer than ``max_gap`` are left untouched (the object may have been
+    turned off; interpolating across them would invent positions).
+    """
+    if step <= 0:
+        raise TemporalError("step must be positive")
+    instants: List[TInstant] = []
+    originals = list(tpoint.instants)
+    for prev, curr in zip(originals[:-1], originals[1:]):
+        instants.append(prev)
+        gap = curr.timestamp - prev.timestamp
+        if step < gap <= max_gap:
+            t = prev.timestamp + step
+            while t < curr.timestamp:
+                position = tpoint.position_at(t)
+                if position is not None:
+                    instants.append(TInstant(position, t))
+                t += step
+    instants.append(originals[-1])
+    return TGeomPoint(TSequence(instants, Interpolation.LINEAR), tpoint.metric)
+
+
+def resample(tpoint: TGeomPoint, interval: float) -> TGeomPoint:
+    """Resample the trajectory at a fixed ``interval`` (seconds) by interpolation."""
+    sampled = tpoint.sequence.sample(interval)
+    return TGeomPoint(sampled, tpoint.metric)
+
+
+def align(a: TGeomPoint, b: TGeomPoint, interval: float) -> List[Tuple[float, object, object]]:
+    """Synchronize two trajectories on a shared time grid.
+
+    Returns ``(timestamp, position_a, position_b)`` triples for every grid
+    instant where both trajectories are defined — the primitive needed for
+    distance-between-moving-objects and top-k nearest queries (paper future
+    work).
+    """
+    if interval <= 0:
+        raise TemporalError("interval must be positive")
+    start = max(a.start_timestamp, b.start_timestamp)
+    end = min(a.end_timestamp, b.end_timestamp)
+    if start > end:
+        return []
+    result = []
+    t = start
+    while t <= end:
+        pa = a.position_at(t)
+        pb = b.position_at(t)
+        if pa is not None and pb is not None:
+            result.append((t, pa, pb))
+        t += interval
+    return result

@@ -1,0 +1,81 @@
+"""Module-level MEOS-style functions over temporal points.
+
+The NebulaMEOS expressions in the paper call MEOS C functions by name
+(``edwithin``, ``tpoint_at_stbox`` …).  This module exposes the same
+vocabulary as plain functions over :class:`~repro.mobility.tpoint.TGeomPoint`
+so the streaming expression layer mirrors the paper's integration surface.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.mobility.stbox import STBox
+from repro.mobility.tpoint import TGeomPoint
+from repro.spatial.geometry import Geometry
+from repro.temporal.time import Period
+from repro.temporal.tsequence import TSequence
+
+
+def edwithin(tpoint: TGeomPoint, geometry: Geometry, distance: float) -> bool:
+    """Ever-distance-within: does the moving point ever come within ``distance`` of ``geometry``?
+
+    Mirrors the MEOS ``edwithin`` predicate mentioned in the paper.
+    """
+    return tpoint.ever_within_distance(geometry, distance)
+
+
+def tdwithin(tpoint: TGeomPoint, geometry: Geometry, distance: float) -> TSequence:
+    """Temporal-distance-within: a temporal boolean that is true whenever the
+    moving point is within ``distance`` of ``geometry``.
+
+    The result is a stepwise temporal boolean sampled at the trajectory's own
+    resolution (sufficient for windowed stream aggregation).
+    """
+    distances = tpoint.distance_to(geometry)
+    return distances.map_values(lambda d: bool(d <= distance))
+
+
+def eintersects(tpoint: TGeomPoint, geometry: Geometry) -> bool:
+    """Ever-intersects: does the trajectory ever touch the geometry?"""
+    return tpoint.ever_intersects(geometry)
+
+
+def tpoint_at_stbox(tpoint: TGeomPoint, stbox: STBox) -> List[TGeomPoint]:
+    """Restrict a temporal point to a spatiotemporal box (MEOS ``tpoint_at_stbox``)."""
+    return tpoint.at_stbox(stbox)
+
+
+def tpoint_at_geometry(tpoint: TGeomPoint, geometry: Geometry) -> List[TGeomPoint]:
+    """Restrict a temporal point to a geometry."""
+    return tpoint.at_geometry(geometry)
+
+
+def tpoint_at_period(tpoint: TGeomPoint, period: Period) -> Optional[TGeomPoint]:
+    """Restrict a temporal point to a period."""
+    return tpoint.at_period(period)
+
+
+def tpoint_speed(tpoint: TGeomPoint) -> TSequence:
+    """Speed of the moving point as a temporal float (units/second)."""
+    return tpoint.speed()
+
+
+def tpoint_length(tpoint: TGeomPoint) -> float:
+    """Total travelled distance."""
+    return tpoint.length()
+
+
+def tpoint_cumulative_length(tpoint: TGeomPoint) -> TSequence:
+    """Travelled distance over time as a temporal float."""
+    return tpoint.cumulative_length()
+
+
+def tpoint_direction(tpoint: TGeomPoint) -> Optional[float]:
+    """Azimuth from the first to the last position (radians), ``None`` if stationary."""
+    return tpoint.direction()
+
+
+def nearest_approach_distance(tpoint: TGeomPoint, geometry: Geometry) -> float:
+    """Smallest distance the moving point ever reaches to the geometry."""
+    return tpoint.nearest_approach_distance(geometry)

@@ -1,0 +1,117 @@
+"""Trajectory similarity measures.
+
+The paper's future work announces "trajectory-based functions in addition to
+the point-based functions described in this demonstration".  The classic
+trajectory-level functions MEOS/MobilityDB provide are similarity measures;
+this module implements the three standard ones over :class:`TGeomPoint`:
+
+* discrete **Hausdorff** distance — worst-case deviation between the two
+  point sets;
+* discrete **Fréchet** distance — worst-case deviation respecting the order
+  of the points (the "dog-leash" distance);
+* **Dynamic Time Warping (DTW)** — cumulative cost of the best monotone
+  alignment, tolerant to different sampling rates.
+
+All three operate on the trajectories' fixes using the trajectory's own
+metric (planar or haversine), so they work both on toy data and on lon/lat
+GPS traces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence, Tuple
+
+from repro.errors import SpatialError
+from repro.mobility.tpoint import TGeomPoint
+from repro.spatial.geometry import Point
+from repro.spatial.measure import Metric
+
+
+def _coords(tpoint: TGeomPoint) -> List[Tuple[float, float]]:
+    return [p.coords for p in tpoint.points]
+
+
+def _pick_metric(a: TGeomPoint, b: TGeomPoint) -> Metric:
+    if a.metric is not b.metric:
+        raise SpatialError("trajectories must share a metric to be compared")
+    return a.metric
+
+
+def hausdorff_distance(a: TGeomPoint, b: TGeomPoint) -> float:
+    """Discrete Hausdorff distance between the two trajectories' fixes."""
+    metric = _pick_metric(a, b)
+    coords_a, coords_b = _coords(a), _coords(b)
+
+    def directed(from_coords, to_coords) -> float:
+        worst = 0.0
+        for p in from_coords:
+            best = min(metric.distance(p, q) for q in to_coords)
+            worst = max(worst, best)
+        return worst
+
+    return max(directed(coords_a, coords_b), directed(coords_b, coords_a))
+
+
+def frechet_distance(a: TGeomPoint, b: TGeomPoint) -> float:
+    """Discrete Fréchet distance (order-respecting worst-case deviation)."""
+    metric = _pick_metric(a, b)
+    coords_a, coords_b = _coords(a), _coords(b)
+    n, m = len(coords_a), len(coords_b)
+    memo = [[-1.0] * m for _ in range(n)]
+
+    def solve(i: int, j: int) -> float:
+        if memo[i][j] >= 0:
+            return memo[i][j]
+        distance = metric.distance(coords_a[i], coords_b[j])
+        if i == 0 and j == 0:
+            value = distance
+        elif i == 0:
+            value = max(solve(0, j - 1), distance)
+        elif j == 0:
+            value = max(solve(i - 1, 0), distance)
+        else:
+            value = max(min(solve(i - 1, j), solve(i - 1, j - 1), solve(i, j - 1)), distance)
+        memo[i][j] = value
+        return value
+
+    # Iterative fill to avoid deep recursion on long trajectories.
+    for i in range(n):
+        for j in range(m):
+            solve(i, j)
+    return memo[n - 1][m - 1]
+
+
+def dtw_distance(a: TGeomPoint, b: TGeomPoint) -> float:
+    """Dynamic-time-warping cost of the best monotone alignment of the fixes."""
+    metric = _pick_metric(a, b)
+    coords_a, coords_b = _coords(a), _coords(b)
+    n, m = len(coords_a), len(coords_b)
+    INF = math.inf
+    previous = [INF] * (m + 1)
+    previous[0] = 0.0
+    for i in range(1, n + 1):
+        current = [INF] * (m + 1)
+        for j in range(1, m + 1):
+            cost = metric.distance(coords_a[i - 1], coords_b[j - 1])
+            current[j] = cost + min(previous[j], previous[j - 1], current[j - 1])
+        previous = current
+    return previous[m]
+
+
+def synchronized_distance(a: TGeomPoint, b: TGeomPoint, interval: float = 30.0) -> float:
+    """Mean distance between the two moving objects at synchronized instants.
+
+    Unlike the shape-based measures above this one is *temporal*: the objects
+    are compared where they actually were at the same time, which is the right
+    notion for "how close do these two trains run".  Returns ``inf`` when the
+    trajectories do not overlap in time.
+    """
+    from repro.mobility.imputation import align
+
+    metric = _pick_metric(a, b)
+    rows = align(a, b, interval)
+    if not rows:
+        return math.inf
+    distances = [metric.distance(pa.coords, pb.coords) for _, pa, pb in rows]
+    return sum(distances) / len(distances)

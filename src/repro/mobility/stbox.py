@@ -1,0 +1,135 @@
+"""Spatiotemporal bounding box (MEOS ``STBox``)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SpatialError, TemporalError
+from repro.spatial.bbox import Box2D
+from repro.spatial.geometry import Geometry, Point
+from repro.temporal.time import Period, TimestampLike, to_timestamp
+
+
+class STBox:
+    """A box over space (x/y) and, optionally, time.
+
+    Either dimension may be absent: an STBox with only a spatial extent acts
+    like a 2D bounding box, one with only a temporal extent acts like a
+    period.  ``tpoint_at_stbox`` and the ``MeosAtStbox`` expression restrict
+    temporal points to such boxes.
+    """
+
+    __slots__ = ("spatial", "temporal")
+
+    def __init__(
+        self,
+        spatial: Optional[Box2D] = None,
+        temporal: Optional[Period] = None,
+    ) -> None:
+        if spatial is None and temporal is None:
+            raise SpatialError("an STBox needs a spatial extent, a temporal extent, or both")
+        self.spatial = spatial
+        self.temporal = temporal
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_bounds(
+        cls,
+        xmin: float,
+        ymin: float,
+        xmax: float,
+        ymax: float,
+        tmin: Optional[TimestampLike] = None,
+        tmax: Optional[TimestampLike] = None,
+    ) -> "STBox":
+        """Build from raw bounds; the temporal extent is optional."""
+        period = None
+        if tmin is not None and tmax is not None:
+            period = Period(to_timestamp(tmin), to_timestamp(tmax), upper_inc=True)
+        elif (tmin is None) != (tmax is None):
+            raise TemporalError("either both or neither of tmin/tmax must be given")
+        return cls(Box2D(xmin, ymin, xmax, ymax), period)
+
+    @classmethod
+    def from_geometry(cls, geometry: Geometry, period: Optional[Period] = None) -> "STBox":
+        """Bounding STBox of a geometry, optionally with a time extent."""
+        return cls(geometry.bounds(), period)
+
+    @classmethod
+    def from_period(cls, period: Period) -> "STBox":
+        """A purely temporal STBox."""
+        return cls(None, period)
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def has_spatial(self) -> bool:
+        return self.spatial is not None
+
+    @property
+    def has_temporal(self) -> bool:
+        return self.temporal is not None
+
+    # -- predicates ----------------------------------------------------------------
+
+    def contains_point(self, point: Point, ts: Optional[TimestampLike] = None) -> bool:
+        """Whether a point (and optionally a timestamp) falls inside the box.
+
+        A missing dimension on the box is treated as unbounded; a missing
+        timestamp argument against a temporal box is treated as not contained.
+        """
+        if self.spatial is not None and not self.spatial.contains_point(point.x, point.y):
+            return False
+        if self.temporal is not None:
+            if ts is None:
+                return False
+            if not self.temporal.contains_timestamp(ts):
+                return False
+        return True
+
+    def intersects(self, other: "STBox") -> bool:
+        """Whether the two boxes overlap in every dimension they both define."""
+        if self.spatial is not None and other.spatial is not None:
+            if not self.spatial.intersects(other.spatial):
+                return False
+        if self.temporal is not None and other.temporal is not None:
+            if not self.temporal.overlaps(other.temporal):
+                return False
+        return True
+
+    # -- operations -----------------------------------------------------------------
+
+    def expand(self, space: float = 0.0, time: float = 0.0) -> "STBox":
+        """A copy grown by ``space`` units spatially and ``time`` seconds temporally."""
+        spatial = self.spatial.expand(space) if self.spatial is not None else None
+        temporal = self.temporal.expand(time) if self.temporal is not None else None
+        return STBox(spatial, temporal)
+
+    def union(self, other: "STBox") -> "STBox":
+        """Smallest STBox covering both boxes."""
+        spatial = None
+        if self.spatial is not None and other.spatial is not None:
+            spatial = self.spatial.union(other.spatial)
+        elif self.spatial is not None or other.spatial is not None:
+            spatial = self.spatial or other.spatial
+        temporal = None
+        if self.temporal is not None and other.temporal is not None:
+            temporal = Period(
+                min(self.temporal.lower, other.temporal.lower),
+                max(self.temporal.upper, other.temporal.upper),
+                upper_inc=True,
+            )
+        elif self.temporal is not None or other.temporal is not None:
+            temporal = self.temporal or other.temporal
+        return STBox(spatial, temporal)
+
+    # -- dunder -------------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, STBox):
+            return NotImplemented
+        return self.spatial == other.spatial and self.temporal == other.temporal
+
+    def __repr__(self) -> str:
+        return f"STBox(spatial={self.spatial!r}, temporal={self.temporal!r})"

@@ -1,0 +1,357 @@
+"""Temporal point: the trajectory of a moving object (MEOS ``tgeompoint``).
+
+A :class:`TGeomPoint` wraps a :class:`~repro.temporal.tsequence.TSequence`
+whose values are :class:`~repro.spatial.geometry.Point` objects interpolated
+linearly, and adds the spatiotemporal operations the paper relies on:
+restriction to spatiotemporal boxes and geometries, ever-within-distance
+(``edwithin``), speed, travelled distance, and nearest-approach distance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SpatialError, TemporalError
+from repro.spatial.bbox import Box2D
+from repro.spatial.geometry import Geometry, LineString, Point
+from repro.spatial.measure import Metric, cartesian
+from repro.temporal.interpolation import Interpolation
+from repro.temporal.time import Period, PeriodSet, TimestampLike, to_timestamp
+from repro.temporal.tinstant import TInstant
+from repro.temporal.tsequence import TSequence
+from repro.mobility.stbox import STBox
+
+
+class TGeomPoint:
+    """A temporal geometry point with linear interpolation."""
+
+    __slots__ = ("sequence", "metric")
+
+    def __init__(self, sequence: TSequence, metric: Metric = cartesian) -> None:
+        for value in sequence.values:
+            if not isinstance(value, Point):
+                raise SpatialError(f"TGeomPoint values must be Points, got {value!r}")
+        if sequence.interpolation is Interpolation.DISCRETE:
+            raise TemporalError("TGeomPoint requires stepwise or linear interpolation")
+        self.sequence = sequence
+        self.metric = metric
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def from_fixes(
+        cls,
+        fixes: Iterable[Tuple[float, float, TimestampLike]],
+        metric: Metric = cartesian,
+    ) -> "TGeomPoint":
+        """Build from ``(x, y, timestamp)`` GPS fixes."""
+        instants = [TInstant(Point(x, y), ts) for x, y, ts in fixes]
+        if not instants:
+            raise TemporalError("a TGeomPoint needs at least one fix")
+        return cls(TSequence(instants, Interpolation.LINEAR), metric)
+
+    @classmethod
+    def from_instants(cls, instants: Iterable[TInstant], metric: Metric = cartesian) -> "TGeomPoint":
+        return cls(TSequence(list(instants), Interpolation.LINEAR), metric)
+
+    # -- accessors -----------------------------------------------------------------
+
+    @property
+    def instants(self) -> Sequence[TInstant]:
+        return self.sequence.instants
+
+    @property
+    def points(self) -> List[Point]:
+        return list(self.sequence.values)
+
+    @property
+    def timestamps(self) -> List[float]:
+        return self.sequence.timestamps
+
+    @property
+    def start_timestamp(self) -> float:
+        return self.sequence.start_timestamp
+
+    @property
+    def end_timestamp(self) -> float:
+        return self.sequence.end_timestamp
+
+    @property
+    def start_point(self) -> Point:
+        return self.sequence.start_value
+
+    @property
+    def end_point(self) -> Point:
+        return self.sequence.end_value
+
+    def num_instants(self) -> int:
+        return len(self.sequence)
+
+    def period(self) -> Period:
+        return self.sequence.period()
+
+    @property
+    def duration(self) -> float:
+        return self.sequence.duration
+
+    # -- geometry views -------------------------------------------------------------
+
+    def position_at(self, ts: TimestampLike) -> Optional[Point]:
+        """Interpolated position at ``ts``; ``None`` outside the defined period."""
+        value = self.sequence.value_at(ts)
+        return value
+
+    def trajectory(self) -> Geometry:
+        """The traced geometry: a LineString, or a Point for a stationary object."""
+        coords = [p.coords for p in self.points]
+        unique = []
+        for coord in coords:
+            if not unique or unique[-1] != coord:
+                unique.append(coord)
+        if len(unique) == 1:
+            return Point(*unique[0])
+        return LineString(unique)
+
+    def bounding_box(self) -> STBox:
+        """The spatiotemporal bounding box of the trajectory."""
+        spatial = Box2D.from_points(p.coords for p in self.points)
+        return STBox(spatial, self.period())
+
+    # -- metrics -----------------------------------------------------------------------
+
+    def length(self) -> float:
+        """Total travelled distance under the configured metric."""
+        points = self.points
+        return sum(
+            self.metric.distance(a.coords, b.coords)
+            for a, b in zip(points[:-1], points[1:])
+        )
+
+    def cumulative_length(self) -> TSequence:
+        """Travelled distance as a temporal float (0 at the first instant)."""
+        instants: List[TInstant] = []
+        total = 0.0
+        previous: Optional[TInstant] = None
+        for instant in self.instants:
+            if previous is not None:
+                total += self.metric.distance(previous.value.coords, instant.value.coords)
+            instants.append(TInstant(total, instant.timestamp))
+            previous = instant
+        return TSequence(instants, Interpolation.LINEAR)
+
+    def speed(self) -> TSequence:
+        """Speed (metric units per second) as a temporal float.
+
+        The speed over each segment is constant; the resulting sequence is
+        stepwise, matching MEOS semantics.  A single-instant trajectory has
+        speed zero.
+        """
+        instants = self.instants
+        if len(instants) == 1:
+            return TSequence([TInstant(0.0, instants[0].timestamp)], Interpolation.STEPWISE)
+        speeds: List[TInstant] = []
+        for a, b in zip(instants[:-1], instants[1:]):
+            dt = b.timestamp - a.timestamp
+            dist = self.metric.distance(a.value.coords, b.value.coords)
+            segment_speed = 0.0 if dt == 0 else dist / dt
+            speeds.append(TInstant(segment_speed, a.timestamp))
+        speeds.append(TInstant(speeds[-1].value, instants[-1].timestamp))
+        return TSequence(speeds, Interpolation.STEPWISE)
+
+    def direction(self) -> Optional[float]:
+        """Azimuth (radians, in [0, 2*pi)) from the first to the last position."""
+        start, end = self.start_point, self.end_point
+        dx, dy = end.x - start.x, end.y - start.y
+        if dx == 0 and dy == 0:
+            return None
+        return math.atan2(dy, dx) % (2.0 * math.pi)
+
+    def distance_to(self, geometry: Geometry) -> TSequence:
+        """Distance to a static geometry over time (sampled at the instants)."""
+        instants = [
+            TInstant(geometry.distance(instant.value, self.metric), instant.timestamp)
+            for instant in self.instants
+        ]
+        return TSequence(instants, Interpolation.LINEAR)
+
+    def nearest_approach_distance(self, geometry: Geometry) -> float:
+        """Smallest distance ever reached to a static geometry.
+
+        Checks both the fixes and the interpolated segments (via the
+        trajectory geometry) so a drive-by between two fixes is not missed.
+        """
+        at_instants = min(
+            geometry.distance(instant.value, self.metric) for instant in self.instants
+        )
+        trajectory = self.trajectory()
+        along_path = geometry.distance(trajectory, self.metric)
+        return min(at_instants, along_path)
+
+    # -- predicates ------------------------------------------------------------------------
+
+    def ever_within_distance(self, geometry: Geometry, distance: float) -> bool:
+        """MEOS ``edwithin``: does the moving point *ever* come within ``distance``?"""
+        return self.nearest_approach_distance(geometry) <= distance
+
+    def ever_intersects(self, geometry: Geometry) -> bool:
+        """MEOS ``eintersects``: does the trajectory ever touch the geometry?"""
+        if any(geometry.contains_point(p) for p in self.points):
+            return True
+        trajectory = self.trajectory()
+        if isinstance(trajectory, Point):
+            return geometry.contains_point(trajectory)
+        if hasattr(geometry, "intersects_linestring"):
+            return geometry.intersects_linestring(trajectory)
+        return geometry.distance(trajectory, self.metric) == 0.0
+
+    def is_stationary(self, tolerance: float = 0.0) -> bool:
+        """Whether the object never moves more than ``tolerance`` from its start."""
+        start = self.start_point
+        return all(
+            self.metric.distance(start.coords, p.coords) <= tolerance for p in self.points
+        )
+
+    # -- restriction -----------------------------------------------------------------------
+
+    def at_period(self, period: Period) -> Optional["TGeomPoint"]:
+        """Restrict to a time period."""
+        restricted = self.sequence.at_period(period)
+        if restricted is None:
+            return None
+        return TGeomPoint(restricted, self.metric)
+
+    def at_stbox(self, stbox: STBox) -> List["TGeomPoint"]:
+        """MEOS ``tpoint_at_stbox``: the fragments of the trajectory inside the box.
+
+        The temporal dimension is applied first (cheap), then the spatial
+        restriction splits the remaining trajectory into maximal fragments
+        whose positions lie inside the spatial box.
+        """
+        candidate: Optional[TGeomPoint] = self
+        if stbox.temporal is not None:
+            candidate = self.at_period(stbox.temporal)
+            if candidate is None:
+                return []
+        if stbox.spatial is None:
+            return [candidate]
+        box = stbox.spatial
+
+        def inside(point: Point) -> bool:
+            return box.contains_point(point.x, point.y)
+
+        return candidate._fragments_where(inside)
+
+    def at_geometry(self, geometry: Geometry) -> List["TGeomPoint"]:
+        """Fragments of the trajectory inside a geometry (polygon, circle …)."""
+        return self._fragments_where(geometry.contains_point)
+
+    def _fragments_where(self, predicate, samples_per_segment: int = 16) -> List["TGeomPoint"]:
+        """Maximal fragments where ``predicate(position)`` holds.
+
+        Each interpolated segment is sampled ``samples_per_segment`` times to
+        find regions where the predicate holds (this catches segments that
+        enter and leave a zone between two fixes); the enter/exit instants are
+        then refined by bisection.  Regions narrower than a sampling step may
+        be missed — raise ``samples_per_segment`` for very coarse trajectories.
+        """
+        instants = self.instants
+        if len(instants) == 1:
+            return [self] if predicate(instants[0].value) else []
+        periods: List[Period] = []
+        for a, b in zip(instants[:-1], instants[1:]):
+            periods.extend(self._segment_periods_where(a, b, predicate, samples_per_segment))
+        fragments: List[TGeomPoint] = []
+        for period in PeriodSet(periods):
+            piece = self.sequence.at_period(period)
+            if piece is not None:
+                fragments.append(TGeomPoint(piece, self.metric))
+        return fragments
+
+    def _segment_periods_where(
+        self, a: TInstant, b: TInstant, predicate, samples: int
+    ) -> List[Period]:
+        """Sub-periods of the segment ``a``–``b`` where the predicate holds."""
+        t0, t1 = a.timestamp, b.timestamp
+        if t1 <= t0:
+            return [Period.at(t0)] if predicate(a.value) else []
+        times = [t0 + (t1 - t0) * i / samples for i in range(samples + 1)]
+        flags = [bool(predicate(self.sequence.value_at(t))) for t in times]
+        periods: List[Period] = []
+        start: Optional[float] = None
+        for i, flag in enumerate(flags):
+            if flag and start is None:
+                if i == 0:
+                    start = times[0]
+                else:
+                    start = self._refine_flip(times[i - 1], times[i], predicate, False)
+            elif not flag and start is not None:
+                end = self._refine_flip(times[i - 1], times[i], predicate, True)
+                periods.append(self._make_period(start, end))
+                start = None
+        if start is not None:
+            periods.append(self._make_period(start, times[-1]))
+        return periods
+
+    @staticmethod
+    def _make_period(start: float, end: float) -> Period:
+        if end <= start:
+            return Period.at(start)
+        return Period(start, end, lower_inc=True, upper_inc=True)
+
+    def _refine_flip(
+        self, lo: float, hi: float, predicate, lo_flag: bool, iterations: int = 30
+    ) -> float:
+        """Bisection for the instant where the predicate flips between ``lo`` and ``hi``."""
+        for _ in range(iterations):
+            mid = (lo + hi) / 2.0
+            if bool(predicate(self.sequence.value_at(mid))) == lo_flag:
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2.0
+
+    # -- transformation ------------------------------------------------------------------------
+
+    def simplify(self, tolerance: float) -> "TGeomPoint":
+        """Douglas–Peucker simplification preserving timestamps of kept fixes."""
+        coords = [p.coords for p in self.points]
+        if len(coords) < 3:
+            return self
+        keep_coords = set()
+        from repro.spatial.algorithms import douglas_peucker
+
+        for coord in douglas_peucker(coords, tolerance):
+            keep_coords.add(coord)
+        kept = [
+            instant
+            for instant in self.instants
+            if instant.value.coords in keep_coords
+        ]
+        if len(kept) < 2:
+            kept = [self.instants[0], self.instants[-1]]
+        return TGeomPoint(TSequence(kept, Interpolation.LINEAR), self.metric)
+
+    def shift(self, delta: float) -> "TGeomPoint":
+        return TGeomPoint(self.sequence.shift(delta), self.metric)
+
+    def append_fix(self, x: float, y: float, ts: TimestampLike) -> "TGeomPoint":
+        """A new trajectory extended with one more GPS fix."""
+        instant = TInstant(Point(x, y), ts)
+        return TGeomPoint(self.sequence.append(instant), self.metric)
+
+    # -- dunder ------------------------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TGeomPoint):
+            return NotImplemented
+        return self.sequence == other.sequence
+
+    def __repr__(self) -> str:
+        return (
+            f"TGeomPoint({len(self.sequence)} fixes, "
+            f"[{self.start_timestamp}, {self.end_timestamp}], metric={self.metric.name})"
+        )

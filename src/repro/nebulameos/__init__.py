@@ -1,0 +1,64 @@
+"""NebulaMEOS: MEOS spatiotemporal processing plugged into the stream engine.
+
+This package is the paper's contribution: it registers MEOS-backed
+expressions and operators inside the NebulaStream-like engine so that
+spatiotemporal predicates can be used in streaming queries.
+
+* :mod:`repro.nebulameos.expressions` — custom expression classes
+  (``EDWithinExpression``, ``TPointAtStboxExpression``,
+  ``MeosAtStboxExpression``, speed/distance/zone expressions), mirroring the
+  ``MeosAtStbox_Expression`` operator family described in the paper.
+* :mod:`repro.nebulameos.trajectory` — a streaming trajectory builder that
+  maintains a per-device :class:`~repro.mobility.tpoint.TGeomPoint` over a
+  sliding horizon and attaches it to each record.
+* :mod:`repro.nebulameos.stwindows` — spatiotemporal window helpers
+  (tumbling/sliding/threshold windows over trajectories, spatial grid cells).
+* :mod:`repro.nebulameos.operators` — geofencing and spatial-join operators.
+* :mod:`repro.nebulameos.registration` — runtime registration of everything
+  above into a :class:`~repro.streaming.plugin.PluginRegistry`.
+"""
+
+from repro.nebulameos.expressions import (
+    EDWithinExpression,
+    MeosAtStboxExpression,
+    NearestZoneExpression,
+    SpeedExpression,
+    TPointAtStboxExpression,
+    WithinGeometryExpression,
+    ZoneLookupExpression,
+)
+from repro.nebulameos.trajectory import TrajectoryBuilder, TrajectoryState
+from repro.nebulameos.stwindows import (
+    SpatialGridAssigner,
+    spatiotemporal_sliding,
+    spatiotemporal_threshold,
+    spatiotemporal_tumbling,
+)
+from repro.nebulameos.operators import (
+    GeofenceOperator,
+    NearestNeighborOperator,
+    SpatialJoinOperator,
+)
+from repro.nebulameos.topk import TopKNearestOperator
+from repro.nebulameos.registration import register_meos_plugins
+
+__all__ = [
+    "EDWithinExpression",
+    "TPointAtStboxExpression",
+    "MeosAtStboxExpression",
+    "WithinGeometryExpression",
+    "ZoneLookupExpression",
+    "NearestZoneExpression",
+    "SpeedExpression",
+    "TrajectoryBuilder",
+    "TrajectoryState",
+    "SpatialGridAssigner",
+    "spatiotemporal_tumbling",
+    "spatiotemporal_sliding",
+    "spatiotemporal_threshold",
+    "GeofenceOperator",
+    "SpatialJoinOperator",
+    "NearestNeighborOperator",
+    "TopKNearestOperator",
+    "register_meos_plugins",
+]

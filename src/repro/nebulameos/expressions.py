@@ -1,0 +1,282 @@
+"""MEOS-backed expressions for the stream engine.
+
+The paper describes custom operators such as ``MeosAtStbox_Expression`` that
+wrap MEOS predicates (``edwithin``, ``tpoint_at_stbox``) and are registered
+into NebulaStream's expression framework.  The classes below are those
+expressions for our engine: each one reads GPS fields (or a trajectory
+attached by the :class:`~repro.nebulameos.trajectory.TrajectoryBuilder`) from
+the record and calls the corresponding MEOS-style operation from
+:mod:`repro.mobility`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.errors import StreamError
+from repro.mobility.operations import edwithin, tpoint_at_stbox
+from repro.mobility.stbox import STBox
+from repro.mobility.tpoint import TGeomPoint
+from repro.spatial.geometry import Geometry, Point
+from repro.spatial.index import GridIndex
+from repro.spatial.measure import Metric, haversine
+from repro.streaming.expressions import Expression
+from repro.streaming.record import Record
+
+
+class _PositionMixin:
+    """Shared helpers to read a position or trajectory from a record."""
+
+    lon_field = "lon"
+    lat_field = "lat"
+    trajectory_field = "trajectory"
+
+    def _point(self, record: Record) -> Optional[Point]:
+        lon = record.get(self.lon_field)
+        lat = record.get(self.lat_field)
+        if lon is None or lat is None:
+            return None
+        return Point(float(lon), float(lat))
+
+    def _trajectory(self, record: Record) -> Optional[TGeomPoint]:
+        trajectory = record.get(self.trajectory_field)
+        if isinstance(trajectory, TGeomPoint):
+            return trajectory
+        return None
+
+    def _trajectory_or_point(self, record: Record) -> Optional[TGeomPoint]:
+        """The attached trajectory, or a single-fix trajectory from the GPS fields."""
+        trajectory = self._trajectory(record)
+        if trajectory is not None:
+            return trajectory
+        point = self._point(record)
+        if point is None:
+            return None
+        metric = getattr(self, "metric", haversine)
+        return TGeomPoint.from_fixes([(point.x, point.y, record.timestamp)], metric=metric)
+
+
+class WithinGeometryExpression(Expression, _PositionMixin):
+    """True when the record's position lies inside a static geometry (geofence)."""
+
+    def __init__(
+        self, geometry: Geometry, lon_field: str = "lon", lat_field: str = "lat"
+    ) -> None:
+        self.geometry = geometry
+        self.lon_field = lon_field
+        self.lat_field = lat_field
+
+    def evaluate(self, record: Record) -> bool:
+        point = self._point(record)
+        return point is not None and self.geometry.contains_point(point)
+
+    def fields(self) -> List[str]:
+        return [self.lon_field, self.lat_field]
+
+    def __repr__(self) -> str:
+        return f"WithinGeometry({self.geometry!r})"
+
+
+class EDWithinExpression(Expression, _PositionMixin):
+    """MEOS ``edwithin``: the moving point ever comes within ``distance`` of the geometry.
+
+    With a trajectory attached the check covers the whole trajectory fragment
+    (catching drive-bys between fixes); with only GPS fields it degrades to a
+    point-distance test.
+    """
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        distance: float,
+        lon_field: str = "lon",
+        lat_field: str = "lat",
+        trajectory_field: str = "trajectory",
+        metric: Metric = haversine,
+    ) -> None:
+        self.geometry = geometry
+        self.distance = float(distance)
+        self.lon_field = lon_field
+        self.lat_field = lat_field
+        self.trajectory_field = trajectory_field
+        self.metric = metric
+
+    def evaluate(self, record: Record) -> bool:
+        trajectory = self._trajectory_or_point(record)
+        if trajectory is None:
+            return False
+        return edwithin(trajectory, self.geometry, self.distance)
+
+    def fields(self) -> List[str]:
+        return [self.lon_field, self.lat_field, self.trajectory_field]
+
+    def __repr__(self) -> str:
+        return f"EDWithin({self.geometry!r}, {self.distance}m)"
+
+
+class TPointAtStboxExpression(Expression, _PositionMixin):
+    """MEOS ``tpoint_at_stbox``: the trajectory fragments inside a spatiotemporal box.
+
+    Evaluates to the (possibly empty) list of :class:`TGeomPoint` fragments.
+    Use :class:`MeosAtStboxExpression` for the boolean variant used in filters.
+    """
+
+    def __init__(
+        self,
+        stbox: STBox,
+        lon_field: str = "lon",
+        lat_field: str = "lat",
+        trajectory_field: str = "trajectory",
+    ) -> None:
+        self.stbox = stbox
+        self.lon_field = lon_field
+        self.lat_field = lat_field
+        self.trajectory_field = trajectory_field
+
+    def evaluate(self, record: Record) -> List[TGeomPoint]:
+        trajectory = self._trajectory_or_point(record)
+        if trajectory is None:
+            return []
+        return tpoint_at_stbox(trajectory, self.stbox)
+
+    def fields(self) -> List[str]:
+        return [self.lon_field, self.lat_field, self.trajectory_field]
+
+    def __repr__(self) -> str:
+        return f"TPointAtStbox({self.stbox!r})"
+
+
+class MeosAtStboxExpression(TPointAtStboxExpression):
+    """Boolean form of ``tpoint_at_stbox``: true when any fragment is inside the box.
+
+    This is the ``MeosAtStbox_Expression`` operator named in the paper, usable
+    directly as a filter predicate.
+    """
+
+    def evaluate(self, record: Record) -> bool:  # type: ignore[override]
+        return bool(super().evaluate(record))
+
+    def __repr__(self) -> str:
+        return f"MeosAtStbox({self.stbox!r})"
+
+
+class ZoneLookupExpression(Expression, _PositionMixin):
+    """The keys of the indexed zones containing the record's position.
+
+    Powers geofencing queries with many zones: the static zone set is indexed
+    once in a :class:`~repro.spatial.index.GridIndex`, and each event pays a
+    grid lookup plus exact containment tests on the few candidates.
+    """
+
+    def __init__(
+        self, index: GridIndex, lon_field: str = "lon", lat_field: str = "lat"
+    ) -> None:
+        self.index = index
+        self.lon_field = lon_field
+        self.lat_field = lat_field
+
+    def evaluate(self, record: Record) -> List[Any]:
+        point = self._point(record)
+        if point is None:
+            return []
+        return [key for key, _ in self.index.containing(point)]
+
+    def fields(self) -> List[str]:
+        return [self.lon_field, self.lat_field]
+
+    def __repr__(self) -> str:
+        return f"ZoneLookup({len(self.index)} zones)"
+
+
+class NearestZoneExpression(Expression, _PositionMixin):
+    """The key of the nearest indexed geometry (e.g. nearest workshop) and its distance.
+
+    Evaluates to a ``(key, distance_m)`` tuple, or ``None`` when the record has
+    no position or the index is empty.
+    """
+
+    def __init__(
+        self,
+        index: GridIndex,
+        lon_field: str = "lon",
+        lat_field: str = "lat",
+        metric: Metric = haversine,
+    ) -> None:
+        self.index = index
+        self.lon_field = lon_field
+        self.lat_field = lat_field
+        self.metric = metric
+
+    def evaluate(self, record: Record) -> Optional[tuple]:
+        point = self._point(record)
+        if point is None:
+            return None
+        best_key = None
+        best_distance = None
+        for key, geometry in self.index.items():
+            distance = geometry.distance(point, self.metric)
+            if best_distance is None or distance < best_distance:
+                best_key, best_distance = key, distance
+        if best_key is None:
+            return None
+        return (best_key, best_distance)
+
+    def fields(self) -> List[str]:
+        return [self.lon_field, self.lat_field]
+
+    def __repr__(self) -> str:
+        return f"NearestZone({len(self.index)} zones)"
+
+
+class SpeedExpression(Expression, _PositionMixin):
+    """Current speed (m/s) derived from the attached trajectory.
+
+    Falls back to a ``speed`` field if present, so queries work both with and
+    without the trajectory builder.
+    """
+
+    def __init__(self, trajectory_field: str = "trajectory", speed_field: str = "speed") -> None:
+        self.trajectory_field = trajectory_field
+        self.speed_field = speed_field
+
+    def evaluate(self, record: Record) -> float:
+        trajectory = self._trajectory(record)
+        if trajectory is not None and trajectory.num_instants() >= 2:
+            speeds = trajectory.speed()
+            return float(speeds.end_value)
+        speed = record.get(self.speed_field)
+        return float(speed) if speed is not None else 0.0
+
+    def fields(self) -> List[str]:
+        return [self.trajectory_field, self.speed_field]
+
+    def __repr__(self) -> str:
+        return "SpeedExpression()"
+
+
+class DistanceToExpression(Expression, _PositionMixin):
+    """Distance (metres) from the record's position to a static geometry."""
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        lon_field: str = "lon",
+        lat_field: str = "lat",
+        metric: Metric = haversine,
+    ) -> None:
+        self.geometry = geometry
+        self.lon_field = lon_field
+        self.lat_field = lat_field
+        self.metric = metric
+
+    def evaluate(self, record: Record) -> Optional[float]:
+        point = self._point(record)
+        if point is None:
+            return None
+        return self.geometry.distance(point, self.metric)
+
+    def fields(self) -> List[str]:
+        return [self.lon_field, self.lat_field]
+
+    def __repr__(self) -> str:
+        return f"DistanceTo({self.geometry!r})"

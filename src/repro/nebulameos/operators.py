@@ -1,0 +1,168 @@
+"""Spatiotemporal stream operators contributed by the NebulaMEOS plugin."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import StreamError
+from repro.spatial.geometry import Geometry, Point
+from repro.spatial.index import GridIndex
+from repro.spatial.measure import Metric, haversine
+from repro.streaming.operators import Operator
+from repro.streaming.record import Record
+
+
+class GeofenceOperator(Operator):
+    """Annotates each record with the geofences its position falls in.
+
+    Adds two fields: ``<output>`` — the list of matching zone keys — and
+    ``in_<output>`` — a boolean flag.  Optionally emits *transition* records
+    (enter/leave events) instead of annotating every record, which is what
+    alerting queries usually want.
+    """
+
+    name = "geofence"
+
+    def __init__(
+        self,
+        index: GridIndex,
+        lon_field: str = "lon",
+        lat_field: str = "lat",
+        device_field: str = "device_id",
+        output_field: str = "zones",
+        transitions_only: bool = False,
+    ) -> None:
+        if len(index) == 0:
+            raise StreamError("GeofenceOperator needs at least one zone in the index")
+        self.index = index
+        self.lon_field = lon_field
+        self.lat_field = lat_field
+        self.device_field = device_field
+        self.output_field = output_field
+        self.transitions_only = transitions_only
+        self._previous: Dict[Any, List[Any]] = {}
+
+    def _zones_of(self, record: Record) -> Optional[List[Any]]:
+        lon = record.get(self.lon_field)
+        lat = record.get(self.lat_field)
+        if lon is None or lat is None:
+            return None
+        point = Point(float(lon), float(lat))
+        return sorted(key for key, _ in self.index.containing(point))
+
+    def process(self, record: Record) -> Iterable[Record]:
+        zones = self._zones_of(record)
+        if zones is None:
+            yield record
+            return
+        annotated = record.derive(
+            {self.output_field: zones, f"in_{self.output_field}": bool(zones)}
+        )
+        if not self.transitions_only:
+            yield annotated
+            return
+        device = record.get(self.device_field)
+        previous = self._previous.get(device, [])
+        entered = [z for z in zones if z not in previous]
+        left = [z for z in previous if z not in zones]
+        self._previous[device] = zones
+        if entered or left:
+            yield annotated.derive({"entered": entered, "left": left})
+
+    def __repr__(self) -> str:
+        return f"GeofenceOperator({len(self.index)} zones, transitions_only={self.transitions_only})"
+
+
+class SpatialJoinOperator(Operator):
+    """Enriches each record with attributes of the zone(s) containing its position.
+
+    ``attributes`` maps zone keys to payload dictionaries (e.g. speed limits,
+    zone names); the matched payloads are merged into the record.  Records
+    outside every zone pass through unchanged unless ``drop_unmatched`` is set.
+    """
+
+    name = "spatial_join"
+
+    def __init__(
+        self,
+        index: GridIndex,
+        attributes: Dict[Any, Dict[str, Any]],
+        lon_field: str = "lon",
+        lat_field: str = "lat",
+        drop_unmatched: bool = False,
+    ) -> None:
+        self.index = index
+        self.attributes = dict(attributes)
+        self.lon_field = lon_field
+        self.lat_field = lat_field
+        self.drop_unmatched = drop_unmatched
+
+    def process(self, record: Record) -> Iterable[Record]:
+        lon = record.get(self.lon_field)
+        lat = record.get(self.lat_field)
+        if lon is None or lat is None:
+            if not self.drop_unmatched:
+                yield record
+            return
+        point = Point(float(lon), float(lat))
+        matches = self.index.containing(point)
+        if not matches:
+            if not self.drop_unmatched:
+                yield record
+            return
+        updates: Dict[str, Any] = {"matched_zones": sorted(key for key, _ in matches)}
+        for key, _ in matches:
+            updates.update(self.attributes.get(key, {}))
+        yield record.derive(updates)
+
+    def __repr__(self) -> str:
+        return f"SpatialJoinOperator({len(self.index)} zones)"
+
+
+class NearestNeighborOperator(Operator):
+    """Annotates each record with the nearest geometry of an index and its distance.
+
+    Used by the battery-monitoring query to keep track of the nearest
+    workshop, and the basis of the "top-k nearest trains" future-work query.
+    """
+
+    name = "nearest"
+
+    def __init__(
+        self,
+        index: GridIndex,
+        lon_field: str = "lon",
+        lat_field: str = "lat",
+        output_prefix: str = "nearest",
+        metric: Metric = haversine,
+    ) -> None:
+        self.index = index
+        self.lon_field = lon_field
+        self.lat_field = lat_field
+        self.output_prefix = output_prefix
+        self.metric = metric
+
+    def process(self, record: Record) -> Iterable[Record]:
+        lon = record.get(self.lon_field)
+        lat = record.get(self.lat_field)
+        if lon is None or lat is None:
+            yield record
+            return
+        point = Point(float(lon), float(lat))
+        best_key, best_distance = None, None
+        for key, geometry in self.index.items():
+            distance = geometry.distance(point, self.metric)
+            if best_distance is None or distance < best_distance:
+                best_key, best_distance = key, distance
+        if best_key is None:
+            yield record
+            return
+        yield record.derive(
+            {
+                f"{self.output_prefix}_id": best_key,
+                f"{self.output_prefix}_distance_m": best_distance,
+            }
+        )
+
+    def __repr__(self) -> str:
+        return f"NearestNeighborOperator({len(self.index)} geometries)"

@@ -1,0 +1,98 @@
+"""Runtime registration of the MEOS plugin into the stream engine.
+
+NebulaStream "supports runtime operator definition through dynamic
+registration, enabling the integration of domain-specific operator logic,
+including calling MEOS functions" (paper, §2.3).  This module performs that
+registration: calling :func:`register_meos_plugins` adds every MEOS-backed
+function, expression and operator to a plugin registry, after which queries
+can reference them by name (``call("edwithin", …)``,
+``Query.apply_registered("trajectory_builder", …)``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mobility import operations as meos_ops
+from repro.nebulameos.expressions import (
+    DistanceToExpression,
+    EDWithinExpression,
+    MeosAtStboxExpression,
+    NearestZoneExpression,
+    SpeedExpression,
+    TPointAtStboxExpression,
+    WithinGeometryExpression,
+    ZoneLookupExpression,
+)
+from repro.nebulameos.operators import (
+    GeofenceOperator,
+    NearestNeighborOperator,
+    SpatialJoinOperator,
+)
+from repro.nebulameos.topk import TopKNearestOperator
+from repro.nebulameos.trajectory import TrajectoryBuilder
+from repro.mobility.analytics import (
+    distance_between,
+    k_nearest_trajectories,
+    nearest_approach_between,
+    temporal_heading,
+)
+from repro.mobility.similarity import dtw_distance, frechet_distance, hausdorff_distance
+from repro.streaming.plugin import PluginRegistry, default_registry
+
+#: Names under which the MEOS functions are registered (mirrors the MEOS C API).
+MEOS_FUNCTION_NAMES = (
+    "edwithin",
+    "tdwithin",
+    "eintersects",
+    "tpoint_at_stbox",
+    "tpoint_at_geometry",
+    "tpoint_at_period",
+    "tpoint_speed",
+    "tpoint_length",
+    "tpoint_cumulative_length",
+    "tpoint_direction",
+    "nearest_approach_distance",
+)
+
+
+def register_meos_plugins(registry: Optional[PluginRegistry] = None) -> PluginRegistry:
+    """Register all MEOS-backed functions, expressions and operators.
+
+    Returns the registry that was used (the process-wide default when none is
+    given).  Registration is idempotent: already-registered names are simply
+    overwritten with the same factories.
+    """
+    registry = registry if registry is not None else default_registry()
+
+    for name in MEOS_FUNCTION_NAMES:
+        registry.register_function(name, getattr(meos_ops, name), overwrite=True)
+
+    registry.register_expression("MeosAtStbox", MeosAtStboxExpression, overwrite=True)
+    registry.register_expression("TPointAtStbox", TPointAtStboxExpression, overwrite=True)
+    registry.register_expression("EDWithin", EDWithinExpression, overwrite=True)
+    registry.register_expression("WithinGeometry", WithinGeometryExpression, overwrite=True)
+    registry.register_expression("ZoneLookup", ZoneLookupExpression, overwrite=True)
+    registry.register_expression("NearestZone", NearestZoneExpression, overwrite=True)
+    registry.register_expression("Speed", SpeedExpression, overwrite=True)
+    registry.register_expression("DistanceTo", DistanceToExpression, overwrite=True)
+
+    # Trajectory-level functions (the paper's future-work extensions).
+    for name, func in (
+        ("temporal_heading", temporal_heading),
+        ("distance_between", distance_between),
+        ("nearest_approach_between", nearest_approach_between),
+        ("k_nearest_trajectories", k_nearest_trajectories),
+        ("hausdorff_distance", hausdorff_distance),
+        ("frechet_distance", frechet_distance),
+        ("dtw_distance", dtw_distance),
+    ):
+        registry.register_function(name, func, overwrite=True)
+
+    registry.register_operator("trajectory_builder", TrajectoryBuilder, overwrite=True)
+    registry.register_operator("geofence", GeofenceOperator, overwrite=True)
+    registry.register_operator("spatial_join", SpatialJoinOperator, overwrite=True)
+    registry.register_operator("nearest_neighbor", NearestNeighborOperator, overwrite=True)
+    registry.register_operator("topk_nearest", TopKNearestOperator, overwrite=True)
+
+    return registry

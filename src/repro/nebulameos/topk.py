@@ -1,0 +1,88 @@
+"""Top-k nearest moving objects (streaming form of the paper's future-work query).
+
+The operator keeps the last known position of every device seen on the
+stream.  For each incoming GPS event it computes the distance from the
+reporting device to every other device's last position and annotates the
+record with the k nearest ones.  Positions older than ``staleness_s`` are
+ignored, so a train that stopped reporting does not linger in the results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import StreamError
+from repro.spatial.measure import Metric, haversine
+from repro.streaming.operators import Operator
+from repro.streaming.record import Record
+
+
+class TopKNearestOperator(Operator):
+    """Annotates each positioned record with its k nearest peers.
+
+    Output fields (all prefixed with ``output_prefix``):
+
+    * ``<prefix>`` — list of ``{"device": id, "distance_m": d}`` dictionaries,
+      nearest first;
+    * ``<prefix>_ids`` — just the ids, nearest first;
+    * ``<prefix>_distance_m`` — distance to the single nearest peer (or
+      ``None`` when no peer has a recent position).
+    """
+
+    name = "topk_nearest"
+
+    def __init__(
+        self,
+        k: int = 3,
+        device_field: str = "device_id",
+        lon_field: str = "lon",
+        lat_field: str = "lat",
+        output_prefix: str = "nearest_trains",
+        staleness_s: float = 300.0,
+        metric: Metric = haversine,
+    ) -> None:
+        if k < 1:
+            raise StreamError("k must be at least 1")
+        if staleness_s <= 0:
+            raise StreamError("staleness_s must be positive")
+        self.k = int(k)
+        self.device_field = device_field
+        self.lon_field = lon_field
+        self.lat_field = lat_field
+        self.output_prefix = output_prefix
+        self.staleness_s = float(staleness_s)
+        self.metric = metric
+        # device -> (lon, lat, timestamp of the last fix)
+        self._last_position: Dict[Any, Tuple[float, float, float]] = {}
+
+    def process(self, record: Record) -> Iterable[Record]:
+        device = record.get(self.device_field)
+        lon = record.get(self.lon_field)
+        lat = record.get(self.lat_field)
+        if lon is None or lat is None or device is None:
+            yield record
+            return
+        position = (float(lon), float(lat))
+        now = record.timestamp
+        self._last_position[device] = (position[0], position[1], now)
+
+        neighbours: List[Dict[str, Any]] = []
+        for other, (other_lon, other_lat, seen_at) in self._last_position.items():
+            if other == device:
+                continue
+            if now - seen_at > self.staleness_s:
+                continue
+            distance = self.metric.distance(position, (other_lon, other_lat))
+            neighbours.append({"device": other, "distance_m": distance})
+        neighbours.sort(key=lambda n: n["distance_m"])
+        top = neighbours[: self.k]
+        yield record.derive(
+            {
+                self.output_prefix: top,
+                f"{self.output_prefix}_ids": [n["device"] for n in top],
+                f"{self.output_prefix}_distance_m": top[0]["distance_m"] if top else None,
+            }
+        )
+
+    def __repr__(self) -> str:
+        return f"TopKNearestOperator(k={self.k}, staleness={self.staleness_s}s)"

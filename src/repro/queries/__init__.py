@@ -1,0 +1,40 @@
+"""The eight demonstration queries of the paper (Q1–Q8).
+
+* Geofencing (§3.1): Q1 alert filtering, Q2 noise monitoring, Q3 dynamic
+  speed limits, Q4 weather-based speed zones.
+* Geospatial complex event processing (§3.2): Q5 battery monitoring, Q6 heavy
+  passenger load, Q7 unscheduled stops, Q8 brake monitoring.
+
+Every builder takes a :class:`~repro.sncb.scenario.Scenario` and returns a
+:class:`~repro.streaming.query.Query` ready to be executed by the engine; the
+:mod:`repro.queries.catalog` maps query ids to builders and to the throughput
+figures reported in the paper.
+"""
+
+from repro.queries.geofencing import (
+    build_q1_alert_filtering,
+    build_q2_noise_monitoring,
+    build_q3_dynamic_speed_limit,
+    build_q4_weather_speed_zones,
+)
+from repro.queries.gcep_queries import (
+    build_q5_battery_monitoring,
+    build_q6_heavy_passenger_load,
+    build_q7_unscheduled_stops,
+    build_q8_brake_monitoring,
+)
+from repro.queries.catalog import QUERY_CATALOG, QueryInfo, build_query
+
+__all__ = [
+    "build_q1_alert_filtering",
+    "build_q2_noise_monitoring",
+    "build_q3_dynamic_speed_limit",
+    "build_q4_weather_speed_zones",
+    "build_q5_battery_monitoring",
+    "build_q6_heavy_passenger_load",
+    "build_q7_unscheduled_stops",
+    "build_q8_brake_monitoring",
+    "QUERY_CATALOG",
+    "QueryInfo",
+    "build_query",
+]

@@ -1,0 +1,132 @@
+"""Catalog of the demonstration queries with the paper's reported figures.
+
+The paper reports, per query (or query group), a throughput in megabytes and
+an ingestion rate in events per second (§3.1–§3.2).  The catalog keeps those
+numbers next to the query builders so the benchmark harness can print a
+paper-vs-measured table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.queries.geofencing import (
+    build_q1_alert_filtering,
+    build_q2_noise_monitoring,
+    build_q3_dynamic_speed_limit,
+    build_q4_weather_speed_zones,
+)
+from repro.queries.gcep_queries import (
+    build_q5_battery_monitoring,
+    build_q6_heavy_passenger_load,
+    build_q7_unscheduled_stops,
+    build_q8_brake_monitoring,
+)
+from repro.sncb.scenario import Scenario
+from repro.streaming.query import Query
+
+
+@dataclass(frozen=True)
+class QueryInfo:
+    """Metadata of one demonstration query."""
+
+    query_id: str
+    title: str
+    category: str  # "geofencing" | "gcep"
+    builder: Callable[..., Query]
+    paper_throughput_mb: float
+    paper_events_per_s: float
+    description: str
+
+    def build(self, scenario: Scenario, **kwargs) -> Query:
+        return self.builder(scenario, **kwargs)
+
+
+QUERY_CATALOG: Dict[str, QueryInfo] = {
+    "Q1": QueryInfo(
+        "Q1",
+        "Location-Based Alert Filtering",
+        "geofencing",
+        build_q1_alert_filtering,
+        paper_throughput_mb=2.24,
+        paper_events_per_s=20_000,
+        description="Suppress non-essential alerts raised inside maintenance zones.",
+    ),
+    "Q2": QueryInfo(
+        "Q2",
+        "Location-Based Noise Monitoring",
+        "geofencing",
+        build_q2_noise_monitoring,
+        paper_throughput_mb=2.24,
+        paper_events_per_s=20_000,
+        description="Attribute exterior noise peaks to noise-sensitive areas.",
+    ),
+    "Q3": QueryInfo(
+        "Q3",
+        "Dynamic Speed Limit",
+        "geofencing",
+        build_q3_dynamic_speed_limit,
+        paper_throughput_mb=2.24,
+        paper_events_per_s=20_000,
+        description="Flag speed-limit violations inside speed-restriction zones.",
+    ),
+    "Q4": QueryInfo(
+        "Q4",
+        "Weather-Based Speed Zones",
+        "geofencing",
+        build_q4_weather_speed_zones,
+        paper_throughput_mb=2.24,
+        paper_events_per_s=20_000,
+        description="Suggest speed limits for zones with adverse weather.",
+    ),
+    "Q5": QueryInfo(
+        "Q5",
+        "Battery Monitoring",
+        "gcep",
+        build_q5_battery_monitoring,
+        paper_throughput_mb=0.61,
+        paper_events_per_s=8_000,
+        description="Detect battery discharge-curve deviations and overheating.",
+    ),
+    "Q6": QueryInfo(
+        "Q6",
+        "Heavy Passenger Load",
+        "gcep",
+        build_q6_heavy_passenger_load,
+        paper_throughput_mb=3.68,
+        paper_events_per_s=32_000,
+        description="Detect trains running effectively full.",
+    ),
+    "Q7": QueryInfo(
+        "Q7",
+        "Unscheduled Stops",
+        "gcep",
+        build_q7_unscheduled_stops,
+        paper_throughput_mb=0.40,
+        paper_events_per_s=10_000,
+        description="Flag stops outside stations and workshops.",
+    ),
+    "Q8": QueryInfo(
+        "Q8",
+        "Monitoring Brakes",
+        "gcep",
+        build_q8_brake_monitoring,
+        paper_throughput_mb=2.24,
+        paper_events_per_s=20_000,
+        description="Detect repeated emergency brakes and persistent low pressure.",
+    ),
+}
+
+
+def build_query(query_id: str, scenario: Scenario, **kwargs) -> Query:
+    """Build one of the catalog queries by id (e.g. ``"Q3"``)."""
+    info = QUERY_CATALOG.get(query_id.upper())
+    if info is None:
+        raise KeyError(f"unknown query id {query_id!r}; known: {sorted(QUERY_CATALOG)}")
+    return info.build(scenario, **kwargs)
+
+
+def build_all(scenario: Scenario) -> List[Query]:
+    """Every catalog query built against the same scenario."""
+    return [info.build(scenario) for info in QUERY_CATALOG.values()]

@@ -1,0 +1,185 @@
+"""Geospatial complex event processing queries (paper §3.2, Queries 5–8).
+
+These queries combine temporal patterns (thresholds held over time, repeated
+events, sequences) with spatial context (nearest workshop, outside station
+areas, per track segment), which is exactly what the paper calls GCEP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cep.gcep import all_of, outside_all, speed_below
+from repro.cep.patterns import times
+from repro.nebulameos.operators import NearestNeighborOperator
+from repro.nebulameos.stwindows import SpatialGridAssigner
+from repro.sncb.scenario import Scenario
+from repro.sncb.zones import ZoneType
+from repro.spatial.index import GridIndex
+from repro.streaming.aggregations import Avg, Count, Max, Min
+from repro.streaming.expressions import col, lit, udf
+from repro.streaming.query import Query
+from repro.streaming.source import Source
+from repro.streaming.windows import ThresholdWindow, TumblingWindow
+
+
+def _source(scenario: Scenario, source: Optional[Source]) -> Source:
+    return source if source is not None else scenario.source()
+
+
+#: Battery discharge faster than this (percentage points per minute) is "excessive".
+EXCESSIVE_DISCHARGE_PCT_PER_MIN = 1.0
+#: Battery pack temperature above this (deg C) raises an overheating alert.
+BATTERY_OVERHEAT_C = 45.0
+#: Occupancy at or above this fraction of capacity counts as a heavy load.
+HEAVY_LOAD_OCCUPANCY = 0.85
+#: Brake-pipe pressure below this (bar) outside an intended brake application is anomalous.
+LOW_BRAKE_PRESSURE_BAR = 4.0
+
+
+def build_q5_battery_monitoring(scenario: Scenario, source: Optional[Source] = None) -> Query:
+    """Query 5 — battery monitoring.
+
+    While a train runs on battery power, its discharge is tracked as one
+    threshold window per on-battery episode.  Episodes whose discharge rate
+    deviates from the nominal curve or whose pack overheats raise an alert,
+    annotated with the nearest workshop (for emergency routing).
+    """
+    workshops = scenario.zone_index(ZoneType.WORKSHOP)
+
+    def nearest_factory() -> NearestNeighborOperator:
+        return NearestNeighborOperator(workshops, output_prefix="workshop")
+
+    episode_window = ThresholdWindow(col("on_battery"), min_count=2)
+
+    return (
+        Query.from_source(_source(scenario, source), name="q5_battery_monitoring")
+        .filter(col("lon").ne(None) & col("lat").ne(None))
+        .apply(nearest_factory, name="nearest_workshop")
+        .window(
+            episode_window,
+            [
+                Count(),
+                Max("battery_level", output="level_start"),
+                Min("battery_level", output="level_end"),
+                Max("battery_temp_c", output="max_temp_c"),
+                Min("workshop_distance_m", output="workshop_distance_m"),
+                Max("battery_voltage", output="voltage_start"),
+                Min("battery_voltage", output="voltage_end"),
+            ],
+            key_by=["device_id"],
+        )
+        .map(
+            duration_s=col("window_end") - col("window_start"),
+            discharge_pct=col("level_start") - col("level_end"),
+        )
+        .filter(col("duration_s") > 0.0)
+        .map(discharge_rate_pct_per_min=col("discharge_pct") / (col("duration_s") / 60.0))
+        .map(
+            excessive_discharge=col("discharge_rate_pct_per_min") > EXCESSIVE_DISCHARGE_PCT_PER_MIN,
+            overheating=col("max_temp_c") > BATTERY_OVERHEAT_C,
+        )
+        .filter(col("excessive_discharge") | col("overheating"))
+    )
+
+
+def build_q6_heavy_passenger_load(scenario: Scenario, source: Optional[Source] = None, window_s: float = 300.0) -> Query:
+    """Query 6 — heavy passenger load.
+
+    Per train and time window the average occupancy is computed; windows in
+    which the train is effectively full suggest adding an extra train on the
+    line in the following days.
+    """
+    return (
+        Query.from_source(_source(scenario, source), name="q6_heavy_passenger_load")
+        .window(
+            TumblingWindow(window_s),
+            [
+                Avg("occupancy", output="avg_occupancy"),
+                Max("passenger_count", output="peak_passengers"),
+                Min("seats_free", output="min_seats_free"),
+                Count(),
+            ],
+            key_by=["device_id"],
+        )
+        .filter(col("avg_occupancy") >= HEAVY_LOAD_OCCUPANCY)
+        .map(suggest_extra_train=lit(True))
+    )
+
+
+def build_q7_unscheduled_stops(scenario: Scenario, source: Optional[Source] = None, min_samples: int = 3) -> Query:
+    """Query 7 — unscheduled stops.
+
+    A train standing still for several consecutive samples outside every
+    station area and workshop is flagged as an unscheduled stop.
+    """
+    allowed = GridIndex(0.05)
+    for zone_type in (ZoneType.STATION_AREA, ZoneType.WORKSHOP):
+        for zone in scenario.zones.by_type(zone_type):
+            allowed.insert(zone.zone_id, zone.geometry)
+
+    stopped_outside = all_of(
+        speed_below(1.0, speed_field="speed_kmh"),
+        outside_all(allowed),
+        lambda record: record.get("lon") is not None,
+    )
+    pattern = times("stopped", stopped_outside, at_least=min_samples).within(1800.0)
+
+    def describe(match) -> Dict[str, object]:
+        first = match.first("stopped")
+        return {
+            "lon": first.get("lon"),
+            "lat": first.get("lat"),
+            "stop_duration_s": match.duration,
+            "samples": len(match.all("stopped")),
+            "alert": "unscheduled_stop",
+        }
+
+    return (
+        Query.from_source(_source(scenario, source), name="q7_unscheduled_stops")
+        .cep(pattern, key_by=["device_id"], output_builder=describe)
+    )
+
+
+def build_q8_brake_monitoring(scenario: Scenario, source: Optional[Source] = None, min_events: int = 4) -> Query:
+    """Query 8 — brake monitoring.
+
+    Per train and per track cell (a coarse spatial grid standing in for track
+    segments), repeated braking anomalies — emergency applications or
+    persistently low brake-pipe pressure — within a 15-minute horizon indicate
+    degrading brake effectiveness.
+    """
+    grid = SpatialGridAssigner(0.05)
+
+    def cell_of(record) -> str:
+        lon, lat = record.get("lon"), record.get("lat")
+        if lon is None or lat is None:
+            return "unknown"
+        return grid.cell_id(float(lon), float(lat))
+
+    def brake_anomaly(record) -> bool:
+        if record.get("emergency_brake"):
+            return True
+        pressure = record.get("brake_pressure_bar")
+        return pressure is not None and float(pressure) < LOW_BRAKE_PRESSURE_BAR
+
+    pattern = times("brake_anomaly", brake_anomaly, at_least=min_events).within(900.0)
+
+    def describe(match) -> Dict[str, object]:
+        events = match.all("brake_anomaly")
+        pressures = [float(e["brake_pressure_bar"]) for e in events]
+        return {
+            "anomaly_count": len(events),
+            "min_pressure_bar": min(pressures),
+            "avg_pressure_bar": sum(pressures) / len(pressures),
+            "emergency_count": sum(1 for e in events if e.get("emergency_brake")),
+            "lon": events[0].get("lon"),
+            "lat": events[0].get("lat"),
+            "alert": "brake_degradation",
+        }
+
+    return (
+        Query.from_source(_source(scenario, source), name="q8_brake_monitoring")
+        .map(cell=udf(cell_of, name="cell"))
+        .cep(pattern, key_by=["device_id", "cell"], output_builder=describe)
+    )

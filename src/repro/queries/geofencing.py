@@ -1,0 +1,153 @@
+"""Geofencing queries (paper §3.1, Queries 1–4).
+
+All four queries share the same shape: the unified train stream is enriched
+with spatial context (which zone the train is in, what the local speed limit
+or weather is) and then filtered/aggregated into operator-facing alerts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nebulameos.operators import GeofenceOperator, SpatialJoinOperator
+from repro.sncb.scenario import Scenario
+from repro.sncb.zones import ZoneType
+from repro.streaming.aggregations import Avg, Count, Max
+from repro.streaming.expressions import col, udf
+from repro.streaming.query import Query
+from repro.streaming.source import Source
+from repro.streaming.windows import TumblingWindow
+
+
+def _source(scenario: Scenario, source: Optional[Source]) -> Source:
+    return source if source is not None else scenario.source()
+
+
+def build_q1_alert_filtering(scenario: Scenario, source: Optional[Source] = None) -> Query:
+    """Query 1 — location-based alert filtering.
+
+    Non-essential alerts (speeding, equipment) raised while the train is
+    inside a maintenance zone are suppressed; the query emits the alerts that
+    survive the geofence check, annotated with the zones evaluated.
+    """
+    maintenance_index = scenario.zone_index(ZoneType.MAINTENANCE)
+
+    def geofence_factory() -> GeofenceOperator:
+        return GeofenceOperator(
+            maintenance_index,
+            output_field="maintenance_zones",
+            transitions_only=False,
+        )
+
+    return (
+        Query.from_source(_source(scenario, source), name="q1_alert_filtering")
+        .filter(col("alert").ne(""))
+        .filter(col("lon").ne(None) & col("lat").ne(None))
+        .apply(geofence_factory, name="maintenance_geofence")
+        .filter(~col("in_maintenance_zones"))
+        .project("device_id", "timestamp", "alert", "lon", "lat", "speed_kmh", "maintenance_zones")
+    )
+
+
+def build_q2_noise_monitoring(scenario: Scenario, source: Optional[Source] = None, window_s: float = 300.0) -> Query:
+    """Query 2 — location-based noise monitoring.
+
+    Exterior noise readings are attributed to the noise-sensitive area the
+    train is crossing; per (train, area) and per time window the average and
+    peak noise are reported together with the exceedance of the area's limit.
+    """
+    noise_index = scenario.zone_index(ZoneType.NOISE_SENSITIVE)
+    attributes = scenario.zone_attributes(ZoneType.NOISE_SENSITIVE)
+
+    def join_factory() -> SpatialJoinOperator:
+        return SpatialJoinOperator(noise_index, attributes, drop_unmatched=True)
+
+    return (
+        Query.from_source(_source(scenario, source), name="q2_noise_monitoring")
+        .filter(col("lon").ne(None) & col("lat").ne(None))
+        .apply(join_factory, name="noise_zone_join")
+        .map(zone=udf(lambda r: r["matched_zones"][0], name="zone"))
+        .window(
+            TumblingWindow(window_s),
+            [
+                Avg("noise_db", output="avg_noise_db"),
+                Max("noise_db", output="peak_noise_db"),
+                Max("max_noise_db", output="limit_db"),
+                Count(),
+            ],
+            key_by=["device_id", "zone"],
+        )
+        .map(exceedance_db=col("peak_noise_db") - col("limit_db"))
+    )
+
+
+def build_q3_dynamic_speed_limit(scenario: Scenario, source: Optional[Source] = None) -> Query:
+    """Query 3 — dynamic speed limit.
+
+    Inside speed-restriction zones (sharp curves, construction sites) the
+    train's speed is compared against the zone's limit; violations are
+    reported with the measured excess.
+    """
+    speed_index = scenario.zone_index(ZoneType.SPEED_RESTRICTION)
+    attributes = scenario.zone_attributes(ZoneType.SPEED_RESTRICTION)
+
+    def join_factory() -> SpatialJoinOperator:
+        return SpatialJoinOperator(speed_index, attributes, drop_unmatched=True)
+
+    return (
+        Query.from_source(_source(scenario, source), name="q3_dynamic_speed_limit")
+        .filter(col("lon").ne(None) & col("lat").ne(None))
+        .apply(join_factory, name="speed_zone_join")
+        .filter(col("speed_kmh") > col("speed_limit_kmh"))
+        .map(excess_kmh=col("speed_kmh") - col("speed_limit_kmh"))
+        .project(
+            "device_id",
+            "timestamp",
+            "lon",
+            "lat",
+            "speed_kmh",
+            "speed_limit_kmh",
+            "excess_kmh",
+            "matched_zones",
+            "reason",
+        )
+    )
+
+
+def build_q4_weather_speed_zones(scenario: Scenario, source: Optional[Source] = None) -> Query:
+    """Query 4 — weather-based speed zones.
+
+    The train stream is joined with the weather stream (OpenMeteo substitute)
+    on the weather grid cell; when the measured speed exceeds the limit
+    suggested for the local conditions, a slow-down suggestion is emitted.
+    """
+    weather = scenario.weather
+
+    weather_query = Query.from_source(scenario.weather_source(), name="weather").filter(
+        col("condition").ne("clear")
+    )
+
+    def cell_of(record) -> str:
+        return weather.cell_of(float(record["lon"]), float(record["lat"]))
+
+    return (
+        Query.from_source(_source(scenario, source), name="q4_weather_speed_zones")
+        .filter(col("lon").ne(None) & col("lat").ne(None))
+        .filter(col("speed_kmh") > 60.0)
+        .map(cell_id=udf(cell_of, name="cell_id"))
+        .join(weather_query, on=["cell_id"], window=scenario.config.weather_interval_s)
+        .filter(col("speed_kmh") > col("suggested_limit_kmh"))
+        .map(slow_down_kmh=col("speed_kmh") - col("suggested_limit_kmh"))
+        .project(
+            "device_id",
+            "timestamp",
+            "lon",
+            "lat",
+            "speed_kmh",
+            "condition",
+            "intensity",
+            "suggested_limit_kmh",
+            "slow_down_kmh",
+            "cell_id",
+        )
+    )

@@ -1,0 +1,42 @@
+"""SNCB train scenario simulator.
+
+The paper demonstrates NebulaMEOS on six months of data from edge devices on
+six SNCB trains.  That dataset is proprietary, so this package synthesizes an
+equivalent scenario (see DESIGN.md, substitution table):
+
+* :mod:`repro.sncb.network` — a simplified Belgian rail network (stations
+  with real approximate coordinates, curved track segments, routes).
+* :mod:`repro.sncb.zones` — maintenance zones, speed-restricted curves,
+  noise-sensitive areas, workshops, station areas and a weather-cell grid.
+* :mod:`repro.sncb.weather` — a deterministic OpenMeteo substitute.
+* :mod:`repro.sncb.train` — train dynamics along a route (acceleration,
+  braking, dwell times, unscheduled stops, emergency brakes).
+* :mod:`repro.sncb.sensors` — sensor models (GPS with dropouts, speed, brake
+  pressure, battery, temperature, noise, passenger load).
+* :mod:`repro.sncb.dataset` — the combined event-stream generator and schema.
+* :mod:`repro.sncb.scenario` — a bundle of everything the queries need.
+"""
+
+from repro.sncb.network import RailNetwork, Station
+from repro.sncb.zones import Zone, ZoneCatalog, ZoneType
+from repro.sncb.weather import WeatherCondition, WeatherSimulator
+from repro.sncb.train import TrainConfig, TrainSimulator
+from repro.sncb.dataset import SNCB_SCHEMA, WEATHER_SCHEMA, generate_dataset, generate_weather_stream
+from repro.sncb.scenario import Scenario
+
+__all__ = [
+    "RailNetwork",
+    "Station",
+    "Zone",
+    "ZoneCatalog",
+    "ZoneType",
+    "WeatherCondition",
+    "WeatherSimulator",
+    "TrainConfig",
+    "TrainSimulator",
+    "SNCB_SCHEMA",
+    "WEATHER_SCHEMA",
+    "generate_dataset",
+    "generate_weather_stream",
+    "Scenario",
+]

@@ -1,0 +1,156 @@
+"""Dataset generation: the unified SNCB train event stream.
+
+The paper simulates "the continuous event stream from a dataset originating
+from edge devices installed on six trains".  Here the dataset is synthesized:
+each train follows a route on the Belgian network, its sensors are sampled at
+a fixed interval, and the per-train streams are merged into one event-time
+ordered stream (or kept separate, one per edge device).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ScenarioError
+from repro.sncb.network import RailNetwork, Route
+from repro.sncb.sensors import SensorConfig, SensorSuite
+from repro.sncb.train import TrainConfig, TrainSimulator
+from repro.sncb.weather import WeatherSimulator
+from repro.streaming.record import Record
+from repro.streaming.schema import Field, Schema
+
+#: Schema of the unified train sensor stream.
+SNCB_SCHEMA = Schema(
+    [
+        Field("device_id", str),
+        Field("timestamp", float),
+        Field("lon", float, nullable=True),
+        Field("lat", float, nullable=True),
+        Field("speed_kmh", float),
+        Field("phase", str),
+        Field("at_station", str),
+        Field("brake_pressure_bar", float),
+        Field("emergency_brake", bool),
+        Field("on_battery", bool),
+        Field("battery_level", float),
+        Field("battery_voltage", float),
+        Field("battery_temp_c", float),
+        Field("passenger_count", int),
+        Field("occupancy", float),
+        Field("seats_free", int),
+        Field("temperature_c", float),
+        Field("noise_db", float),
+        Field("alert", str),
+    ],
+    name="sncb_train_stream",
+)
+
+#: Schema of the weather stream (OpenMeteo substitute).
+WEATHER_SCHEMA = Schema(
+    [
+        Field("cell_id", str),
+        Field("timestamp", float),
+        Field("lon", float),
+        Field("lat", float),
+        Field("condition", str),
+        Field("intensity", float),
+        Field("temperature_c", float),
+        Field("visibility_m", float),
+        Field("suggested_limit_kmh", float),
+    ],
+    name="weather_stream",
+)
+
+#: Default routes for the six demonstration trains (station code itineraries).
+DEFAULT_ROUTES: List[List[str]] = [
+    ["FOST", "FBG", "FGSP", "FBMZ", "FLV", "FLG"],
+    ["FAN", "FMCH", "FBN", "FBMZ", "FMONS"],
+    ["FKRT", "FGSP", "FBMZ", "FNM", "FARL"],
+    ["FTRN", "FMONS", "FCRL", "FNM", "FLG"],
+    ["FLG", "FHSS", "FLV", "FBN", "FBMZ"],
+    ["FBMZ", "FGSP", "FBG", "FOST"],
+]
+
+
+def build_train_fleet(
+    network: RailNetwork,
+    num_trains: int = 6,
+    seed: int = 42,
+    max_speed_kmh: float = 140.0,
+) -> List[Tuple[TrainConfig, SensorConfig]]:
+    """Configurations for ``num_trains`` trains on the default routes.
+
+    Train 2 gets a degraded battery and train 4 a brake fault so the anomaly
+    queries (Q5, Q8) have something real to detect.
+    """
+    if num_trains < 1:
+        raise ScenarioError("need at least one train")
+    fleet: List[Tuple[TrainConfig, SensorConfig]] = []
+    for i in range(num_trains):
+        itinerary = DEFAULT_ROUTES[i % len(DEFAULT_ROUTES)]
+        route = network.route(itinerary)
+        train = TrainConfig(
+            train_id=f"train-{i}",
+            route=route,
+            max_speed_kmh=max_speed_kmh,
+            start_offset_s=120.0 * i,
+            seed=seed + i,
+        )
+        sensors = SensorConfig(
+            battery_degraded=(i == 2),
+            brake_fault=(i == 4),
+            base_passengers=90 + 45 * i,
+            seed=seed * 100 + i,
+        )
+        fleet.append((train, sensors))
+    return fleet
+
+
+def generate_train_events(
+    train: TrainConfig,
+    sensors: SensorConfig,
+    start: float,
+    duration: float,
+    interval: float,
+) -> Iterator[Dict[str, object]]:
+    """Event payloads for one train."""
+    simulator = TrainSimulator(train)
+    suite = SensorSuite(sensors)
+    for state in simulator.run(start, duration, interval):
+        payload = suite.read(state, interval)
+        payload["device_id"] = train.train_id
+        yield payload
+
+
+def generate_dataset(
+    network: Optional[RailNetwork] = None,
+    num_trains: int = 6,
+    start: float = 0.0,
+    duration: float = 3600.0,
+    interval: float = 5.0,
+    seed: int = 42,
+) -> List[Dict[str, object]]:
+    """The merged, event-time ordered dataset for the whole fleet."""
+    network = network or RailNetwork()
+    fleet = build_train_fleet(network, num_trains, seed)
+    events: List[Dict[str, object]] = []
+    for train, sensors in fleet:
+        events.extend(generate_train_events(train, sensors, start, duration, interval))
+    events.sort(key=lambda e: (e["timestamp"], e["device_id"]))
+    return events
+
+
+def generate_weather_stream(
+    start: float = 0.0,
+    duration: float = 3600.0,
+    interval: float = 600.0,
+    seed: int = 13,
+) -> List[Dict[str, object]]:
+    """The weather stream covering the same time span."""
+    simulator = WeatherSimulator(seed=seed)
+    return [sample.as_dict() for sample in simulator.stream(start, duration, interval)]
+
+
+def dataset_records(events: Sequence[Dict[str, object]]) -> List[Record]:
+    """Wrap payload dictionaries into engine records."""
+    return [Record(event) for event in events]

@@ -1,0 +1,238 @@
+"""A simplified Belgian rail network.
+
+Stations carry approximate real lon/lat coordinates; track segments between
+them are gently curved polylines (real tracks are not straight lines, and the
+curvature gives the speed-restriction zones of Q3 something to bite on).
+Routes between stations are shortest paths on the networkx graph, flattened
+into a single polyline the train simulator drives along.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.errors import ScenarioError
+from repro.spatial.geometry import LineString, Point
+from repro.spatial.measure import haversine_distance
+
+
+@dataclass(frozen=True)
+class Station:
+    """A railway station."""
+
+    code: str
+    name: str
+    lon: float
+    lat: float
+    major: bool = True
+
+    @property
+    def point(self) -> Point:
+        return Point(self.lon, self.lat)
+
+
+#: Approximate coordinates of major Belgian stations (lon, lat).
+_STATIONS: List[Station] = [
+    Station("FBMZ", "Brussels-Midi", 4.3354, 50.8354),
+    Station("FBN", "Brussels-North", 4.3606, 50.8603),
+    Station("FAN", "Antwerp-Central", 4.4212, 51.2172),
+    Station("FMCH", "Mechelen", 4.4828, 51.0176),
+    Station("FGSP", "Ghent-Sint-Pieters", 3.7105, 51.0357),
+    Station("FBG", "Bruges", 3.2166, 51.1972),
+    Station("FOST", "Ostend", 2.9252, 51.2282),
+    Station("FLG", "Liège-Guillemins", 5.5665, 50.6244),
+    Station("FLV", "Leuven", 4.7157, 50.8814),
+    Station("FHSS", "Hasselt", 5.3274, 50.9311),
+    Station("FNM", "Namur", 4.8622, 50.4687),
+    Station("FCRL", "Charleroi-Central", 4.4384, 50.4047),
+    Station("FMONS", "Mons", 3.9413, 50.4543),
+    Station("FTRN", "Tournai", 3.3967, 50.6130),
+    Station("FKRT", "Kortrijk", 3.2637, 50.8244),
+    Station("FARL", "Arlon", 5.8098, 49.6792),
+]
+
+#: Track segments (station code pairs).  Roughly the main Belgian lines.
+_SEGMENTS: List[Tuple[str, str]] = [
+    ("FBMZ", "FBN"),
+    ("FBN", "FMCH"),
+    ("FMCH", "FAN"),
+    ("FBN", "FLV"),
+    ("FLV", "FHSS"),
+    ("FLV", "FLG"),
+    ("FHSS", "FLG"),
+    ("FBMZ", "FGSP"),
+    ("FGSP", "FBG"),
+    ("FBG", "FOST"),
+    ("FGSP", "FKRT"),
+    ("FKRT", "FTRN"),
+    ("FTRN", "FMONS"),
+    ("FMONS", "FCRL"),
+    ("FCRL", "FNM"),
+    ("FNM", "FLG"),
+    ("FBMZ", "FMONS"),
+    ("FBMZ", "FNM"),
+    ("FNM", "FARL"),
+]
+
+
+def _curved_polyline(
+    a: Tuple[float, float], b: Tuple[float, float], bend: float, points: int = 8
+) -> List[Tuple[float, float]]:
+    """A gently curved polyline from ``a`` to ``b``.
+
+    The curve is a quadratic Bézier whose control point is offset
+    perpendicular to the straight line by ``bend`` times its length.
+    """
+    ax, ay = a
+    bx, by = b
+    mx, my = (ax + bx) / 2.0, (ay + by) / 2.0
+    dx, dy = bx - ax, by - ay
+    length = math.hypot(dx, dy) or 1e-9
+    # Perpendicular unit vector.
+    px, py = -dy / length, dx / length
+    cx, cy = mx + px * bend * length, my + py * bend * length
+    coords = []
+    for i in range(points + 1):
+        t = i / points
+        x = (1 - t) ** 2 * ax + 2 * (1 - t) * t * cx + t**2 * bx
+        y = (1 - t) ** 2 * ay + 2 * (1 - t) * t * cy + t**2 * by
+        coords.append((x, y))
+    return coords
+
+
+class RailNetwork:
+    """The rail network graph plus segment geometries."""
+
+    def __init__(
+        self,
+        stations: Optional[Sequence[Station]] = None,
+        segments: Optional[Sequence[Tuple[str, str]]] = None,
+    ) -> None:
+        self.stations: Dict[str, Station] = {s.code: s for s in (stations or _STATIONS)}
+        self.graph = nx.Graph()
+        for station in self.stations.values():
+            self.graph.add_node(station.code, station=station)
+        self._geometries: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+        for index, (a, b) in enumerate(segments or _SEGMENTS):
+            if a not in self.stations or b not in self.stations:
+                raise ScenarioError(f"segment references unknown station: {a}-{b}")
+            sa, sb = self.stations[a], self.stations[b]
+            # Alternate the bend direction per segment so the network looks organic.
+            bend = 0.08 if index % 2 == 0 else -0.08
+            coords = _curved_polyline((sa.lon, sa.lat), (sb.lon, sb.lat), bend)
+            length_m = sum(
+                haversine_distance(x1, y1, x2, y2)
+                for (x1, y1), (x2, y2) in zip(coords[:-1], coords[1:])
+            )
+            self.graph.add_edge(a, b, length_m=length_m)
+            self._geometries[(a, b)] = coords
+            self._geometries[(b, a)] = list(reversed(coords))
+
+    # -- lookup ---------------------------------------------------------------------
+
+    def station(self, code: str) -> Station:
+        try:
+            return self.stations[code]
+        except KeyError:
+            raise ScenarioError(f"unknown station code {code!r}") from None
+
+    def station_codes(self) -> List[str]:
+        return sorted(self.stations)
+
+    def segment_geometry(self, a: str, b: str) -> List[Tuple[float, float]]:
+        try:
+            return self._geometries[(a, b)]
+        except KeyError:
+            raise ScenarioError(f"no track segment between {a!r} and {b!r}") from None
+
+    def segment_length_m(self, a: str, b: str) -> float:
+        return self.graph.edges[a, b]["length_m"]
+
+    # -- routing ---------------------------------------------------------------------
+
+    def route(self, codes: Sequence[str]) -> "Route":
+        """Build a route visiting the listed stations in order (shortest paths between them)."""
+        if len(codes) < 2:
+            raise ScenarioError("a route needs at least two stations")
+        full_path: List[str] = []
+        for a, b in zip(codes[:-1], codes[1:]):
+            try:
+                leg = nx.shortest_path(self.graph, a, b, weight="length_m")
+            except nx.NetworkXNoPath:
+                raise ScenarioError(f"no path between {a!r} and {b!r}") from None
+            if full_path:
+                leg = leg[1:]
+            full_path.extend(leg)
+        return Route(self, full_path)
+
+    def __repr__(self) -> str:
+        return f"RailNetwork({len(self.stations)} stations, {self.graph.number_of_edges()} segments)"
+
+
+class Route:
+    """A concrete path through the network, flattened into one polyline.
+
+    Provides distance-based addressing: :meth:`position_at` maps a distance
+    along the route to a lon/lat point, and :meth:`station_marks` gives the
+    distance of every station stop (used by the train simulator to dwell).
+    """
+
+    def __init__(self, network: RailNetwork, path: Sequence[str]) -> None:
+        if len(path) < 2:
+            raise ScenarioError("a route needs at least two stations")
+        self.network = network
+        self.path: List[str] = list(path)
+        coords: List[Tuple[float, float]] = []
+        marks: List[Tuple[float, str]] = []
+        travelled = 0.0
+        for a, b in zip(self.path[:-1], self.path[1:]):
+            geometry = network.segment_geometry(a, b)
+            if not coords:
+                coords.append(geometry[0])
+                marks.append((0.0, a))
+            for (x1, y1), (x2, y2) in zip(geometry[:-1], geometry[1:]):
+                travelled += haversine_distance(x1, y1, x2, y2)
+                coords.append((x2, y2))
+            marks.append((travelled, b))
+        self.coords = coords
+        self._marks = marks
+        self.length_m = travelled
+        # Cumulative distances per coordinate for fast interpolation.
+        self._cumulative: List[float] = [0.0]
+        for (x1, y1), (x2, y2) in zip(coords[:-1], coords[1:]):
+            self._cumulative.append(self._cumulative[-1] + haversine_distance(x1, y1, x2, y2))
+
+    def station_marks(self) -> List[Tuple[float, str]]:
+        """(distance_m, station_code) pairs along the route."""
+        return list(self._marks)
+
+    def position_at(self, distance_m: float) -> Point:
+        """The lon/lat point at ``distance_m`` along the route (clamped to its ends)."""
+        if distance_m <= 0:
+            return Point(*self.coords[0])
+        if distance_m >= self.length_m:
+            return Point(*self.coords[-1])
+        # Binary search over the cumulative distances.
+        lo, hi = 0, len(self._cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._cumulative[mid] <= distance_m:
+                lo = mid
+            else:
+                hi = mid - 1
+        segment_start = self._cumulative[lo]
+        segment_end = self._cumulative[lo + 1]
+        span = segment_end - segment_start or 1e-9
+        fraction = (distance_m - segment_start) / span
+        (x1, y1), (x2, y2) = self.coords[lo], self.coords[lo + 1]
+        return Point(x1 + (x2 - x1) * fraction, y1 + (y2 - y1) * fraction)
+
+    def linestring(self) -> LineString:
+        return LineString(self.coords)
+
+    def __repr__(self) -> str:
+        return f"Route({' -> '.join(self.path)}, {self.length_m / 1000:.1f} km)"

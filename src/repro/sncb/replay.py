@@ -1,0 +1,39 @@
+"""Stream replay: exposing the synthetic dataset as engine sources."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.sncb.dataset import SNCB_SCHEMA, WEATHER_SCHEMA
+from repro.streaming.record import Record
+from repro.streaming.source import ListSource, MergedSource, Source
+
+
+class SncbStreamSource(ListSource):
+    """The unified train event stream as a source."""
+
+    def __init__(self, events: Sequence[Dict[str, object]], name: str = "sncb") -> None:
+        super().__init__(events, SNCB_SCHEMA, name=name)
+
+
+class WeatherStreamSource(ListSource):
+    """The weather stream as a source."""
+
+    def __init__(self, events: Sequence[Dict[str, object]], name: str = "weather") -> None:
+        super().__init__(events, WEATHER_SCHEMA, name=name)
+
+
+def per_train_sources(events: Sequence[Dict[str, object]]) -> List[SncbStreamSource]:
+    """Split the merged dataset back into one source per train (edge device)."""
+    by_device: Dict[object, List[Dict[str, object]]] = {}
+    for event in events:
+        by_device.setdefault(event["device_id"], []).append(event)
+    return [
+        SncbStreamSource(device_events, name=str(device))
+        for device, device_events in sorted(by_device.items())
+    ]
+
+
+def merged_source(events: Sequence[Dict[str, object]]) -> Source:
+    """The fleet-wide stream as a single merged source (what the coordinator sees)."""
+    return MergedSource(per_train_sources(events), name="sncb-fleet")

@@ -1,0 +1,94 @@
+"""Scenario: one object bundling everything the demonstration queries need.
+
+A :class:`Scenario` holds the rail network, the zone catalog, the weather
+simulator, the generated event and weather streams, and convenience accessors
+for sources and indexes.  Building it is deterministic given the seed, so
+tests, examples and benchmarks all observe the same world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sncb.dataset import (
+    SNCB_SCHEMA,
+    WEATHER_SCHEMA,
+    build_train_fleet,
+    generate_dataset,
+    generate_weather_stream,
+)
+from repro.sncb.network import RailNetwork
+from repro.sncb.replay import SncbStreamSource, WeatherStreamSource
+from repro.sncb.weather import WeatherSimulator
+from repro.sncb.zones import ZoneCatalog, ZoneType
+
+
+@dataclass
+class ScenarioConfig:
+    """Parameters of a scenario build."""
+
+    num_trains: int = 6
+    # The scenario starts at 07:00 (simulation time) so the morning rush hour —
+    # which the heavy-load query looks for — falls inside a one-hour run.
+    start: float = 7 * 3600.0
+    duration_s: float = 3600.0
+    interval_s: float = 5.0
+    weather_interval_s: float = 600.0
+    seed: int = 42
+
+
+class Scenario:
+    """A fully-built demonstration world."""
+
+    def __init__(self, config: Optional[ScenarioConfig] = None) -> None:
+        self.config = config or ScenarioConfig()
+        self.network = RailNetwork()
+        fleet = build_train_fleet(self.network, self.config.num_trains, self.config.seed)
+        self.routes = [train.route for train, _ in fleet]
+        self.zones = ZoneCatalog.for_network(self.network, self.routes, seed=self.config.seed)
+        self.weather = WeatherSimulator(seed=self.config.seed)
+        self.events = generate_dataset(
+            self.network,
+            num_trains=self.config.num_trains,
+            start=self.config.start,
+            duration=self.config.duration_s,
+            interval=self.config.interval_s,
+            seed=self.config.seed,
+        )
+        self.weather_events = generate_weather_stream(
+            start=self.config.start,
+            duration=self.config.duration_s,
+            interval=self.config.weather_interval_s,
+            seed=self.config.seed,
+        )
+
+    # -- convenience accessors --------------------------------------------------------
+
+    @classmethod
+    def small(cls, duration_s: float = 900.0, interval_s: float = 5.0, num_trains: int = 3, seed: int = 42) -> "Scenario":
+        """A small scenario for unit tests (a few thousand events)."""
+        return cls(ScenarioConfig(num_trains=num_trains, duration_s=duration_s, interval_s=interval_s, seed=seed))
+
+    def source(self, name: str = "sncb") -> SncbStreamSource:
+        """The unified train stream as an engine source."""
+        return SncbStreamSource(self.events, name=name)
+
+    def weather_source(self, name: str = "weather") -> WeatherStreamSource:
+        return WeatherStreamSource(self.weather_events, name=name)
+
+    def zone_index(self, zone_type: ZoneType):
+        return self.zones.index(zone_type)
+
+    def zone_attributes(self, zone_type: ZoneType) -> Dict[str, Dict[str, object]]:
+        return self.zones.attributes_map(zone_type)
+
+    @property
+    def num_events(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return (
+            f"Scenario({self.config.num_trains} trains, {self.num_events} events, "
+            f"{len(self.zones)} zones, {self.config.duration_s}s @ {self.config.interval_s}s)"
+        )

@@ -1,0 +1,185 @@
+"""Sensor models layered on top of the kinematic train state.
+
+The SNCB edge devices report GPS coordinates, battery voltage and brake
+pressure (paper, §3), and the queries additionally use speed, temperature,
+exterior noise and passenger-load estimates.  Each sensor below turns a
+:class:`~repro.sncb.train.TrainState` into a (noisy) reading; the
+:class:`SensorSuite` combines them into the event payload of the unified
+stream.
+
+The battery model intentionally includes one degraded train (configurable)
+whose discharge curve deviates from the nominal one and whose pack overheats
+— the anomaly Query 5 is designed to catch.  The brake model likewise allows
+a persistent low-pressure fault episode for Query 8.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.sncb.train import TrainState
+
+
+@dataclass
+class SensorConfig:
+    """Per-train sensor behaviour knobs."""
+
+    gps_noise_deg: float = 0.00008
+    gps_dropout_prob: float = 0.01
+    battery_degraded: bool = False
+    brake_fault: bool = False
+    base_passengers: int = 120
+    capacity: int = 400
+    seed: int = 0
+
+
+class BatteryModel:
+    """Charge/discharge model of the on-board battery.
+
+    While the train is moving it draws power from the catenary and the battery
+    charges towards 100 %; while stopped away from a powered platform it runs
+    on battery and discharges.  A degraded battery discharges roughly three
+    times faster and heats up, producing the deviation-from-curve and
+    overheating alerts of Query 5.
+    """
+
+    NOMINAL_VOLTAGE = 27.5
+    MIN_VOLTAGE = 22.0
+
+    def __init__(self, degraded: bool = False) -> None:
+        self.level = 0.95  # state of charge, 0..1
+        self.temperature_c = 22.0
+        self.degraded = degraded
+
+    def update(self, state: TrainState, dt: float) -> Dict[str, float]:
+        on_battery = state.speed_ms < 0.3 and state.phase in ("unscheduled_stop", "dwell")
+        if on_battery:
+            rate = 0.00012 if not self.degraded else 0.00038  # fraction per second
+            self.level = max(0.02, self.level - rate * dt)
+            heat = 0.010 if not self.degraded else 0.035
+            self.temperature_c = min(75.0, self.temperature_c + heat * dt)
+        else:
+            self.level = min(1.0, self.level + 0.00025 * dt)
+            self.temperature_c = max(20.0, self.temperature_c - 0.02 * dt)
+        voltage = self.MIN_VOLTAGE + (self.NOMINAL_VOLTAGE - self.MIN_VOLTAGE) * self.level
+        return {
+            "on_battery": on_battery,
+            "battery_level": self.level * 100.0,
+            "battery_voltage": voltage,
+            "battery_temp_c": self.temperature_c,
+        }
+
+
+class BrakeModel:
+    """Brake-pipe pressure model.
+
+    Nominal running pressure is ~5 bar; a service brake application drops it
+    to ~3.5 bar and an emergency application close to 1 bar.  A train with a
+    brake fault slowly loses pressure even when released, producing the
+    persistent low-pressure readings of Query 8.
+    """
+
+    NOMINAL_BAR = 5.0
+
+    def __init__(self, faulty: bool = False, rng: Optional[random.Random] = None) -> None:
+        self.faulty = faulty
+        self.rng = rng or random.Random(0)
+        self._leak = 0.0
+
+    def update(self, state: TrainState, dt: float) -> Dict[str, float]:
+        if state.emergency_brake:
+            pressure = 1.0 + self.rng.uniform(-0.2, 0.2)
+        elif state.phase == "braking":
+            pressure = 3.5 + self.rng.uniform(-0.15, 0.15)
+        else:
+            pressure = self.NOMINAL_BAR + self.rng.uniform(-0.05, 0.05)
+        if self.faulty:
+            # A slow leak that worsens over time, capped so the train keeps running.
+            self._leak = min(1.6, self._leak + 0.00002 * dt)
+            pressure -= self._leak
+        return {
+            "brake_pressure_bar": max(0.3, pressure),
+            "emergency_brake": state.emergency_brake,
+        }
+
+
+class PassengerModel:
+    """Passenger-load model: boarding/alighting at stations with rush-hour peaks."""
+
+    def __init__(self, base: int, capacity: int, rng: random.Random) -> None:
+        self.count = base
+        self.capacity = capacity
+        self.rng = rng
+        self._last_station: Optional[str] = None
+
+    def update(self, state: TrainState) -> Dict[str, object]:
+        if state.at_station is not None and state.at_station != self._last_station:
+            self._last_station = state.at_station
+            hour = (state.timestamp / 3600.0) % 24.0
+            rush = 1.0 + 1.6 * math.exp(-((hour - 8.2) ** 2) / 2.0) + 1.4 * math.exp(-((hour - 17.5) ** 2) / 2.5)
+            boarding = int(self.rng.uniform(25, 120) * rush)
+            alighting = int(self.count * self.rng.uniform(0.05, 0.4))
+            self.count = max(0, min(int(self.capacity * 1.1), self.count - alighting + boarding))
+        elif state.at_station is None:
+            self._last_station = None
+        occupancy = self.count / self.capacity
+        return {
+            "passenger_count": self.count,
+            "occupancy": occupancy,
+            "seats_free": max(0, self.capacity - self.count),
+        }
+
+
+class SensorSuite:
+    """Combines every sensor model into one event payload per train state."""
+
+    def __init__(self, config: SensorConfig) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.battery = BatteryModel(config.battery_degraded)
+        self.brakes = BrakeModel(config.brake_fault, random.Random(config.seed + 1))
+        self.passengers = PassengerModel(config.base_passengers, config.capacity, random.Random(config.seed + 2))
+
+    def read(self, state: TrainState, dt: float) -> Dict[str, object]:
+        """One event payload (without the device id, added by the dataset generator)."""
+        payload: Dict[str, object] = {
+            "timestamp": state.timestamp,
+            "phase": state.phase,
+            "at_station": state.at_station or "",
+        }
+
+        # GPS (with noise and occasional dropouts).
+        if self.rng.random() >= self.config.gps_dropout_prob:
+            payload["lon"] = state.position.x + self.rng.gauss(0.0, self.config.gps_noise_deg)
+            payload["lat"] = state.position.y + self.rng.gauss(0.0, self.config.gps_noise_deg)
+        else:
+            payload["lon"] = None
+            payload["lat"] = None
+
+        # Speed (km/h) with mild sensor noise.
+        speed_kmh = state.speed_kmh + self.rng.gauss(0.0, 0.4)
+        payload["speed_kmh"] = max(0.0, speed_kmh)
+
+        payload.update(self.brakes.update(state, dt))
+        payload.update(self.battery.update(state, dt))
+        payload.update(self.passengers.update(state))
+
+        # Interior temperature rises with occupancy, exterior noise with speed and braking.
+        occupancy = float(payload["occupancy"])
+        payload["temperature_c"] = 19.0 + 6.0 * occupancy + self.rng.gauss(0.0, 0.3)
+        noise = 52.0 + 0.22 * float(payload["speed_kmh"]) + 6.0 * occupancy
+        if state.phase in ("braking", "emergency_brake"):
+            noise += 8.0
+        payload["noise_db"] = noise + self.rng.gauss(0.0, 1.2)
+
+        # On-board alert codes (Query 1 filters these inside maintenance zones).
+        alert = ""
+        if state.speeding and float(payload["speed_kmh"]) > 0:
+            alert = "speeding"
+        elif self.rng.random() < 0.002:
+            alert = "equipment"
+        payload["alert"] = alert
+        return payload

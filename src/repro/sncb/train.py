@@ -1,0 +1,206 @@
+"""Train dynamics simulator.
+
+Each simulated train runs back and forth along a route, accelerating to its
+cruise speed, braking into stations, dwelling, and occasionally exhibiting the
+anomalies the demonstration queries look for: unscheduled stops in open track,
+emergency brake applications, and short speeding episodes.  The simulator is
+purely kinematic (distance along the route integrated from speed); sensor
+readings are layered on top by :mod:`repro.sncb.sensors`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import ScenarioError
+from repro.sncb.network import Route
+from repro.spatial.geometry import Point
+
+
+@dataclass
+class TrainConfig:
+    """Static configuration of one simulated train."""
+
+    train_id: str
+    route: Route
+    max_speed_kmh: float = 140.0
+    acceleration_ms2: float = 0.45
+    braking_ms2: float = 0.8
+    emergency_braking_ms2: float = 2.5
+    dwell_s: float = 90.0
+    capacity: int = 400
+    start_offset_s: float = 0.0
+    seed: int = 0
+    # Expected number of anomalies per hour of driving.
+    unscheduled_stop_rate_per_h: float = 0.4
+    emergency_brake_rate_per_h: float = 0.6
+    speeding_rate_per_h: float = 1.2
+
+    @property
+    def max_speed_ms(self) -> float:
+        return self.max_speed_kmh / 3.6
+
+
+@dataclass
+class TrainState:
+    """Kinematic state of a train at one instant."""
+
+    train_id: str
+    timestamp: float
+    distance_m: float
+    speed_ms: float
+    direction: int
+    phase: str  # accelerating | cruising | braking | dwell | unscheduled_stop | emergency_brake
+    position: Point
+    at_station: Optional[str] = None
+    emergency_brake: bool = False
+    unscheduled_stop: bool = False
+    speeding: bool = False
+
+    @property
+    def speed_kmh(self) -> float:
+        return self.speed_ms * 3.6
+
+
+class TrainSimulator:
+    """Steps one train through time along its route."""
+
+    def __init__(self, config: TrainConfig) -> None:
+        if config.route.length_m <= 0:
+            raise ScenarioError("a train route must have positive length")
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self._distance = 0.0
+        self._speed = 0.0
+        self._direction = 1
+        self._dwell_remaining = config.start_offset_s
+        self._stop_remaining = 0.0
+        self._emergency_remaining = 0.0
+        self._speeding_remaining = 0.0
+        marks = config.route.station_marks()
+        self._stops: List[Tuple[float, str]] = marks
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _next_stop(self) -> Tuple[float, Optional[str]]:
+        """Distance of the next scheduled stop in the current direction."""
+        if self._direction > 0:
+            ahead = [(d, code) for d, code in self._stops if d > self._distance + 1.0]
+            if not ahead:
+                return (self.config.route.length_m, None)
+            return min(ahead, key=lambda m: m[0])
+        ahead = [(d, code) for d, code in self._stops if d < self._distance - 1.0]
+        if not ahead:
+            return (0.0, None)
+        return max(ahead, key=lambda m: m[0])
+
+    def _station_at(self, distance: float, tolerance: float = 80.0) -> Optional[str]:
+        for mark, code in self._stops:
+            if abs(mark - distance) <= tolerance:
+                return code
+        return None
+
+    def _maybe_trigger_anomalies(self, dt: float) -> None:
+        config = self.config
+        hours = dt / 3600.0
+        if self._stop_remaining <= 0 and self.rng.random() < config.unscheduled_stop_rate_per_h * hours:
+            self._stop_remaining = self.rng.uniform(120.0, 420.0)
+        if self._emergency_remaining <= 0 and self.rng.random() < config.emergency_brake_rate_per_h * hours:
+            self._emergency_remaining = self.rng.uniform(6.0, 15.0)
+        if self._speeding_remaining <= 0 and self.rng.random() < config.speeding_rate_per_h * hours:
+            self._speeding_remaining = self.rng.uniform(30.0, 120.0)
+
+    # -- stepping ------------------------------------------------------------------------
+
+    def step(self, timestamp: float, dt: float) -> TrainState:
+        """Advance the train by ``dt`` seconds and return its new state."""
+        config = self.config
+        phase = "cruising"
+        at_station: Optional[str] = None
+        emergency = False
+        unscheduled = False
+        speeding = False
+
+        if self._dwell_remaining > 0:
+            # Dwelling at a station (or waiting for the initial offset).
+            self._dwell_remaining -= dt
+            self._speed = 0.0
+            phase = "dwell"
+            at_station = self._station_at(self._distance)
+        elif self._stop_remaining > 0:
+            # Unscheduled stop in open track.
+            self._stop_remaining -= dt
+            self._speed = 0.0
+            phase = "unscheduled_stop"
+            unscheduled = True
+        else:
+            self._maybe_trigger_anomalies(dt)
+            target_speed = config.max_speed_ms
+            if self._speeding_remaining > 0:
+                target_speed *= 1.15
+                self._speeding_remaining -= dt
+                speeding = True
+            next_stop_distance, next_stop_code = self._next_stop()
+            distance_to_stop = abs(next_stop_distance - self._distance)
+            # Brake early enough to stop at the next station.
+            braking_distance = (self._speed**2) / (2.0 * config.braking_ms2) + self._speed * dt
+
+            if self._emergency_remaining > 0:
+                self._emergency_remaining -= dt
+                self._speed = max(0.0, self._speed - config.emergency_braking_ms2 * dt)
+                phase = "emergency_brake"
+                emergency = True
+            elif distance_to_stop <= braking_distance:
+                self._speed = max(0.0, self._speed - config.braking_ms2 * dt)
+                phase = "braking"
+            elif self._speed < target_speed:
+                self._speed = min(target_speed, self._speed + config.acceleration_ms2 * dt)
+                phase = "accelerating"
+            else:
+                self._speed = min(self._speed, target_speed)
+                phase = "cruising"
+
+            self._distance += self._direction * self._speed * dt
+            self._distance = max(0.0, min(config.route.length_m, self._distance))
+
+            # Arrived at a stop (or the end of the route): dwell and possibly reverse.
+            if self._speed <= 0.2 and phase in ("braking", "emergency_brake"):
+                station = self._station_at(self._distance)
+                if station is not None or self._distance in (0.0, config.route.length_m):
+                    self._speed = 0.0
+                    self._dwell_remaining = config.dwell_s
+                    at_station = station
+                    phase = "dwell"
+            if self._distance <= 0.0 and self._direction < 0:
+                self._direction = 1
+                self._dwell_remaining = max(self._dwell_remaining, config.dwell_s)
+            elif self._distance >= config.route.length_m and self._direction > 0:
+                self._direction = -1
+                self._dwell_remaining = max(self._dwell_remaining, config.dwell_s)
+
+        position = config.route.position_at(self._distance)
+        return TrainState(
+            train_id=config.train_id,
+            timestamp=timestamp,
+            distance_m=self._distance,
+            speed_ms=self._speed,
+            direction=self._direction,
+            phase=phase,
+            position=position,
+            at_station=at_station,
+            emergency_brake=emergency,
+            unscheduled_stop=unscheduled,
+            speeding=speeding,
+        )
+
+    def run(self, start: float, duration: float, interval: float) -> Iterator[TrainState]:
+        """Yield states every ``interval`` seconds for ``duration`` seconds."""
+        if interval <= 0 or duration <= 0:
+            raise ScenarioError("duration and interval must be positive")
+        t = start
+        end = start + duration
+        while t < end:
+            yield self.step(t, interval)
+            t += interval

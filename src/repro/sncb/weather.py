@@ -1,0 +1,167 @@
+"""Deterministic weather substitute for OpenMeteo.
+
+Query 4 joins the train stream with weather data to suggest speed limits in
+adverse conditions.  Without network access we synthesize weather: Belgium is
+covered by a coarse grid of cells, each cell follows a smooth pseudo-random
+evolution of condition (clear / rain / heavy rain / snow / fog), intensity,
+temperature and visibility.  The generator is fully determined by its seed so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ScenarioError
+
+
+class WeatherCondition(enum.Enum):
+    """Coarse weather classes relevant to railway operations."""
+
+    CLEAR = "clear"
+    RAIN = "rain"
+    HEAVY_RAIN = "heavy_rain"
+    SNOW = "snow"
+    FOG = "fog"
+
+
+#: Suggested speed limits (km/h) per adverse condition, used by Query 4.
+CONDITION_SPEED_LIMITS_KMH: Dict[WeatherCondition, float] = {
+    WeatherCondition.CLEAR: 160.0,
+    WeatherCondition.RAIN: 140.0,
+    WeatherCondition.HEAVY_RAIN: 100.0,
+    WeatherCondition.SNOW: 80.0,
+    WeatherCondition.FOG: 90.0,
+}
+
+
+@dataclass
+class WeatherSample:
+    """Weather at one cell and time."""
+
+    cell_id: str
+    lon: float
+    lat: float
+    timestamp: float
+    condition: WeatherCondition
+    intensity: float  # 0..1
+    temperature_c: float
+    visibility_m: float
+
+    @property
+    def suggested_limit_kmh(self) -> float:
+        return CONDITION_SPEED_LIMITS_KMH[self.condition]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "cell_id": self.cell_id,
+            "lon": self.lon,
+            "lat": self.lat,
+            "timestamp": self.timestamp,
+            "condition": self.condition.value,
+            "intensity": round(self.intensity, 3),
+            "temperature_c": round(self.temperature_c, 2),
+            "visibility_m": round(self.visibility_m, 1),
+            "suggested_limit_kmh": self.suggested_limit_kmh,
+        }
+
+
+class WeatherSimulator:
+    """Smoothly-varying synthetic weather over a lon/lat bounding box."""
+
+    def __init__(
+        self,
+        lon_min: float = 2.5,
+        lat_min: float = 49.4,
+        lon_max: float = 6.5,
+        lat_max: float = 51.6,
+        cell_size: float = 0.5,
+        seed: int = 13,
+    ) -> None:
+        if lon_min >= lon_max or lat_min >= lat_max:
+            raise ScenarioError("invalid weather bounding box")
+        self.lon_min, self.lat_min = lon_min, lat_min
+        self.lon_max, self.lat_max = lon_max, lat_max
+        self.cell_size = float(cell_size)
+        self.seed = seed
+        self._cell_phase: Dict[str, Tuple[float, float, float]] = {}
+
+    # -- cells --------------------------------------------------------------------------
+
+    def cell_of(self, lon: float, lat: float) -> str:
+        cx = int((lon - self.lon_min) // self.cell_size)
+        cy = int((lat - self.lat_min) // self.cell_size)
+        return f"w{cx}:{cy}"
+
+    def cell_center(self, cell_id: str) -> Tuple[float, float]:
+        cx, cy = (int(p) for p in cell_id[1:].split(":"))
+        return (
+            self.lon_min + (cx + 0.5) * self.cell_size,
+            self.lat_min + (cy + 0.5) * self.cell_size,
+        )
+
+    def cells(self) -> List[str]:
+        nx = int(math.ceil((self.lon_max - self.lon_min) / self.cell_size))
+        ny = int(math.ceil((self.lat_max - self.lat_min) / self.cell_size))
+        return [f"w{cx}:{cy}" for cx in range(nx) for cy in range(ny)]
+
+    def _phases(self, cell_id: str) -> Tuple[float, float, float]:
+        phases = self._cell_phase.get(cell_id)
+        if phases is None:
+            rng = random.Random(f"{self.seed}:{cell_id}")
+            phases = (rng.uniform(0, 2 * math.pi), rng.uniform(0, 2 * math.pi), rng.uniform(0, 2 * math.pi))
+            self._cell_phase[cell_id] = phases
+        return phases
+
+    # -- sampling ----------------------------------------------------------------------------
+
+    def sample(self, lon: float, lat: float, timestamp: float) -> WeatherSample:
+        """Weather at an arbitrary position and time."""
+        cell_id = self.cell_of(lon, lat)
+        p1, p2, p3 = self._phases(cell_id)
+        day = 86_400.0
+        # Slow oscillations (periods of ~6h, ~13h and ~27h) combined into a "badness" score.
+        badness = (
+            0.5
+            + 0.3 * math.sin(2 * math.pi * timestamp / (6 * 3600) + p1)
+            + 0.25 * math.sin(2 * math.pi * timestamp / (13 * 3600) + p2)
+            + 0.2 * math.sin(2 * math.pi * timestamp / (27 * 3600) + p3)
+        )
+        temperature = 8.0 + 8.0 * math.sin(2 * math.pi * ((timestamp % day) / day) - 1.3) + 3.0 * math.sin(p1)
+        if badness < 0.45:
+            condition = WeatherCondition.CLEAR
+        elif badness < 0.7:
+            condition = WeatherCondition.RAIN
+        elif badness < 0.85:
+            condition = WeatherCondition.HEAVY_RAIN if temperature > 1.0 else WeatherCondition.SNOW
+        else:
+            condition = WeatherCondition.FOG if temperature < 12.0 else WeatherCondition.HEAVY_RAIN
+        intensity = max(0.0, min(1.0, (badness - 0.3) / 0.7))
+        visibility = 12_000.0 * (1.0 - 0.85 * intensity if condition is not WeatherCondition.FOG else 0.08)
+        center_lon, center_lat = self.cell_center(cell_id)
+        return WeatherSample(
+            cell_id=cell_id,
+            lon=center_lon,
+            lat=center_lat,
+            timestamp=timestamp,
+            condition=condition,
+            intensity=intensity,
+            temperature_c=temperature,
+            visibility_m=max(50.0, visibility),
+        )
+
+    def stream(self, start: float, duration: float, interval: float = 600.0) -> Iterator[WeatherSample]:
+        """Periodic samples for every cell (the weather "stream" joined in Q4)."""
+        t = start
+        while t < start + duration:
+            for cell_id in self.cells():
+                lon, lat = self.cell_center(cell_id)
+                yield self.sample(lon, lat, t)
+            t += interval
+
+    def __repr__(self) -> str:
+        return f"WeatherSimulator(cell_size={self.cell_size}, seed={self.seed})"

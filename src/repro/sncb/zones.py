@@ -1,0 +1,205 @@
+"""Geographic zones used by the demonstration queries.
+
+The queries rely on several classes of static geometry:
+
+* **maintenance zones** (Q1) — stretches of track under work where
+  non-essential alerts are suppressed;
+* **noise-sensitive areas** (Q2) — neighbourhoods around major stations
+  where exterior noise must stay low;
+* **speed-restriction zones** (Q3) — sharp curves and construction sites
+  with a reduced limit;
+* **weather cells** (Q4) — the grid at which the weather substitute reports
+  conditions;
+* **station areas** and **workshops** (Q5, Q7) — places where a stop is
+  scheduled / where a struggling train can be serviced.
+
+The :class:`ZoneCatalog` derives all of these deterministically from a rail
+network and a seed, and exposes per-type spatial indexes for the operators.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ScenarioError
+from repro.sncb.network import RailNetwork, Route
+from repro.spatial.geometry import Circle, Geometry, Point, Polygon
+from repro.spatial.index import GridIndex
+from repro.spatial.measure import degrees_for_metres, haversine
+
+
+class ZoneType(enum.Enum):
+    """Kinds of zones the queries reference."""
+
+    MAINTENANCE = "maintenance"
+    NOISE_SENSITIVE = "noise_sensitive"
+    SPEED_RESTRICTION = "speed_restriction"
+    STATION_AREA = "station_area"
+    WORKSHOP = "workshop"
+
+
+@dataclass
+class Zone:
+    """A named zone with a geometry and free-form attributes (e.g. speed limits)."""
+
+    zone_id: str
+    zone_type: ZoneType
+    geometry: Geometry
+    name: str = ""
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    def contains(self, point: Point) -> bool:
+        return self.geometry.contains_point(point)
+
+    def __repr__(self) -> str:
+        return f"Zone({self.zone_id!r}, {self.zone_type.value})"
+
+
+class ZoneCatalog:
+    """All zones of a scenario, with per-type spatial indexes."""
+
+    def __init__(self, zones: Iterable[Zone], cell_size: float = 0.05) -> None:
+        self.zones: Dict[str, Zone] = {}
+        self._by_type: Dict[ZoneType, List[Zone]] = {t: [] for t in ZoneType}
+        for zone in zones:
+            if zone.zone_id in self.zones:
+                raise ScenarioError(f"duplicate zone id {zone.zone_id!r}")
+            self.zones[zone.zone_id] = zone
+            self._by_type[zone.zone_type].append(zone)
+        self._indexes: Dict[ZoneType, GridIndex] = {}
+        for zone_type, members in self._by_type.items():
+            index = GridIndex(cell_size)
+            for zone in members:
+                index.insert(zone.zone_id, zone.geometry)
+            self._indexes[zone_type] = index
+
+    # -- construction -----------------------------------------------------------------
+
+    @classmethod
+    def for_network(
+        cls,
+        network: RailNetwork,
+        routes: Sequence[Route],
+        seed: int = 7,
+        maintenance_per_route: int = 2,
+        speed_zones_per_route: int = 3,
+    ) -> "ZoneCatalog":
+        """Derive a plausible zone catalog from the network and the routes in use."""
+        rng = random.Random(seed)
+        zones: List[Zone] = []
+
+        # Station areas: a ~600 m circle around every station on a used route.
+        used_stations = sorted({code for route in routes for code in route.path})
+        for code in used_stations:
+            station = network.station(code)
+            zones.append(
+                Zone(
+                    zone_id=f"station:{code}",
+                    zone_type=ZoneType.STATION_AREA,
+                    geometry=Circle(station.point, 600.0, haversine),
+                    name=f"{station.name} station area",
+                )
+            )
+
+        # Workshops: near a third of the used stations, offset ~2 km from the station.
+        for code in used_stations[:: max(1, len(used_stations) // 5) or 1][:5]:
+            station = network.station(code)
+            offset = degrees_for_metres(2000.0, station.lat)
+            center = Point(station.lon + offset, station.lat + offset / 2.0)
+            zones.append(
+                Zone(
+                    zone_id=f"workshop:{code}",
+                    zone_type=ZoneType.WORKSHOP,
+                    geometry=Circle(center, 800.0, haversine),
+                    name=f"{station.name} workshop",
+                    attributes={"capacity": rng.randint(2, 6)},
+                )
+            )
+
+        # Noise-sensitive areas: rectangles around the major city stations.
+        for code in used_stations:
+            station = network.station(code)
+            if not station.major:
+                continue
+            half = degrees_for_metres(2500.0, station.lat)
+            zones.append(
+                Zone(
+                    zone_id=f"noise:{code}",
+                    zone_type=ZoneType.NOISE_SENSITIVE,
+                    geometry=Polygon.rectangle(
+                        station.lon - half, station.lat - half, station.lon + half, station.lat + half
+                    ),
+                    name=f"{station.name} neighbourhood",
+                    attributes={"max_noise_db": 72.0},
+                )
+            )
+
+        # Maintenance zones and speed-restriction zones along each route.
+        for route_index, route in enumerate(routes):
+            for i in range(maintenance_per_route):
+                # Biased towards the first half of the route so trains starting at the
+                # route head reach at least one maintenance zone within a short scenario.
+                fraction = rng.uniform(0.05, 0.55)
+                center = route.position_at(fraction * route.length_m)
+                zones.append(
+                    Zone(
+                        zone_id=f"maintenance:{route_index}:{i}",
+                        zone_type=ZoneType.MAINTENANCE,
+                        geometry=Circle(center, rng.uniform(1200.0, 2500.0), haversine),
+                        name=f"maintenance works {route_index}.{i}",
+                        attributes={"suppress_alerts": ["speeding", "equipment"]},
+                    )
+                )
+            for i in range(speed_zones_per_route):
+                fraction = rng.uniform(0.1, 0.9)
+                center = route.position_at(fraction * route.length_m)
+                limit = rng.choice([60.0, 80.0, 100.0])
+                zones.append(
+                    Zone(
+                        zone_id=f"speed:{route_index}:{i}",
+                        zone_type=ZoneType.SPEED_RESTRICTION,
+                        geometry=Circle(center, rng.uniform(900.0, 1800.0), haversine),
+                        name=f"speed restriction {route_index}.{i}",
+                        attributes={"speed_limit_kmh": limit, "reason": rng.choice(["curve", "construction"])},
+                    )
+                )
+
+        return cls(zones)
+
+    # -- lookup -----------------------------------------------------------------------------
+
+    def by_type(self, zone_type: ZoneType) -> List[Zone]:
+        return list(self._by_type[zone_type])
+
+    def index(self, zone_type: ZoneType) -> GridIndex:
+        """Spatial index over the zones of one type."""
+        return self._indexes[zone_type]
+
+    def zone(self, zone_id: str) -> Zone:
+        try:
+            return self.zones[zone_id]
+        except KeyError:
+            raise ScenarioError(f"unknown zone {zone_id!r}") from None
+
+    def attributes_map(self, zone_type: ZoneType) -> Dict[str, Dict[str, object]]:
+        """zone_id -> attributes for a zone type (used by the spatial-join operator)."""
+        return {z.zone_id: dict(z.attributes) for z in self._by_type[zone_type]}
+
+    def containing(self, point: Point, zone_type: Optional[ZoneType] = None) -> List[Zone]:
+        """Zones containing a point, optionally restricted to one type."""
+        types = [zone_type] if zone_type is not None else list(ZoneType)
+        result: List[Zone] = []
+        for t in types:
+            for zone_id, _ in self._indexes[t].containing(point):
+                result.append(self.zones[zone_id])
+        return result
+
+    def __len__(self) -> int:
+        return len(self.zones)
+
+    def __repr__(self) -> str:
+        counts = {t.value: len(members) for t, members in self._by_type.items() if members}
+        return f"ZoneCatalog({counts})"

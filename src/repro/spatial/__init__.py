@@ -1,0 +1,46 @@
+"""Spatial geometry substrate.
+
+A small, dependency-free planar/geodesic geometry library providing the
+primitives MEOS builds on (points, linestrings, polygons, bounding boxes,
+distance computations and spatial predicates).  Coordinates are interpreted
+either as planar metres or as lon/lat degrees, depending on the
+:class:`~repro.spatial.measure.Metric` in use.
+"""
+
+from repro.spatial.bbox import Box2D
+from repro.spatial.geometry import (
+    Circle,
+    Geometry,
+    LineString,
+    MultiPoint,
+    Point,
+    Polygon,
+)
+from repro.spatial.measure import (
+    EARTH_RADIUS_M,
+    CartesianMetric,
+    HaversineMetric,
+    Metric,
+    cartesian,
+    haversine,
+    haversine_distance,
+)
+from repro.spatial.index import GridIndex
+
+__all__ = [
+    "Box2D",
+    "Circle",
+    "Geometry",
+    "LineString",
+    "MultiPoint",
+    "Point",
+    "Polygon",
+    "Metric",
+    "CartesianMetric",
+    "HaversineMetric",
+    "cartesian",
+    "haversine",
+    "haversine_distance",
+    "EARTH_RADIUS_M",
+    "GridIndex",
+]

@@ -1,0 +1,195 @@
+"""Low-level computational-geometry routines.
+
+These operate on raw coordinate tuples so that the :mod:`repro.spatial.geometry`
+classes stay thin wrappers.  All routines are planar; geodesic distances are
+handled by passing a :class:`~repro.spatial.measure.Metric` where relevant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+Coordinate = Tuple[float, float]
+
+
+def segment_length(a: Coordinate, b: Coordinate) -> float:
+    """Planar length of the segment ``a``–``b``."""
+    return math.hypot(b[0] - a[0], b[1] - a[1])
+
+
+def closest_point_on_segment(p: Coordinate, a: Coordinate, b: Coordinate) -> Coordinate:
+    """The point of segment ``a``–``b`` closest to ``p`` (planar)."""
+    ax, ay = a
+    bx, by = b
+    px, py = p
+    dx, dy = bx - ax, by - ay
+    seg_sq = dx * dx + dy * dy
+    if seg_sq == 0.0:
+        return a
+    t = ((px - ax) * dx + (py - ay) * dy) / seg_sq
+    t = min(1.0, max(0.0, t))
+    return (ax + t * dx, ay + t * dy)
+
+
+def point_segment_distance(p: Coordinate, a: Coordinate, b: Coordinate) -> float:
+    """Planar distance from point ``p`` to segment ``a``–``b``."""
+    cx, cy = closest_point_on_segment(p, a, b)
+    return math.hypot(p[0] - cx, p[1] - cy)
+
+
+def _orientation(a: Coordinate, b: Coordinate, c: Coordinate) -> int:
+    """Orientation of the ordered triple: 1 counter-clockwise, -1 clockwise, 0 collinear."""
+    cross = (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+    if cross > 1e-15:
+        return 1
+    if cross < -1e-15:
+        return -1
+    return 0
+
+
+def _on_segment(a: Coordinate, b: Coordinate, p: Coordinate) -> bool:
+    """Whether collinear point ``p`` lies on segment ``a``–``b``."""
+    return (
+        min(a[0], b[0]) - 1e-12 <= p[0] <= max(a[0], b[0]) + 1e-12
+        and min(a[1], b[1]) - 1e-12 <= p[1] <= max(a[1], b[1]) + 1e-12
+    )
+
+
+def segments_intersect(a1: Coordinate, a2: Coordinate, b1: Coordinate, b2: Coordinate) -> bool:
+    """Whether segments ``a1``–``a2`` and ``b1``–``b2`` intersect (including touching)."""
+    o1 = _orientation(a1, a2, b1)
+    o2 = _orientation(a1, a2, b2)
+    o3 = _orientation(b1, b2, a1)
+    o4 = _orientation(b1, b2, a2)
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and _on_segment(a1, a2, b1):
+        return True
+    if o2 == 0 and _on_segment(a1, a2, b2):
+        return True
+    if o3 == 0 and _on_segment(b1, b2, a1):
+        return True
+    if o4 == 0 and _on_segment(b1, b2, a2):
+        return True
+    return False
+
+
+def segment_segment_distance(
+    a1: Coordinate, a2: Coordinate, b1: Coordinate, b2: Coordinate
+) -> float:
+    """Planar distance between two segments (0 when they intersect)."""
+    if segments_intersect(a1, a2, b1, b2):
+        return 0.0
+    return min(
+        point_segment_distance(a1, b1, b2),
+        point_segment_distance(a2, b1, b2),
+        point_segment_distance(b1, a1, a2),
+        point_segment_distance(b2, a1, a2),
+    )
+
+
+def point_in_ring(p: Coordinate, ring: Sequence[Coordinate]) -> bool:
+    """Ray-casting point-in-polygon test for a closed ring.
+
+    The ring may or may not repeat its first coordinate at the end.  Points on
+    the boundary are reported as inside.
+    """
+    coords = list(ring)
+    if coords[0] == coords[-1]:
+        coords = coords[:-1]
+    n = len(coords)
+    if n < 3:
+        return False
+    x, y = p
+    inside = False
+    for i in range(n):
+        x1, y1 = coords[i]
+        x2, y2 = coords[(i + 1) % n]
+        if point_segment_distance(p, (x1, y1), (x2, y2)) < 1e-12:
+            return True
+        if (y1 > y) != (y2 > y):
+            x_cross = x1 + (y - y1) * (x2 - x1) / (y2 - y1)
+            if x < x_cross:
+                inside = not inside
+    return inside
+
+
+def polyline_length(coords: Sequence[Coordinate]) -> float:
+    """Planar length of a polyline."""
+    return sum(segment_length(a, b) for a, b in zip(coords[:-1], coords[1:]))
+
+
+def point_polyline_distance(p: Coordinate, coords: Sequence[Coordinate]) -> float:
+    """Planar distance from a point to a polyline."""
+    if len(coords) == 1:
+        return math.hypot(p[0] - coords[0][0], p[1] - coords[0][1])
+    return min(point_segment_distance(p, a, b) for a, b in zip(coords[:-1], coords[1:]))
+
+
+def ring_area(ring: Sequence[Coordinate]) -> float:
+    """Signed area of a ring via the shoelace formula (positive = counter-clockwise)."""
+    coords = list(ring)
+    if coords[0] != coords[-1]:
+        coords = coords + [coords[0]]
+    area = 0.0
+    for (x1, y1), (x2, y2) in zip(coords[:-1], coords[1:]):
+        area += x1 * y2 - x2 * y1
+    return area / 2.0
+
+
+def ring_centroid(ring: Sequence[Coordinate]) -> Coordinate:
+    """Centroid of a simple ring; falls back to the vertex mean for degenerate rings."""
+    coords = list(ring)
+    if coords[0] != coords[-1]:
+        coords = coords + [coords[0]]
+    area = ring_area(coords)
+    if abs(area) < 1e-15:
+        xs = [c[0] for c in coords[:-1]]
+        ys = [c[1] for c in coords[:-1]]
+        return (sum(xs) / len(xs), sum(ys) / len(ys))
+    cx = cy = 0.0
+    for (x1, y1), (x2, y2) in zip(coords[:-1], coords[1:]):
+        cross = x1 * y2 - x2 * y1
+        cx += (x1 + x2) * cross
+        cy += (y1 + y2) * cross
+    return (cx / (6.0 * area), cy / (6.0 * area))
+
+
+def interpolate_along(coords: Sequence[Coordinate], fraction: float) -> Coordinate:
+    """The point at ``fraction`` (0..1) of the way along a polyline (by planar length)."""
+    fraction = min(1.0, max(0.0, fraction))
+    if len(coords) == 1:
+        return coords[0]
+    total = polyline_length(coords)
+    if total == 0.0:
+        return coords[0]
+    target = fraction * total
+    walked = 0.0
+    for a, b in zip(coords[:-1], coords[1:]):
+        step = segment_length(a, b)
+        if walked + step >= target:
+            remaining = target - walked
+            t = 0.0 if step == 0 else remaining / step
+            return (a[0] + (b[0] - a[0]) * t, a[1] + (b[1] - a[1]) * t)
+        walked += step
+    return coords[-1]
+
+
+def douglas_peucker(coords: Sequence[Coordinate], tolerance: float) -> List[Coordinate]:
+    """Douglas–Peucker polyline simplification."""
+    if len(coords) < 3:
+        return list(coords)
+    first, last = coords[0], coords[-1]
+    max_dist = -1.0
+    index = 0
+    for i in range(1, len(coords) - 1):
+        dist = point_segment_distance(coords[i], first, last)
+        if dist > max_dist:
+            max_dist = dist
+            index = i
+    if max_dist > tolerance:
+        left = douglas_peucker(coords[: index + 1], tolerance)
+        right = douglas_peucker(coords[index:], tolerance)
+        return left[:-1] + right
+    return [first, last]

@@ -1,0 +1,122 @@
+"""Axis-aligned 2D bounding boxes."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.errors import SpatialError
+
+
+class Box2D:
+    """An axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``.
+
+    Bounding boxes are the workhorse of spatial filtering in MEOS: every
+    geometry and temporal point carries one, and box/box tests prune the more
+    expensive exact predicates.
+    """
+
+    __slots__ = ("xmin", "ymin", "xmax", "ymax")
+
+    def __init__(self, xmin: float, ymin: float, xmax: float, ymax: float) -> None:
+        if xmin > xmax or ymin > ymax:
+            raise SpatialError(
+                f"invalid box: ({xmin}, {ymin}) must not exceed ({xmax}, {ymax})"
+            )
+        self.xmin = float(xmin)
+        self.ymin = float(ymin)
+        self.xmax = float(xmax)
+        self.ymax = float(ymax)
+
+    @classmethod
+    def from_points(cls, points: Iterable[Tuple[float, float]]) -> "Box2D":
+        """Smallest box covering the given ``(x, y)`` coordinates."""
+        xs, ys = [], []
+        for x, y in points:
+            xs.append(float(x))
+            ys.append(float(y))
+        if not xs:
+            raise SpatialError("cannot build a box from zero points")
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return ((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    # -- predicates -----------------------------------------------------------
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def contains_box(self, other: "Box2D") -> bool:
+        return (
+            self.xmin <= other.xmin
+            and self.xmax >= other.xmax
+            and self.ymin <= other.ymin
+            and self.ymax >= other.ymax
+        )
+
+    def intersects(self, other: "Box2D") -> bool:
+        return not (
+            self.xmax < other.xmin
+            or other.xmax < self.xmin
+            or self.ymax < other.ymin
+            or other.ymax < self.ymin
+        )
+
+    # -- operations -------------------------------------------------------------
+
+    def intersection(self, other: "Box2D") -> Optional["Box2D"]:
+        if not self.intersects(other):
+            return None
+        return Box2D(
+            max(self.xmin, other.xmin),
+            max(self.ymin, other.ymin),
+            min(self.xmax, other.xmax),
+            min(self.ymax, other.ymax),
+        )
+
+    def union(self, other: "Box2D") -> "Box2D":
+        return Box2D(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def expand(self, margin: float) -> "Box2D":
+        """A copy grown by ``margin`` on every side."""
+        if margin < 0:
+            raise SpatialError("expand margin must be non-negative")
+        return Box2D(self.xmin - margin, self.ymin - margin, self.xmax + margin, self.ymax + margin)
+
+    # -- dunder ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Box2D):
+            return NotImplemented
+        return (self.xmin, self.ymin, self.xmax, self.ymax) == (
+            other.xmin,
+            other.ymin,
+            other.xmax,
+            other.ymax,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.xmin, self.ymin, self.xmax, self.ymax))
+
+    def __repr__(self) -> str:
+        return f"Box2D({self.xmin}, {self.ymin}, {self.xmax}, {self.ymax})"

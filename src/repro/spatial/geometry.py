@@ -1,0 +1,365 @@
+"""Geometry classes: Point, MultiPoint, LineString, Polygon, Circle.
+
+The classes are deliberately small: they wrap coordinate tuples, carry a
+bounding box, and expose the predicates MEOS-style operations need
+(``distance``, ``contains``, ``intersects``, ``within_distance``).  Exact
+planar algorithms live in :mod:`repro.spatial.algorithms`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SpatialError
+from repro.spatial import algorithms
+from repro.spatial.bbox import Box2D
+from repro.spatial.measure import Metric, cartesian
+
+Coordinate = Tuple[float, float]
+
+
+class Geometry:
+    """Base class for all geometries."""
+
+    geom_type = "Geometry"
+
+    def bounds(self) -> Box2D:
+        """Axis-aligned bounding box."""
+        raise NotImplementedError
+
+    def distance(self, other: "Geometry", metric: Metric = cartesian) -> float:
+        """Shortest distance to another geometry."""
+        raise NotImplementedError
+
+    def contains_point(self, point: "Point") -> bool:
+        """Whether the geometry contains the given point."""
+        raise NotImplementedError
+
+    def within_distance(self, other: "Geometry", distance: float, metric: Metric = cartesian) -> bool:
+        """Whether the two geometries come within ``distance`` of each other."""
+        return self.distance(other, metric) <= distance
+
+    def to_geojson(self) -> dict:
+        """GeoJSON ``geometry`` member."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{self.geom_type}>"
+
+
+class Point(Geometry):
+    """A 2D point.  Supports linear interpolation, which makes it usable as the
+    base value of a temporal sequence (temporal point)."""
+
+    geom_type = "Point"
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: float, y: float) -> None:
+        self.x = float(x)
+        self.y = float(y)
+
+    @property
+    def coords(self) -> Coordinate:
+        return (self.x, self.y)
+
+    def bounds(self) -> Box2D:
+        return Box2D(self.x, self.y, self.x, self.y)
+
+    def interpolate(self, other: "Point", fraction: float) -> "Point":
+        """Linear interpolation towards ``other`` (used by temporal sequences)."""
+        fraction = min(1.0, max(0.0, fraction))
+        return Point(self.x + (other.x - self.x) * fraction, self.y + (other.y - self.y) * fraction)
+
+    def distance(self, other: Geometry, metric: Metric = cartesian) -> float:
+        if isinstance(other, Point):
+            return metric.distance(self.coords, other.coords)
+        return other.distance(self, metric)
+
+    def contains_point(self, point: "Point") -> bool:
+        return math.isclose(self.x, point.x) and math.isclose(self.y, point.y)
+
+    def to_geojson(self) -> dict:
+        return {"type": "Point", "coordinates": [self.x, self.y]}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        return self.x == other.x and self.y == other.y
+
+    def __hash__(self) -> int:
+        return hash((self.x, self.y))
+
+    def __repr__(self) -> str:
+        return f"Point({self.x}, {self.y})"
+
+
+class MultiPoint(Geometry):
+    """A collection of points."""
+
+    geom_type = "MultiPoint"
+    __slots__ = ("points",)
+
+    def __init__(self, points: Iterable[Point]) -> None:
+        self.points: List[Point] = list(points)
+        if not self.points:
+            raise SpatialError("a MultiPoint needs at least one point")
+
+    def bounds(self) -> Box2D:
+        return Box2D.from_points(p.coords for p in self.points)
+
+    def distance(self, other: Geometry, metric: Metric = cartesian) -> float:
+        return min(p.distance(other, metric) for p in self.points)
+
+    def contains_point(self, point: Point) -> bool:
+        return any(p == point for p in self.points)
+
+    def to_geojson(self) -> dict:
+        return {"type": "MultiPoint", "coordinates": [[p.x, p.y] for p in self.points]}
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __repr__(self) -> str:
+        return f"MultiPoint({len(self.points)} points)"
+
+
+class LineString(Geometry):
+    """An ordered polyline of at least two coordinates."""
+
+    geom_type = "LineString"
+    __slots__ = ("coords",)
+
+    def __init__(self, coords: Iterable[Coordinate]) -> None:
+        self.coords: List[Coordinate] = [(float(x), float(y)) for x, y in coords]
+        if len(self.coords) < 2:
+            raise SpatialError("a LineString needs at least two coordinates")
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "LineString":
+        return cls(p.coords for p in points)
+
+    def bounds(self) -> Box2D:
+        return Box2D.from_points(self.coords)
+
+    def length(self, metric: Metric = cartesian) -> float:
+        """Length of the polyline under the given metric."""
+        return sum(
+            metric.distance(a, b) for a, b in zip(self.coords[:-1], self.coords[1:])
+        )
+
+    def interpolate(self, fraction: float) -> Point:
+        """The point at a fraction (0..1) of the planar length."""
+        x, y = algorithms.interpolate_along(self.coords, fraction)
+        return Point(x, y)
+
+    def simplify(self, tolerance: float) -> "LineString":
+        """Douglas–Peucker simplification."""
+        simplified = algorithms.douglas_peucker(self.coords, tolerance)
+        if len(simplified) < 2:
+            simplified = [self.coords[0], self.coords[-1]]
+        return LineString(simplified)
+
+    def distance(self, other: Geometry, metric: Metric = cartesian) -> float:
+        if isinstance(other, Point):
+            if metric is cartesian:
+                return algorithms.point_polyline_distance(other.coords, self.coords)
+            # Geodesic point-polyline distance: approximate with the closest planar point.
+            best = math.inf
+            for a, b in zip(self.coords[:-1], self.coords[1:]):
+                cx, cy = algorithms.closest_point_on_segment(other.coords, a, b)
+                best = min(best, metric.distance(other.coords, (cx, cy)))
+            return best
+        if isinstance(other, LineString):
+            best = math.inf
+            for a1, a2 in zip(self.coords[:-1], self.coords[1:]):
+                for b1, b2 in zip(other.coords[:-1], other.coords[1:]):
+                    if metric is cartesian:
+                        dist = algorithms.segment_segment_distance(a1, a2, b1, b2)
+                    else:
+                        if algorithms.segments_intersect(a1, a2, b1, b2):
+                            return 0.0
+                        dist = min(
+                            metric.distance(a1, algorithms.closest_point_on_segment(a1, b1, b2)),
+                            metric.distance(a2, algorithms.closest_point_on_segment(a2, b1, b2)),
+                            metric.distance(b1, algorithms.closest_point_on_segment(b1, a1, a2)),
+                            metric.distance(b2, algorithms.closest_point_on_segment(b2, a1, a2)),
+                        )
+                    best = min(best, dist)
+            return best
+        return other.distance(self, metric)
+
+    def contains_point(self, point: Point) -> bool:
+        return algorithms.point_polyline_distance(point.coords, self.coords) < 1e-9
+
+    def intersects(self, other: "LineString") -> bool:
+        """Whether the two polylines cross or touch."""
+        for a1, a2 in zip(self.coords[:-1], self.coords[1:]):
+            for b1, b2 in zip(other.coords[:-1], other.coords[1:]):
+                if algorithms.segments_intersect(a1, a2, b1, b2):
+                    return True
+        return False
+
+    def to_geojson(self) -> dict:
+        return {"type": "LineString", "coordinates": [[x, y] for x, y in self.coords]}
+
+    def __len__(self) -> int:
+        return len(self.coords)
+
+    def __repr__(self) -> str:
+        return f"LineString({len(self.coords)} coords)"
+
+
+class Polygon(Geometry):
+    """A simple polygon with an exterior ring and optional holes."""
+
+    geom_type = "Polygon"
+    __slots__ = ("exterior", "holes")
+
+    def __init__(
+        self,
+        exterior: Iterable[Coordinate],
+        holes: Optional[Iterable[Iterable[Coordinate]]] = None,
+    ) -> None:
+        self.exterior: List[Coordinate] = [(float(x), float(y)) for x, y in exterior]
+        if len(self.exterior) < 3:
+            raise SpatialError("a Polygon exterior needs at least three coordinates")
+        if self.exterior[0] != self.exterior[-1]:
+            self.exterior.append(self.exterior[0])
+        self.holes: List[List[Coordinate]] = []
+        for hole in holes or []:
+            ring = [(float(x), float(y)) for x, y in hole]
+            if ring and ring[0] != ring[-1]:
+                ring.append(ring[0])
+            if len(ring) >= 4:
+                self.holes.append(ring)
+
+    @classmethod
+    def rectangle(cls, xmin: float, ymin: float, xmax: float, ymax: float) -> "Polygon":
+        """Axis-aligned rectangular polygon."""
+        return cls([(xmin, ymin), (xmax, ymin), (xmax, ymax), (xmin, ymax)])
+
+    @classmethod
+    def from_box(cls, box: Box2D) -> "Polygon":
+        return cls.rectangle(box.xmin, box.ymin, box.xmax, box.ymax)
+
+    @classmethod
+    def regular(cls, center: Point, radius: float, sides: int = 24) -> "Polygon":
+        """Regular polygon approximating a circle of ``radius`` around ``center``."""
+        if sides < 3:
+            raise SpatialError("a regular polygon needs at least three sides")
+        coords = [
+            (
+                center.x + radius * math.cos(2.0 * math.pi * i / sides),
+                center.y + radius * math.sin(2.0 * math.pi * i / sides),
+            )
+            for i in range(sides)
+        ]
+        return cls(coords)
+
+    def bounds(self) -> Box2D:
+        return Box2D.from_points(self.exterior)
+
+    def area(self) -> float:
+        """Planar area (exterior minus holes)."""
+        area = abs(algorithms.ring_area(self.exterior))
+        for hole in self.holes:
+            area -= abs(algorithms.ring_area(hole))
+        return area
+
+    def centroid(self) -> Point:
+        x, y = algorithms.ring_centroid(self.exterior)
+        return Point(x, y)
+
+    def contains_point(self, point: Point) -> bool:
+        if not self.bounds().contains_point(point.x, point.y):
+            return False
+        if not algorithms.point_in_ring(point.coords, self.exterior):
+            return False
+        for hole in self.holes:
+            if algorithms.point_in_ring(point.coords, hole):
+                return False
+        return True
+
+    def distance(self, other: Geometry, metric: Metric = cartesian) -> float:
+        if isinstance(other, Point):
+            if self.contains_point(other):
+                return 0.0
+            boundary = LineString(self.exterior)
+            return boundary.distance(other, metric)
+        if isinstance(other, LineString):
+            if any(self.contains_point(Point(x, y)) for x, y in other.coords):
+                return 0.0
+            return LineString(self.exterior).distance(other, metric)
+        if isinstance(other, Polygon):
+            if any(self.contains_point(Point(x, y)) for x, y in other.exterior):
+                return 0.0
+            if any(other.contains_point(Point(x, y)) for x, y in self.exterior):
+                return 0.0
+            return LineString(self.exterior).distance(LineString(other.exterior), metric)
+        return other.distance(self, metric)
+
+    def intersects_linestring(self, line: LineString) -> bool:
+        """Whether the polyline enters or touches the polygon."""
+        if any(self.contains_point(Point(x, y)) for x, y in line.coords):
+            return True
+        return LineString(self.exterior).intersects(line)
+
+    def to_geojson(self) -> dict:
+        rings = [[[x, y] for x, y in self.exterior]]
+        rings.extend([[x, y] for x, y in hole] for hole in self.holes)
+        return {"type": "Polygon", "coordinates": rings}
+
+    def __repr__(self) -> str:
+        return f"Polygon({len(self.exterior) - 1} vertices, {len(self.holes)} holes)"
+
+
+class Circle(Geometry):
+    """A circle defined by a center and a radius (in metric units).
+
+    Circles are how the paper's "dynamic geofences in a radius from the
+    center" are modelled; distance and containment use the configured metric,
+    so a lon/lat center with a radius in metres works with the haversine
+    metric.
+    """
+
+    geom_type = "Circle"
+    __slots__ = ("center", "radius", "metric")
+
+    def __init__(self, center: Point, radius: float, metric: Metric = cartesian) -> None:
+        if radius < 0:
+            raise SpatialError("a Circle radius must be non-negative")
+        self.center = center
+        self.radius = float(radius)
+        self.metric = metric
+
+    def bounds(self) -> Box2D:
+        # For haversine metrics the box in degrees is approximate but conservative enough
+        # for indexing purposes (1 degree >= ~78 km anywhere in Belgium).
+        if self.metric is cartesian:
+            r = self.radius
+        else:
+            r = self.radius / 78_000.0
+        return Box2D(self.center.x - r, self.center.y - r, self.center.x + r, self.center.y + r)
+
+    def contains_point(self, point: Point) -> bool:
+        return self.metric.distance(self.center.coords, point.coords) <= self.radius
+
+    def distance(self, other: Geometry, metric: Metric = None) -> float:  # type: ignore[assignment]
+        metric = metric or self.metric
+        center_distance = self.center.distance(other, metric)
+        return max(0.0, center_distance - self.radius)
+
+    def to_polygon(self, sides: int = 32) -> Polygon:
+        """Polygonal approximation (planar radius)."""
+        return Polygon.regular(self.center, self.radius, sides)
+
+    def to_geojson(self) -> dict:
+        return {
+            "type": "Point",
+            "coordinates": [self.center.x, self.center.y],
+            "radius": self.radius,
+        }
+
+    def __repr__(self) -> str:
+        return f"Circle(center={self.center!r}, radius={self.radius})"

@@ -1,0 +1,79 @@
+"""A uniform grid spatial index.
+
+MEOS-style processing prunes expensive exact spatial predicates with bounding
+boxes.  On the streaming side we index the static geometries (geofences,
+zones, stations) once and probe the index with each incoming GPS fix, so the
+per-event cost stays bounded even with many zones.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import SpatialError
+from repro.spatial.bbox import Box2D
+from repro.spatial.geometry import Geometry, Point
+
+
+class GridIndex:
+    """Bucket geometries into fixed-size grid cells keyed by their bounding boxes."""
+
+    def __init__(self, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise SpatialError("cell_size must be positive")
+        self.cell_size = float(cell_size)
+        self._cells: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        self._items: List[Tuple[object, Geometry, Box2D]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def _cell_range(self, box: Box2D) -> Iterator[Tuple[int, int]]:
+        x0 = math.floor(box.xmin / self.cell_size)
+        x1 = math.floor(box.xmax / self.cell_size)
+        y0 = math.floor(box.ymin / self.cell_size)
+        y1 = math.floor(box.ymax / self.cell_size)
+        for cx in range(x0, x1 + 1):
+            for cy in range(y0, y1 + 1):
+                yield (cx, cy)
+
+    def insert(self, key: object, geometry: Geometry) -> None:
+        """Add a geometry under an application-level key (e.g. a zone id)."""
+        box = geometry.bounds()
+        index = len(self._items)
+        self._items.append((key, geometry, box))
+        for cell in self._cell_range(box):
+            self._cells[cell].append(index)
+
+    def query_box(self, box: Box2D) -> List[Tuple[object, Geometry]]:
+        """All (key, geometry) pairs whose bounding box intersects ``box``."""
+        seen: Set[int] = set()
+        results: List[Tuple[object, Geometry]] = []
+        for cell in self._cell_range(box):
+            for index in self._cells.get(cell, ()):  # pragma: no branch
+                if index in seen:
+                    continue
+                seen.add(index)
+                key, geometry, item_box = self._items[index]
+                if item_box.intersects(box):
+                    results.append((key, geometry))
+        return results
+
+    def query_point(self, point: Point, margin: float = 0.0) -> List[Tuple[object, Geometry]]:
+        """Candidate geometries near a point (bounding-box level)."""
+        box = Box2D(point.x - margin, point.y - margin, point.x + margin, point.y + margin)
+        return self.query_box(box)
+
+    def containing(self, point: Point) -> List[Tuple[object, Geometry]]:
+        """Geometries that exactly contain the point."""
+        return [
+            (key, geometry)
+            for key, geometry in self.query_point(point)
+            if geometry.contains_point(point)
+        ]
+
+    def items(self) -> Iterable[Tuple[object, Geometry]]:
+        """All indexed (key, geometry) pairs."""
+        return [(key, geometry) for key, geometry, _ in self._items]

@@ -1,0 +1,70 @@
+"""Distance metrics: planar (Cartesian) and geodesic (haversine).
+
+The SNCB scenario works in lon/lat coordinates, so distances between GPS
+fixes use the haversine formula; unit tests and micro-geometry work in planar
+metres.  Both are exposed behind the tiny :class:`Metric` interface so
+geometry algorithms can stay metric-agnostic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+EARTH_RADIUS_M = 6_371_008.8
+
+Coordinate = Tuple[float, float]
+
+
+def haversine_distance(lon1: float, lat1: float, lon2: float, lat2: float) -> float:
+    """Great-circle distance in metres between two lon/lat points."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = phi2 - phi1
+    dlambda = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlambda / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(a)))
+
+
+class Metric:
+    """Strategy interface turning coordinate pairs into distances in metres."""
+
+    name = "abstract"
+
+    def distance(self, a: Coordinate, b: Coordinate) -> float:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Metric {self.name}>"
+
+
+class CartesianMetric(Metric):
+    """Planar Euclidean distance; coordinates are metres."""
+
+    name = "cartesian"
+
+    def distance(self, a: Coordinate, b: Coordinate) -> float:
+        return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+class HaversineMetric(Metric):
+    """Great-circle distance; coordinates are (lon, lat) degrees."""
+
+    name = "haversine"
+
+    def distance(self, a: Coordinate, b: Coordinate) -> float:
+        return haversine_distance(a[0], a[1], b[0], b[1])
+
+
+cartesian = CartesianMetric()
+haversine = HaversineMetric()
+
+
+def degrees_for_metres(metres: float, latitude: float = 50.8) -> float:
+    """Approximate degree span of ``metres`` at a latitude (default: Belgium).
+
+    Used to build geofence polygons of roughly the requested size in lon/lat
+    space; the approximation averages the lon/lat scale factors.
+    """
+    lat_scale = 111_320.0
+    lon_scale = lat_scale * math.cos(math.radians(latitude))
+    return metres / ((lat_scale + lon_scale) / 2.0)

@@ -1,0 +1,112 @@
+"""A NebulaStream-like stream-processing engine (single-process, pure Python).
+
+The engine reproduces the integration surface of NebulaStream that the paper
+relies on:
+
+* :class:`Schema` / :class:`Record` — typed event streams.
+* an **expression framework** (:mod:`repro.streaming.expressions`) with field
+  access, constants, arithmetic/comparison/logical operators and named
+  function expressions that can be registered at runtime — the hook the
+  NebulaMEOS plugin uses.
+* **windows** (tumbling, sliding, threshold) and windowed aggregation.
+* a fluent **query builder** compiling to a logical plan, a small optimizer
+  and an execution engine with ingestion-rate / throughput metrics.
+* a **plugin registry** for runtime registration of expressions and
+  operators (NebulaStream's plugin mechanism).
+* a **topology / placement** model for coordinator, cloud and edge workers.
+"""
+
+from repro.streaming.record import Record, estimate_record_bytes
+from repro.streaming.schema import Field, Schema
+from repro.streaming.expressions import (
+    Expression,
+    FieldExpression,
+    ConstantExpression,
+    FunctionExpression,
+    col,
+    lit,
+    call,
+)
+from repro.streaming.windows import (
+    SlidingWindow,
+    ThresholdWindow,
+    TumblingWindow,
+    WindowAssigner,
+)
+from repro.streaming.aggregations import (
+    Aggregation,
+    Avg,
+    Count,
+    Max,
+    Min,
+    Sum,
+    Collect,
+)
+from repro.streaming.source import (
+    CSVSource,
+    GeneratorSource,
+    ListSource,
+    MergedSource,
+    Source,
+)
+from repro.streaming.sink import CallbackSink, CollectSink, FileSink, NullSink, Sink, Topic, TopicSink
+from repro.streaming.adaptivity import AdaptiveLoadShedder, SamplingOperator
+from repro.streaming.query import Query
+from repro.streaming.engine import QueryResult, StreamExecutionEngine
+from repro.streaming.plugin import PluginRegistry, default_registry
+from repro.streaming.metrics import MetricsReport
+from repro.streaming.topology import (
+    NodeSpec,
+    PlacementStrategy,
+    Topology,
+    TopologyExecution,
+)
+
+__all__ = [
+    "Record",
+    "estimate_record_bytes",
+    "Field",
+    "Schema",
+    "Expression",
+    "FieldExpression",
+    "ConstantExpression",
+    "FunctionExpression",
+    "col",
+    "lit",
+    "call",
+    "TumblingWindow",
+    "SlidingWindow",
+    "ThresholdWindow",
+    "WindowAssigner",
+    "Aggregation",
+    "Count",
+    "Sum",
+    "Avg",
+    "Min",
+    "Max",
+    "Collect",
+    "Source",
+    "ListSource",
+    "GeneratorSource",
+    "CSVSource",
+    "MergedSource",
+    "Sink",
+    "CollectSink",
+    "CallbackSink",
+    "FileSink",
+    "NullSink",
+    "Topic",
+    "TopicSink",
+    "AdaptiveLoadShedder",
+    "SamplingOperator",
+    "Query",
+    "StreamExecutionEngine",
+    "QueryResult",
+    "PluginRegistry",
+    "default_registry",
+    "MetricsReport",
+    "NodeSpec",
+    "Topology",
+    "PlacementStrategy",
+    "TopologyExecution",
+]

@@ -1,0 +1,126 @@
+"""Workload adaptivity: load shedding under event-rate oscillations.
+
+The paper emphasises that "real-time spatiotemporal processing must be both
+low-latency and workload-adaptive, adjusting to data volume and rate
+oscillations to maintain consistent throughput".  On a resource-constrained
+edge device that means shedding load when the incoming rate exceeds what the
+device can sustain, while keeping the events that matter (alerts, anomalies).
+
+Two operators implement this in event time (deterministic and therefore
+testable):
+
+* :class:`SamplingOperator` — a fixed-probability shedder (seeded).
+* :class:`AdaptiveLoadShedder` — tracks the event count per (event-time)
+  second and, whenever the rate exceeds ``target_eps``, sheds the excess —
+  but never records matching the ``priority`` predicate.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterable, Optional
+
+from repro.errors import StreamError
+from repro.streaming.expressions import Expression, wrap
+from repro.streaming.operators import Operator
+from repro.streaming.record import Record
+
+
+class SamplingOperator(Operator):
+    """Keeps each record with a fixed probability (deterministic given the seed)."""
+
+    name = "sample"
+
+    def __init__(self, keep_probability: float, seed: int = 0) -> None:
+        if not 0.0 < keep_probability <= 1.0:
+            raise StreamError("keep_probability must be in (0, 1]")
+        self.keep_probability = float(keep_probability)
+        self.rng = random.Random(seed)
+        self.seen = 0
+        self.kept = 0
+
+    def process(self, record: Record) -> Iterable[Record]:
+        self.seen += 1
+        if self.rng.random() <= self.keep_probability:
+            self.kept += 1
+            yield record
+
+    def __repr__(self) -> str:
+        return f"SamplingOperator(keep={self.keep_probability})"
+
+
+class AdaptiveLoadShedder(Operator):
+    """Sheds low-priority records whenever the event-time rate exceeds a target.
+
+    The shedder counts records per event-time second (per key when
+    ``key_field`` is given).  Once a second already holds ``target_eps``
+    records, further records in that second are dropped — unless they satisfy
+    the ``priority`` expression, which always pass (alerts must never be
+    shed).  Statistics are kept so queries/benchmarks can report the shed
+    ratio.
+    """
+
+    name = "load_shed"
+
+    def __init__(
+        self,
+        target_eps: float,
+        priority: Optional[Expression] = None,
+        key_field: Optional[str] = None,
+    ) -> None:
+        if target_eps <= 0:
+            raise StreamError("target_eps must be positive")
+        self.target_eps = float(target_eps)
+        self.priority = wrap(priority) if priority is not None else None
+        self.key_field = key_field
+        self._counts: Dict[object, int] = {}
+        self._latest_second = float("-inf")
+        self.seen = 0
+        self.shed = 0
+
+    #: Buckets older than this many seconds behind the newest event are dropped.
+    PRUNE_HORIZON_S = 600
+
+    def _bucket(self, record: Record) -> object:
+        second = math.floor(record.timestamp)
+        if self.key_field is None:
+            return second
+        return (record.get(self.key_field), second)
+
+    @staticmethod
+    def _bucket_second(bucket: object) -> float:
+        return bucket if isinstance(bucket, (int, float)) else bucket[1]
+
+    @property
+    def shed_ratio(self) -> float:
+        if self.seen == 0:
+            return 0.0
+        return self.shed / self.seen
+
+    def process(self, record: Record) -> Iterable[Record]:
+        self.seen += 1
+        if self.priority is not None and self.priority.evaluate(record):
+            yield record
+            return
+        second = math.floor(record.timestamp)
+        if second > self._latest_second:
+            self._latest_second = second
+            # Event time moves forward, so buckets far in the past are dead state.
+            if len(self._counts) > 4 * self.PRUNE_HORIZON_S:
+                threshold = second - self.PRUNE_HORIZON_S
+                self._counts = {
+                    bucket: count
+                    for bucket, count in self._counts.items()
+                    if self._bucket_second(bucket) >= threshold
+                }
+        bucket = self._bucket(record)
+        count = self._counts.get(bucket, 0)
+        if count >= self.target_eps:
+            self.shed += 1
+            return
+        self._counts[bucket] = count + 1
+        yield record
+
+    def __repr__(self) -> str:
+        return f"AdaptiveLoadShedder(target_eps={self.target_eps}, priority={self.priority!r})"

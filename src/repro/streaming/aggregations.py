@@ -1,0 +1,179 @@
+"""Aggregation functions used by windowed aggregation operators."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.errors import StreamError
+from repro.streaming.expressions import Expression, col, wrap
+from repro.streaming.record import Record
+
+
+class Aggregation:
+    """Incremental aggregation over the records of one window.
+
+    Subclasses implement ``create() -> state``, ``add(state, value) -> state``
+    and ``result(state) -> value``.  ``on`` is the expression whose value is
+    aggregated; ``output`` the name of the produced field.
+    """
+
+    default_name = "agg"
+
+    def __init__(self, on: "Expression | str | None" = None, output: Optional[str] = None) -> None:
+        if isinstance(on, str):
+            on = col(on)
+        self.on = wrap(on) if on is not None else None
+        self.output = output or self.default_name
+
+    def extract(self, record: Record) -> Any:
+        if self.on is None:
+            return None
+        return self.on.evaluate(record)
+
+    def create(self) -> Any:
+        raise NotImplementedError
+
+    def add(self, state: Any, value: Any) -> Any:
+        raise NotImplementedError
+
+    def result(self, state: Any) -> Any:
+        raise NotImplementedError
+
+    def named(self, output: str) -> "Aggregation":
+        """A copy writing its result to a different output field."""
+        clone = self.__class__.__new__(self.__class__)
+        clone.__dict__.update(self.__dict__)
+        clone.output = output
+        return clone
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}(on={self.on!r}, output={self.output!r})"
+
+
+class Count(Aggregation):
+    """Number of records in the window."""
+
+    default_name = "count"
+
+    def create(self) -> int:
+        return 0
+
+    def add(self, state: int, value: Any) -> int:
+        return state + 1
+
+    def result(self, state: int) -> int:
+        return state
+
+
+class Sum(Aggregation):
+    """Sum of a numeric expression (``None`` values are skipped)."""
+
+    default_name = "sum"
+
+    def create(self) -> float:
+        return 0.0
+
+    def add(self, state: float, value: Any) -> float:
+        if value is None:
+            return state
+        return state + float(value)
+
+    def result(self, state: float) -> float:
+        return state
+
+
+class Min(Aggregation):
+    """Minimum of an expression (``None`` values are skipped)."""
+
+    default_name = "min"
+
+    def create(self) -> Any:
+        return None
+
+    def add(self, state: Any, value: Any) -> Any:
+        if value is None:
+            return state
+        return value if state is None or value < state else state
+
+    def result(self, state: Any) -> Any:
+        return state
+
+
+class Max(Aggregation):
+    """Maximum of an expression (``None`` values are skipped)."""
+
+    default_name = "max"
+
+    def create(self) -> Any:
+        return None
+
+    def add(self, state: Any, value: Any) -> Any:
+        if value is None:
+            return state
+        return value if state is None or value > state else state
+
+    def result(self, state: Any) -> Any:
+        return state
+
+
+class Avg(Aggregation):
+    """Arithmetic mean of a numeric expression (``None`` values are skipped)."""
+
+    default_name = "avg"
+
+    def create(self) -> List[float]:
+        return [0.0, 0]
+
+    def add(self, state: List[float], value: Any) -> List[float]:
+        if value is None:
+            return state
+        return [state[0] + float(value), state[1] + 1]
+
+    def result(self, state: List[float]) -> Optional[float]:
+        if state[1] == 0:
+            return None
+        return state[0] / state[1]
+
+
+class Collect(Aggregation):
+    """Collect every value into a list (used e.g. to build trajectories per window)."""
+
+    default_name = "values"
+
+    def create(self) -> List[Any]:
+        return []
+
+    def add(self, state: List[Any], value: Any) -> List[Any]:
+        state.append(value)
+        return state
+
+    def result(self, state: List[Any]) -> List[Any]:
+        return state
+
+
+class Reduce(Aggregation):
+    """General pairwise reduction with a user function and an initial value."""
+
+    default_name = "reduce"
+
+    def __init__(
+        self,
+        on: "Expression | str",
+        func: Callable[[Any, Any], Any],
+        initial: Any = None,
+        output: Optional[str] = None,
+    ) -> None:
+        super().__init__(on, output)
+        self.func = func
+        self.initial = initial
+
+    def create(self) -> Any:
+        return self.initial
+
+    def add(self, state: Any, value: Any) -> Any:
+        if state is None:
+            return value
+        return self.func(state, value)
+
+    def result(self, state: Any) -> Any:
+        return state

@@ -1,0 +1,229 @@
+"""Query execution engine.
+
+The engine compiles an optimized logical plan into a pipeline of physical
+operators and drives the source through it, collecting metrics (events,
+bytes, wall-clock time) that mirror the ingestion-rate / throughput figures
+reported in the paper.
+
+Binary nodes (join, union) are handled by executing the right-hand plan
+eagerly into a buffer, tagging both sides and merging by event time, which
+keeps the execution single-threaded and deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanError
+from repro.streaming.metrics import MetricsCollector, MetricsReport
+from repro.streaming.operators import (
+    FilterOperator,
+    FlatMapOperator,
+    JoinOperator,
+    MapOperator,
+    Operator,
+    ProjectOperator,
+    SinkOperator,
+    WindowAggregateOperator,
+)
+from repro.streaming.plan import (
+    CEPNode,
+    FilterNode,
+    FlatMapNode,
+    JoinNode,
+    LogicalPlan,
+    MapNode,
+    OperatorNode,
+    ProjectNode,
+    SinkNode,
+    SourceNode,
+    UnionNode,
+    WindowNode,
+)
+from repro.streaming.query import Query
+from repro.streaming.record import Record, estimate_record_bytes
+from repro.streaming.sink import CollectSink, Sink
+
+
+class QueryResult:
+    """Execution result: the output records plus a metrics report."""
+
+    def __init__(self, records: List[Record], metrics: MetricsReport, plan: LogicalPlan) -> None:
+        self.records = records
+        self.metrics = metrics
+        self.plan = plan
+
+    def as_dicts(self) -> List[dict]:
+        return [r.as_dict() for r in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __repr__(self) -> str:
+        return f"QueryResult({len(self.records)} records, {self.metrics})"
+
+
+class StreamExecutionEngine:
+    """Compiles and runs queries.
+
+    ``measure_bytes`` can be switched off for benchmarks where the byte
+    accounting itself would dominate the measured cost.
+    """
+
+    def __init__(self, measure_bytes: bool = True) -> None:
+        self.measure_bytes = measure_bytes
+
+    # -- compilation -------------------------------------------------------------
+
+    def compile(self, plan: LogicalPlan) -> Tuple[List[Operator], List[Sink], Dict[int, int]]:
+        """Turn a logical plan into physical operators, attached sinks and entry points.
+
+        The third return value maps the index (within ``plan.nodes``) of every
+        binary node (join/union) to the pipeline position at which records
+        coming from its right-hand branch must enter: right-side records skip
+        every operator defined before the binary node.
+        """
+        operators: List[Operator] = []
+        sinks: List[Sink] = []
+        entry_points: Dict[int, int] = {}
+        for node_index, node in enumerate(plan.nodes[1:], start=1):
+            if isinstance(node, FilterNode):
+                operators.append(FilterOperator(node.predicate))
+            elif isinstance(node, MapNode):
+                operators.append(MapOperator(node.assignments))
+            elif isinstance(node, ProjectNode):
+                operators.append(ProjectOperator(node.fields))
+            elif isinstance(node, FlatMapNode):
+                operators.append(FlatMapOperator(node.func))
+            elif isinstance(node, WindowNode):
+                operators.append(
+                    WindowAggregateOperator(node.assigner, node.aggregations, node.key_fields)
+                )
+            elif isinstance(node, CEPNode):
+                from repro.cep.operator import CEPOperator
+
+                operators.append(CEPOperator(node.pattern, node.key_fields, node.output_builder))
+            elif isinstance(node, OperatorNode):
+                created = node.create()
+                if not isinstance(created, Operator):
+                    raise PlanError(
+                        f"operator node {node.name!r} did not produce an Operator: {created!r}"
+                    )
+                operators.append(created)
+            elif isinstance(node, JoinNode):
+                entry_points[node_index] = len(operators)
+                operators.append(JoinOperator(node.key_fields, node.window))
+            elif isinstance(node, UnionNode):
+                entry_points[node_index] = len(operators)
+            elif isinstance(node, SinkNode):
+                sinks.append(node.sink)
+                operators.append(SinkOperator(node.sink))
+            elif isinstance(node, SourceNode):
+                raise PlanError("unexpected source node in the middle of a plan")
+            else:
+                raise PlanError(f"cannot compile logical node {node!r}")
+        return operators, sinks, entry_points
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(self, query: "Query | LogicalPlan", name: Optional[str] = None) -> QueryResult:
+        """Run a query to completion and return its output and metrics."""
+        if isinstance(query, Query):
+            plan = query.plan()
+            query_name = name or query.name
+        else:
+            plan = query
+            query_name = name or "plan"
+        metrics = MetricsCollector(query_name)
+        operators, sinks, entry_points = self.compile(plan)
+        input_stream = self._input_stream(plan, metrics, entry_points)
+
+        collected: List[Record] = []
+        metrics.start()
+        for record in input_stream:
+            start_index = record.data.pop("_entry_index", 0)
+            for output in self._push(record, operators, start_index, metrics):
+                collected.append(output)
+        for output in self._flush(operators, 0, metrics):
+            collected.append(output)
+        metrics.stop()
+        for sink in sinks:
+            sink.close()
+        if self.measure_bytes:
+            for record in collected:
+                metrics.record_out(0, estimate_record_bytes(record))
+        metrics.events_out = len(collected)
+        return QueryResult(collected, metrics.report(), plan)
+
+    def run_all(self, queries: Sequence[Query]) -> List[QueryResult]:
+        """Execute several queries one after another (shared nothing)."""
+        return [self.execute(q) for q in queries]
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _input_stream(
+        self, plan: LogicalPlan, metrics: MetricsCollector, entry_points: Dict[int, int]
+    ) -> Iterator[Record]:
+        """The source stream, with binary (join/union) right-hand sides merged in.
+
+        Right-hand records are annotated with the pipeline position they must
+        enter at (``_entry_index``) so that operators defined before the binary
+        node only see the left-hand stream.
+        """
+        base = self._counted_source(plan.source_node.source, metrics)
+        for node_index, node in enumerate(plan.nodes[1:], start=1):
+            if isinstance(node, JoinNode):
+                right = self._materialize_side(node.right_plan, metrics)
+                right = [
+                    r.derive({"_join_side": "right", "_entry_index": entry_points[node_index]})
+                    for r in right
+                ]
+                base = self._merge_by_time(base, right)
+            elif isinstance(node, UnionNode):
+                right = self._materialize_side(node.right_plan, metrics)
+                right = [r.derive({"_entry_index": entry_points[node_index]}) for r in right]
+                base = self._merge_by_time(base, right)
+        return base
+
+    def _counted_source(self, source, metrics: MetricsCollector) -> Iterator[Record]:
+        for record in source:
+            nbytes = estimate_record_bytes(record) if self.measure_bytes else 0
+            metrics.record_in(1, nbytes)
+            yield record
+
+    def _materialize_side(self, right_plan: LogicalPlan, metrics: MetricsCollector) -> List[Record]:
+        """Run the right-hand plan of a binary node into a buffer."""
+        result = self.execute(right_plan, name="join-side")
+        metrics.record_in(result.metrics.events_in, result.metrics.bytes_in)
+        return result.records
+
+    @staticmethod
+    def _merge_by_time(left: Iterator[Record], right: List[Record]) -> Iterator[Record]:
+        return heapq.merge(left, iter(right), key=lambda r: r.timestamp)
+
+    def _push(
+        self, record: Record, operators: List[Operator], index: int, metrics: MetricsCollector
+    ) -> Iterable[Record]:
+        """Push one record through operators[index:], depth-first."""
+        if index >= len(operators):
+            yield record
+            return
+        operator = operators[index]
+        metrics.record_operator(f"{index}:{operator.name}")
+        for produced in operator.process(record):
+            yield from self._push(produced, operators, index + 1, metrics)
+
+    def _flush(
+        self, operators: List[Operator], index: int, metrics: MetricsCollector
+    ) -> Iterable[Record]:
+        """Flush stateful operators from upstream to downstream at end-of-stream."""
+        if index >= len(operators):
+            return
+        operator = operators[index]
+        for produced in operator.flush():
+            yield from self._push(produced, operators, index + 1, metrics)
+        yield from self._flush(operators, index + 1, metrics)

@@ -1,0 +1,304 @@
+"""Expression framework.
+
+NebulaStream queries are written against an expression tree (field accesses,
+constants, arithmetic, comparisons, boolean connectives and function calls).
+The framework is the extension point the paper uses: NebulaMEOS registers
+custom expression classes (``MeosAtStbox_Expression`` …) that wrap MEOS calls
+and can then be used inside filters and maps like any built-in expression.
+
+Expressions are immutable, composable via Python operators, and evaluated per
+record with :meth:`Expression.evaluate`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import StreamError
+from repro.streaming.record import Record
+
+
+class Expression:
+    """Base class for all expressions.  Subclasses implement :meth:`evaluate`."""
+
+    def evaluate(self, record: Record) -> Any:
+        """Compute the expression value for one record."""
+        raise NotImplementedError
+
+    def fields(self) -> List[str]:
+        """Names of the record fields the expression reads (used by the optimizer)."""
+        return []
+
+    # -- composition via Python operators ---------------------------------------
+
+    def _binary(self, other: Any, op: Callable[[Any, Any], Any], symbol: str) -> "BinaryExpression":
+        return BinaryExpression(self, wrap(other), op, symbol)
+
+    def __add__(self, other: Any) -> "BinaryExpression":
+        return self._binary(other, lambda a, b: a + b, "+")
+
+    def __radd__(self, other: Any) -> "BinaryExpression":
+        return wrap(other)._binary(self, lambda a, b: a + b, "+")
+
+    def __sub__(self, other: Any) -> "BinaryExpression":
+        return self._binary(other, lambda a, b: a - b, "-")
+
+    def __rsub__(self, other: Any) -> "BinaryExpression":
+        return wrap(other)._binary(self, lambda a, b: a - b, "-")
+
+    def __mul__(self, other: Any) -> "BinaryExpression":
+        return self._binary(other, lambda a, b: a * b, "*")
+
+    def __rmul__(self, other: Any) -> "BinaryExpression":
+        return wrap(other)._binary(self, lambda a, b: a * b, "*")
+
+    def __truediv__(self, other: Any) -> "BinaryExpression":
+        return self._binary(other, lambda a, b: a / b, "/")
+
+    def __rtruediv__(self, other: Any) -> "BinaryExpression":
+        return wrap(other)._binary(self, lambda a, b: a / b, "/")
+
+    def __mod__(self, other: Any) -> "BinaryExpression":
+        return self._binary(other, lambda a, b: a % b, "%")
+
+    def __gt__(self, other: Any) -> "BinaryExpression":
+        return self._binary(other, lambda a, b: a > b, ">")
+
+    def __ge__(self, other: Any) -> "BinaryExpression":
+        return self._binary(other, lambda a, b: a >= b, ">=")
+
+    def __lt__(self, other: Any) -> "BinaryExpression":
+        return self._binary(other, lambda a, b: a < b, "<")
+
+    def __le__(self, other: Any) -> "BinaryExpression":
+        return self._binary(other, lambda a, b: a <= b, "<=")
+
+    def eq(self, other: Any) -> "BinaryExpression":
+        """Equality (named method because ``__eq__`` is kept for object identity)."""
+        return self._binary(other, lambda a, b: a == b, "==")
+
+    def ne(self, other: Any) -> "BinaryExpression":
+        return self._binary(other, lambda a, b: a != b, "!=")
+
+    def __and__(self, other: Any) -> "BinaryExpression":
+        return self._binary(other, lambda a, b: bool(a) and bool(b), "and")
+
+    def __or__(self, other: Any) -> "BinaryExpression":
+        return self._binary(other, lambda a, b: bool(a) or bool(b), "or")
+
+    def __invert__(self) -> "UnaryExpression":
+        return UnaryExpression(self, lambda a: not bool(a), "not")
+
+    def __neg__(self) -> "UnaryExpression":
+        return UnaryExpression(self, lambda a: -a, "neg")
+
+    def is_in(self, values: Iterable[Any]) -> "UnaryExpression":
+        """Membership test against a fixed collection."""
+        collection = set(values)
+        return UnaryExpression(self, lambda a: a in collection, "in")
+
+    def between(self, low: Any, high: Any) -> "BinaryExpression":
+        """Inclusive range test."""
+        return (self >= low) & (self <= high)
+
+    def abs(self) -> "UnaryExpression":
+        return UnaryExpression(self, abs, "abs")
+
+    def alias(self, name: str) -> "AliasedExpression":
+        """Name the expression result (used by ``Query.map``/``assign``)."""
+        return AliasedExpression(self, name)
+
+
+class FieldExpression(Expression):
+    """Reads a field from the record."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, record: Record) -> Any:
+        return record[self.name]
+
+    def fields(self) -> List[str]:
+        return [self.name]
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+class ConstantExpression(Expression):
+    """A literal value."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def evaluate(self, record: Record) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+class TimestampExpression(Expression):
+    """The record's event timestamp."""
+
+    def evaluate(self, record: Record) -> Any:
+        return record.timestamp
+
+    def __repr__(self) -> str:
+        return "event_time()"
+
+
+class BinaryExpression(Expression):
+    """Applies a binary operator to two sub-expressions."""
+
+    def __init__(
+        self, left: Expression, right: Expression, op: Callable[[Any, Any], Any], symbol: str
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.op = op
+        self.symbol = symbol
+
+    def evaluate(self, record: Record) -> Any:
+        return self.op(self.left.evaluate(record), self.right.evaluate(record))
+
+    def fields(self) -> List[str]:
+        return sorted(set(self.left.fields()) | set(self.right.fields()))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class UnaryExpression(Expression):
+    """Applies a unary operator to a sub-expression."""
+
+    def __init__(self, operand: Expression, op: Callable[[Any], Any], symbol: str) -> None:
+        self.operand = operand
+        self.op = op
+        self.symbol = symbol
+
+    def evaluate(self, record: Record) -> Any:
+        return self.op(self.operand.evaluate(record))
+
+    def fields(self) -> List[str]:
+        return self.operand.fields()
+
+    def __repr__(self) -> str:
+        return f"{self.symbol}({self.operand!r})"
+
+
+class FunctionExpression(Expression):
+    """Calls a named or anonymous function over sub-expression arguments.
+
+    This is the runtime-extensible part of the framework: plugins (such as
+    NebulaMEOS) register functions under a name in a
+    :class:`~repro.streaming.plugin.PluginRegistry` and queries reference them
+    with :func:`call`.
+    """
+
+    def __init__(
+        self,
+        func: Callable[..., Any],
+        args: Sequence[Expression],
+        name: Optional[str] = None,
+    ) -> None:
+        self.func = func
+        self.args: List[Expression] = [wrap(a) for a in args]
+        self.name = name or getattr(func, "__name__", "function")
+
+    def evaluate(self, record: Record) -> Any:
+        return self.func(*(arg.evaluate(record) for arg in self.args))
+
+    def fields(self) -> List[str]:
+        names: List[str] = []
+        for arg in self.args:
+            names.extend(arg.fields())
+        return sorted(set(names))
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(repr(a) for a in self.args)})"
+
+
+class LambdaExpression(Expression):
+    """Evaluates an arbitrary Python callable over the whole record.
+
+    Escape hatch for logic that does not decompose into field expressions;
+    the optimizer treats it as reading every field.
+    """
+
+    def __init__(self, func: Callable[[Record], Any], name: str = "lambda") -> None:
+        self.func = func
+        self.name = name
+
+    def evaluate(self, record: Record) -> Any:
+        return self.func(record)
+
+    def fields(self) -> List[str]:
+        return ["*"]
+
+    def __repr__(self) -> str:
+        return f"LambdaExpression({self.name})"
+
+
+class AliasedExpression(Expression):
+    """An expression with an output field name attached."""
+
+    def __init__(self, inner: Expression, name: str) -> None:
+        self.inner = inner
+        self.name = name
+
+    def evaluate(self, record: Record) -> Any:
+        return self.inner.evaluate(record)
+
+    def fields(self) -> List[str]:
+        return self.inner.fields()
+
+    def __repr__(self) -> str:
+        return f"{self.inner!r} AS {self.name}"
+
+
+# -- public helpers ----------------------------------------------------------------
+
+
+def col(name: str) -> FieldExpression:
+    """Reference a record field by name."""
+    return FieldExpression(name)
+
+
+def lit(value: Any) -> ConstantExpression:
+    """A literal constant expression."""
+    return ConstantExpression(value)
+
+
+def event_time() -> TimestampExpression:
+    """The record's event timestamp."""
+    return TimestampExpression()
+
+
+def wrap(value: Any) -> Expression:
+    """Coerce a plain Python value into an expression (expressions pass through)."""
+    if isinstance(value, Expression):
+        return value
+    return ConstantExpression(value)
+
+
+def call(func: "Callable[..., Any] | str", *args: Any, registry=None) -> FunctionExpression:
+    """Build a function expression.
+
+    ``func`` may be a Python callable, or a name previously registered in a
+    plugin registry (the default registry is used when none is given) — this
+    mirrors NebulaStream's dynamic operator registration.
+    """
+    if isinstance(func, str):
+        from repro.streaming.plugin import default_registry
+
+        active = registry if registry is not None else default_registry()
+        resolved = active.get_function(func)
+        return FunctionExpression(resolved, [wrap(a) for a in args], name=func)
+    return FunctionExpression(func, [wrap(a) for a in args])
+
+
+def udf(func: Callable[[Record], Any], name: str = "udf") -> LambdaExpression:
+    """Wrap a record-level Python callable as an expression."""
+    return LambdaExpression(func, name)

@@ -1,0 +1,125 @@
+"""Query execution metrics.
+
+The paper reports, per query, an ingestion rate (events per second) and a
+throughput (megabytes processed).  The :class:`MetricsCollector` measures the
+same quantities for our engine: events and bytes ingested from the source,
+events emitted, wall-clock time, and derived rates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class MetricsReport:
+    """Immutable summary of one query execution."""
+
+    query_name: str
+    events_in: int
+    events_out: int
+    bytes_in: int
+    bytes_out: int
+    wall_time_s: float
+    operator_events: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ingestion_rate_eps(self) -> float:
+        """Events ingested per second of wall-clock time."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.events_in / self.wall_time_s
+
+    @property
+    def throughput_mb_per_s(self) -> float:
+        """Megabytes ingested per second of wall-clock time."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.bytes_in / 1_000_000.0 / self.wall_time_s
+
+    @property
+    def megabytes_in(self) -> float:
+        return self.bytes_in / 1_000_000.0
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of ingested events that reach the sink."""
+        if self.events_in == 0:
+            return 0.0
+        return self.events_out / self.events_in
+
+    @property
+    def avg_latency_us(self) -> float:
+        """Average per-event processing time in microseconds."""
+        if self.events_in == 0:
+            return 0.0
+        return self.wall_time_s / self.events_in * 1_000_000.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "query": self.query_name,
+            "events_in": self.events_in,
+            "events_out": self.events_out,
+            "megabytes_in": round(self.megabytes_in, 3),
+            "wall_time_s": round(self.wall_time_s, 4),
+            "ingestion_rate_eps": round(self.ingestion_rate_eps, 1),
+            "throughput_mb_per_s": round(self.throughput_mb_per_s, 3),
+            "selectivity": round(self.selectivity, 4),
+            "avg_latency_us": round(self.avg_latency_us, 2),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.query_name}: {self.events_in} events in ({self.megabytes_in:.2f} MB), "
+            f"{self.events_out} out, {self.wall_time_s:.3f}s, "
+            f"{self.ingestion_rate_eps:,.0f} e/s, {self.throughput_mb_per_s:.2f} MB/s"
+        )
+
+
+class MetricsCollector:
+    """Mutable counters filled in during execution, producing a :class:`MetricsReport`."""
+
+    def __init__(self, query_name: str = "query") -> None:
+        self.query_name = query_name
+        self.events_in = 0
+        self.events_out = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.operator_events: Dict[str, int] = {}
+        self._start: Optional[float] = None
+        self._end: Optional[float] = None
+
+    def start(self) -> None:
+        self._start = time.perf_counter()
+
+    def stop(self) -> None:
+        self._end = time.perf_counter()
+
+    def record_in(self, count: int = 1, nbytes: int = 0) -> None:
+        self.events_in += count
+        self.bytes_in += nbytes
+
+    def record_out(self, count: int = 1, nbytes: int = 0) -> None:
+        self.events_out += count
+        self.bytes_out += nbytes
+
+    def record_operator(self, operator_name: str, count: int = 1) -> None:
+        self.operator_events[operator_name] = self.operator_events.get(operator_name, 0) + count
+
+    def report(self) -> MetricsReport:
+        if self._start is None:
+            wall = 0.0
+        else:
+            end = self._end if self._end is not None else time.perf_counter()
+            wall = end - self._start
+        return MetricsReport(
+            query_name=self.query_name,
+            events_in=self.events_in,
+            events_out=self.events_out,
+            bytes_in=self.bytes_in,
+            bytes_out=self.bytes_out,
+            wall_time_s=wall,
+            operator_events=dict(self.operator_events),
+        )

@@ -1,0 +1,319 @@
+"""Physical stream operators.
+
+Every operator consumes records one at a time (``process``) and may emit zero
+or more output records; ``flush`` is called once at end-of-stream so stateful
+operators (windows, joins, CEP) can emit what is still buffered.  The
+execution engine chains operators into a pipeline compiled from the logical
+plan.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import StreamError
+from repro.streaming.aggregations import Aggregation
+from repro.streaming.expressions import AliasedExpression, Expression, wrap
+from repro.streaming.record import Record
+from repro.streaming.windows import ThresholdWindow, WindowAssigner, WindowKey
+
+
+class Operator:
+    """Base class for physical operators."""
+
+    name = "operator"
+
+    def process(self, record: Record) -> Iterable[Record]:
+        raise NotImplementedError
+
+    def flush(self) -> Iterable[Record]:
+        """Emit whatever is still buffered at end-of-stream."""
+        return []
+
+    def __repr__(self) -> str:
+        return f"<{self.__class__.__name__}>"
+
+
+class FilterOperator(Operator):
+    """Keeps records for which the predicate expression is truthy."""
+
+    name = "filter"
+
+    def __init__(self, predicate: Expression) -> None:
+        self.predicate = wrap(predicate)
+
+    def process(self, record: Record) -> Iterable[Record]:
+        if self.predicate.evaluate(record):
+            yield record
+
+    def __repr__(self) -> str:
+        return f"Filter({self.predicate!r})"
+
+
+class MapOperator(Operator):
+    """Adds or overwrites fields computed from expressions.
+
+    ``assignments`` maps output field names to expressions (or plain Python
+    callables taking the record).
+    """
+
+    name = "map"
+
+    def __init__(self, assignments: Mapping[str, "Expression | Callable[[Record], Any]"]) -> None:
+        if not assignments:
+            raise StreamError("map needs at least one assignment")
+        self.assignments: Dict[str, Expression] = {}
+        for name, value in assignments.items():
+            if isinstance(value, Expression):
+                self.assignments[name] = value
+            elif callable(value):
+                from repro.streaming.expressions import LambdaExpression
+
+                self.assignments[name] = LambdaExpression(value, name)
+            else:
+                self.assignments[name] = wrap(value)
+
+    @classmethod
+    def from_aliased(cls, expressions: Sequence[AliasedExpression]) -> "MapOperator":
+        return cls({e.name: e.inner for e in expressions})
+
+    def output_fields(self) -> List[str]:
+        return list(self.assignments)
+
+    def input_fields(self) -> List[str]:
+        fields: List[str] = []
+        for expr in self.assignments.values():
+            fields.extend(expr.fields())
+        return sorted(set(fields))
+
+    def process(self, record: Record) -> Iterable[Record]:
+        updates = {name: expr.evaluate(record) for name, expr in self.assignments.items()}
+        yield record.derive(updates)
+
+    def __repr__(self) -> str:
+        return f"Map({list(self.assignments)})"
+
+
+class ProjectOperator(Operator):
+    """Keeps only the listed fields."""
+
+    name = "project"
+
+    def __init__(self, fields: Sequence[str]) -> None:
+        if not fields:
+            raise StreamError("project needs at least one field")
+        self.fields = list(fields)
+
+    def process(self, record: Record) -> Iterable[Record]:
+        yield record.project(self.fields)
+
+    def __repr__(self) -> str:
+        return f"Project({self.fields})"
+
+
+class FlatMapOperator(Operator):
+    """Expands one record into zero or more records via a user function."""
+
+    name = "flat_map"
+
+    def __init__(self, func: Callable[[Record], Iterable["Record | dict"]]) -> None:
+        self.func = func
+
+    def process(self, record: Record) -> Iterable[Record]:
+        for item in self.func(record):
+            if isinstance(item, Record):
+                yield item
+            else:
+                payload = dict(item)
+                yield Record(payload, payload.get("timestamp", record.timestamp))
+
+    def __repr__(self) -> str:
+        return f"FlatMap({getattr(self.func, '__name__', 'fn')})"
+
+
+def _key_of(record: Record, key_fields: Sequence[str]) -> Tuple[Any, ...]:
+    return tuple(record.get(field) for field in key_fields)
+
+
+class WindowAggregateOperator(Operator):
+    """Keyed windowed aggregation.
+
+    For time-based windows (tumbling/sliding) the operator tracks a watermark
+    equal to the maximum event time seen and emits a window as soon as the
+    watermark passes its end.  Threshold windows are data-driven: they open
+    when the predicate first holds for a key and close when it stops holding.
+    One output record is produced per (key, window) carrying the window bounds,
+    the key fields and one field per aggregation.
+    """
+
+    name = "window"
+
+    def __init__(
+        self,
+        assigner: WindowAssigner,
+        aggregations: Sequence[Aggregation],
+        key_fields: Sequence[str] = (),
+        allowed_lateness: float = 0.0,
+    ) -> None:
+        if not aggregations:
+            raise StreamError("windowed aggregation needs at least one aggregation")
+        self.assigner = assigner
+        self.aggregations = list(aggregations)
+        self.key_fields = list(key_fields)
+        self.allowed_lateness = float(allowed_lateness)
+        self._watermark = float("-inf")
+        # (key, window) -> list of aggregation states
+        self._states: Dict[Tuple[Tuple[Any, ...], WindowKey], List[Any]] = {}
+        # threshold windows: key -> (start_ts, last_ts, count, states)
+        self._open_thresholds: Dict[Tuple[Any, ...], List[Any]] = {}
+
+    # -- shared helpers -----------------------------------------------------------
+
+    def _new_states(self) -> List[Any]:
+        return [agg.create() for agg in self.aggregations]
+
+    def _add(self, states: List[Any], record: Record) -> None:
+        for i, agg in enumerate(self.aggregations):
+            states[i] = agg.add(states[i], agg.extract(record))
+
+    def _emit(self, key: Tuple[Any, ...], window: WindowKey, states: List[Any]) -> Record:
+        start, end = window
+        payload: Dict[str, Any] = {"window_start": start, "window_end": end}
+        for name, value in zip(self.key_fields, key):
+            payload[name] = value
+        for agg, state in zip(self.aggregations, states):
+            payload[agg.output] = agg.result(state)
+        return Record(payload, end)
+
+    # -- processing ------------------------------------------------------------------
+
+    def process(self, record: Record) -> Iterable[Record]:
+        if isinstance(self.assigner, ThresholdWindow):
+            yield from self._process_threshold(record)
+            return
+        key = _key_of(record, self.key_fields)
+        for window in self.assigner.assign(record):
+            state_key = (key, window)
+            if state_key not in self._states:
+                self._states[state_key] = self._new_states()
+            self._add(self._states[state_key], record)
+        if record.timestamp > self._watermark:
+            self._watermark = record.timestamp
+            yield from self._emit_closed()
+
+    def _emit_closed(self) -> Iterable[Record]:
+        ready = [
+            (key, window)
+            for (key, window) in self._states
+            if window[1] + self.allowed_lateness <= self._watermark
+        ]
+        for key, window in sorted(ready, key=lambda kw: kw[1][1]):
+            states = self._states.pop((key, window))
+            yield self._emit(key, window, states)
+
+    def _process_threshold(self, record: Record) -> Iterable[Record]:
+        assert isinstance(self.assigner, ThresholdWindow)
+        key = _key_of(record, self.key_fields)
+        matches = self.assigner.matches(record)
+        open_state = self._open_thresholds.get(key)
+        if matches:
+            if open_state is None:
+                open_state = [record.timestamp, record.timestamp, 0, self._new_states()]
+                self._open_thresholds[key] = open_state
+            open_state[1] = record.timestamp
+            open_state[2] += 1
+            self._add(open_state[3], record)
+            max_duration = self.assigner.max_duration
+            if max_duration is not None and open_state[1] - open_state[0] >= max_duration:
+                yield from self._close_threshold(key)
+        elif open_state is not None:
+            yield from self._close_threshold(key)
+
+    def _close_threshold(self, key: Tuple[Any, ...]) -> Iterable[Record]:
+        assert isinstance(self.assigner, ThresholdWindow)
+        start, end, count, states = self._open_thresholds.pop(key)
+        if count >= self.assigner.min_count:
+            yield self._emit(key, (start, end), states)
+
+    def flush(self) -> Iterable[Record]:
+        if isinstance(self.assigner, ThresholdWindow):
+            for key in list(self._open_thresholds):
+                yield from self._close_threshold(key)
+            return
+        remaining = sorted(self._states, key=lambda kw: kw[1][1])
+        for key, window in remaining:
+            yield self._emit(key, window, self._states[(key, window)])
+        self._states.clear()
+
+    def __repr__(self) -> str:
+        return f"WindowAggregate({self.assigner!r}, keys={self.key_fields}, aggs={[a.output for a in self.aggregations]})"
+
+
+class JoinOperator(Operator):
+    """Windowed equi-join of two tagged input streams.
+
+    The engine feeds this operator records tagged with ``side`` ("left" or
+    "right", carried in the record payload under ``_join_side``).  Records
+    join when their key fields match and their event times are within
+    ``window`` seconds of each other.  Output records merge both payloads
+    (right-side fields are prefixed when they collide).
+    """
+
+    name = "join"
+
+    def __init__(self, key_fields: Sequence[str], window: float, right_prefix: str = "right_") -> None:
+        if window <= 0:
+            raise StreamError("join window must be positive")
+        self.key_fields = list(key_fields)
+        self.window = float(window)
+        self.right_prefix = right_prefix
+        self._left: Dict[Tuple[Any, ...], List[Record]] = defaultdict(list)
+        self._right: Dict[Tuple[Any, ...], List[Record]] = defaultdict(list)
+
+    def _evict(self, buffer: List[Record], watermark: float) -> None:
+        cutoff = watermark - self.window
+        while buffer and buffer[0].timestamp < cutoff:
+            buffer.pop(0)
+
+    def _merge(self, left: Record, right: Record) -> Record:
+        payload = dict(left.data)
+        for field, value in right.data.items():
+            if field == "_join_side":
+                continue
+            if field in payload and field not in self.key_fields:
+                payload[self.right_prefix + field] = value
+            else:
+                payload.setdefault(field, value)
+        payload.pop("_join_side", None)
+        return Record(payload, max(left.timestamp, right.timestamp))
+
+    def process(self, record: Record) -> Iterable[Record]:
+        side = record.get("_join_side", "left")
+        key = _key_of(record, self.key_fields)
+        own, other = (self._left, self._right) if side == "left" else (self._right, self._left)
+        own[key].append(record)
+        self._evict(own[key], record.timestamp)
+        self._evict(other[key], record.timestamp)
+        for candidate in other[key]:
+            if abs(candidate.timestamp - record.timestamp) <= self.window:
+                if side == "left":
+                    yield self._merge(record, candidate)
+                else:
+                    yield self._merge(candidate, record)
+
+    def __repr__(self) -> str:
+        return f"Join(keys={self.key_fields}, window={self.window}s)"
+
+
+class SinkOperator(Operator):
+    """Terminal operator pushing records into a sink (kept for plan symmetry)."""
+
+    name = "sink"
+
+    def __init__(self, sink) -> None:
+        self.sink = sink
+
+    def process(self, record: Record) -> Iterable[Record]:
+        self.sink.accept(record)
+        yield record

@@ -1,0 +1,249 @@
+"""Logical query plans and a small rule-based optimizer.
+
+A query written with the fluent :class:`~repro.streaming.query.Query` builder
+is represented as a chain of logical nodes rooted at a source.  The optimizer
+applies NebulaStream-style rewrite rules before the engine compiles the plan
+into physical operators:
+
+* **filter fusion** — consecutive filters are combined into one conjunction;
+* **filter pushdown** — filters that do not read fields produced by a
+  preceding map are moved before it (cheaper events are dropped earlier);
+* **projection after windows** is left untouched (window operators already
+  re-shape records).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import PlanError
+from repro.streaming.aggregations import Aggregation
+from repro.streaming.expressions import Expression, wrap
+from repro.streaming.windows import WindowAssigner
+
+
+class LogicalNode:
+    """One step of a logical plan."""
+
+    kind = "node"
+
+    def describe(self) -> str:
+        return self.kind
+
+    def __repr__(self) -> str:
+        return f"<{self.__class__.__name__}>"
+
+
+class SourceNode(LogicalNode):
+    kind = "source"
+
+    def __init__(self, source) -> None:
+        self.source = source
+
+    def describe(self) -> str:
+        return f"source({self.source.name})"
+
+
+class FilterNode(LogicalNode):
+    kind = "filter"
+
+    def __init__(self, predicate: Expression) -> None:
+        self.predicate = wrap(predicate)
+
+    def describe(self) -> str:
+        return f"filter({self.predicate!r})"
+
+
+class MapNode(LogicalNode):
+    kind = "map"
+
+    def __init__(self, assignments: Mapping[str, Any]) -> None:
+        self.assignments = dict(assignments)
+
+    def output_fields(self) -> List[str]:
+        return list(self.assignments)
+
+    def describe(self) -> str:
+        return f"map({list(self.assignments)})"
+
+
+class ProjectNode(LogicalNode):
+    kind = "project"
+
+    def __init__(self, fields: Sequence[str]) -> None:
+        self.fields = list(fields)
+
+    def describe(self) -> str:
+        return f"project({self.fields})"
+
+
+class FlatMapNode(LogicalNode):
+    kind = "flat_map"
+
+    def __init__(self, func: Callable) -> None:
+        self.func = func
+
+    def describe(self) -> str:
+        return f"flat_map({getattr(self.func, '__name__', 'fn')})"
+
+
+class WindowNode(LogicalNode):
+    kind = "window"
+
+    def __init__(
+        self,
+        assigner: WindowAssigner,
+        aggregations: Sequence[Aggregation],
+        key_fields: Sequence[str],
+    ) -> None:
+        self.assigner = assigner
+        self.aggregations = list(aggregations)
+        self.key_fields = list(key_fields)
+
+    def describe(self) -> str:
+        return f"window({self.assigner!r}, keys={self.key_fields})"
+
+
+class CEPNode(LogicalNode):
+    kind = "cep"
+
+    def __init__(self, pattern, key_fields: Sequence[str], output_builder=None) -> None:
+        self.pattern = pattern
+        self.key_fields = list(key_fields)
+        self.output_builder = output_builder
+
+    def describe(self) -> str:
+        return f"cep({self.pattern!r}, keys={self.key_fields})"
+
+
+class JoinNode(LogicalNode):
+    """Binary node joining the plan's stream with another query's stream."""
+
+    kind = "join"
+
+    def __init__(self, right_plan: "LogicalPlan", key_fields: Sequence[str], window: float) -> None:
+        self.right_plan = right_plan
+        self.key_fields = list(key_fields)
+        self.window = float(window)
+
+    def describe(self) -> str:
+        return f"join(keys={self.key_fields}, window={self.window}s)"
+
+
+class UnionNode(LogicalNode):
+    """Binary node merging the plan's stream with another query's stream."""
+
+    kind = "union"
+
+    def __init__(self, right_plan: "LogicalPlan") -> None:
+        self.right_plan = right_plan
+
+    def describe(self) -> str:
+        return "union"
+
+
+class OperatorNode(LogicalNode):
+    """A user-supplied physical operator (or operator factory) inserted into the plan.
+
+    This is the plan-level face of NebulaStream's plugin mechanism: registered
+    operators (e.g. the NebulaMEOS trajectory builder or geofence operator)
+    are spliced into the pipeline as opaque nodes.  Factories are preferred
+    over instances so that re-executing the same query does not share operator
+    state between runs.
+    """
+
+    kind = "operator"
+
+    def __init__(self, factory: Callable[[], Any], name: str = "custom") -> None:
+        self.factory = factory
+        self.name = name
+
+    def create(self):
+        return self.factory()
+
+    def describe(self) -> str:
+        return f"operator({self.name})"
+
+
+class SinkNode(LogicalNode):
+    kind = "sink"
+
+    def __init__(self, sink) -> None:
+        self.sink = sink
+
+    def describe(self) -> str:
+        return f"sink({self.sink.__class__.__name__})"
+
+
+class LogicalPlan:
+    """A linear chain of logical nodes starting at a source node."""
+
+    def __init__(self, nodes: Sequence[LogicalNode]) -> None:
+        if not nodes or not isinstance(nodes[0], SourceNode):
+            raise PlanError("a logical plan must start with a source node")
+        self.nodes: List[LogicalNode] = list(nodes)
+
+    @property
+    def source_node(self) -> SourceNode:
+        return self.nodes[0]  # type: ignore[return-value]
+
+    def describe(self) -> str:
+        """Human-readable plan, one node per line."""
+        return "\n".join(f"{i}: {node.describe()}" for i, node in enumerate(self.nodes))
+
+    def with_nodes(self, nodes: Sequence[LogicalNode]) -> "LogicalPlan":
+        return LogicalPlan(list(nodes))
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return f"LogicalPlan({[n.kind for n in self.nodes]})"
+
+
+# -- optimizer ---------------------------------------------------------------------
+
+
+def fuse_filters(plan: LogicalPlan) -> LogicalPlan:
+    """Merge consecutive filter nodes into a single conjunctive filter."""
+    nodes: List[LogicalNode] = []
+    for node in plan.nodes:
+        if isinstance(node, FilterNode) and nodes and isinstance(nodes[-1], FilterNode):
+            previous = nodes.pop()
+            nodes.append(FilterNode(previous.predicate & node.predicate))
+        else:
+            nodes.append(node)
+    return plan.with_nodes(nodes)
+
+
+def push_down_filters(plan: LogicalPlan) -> LogicalPlan:
+    """Move filters before maps that do not produce any field the filter reads.
+
+    A filter that reads ``"*"`` (an opaque record-level UDF) is never moved.
+    The rewrite is applied repeatedly until it reaches a fixpoint.
+    """
+    nodes = list(plan.nodes)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(1, len(nodes)):
+            node = nodes[i]
+            previous = nodes[i - 1]
+            if not isinstance(node, FilterNode) or not isinstance(previous, MapNode):
+                continue
+            read = set(node.predicate.fields())
+            if "*" in read:
+                continue
+            produced = set(previous.output_fields())
+            if read & produced:
+                continue
+            nodes[i - 1], nodes[i] = node, previous
+            changed = True
+    return plan.with_nodes(nodes)
+
+
+def optimize(plan: LogicalPlan) -> LogicalPlan:
+    """Apply every rewrite rule in order."""
+    plan = push_down_filters(plan)
+    plan = fuse_filters(plan)
+    return plan

@@ -1,0 +1,115 @@
+"""Plugin registry: runtime registration of functions, expressions and operators.
+
+NebulaStream's "unified and lightweight plug-in mechanism" lets third-party
+libraries contribute operators and expression types at runtime.  The registry
+below is that mechanism for this engine: plugins register
+
+* **functions** — callables usable from ``call("name", …)`` expressions,
+* **expression factories** — classes/factories producing Expression objects,
+* **operator factories** — callables producing physical operators.
+
+:mod:`repro.nebulameos.registration` registers every MEOS-backed item here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import PluginError
+
+
+class PluginRegistry:
+    """A namespace of runtime-registered functions, expressions and operators."""
+
+    def __init__(self, name: str = "default") -> None:
+        self.name = name
+        self._functions: Dict[str, Callable[..., Any]] = {}
+        self._expressions: Dict[str, Callable[..., Any]] = {}
+        self._operators: Dict[str, Callable[..., Any]] = {}
+
+    # -- functions --------------------------------------------------------------
+
+    def register_function(self, name: str, func: Callable[..., Any], overwrite: bool = False) -> None:
+        if not overwrite and name in self._functions:
+            raise PluginError(f"function {name!r} is already registered")
+        self._functions[name] = func
+
+    def get_function(self, name: str) -> Callable[..., Any]:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise PluginError(
+                f"no function registered under {name!r}; registered: {sorted(self._functions)}"
+            ) from None
+
+    def has_function(self, name: str) -> bool:
+        return name in self._functions
+
+    # -- expression factories -----------------------------------------------------
+
+    def register_expression(self, name: str, factory: Callable[..., Any], overwrite: bool = False) -> None:
+        if not overwrite and name in self._expressions:
+            raise PluginError(f"expression {name!r} is already registered")
+        self._expressions[name] = factory
+
+    def create_expression(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        try:
+            factory = self._expressions[name]
+        except KeyError:
+            raise PluginError(
+                f"no expression registered under {name!r}; registered: {sorted(self._expressions)}"
+            ) from None
+        return factory(*args, **kwargs)
+
+    def has_expression(self, name: str) -> bool:
+        return name in self._expressions
+
+    # -- operator factories ----------------------------------------------------------
+
+    def register_operator(self, name: str, factory: Callable[..., Any], overwrite: bool = False) -> None:
+        if not overwrite and name in self._operators:
+            raise PluginError(f"operator {name!r} is already registered")
+        self._operators[name] = factory
+
+    def create_operator(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        try:
+            factory = self._operators[name]
+        except KeyError:
+            raise PluginError(
+                f"no operator registered under {name!r}; registered: {sorted(self._operators)}"
+            ) from None
+        return factory(*args, **kwargs)
+
+    def has_operator(self, name: str) -> bool:
+        return name in self._operators
+
+    # -- introspection ------------------------------------------------------------------
+
+    def registered_names(self) -> Dict[str, List[str]]:
+        """All registered names grouped by kind."""
+        return {
+            "functions": sorted(self._functions),
+            "expressions": sorted(self._expressions),
+            "operators": sorted(self._operators),
+        }
+
+    def __repr__(self) -> str:
+        counts = {k: len(v) for k, v in self.registered_names().items()}
+        return f"<PluginRegistry {self.name!r} {counts}>"
+
+
+_DEFAULT_REGISTRY: Optional[PluginRegistry] = None
+
+
+def default_registry() -> PluginRegistry:
+    """The process-wide registry used when queries do not pass their own."""
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        _DEFAULT_REGISTRY = PluginRegistry()
+    return _DEFAULT_REGISTRY
+
+
+def reset_default_registry() -> None:
+    """Drop the process-wide registry (used by tests)."""
+    global _DEFAULT_REGISTRY
+    _DEFAULT_REGISTRY = None

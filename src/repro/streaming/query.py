@@ -1,0 +1,156 @@
+"""Fluent query builder.
+
+A :class:`Query` starts from a source and chains logical operations; calling
+:meth:`Query.plan` produces the logical plan the engine optimizes and
+executes.  The builder is immutable: every method returns a new query, so
+query fragments can be shared and extended safely.
+
+Example::
+
+    query = (
+        Query.from_source(gps_source, name="speeding")
+        .filter(col("speed") > 120.0)
+        .map(over_limit=col("speed") - 120.0)
+        .window(TumblingWindow(60.0), [Max("over_limit")], key_by=["device_id"])
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence
+
+from repro.errors import PlanError
+from repro.streaming.aggregations import Aggregation
+from repro.streaming.expressions import Expression
+from repro.streaming.plan import (
+    CEPNode,
+    FilterNode,
+    FlatMapNode,
+    JoinNode,
+    LogicalNode,
+    LogicalPlan,
+    MapNode,
+    OperatorNode,
+    ProjectNode,
+    SinkNode,
+    SourceNode,
+    UnionNode,
+    WindowNode,
+)
+from repro.streaming.sink import Sink
+from repro.streaming.source import Source
+from repro.streaming.windows import WindowAssigner
+
+
+class Query:
+    """An immutable chain of logical operations over a source stream."""
+
+    def __init__(self, nodes: Sequence[LogicalNode], name: str = "query") -> None:
+        self._nodes: List[LogicalNode] = list(nodes)
+        self.name = name
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def from_source(cls, source: Source, name: Optional[str] = None) -> "Query":
+        """Start a query from a source."""
+        return cls([SourceNode(source)], name=name or source.name)
+
+    def _extend(self, node: LogicalNode) -> "Query":
+        return Query(self._nodes + [node], self.name)
+
+    def named(self, name: str) -> "Query":
+        """A copy with a different query name (used in metrics and reports)."""
+        return Query(self._nodes, name)
+
+    # -- relational-style operations -------------------------------------------------
+
+    def filter(self, predicate: Expression) -> "Query":
+        """Keep only records satisfying the predicate expression."""
+        return self._extend(FilterNode(predicate))
+
+    def map(self, **assignments: "Expression | Callable | Any") -> "Query":
+        """Add or overwrite fields computed from expressions (or record callables)."""
+        if not assignments:
+            raise PlanError("map needs at least one keyword assignment")
+        return self._extend(MapNode(assignments))
+
+    def assign(self, assignments: Mapping[str, Any]) -> "Query":
+        """Like :meth:`map` but takes a mapping (useful for computed field names)."""
+        return self._extend(MapNode(assignments))
+
+    def project(self, *fields: str) -> "Query":
+        """Keep only the listed fields."""
+        if not fields:
+            raise PlanError("project needs at least one field")
+        return self._extend(ProjectNode(list(fields)))
+
+    def flat_map(self, func: Callable) -> "Query":
+        """Expand each record into zero or more records."""
+        return self._extend(FlatMapNode(func))
+
+    def window(
+        self,
+        assigner: WindowAssigner,
+        aggregations: Sequence[Aggregation],
+        key_by: Sequence[str] = (),
+    ) -> "Query":
+        """Windowed aggregation keyed by the given fields."""
+        return self._extend(WindowNode(assigner, aggregations, key_by))
+
+    def cep(self, pattern, key_by: Sequence[str] = (), output_builder=None) -> "Query":
+        """Match a complex-event pattern (see :mod:`repro.cep`) on the stream."""
+        return self._extend(CEPNode(pattern, key_by, output_builder))
+
+    def apply(self, operator_factory: Callable[[], Any], name: str = "custom") -> "Query":
+        """Splice a custom physical operator into the pipeline.
+
+        ``operator_factory`` is a zero-argument callable returning a fresh
+        :class:`~repro.streaming.operators.Operator`; a factory (rather than an
+        instance) keeps repeated executions of the same query independent.
+        This is how plugin operators such as the NebulaMEOS trajectory builder
+        are attached to queries.
+        """
+        return self._extend(OperatorNode(operator_factory, name))
+
+    def apply_registered(self, name: str, *args: Any, registry=None, **kwargs: Any) -> "Query":
+        """Splice an operator registered in a plugin registry (by name) into the pipeline."""
+        from repro.streaming.plugin import default_registry
+
+        active = registry if registry is not None else default_registry()
+        return self._extend(OperatorNode(lambda: active.create_operator(name, *args, **kwargs), name))
+
+    def join(self, other: "Query", on: Sequence[str], window: float) -> "Query":
+        """Windowed equi-join with another query's output stream."""
+        return self._extend(JoinNode(other.plan(optimized=False), list(on), window))
+
+    def union(self, other: "Query") -> "Query":
+        """Merge with another query's output stream (schemas should be compatible)."""
+        return self._extend(UnionNode(other.plan(optimized=False)))
+
+    def sink(self, sink: Sink) -> "Query":
+        """Attach a sink; the engine also returns results when no sink is attached."""
+        return self._extend(SinkNode(sink))
+
+    # -- plan access --------------------------------------------------------------------
+
+    def plan(self, optimized: bool = True) -> LogicalPlan:
+        """The logical plan (optionally after optimizer rewrites)."""
+        from repro.streaming.plan import optimize
+
+        plan = LogicalPlan(self._nodes)
+        return optimize(plan) if optimized else plan
+
+    def explain(self) -> str:
+        """Human-readable optimized plan."""
+        return self.plan().describe()
+
+    @property
+    def source(self) -> Source:
+        first = self._nodes[0]
+        if not isinstance(first, SourceNode):
+            raise PlanError("query does not start with a source")
+        return first.source
+
+    def __repr__(self) -> str:
+        return f"Query({self.name!r}, {[n.kind for n in self._nodes]})"

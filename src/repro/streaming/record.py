@@ -1,0 +1,88 @@
+"""Stream records (events).
+
+A :class:`Record` is a shallow wrapper around a ``dict`` payload plus an
+event timestamp.  Records are what flows between operators; the payload is
+treated as immutable by convention — operators create new records via
+:meth:`Record.derive`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+from repro.errors import StreamError
+
+
+class Record:
+    """A single stream event: a payload dictionary plus an event timestamp."""
+
+    __slots__ = ("data", "timestamp")
+
+    def __init__(self, data: Mapping[str, Any], timestamp: Optional[float] = None) -> None:
+        self.data: Dict[str, Any] = dict(data)
+        if timestamp is None:
+            timestamp = self.data.get("timestamp")
+        if timestamp is None:
+            raise StreamError(
+                "a Record needs an event timestamp (pass timestamp= or include a 'timestamp' field)"
+            )
+        self.timestamp = float(timestamp)
+
+    def __getitem__(self, field: str) -> Any:
+        try:
+            return self.data[field]
+        except KeyError:
+            raise StreamError(f"record has no field {field!r}; fields: {sorted(self.data)}") from None
+
+    def get(self, field: str, default: Any = None) -> Any:
+        return self.data.get(field, default)
+
+    def __contains__(self, field: str) -> bool:
+        return field in self.data
+
+    def derive(self, updates: Mapping[str, Any], timestamp: Optional[float] = None) -> "Record":
+        """A new record with some fields added/overwritten."""
+        merged = dict(self.data)
+        merged.update(updates)
+        return Record(merged, self.timestamp if timestamp is None else timestamp)
+
+    def project(self, fields: Iterable[str]) -> "Record":
+        """A new record keeping only the listed fields."""
+        return Record({f: self[f] for f in fields}, self.timestamp)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A copy of the payload including the event timestamp."""
+        payload = dict(self.data)
+        payload.setdefault("timestamp", self.timestamp)
+        return payload
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Record):
+            return NotImplemented
+        return self.data == other.data and self.timestamp == other.timestamp
+
+    def __repr__(self) -> str:
+        return f"Record(t={self.timestamp}, {self.data})"
+
+
+def estimate_record_bytes(record: Record) -> int:
+    """Rough wire-size estimate of a record, used for throughput accounting.
+
+    Numbers count as 8 bytes, booleans as 1, strings as their UTF-8 length and
+    anything else as the length of its ``repr``.  Field names count as their
+    length (as they would in a JSON/CSV encoding).
+    """
+    total = 8  # event timestamp
+    for key, value in record.data.items():
+        total += len(key)
+        if isinstance(value, bool):
+            total += 1
+        elif isinstance(value, (int, float)):
+            total += 8
+        elif isinstance(value, str):
+            total += len(value.encode("utf-8"))
+        elif value is None:
+            total += 1
+        else:
+            total += len(repr(value))
+    return total

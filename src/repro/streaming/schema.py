@@ -1,0 +1,138 @@
+"""Stream schemas.
+
+NebulaStream sources declare a schema; queries are validated against it and
+the engine uses it to estimate record sizes.  Our schema is a named, ordered
+list of typed fields with optional nullability.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import StreamError
+from repro.streaming.record import Record
+
+_TYPE_ALIASES: Dict[str, type] = {
+    "float": float,
+    "double": float,
+    "int": int,
+    "integer": int,
+    "bool": bool,
+    "boolean": bool,
+    "str": str,
+    "string": str,
+    "text": str,
+    "object": object,
+    "any": object,
+}
+
+
+class Field:
+    """A named, typed schema field."""
+
+    __slots__ = ("name", "type", "nullable")
+
+    def __init__(self, name: str, type_: "type | str" = float, nullable: bool = False) -> None:
+        if not name:
+            raise StreamError("a field needs a non-empty name")
+        self.name = name
+        if isinstance(type_, str):
+            try:
+                type_ = _TYPE_ALIASES[type_.lower()]
+            except KeyError:
+                raise StreamError(f"unknown field type alias: {type_!r}") from None
+        self.type = type_
+        self.nullable = bool(nullable)
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`StreamError` when the value does not match the field type."""
+        if value is None:
+            if not self.nullable:
+                raise StreamError(f"field {self.name!r} is not nullable")
+            return
+        if self.type is object:
+            return
+        if self.type is float and isinstance(value, (int, float)) and not isinstance(value, bool):
+            return
+        if self.type is int and isinstance(value, bool):
+            raise StreamError(f"field {self.name!r} expects int, got bool")
+        if not isinstance(value, self.type):
+            raise StreamError(
+                f"field {self.name!r} expects {self.type.__name__}, got {type(value).__name__}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Field):
+            return NotImplemented
+        return (self.name, self.type, self.nullable) == (other.name, other.type, other.nullable)
+
+    def __repr__(self) -> str:
+        null = ", nullable" if self.nullable else ""
+        return f"Field({self.name!r}, {self.type.__name__}{null})"
+
+
+class Schema:
+    """An ordered collection of fields describing a stream."""
+
+    def __init__(self, fields: Iterable[Field], name: str = "stream") -> None:
+        self.fields: List[Field] = list(fields)
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise StreamError(f"duplicate field names in schema: {names}")
+        self.name = name
+        self._by_name: Dict[str, Field] = {f.name: f for f in self.fields}
+
+    @classmethod
+    def of(cls, name: str = "stream", /, **field_types: "type | str") -> "Schema":
+        """Shorthand: ``Schema.of('gps', device_id='str', lon=float, lat=float)``.
+
+        The schema name is positional-only so that ``name`` can also be used as
+        a field name.
+        """
+        return cls([Field(fname, ftype) for fname, ftype in field_types.items()], name=name)
+
+    @property
+    def field_names(self) -> List[str]:
+        return [f.name for f in self.fields]
+
+    def field(self, name: str) -> Field:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise StreamError(f"schema {self.name!r} has no field {name!r}") from None
+
+    def has_field(self, name: str) -> bool:
+        return name in self._by_name
+
+    def validate_record(self, record: Record) -> None:
+        """Check that a record carries every declared field with the right type."""
+        for field in self.fields:
+            if field.name not in record:
+                if field.nullable:
+                    continue
+                raise StreamError(
+                    f"record is missing field {field.name!r} required by schema {self.name!r}"
+                )
+            field.validate(record[field.name])
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """A schema restricted to the given fields (keeping their order)."""
+        return Schema([self.field(n) for n in names], name=self.name)
+
+    def extend(self, fields: Iterable[Field]) -> "Schema":
+        """A schema with additional fields appended."""
+        return Schema(self.fields + list(fields), name=self.name)
+
+    def __contains__(self, name: str) -> bool:
+        return self.has_field(name)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.fields == other.fields
+
+    def __repr__(self) -> str:
+        return f"Schema({self.name!r}, {[f.name for f in self.fields]})"

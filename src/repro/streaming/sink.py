@@ -1,0 +1,121 @@
+"""Stream sinks.
+
+Sinks receive the records a query emits.  Besides simple collection and
+callback sinks there is a tiny in-memory :class:`Topic` / :class:`TopicSink`
+pair standing in for the Kafka topic the paper's Deck.gl visualization
+consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict, deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional
+
+from repro.streaming.record import Record
+
+
+class Sink:
+    """Base class for sinks."""
+
+    def accept(self, record: Record) -> None:
+        """Receive one output record."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Called once the query has finished."""
+
+
+class CollectSink(Sink):
+    """Collects every output record in memory (the default sink)."""
+
+    def __init__(self) -> None:
+        self.records: List[Record] = []
+
+    def accept(self, record: Record) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [r.as_dict() for r in self.records]
+
+
+class CallbackSink(Sink):
+    """Invokes a callback for every output record (e.g. to raise alerts)."""
+
+    def __init__(self, callback: Callable[[Record], None]) -> None:
+        self.callback = callback
+        self.count = 0
+
+    def accept(self, record: Record) -> None:
+        self.count += 1
+        self.callback(record)
+
+
+class NullSink(Sink):
+    """Discards output records, only counting them (used by benchmarks)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def accept(self, record: Record) -> None:
+        self.count += 1
+
+
+class FileSink(Sink):
+    """Writes output records as JSON lines."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = open(path, "w")
+        self.count = 0
+
+    def accept(self, record: Record) -> None:
+        self.count += 1
+        self._handle.write(json.dumps(record.as_dict(), default=str) + "\n")
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+class Topic:
+    """A named in-memory topic with bounded retention (Kafka stand-in)."""
+
+    def __init__(self, name: str, retention: int = 100_000) -> None:
+        self.name = name
+        self.retention = retention
+        self._messages: Deque[Dict[str, Any]] = deque(maxlen=retention)
+        self._offsets: Dict[str, int] = defaultdict(int)
+        self._produced = 0
+
+    def publish(self, message: Dict[str, Any]) -> None:
+        self._messages.append(message)
+        self._produced += 1
+
+    def poll(self, consumer: str, max_messages: int = 1000) -> List[Dict[str, Any]]:
+        """Read new messages for a named consumer (at-most-once, in-memory)."""
+        start = self._offsets[consumer]
+        available = self._produced - start
+        dropped = max(0, available - len(self._messages))
+        begin = len(self._messages) - (available - dropped)
+        batch = list(self._messages)[begin : begin + max_messages]
+        self._offsets[consumer] = start + dropped + len(batch)
+        return batch
+
+    @property
+    def size(self) -> int:
+        return len(self._messages)
+
+
+class TopicSink(Sink):
+    """Publishes every output record to an in-memory topic."""
+
+    def __init__(self, topic: Topic) -> None:
+        self.topic = topic
+        self.count = 0
+
+    def accept(self, record: Record) -> None:
+        self.count += 1
+        self.topic.publish(record.as_dict())

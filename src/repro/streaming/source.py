@@ -1,0 +1,143 @@
+"""Stream sources.
+
+A source yields :class:`~repro.streaming.record.Record` objects in event-time
+order and declares a schema.  Sources are pull-based iterables — the engine
+drives them — which keeps the single-process engine simple while preserving
+the logical source/operator/sink decomposition of NebulaStream.
+"""
+
+from __future__ import annotations
+
+import csv
+import heapq
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import StreamError
+from repro.streaming.record import Record
+from repro.streaming.schema import Schema
+
+
+class Source:
+    """Base class for sources."""
+
+    def __init__(self, schema: Schema, name: Optional[str] = None) -> None:
+        self.schema = schema
+        self.name = name or schema.name
+
+    def records(self) -> Iterator[Record]:
+        """Yield records in event-time order."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Record]:
+        return self.records()
+
+    def __repr__(self) -> str:
+        return f"<{self.__class__.__name__} {self.name!r}>"
+
+
+class ListSource(Source):
+    """A source over an in-memory list of records or payload dicts."""
+
+    def __init__(
+        self,
+        items: Iterable["Record | dict"],
+        schema: Schema,
+        name: Optional[str] = None,
+        validate: bool = False,
+        sort: bool = True,
+    ) -> None:
+        super().__init__(schema, name)
+        records: List[Record] = []
+        for item in items:
+            record = item if isinstance(item, Record) else Record(item)
+            if validate:
+                schema.validate_record(record)
+            records.append(record)
+        if sort:
+            records.sort(key=lambda r: r.timestamp)
+        self._records = records
+
+    def records(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class GeneratorSource(Source):
+    """A source driven by a generator factory (re-iterable)."""
+
+    def __init__(
+        self,
+        factory: Callable[[], Iterable["Record | dict"]],
+        schema: Schema,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(schema, name)
+        self._factory = factory
+
+    def records(self) -> Iterator[Record]:
+        for item in self._factory():
+            yield item if isinstance(item, Record) else Record(item)
+
+
+class CSVSource(Source):
+    """Reads records from a CSV file with a header row.
+
+    Column values are coerced to the schema's field types; the
+    ``timestamp_field`` column provides the event time.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        schema: Schema,
+        timestamp_field: str = "timestamp",
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(schema, name or path)
+        self.path = path
+        self.timestamp_field = timestamp_field
+
+    def records(self) -> Iterator[Record]:
+        with open(self.path, newline="") as handle:
+            reader = csv.DictReader(handle)
+            for row in reader:
+                payload: Dict[str, object] = {}
+                for field in self.schema.fields:
+                    raw = row.get(field.name)
+                    if raw is None or raw == "":
+                        payload[field.name] = None
+                        continue
+                    if field.type is float:
+                        payload[field.name] = float(raw)
+                    elif field.type is int:
+                        payload[field.name] = int(float(raw))
+                    elif field.type is bool:
+                        payload[field.name] = raw.strip().lower() in ("1", "true", "yes")
+                    else:
+                        payload[field.name] = raw
+                timestamp = payload.get(self.timestamp_field)
+                if timestamp is None:
+                    raise StreamError(
+                        f"CSV row is missing the timestamp column {self.timestamp_field!r}"
+                    )
+                yield Record(payload, float(timestamp))
+
+
+class MergedSource(Source):
+    """Merges several event-time-ordered sources into one ordered stream.
+
+    This models a NebulaStream union of physical sources (e.g. the six trains
+    of the SNCB deployment each publishing their own stream).
+    """
+
+    def __init__(self, sources: Sequence[Source], name: str = "merged") -> None:
+        if not sources:
+            raise StreamError("MergedSource needs at least one source")
+        super().__init__(sources[0].schema, name)
+        self.sources = list(sources)
+
+    def records(self) -> Iterator[Record]:
+        iterators = [iter(s) for s in self.sources]
+        return heapq.merge(*iterators, key=lambda r: r.timestamp)

@@ -1,0 +1,245 @@
+"""Coordinator / worker topology and operator placement.
+
+NebulaStream executes queries over a hierarchy of workers — cloud nodes, a
+coordinator and resource-constrained edge devices (the Intel Atom box on the
+train).  The paper's motivation for pushing MEOS operators to the edge is that
+filtering close to the sensors avoids shipping raw data over weak train-to-
+cloud links.
+
+This module models that trade-off.  A :class:`Topology` is a tree of
+:class:`NodeSpec` objects with CPU speed factors and uplink bandwidth; a
+:class:`PlacementStrategy` decides which prefix of the (linear) operator
+pipeline runs on the edge node and which part runs upstream.  Executing a
+query against a topology runs the real engine once to obtain per-operator
+selectivities, then derives transferred bytes and end-to-end latency from the
+placement — a deterministic simulation rather than a distributed runtime, as
+documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import StreamError
+from repro.streaming.engine import QueryResult, StreamExecutionEngine
+from repro.streaming.query import Query
+from repro.streaming.record import estimate_record_bytes
+
+
+class NodeKind(enum.Enum):
+    """Role of a topology node."""
+
+    EDGE = "edge"
+    COORDINATOR = "coordinator"
+    CLOUD = "cloud"
+
+
+@dataclass
+class NodeSpec:
+    """A worker node.
+
+    ``cpu_factor`` scales processing speed relative to a reference core
+    (an Intel Atom edge device is ~0.35, a cloud core 1.0);
+    ``uplink_mbps`` is the bandwidth towards the parent node and
+    ``uplink_latency_ms`` the one-way link latency.
+    """
+
+    name: str
+    kind: NodeKind = NodeKind.EDGE
+    cpu_factor: float = 1.0
+    uplink_mbps: float = 10.0
+    uplink_latency_ms: float = 20.0
+    parent: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.cpu_factor <= 0:
+            raise StreamError("cpu_factor must be positive")
+        if self.uplink_mbps <= 0:
+            raise StreamError("uplink_mbps must be positive")
+
+
+class PlacementStrategy(enum.Enum):
+    """Which prefix of the operator pipeline runs on the edge device."""
+
+    EDGE_FIRST = "edge_first"  # every operator that can run on the edge does
+    CLOUD_ONLY = "cloud_only"  # the edge only forwards raw events upstream
+
+
+@dataclass
+class PlacementReport:
+    """Outcome of executing a query against a topology."""
+
+    query_name: str
+    strategy: PlacementStrategy
+    edge_node: str
+    upstream_node: str
+    events_in: int
+    events_transferred: int
+    bytes_transferred: int
+    edge_compute_s: float
+    upstream_compute_s: float
+    transfer_s: float
+    total_latency_s: float
+    result: QueryResult
+
+    @property
+    def megabytes_transferred(self) -> float:
+        return self.bytes_transferred / 1_000_000.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "query": self.query_name,
+            "strategy": self.strategy.value,
+            "edge_node": self.edge_node,
+            "upstream_node": self.upstream_node,
+            "events_in": self.events_in,
+            "events_transferred": self.events_transferred,
+            "megabytes_transferred": round(self.megabytes_transferred, 3),
+            "edge_compute_s": round(self.edge_compute_s, 4),
+            "upstream_compute_s": round(self.upstream_compute_s, 4),
+            "transfer_s": round(self.transfer_s, 4),
+            "total_latency_s": round(self.total_latency_s, 4),
+        }
+
+
+class Topology:
+    """A tree of worker nodes rooted at a coordinator/cloud node."""
+
+    def __init__(self, nodes: Sequence[NodeSpec]) -> None:
+        if not nodes:
+            raise StreamError("a topology needs at least one node")
+        self.nodes: Dict[str, NodeSpec] = {}
+        for node in nodes:
+            if node.name in self.nodes:
+                raise StreamError(f"duplicate node name {node.name!r}")
+            self.nodes[node.name] = node
+        for node in nodes:
+            if node.parent is not None and node.parent not in self.nodes:
+                raise StreamError(f"node {node.name!r} has unknown parent {node.parent!r}")
+
+    @classmethod
+    def train_deployment(cls, num_trains: int = 6) -> "Topology":
+        """The paper's deployment: one edge box per train, a coordinator, a cloud node."""
+        nodes = [
+            NodeSpec("cloud", NodeKind.CLOUD, cpu_factor=1.0, uplink_mbps=1000.0, uplink_latency_ms=1.0),
+            NodeSpec(
+                "coordinator",
+                NodeKind.COORDINATOR,
+                cpu_factor=1.0,
+                uplink_mbps=100.0,
+                uplink_latency_ms=5.0,
+                parent="cloud",
+            ),
+        ]
+        for i in range(num_trains):
+            nodes.append(
+                NodeSpec(
+                    f"train-{i}",
+                    NodeKind.EDGE,
+                    cpu_factor=0.35,
+                    uplink_mbps=8.0,
+                    uplink_latency_ms=60.0,
+                    parent="coordinator",
+                )
+            )
+        return cls(nodes)
+
+    def edges(self) -> List[NodeSpec]:
+        return [n for n in self.nodes.values() if n.kind is NodeKind.EDGE]
+
+    def node(self, name: str) -> NodeSpec:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise StreamError(f"unknown topology node {name!r}") from None
+
+    def path_to_root(self, name: str) -> List[NodeSpec]:
+        """Nodes from ``name`` up to the root (inclusive)."""
+        path = [self.node(name)]
+        while path[-1].parent is not None:
+            path.append(self.node(path[-1].parent))
+        return path
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return f"Topology({list(self.nodes)})"
+
+
+class TopologyExecution:
+    """Executes queries against a topology under a placement strategy.
+
+    Per-event processing cost on a node is
+    ``base_cost_us / cpu_factor * operators_on_node``; transfer time is
+    ``bytes * 8 / uplink_mbps`` plus the per-hop link latency.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        engine: Optional[StreamExecutionEngine] = None,
+        base_cost_us: float = 8.0,
+    ) -> None:
+        self.topology = topology
+        self.engine = engine or StreamExecutionEngine()
+        self.base_cost_us = float(base_cost_us)
+
+    def run(
+        self,
+        query: Query,
+        edge_node: str,
+        strategy: PlacementStrategy = PlacementStrategy.EDGE_FIRST,
+    ) -> PlacementReport:
+        """Execute ``query`` with its source attached to ``edge_node``."""
+        edge = self.topology.node(edge_node)
+        path = self.topology.path_to_root(edge_node)
+        upstream = path[1] if len(path) > 1 else edge
+
+        result = self.engine.execute(query)
+        plan = result.plan
+        operators_total = max(len(plan.nodes) - 1, 1)
+
+        if strategy is PlacementStrategy.EDGE_FIRST:
+            edge_operators = operators_total
+            upstream_operators = 0
+            events_transferred = result.metrics.events_out
+            bytes_transferred = result.metrics.bytes_out
+        else:
+            edge_operators = 0
+            upstream_operators = operators_total
+            events_transferred = result.metrics.events_in
+            bytes_transferred = result.metrics.bytes_in
+
+        events_in = result.metrics.events_in
+        edge_compute = events_in * edge_operators * self.base_cost_us / edge.cpu_factor / 1e6
+        upstream_compute = (
+            events_in * upstream_operators * self.base_cost_us / upstream.cpu_factor / 1e6
+        )
+        transfer = bytes_transferred * 8.0 / (edge.uplink_mbps * 1e6)
+        hops = max(len(path) - 1, 1)
+        transfer += hops * edge.uplink_latency_ms / 1000.0
+
+        return PlacementReport(
+            query_name=query.name,
+            strategy=strategy,
+            edge_node=edge.name,
+            upstream_node=upstream.name,
+            events_in=events_in,
+            events_transferred=events_transferred,
+            bytes_transferred=bytes_transferred,
+            edge_compute_s=edge_compute,
+            upstream_compute_s=upstream_compute,
+            transfer_s=transfer,
+            total_latency_s=edge_compute + upstream_compute + transfer,
+            result=result,
+        )
+
+    def compare(self, query: Query, edge_node: str) -> Dict[str, PlacementReport]:
+        """Run the same query under both placements (the A1 ablation)."""
+        return {
+            strategy.value: self.run(query, edge_node, strategy)
+            for strategy in (PlacementStrategy.EDGE_FIRST, PlacementStrategy.CLOUD_ONLY)
+        }

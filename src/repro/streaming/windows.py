@@ -1,0 +1,105 @@
+"""Window assigners: tumbling, sliding and threshold windows.
+
+The paper extends NebulaStream's window definition expressions so that
+tumbling, sliding and threshold windows can be used over spatiotemporal
+streams.  Here the assigners are engine-level: they map an event timestamp
+(plus, for threshold windows, the record itself) to the set of windows the
+event belongs to.  The spatiotemporal variants in
+:mod:`repro.nebulameos.stwindows` build on these.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import StreamError
+from repro.streaming.expressions import Expression, wrap
+from repro.streaming.record import Record
+
+WindowKey = Tuple[float, float]
+
+
+class WindowAssigner:
+    """Maps a record to the (start, end) windows it belongs to."""
+
+    def assign(self, record: Record) -> List[WindowKey]:
+        raise NotImplementedError
+
+    def is_threshold(self) -> bool:
+        """Threshold windows are data-driven and handled specially by the operator."""
+        return False
+
+
+class TumblingWindow(WindowAssigner):
+    """Fixed-size, non-overlapping windows aligned to multiples of ``size``."""
+
+    def __init__(self, size: float) -> None:
+        if size <= 0:
+            raise StreamError("tumbling window size must be positive")
+        self.size = float(size)
+
+    def assign(self, record: Record) -> List[WindowKey]:
+        start = math.floor(record.timestamp / self.size) * self.size
+        return [(start, start + self.size)]
+
+    def __repr__(self) -> str:
+        return f"TumblingWindow({self.size}s)"
+
+
+class SlidingWindow(WindowAssigner):
+    """Fixed-size windows that start every ``slide`` seconds (overlapping when slide < size)."""
+
+    def __init__(self, size: float, slide: float) -> None:
+        if size <= 0 or slide <= 0:
+            raise StreamError("sliding window size and slide must be positive")
+        if slide > size:
+            raise StreamError("sliding window slide must not exceed the window size")
+        self.size = float(size)
+        self.slide = float(slide)
+
+    def assign(self, record: Record) -> List[WindowKey]:
+        ts = record.timestamp
+        last_start = math.floor(ts / self.slide) * self.slide
+        windows: List[WindowKey] = []
+        start = last_start
+        while start > ts - self.size:
+            windows.append((start, start + self.size))
+            start -= self.slide
+        return sorted(windows)
+
+    def __repr__(self) -> str:
+        return f"SlidingWindow(size={self.size}s, slide={self.slide}s)"
+
+
+class ThresholdWindow(WindowAssigner):
+    """Data-driven windows: open while a predicate holds, close when it stops.
+
+    A threshold window collects consecutive records (per key) for which the
+    predicate evaluates truthy; when a record arrives for which it does not,
+    the window closes and is emitted if it holds at least ``min_count``
+    records.  This mirrors NebulaStream's threshold window operator, which the
+    paper extends with spatiotemporal predicates (e.g. "while inside the
+    geofence").
+    """
+
+    def __init__(self, predicate: Expression, min_count: int = 1, max_duration: Optional[float] = None) -> None:
+        if min_count < 1:
+            raise StreamError("threshold window min_count must be at least 1")
+        self.predicate = wrap(predicate)
+        self.min_count = int(min_count)
+        self.max_duration = float(max_duration) if max_duration is not None else None
+
+    def is_threshold(self) -> bool:
+        return True
+
+    def matches(self, record: Record) -> bool:
+        """Whether the record keeps the window open."""
+        return bool(self.predicate.evaluate(record))
+
+    def assign(self, record: Record) -> List[WindowKey]:
+        # Threshold windows are stateful; assignment happens in the window operator.
+        raise StreamError("threshold windows are data-driven and cannot pre-assign windows")
+
+    def __repr__(self) -> str:
+        return f"ThresholdWindow(min_count={self.min_count}, predicate={self.predicate!r})"

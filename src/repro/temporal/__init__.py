@@ -1,0 +1,57 @@
+"""Temporal algebra substrate (MEOS temporal types, pure Python).
+
+The module mirrors the time-related part of the MEOS library:
+
+* :class:`Period`, :class:`TimestampSet`, :class:`PeriodSet` — time spans.
+* :class:`TInstant`, :class:`TSequence`, :class:`TSequenceSet` — temporal
+  values (a value that changes over time), with discrete, stepwise or linear
+  interpolation.
+* :class:`TBool`, :class:`TInt`, :class:`TFloat`, :class:`TText` — typed
+  convenience factories.
+* :mod:`repro.temporal.aggregates` — time-weighted aggregates over temporal
+  values.
+
+Timestamps are plain ``float`` seconds (Unix epoch or simulation time); use
+:func:`repro.temporal.time.to_timestamp` to convert ``datetime`` objects.
+"""
+
+from repro.temporal.interpolation import Interpolation
+from repro.temporal.time import (
+    Period,
+    PeriodSet,
+    TimestampSet,
+    from_timestamp,
+    to_timestamp,
+)
+from repro.temporal.tinstant import TInstant
+from repro.temporal.tsequence import TSequence
+from repro.temporal.tsequenceset import TSequenceSet
+from repro.temporal.types import TBool, TFloat, TInt, TText
+from repro.temporal.aggregates import (
+    temporal_average,
+    temporal_extent,
+    temporal_max,
+    temporal_min,
+    time_weighted_average,
+)
+
+__all__ = [
+    "Interpolation",
+    "Period",
+    "PeriodSet",
+    "TimestampSet",
+    "TInstant",
+    "TSequence",
+    "TSequenceSet",
+    "TBool",
+    "TInt",
+    "TFloat",
+    "TText",
+    "to_timestamp",
+    "from_timestamp",
+    "temporal_average",
+    "temporal_extent",
+    "temporal_max",
+    "temporal_min",
+    "time_weighted_average",
+]

@@ -1,0 +1,73 @@
+"""Aggregate functions over temporal values.
+
+MEOS provides temporal aggregates (``tmin``, ``tmax``, ``tavg``, extent) that
+combine many temporal values or summarize a single one.  The paper's future
+work mentions aggregation over stream elements (e.g. top-k nearest trains);
+the functions here provide the primitives those queries build on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from repro.errors import TemporalError
+from repro.temporal.time import Period
+from repro.temporal.tsequence import TSequence
+from repro.temporal.tsequenceset import TSequenceSet
+
+Temporal = Union[TSequence, TSequenceSet]
+
+
+def _sequences(value: Temporal) -> List[TSequence]:
+    if isinstance(value, TSequence):
+        return [value]
+    if isinstance(value, TSequenceSet):
+        return list(value.sequences)
+    raise TemporalError(f"not a temporal value: {value!r}")
+
+
+def temporal_min(value: Temporal) -> float:
+    """Minimum instant value of a numeric temporal value."""
+    return min(s.min_value() for s in _sequences(value))
+
+
+def temporal_max(value: Temporal) -> float:
+    """Maximum instant value of a numeric temporal value."""
+    return max(s.max_value() for s in _sequences(value))
+
+
+def temporal_average(value: Temporal) -> float:
+    """Plain (unweighted) mean of the instant values."""
+    values = [v for s in _sequences(value) for v in s.values]
+    return float(sum(values)) / len(values)
+
+
+def time_weighted_average(value: Temporal) -> float:
+    """Time-weighted mean — the MEOS ``twAvg`` aggregate."""
+    if isinstance(value, TSequenceSet):
+        return value.time_weighted_average()
+    return value.time_weighted_average()
+
+
+def temporal_extent(values: Iterable[Temporal]) -> Optional[Period]:
+    """Bounding period covering every temporal value in ``values``."""
+    lowers: List[float] = []
+    uppers: List[float] = []
+    for value in values:
+        period = value.period()
+        lowers.append(period.lower)
+        uppers.append(period.upper)
+    if not lowers:
+        return None
+    return Period(min(lowers), max(uppers), lower_inc=True, upper_inc=True)
+
+
+def temporal_count(values: Iterable[Temporal]) -> int:
+    """Total number of instants across the given temporal values."""
+    total = 0
+    for value in values:
+        if isinstance(value, TSequence):
+            total += len(value)
+        else:
+            total += value.num_instants()
+    return total

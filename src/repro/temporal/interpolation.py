@@ -1,0 +1,65 @@
+"""Interpolation modes for temporal values.
+
+MEOS distinguishes three interpolation behaviours for temporal sequences:
+
+* ``DISCRETE`` — the value only exists at the listed instants.
+* ``STEPWISE`` — the value holds constant from one instant until the next
+  (suitable for text / boolean / integer values).
+* ``LINEAR`` — the value varies linearly between consecutive instants
+  (suitable for floats and geometry points).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Interpolation(enum.Enum):
+    """How a temporal sequence evolves between two consecutive instants."""
+
+    DISCRETE = "discrete"
+    STEPWISE = "stepwise"
+    LINEAR = "linear"
+
+    @classmethod
+    def parse(cls, value: "Interpolation | str") -> "Interpolation":
+        """Accept either an :class:`Interpolation` member or its string name."""
+        if isinstance(value, Interpolation):
+            return value
+        try:
+            return cls(value.lower())
+        except (ValueError, AttributeError):
+            raise ValueError(f"unknown interpolation: {value!r}") from None
+
+
+def default_interpolation(value: object) -> Interpolation:
+    """Pick the MEOS default interpolation for a Python value.
+
+    Floats and objects exposing ``interpolate`` (e.g. geometry points) default
+    to linear interpolation; everything else is stepwise.
+    """
+    if isinstance(value, bool):
+        return Interpolation.STEPWISE
+    if isinstance(value, float):
+        return Interpolation.LINEAR
+    if isinstance(value, int):
+        return Interpolation.STEPWISE
+    if hasattr(value, "interpolate"):
+        return Interpolation.LINEAR
+    return Interpolation.STEPWISE
+
+
+def interpolate_value(start: object, end: object, fraction: float) -> object:
+    """Linearly interpolate between two values.
+
+    Numbers are interpolated arithmetically; objects exposing an
+    ``interpolate(other, fraction)`` method (e.g. :class:`repro.spatial.Point`)
+    delegate to it.  ``fraction`` is clamped to ``[0, 1]``.
+    """
+    fraction = min(1.0, max(0.0, fraction))
+    if isinstance(start, (int, float)) and not isinstance(start, bool):
+        return start + (end - start) * fraction
+    if hasattr(start, "interpolate"):
+        return start.interpolate(end, fraction)
+    # Non-interpolable values behave stepwise: keep the start value until the end.
+    return start if fraction < 1.0 else end

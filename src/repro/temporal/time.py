@@ -1,0 +1,420 @@
+"""Time spans: periods, timestamp sets and period sets.
+
+These mirror the MEOS/MobilityDB span types ``tstzspan`` (:class:`Period`),
+``tstzset`` (:class:`TimestampSet`) and ``tstzspanset`` (:class:`PeriodSet`).
+Timestamps are ``float`` seconds; helpers convert to and from ``datetime``.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.errors import TemporalError
+
+TimestampLike = Union[float, int, datetime, str]
+
+
+def to_timestamp(value: TimestampLike) -> float:
+    """Convert a timestamp-like value into float seconds.
+
+    Accepts numbers (returned as ``float``), ``datetime`` objects (naive
+    datetimes are assumed UTC) and ISO-8601 strings.
+    """
+    if isinstance(value, bool):
+        raise TemporalError(f"not a timestamp: {value!r}")
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, datetime):
+        if value.tzinfo is None:
+            value = value.replace(tzinfo=timezone.utc)
+        return value.timestamp()
+    if isinstance(value, str):
+        try:
+            return to_timestamp(datetime.fromisoformat(value))
+        except ValueError as exc:
+            raise TemporalError(f"cannot parse timestamp string: {value!r}") from exc
+    raise TemporalError(f"not a timestamp: {value!r}")
+
+
+def from_timestamp(ts: float) -> datetime:
+    """Convert float seconds into a UTC ``datetime``."""
+    return datetime.fromtimestamp(float(ts), tz=timezone.utc)
+
+
+class Period:
+    """A bounded interval of time, ``[lower, upper]`` with inclusive flags.
+
+    By default the lower bound is inclusive and the upper bound exclusive,
+    matching the MEOS convention for ``tstzspan``.
+    """
+
+    __slots__ = ("lower", "upper", "lower_inc", "upper_inc")
+
+    def __init__(
+        self,
+        lower: TimestampLike,
+        upper: TimestampLike,
+        lower_inc: bool = True,
+        upper_inc: bool = False,
+    ) -> None:
+        self.lower = to_timestamp(lower)
+        self.upper = to_timestamp(upper)
+        self.lower_inc = bool(lower_inc)
+        self.upper_inc = bool(upper_inc)
+        if self.lower > self.upper:
+            raise TemporalError(
+                f"period lower bound {self.lower} is after upper bound {self.upper}"
+            )
+        if self.lower == self.upper and not (self.lower_inc and self.upper_inc):
+            raise TemporalError("a degenerate (instantaneous) period must include both bounds")
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def at(cls, instant: TimestampLike) -> "Period":
+        """A degenerate period covering a single instant."""
+        ts = to_timestamp(instant)
+        return cls(ts, ts, lower_inc=True, upper_inc=True)
+
+    @classmethod
+    def of_duration(cls, start: TimestampLike, duration: float) -> "Period":
+        """A period starting at ``start`` and lasting ``duration`` seconds."""
+        start_ts = to_timestamp(start)
+        return cls(start_ts, start_ts + float(duration))
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Length of the period in seconds."""
+        return self.upper - self.lower
+
+    @property
+    def mid(self) -> float:
+        """Midpoint of the period."""
+        return (self.lower + self.upper) / 2.0
+
+    def is_instant(self) -> bool:
+        """``True`` for a degenerate period covering a single instant."""
+        return self.lower == self.upper
+
+    # -- topological predicates -----------------------------------------------
+
+    def contains_timestamp(self, ts: TimestampLike) -> bool:
+        """Whether an instant falls inside the period (respecting bound flags)."""
+        t = to_timestamp(ts)
+        if t < self.lower or t > self.upper:
+            return False
+        if t == self.lower and not self.lower_inc:
+            return False
+        if t == self.upper and not self.upper_inc:
+            return False
+        return True
+
+    def contains_period(self, other: "Period") -> bool:
+        """Whether ``other`` lies entirely inside this period."""
+        if other.lower < self.lower or other.upper > self.upper:
+            return False
+        if other.lower == self.lower and other.lower_inc and not self.lower_inc:
+            return False
+        if other.upper == self.upper and other.upper_inc and not self.upper_inc:
+            return False
+        return True
+
+    def overlaps(self, other: "Period") -> bool:
+        """Whether the two periods share at least one instant."""
+        if self.upper < other.lower or other.upper < self.lower:
+            return False
+        if self.upper == other.lower:
+            return self.upper_inc and other.lower_inc
+        if other.upper == self.lower:
+            return other.upper_inc and self.lower_inc
+        return True
+
+    def is_before(self, other: "Period") -> bool:
+        """Strictly before ``other`` (no shared instants)."""
+        return not self.overlaps(other) and self.upper <= other.lower
+
+    def is_after(self, other: "Period") -> bool:
+        """Strictly after ``other`` (no shared instants)."""
+        return not self.overlaps(other) and self.lower >= other.upper
+
+    def is_adjacent(self, other: "Period") -> bool:
+        """Whether the periods touch at a bound without overlapping."""
+        if self.upper == other.lower:
+            return self.upper_inc != other.lower_inc
+        if other.upper == self.lower:
+            return other.upper_inc != self.lower_inc
+        return False
+
+    # -- set operations ---------------------------------------------------------
+
+    def intersection(self, other: "Period") -> Optional["Period"]:
+        """The overlapping sub-period, or ``None`` when disjoint."""
+        if not self.overlaps(other):
+            return None
+        if self.lower > other.lower:
+            lower, lower_inc = self.lower, self.lower_inc
+        elif self.lower < other.lower:
+            lower, lower_inc = other.lower, other.lower_inc
+        else:
+            lower, lower_inc = self.lower, self.lower_inc and other.lower_inc
+        if self.upper < other.upper:
+            upper, upper_inc = self.upper, self.upper_inc
+        elif self.upper > other.upper:
+            upper, upper_inc = other.upper, other.upper_inc
+        else:
+            upper, upper_inc = self.upper, self.upper_inc and other.upper_inc
+        return Period(lower, upper, lower_inc, upper_inc)
+
+    def union(self, other: "Period") -> "PeriodSet":
+        """Union of the two periods as a (possibly two-element) period set."""
+        return PeriodSet([self, other])
+
+    def merge(self, other: "Period") -> Optional["Period"]:
+        """Single-period union when the two periods overlap or are adjacent."""
+        if not (self.overlaps(other) or self.is_adjacent(other)):
+            return None
+        if self.lower < other.lower:
+            lower, lower_inc = self.lower, self.lower_inc
+        elif self.lower > other.lower:
+            lower, lower_inc = other.lower, other.lower_inc
+        else:
+            lower, lower_inc = self.lower, self.lower_inc or other.lower_inc
+        if self.upper > other.upper:
+            upper, upper_inc = self.upper, self.upper_inc
+        elif self.upper < other.upper:
+            upper, upper_inc = other.upper, other.upper_inc
+        else:
+            upper, upper_inc = self.upper, self.upper_inc or other.upper_inc
+        return Period(lower, upper, lower_inc, upper_inc)
+
+    def minus(self, other: "Period") -> "PeriodSet":
+        """The part of this period not covered by ``other``."""
+        inter = self.intersection(other)
+        if inter is None:
+            return PeriodSet([self])
+        pieces: List[Period] = []
+        if self.lower < inter.lower or (
+            self.lower == inter.lower and self.lower_inc and not inter.lower_inc
+        ):
+            pieces.append(
+                Period(self.lower, inter.lower, self.lower_inc, not inter.lower_inc)
+            )
+        if inter.upper < self.upper or (
+            inter.upper == self.upper and self.upper_inc and not inter.upper_inc
+        ):
+            pieces.append(
+                Period(inter.upper, self.upper, not inter.upper_inc, self.upper_inc)
+            )
+        return PeriodSet(pieces)
+
+    # -- transformations --------------------------------------------------------
+
+    def shift(self, delta: float) -> "Period":
+        """A copy of the period translated by ``delta`` seconds."""
+        return Period(self.lower + delta, self.upper + delta, self.lower_inc, self.upper_inc)
+
+    def expand(self, margin: float) -> "Period":
+        """A copy widened by ``margin`` seconds on both sides."""
+        if margin < 0:
+            raise TemporalError("expand margin must be non-negative")
+        return Period(self.lower - margin, self.upper + margin, self.lower_inc, self.upper_inc)
+
+    def distance(self, other: "Period") -> float:
+        """Temporal gap between the two periods (0 when they overlap/touch)."""
+        if self.overlaps(other) or self.is_adjacent(other):
+            return 0.0
+        if self.upper <= other.lower:
+            return other.lower - self.upper
+        return self.lower - other.upper
+
+    # -- dunder -----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Period):
+            return NotImplemented
+        return (
+            self.lower == other.lower
+            and self.upper == other.upper
+            and self.lower_inc == other.lower_inc
+            and self.upper_inc == other.upper_inc
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lower, self.upper, self.lower_inc, self.upper_inc))
+
+    def __contains__(self, ts: object) -> bool:
+        return self.contains_timestamp(ts)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:
+        lo = "[" if self.lower_inc else "("
+        hi = "]" if self.upper_inc else ")"
+        return f"Period{lo}{self.lower}, {self.upper}{hi}"
+
+
+class TimestampSet:
+    """An ordered set of distinct timestamps (MEOS ``tstzset``)."""
+
+    __slots__ = ("_timestamps",)
+
+    def __init__(self, timestamps: Iterable[TimestampLike]) -> None:
+        values = sorted({to_timestamp(t) for t in timestamps})
+        if not values:
+            raise TemporalError("a TimestampSet needs at least one timestamp")
+        self._timestamps: List[float] = values
+
+    @property
+    def timestamps(self) -> Sequence[float]:
+        """The timestamps in ascending order."""
+        return tuple(self._timestamps)
+
+    @property
+    def start(self) -> float:
+        return self._timestamps[0]
+
+    @property
+    def end(self) -> float:
+        return self._timestamps[-1]
+
+    def period(self) -> Period:
+        """Bounding period (both bounds inclusive)."""
+        return Period(self.start, self.end, lower_inc=True, upper_inc=True)
+
+    def contains(self, ts: TimestampLike) -> bool:
+        return to_timestamp(ts) in set(self._timestamps)
+
+    def at_period(self, period: Period) -> Optional["TimestampSet"]:
+        """Restrict to timestamps inside ``period``; ``None`` when empty."""
+        kept = [t for t in self._timestamps if period.contains_timestamp(t)]
+        return TimestampSet(kept) if kept else None
+
+    def shift(self, delta: float) -> "TimestampSet":
+        return TimestampSet(t + delta for t in self._timestamps)
+
+    def union(self, other: "TimestampSet") -> "TimestampSet":
+        return TimestampSet(list(self._timestamps) + list(other._timestamps))
+
+    def __len__(self) -> int:
+        return len(self._timestamps)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._timestamps)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimestampSet):
+            return NotImplemented
+        return self._timestamps == other._timestamps
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._timestamps))
+
+    def __repr__(self) -> str:
+        return f"TimestampSet({self._timestamps})"
+
+
+class PeriodSet:
+    """A normalized set of disjoint, ordered periods (MEOS ``tstzspanset``).
+
+    Overlapping or adjacent input periods are merged on construction.
+    """
+
+    __slots__ = ("_periods",)
+
+    def __init__(self, periods: Iterable[Period]) -> None:
+        self._periods: List[Period] = self._normalize(list(periods))
+
+    @staticmethod
+    def _normalize(periods: List[Period]) -> List[Period]:
+        if not periods:
+            return []
+        ordered = sorted(periods, key=lambda p: (p.lower, p.upper))
+        merged: List[Period] = [ordered[0]]
+        for period in ordered[1:]:
+            candidate = merged[-1].merge(period)
+            if candidate is not None:
+                merged[-1] = candidate
+            else:
+                merged.append(period)
+        return merged
+
+    @classmethod
+    def empty(cls) -> "PeriodSet":
+        return cls([])
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def periods(self) -> Sequence[Period]:
+        return tuple(self._periods)
+
+    def is_empty(self) -> bool:
+        return not self._periods
+
+    @property
+    def duration(self) -> float:
+        """Total covered duration in seconds."""
+        return sum(p.duration for p in self._periods)
+
+    def period(self) -> Optional[Period]:
+        """Bounding period spanning from the first lower to the last upper bound."""
+        if not self._periods:
+            return None
+        first, last = self._periods[0], self._periods[-1]
+        return Period(first.lower, last.upper, first.lower_inc, last.upper_inc)
+
+    # -- predicates ---------------------------------------------------------------
+
+    def contains_timestamp(self, ts: TimestampLike) -> bool:
+        t = to_timestamp(ts)
+        return any(p.contains_timestamp(t) for p in self._periods)
+
+    def overlaps(self, other: "Period | PeriodSet") -> bool:
+        others = [other] if isinstance(other, Period) else list(other.periods)
+        return any(p.overlaps(q) for p in self._periods for q in others)
+
+    # -- set operations -------------------------------------------------------------
+
+    def union(self, other: "Period | PeriodSet") -> "PeriodSet":
+        others = [other] if isinstance(other, Period) else list(other.periods)
+        return PeriodSet(list(self._periods) + others)
+
+    def intersection(self, other: "Period | PeriodSet") -> "PeriodSet":
+        others = [other] if isinstance(other, Period) else list(other.periods)
+        pieces = []
+        for p in self._periods:
+            for q in others:
+                inter = p.intersection(q)
+                if inter is not None:
+                    pieces.append(inter)
+        return PeriodSet(pieces)
+
+    def minus(self, other: "Period | PeriodSet") -> "PeriodSet":
+        others = [other] if isinstance(other, Period) else list(other.periods)
+        remaining = list(self._periods)
+        for q in others:
+            next_remaining: List[Period] = []
+            for p in remaining:
+                next_remaining.extend(p.minus(q).periods)
+            remaining = next_remaining
+        return PeriodSet(remaining)
+
+    def shift(self, delta: float) -> "PeriodSet":
+        return PeriodSet(p.shift(delta) for p in self._periods)
+
+    # -- dunder ------------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._periods)
+
+    def __iter__(self) -> Iterator[Period]:
+        return iter(self._periods)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PeriodSet):
+            return NotImplemented
+        return self._periods == other._periods
+
+    def __repr__(self) -> str:
+        return f"PeriodSet({self._periods})"

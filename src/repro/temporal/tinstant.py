@@ -1,0 +1,50 @@
+"""Temporal instant: a single value observed at a single timestamp."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import TemporalError
+from repro.temporal.time import TimestampLike, Period, to_timestamp
+
+
+class TInstant:
+    """A value at a timestamp — the atom of every temporal value.
+
+    Mirrors the MEOS ``TInstant`` subtype. Instances are immutable and ordered
+    by timestamp, which makes sorting a collection of instants cheap.
+    """
+
+    __slots__ = ("value", "timestamp")
+
+    def __init__(self, value: Any, timestamp: TimestampLike) -> None:
+        if value is None:
+            raise TemporalError("a temporal instant needs a value")
+        self.value = value
+        self.timestamp = to_timestamp(timestamp)
+
+    def period(self) -> Period:
+        """The degenerate period covering this instant."""
+        return Period.at(self.timestamp)
+
+    def shift(self, delta: float) -> "TInstant":
+        """A copy translated in time by ``delta`` seconds."""
+        return TInstant(self.value, self.timestamp + delta)
+
+    def with_value(self, value: Any) -> "TInstant":
+        """A copy at the same timestamp holding a different value."""
+        return TInstant(value, self.timestamp)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TInstant):
+            return NotImplemented
+        return self.value == other.value and self.timestamp == other.timestamp
+
+    def __lt__(self, other: "TInstant") -> bool:
+        return self.timestamp < other.timestamp
+
+    def __hash__(self) -> int:
+        return hash((repr(self.value), self.timestamp))
+
+    def __repr__(self) -> str:
+        return f"TInstant({self.value!r} @ {self.timestamp})"

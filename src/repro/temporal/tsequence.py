@@ -1,0 +1,377 @@
+"""Temporal sequence: a value evolving over a continuous period.
+
+A :class:`TSequence` is an ordered list of :class:`TInstant` with an
+interpolation mode and inclusive/exclusive flags on its bounds, mirroring the
+MEOS ``TSequence`` subtype.  It supports value lookup at arbitrary instants,
+restriction to periods and value ranges, ever/always predicates, splitting and
+basic statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import TemporalError
+from repro.temporal.interpolation import (
+    Interpolation,
+    default_interpolation,
+    interpolate_value,
+)
+from repro.temporal.time import Period, PeriodSet, TimestampLike, to_timestamp
+from repro.temporal.tinstant import TInstant
+
+
+class TSequence:
+    """A temporal value over a single continuous period."""
+
+    __slots__ = ("_instants", "interpolation", "lower_inc", "upper_inc")
+
+    def __init__(
+        self,
+        instants: Iterable[TInstant],
+        interpolation: "Interpolation | str | None" = None,
+        lower_inc: bool = True,
+        upper_inc: bool = True,
+    ) -> None:
+        items = sorted(instants, key=lambda i: i.timestamp)
+        if not items:
+            raise TemporalError("a TSequence needs at least one instant")
+        timestamps = [i.timestamp for i in items]
+        if len(set(timestamps)) != len(timestamps):
+            raise TemporalError("instants of a TSequence must have distinct timestamps")
+        if interpolation is None:
+            interpolation = default_interpolation(items[0].value)
+        self.interpolation = Interpolation.parse(interpolation)
+        self._instants: List[TInstant] = items
+        self.lower_inc = bool(lower_inc)
+        self.upper_inc = bool(upper_inc)
+        if len(items) == 1 and not (self.lower_inc and self.upper_inc):
+            raise TemporalError("a single-instant sequence must include both bounds")
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Iterable[Tuple[Any, TimestampLike]],
+        interpolation: "Interpolation | str | None" = None,
+        lower_inc: bool = True,
+        upper_inc: bool = True,
+    ) -> "TSequence":
+        """Build a sequence from ``(value, timestamp)`` pairs."""
+        instants = [TInstant(value, ts) for value, ts in pairs]
+        return cls(instants, interpolation, lower_inc, upper_inc)
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def instants(self) -> Sequence[TInstant]:
+        return tuple(self._instants)
+
+    @property
+    def values(self) -> List[Any]:
+        return [i.value for i in self._instants]
+
+    @property
+    def timestamps(self) -> List[float]:
+        return [i.timestamp for i in self._instants]
+
+    @property
+    def start_instant(self) -> TInstant:
+        return self._instants[0]
+
+    @property
+    def end_instant(self) -> TInstant:
+        return self._instants[-1]
+
+    @property
+    def start_value(self) -> Any:
+        return self._instants[0].value
+
+    @property
+    def end_value(self) -> Any:
+        return self._instants[-1].value
+
+    @property
+    def start_timestamp(self) -> float:
+        return self._instants[0].timestamp
+
+    @property
+    def end_timestamp(self) -> float:
+        return self._instants[-1].timestamp
+
+    def num_instants(self) -> int:
+        return len(self._instants)
+
+    def period(self) -> Period:
+        """The period over which the sequence is defined."""
+        return Period(
+            self.start_timestamp,
+            self.end_timestamp,
+            lower_inc=self.lower_inc,
+            upper_inc=self.upper_inc or self.start_timestamp == self.end_timestamp,
+        )
+
+    @property
+    def duration(self) -> float:
+        return self.end_timestamp - self.start_timestamp
+
+    # -- value lookup ----------------------------------------------------------------
+
+    def value_at(self, ts: TimestampLike) -> Optional[Any]:
+        """The (possibly interpolated) value at ``ts``; ``None`` outside the period."""
+        t = to_timestamp(ts)
+        if not self.period().contains_timestamp(t):
+            return None
+        instants = self._instants
+        # Binary search over timestamps.
+        lo, hi = 0, len(instants) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if instants[mid].timestamp <= t:
+                lo = mid
+            else:
+                hi = mid - 1
+        current = instants[lo]
+        if current.timestamp == t or self.interpolation is Interpolation.DISCRETE:
+            return current.value if current.timestamp == t else None
+        if lo == len(instants) - 1:
+            return current.value
+        nxt = instants[lo + 1]
+        if self.interpolation is Interpolation.STEPWISE:
+            return current.value
+        span = nxt.timestamp - current.timestamp
+        fraction = 0.0 if span == 0 else (t - current.timestamp) / span
+        return interpolate_value(current.value, nxt.value, fraction)
+
+    def instant_at(self, ts: TimestampLike) -> Optional[TInstant]:
+        """An instant at ``ts`` (interpolated when needed)."""
+        value = self.value_at(ts)
+        if value is None:
+            return None
+        return TInstant(value, ts)
+
+    # -- predicates -------------------------------------------------------------------
+
+    def ever(self, predicate: Callable[[Any], bool]) -> bool:
+        """``True`` when the predicate holds for at least one instant value."""
+        return any(predicate(v) for v in self.values)
+
+    def always(self, predicate: Callable[[Any], bool]) -> bool:
+        """``True`` when the predicate holds for every instant value."""
+        return all(predicate(v) for v in self.values)
+
+    def ever_eq(self, value: Any) -> bool:
+        return self.ever(lambda v: v == value)
+
+    def always_eq(self, value: Any) -> bool:
+        return self.always(lambda v: v == value)
+
+    # -- statistics (numeric sequences) ------------------------------------------------
+
+    def min_value(self) -> Any:
+        return min(self.values)
+
+    def max_value(self) -> Any:
+        return max(self.values)
+
+    def time_weighted_average(self) -> float:
+        """Time-weighted mean of a numeric sequence.
+
+        For linear interpolation each segment contributes its trapezoidal
+        average; for stepwise interpolation each segment contributes its start
+        value.  A single-instant sequence returns its only value.
+        """
+        values = self.values
+        if len(values) == 1:
+            return float(values[0])
+        total_time = 0.0
+        weighted = 0.0
+        for (a, b) in zip(self._instants[:-1], self._instants[1:]):
+            dt = b.timestamp - a.timestamp
+            if self.interpolation is Interpolation.LINEAR:
+                segment_avg = (float(a.value) + float(b.value)) / 2.0
+            else:
+                segment_avg = float(a.value)
+            weighted += segment_avg * dt
+            total_time += dt
+        if total_time == 0.0:
+            return float(values[0])
+        return weighted / total_time
+
+    # -- restriction ---------------------------------------------------------------------
+
+    def at_period(self, period: Period) -> Optional["TSequence"]:
+        """Restrict the sequence to a period; ``None`` when the overlap is empty."""
+        own = self.period()
+        inter = own.intersection(period)
+        if inter is None:
+            return None
+        kept: List[TInstant] = []
+        start = self.instant_at(inter.lower)
+        if start is not None:
+            kept.append(start)
+        for instant in self._instants:
+            if inter.lower < instant.timestamp < inter.upper:
+                kept.append(instant)
+        if inter.upper != inter.lower:
+            end = self.instant_at(inter.upper)
+            if end is not None:
+                kept.append(end)
+        if not kept:
+            return None
+        deduped: List[TInstant] = []
+        seen = set()
+        for instant in kept:
+            if instant.timestamp not in seen:
+                deduped.append(instant)
+                seen.add(instant.timestamp)
+        return TSequence(
+            deduped,
+            self.interpolation,
+            lower_inc=inter.lower_inc,
+            upper_inc=inter.upper_inc or len(deduped) == 1,
+        )
+
+    def at_periodset(self, periods: PeriodSet) -> List["TSequence"]:
+        """Restrict to a period set, one sequence per overlapping period."""
+        pieces = []
+        for period in periods:
+            piece = self.at_period(period)
+            if piece is not None:
+                pieces.append(piece)
+        return pieces
+
+    def at_values(self, predicate: Callable[[Any], bool]) -> "PeriodSet":
+        """The periods during which the predicate holds.
+
+        For linear interpolation of numeric values the crossings between
+        consecutive instants are located analytically, which gives exact
+        sub-segment periods (used e.g. by threshold windows).
+        """
+        matching: List[Period] = []
+        instants = self._instants
+        if len(instants) == 1:
+            if predicate(instants[0].value):
+                matching.append(Period.at(instants[0].timestamp))
+            return PeriodSet(matching)
+        for a, b in zip(instants[:-1], instants[1:]):
+            a_ok, b_ok = bool(predicate(a.value)), bool(predicate(b.value))
+            if self.interpolation is not Interpolation.LINEAR or not isinstance(
+                a.value, (int, float)
+            ):
+                if a_ok:
+                    matching.append(Period(a.timestamp, b.timestamp, True, b_ok))
+                elif b_ok:
+                    matching.append(Period.at(b.timestamp))
+                continue
+            # Linear numeric segment: sample the crossing point with bisection.
+            if a_ok and b_ok:
+                matching.append(Period(a.timestamp, b.timestamp, True, True))
+            elif a_ok or b_ok:
+                crossing = self._find_crossing(a, b, predicate)
+                if a_ok:
+                    matching.append(Period(a.timestamp, crossing, True, True))
+                else:
+                    matching.append(Period(crossing, b.timestamp, True, True))
+        return PeriodSet(matching)
+
+    def _find_crossing(
+        self, a: TInstant, b: TInstant, predicate: Callable[[Any], bool], iterations: int = 40
+    ) -> float:
+        """Bisection for the time at which the predicate truth value flips."""
+        lo, hi = a.timestamp, b.timestamp
+        lo_ok = bool(predicate(a.value))
+        for _ in range(iterations):
+            mid = (lo + hi) / 2.0
+            value = self.value_at(mid)
+            if bool(predicate(value)) == lo_ok:
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2.0
+
+    # -- transformation ---------------------------------------------------------------------
+
+    def shift(self, delta: float) -> "TSequence":
+        return TSequence(
+            [i.shift(delta) for i in self._instants],
+            self.interpolation,
+            self.lower_inc,
+            self.upper_inc,
+        )
+
+    def map_values(self, func: Callable[[Any], Any]) -> "TSequence":
+        """Apply ``func`` to every value, keeping timestamps and flags."""
+        return TSequence(
+            [TInstant(func(i.value), i.timestamp) for i in self._instants],
+            self.interpolation,
+            self.lower_inc,
+            self.upper_inc,
+        )
+
+    def append(self, instant: TInstant) -> "TSequence":
+        """A new sequence extended with an instant strictly after the end."""
+        if instant.timestamp <= self.end_timestamp:
+            raise TemporalError("appended instant must be after the end of the sequence")
+        return TSequence(
+            list(self._instants) + [instant],
+            self.interpolation,
+            self.lower_inc,
+            self.upper_inc,
+        )
+
+    def split_at_gaps(self, max_gap: float) -> List["TSequence"]:
+        """Split the sequence wherever consecutive instants are more than ``max_gap`` apart."""
+        if max_gap <= 0:
+            raise TemporalError("max_gap must be positive")
+        groups: List[List[TInstant]] = [[self._instants[0]]]
+        for prev, curr in zip(self._instants[:-1], self._instants[1:]):
+            if curr.timestamp - prev.timestamp > max_gap:
+                groups.append([curr])
+            else:
+                groups[-1].append(curr)
+        return [
+            TSequence(group, self.interpolation, lower_inc=True, upper_inc=True)
+            for group in groups
+        ]
+
+    def sample(self, interval: float) -> "TSequence":
+        """Resample the sequence at a fixed interval (seconds) by interpolation."""
+        if interval <= 0:
+            raise TemporalError("sampling interval must be positive")
+        t = self.start_timestamp
+        sampled: List[TInstant] = []
+        while t < self.end_timestamp:
+            value = self.value_at(t)
+            if value is not None:
+                sampled.append(TInstant(value, t))
+            t += interval
+        end_value = self.value_at(self.end_timestamp)
+        if end_value is not None:
+            sampled.append(TInstant(end_value, self.end_timestamp))
+        return TSequence(sampled, self.interpolation, self.lower_inc, self.upper_inc)
+
+    # -- dunder ------------------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instants)
+
+    def __iter__(self) -> Iterator[TInstant]:
+        return iter(self._instants)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TSequence):
+            return NotImplemented
+        return (
+            self._instants == other._instants
+            and self.interpolation == other.interpolation
+            and self.lower_inc == other.lower_inc
+            and self.upper_inc == other.upper_inc
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TSequence({len(self._instants)} instants, {self.interpolation.value}, "
+            f"[{self.start_timestamp}, {self.end_timestamp}])"
+        )

@@ -1,0 +1,179 @@
+"""Temporal sequence set: a temporal value with gaps.
+
+A :class:`TSequenceSet` is an ordered collection of non-overlapping
+:class:`TSequence` objects, mirroring the MEOS ``TSequenceSet`` subtype.  It
+is the natural result of restricting a sequence to a period set or of
+assembling a trajectory from a stream with transmission gaps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import TemporalError
+from repro.temporal.time import Period, PeriodSet, TimestampLike, to_timestamp
+from repro.temporal.tinstant import TInstant
+from repro.temporal.tsequence import TSequence
+
+
+class TSequenceSet:
+    """A temporal value defined over a set of disjoint periods."""
+
+    __slots__ = ("_sequences",)
+
+    def __init__(self, sequences: Iterable[TSequence]) -> None:
+        items = sorted(sequences, key=lambda s: s.start_timestamp)
+        if not items:
+            raise TemporalError("a TSequenceSet needs at least one sequence")
+        for a, b in zip(items[:-1], items[1:]):
+            if a.period().overlaps(b.period()):
+                raise TemporalError("sequences of a TSequenceSet must not overlap")
+        interpolations = {s.interpolation for s in items}
+        if len(interpolations) > 1:
+            raise TemporalError("sequences of a TSequenceSet must share an interpolation")
+        self._sequences: List[TSequence] = items
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_instants_with_gaps(
+        cls,
+        instants: Iterable[TInstant],
+        max_gap: float,
+        interpolation=None,
+    ) -> "TSequenceSet":
+        """Assemble a sequence set from instants, splitting at gaps larger than ``max_gap``."""
+        sequence = TSequence(list(instants), interpolation)
+        return cls(sequence.split_at_gaps(max_gap))
+
+    # -- accessors -----------------------------------------------------------------
+
+    @property
+    def sequences(self) -> Sequence[TSequence]:
+        return tuple(self._sequences)
+
+    @property
+    def interpolation(self):
+        return self._sequences[0].interpolation
+
+    def num_sequences(self) -> int:
+        return len(self._sequences)
+
+    def num_instants(self) -> int:
+        return sum(len(s) for s in self._sequences)
+
+    @property
+    def instants(self) -> List[TInstant]:
+        return [i for s in self._sequences for i in s.instants]
+
+    @property
+    def values(self) -> List[Any]:
+        return [i.value for i in self.instants]
+
+    @property
+    def start_timestamp(self) -> float:
+        return self._sequences[0].start_timestamp
+
+    @property
+    def end_timestamp(self) -> float:
+        return self._sequences[-1].end_timestamp
+
+    @property
+    def duration(self) -> float:
+        """Total defined duration (excluding gaps)."""
+        return sum(s.duration for s in self._sequences)
+
+    def period(self) -> Period:
+        """Bounding period including the gaps."""
+        return Period(
+            self.start_timestamp,
+            self.end_timestamp,
+            lower_inc=self._sequences[0].lower_inc,
+            upper_inc=True,
+        )
+
+    def periodset(self) -> PeriodSet:
+        """The exact periods over which the value is defined."""
+        return PeriodSet(s.period() for s in self._sequences)
+
+    # -- lookup -------------------------------------------------------------------------
+
+    def value_at(self, ts: TimestampLike) -> Optional[Any]:
+        t = to_timestamp(ts)
+        for sequence in self._sequences:
+            if sequence.period().contains_timestamp(t):
+                return sequence.value_at(t)
+        return None
+
+    # -- predicates ----------------------------------------------------------------------
+
+    def ever(self, predicate: Callable[[Any], bool]) -> bool:
+        return any(s.ever(predicate) for s in self._sequences)
+
+    def always(self, predicate: Callable[[Any], bool]) -> bool:
+        return all(s.always(predicate) for s in self._sequences)
+
+    # -- statistics ----------------------------------------------------------------------
+
+    def min_value(self) -> Any:
+        return min(s.min_value() for s in self._sequences)
+
+    def max_value(self) -> Any:
+        return max(s.max_value() for s in self._sequences)
+
+    def time_weighted_average(self) -> float:
+        """Duration-weighted mean across all sequences."""
+        total = self.duration
+        if total == 0.0:
+            values = self.values
+            return float(sum(values)) / len(values)
+        return (
+            sum(s.time_weighted_average() * max(s.duration, 0.0) for s in self._sequences)
+            / total
+        )
+
+    # -- restriction -----------------------------------------------------------------------
+
+    def at_period(self, period: Period) -> Optional["TSequenceSet"]:
+        pieces = []
+        for sequence in self._sequences:
+            piece = sequence.at_period(period)
+            if piece is not None:
+                pieces.append(piece)
+        return TSequenceSet(pieces) if pieces else None
+
+    def at_periodset(self, periods: PeriodSet) -> Optional["TSequenceSet"]:
+        pieces = []
+        for sequence in self._sequences:
+            pieces.extend(sequence.at_periodset(periods))
+        return TSequenceSet(pieces) if pieces else None
+
+    def at_values(self, predicate: Callable[[Any], bool]) -> PeriodSet:
+        result = PeriodSet.empty()
+        for sequence in self._sequences:
+            result = result.union(sequence.at_values(predicate))
+        return result
+
+    # -- transformation -----------------------------------------------------------------------
+
+    def shift(self, delta: float) -> "TSequenceSet":
+        return TSequenceSet(s.shift(delta) for s in self._sequences)
+
+    def map_values(self, func: Callable[[Any], Any]) -> "TSequenceSet":
+        return TSequenceSet(s.map_values(func) for s in self._sequences)
+
+    # -- dunder ----------------------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    def __iter__(self) -> Iterator[TSequence]:
+        return iter(self._sequences)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TSequenceSet):
+            return NotImplemented
+        return self._sequences == other._sequences
+
+    def __repr__(self) -> str:
+        return f"TSequenceSet({len(self._sequences)} sequences, {self.num_instants()} instants)"

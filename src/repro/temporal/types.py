@@ -1,0 +1,93 @@
+"""Typed temporal factories: TBool, TInt, TFloat, TText.
+
+MEOS exposes a family of typed temporal types (``tbool``, ``tint``,
+``tfloat``, ``ttext``) that share the instant/sequence/sequence-set machinery
+but fix the base type and default interpolation.  We model them as thin
+factory classes that validate values and build :class:`TSequence` objects, so
+the rest of the library can stay generic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Tuple
+
+from repro.errors import TemporalError
+from repro.temporal.interpolation import Interpolation
+from repro.temporal.time import TimestampLike
+from repro.temporal.tinstant import TInstant
+from repro.temporal.tsequence import TSequence
+
+
+class _TypedTemporalFactory:
+    """Shared implementation of the typed temporal factories."""
+
+    base_type: type = object
+    interpolation: Interpolation = Interpolation.STEPWISE
+    type_name: str = "tany"
+
+    @classmethod
+    def validate(cls, value: Any) -> Any:
+        """Check (and possibly coerce) a base value; raise :class:`TemporalError` otherwise."""
+        if isinstance(value, cls.base_type) and not (
+            cls.base_type is int and isinstance(value, bool)
+        ):
+            return value
+        raise TemporalError(
+            f"{cls.type_name} expects values of type {cls.base_type.__name__}, got {value!r}"
+        )
+
+    @classmethod
+    def instant(cls, value: Any, timestamp: TimestampLike) -> TInstant:
+        """A single typed instant."""
+        return TInstant(cls.validate(value), timestamp)
+
+    @classmethod
+    def sequence(
+        cls,
+        pairs: Iterable[Tuple[Any, TimestampLike]],
+        lower_inc: bool = True,
+        upper_inc: bool = True,
+    ) -> TSequence:
+        """A typed sequence from ``(value, timestamp)`` pairs."""
+        instants = [cls.instant(value, ts) for value, ts in pairs]
+        return TSequence(instants, cls.interpolation, lower_inc, upper_inc)
+
+
+class TBool(_TypedTemporalFactory):
+    """Temporal boolean (stepwise interpolation)."""
+
+    base_type = bool
+    interpolation = Interpolation.STEPWISE
+    type_name = "tbool"
+
+
+class TInt(_TypedTemporalFactory):
+    """Temporal integer (stepwise interpolation)."""
+
+    base_type = int
+    interpolation = Interpolation.STEPWISE
+    type_name = "tint"
+
+
+class TFloat(_TypedTemporalFactory):
+    """Temporal float (linear interpolation)."""
+
+    base_type = float
+    interpolation = Interpolation.LINEAR
+    type_name = "tfloat"
+
+    @classmethod
+    def validate(cls, value: Any) -> float:
+        if isinstance(value, bool):
+            raise TemporalError("tfloat expects numbers, got a bool")
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise TemporalError(f"tfloat expects numbers, got {value!r}")
+
+
+class TText(_TypedTemporalFactory):
+    """Temporal text (stepwise interpolation)."""
+
+    base_type = str
+    interpolation = Interpolation.STEPWISE
+    type_name = "ttext"

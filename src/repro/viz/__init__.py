@@ -1,0 +1,25 @@
+"""Visualization export (Deck.gl substitute).
+
+The paper's demo renders query outputs with Deck.gl fed from a Kafka topic.
+We regenerate the underlying *data*: GeoJSON feature collections per query
+(one layer per sub-figure of Figure 3) and a network/positions layer for
+Figure 2.  Any GeoJSON viewer (kepler.gl, QGIS, geojson.io) renders them.
+"""
+
+from repro.viz.geojson import Feature, FeatureCollection, feature_from_record
+from repro.viz.layers import (
+    network_layer,
+    query_layer,
+    scenario_overview,
+    zones_layer,
+)
+
+__all__ = [
+    "Feature",
+    "FeatureCollection",
+    "feature_from_record",
+    "network_layer",
+    "zones_layer",
+    "query_layer",
+    "scenario_overview",
+]

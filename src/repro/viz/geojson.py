@@ -1,0 +1,95 @@
+"""Minimal GeoJSON data model."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.spatial.geometry import Geometry, Point
+from repro.streaming.record import Record
+
+
+class Feature:
+    """A GeoJSON feature: one geometry plus properties."""
+
+    def __init__(self, geometry: Geometry, properties: Optional[Dict[str, Any]] = None) -> None:
+        self.geometry = geometry
+        self.properties = dict(properties or {})
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "Feature",
+            "geometry": self.geometry.to_geojson(),
+            "properties": _jsonable(self.properties),
+        }
+
+    def __repr__(self) -> str:
+        return f"Feature({self.geometry.geom_type}, {list(self.properties)[:4]})"
+
+
+class FeatureCollection:
+    """A GeoJSON feature collection with optional layer-level metadata."""
+
+    def __init__(self, features: Iterable[Feature], name: str = "layer", metadata: Optional[Dict[str, Any]] = None) -> None:
+        self.features: List[Feature] = list(features)
+        self.name = name
+        self.metadata = dict(metadata or {})
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "type": "FeatureCollection",
+            "name": self.name,
+            "features": [f.as_dict() for f in self.features],
+        }
+        if self.metadata:
+            payload["metadata"] = _jsonable(self.metadata)
+        return payload
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def save(self, path: str, indent: int = 2) -> None:
+        """Write the collection as a ``.geojson`` file."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json(indent=indent))
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def __repr__(self) -> str:
+        return f"FeatureCollection({self.name!r}, {len(self.features)} features)"
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of property values into JSON-serializable ones."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def feature_from_record(
+    record: "Record | Dict[str, Any]",
+    lon_field: str = "lon",
+    lat_field: str = "lat",
+    properties: Optional[Iterable[str]] = None,
+) -> Optional[Feature]:
+    """Build a point feature from a record's position fields.
+
+    Returns ``None`` when the record has no usable position (GPS dropout).
+    ``properties`` selects which fields become feature properties (all by
+    default, minus the coordinates).
+    """
+    data = record.as_dict() if isinstance(record, Record) else dict(record)
+    lon = data.get(lon_field)
+    lat = data.get(lat_field)
+    if lon is None or lat is None:
+        return None
+    if properties is None:
+        props = {k: v for k, v in data.items() if k not in (lon_field, lat_field)}
+    else:
+        props = {k: data.get(k) for k in properties}
+    return Feature(Point(float(lon), float(lat)), props)

@@ -1,0 +1,106 @@
+"""Layer builders: the data behind Figure 2 and Figure 3 of the paper."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.sncb.network import RailNetwork
+from repro.sncb.scenario import Scenario
+from repro.sncb.zones import ZoneCatalog, ZoneType
+from repro.spatial.geometry import Circle, LineString, Point
+from repro.streaming.record import Record
+from repro.viz.geojson import Feature, FeatureCollection, feature_from_record
+
+
+def network_layer(network: RailNetwork) -> FeatureCollection:
+    """Stations and track segments of the rail network."""
+    features: List[Feature] = []
+    for station in network.stations.values():
+        features.append(
+            Feature(station.point, {"kind": "station", "code": station.code, "name": station.name})
+        )
+    seen = set()
+    for a, b in network.graph.edges:
+        key = tuple(sorted((a, b)))
+        if key in seen:
+            continue
+        seen.add(key)
+        features.append(
+            Feature(
+                LineString(network.segment_geometry(a, b)),
+                {"kind": "track", "from": a, "to": b, "length_m": network.segment_length_m(a, b)},
+            )
+        )
+    return FeatureCollection(features, name="rail_network")
+
+
+def zones_layer(zones: ZoneCatalog, zone_type: Optional[ZoneType] = None) -> FeatureCollection:
+    """Zone geometries (circles are exported as polygons with a radius property)."""
+    features: List[Feature] = []
+    members = zones.by_type(zone_type) if zone_type is not None else list(zones.zones.values())
+    for zone in members:
+        geometry = zone.geometry
+        properties = {
+            "kind": "zone",
+            "zone_id": zone.zone_id,
+            "zone_type": zone.zone_type.value,
+            "name": zone.name,
+        }
+        properties.update(zone.attributes)
+        if isinstance(geometry, Circle):
+            properties["radius_m"] = geometry.radius
+            features.append(Feature(geometry.center, properties))
+        else:
+            features.append(Feature(geometry, properties))
+    name = f"zones_{zone_type.value}" if zone_type is not None else "zones"
+    return FeatureCollection(features, name=name)
+
+
+def positions_layer(events: Sequence[Dict[str, object]], every_nth: int = 10) -> FeatureCollection:
+    """Raw train positions (Figure 2: the SNCB data visualization)."""
+    features: List[Feature] = []
+    for i, event in enumerate(events):
+        if i % every_nth:
+            continue
+        feature = feature_from_record(
+            event, properties=("device_id", "timestamp", "speed_kmh", "phase")
+        )
+        if feature is not None:
+            features.append(feature)
+    return FeatureCollection(features, name="train_positions")
+
+
+def query_layer(query_id: str, records: Iterable["Record | Dict[str, object]"], title: str = "") -> FeatureCollection:
+    """One layer per query output (the sub-figures of Figure 3).
+
+    Output records without a position (e.g. windowed aggregates keyed only by
+    device) cannot become point features; they are listed in the collection
+    metadata under ``non_spatial_results`` instead.
+    """
+    features: List[Feature] = []
+    non_spatial: List[Dict[str, object]] = []
+    for record in records:
+        feature = feature_from_record(record)
+        if feature is not None:
+            feature.properties["query"] = query_id
+            features.append(feature)
+        else:
+            data = record.as_dict() if isinstance(record, Record) else dict(record)
+            non_spatial.append(data)
+    metadata: Dict[str, object] = {"query": query_id, "title": title, "alerts": len(features)}
+    if non_spatial:
+        metadata["non_spatial_results"] = non_spatial[:200]
+    return FeatureCollection(features, name=f"query_{query_id.lower()}", metadata=metadata)
+
+
+def scenario_overview(scenario: Scenario) -> Dict[str, FeatureCollection]:
+    """Every static layer of a scenario (network, zones) plus sampled positions."""
+    layers = {
+        "network": network_layer(scenario.network),
+        "positions": positions_layer(scenario.events),
+    }
+    for zone_type in ZoneType:
+        members = scenario.zones.by_type(zone_type)
+        if members:
+            layers[f"zones_{zone_type.value}"] = zones_layer(scenario.zones, zone_type)
+    return layers

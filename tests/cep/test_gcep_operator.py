@@ -1,0 +1,136 @@
+"""Tests for GCEP spatial predicates and the CEP stream operator."""
+
+import pytest
+
+from repro.cep.gcep import (
+    all_of,
+    any_of,
+    inside_any,
+    inside_geometry,
+    near_geometry,
+    negate,
+    outside_all,
+    outside_geometry,
+    speed_above,
+    speed_below,
+    stationary,
+)
+from repro.cep.operator import CEPOperator
+from repro.cep.patterns import seq, every, times
+from repro.spatial.geometry import Circle, Point, Polygon
+from repro.spatial.index import GridIndex
+from repro.spatial.measure import cartesian
+from repro.streaming.expressions import col
+from repro.streaming.record import Record
+
+
+def rec(t, **fields):
+    fields.setdefault("timestamp", float(t))
+    return Record(fields, float(t))
+
+
+ZONE = Polygon.rectangle(0, 0, 10, 10)
+
+
+class TestGcepPredicates:
+    def test_inside_outside_geometry(self):
+        inside = inside_geometry(ZONE)
+        outside = outside_geometry(ZONE)
+        in_rec = rec(0, lon=5.0, lat=5.0)
+        out_rec = rec(0, lon=50.0, lat=5.0)
+        assert inside(in_rec) and not inside(out_rec)
+        assert outside(out_rec) and not outside(in_rec)
+
+    def test_missing_position_is_not_inside(self):
+        assert not inside_geometry(ZONE)(rec(0, lon=None, lat=None))
+        assert outside_geometry(ZONE)(rec(0, lon=None, lat=None))
+
+    def test_inside_any_and_outside_all(self):
+        index = GridIndex(1.0)
+        index.insert("z1", ZONE)
+        index.insert("z2", Polygon.rectangle(100, 100, 110, 110))
+        assert inside_any(index)(rec(0, lon=105.0, lat=105.0))
+        assert outside_all(index)(rec(0, lon=50.0, lat=50.0))
+        assert not outside_all(index)(rec(0, lon=5.0, lat=5.0))
+
+    def test_near_geometry(self):
+        predicate = near_geometry(Point(0.0, 0.0), 5.0, metric=cartesian)
+        assert predicate(rec(0, lon=3.0, lat=0.0))
+        assert not predicate(rec(0, lon=30.0, lat=0.0))
+
+    def test_speed_predicates(self):
+        assert speed_below(10)(rec(0, speed=5.0))
+        assert not speed_below(10)(rec(0, speed=50.0))
+        assert speed_above(10)(rec(0, speed=50.0))
+        assert stationary()(rec(0, speed=0.1))
+        assert not speed_below(10)(rec(0, speed=None))
+
+    def test_combinators(self):
+        slow = speed_below(10)
+        inside = inside_geometry(ZONE)
+        both = all_of(slow, inside)
+        either = any_of(slow, inside)
+        record = rec(0, speed=5.0, lon=50.0, lat=50.0)
+        assert not both(record)
+        assert either(record)
+        assert negate(both)(record)
+
+
+class TestCEPOperator:
+    def test_emits_one_record_per_match(self):
+        pattern = times("high", col("value") > 10, at_least=2)
+        operator = CEPOperator(pattern, key_fields=["device"])
+        stream = [
+            rec(0, device="a", value=20.0),
+            rec(1, device="a", value=30.0),
+            rec(2, device="a", value=1.0),
+        ]
+        out = []
+        for record in stream:
+            out.extend(operator.process(record))
+        out.extend(operator.flush())
+        assert len(out) == 1
+        result = out[0]
+        assert result["device"] == "a"
+        assert result["high_count"] == 2
+        assert result["match_start"] == 0.0 and result["match_end"] == 1.0
+        assert result.timestamp == 1.0
+
+    def test_custom_output_builder(self):
+        pattern = every("spike", col("value") > 10)
+        operator = CEPOperator(
+            pattern,
+            key_fields=["device"],
+            output_builder=lambda match: {"peak": match.first("spike")["value"]},
+        )
+        out = list(operator.process(rec(3, device="a", value=42.0)))
+        assert out[0]["peak"] == 42.0
+        assert out[0]["device"] == "a"
+
+    def test_flush_completes_open_iterations(self):
+        pattern = times("high", col("value") > 10, at_least=2)
+        operator = CEPOperator(pattern, key_fields=["device"])
+        list(operator.process(rec(0, device="a", value=20.0)))
+        list(operator.process(rec(1, device="a", value=20.0)))
+        out = list(operator.flush())
+        assert len(out) == 1
+
+    def test_geospatial_pattern_end_to_end(self):
+        # An "unscheduled stop": stationary outside the allowed zone for 3 samples.
+        allowed = GridIndex(1.0)
+        allowed.insert("station", Circle(Point(0, 0), 5.0))
+        predicate = all_of(speed_below(1.0), outside_all(allowed))
+        operator = CEPOperator(times("stopped", predicate, at_least=3), key_fields=["device"])
+        stream = [
+            rec(0, device="a", speed=0.0, lon=1.0, lat=1.0),    # inside station: no
+            rec(10, device="a", speed=0.0, lon=50.0, lat=50.0),
+            rec(20, device="a", speed=0.0, lon=50.0, lat=50.0),
+            rec(30, device="a", speed=0.0, lon=50.0, lat=50.0),
+            rec(40, device="a", speed=80.0, lon=51.0, lat=50.0),
+        ]
+        out = []
+        for record in stream:
+            out.extend(operator.process(record))
+        out.extend(operator.flush())
+        assert len(out) == 1
+        assert out[0]["stopped_count"] == 3

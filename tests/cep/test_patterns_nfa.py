@@ -1,0 +1,166 @@
+"""Tests for the CEP pattern algebra and NFA matcher."""
+
+import pytest
+
+from repro.errors import CEPError
+from repro.cep.nfa import NFAMatcher
+from repro.cep.patterns import EventPattern, absence, every, seq, times
+from repro.streaming.expressions import col
+from repro.streaming.record import Record
+
+
+def rec(t, **fields):
+    fields.setdefault("timestamp", float(t))
+    return Record(fields, float(t))
+
+
+def feed(matcher, records, key=("k",)):
+    matches = []
+    for record in records:
+        matches.extend(matcher.process(key, record))
+    matches.extend(matcher.flush())
+    return matches
+
+
+class TestPatternConstruction:
+    def test_event_pattern_requires_name(self):
+        with pytest.raises(CEPError):
+            EventPattern("", lambda r: True)
+
+    def test_predicate_from_expression(self):
+        pattern = every("fast", col("speed") > 100)
+        assert pattern.matches(rec(0, speed=150))
+        assert not pattern.matches(rec(0, speed=50))
+
+    def test_within_validation(self):
+        with pytest.raises(CEPError):
+            every("a", lambda r: True).within(0)
+
+    def test_sequence_flattens(self):
+        s = seq(seq(every("a", lambda r: True), every("b", lambda r: True)), every("c", lambda r: True))
+        assert [p.name for p in s.steps()] == ["a", "b", "c"]
+
+    def test_followed_by(self):
+        s = every("a", lambda r: True).followed_by(every("b", lambda r: True))
+        assert len(s.steps()) == 2
+
+    def test_times_validation(self):
+        with pytest.raises(CEPError):
+            times("a", lambda r: True, at_least=0)
+        with pytest.raises(CEPError):
+            times("a", lambda r: True, at_least=3, at_most=2)
+
+    def test_trailing_negation_rejected(self):
+        pattern = seq(every("a", lambda r: True), absence("no_b", lambda r: True))
+        with pytest.raises(CEPError):
+            NFAMatcher(pattern)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(CEPError):
+            seq()
+
+
+class TestSingleStepMatching:
+    def test_single_event_pattern(self):
+        matcher = NFAMatcher(every("alarm", col("value") > 10))
+        matches = feed(matcher, [rec(0, value=5), rec(1, value=20), rec(2, value=30)])
+        assert len(matches) == 2
+        assert matches[0].first("alarm")["value"] == 20
+
+    def test_iteration_requires_consecutive(self):
+        matcher = NFAMatcher(times("high", col("value") > 10, at_least=3))
+        values = [20, 30, 5, 20, 30, 40, 5]
+        matches = feed(matcher, [rec(i, value=v) for i, v in enumerate(values)])
+        assert len(matches) == 1
+        assert len(matches[0].all("high")) == 3
+        assert matches[0].start_time == 3 and matches[0].end_time == 5
+
+    def test_iteration_completes_at_flush(self):
+        matcher = NFAMatcher(times("high", col("value") > 10, at_least=2))
+        matches = feed(matcher, [rec(0, value=20), rec(1, value=30)])
+        assert len(matches) == 1
+
+    def test_iteration_max_times_closes_early(self):
+        matcher = NFAMatcher(times("high", col("value") > 10, at_least=2, at_most=2))
+        matches = feed(matcher, [rec(i, value=20) for i in range(5)])
+        assert len(matches) >= 2
+        assert all(len(m.all("high")) == 2 for m in matches)
+
+
+class TestSequenceMatching:
+    def pattern(self):
+        return seq(
+            every("brake", col("brake") > 8),
+            every("stop", col("speed") < 1),
+        ).within(100)
+
+    def test_sequence_matches_in_order(self):
+        matcher = NFAMatcher(self.pattern())
+        matches = feed(
+            matcher,
+            [rec(0, brake=9, speed=50), rec(5, brake=0, speed=30), rec(10, brake=0, speed=0.2)],
+        )
+        assert len(matches) == 1
+        match = matches[0]
+        assert match.first("brake").timestamp == 0
+        assert match.last("stop").timestamp == 10
+        assert match.duration == 10
+
+    def test_sequence_requires_order(self):
+        matcher = NFAMatcher(self.pattern())
+        matches = feed(matcher, [rec(0, brake=0, speed=0.2), rec(5, brake=9, speed=50)])
+        assert matches == []
+
+    def test_window_expires_partial_matches(self):
+        matcher = NFAMatcher(self.pattern())
+        matches = feed(matcher, [rec(0, brake=9, speed=50), rec(500, brake=0, speed=0.2)])
+        assert matches == []
+
+    def test_irrelevant_events_are_skipped(self):
+        matcher = NFAMatcher(self.pattern())
+        stream = [rec(0, brake=9, speed=50)] + [rec(i, brake=0, speed=30) for i in range(1, 5)] + [
+            rec(6, brake=0, speed=0.0)
+        ]
+        assert len(feed(matcher, stream)) == 1
+
+    def test_negation_kills_run(self):
+        pattern = seq(
+            every("enter", col("zone").eq("A")),
+            absence("no_exit", col("zone").eq("EXIT")),
+            every("alarm", col("alarm")),
+        )
+        matcher = NFAMatcher(pattern)
+        # With an EXIT in between, no match.
+        stream = [rec(0, zone="A", alarm=False), rec(1, zone="EXIT", alarm=False), rec(2, zone="B", alarm=True)]
+        assert feed(matcher, stream) == []
+        # Without the EXIT, match.
+        matcher = NFAMatcher(pattern)
+        stream = [rec(0, zone="A", alarm=False), rec(1, zone="B", alarm=False), rec(2, zone="B", alarm=True)]
+        assert len(feed(matcher, stream)) == 1
+
+
+class TestKeyingAndLimits:
+    def test_keys_are_independent(self):
+        matcher = NFAMatcher(times("high", col("value") > 10, at_least=2))
+        matches = []
+        matches.extend(matcher.process(("a",), rec(0, value=20)))
+        matches.extend(matcher.process(("b",), rec(1, value=20)))
+        matches.extend(matcher.process(("a",), rec(2, value=5)))
+        matches.extend(matcher.process(("b",), rec(3, value=20)))
+        matches.extend(matcher.process(("b",), rec(4, value=5)))
+        assert len(matches) == 1
+        assert matches[0].key == ("b",)
+
+    def test_max_runs_bounded(self):
+        pattern = seq(every("a", lambda r: True), every("b", col("value") > 1e9))
+        matcher = NFAMatcher(pattern, max_runs_per_key=8)
+        for i in range(100):
+            matcher.process(("k",), rec(i, value=1))
+        assert len(matcher._runs[("k",)]) <= 8
+
+    def test_suppress_overlaps(self):
+        matcher = NFAMatcher(times("high", col("value") > 10, at_least=2), suppress_overlaps=True)
+        values = [20, 20, 20, 20, 5]
+        matches = feed(matcher, [rec(i, value=v) for i, v in enumerate(values)])
+        # Overlap suppression keeps this to a small number of non-overlapping matches.
+        assert 1 <= len(matches) <= 2

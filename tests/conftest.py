@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sncb.scenario import Scenario, ScenarioConfig
+from repro.streaming.engine import StreamExecutionEngine
+
+
+@pytest.fixture(scope="session")
+def small_scenario() -> Scenario:
+    """A small but complete scenario (3 trains, 15 minutes) shared across tests."""
+    return Scenario.small(duration_s=900.0, interval_s=5.0, num_trains=3, seed=42)
+
+
+@pytest.fixture(scope="session")
+def full_scenario() -> Scenario:
+    """The default demonstration scenario (6 trains, 1 hour), built once per session."""
+    return Scenario(ScenarioConfig(num_trains=6, duration_s=3600.0, interval_s=5.0, seed=42))
+
+
+@pytest.fixture()
+def engine() -> StreamExecutionEngine:
+    return StreamExecutionEngine()

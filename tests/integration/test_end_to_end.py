@@ -1,0 +1,99 @@
+"""End-to-end integration tests: scenario -> queries -> engine -> metrics/visualization.
+
+These tests exercise the same path as the paper's demonstration: the SNCB
+stream is replayed through NebulaMEOS queries, metrics are collected per
+query, edge placement is compared against cloud-only execution, and the query
+outputs are exported as visualization layers.
+"""
+
+import pytest
+
+from repro.nebulameos.registration import register_meos_plugins
+from repro.spatial.geometry import Point
+from repro.queries import QUERY_CATALOG
+from repro.sncb.replay import per_train_sources
+from repro.sncb.zones import ZoneType
+from repro.streaming.engine import StreamExecutionEngine
+from repro.streaming.expressions import col
+from repro.streaming.plugin import PluginRegistry
+from repro.streaming.query import Query
+from repro.streaming.sink import Topic, TopicSink
+from repro.streaming.topology import PlacementStrategy, Topology, TopologyExecution
+from repro.viz.layers import query_layer
+
+
+class TestFullPipeline:
+    def test_all_queries_run_and_report_metrics(self, full_scenario, engine):
+        for info in QUERY_CATALOG.values():
+            result = engine.execute(info.build(full_scenario))
+            metrics = result.metrics
+            assert metrics.events_in >= full_scenario.num_events
+            assert metrics.bytes_in > 0
+            assert metrics.ingestion_rate_eps > 0
+            assert metrics.wall_time_s > 0
+
+    def test_alerting_queries_find_something(self, full_scenario, engine):
+        productive = 0
+        for query_id in ("Q1", "Q2", "Q3", "Q4", "Q5", "Q7", "Q8"):
+            result = engine.execute(QUERY_CATALOG[query_id].build(full_scenario))
+            productive += bool(len(result))
+        # On the default scenario every alerting query should produce output.
+        assert productive == 7
+
+    def test_query_results_export_to_geojson(self, full_scenario, engine):
+        result = engine.execute(QUERY_CATALOG["Q3"].build(full_scenario))
+        layer = query_layer("Q3", result.records, title=QUERY_CATALOG["Q3"].title)
+        assert len(layer) == len(result)
+        payload = layer.as_dict()
+        assert payload["type"] == "FeatureCollection"
+
+    def test_results_can_feed_kafka_like_topic(self, full_scenario, engine):
+        topic = Topic("q1-alerts")
+        query = QUERY_CATALOG["Q1"].build(full_scenario).sink(TopicSink(topic))
+        result = engine.execute(query)
+        assert topic.size == len(result)
+        consumed = topic.poll("deckgl", max_messages=10_000)
+        assert len(consumed) == len(result)
+
+
+class TestEdgeDeployment:
+    def test_per_train_edge_execution(self, full_scenario, engine):
+        """Each train's edge device can run the geofencing query on its own stream."""
+        sources = per_train_sources(full_scenario.events)
+        total_alerts = 0
+        for source in sources:
+            query = QUERY_CATALOG["Q1"].build(full_scenario, source=source)
+            result = engine.execute(query)
+            total_alerts += len(result)
+        fleet_result = engine.execute(QUERY_CATALOG["Q1"].build(full_scenario))
+        assert total_alerts == len(fleet_result)
+
+    def test_edge_placement_reduces_transfer_for_selective_queries(self, full_scenario):
+        topology = Topology.train_deployment(num_trains=6)
+        execution = TopologyExecution(topology)
+        query = QUERY_CATALOG["Q1"].build(full_scenario)
+        reports = execution.compare(query, "train-0")
+        edge = reports[PlacementStrategy.EDGE_FIRST.value]
+        cloud = reports[PlacementStrategy.CLOUD_ONLY.value]
+        # Q1 is highly selective, so edge placement ships far fewer bytes upstream.
+        assert edge.bytes_transferred < cloud.bytes_transferred / 10
+
+
+class TestPluginIntegration:
+    def test_meos_registered_query(self, full_scenario, engine):
+        """A query using a runtime-registered MEOS operator and expression."""
+        registry = PluginRegistry("it")
+        register_meos_plugins(registry)
+        zone = full_scenario.zones.by_type(ZoneType.SPEED_RESTRICTION)[0]
+        within = registry.create_expression("WithinGeometry", zone.geometry)
+        query = (
+            Query.from_source(full_scenario.source(), name="plugin-geofence")
+            .filter(col("lon").ne(None))
+            .apply_registered("trajectory_builder", registry=registry)
+            .filter(within)
+        )
+        result = engine.execute(query)
+        # Every surviving record is inside the zone and carries a trajectory.
+        for record in result.records[:20]:
+            assert zone.contains(Point(record["lon"], record["lat"]))
+            assert record["trajectory"] is not None

@@ -1,0 +1,106 @@
+"""Tests for the MEOS-style operation functions and imputation helpers."""
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.mobility.imputation import align, detect_gaps, fill_gaps, resample
+from repro.mobility.operations import (
+    edwithin,
+    eintersects,
+    nearest_approach_distance,
+    tdwithin,
+    tpoint_at_geometry,
+    tpoint_at_period,
+    tpoint_at_stbox,
+    tpoint_cumulative_length,
+    tpoint_direction,
+    tpoint_length,
+    tpoint_speed,
+)
+from repro.mobility.stbox import STBox
+from repro.mobility.tpoint import TGeomPoint
+from repro.spatial.geometry import Point, Polygon
+from repro.temporal.time import Period
+
+
+def trajectory() -> TGeomPoint:
+    return TGeomPoint.from_fixes([(0, 0, 0), (10, 0, 10), (10, 10, 20)])
+
+
+class TestMeosFunctions:
+    def test_edwithin(self):
+        assert edwithin(trajectory(), Point(5, 2), 3.0)
+        assert not edwithin(trajectory(), Point(50, 50), 3.0)
+
+    def test_tdwithin_is_temporal_boolean(self):
+        result = tdwithin(trajectory(), Point(0, 0), 5.0)
+        assert result.value_at(0) is True
+        assert result.value_at(20) is False
+
+    def test_eintersects(self):
+        assert eintersects(trajectory(), Polygon.rectangle(4, -1, 6, 1))
+        assert not eintersects(trajectory(), Polygon.rectangle(40, 40, 60, 60))
+
+    def test_tpoint_at_stbox_and_geometry(self):
+        fragments = tpoint_at_stbox(trajectory(), STBox.from_bounds(2, -1, 8, 1))
+        assert len(fragments) == 1
+        fragments = tpoint_at_geometry(trajectory(), Polygon.rectangle(4, -1, 6, 1))
+        assert len(fragments) == 1
+
+    def test_tpoint_at_period(self):
+        restricted = tpoint_at_period(trajectory(), Period(0, 5, upper_inc=True))
+        assert restricted is not None and restricted.end_timestamp == 5
+
+    def test_scalar_functions(self):
+        assert tpoint_length(trajectory()) == 20.0
+        assert tpoint_speed(trajectory()).values[0] == 1.0
+        assert tpoint_cumulative_length(trajectory()).end_value == 20.0
+        assert tpoint_direction(trajectory()) is not None
+        assert nearest_approach_distance(trajectory(), Point(5, 3)) == pytest.approx(3.0)
+
+
+class TestImputation:
+    def test_detect_gaps(self):
+        tp = TGeomPoint.from_fixes([(0, 0, 0), (1, 0, 10), (2, 0, 200)])
+        gaps = detect_gaps(tp, max_gap=60)
+        assert len(gaps) == 1
+        assert gaps[0].lower == 10 and gaps[0].upper == 200
+        assert detect_gaps(tp, max_gap=1000) == []
+        with pytest.raises(TemporalError):
+            detect_gaps(tp, max_gap=0)
+
+    def test_fill_gaps_interpolates(self):
+        tp = TGeomPoint.from_fixes([(0, 0, 0), (10, 0, 100)])
+        filled = fill_gaps(tp, max_gap=200, step=25)
+        assert filled.num_instants() == 5
+        assert filled.position_at(50) == Point(5, 0)
+
+    def test_fill_gaps_respects_max_gap(self):
+        tp = TGeomPoint.from_fixes([(0, 0, 0), (10, 0, 1000)])
+        filled = fill_gaps(tp, max_gap=100, step=25)
+        assert filled.num_instants() == 2  # gap too large, untouched
+
+    def test_fill_gaps_bad_step(self):
+        with pytest.raises(TemporalError):
+            fill_gaps(trajectory(), max_gap=10, step=0)
+
+    def test_resample(self):
+        resampled = resample(trajectory(), 2.0)
+        assert resampled.num_instants() == 11
+        assert resampled.position_at(10) == Point(10, 0)
+
+    def test_align(self):
+        a = TGeomPoint.from_fixes([(0, 0, 0), (10, 0, 10)])
+        b = TGeomPoint.from_fixes([(0, 5, 0), (10, 5, 10)])
+        rows = align(a, b, interval=5.0)
+        assert len(rows) == 3
+        ts, pa, pb = rows[1]
+        assert ts == 5.0
+        assert pa == Point(5, 0) and pb == Point(5, 5)
+
+    def test_align_disjoint(self):
+        a = TGeomPoint.from_fixes([(0, 0, 0), (1, 0, 10)])
+        b = TGeomPoint.from_fixes([(0, 0, 100), (1, 0, 110)])
+        assert align(a, b, 5.0) == []
+        with pytest.raises(TemporalError):
+            align(a, b, 0)

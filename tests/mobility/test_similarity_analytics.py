@@ -1,0 +1,129 @@
+"""Tests for trajectory similarity measures and trajectory-level analytics."""
+
+import math
+
+import pytest
+
+from repro.errors import SpatialError, TemporalError
+from repro.mobility.analytics import (
+    detect_stops,
+    distance_between,
+    k_nearest_trajectories,
+    nearest_approach_between,
+    temporal_heading,
+)
+from repro.mobility.similarity import (
+    dtw_distance,
+    frechet_distance,
+    hausdorff_distance,
+    synchronized_distance,
+)
+from repro.mobility.tpoint import TGeomPoint
+from repro.spatial.measure import cartesian, haversine
+
+
+def line(offset=0.0, start=0.0, n=5, step=10.0):
+    """A straight eastward trajectory offset north by ``offset``."""
+    return TGeomPoint.from_fixes(
+        [(i * step, offset, start + i * 10.0) for i in range(n)], metric=cartesian
+    )
+
+
+class TestSimilarity:
+    def test_identical_trajectories_have_zero_distance(self):
+        a, b = line(), line()
+        assert hausdorff_distance(a, b) == 0.0
+        assert frechet_distance(a, b) == 0.0
+        assert dtw_distance(a, b) == 0.0
+
+    def test_parallel_offset_lines(self):
+        a, b = line(0.0), line(3.0)
+        assert hausdorff_distance(a, b) == pytest.approx(3.0)
+        assert frechet_distance(a, b) == pytest.approx(3.0)
+        # DTW sums per-pair costs: 5 aligned pairs, 3 each.
+        assert dtw_distance(a, b) == pytest.approx(15.0)
+
+    def test_frechet_at_least_hausdorff(self):
+        a = line(0.0)
+        b = TGeomPoint.from_fixes([(40, 0, 0), (30, 0, 10), (20, 0, 20), (10, 0, 30), (0, 0, 40)], metric=cartesian)
+        assert frechet_distance(a, b) >= hausdorff_distance(a, b) - 1e-9
+
+    def test_symmetry(self):
+        a, b = line(0.0), line(7.0, n=4)
+        assert hausdorff_distance(a, b) == pytest.approx(hausdorff_distance(b, a))
+        assert frechet_distance(a, b) == pytest.approx(frechet_distance(b, a))
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+
+    def test_metric_mismatch_rejected(self):
+        a = line()
+        b = TGeomPoint.from_fixes([(0, 0, 0), (1, 1, 10)], metric=haversine)
+        with pytest.raises(SpatialError):
+            hausdorff_distance(a, b)
+
+    def test_synchronized_distance(self):
+        a, b = line(0.0), line(4.0)
+        assert synchronized_distance(a, b, interval=10.0) == pytest.approx(4.0)
+
+    def test_synchronized_distance_disjoint_time(self):
+        a = line(0.0, start=0.0)
+        b = line(0.0, start=10_000.0)
+        assert synchronized_distance(a, b) == math.inf
+
+
+class TestStops:
+    def test_detects_a_dwell(self):
+        fixes = (
+            [(0.0, 0.0, t) for t in (0, 30, 60, 90)]          # stopped for 90 s
+            + [(float(i * 100), 0.0, 90 + i * 10) for i in range(1, 5)]  # moving
+            + [(400.0, 0.0, 200), (400.0, 0.0, 260)]           # stopped again for 60 s
+        )
+        tp = TGeomPoint.from_fixes(fixes, metric=cartesian)
+        stops = detect_stops(tp, max_radius=5.0, min_duration=50.0)
+        assert len(stops) == 2
+        assert stops[0].duration == pytest.approx(90.0)
+        assert stops[0].center.x == pytest.approx(0.0)
+        assert stops[1].center.x == pytest.approx(400.0)
+
+    def test_no_stop_when_always_moving(self):
+        tp = line(n=10)
+        assert detect_stops(tp, max_radius=1.0, min_duration=10.0) == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(TemporalError):
+            detect_stops(line(), max_radius=0, min_duration=10)
+        with pytest.raises(TemporalError):
+            detect_stops(line(), max_radius=1, min_duration=0)
+
+
+class TestHeadingAndDistance:
+    def test_heading_east_then_north(self):
+        tp = TGeomPoint.from_fixes([(0, 0, 0), (10, 0, 10), (10, 10, 20)], metric=cartesian)
+        heading = temporal_heading(tp)
+        assert heading.value_at(0) == pytest.approx(0.0)
+        assert heading.value_at(10) == pytest.approx(math.pi / 2)
+
+    def test_heading_single_fix(self):
+        tp = TGeomPoint.from_fixes([(0, 0, 0)], metric=cartesian)
+        assert temporal_heading(tp).values == [0.0]
+
+    def test_distance_between_moving_objects(self):
+        a, b = line(0.0), line(6.0)
+        distances = distance_between(a, b, interval=10.0)
+        assert distances is not None
+        assert distances.min_value() == pytest.approx(6.0)
+        assert distances.max_value() == pytest.approx(6.0)
+
+    def test_distance_between_disjoint(self):
+        a = line(0.0, start=0.0)
+        b = line(0.0, start=1e6)
+        assert distance_between(a, b) is None
+        assert nearest_approach_between(a, b) == math.inf
+
+    def test_k_nearest_trajectories(self):
+        target = line(0.0)
+        others = [("near", line(2.0)), ("far", line(50.0)), ("mid", line(10.0))]
+        ranked = k_nearest_trajectories(target, others, k=2, interval=10.0)
+        assert [key for key, _ in ranked] == ["near", "mid"]
+        assert ranked[0][1] == pytest.approx(2.0)
+        with pytest.raises(TemporalError):
+            k_nearest_trajectories(target, others, k=0)

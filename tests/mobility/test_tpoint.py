@@ -1,0 +1,226 @@
+"""Tests for temporal points (trajectories) and STBox."""
+
+import math
+
+import pytest
+
+from repro.errors import SpatialError, TemporalError
+from repro.mobility.stbox import STBox
+from repro.mobility.tpoint import TGeomPoint
+from repro.spatial.geometry import Circle, LineString, Point, Polygon
+from repro.spatial.measure import haversine
+from repro.temporal.time import Period
+from repro.temporal.tinstant import TInstant
+from repro.temporal.tsequence import TSequence
+
+
+def straight_line() -> TGeomPoint:
+    """(0,0) -> (10,0) -> (10,10) over 20 seconds."""
+    return TGeomPoint.from_fixes([(0, 0, 0), (10, 0, 10), (10, 10, 20)])
+
+
+class TestSTBox:
+    def test_needs_some_dimension(self):
+        with pytest.raises(SpatialError):
+            STBox()
+
+    def test_from_bounds_with_time(self):
+        box = STBox.from_bounds(0, 0, 10, 10, 0, 100)
+        assert box.has_spatial and box.has_temporal
+
+    def test_from_bounds_partial_time_rejected(self):
+        with pytest.raises(TemporalError):
+            STBox.from_bounds(0, 0, 1, 1, tmin=0)
+
+    def test_contains_point(self):
+        box = STBox.from_bounds(0, 0, 10, 10, 0, 100)
+        assert box.contains_point(Point(5, 5), 50)
+        assert not box.contains_point(Point(5, 5), 200)
+        assert not box.contains_point(Point(50, 5), 50)
+        assert not box.contains_point(Point(5, 5))  # temporal box but no timestamp given
+
+    def test_spatial_only(self):
+        box = STBox.from_bounds(0, 0, 10, 10)
+        assert box.contains_point(Point(5, 5))
+
+    def test_intersects(self):
+        a = STBox.from_bounds(0, 0, 10, 10, 0, 100)
+        b = STBox.from_bounds(5, 5, 20, 20, 50, 200)
+        c = STBox.from_bounds(5, 5, 20, 20, 150, 200)
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_union_and_expand(self):
+        a = STBox.from_bounds(0, 0, 1, 1, 0, 10)
+        b = STBox.from_bounds(5, 5, 6, 6, 20, 30)
+        union = a.union(b)
+        assert union.spatial.contains_point(6, 6)
+        assert union.temporal.contains_timestamp(25)
+        expanded = a.expand(space=1, time=5)
+        assert expanded.spatial.contains_point(-1, -1)
+        assert expanded.temporal.contains_timestamp(-3)
+
+    def test_from_geometry_and_period(self):
+        box = STBox.from_geometry(Polygon.rectangle(0, 0, 4, 4), Period(0, 10))
+        assert box.spatial == Polygon.rectangle(0, 0, 4, 4).bounds()
+        assert STBox.from_period(Period(0, 5)).has_temporal
+
+
+class TestTGeomPointBasics:
+    def test_values_must_be_points(self):
+        seq = TSequence.from_pairs([(1.0, 0), (2.0, 10)])
+        with pytest.raises(SpatialError):
+            TGeomPoint(seq)
+
+    def test_from_fixes_empty_rejected(self):
+        with pytest.raises(TemporalError):
+            TGeomPoint.from_fixes([])
+
+    def test_accessors(self):
+        tp = straight_line()
+        assert tp.num_instants() == 3
+        assert tp.start_point == Point(0, 0)
+        assert tp.end_point == Point(10, 10)
+        assert tp.duration == 20
+        assert tp.period().contains_timestamp(15)
+
+    def test_position_at_interpolates(self):
+        tp = straight_line()
+        assert tp.position_at(5) == Point(5, 0)
+        assert tp.position_at(15) == Point(10, 5)
+        assert tp.position_at(100) is None
+
+    def test_trajectory_geometry(self):
+        assert isinstance(straight_line().trajectory(), LineString)
+        stationary = TGeomPoint.from_fixes([(1, 1, 0), (1, 1, 10)])
+        assert stationary.trajectory() == Point(1, 1)
+
+    def test_bounding_box(self):
+        box = straight_line().bounding_box()
+        assert box.spatial.contains_point(10, 10)
+        assert box.temporal.contains_timestamp(20)
+
+
+class TestTGeomPointMetrics:
+    def test_length(self):
+        assert straight_line().length() == 20.0
+
+    def test_cumulative_length(self):
+        cumulative = straight_line().cumulative_length()
+        assert cumulative.values == [0.0, 10.0, 20.0]
+
+    def test_speed(self):
+        speeds = straight_line().speed()
+        assert speeds.values == [1.0, 1.0, 1.0]
+        single = TGeomPoint.from_fixes([(0, 0, 0)])
+        assert single.speed().values == [0.0]
+
+    def test_speed_varying(self):
+        tp = TGeomPoint.from_fixes([(0, 0, 0), (10, 0, 10), (30, 0, 20)])
+        assert tp.speed().values == [1.0, 2.0, 2.0]
+
+    def test_direction(self):
+        east = TGeomPoint.from_fixes([(0, 0, 0), (10, 0, 10)])
+        north = TGeomPoint.from_fixes([(0, 0, 0), (0, 10, 10)])
+        assert east.direction() == pytest.approx(0.0)
+        assert north.direction() == pytest.approx(math.pi / 2)
+        still = TGeomPoint.from_fixes([(0, 0, 0), (0, 0, 10)])
+        assert still.direction() is None
+
+    def test_distance_to(self):
+        distances = straight_line().distance_to(Point(0, 0))
+        assert distances.values[0] == 0.0
+        assert distances.values[-1] == pytest.approx(math.hypot(10, 10))
+
+    def test_nearest_approach_distance_catches_drive_by(self):
+        # The trajectory passes by (5, 1) between fixes; instants alone would miss it.
+        tp = TGeomPoint.from_fixes([(0, 0, 0), (10, 0, 10)])
+        assert tp.nearest_approach_distance(Point(5, 1)) == pytest.approx(1.0)
+
+    def test_haversine_metric_length(self):
+        tp = TGeomPoint.from_fixes(
+            [(4.3354, 50.8354, 0), (4.4212, 51.2172, 3600)], metric=haversine
+        )
+        assert 40_000 < tp.length() < 47_000
+        # Speed ~ 42 km / h expressed in m/s.
+        assert 10 < tp.speed().values[0] < 14
+
+
+class TestTGeomPointPredicates:
+    def test_ever_within_distance(self):
+        tp = straight_line()
+        assert tp.ever_within_distance(Point(5, 2), 2.5)
+        assert not tp.ever_within_distance(Point(5, 5), 2.0)
+
+    def test_ever_intersects(self):
+        tp = straight_line()
+        assert tp.ever_intersects(Polygon.rectangle(4, -1, 6, 1))
+        assert not tp.ever_intersects(Polygon.rectangle(20, 20, 30, 30))
+
+    def test_ever_intersects_between_fixes(self):
+        tp = TGeomPoint.from_fixes([(0, 0, 0), (10, 0, 10)])
+        assert tp.ever_intersects(Polygon.rectangle(4, -1, 6, 1))
+
+    def test_is_stationary(self):
+        still = TGeomPoint.from_fixes([(0, 0, 0), (0.1, 0, 10)])
+        assert still.is_stationary(tolerance=0.2)
+        assert not straight_line().is_stationary(tolerance=1.0)
+
+
+class TestTGeomPointRestriction:
+    def test_at_period(self):
+        restricted = straight_line().at_period(Period(5, 15, upper_inc=True))
+        assert restricted is not None
+        assert restricted.start_point == Point(5, 0)
+        assert restricted.end_point == Point(10, 5)
+        assert straight_line().at_period(Period(100, 200)) is None
+
+    def test_at_stbox_spatial(self):
+        fragments = straight_line().at_stbox(STBox.from_bounds(2, -1, 8, 1))
+        assert len(fragments) == 1
+        frag = fragments[0]
+        assert frag.start_timestamp == pytest.approx(2.0, abs=0.01)
+        assert frag.end_timestamp == pytest.approx(8.0, abs=0.01)
+
+    def test_at_stbox_spatiotemporal(self):
+        box = STBox.from_bounds(2, -1, 8, 1, 0, 5)
+        fragments = straight_line().at_stbox(box)
+        assert len(fragments) == 1
+        assert fragments[0].end_timestamp == pytest.approx(5.0)
+
+    def test_at_stbox_disjoint_time(self):
+        box = STBox.from_bounds(2, -1, 8, 1, 100, 200)
+        assert straight_line().at_stbox(box) == []
+
+    def test_at_geometry_multiple_visits(self):
+        # Path crosses the polygon twice: on the way right and on the way back.
+        tp = TGeomPoint.from_fixes([(0, 0, 0), (10, 0, 10), (0, 0, 20)])
+        fragments = tp.at_geometry(Polygon.rectangle(4, -1, 6, 1))
+        assert len(fragments) == 2
+        assert fragments[0].start_timestamp == pytest.approx(4.0, abs=0.05)
+        assert fragments[1].end_timestamp == pytest.approx(16.0, abs=0.05)
+
+    def test_at_geometry_no_overlap(self):
+        assert straight_line().at_geometry(Polygon.rectangle(50, 50, 60, 60)) == []
+
+    def test_at_geometry_circle(self):
+        fragments = straight_line().at_geometry(Circle(Point(5, 0), 1.0))
+        assert len(fragments) == 1
+        assert fragments[0].start_timestamp == pytest.approx(4.0, abs=0.05)
+
+
+class TestTGeomPointTransforms:
+    def test_simplify(self):
+        tp = TGeomPoint.from_fixes([(0, 0, 0), (5, 0.001, 5), (10, 0, 10)])
+        simplified = tp.simplify(0.1)
+        assert simplified.num_instants() == 2
+        assert simplified.start_timestamp == 0 and simplified.end_timestamp == 10
+
+    def test_shift(self):
+        assert straight_line().shift(100).start_timestamp == 100
+
+    def test_append_fix(self):
+        extended = straight_line().append_fix(20, 10, 30)
+        assert extended.num_instants() == 4
+        with pytest.raises(TemporalError):
+            straight_line().append_fix(0, 0, 5)

@@ -1,0 +1,77 @@
+"""Property-based tests on trajectories."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.stbox import STBox
+from repro.mobility.tpoint import TGeomPoint
+from repro.spatial.bbox import Box2D
+from repro.spatial.geometry import Point
+
+
+coords = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+
+
+def trajectories(min_fixes=2, max_fixes=10):
+    def build(points):
+        fixes = [(x, y, 10.0 * i) for i, (x, y) in enumerate(points)]
+        return TGeomPoint.from_fixes(fixes)
+
+    return st.lists(st.tuples(coords, coords), min_size=min_fixes, max_size=max_fixes).map(build)
+
+
+@given(trajectories())
+def test_length_is_nonnegative_and_at_least_straight_line(tp):
+    straight = tp.metric.distance(tp.start_point.coords, tp.end_point.coords)
+    assert tp.length() >= straight - 1e-9
+
+
+@given(trajectories())
+def test_cumulative_length_is_monotone(tp):
+    values = tp.cumulative_length().values
+    assert all(b >= a - 1e-9 for a, b in zip(values[:-1], values[1:]))
+    assert values[-1] == pytest.approx(tp.length())
+
+
+@given(trajectories())
+def test_speed_is_nonnegative(tp):
+    assert all(v >= 0 for v in tp.speed().values)
+
+
+@given(trajectories(), st.floats(0, 1))
+def test_position_at_inside_bounding_box(tp, fraction):
+    t = tp.start_timestamp + fraction * tp.duration
+    position = tp.position_at(t)
+    assert position is not None
+    box = tp.bounding_box().spatial
+    assert box.expand(1e-6).contains_point(position.x, position.y)
+
+
+@given(trajectories())
+def test_at_stbox_with_own_bbox_returns_whole_trajectory(tp):
+    fragments = tp.at_stbox(tp.bounding_box())
+    total = sum(f.duration for f in fragments)
+    assert total == pytest.approx(tp.duration, rel=1e-3, abs=1e-3)
+
+
+@given(trajectories(), coords, coords, st.floats(0.5, 50))
+def test_edwithin_consistent_with_nearest_approach(tp, x, y, distance):
+    target = Point(x, y)
+    nearest = tp.nearest_approach_distance(target)
+    assert tp.ever_within_distance(target, distance) == (nearest <= distance)
+
+
+@given(trajectories())
+def test_fragments_inside_disjoint_box_are_empty(tp):
+    box = tp.bounding_box().spatial
+    far = Box2D(box.xmax + 10, box.ymax + 10, box.xmax + 20, box.ymax + 20)
+    assert tp.at_stbox(STBox(far)) == []
+
+
+@given(trajectories(min_fixes=3, max_fixes=8), st.floats(0.01, 5))
+def test_simplify_keeps_endpoints(tp, tolerance):
+    simplified = tp.simplify(tolerance)
+    assert simplified.start_timestamp == tp.start_timestamp
+    assert simplified.end_timestamp == tp.end_timestamp
+    assert simplified.num_instants() <= tp.num_instants()

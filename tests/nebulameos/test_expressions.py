@@ -1,0 +1,127 @@
+"""Tests for the MEOS-backed stream expressions."""
+
+import pytest
+
+from repro.mobility.stbox import STBox
+from repro.mobility.tpoint import TGeomPoint
+from repro.nebulameos.expressions import (
+    DistanceToExpression,
+    EDWithinExpression,
+    MeosAtStboxExpression,
+    NearestZoneExpression,
+    SpeedExpression,
+    TPointAtStboxExpression,
+    WithinGeometryExpression,
+    ZoneLookupExpression,
+)
+from repro.spatial.geometry import Circle, Point, Polygon
+from repro.spatial.index import GridIndex
+from repro.spatial.measure import cartesian
+from repro.streaming.record import Record
+
+
+ZONE = Polygon.rectangle(0, 0, 10, 10)
+
+
+def rec(lon=None, lat=None, trajectory=None, t=0.0, **extra):
+    payload = {"lon": lon, "lat": lat, "timestamp": t}
+    if trajectory is not None:
+        payload["trajectory"] = trajectory
+    payload.update(extra)
+    return Record(payload, t)
+
+
+class TestWithinGeometry:
+    def test_inside_outside(self):
+        expr = WithinGeometryExpression(ZONE)
+        assert expr.evaluate(rec(5.0, 5.0))
+        assert not expr.evaluate(rec(50.0, 5.0))
+        assert not expr.evaluate(rec(None, None))
+
+    def test_fields(self):
+        assert WithinGeometryExpression(ZONE).fields() == ["lon", "lat"]
+
+    def test_custom_field_names(self):
+        expr = WithinGeometryExpression(ZONE, lon_field="x", lat_field="y")
+        assert expr.evaluate(Record({"x": 5.0, "y": 5.0, "timestamp": 0.0}))
+
+
+class TestEDWithin:
+    def test_point_mode(self):
+        expr = EDWithinExpression(Point(0, 0), 5.0, metric=cartesian)
+        assert expr.evaluate(rec(3.0, 0.0))
+        assert not expr.evaluate(rec(30.0, 0.0))
+        assert not expr.evaluate(rec(None, None))
+
+    def test_trajectory_mode_catches_drive_by(self):
+        # The trajectory passes near the target between fixes.
+        trajectory = TGeomPoint.from_fixes([(-10, 1, 0), (10, 1, 10)], metric=cartesian)
+        expr = EDWithinExpression(Point(0, 0), 2.0, metric=cartesian)
+        # Record's own position is far away, but the attached trajectory passes close by.
+        assert expr.evaluate(rec(10.0, 1.0, trajectory=trajectory))
+
+    def test_point_only_would_miss_it(self):
+        expr = EDWithinExpression(Point(0, 0), 2.0, metric=cartesian)
+        assert not expr.evaluate(rec(10.0, 1.0))
+
+
+class TestAtStbox:
+    BOX = STBox.from_bounds(0, 0, 10, 10, 0, 100)
+
+    def test_fragments_expression(self):
+        trajectory = TGeomPoint.from_fixes([(-5, 5, 0), (15, 5, 20)], metric=cartesian)
+        expr = TPointAtStboxExpression(self.BOX)
+        fragments = expr.evaluate(rec(15.0, 5.0, trajectory=trajectory, t=20.0))
+        assert len(fragments) == 1
+        assert fragments[0].duration > 0
+
+    def test_boolean_expression(self):
+        expr = MeosAtStboxExpression(self.BOX)
+        assert expr.evaluate(rec(5.0, 5.0, t=50.0))
+        assert not expr.evaluate(rec(50.0, 5.0, t=50.0))
+        # Outside the temporal extent of the box.
+        assert not expr.evaluate(rec(5.0, 5.0, t=500.0))
+
+    def test_no_position(self):
+        assert TPointAtStboxExpression(self.BOX).evaluate(rec(None, None)) == []
+
+
+class TestZoneExpressions:
+    def make_index(self):
+        index = GridIndex(1.0)
+        index.insert("zone-a", ZONE)
+        index.insert("zone-b", Circle(Point(100, 100), 5.0))
+        return index
+
+    def test_zone_lookup(self):
+        expr = ZoneLookupExpression(self.make_index())
+        assert expr.evaluate(rec(5.0, 5.0)) == ["zone-a"]
+        assert expr.evaluate(rec(100.0, 101.0)) == ["zone-b"]
+        assert expr.evaluate(rec(50.0, 50.0)) == []
+        assert expr.evaluate(rec(None, None)) == []
+
+    def test_nearest_zone(self):
+        expr = NearestZoneExpression(self.make_index(), metric=cartesian)
+        key, distance = expr.evaluate(rec(12.0, 5.0))
+        assert key == "zone-a"
+        assert distance == pytest.approx(2.0)
+        assert expr.evaluate(rec(None, None)) is None
+
+    def test_nearest_zone_empty_index(self):
+        assert NearestZoneExpression(GridIndex(1.0)).evaluate(rec(1.0, 1.0)) is None
+
+
+class TestSpeedAndDistance:
+    def test_speed_from_trajectory(self):
+        trajectory = TGeomPoint.from_fixes([(0, 0, 0), (10, 0, 10)], metric=cartesian)
+        expr = SpeedExpression()
+        assert expr.evaluate(rec(10.0, 0.0, trajectory=trajectory)) == pytest.approx(1.0)
+
+    def test_speed_falls_back_to_field(self):
+        assert SpeedExpression().evaluate(rec(0.0, 0.0, speed=12.5)) == 12.5
+        assert SpeedExpression().evaluate(rec(0.0, 0.0)) == 0.0
+
+    def test_distance_to(self):
+        expr = DistanceToExpression(Point(0, 0), metric=cartesian)
+        assert expr.evaluate(rec(3.0, 4.0)) == 5.0
+        assert expr.evaluate(rec(None, None)) is None

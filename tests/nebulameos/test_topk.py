@@ -1,0 +1,70 @@
+"""Tests for the streaming top-k nearest trains operator."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.nebulameos.topk import TopKNearestOperator
+from repro.spatial.measure import cartesian
+from repro.streaming.record import Record
+
+
+def gps(device, lon, lat, t):
+    return Record({"device_id": device, "lon": lon, "lat": lat, "timestamp": float(t)}, float(t))
+
+
+class TestTopKNearestOperator:
+    def test_ranks_peers_by_distance(self):
+        operator = TopKNearestOperator(k=2, metric=cartesian)
+        list(operator.process(gps("a", 0.0, 0.0, 0)))
+        list(operator.process(gps("b", 10.0, 0.0, 1)))
+        list(operator.process(gps("c", 3.0, 0.0, 2)))
+        out = list(operator.process(gps("d", 1.0, 0.0, 3)))[0]
+        assert out["nearest_trains_ids"] == ["a", "c"]
+        assert out["nearest_trains_distance_m"] == pytest.approx(1.0)
+        assert len(out["nearest_trains"]) == 2
+
+    def test_first_train_has_no_peers(self):
+        operator = TopKNearestOperator(k=3, metric=cartesian)
+        out = list(operator.process(gps("a", 0.0, 0.0, 0)))[0]
+        assert out["nearest_trains"] == []
+        assert out["nearest_trains_distance_m"] is None
+
+    def test_stale_positions_are_ignored(self):
+        operator = TopKNearestOperator(k=3, staleness_s=60.0, metric=cartesian)
+        list(operator.process(gps("a", 0.0, 0.0, 0)))
+        out = list(operator.process(gps("b", 1.0, 0.0, 1000)))[0]
+        assert out["nearest_trains"] == []
+
+    def test_positions_update_over_time(self):
+        operator = TopKNearestOperator(k=1, metric=cartesian)
+        list(operator.process(gps("a", 0.0, 0.0, 0)))
+        list(operator.process(gps("b", 100.0, 0.0, 1)))
+        # Train a moves close to b; b's next record must see the new position.
+        list(operator.process(gps("a", 99.0, 0.0, 2)))
+        out = list(operator.process(gps("b", 100.0, 0.0, 3)))[0]
+        assert out["nearest_trains_distance_m"] == pytest.approx(1.0)
+
+    def test_records_without_position_pass_through(self):
+        operator = TopKNearestOperator(k=1, metric=cartesian)
+        record = Record({"device_id": "a", "lon": None, "lat": None, "timestamp": 0.0})
+        out = list(operator.process(record))[0]
+        assert "nearest_trains" not in out
+
+    def test_parameter_validation(self):
+        with pytest.raises(StreamError):
+            TopKNearestOperator(k=0)
+        with pytest.raises(StreamError):
+            TopKNearestOperator(staleness_s=0)
+
+    def test_on_simulated_fleet(self, small_scenario):
+        """On the SNCB scenario every positioned event gets at most k ranked peers."""
+        operator = TopKNearestOperator(k=2, staleness_s=120.0)
+        annotated = []
+        for event in small_scenario.events[:600]:
+            annotated.extend(operator.process(Record(event)))
+        positioned = [r for r in annotated if "nearest_trains" in r]
+        assert positioned
+        for record in positioned:
+            distances = [n["distance_m"] for n in record["nearest_trains"]]
+            assert distances == sorted(distances)
+            assert len(distances) <= 2

@@ -1,0 +1,217 @@
+"""Tests for the trajectory builder, spatiotemporal windows, plugin operators and registration."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.nebulameos.operators import (
+    GeofenceOperator,
+    NearestNeighborOperator,
+    SpatialJoinOperator,
+)
+from repro.nebulameos.registration import MEOS_FUNCTION_NAMES, register_meos_plugins
+from repro.nebulameos.stwindows import (
+    SpatialGridAssigner,
+    spatiotemporal_sliding,
+    spatiotemporal_threshold,
+    spatiotemporal_tumbling,
+    zone_threshold,
+)
+from repro.nebulameos.trajectory import TrajectoryBuilder, TrajectoryState
+from repro.spatial.geometry import Circle, Point, Polygon
+from repro.spatial.index import GridIndex
+from repro.spatial.measure import cartesian
+from repro.streaming.expressions import call, col
+from repro.streaming.plugin import PluginRegistry
+from repro.streaming.record import Record
+from repro.streaming.windows import SlidingWindow, ThresholdWindow, TumblingWindow
+
+
+def rec(lon, lat, t, device="train-0", **extra):
+    payload = {"device_id": device, "lon": lon, "lat": lat, "timestamp": float(t)}
+    payload.update(extra)
+    return Record(payload, float(t))
+
+
+class TestTrajectoryState:
+    def test_bounded_by_horizon(self):
+        state = TrajectoryState(horizon_s=100.0, max_fixes=100)
+        for t in (0, 50, 150, 200):
+            state.add(float(t), 0.0, float(t))
+        # The fix at t=0 and t=50 fall out of the 100 s horizon ending at 200.
+        assert len(state) == 2
+
+    def test_bounded_by_max_fixes(self):
+        state = TrajectoryState(horizon_s=1e9, max_fixes=3)
+        for t in range(10):
+            state.add(float(t), 0.0, float(t))
+        assert len(state) == 3
+
+    def test_out_of_order_fix_ignored(self):
+        state = TrajectoryState(horizon_s=1e9, max_fixes=10)
+        state.add(0.0, 0.0, 10.0)
+        state.add(1.0, 0.0, 5.0)
+        assert len(state) == 1
+
+    def test_duplicate_timestamp_updates_position(self):
+        state = TrajectoryState(horizon_s=1e9, max_fixes=10)
+        state.add(0.0, 0.0, 10.0)
+        state.add(9.0, 9.0, 10.0)
+        trajectory = state.trajectory(cartesian)
+        assert trajectory.end_point == Point(9.0, 9.0)
+
+
+class TestTrajectoryBuilder:
+    def test_attaches_growing_trajectory(self):
+        builder = TrajectoryBuilder(metric=cartesian)
+        out1 = list(builder.process(rec(0.0, 0.0, 0)))[0]
+        out2 = list(builder.process(rec(10.0, 0.0, 10)))[0]
+        assert out1["trajectory"].num_instants() == 1
+        assert out2["trajectory"].num_instants() == 2
+        assert out2["trajectory"].length() == 10.0
+        assert builder.num_devices() == 1
+
+    def test_devices_are_isolated(self):
+        builder = TrajectoryBuilder(metric=cartesian)
+        list(builder.process(rec(0.0, 0.0, 0, device="a")))
+        out_b = list(builder.process(rec(5.0, 5.0, 1, device="b")))[0]
+        assert out_b["trajectory"].num_instants() == 1
+        assert builder.num_devices() == 2
+
+    def test_records_without_position_pass_through(self):
+        builder = TrajectoryBuilder(metric=cartesian)
+        out = list(builder.process(rec(None, None, 0)))[0]
+        assert "trajectory" not in out
+
+    def test_imputation_fills_gaps(self):
+        builder = TrajectoryBuilder(metric=cartesian, impute_max_gap=100.0, impute_step=10.0)
+        list(builder.process(rec(0.0, 0.0, 0)))
+        out = list(builder.process(rec(10.0, 0.0, 50)))[0]
+        trajectory = out["trajectory"]
+        assert trajectory.num_instants() > 2
+
+    def test_invalid_config(self):
+        with pytest.raises(StreamError):
+            TrajectoryBuilder(horizon_s=0)
+
+
+class TestSpatialGridAssigner:
+    def test_cell_id_roundtrip(self):
+        grid = SpatialGridAssigner(0.5)
+        cell = grid.cell_id(4.3, 50.8)
+        lon, lat = grid.cell_center(cell)
+        assert grid.cell_id(lon, lat) == cell
+
+    def test_expression(self):
+        grid = SpatialGridAssigner(1.0)
+        expr = grid.expression()
+        assert expr.evaluate(rec(4.3, 50.8, 0)) == "4:50"
+        assert expr.evaluate(rec(None, None, 0)) is None
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(StreamError):
+            SpatialGridAssigner(0)
+
+
+class TestSpatioTemporalWindows:
+    def test_factories_return_window_kinds(self):
+        assert isinstance(spatiotemporal_tumbling(60.0), TumblingWindow)
+        assert isinstance(spatiotemporal_sliding(60.0, 30.0), SlidingWindow)
+        assert isinstance(spatiotemporal_threshold(Polygon.rectangle(0, 0, 1, 1)), ThresholdWindow)
+
+    def test_threshold_window_opens_inside_geometry(self):
+        window = spatiotemporal_threshold(Polygon.rectangle(0, 0, 10, 10))
+        assert window.matches(rec(5.0, 5.0, 0))
+        assert not window.matches(rec(50.0, 5.0, 0))
+        assert not window.matches(rec(None, None, 0))
+
+    def test_zone_threshold(self):
+        index = GridIndex(1.0)
+        index.insert("z", Circle(Point(0, 0), 5.0))
+        window = zone_threshold(index)
+        assert window.matches(rec(1.0, 1.0, 0))
+        assert not window.matches(rec(50.0, 50.0, 0))
+
+
+class TestPluginOperators:
+    def make_index(self):
+        index = GridIndex(1.0)
+        index.insert("zone-a", Polygon.rectangle(0, 0, 10, 10))
+        return index
+
+    def test_geofence_annotates(self):
+        op = GeofenceOperator(self.make_index(), output_field="zones")
+        inside = list(op.process(rec(5.0, 5.0, 0)))[0]
+        outside = list(op.process(rec(50.0, 5.0, 1)))[0]
+        assert inside["zones"] == ["zone-a"] and inside["in_zones"]
+        assert outside["zones"] == [] and not outside["in_zones"]
+
+    def test_geofence_transitions_only(self):
+        op = GeofenceOperator(self.make_index(), output_field="zones", transitions_only=True)
+        out = []
+        for t, lon in enumerate([50.0, 5.0, 6.0, 50.0]):
+            out.extend(op.process(rec(lon, 5.0, t)))
+        # Only the enter (t=1) and leave (t=3) events are emitted.
+        assert len(out) == 2
+        assert out[0]["entered"] == ["zone-a"] and out[0]["left"] == []
+        assert out[1]["entered"] == [] and out[1]["left"] == ["zone-a"]
+
+    def test_geofence_requires_zones(self):
+        with pytest.raises(StreamError):
+            GeofenceOperator(GridIndex(1.0))
+
+    def test_spatial_join_enriches(self):
+        op = SpatialJoinOperator(self.make_index(), {"zone-a": {"speed_limit": 60.0}})
+        inside = list(op.process(rec(5.0, 5.0, 0)))[0]
+        assert inside["speed_limit"] == 60.0
+        assert inside["matched_zones"] == ["zone-a"]
+        outside = list(op.process(rec(50.0, 5.0, 1)))
+        assert len(outside) == 1 and "speed_limit" not in outside[0]
+
+    def test_spatial_join_drop_unmatched(self):
+        op = SpatialJoinOperator(self.make_index(), {}, drop_unmatched=True)
+        assert list(op.process(rec(50.0, 5.0, 0))) == []
+        assert list(op.process(rec(None, None, 0))) == []
+
+    def test_nearest_neighbor(self):
+        index = GridIndex(1.0)
+        index.insert("w1", Point(0, 0))
+        index.insert("w2", Point(100, 0))
+        op = NearestNeighborOperator(index, output_prefix="workshop", metric=cartesian)
+        out = list(op.process(rec(10.0, 0.0, 0)))[0]
+        assert out["workshop_id"] == "w1"
+        assert out["workshop_distance_m"] == 10.0
+        passthrough = list(op.process(rec(None, None, 0)))[0]
+        assert "workshop_id" not in passthrough
+
+
+class TestRegistration:
+    def test_registers_everything(self):
+        registry = PluginRegistry("meos-test")
+        register_meos_plugins(registry)
+        names = registry.registered_names()
+        for function_name in MEOS_FUNCTION_NAMES:
+            assert function_name in names["functions"]
+        assert "MeosAtStbox" in names["expressions"]
+        assert "trajectory_builder" in names["operators"]
+        assert "geofence" in names["operators"]
+
+    def test_registration_is_idempotent(self):
+        registry = PluginRegistry("meos-test")
+        register_meos_plugins(registry)
+        register_meos_plugins(registry)  # must not raise
+
+    def test_registered_function_usable_in_expression(self):
+        from repro.mobility.tpoint import TGeomPoint
+
+        registry = PluginRegistry("meos-test")
+        register_meos_plugins(registry)
+        trajectory = TGeomPoint.from_fixes([(0, 0, 0), (10, 0, 10)], metric=cartesian)
+        expr = call("tpoint_length", col("trajectory"), registry=registry)
+        record = Record({"trajectory": trajectory, "timestamp": 0.0})
+        assert expr.evaluate(record) == 10.0
+
+    def test_registered_operator_factory(self):
+        registry = PluginRegistry("meos-test")
+        register_meos_plugins(registry)
+        builder = registry.create_operator("trajectory_builder", metric=cartesian)
+        assert isinstance(builder, TrajectoryBuilder)

@@ -1,0 +1,203 @@
+"""Tests for the eight demonstration queries (Q1–Q8) and the catalog."""
+
+import pytest
+
+from repro.queries import QUERY_CATALOG, build_query
+from repro.queries.gcep_queries import (
+    HEAVY_LOAD_OCCUPANCY,
+    build_q5_battery_monitoring,
+    build_q6_heavy_passenger_load,
+    build_q7_unscheduled_stops,
+    build_q8_brake_monitoring,
+)
+from repro.queries.geofencing import (
+    build_q1_alert_filtering,
+    build_q2_noise_monitoring,
+    build_q3_dynamic_speed_limit,
+    build_q4_weather_speed_zones,
+)
+from repro.sncb.replay import SncbStreamSource
+from repro.sncb.zones import ZoneType
+from repro.spatial.geometry import Point
+from repro.streaming.engine import StreamExecutionEngine
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return StreamExecutionEngine()
+
+
+@pytest.fixture(scope="module")
+def results(full_scenario):
+    """Execute every catalog query once against the full scenario."""
+    engine = StreamExecutionEngine()
+    output = {}
+    for query_id, info in QUERY_CATALOG.items():
+        output[query_id] = engine.execute(info.build(full_scenario))
+    return output
+
+
+class TestCatalog:
+    def test_contains_eight_queries(self):
+        assert sorted(QUERY_CATALOG) == ["Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8"]
+
+    def test_paper_figures_recorded(self):
+        assert QUERY_CATALOG["Q5"].paper_throughput_mb == 0.61
+        assert QUERY_CATALOG["Q6"].paper_events_per_s == 32_000
+        assert QUERY_CATALOG["Q1"].paper_events_per_s == 20_000
+
+    def test_build_query_by_id(self, small_scenario):
+        query = build_query("q3", small_scenario)
+        assert query.name == "q3_dynamic_speed_limit"
+        with pytest.raises(KeyError):
+            build_query("Q99", small_scenario)
+
+    def test_categories(self):
+        geofencing = [q for q in QUERY_CATALOG.values() if q.category == "geofencing"]
+        gcep = [q for q in QUERY_CATALOG.values() if q.category == "gcep"]
+        assert len(geofencing) == 4 and len(gcep) == 4
+
+
+class TestQ1AlertFiltering:
+    def test_only_alert_events_survive(self, results):
+        for record in results["Q1"]:
+            assert record["alert"] in ("speeding", "equipment")
+
+    def test_no_surviving_alert_is_inside_maintenance(self, results, full_scenario):
+        maintenance = full_scenario.zones.index(ZoneType.MAINTENANCE)
+        for record in results["Q1"]:
+            point = Point(record["lon"], record["lat"])
+            assert not maintenance.containing(point)
+
+    def test_suppression_happens(self, results, full_scenario):
+        # Alerts raised inside maintenance zones exist in the raw stream but not in the output.
+        maintenance = full_scenario.zones.index(ZoneType.MAINTENANCE)
+        raw_alerts = [
+            e
+            for e in full_scenario.events
+            if e["alert"] and e["lon"] is not None
+        ]
+        suppressed = [
+            e for e in raw_alerts if maintenance.containing(Point(e["lon"], e["lat"]))
+        ]
+        assert len(results["Q1"]) == len(raw_alerts) - len(suppressed)
+
+
+class TestQ2NoiseMonitoring:
+    def test_windows_report_noise_stats(self, results):
+        assert len(results["Q2"]) > 0
+        for record in results["Q2"]:
+            assert record["peak_noise_db"] >= record["avg_noise_db"]
+            assert record["count"] >= 1
+            assert record["window_end"] - record["window_start"] == pytest.approx(300.0)
+            assert record["zone"].startswith("noise:")
+
+    def test_exceedance_is_consistent(self, results):
+        for record in results["Q2"]:
+            assert record["exceedance_db"] == pytest.approx(
+                record["peak_noise_db"] - record["limit_db"]
+            )
+
+
+class TestQ3DynamicSpeedLimit:
+    def test_only_violations_reported(self, results):
+        assert len(results["Q3"]) > 0
+        for record in results["Q3"]:
+            assert record["speed_kmh"] > record["speed_limit_kmh"]
+            assert record["excess_kmh"] == pytest.approx(
+                record["speed_kmh"] - record["speed_limit_kmh"]
+            )
+            assert record["reason"] in ("curve", "construction")
+
+    def test_violations_are_inside_speed_zones(self, results, full_scenario):
+        index = full_scenario.zones.index(ZoneType.SPEED_RESTRICTION)
+        for record in results["Q3"]:
+            assert index.containing(Point(record["lon"], record["lat"]))
+
+
+class TestQ4WeatherSpeedZones:
+    def test_suggestions_only_in_adverse_weather(self, results):
+        assert len(results["Q4"]) > 0
+        for record in results["Q4"]:
+            assert record["condition"] != "clear"
+            assert record["speed_kmh"] > record["suggested_limit_kmh"]
+            assert record["slow_down_kmh"] > 0
+
+    def test_weather_cell_matches_position(self, results, full_scenario):
+        weather = full_scenario.weather
+        for record in list(results["Q4"])[:50]:
+            assert weather.cell_of(record["lon"], record["lat"]) == record["cell_id"]
+
+
+class TestQ5BatteryMonitoring:
+    def test_alerts_come_from_degraded_train(self, results):
+        assert len(results["Q5"]) >= 1
+        for record in results["Q5"]:
+            # Train 2 is configured with the degraded battery.
+            assert record["device_id"] == "train-2"
+            assert record["excessive_discharge"] or record["overheating"]
+            assert record["workshop_distance_m"] is not None
+
+    def test_discharge_rate_consistent(self, results):
+        for record in results["Q5"]:
+            expected = record["discharge_pct"] / (record["duration_s"] / 60.0)
+            assert record["discharge_rate_pct_per_min"] == pytest.approx(expected)
+
+
+class TestQ6HeavyLoad:
+    def test_heavy_windows_detected(self, results):
+        assert len(results["Q6"]) > 0
+        for record in results["Q6"]:
+            assert record["avg_occupancy"] >= HEAVY_LOAD_OCCUPANCY
+            assert record["suggest_extra_train"] is True
+            assert record["peak_passengers"] > 0
+
+
+class TestQ7UnscheduledStops:
+    def test_stops_are_outside_allowed_zones(self, results, full_scenario):
+        assert len(results["Q7"]) > 0
+        stations = full_scenario.zones.index(ZoneType.STATION_AREA)
+        workshops = full_scenario.zones.index(ZoneType.WORKSHOP)
+        for record in results["Q7"]:
+            point = Point(record["lon"], record["lat"])
+            assert not stations.containing(point)
+            assert not workshops.containing(point)
+            assert record["alert"] == "unscheduled_stop"
+            assert record["samples"] >= 3
+
+    def test_stop_durations_positive(self, results):
+        for record in results["Q7"]:
+            assert record["stop_duration_s"] >= 0
+
+
+class TestQ8BrakeMonitoring:
+    def test_detects_brake_anomalies(self, results):
+        assert len(results["Q8"]) > 0
+        for record in results["Q8"]:
+            assert record["anomaly_count"] >= 4
+            assert record["min_pressure_bar"] < 4.0 or record["emergency_count"] > 0
+            assert record["alert"] == "brake_degradation"
+
+    def test_faulty_train_is_flagged(self, results):
+        # Train 4 has the persistent brake fault and must show up among the alerts.
+        devices = {record["device_id"] for record in results["Q8"]}
+        assert "train-4" in devices
+
+
+class TestQueriesOnCustomSource:
+    def test_queries_accept_custom_source(self, small_scenario, engine):
+        events = small_scenario.events[:200]
+        source = SncbStreamSource(events, name="subset")
+        for builder in (
+            build_q1_alert_filtering,
+            build_q2_noise_monitoring,
+            build_q3_dynamic_speed_limit,
+            build_q4_weather_speed_zones,
+            build_q5_battery_monitoring,
+            build_q6_heavy_passenger_load,
+            build_q7_unscheduled_stops,
+            build_q8_brake_monitoring,
+        ):
+            query = builder(small_scenario, source=source)
+            result = engine.execute(query)
+            assert result.metrics.events_in >= len(events)

@@ -1,0 +1,150 @@
+"""Tests for the rail network, routes and zone catalog."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.sncb.network import RailNetwork, Route, Station
+from repro.sncb.zones import ZoneCatalog, ZoneType
+from repro.spatial.geometry import Point
+from repro.spatial.measure import haversine
+
+
+class TestRailNetwork:
+    def setup_method(self):
+        self.network = RailNetwork()
+
+    def test_has_major_belgian_stations(self):
+        codes = self.network.station_codes()
+        for expected in ("FBMZ", "FAN", "FGSP", "FLG", "FOST"):
+            assert expected in codes
+
+    def test_station_lookup(self):
+        brussels = self.network.station("FBMZ")
+        assert "Brussels" in brussels.name
+        assert 4.0 < brussels.lon < 4.6
+        assert 50.7 < brussels.lat < 51.0
+        with pytest.raises(ScenarioError):
+            self.network.station("XXXX")
+
+    def test_segment_geometry_has_curves(self):
+        geometry = self.network.segment_geometry("FBMZ", "FBN")
+        assert len(geometry) >= 3
+        # Reverse direction is the reversed polyline.
+        assert self.network.segment_geometry("FBN", "FBMZ") == list(reversed(geometry))
+        with pytest.raises(ScenarioError):
+            self.network.segment_geometry("FBMZ", "FOST")
+
+    def test_segment_lengths_plausible(self):
+        # Brussels-Midi to Brussels-North is a few km.
+        length = self.network.segment_length_m("FBMZ", "FBN")
+        assert 2_000 < length < 10_000
+        # Ghent to Bruges several tens of km.
+        assert 30_000 < self.network.segment_length_m("FGSP", "FBG") < 90_000
+
+    def test_route_via_shortest_paths(self):
+        route = self.network.route(["FOST", "FBMZ"])
+        assert route.path[0] == "FOST" and route.path[-1] == "FBMZ"
+        assert len(route.path) >= 3  # passes through intermediate stations
+        assert route.length_m > 100_000
+
+    def test_route_needs_two_stations(self):
+        with pytest.raises(ScenarioError):
+            self.network.route(["FBMZ"])
+
+    def test_custom_network_validates_segments(self):
+        stations = [Station("A", "A", 4.0, 50.0), Station("B", "B", 4.1, 50.1)]
+        with pytest.raises(ScenarioError):
+            RailNetwork(stations, [("A", "C")])
+
+
+class TestRoute:
+    def setup_method(self):
+        self.network = RailNetwork()
+        self.route = self.network.route(["FBMZ", "FLV", "FLG"])
+
+    def test_position_at_endpoints(self):
+        start = self.route.position_at(0)
+        end = self.route.position_at(self.route.length_m)
+        brussels = self.network.station("FBMZ").point
+        liege = self.network.station("FLG").point
+        assert haversine.distance(start.coords, brussels.coords) < 1_000
+        assert haversine.distance(end.coords, liege.coords) < 1_000
+
+    def test_position_clamped(self):
+        assert self.route.position_at(-100) == self.route.position_at(0)
+        assert self.route.position_at(self.route.length_m + 100) == self.route.position_at(
+            self.route.length_m
+        )
+
+    def test_position_monotone_along_track(self):
+        quarter = self.route.position_at(self.route.length_m * 0.25)
+        half = self.route.position_at(self.route.length_m * 0.5)
+        assert quarter != half
+
+    def test_station_marks_are_ordered(self):
+        marks = self.route.station_marks()
+        distances = [d for d, _ in marks]
+        assert distances == sorted(distances)
+        assert marks[0][1] == "FBMZ" and marks[-1][1] == "FLG"
+
+    def test_linestring(self):
+        assert len(self.route.linestring()) == len(self.route.coords)
+
+
+class TestZoneCatalog:
+    def setup_method(self):
+        self.network = RailNetwork()
+        routes = [self.network.route(["FBMZ", "FLV", "FLG"]), self.network.route(["FGSP", "FBMZ"])]
+        self.catalog = ZoneCatalog.for_network(self.network, routes, seed=7)
+
+    def test_all_zone_types_present(self):
+        for zone_type in ZoneType:
+            assert self.catalog.by_type(zone_type), f"missing zones of type {zone_type}"
+
+    def test_unique_ids_and_lookup(self):
+        zone = self.catalog.by_type(ZoneType.MAINTENANCE)[0]
+        assert self.catalog.zone(zone.zone_id) is zone
+        with pytest.raises(ScenarioError):
+            self.catalog.zone("nope")
+
+    def test_station_areas_contain_their_station(self):
+        for zone in self.catalog.by_type(ZoneType.STATION_AREA):
+            code = zone.zone_id.split(":")[1]
+            station = self.network.station(code)
+            assert zone.contains(station.point)
+
+    def test_speed_zones_have_limits(self):
+        for zone in self.catalog.by_type(ZoneType.SPEED_RESTRICTION):
+            assert zone.attributes["speed_limit_kmh"] in (60.0, 80.0, 100.0)
+
+    def test_speed_zones_are_on_the_route(self):
+        # Each speed zone was placed on a route, so its centre is close to some route.
+        routes = [self.network.route(["FBMZ", "FLV", "FLG"]), self.network.route(["FGSP", "FBMZ"])]
+        lines = [r.linestring() for r in routes]
+        for zone in self.catalog.by_type(ZoneType.SPEED_RESTRICTION):
+            center = zone.geometry.center
+            distance = min(line.distance(center, haversine) for line in lines)
+            assert distance < 2_000
+
+    def test_containing_and_index(self):
+        station_zone = self.catalog.by_type(ZoneType.STATION_AREA)[0]
+        code = station_zone.zone_id.split(":")[1]
+        point = self.network.station(code).point
+        hits = self.catalog.containing(point, ZoneType.STATION_AREA)
+        assert station_zone in hits
+        index = self.catalog.index(ZoneType.STATION_AREA)
+        assert any(key == station_zone.zone_id for key, _ in index.containing(point))
+
+    def test_attributes_map(self):
+        attrs = self.catalog.attributes_map(ZoneType.SPEED_RESTRICTION)
+        assert all("speed_limit_kmh" in v for v in attrs.values())
+
+    def test_deterministic_given_seed(self):
+        routes = [self.network.route(["FBMZ", "FLV", "FLG"]), self.network.route(["FGSP", "FBMZ"])]
+        other = ZoneCatalog.for_network(self.network, routes, seed=7)
+        assert sorted(other.zones) == sorted(self.catalog.zones)
+
+    def test_duplicate_zone_ids_rejected(self):
+        zone = self.catalog.by_type(ZoneType.WORKSHOP)[0]
+        with pytest.raises(ScenarioError):
+            ZoneCatalog([zone, zone])

@@ -1,0 +1,222 @@
+"""Tests for the weather, train dynamics, sensors, dataset and scenario."""
+
+import collections
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.sncb.dataset import (
+    DEFAULT_ROUTES,
+    SNCB_SCHEMA,
+    WEATHER_SCHEMA,
+    build_train_fleet,
+    generate_dataset,
+    generate_weather_stream,
+)
+from repro.sncb.network import RailNetwork
+from repro.sncb.replay import SncbStreamSource, WeatherStreamSource, merged_source, per_train_sources
+from repro.sncb.scenario import Scenario, ScenarioConfig
+from repro.sncb.sensors import BatteryModel, BrakeModel, SensorConfig, SensorSuite
+from repro.sncb.train import TrainConfig, TrainSimulator
+from repro.sncb.weather import WeatherCondition, WeatherSimulator
+from repro.streaming.record import Record
+
+
+class TestWeatherSimulator:
+    def setup_method(self):
+        self.weather = WeatherSimulator(seed=13)
+
+    def test_deterministic(self):
+        a = self.weather.sample(4.35, 50.85, 1000.0)
+        b = WeatherSimulator(seed=13).sample(4.35, 50.85, 1000.0)
+        assert a.condition == b.condition
+        assert a.temperature_c == b.temperature_c
+
+    def test_cell_roundtrip(self):
+        cell = self.weather.cell_of(4.35, 50.85)
+        lon, lat = self.weather.cell_center(cell)
+        assert self.weather.cell_of(lon, lat) == cell
+
+    def test_sample_fields(self):
+        sample = self.weather.sample(4.35, 50.85, 0.0)
+        assert isinstance(sample.condition, WeatherCondition)
+        assert 0.0 <= sample.intensity <= 1.0
+        assert sample.visibility_m > 0
+        assert sample.suggested_limit_kmh <= 160.0
+        payload = sample.as_dict()
+        assert payload["condition"] == sample.condition.value
+
+    def test_stream_covers_all_cells(self):
+        samples = list(self.weather.stream(0.0, 600.0, 600.0))
+        assert len(samples) == len(self.weather.cells())
+
+    def test_conditions_vary_over_time(self):
+        conditions = {
+            self.weather.sample(4.35, 50.85, t * 3600.0).condition for t in range(48)
+        }
+        assert len(conditions) >= 2
+
+    def test_invalid_bbox(self):
+        with pytest.raises(ScenarioError):
+            WeatherSimulator(lon_min=5.0, lon_max=4.0)
+
+
+class TestTrainSimulator:
+    def make_train(self, **overrides):
+        network = RailNetwork()
+        route = network.route(["FBMZ", "FLV", "FLG"])
+        config = TrainConfig(train_id="t", route=route, seed=1, **overrides)
+        return TrainSimulator(config), config
+
+    def test_speed_is_bounded(self):
+        simulator, config = self.make_train()
+        states = list(simulator.run(0.0, 1800.0, 5.0))
+        max_speed = max(s.speed_ms for s in states)
+        # Allows the 15 % speeding episodes but nothing beyond.
+        assert max_speed <= config.max_speed_ms * 1.16
+
+    def test_train_moves_forward(self):
+        simulator, _ = self.make_train(start_offset_s=0.0)
+        states = list(simulator.run(0.0, 1200.0, 5.0))
+        assert states[-1].distance_m > states[0].distance_m
+        assert states[-1].distance_m > 10_000
+
+    def test_positions_follow_route(self):
+        simulator, config = self.make_train()
+        states = list(simulator.run(0.0, 600.0, 10.0))
+        for state in states:
+            expected = config.route.position_at(state.distance_m)
+            assert state.position == expected
+
+    def test_dwell_at_start_offset(self):
+        simulator, _ = self.make_train(start_offset_s=100.0)
+        states = list(simulator.run(0.0, 50.0, 5.0))
+        assert all(s.speed_ms == 0.0 for s in states)
+        assert all(s.phase == "dwell" for s in states)
+
+    def test_acceleration_limit(self):
+        simulator, config = self.make_train(start_offset_s=0.0)
+        states = list(simulator.run(0.0, 300.0, 5.0))
+        speeds = [s.speed_ms for s in states]
+        for before, after in zip(speeds[:-1], speeds[1:]):
+            assert after - before <= config.acceleration_ms2 * 5.0 + 1e-6
+
+    def test_run_validation(self):
+        simulator, _ = self.make_train()
+        with pytest.raises(ScenarioError):
+            list(simulator.run(0.0, 0.0, 5.0))
+        with pytest.raises(ScenarioError):
+            list(simulator.run(0.0, 10.0, 0.0))
+
+    def test_anomalies_occur_over_long_runs(self):
+        simulator, _ = self.make_train(
+            unscheduled_stop_rate_per_h=6.0, emergency_brake_rate_per_h=6.0, start_offset_s=0.0
+        )
+        states = list(simulator.run(0.0, 3600.0, 5.0))
+        phases = collections.Counter(s.phase for s in states)
+        assert phases["unscheduled_stop"] > 0
+        assert phases["emergency_brake"] > 0
+
+
+class TestSensors:
+    def test_battery_discharges_faster_when_degraded(self):
+        from repro.sncb.train import TrainState
+        from repro.spatial.geometry import Point
+
+        def stopped(t):
+            return TrainState(
+                train_id="t", timestamp=t, distance_m=0.0, speed_ms=0.0, direction=1,
+                phase="unscheduled_stop", position=Point(4.0, 50.0),
+            )
+
+        healthy, degraded = BatteryModel(False), BatteryModel(True)
+        for t in range(600):
+            healthy.update(stopped(float(t)), 1.0)
+            degraded.update(stopped(float(t)), 1.0)
+        assert degraded.level < healthy.level
+        assert degraded.temperature_c > healthy.temperature_c
+
+    def test_brake_pressure_levels(self):
+        from repro.sncb.train import TrainState
+        from repro.spatial.geometry import Point
+
+        def state(phase, emergency=False):
+            return TrainState(
+                train_id="t", timestamp=0.0, distance_m=0.0, speed_ms=10.0, direction=1,
+                phase=phase, position=Point(4.0, 50.0), emergency_brake=emergency,
+            )
+
+        model = BrakeModel(faulty=False)
+        cruising = model.update(state("cruising"), 5.0)["brake_pressure_bar"]
+        braking = model.update(state("braking"), 5.0)["brake_pressure_bar"]
+        emergency = model.update(state("cruising", emergency=True), 5.0)["brake_pressure_bar"]
+        assert emergency < braking < cruising
+
+    def test_sensor_suite_produces_all_fields(self):
+        network = RailNetwork()
+        fleet = build_train_fleet(network, num_trains=1, seed=1)
+        train, sensors = fleet[0]
+        simulator = TrainSimulator(train)
+        suite = SensorSuite(sensors)
+        state = simulator.step(0.0, 5.0)
+        payload = suite.read(state, 5.0)
+        payload["device_id"] = train.train_id
+        SNCB_SCHEMA.validate_record(Record(payload))
+
+
+class TestDatasetAndScenario:
+    def test_dataset_is_time_ordered_and_schema_valid(self):
+        events = generate_dataset(num_trains=2, duration=600.0, interval=10.0, seed=3)
+        timestamps = [e["timestamp"] for e in events]
+        assert timestamps == sorted(timestamps)
+        for event in events[:50]:
+            SNCB_SCHEMA.validate_record(Record(event))
+
+    def test_dataset_size(self):
+        events = generate_dataset(num_trains=2, duration=600.0, interval=10.0, seed=3)
+        assert len(events) == 2 * 60
+
+    def test_dataset_deterministic(self):
+        a = generate_dataset(num_trains=1, duration=300.0, interval=10.0, seed=3)
+        b = generate_dataset(num_trains=1, duration=300.0, interval=10.0, seed=3)
+        assert a == b
+        c = generate_dataset(num_trains=1, duration=300.0, interval=10.0, seed=4)
+        assert a != c
+
+    def test_weather_stream_schema(self):
+        events = generate_weather_stream(duration=1200.0, interval=600.0)
+        assert events
+        for event in events[:20]:
+            WEATHER_SCHEMA.validate_record(Record(event))
+
+    def test_fleet_anomaly_configuration(self):
+        network = RailNetwork()
+        fleet = build_train_fleet(network, num_trains=6)
+        sensor_configs = [s for _, s in fleet]
+        assert sum(1 for s in sensor_configs if s.battery_degraded) == 1
+        assert sum(1 for s in sensor_configs if s.brake_fault) == 1
+        assert len({t.train_id for t, _ in fleet}) == 6
+
+    def test_fleet_needs_trains(self):
+        with pytest.raises(ScenarioError):
+            build_train_fleet(RailNetwork(), num_trains=0)
+
+    def test_scenario_bundles_everything(self, small_scenario):
+        assert small_scenario.num_events > 0
+        assert len(small_scenario.zones) > 0
+        assert small_scenario.weather_events
+        source = small_scenario.source()
+        assert isinstance(source, SncbStreamSource)
+        assert len(source) == small_scenario.num_events
+        assert isinstance(small_scenario.weather_source(), WeatherStreamSource)
+
+    def test_per_train_sources_partition_dataset(self, small_scenario):
+        sources = per_train_sources(small_scenario.events)
+        assert len(sources) == small_scenario.config.num_trains
+        assert sum(len(s) for s in sources) == small_scenario.num_events
+        merged = merged_source(small_scenario.events)
+        timestamps = [r.timestamp for r in merged]
+        assert timestamps == sorted(timestamps)
+
+    def test_routes_cover_default_itineraries(self):
+        assert len(DEFAULT_ROUTES) == 6

@@ -1,0 +1,126 @@
+"""Tests for the low-level computational-geometry routines and the grid index."""
+
+import pytest
+
+from repro.errors import SpatialError
+from repro.spatial import algorithms as alg
+from repro.spatial.bbox import Box2D
+from repro.spatial.geometry import Circle, Point, Polygon
+from repro.spatial.index import GridIndex
+
+
+class TestSegments:
+    def test_segment_length(self):
+        assert alg.segment_length((0, 0), (3, 4)) == 5.0
+
+    def test_closest_point_on_segment(self):
+        assert alg.closest_point_on_segment((5, 5), (0, 0), (10, 0)) == (5, 0)
+        assert alg.closest_point_on_segment((-5, 5), (0, 0), (10, 0)) == (0, 0)
+        assert alg.closest_point_on_segment((15, 5), (0, 0), (10, 0)) == (10, 0)
+        # Degenerate segment.
+        assert alg.closest_point_on_segment((1, 1), (2, 2), (2, 2)) == (2, 2)
+
+    def test_point_segment_distance(self):
+        assert alg.point_segment_distance((5, 3), (0, 0), (10, 0)) == 3.0
+
+    def test_segments_intersect_crossing(self):
+        assert alg.segments_intersect((0, 0), (10, 10), (0, 10), (10, 0))
+
+    def test_segments_intersect_touching(self):
+        assert alg.segments_intersect((0, 0), (5, 5), (5, 5), (10, 0))
+
+    def test_segments_intersect_collinear_overlap(self):
+        assert alg.segments_intersect((0, 0), (10, 0), (5, 0), (15, 0))
+
+    def test_segments_disjoint(self):
+        assert not alg.segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_segment_segment_distance(self):
+        assert alg.segment_segment_distance((0, 0), (10, 0), (0, 5), (10, 5)) == 5.0
+        assert alg.segment_segment_distance((0, 0), (10, 10), (0, 10), (10, 0)) == 0.0
+
+
+class TestRings:
+    SQUARE = [(0, 0), (10, 0), (10, 10), (0, 10)]
+
+    def test_point_in_ring(self):
+        assert alg.point_in_ring((5, 5), self.SQUARE)
+        assert not alg.point_in_ring((15, 5), self.SQUARE)
+
+    def test_point_on_boundary(self):
+        assert alg.point_in_ring((0, 5), self.SQUARE)
+        assert alg.point_in_ring((10, 10), self.SQUARE)
+
+    def test_closed_ring_accepted(self):
+        closed = self.SQUARE + [self.SQUARE[0]]
+        assert alg.point_in_ring((5, 5), closed)
+
+    def test_ring_area_and_centroid(self):
+        assert abs(alg.ring_area(self.SQUARE)) == 100.0
+        assert alg.ring_centroid(self.SQUARE) == (5.0, 5.0)
+
+    def test_degenerate_ring_centroid(self):
+        # Collinear ring: falls back to vertex mean.
+        cx, cy = alg.ring_centroid([(0, 0), (1, 0), (2, 0)])
+        assert cy == 0.0
+
+    def test_polyline_length_and_distance(self):
+        coords = [(0, 0), (3, 0), (3, 4)]
+        assert alg.polyline_length(coords) == 7.0
+        assert alg.point_polyline_distance((3, 6), coords) == 2.0
+        assert alg.point_polyline_distance((0, 1), [(0, 0)]) == 1.0
+
+    def test_interpolate_along(self):
+        coords = [(0, 0), (10, 0)]
+        assert alg.interpolate_along(coords, 0.5) == (5.0, 0.0)
+        assert alg.interpolate_along(coords, -1) == (0.0, 0.0)
+        assert alg.interpolate_along(coords, 2) == (10.0, 0.0)
+        assert alg.interpolate_along([(1, 1)], 0.5) == (1, 1)
+
+    def test_douglas_peucker(self):
+        coords = [(0, 0), (5, 0.01), (10, 0)]
+        assert alg.douglas_peucker(coords, 0.1) == [(0, 0), (10, 0)]
+        assert len(alg.douglas_peucker(coords, 0.001)) == 3
+        short = [(0, 0), (1, 1)]
+        assert alg.douglas_peucker(short, 0.5) == short
+
+
+class TestGridIndex:
+    def test_invalid_cell_size(self):
+        with pytest.raises(SpatialError):
+            GridIndex(0)
+
+    def test_insert_and_query_box(self):
+        index = GridIndex(1.0)
+        index.insert("a", Polygon.rectangle(0, 0, 2, 2))
+        index.insert("b", Polygon.rectangle(10, 10, 12, 12))
+        found = {key for key, _ in index.query_box(Box2D(1, 1, 3, 3))}
+        assert found == {"a"}
+        assert len(index) == 2
+
+    def test_query_point_margin(self):
+        index = GridIndex(1.0)
+        index.insert("a", Point(5, 5))
+        assert index.query_point(Point(5.4, 5.0), margin=0.5)
+        assert not index.query_point(Point(7, 7), margin=0.5)
+
+    def test_containing_exact(self):
+        index = GridIndex(0.5)
+        index.insert("square", Polygon.rectangle(0, 0, 4, 4))
+        index.insert("circle", Circle(Point(10, 10), 2.0))
+        assert [k for k, _ in index.containing(Point(1, 1))] == ["square"]
+        assert [k for k, _ in index.containing(Point(10, 11))] == ["circle"]
+        assert index.containing(Point(6, 6)) == []
+
+    def test_large_geometry_spans_cells(self):
+        index = GridIndex(0.1)
+        index.insert("wide", Polygon.rectangle(0, 0, 5, 5))
+        # Queries anywhere inside should find it exactly once.
+        results = index.query_point(Point(4.99, 0.01))
+        assert [k for k, _ in results] == ["wide"]
+
+    def test_items(self):
+        index = GridIndex(1.0)
+        index.insert("a", Point(0, 0))
+        index.insert("b", Point(1, 1))
+        assert {k for k, _ in index.items()} == {"a", "b"}

@@ -1,0 +1,222 @@
+"""Tests for the geometry classes, bounding boxes and metrics."""
+
+import math
+
+import pytest
+
+from repro.errors import SpatialError
+from repro.spatial.bbox import Box2D
+from repro.spatial.geometry import Circle, LineString, MultiPoint, Point, Polygon
+from repro.spatial.measure import (
+    CartesianMetric,
+    HaversineMetric,
+    cartesian,
+    degrees_for_metres,
+    haversine,
+    haversine_distance,
+)
+
+
+class TestBox2D:
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(SpatialError):
+            Box2D(1, 0, 0, 1)
+
+    def test_from_points(self):
+        box = Box2D.from_points([(0, 0), (2, 3), (-1, 1)])
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (-1, 0, 2, 3)
+        with pytest.raises(SpatialError):
+            Box2D.from_points([])
+
+    def test_geometry_properties(self):
+        box = Box2D(0, 0, 4, 2)
+        assert box.width == 4 and box.height == 2 and box.area == 8
+        assert box.center == (2, 1)
+
+    def test_contains_and_intersects(self):
+        a = Box2D(0, 0, 10, 10)
+        b = Box2D(2, 2, 5, 5)
+        c = Box2D(11, 11, 12, 12)
+        assert a.contains_box(b) and not b.contains_box(a)
+        assert a.contains_point(0, 0) and not a.contains_point(11, 0)
+        assert a.intersects(b) and not a.intersects(c)
+
+    def test_union_intersection_expand(self):
+        a = Box2D(0, 0, 2, 2)
+        b = Box2D(1, 1, 3, 3)
+        assert a.union(b) == Box2D(0, 0, 3, 3)
+        assert a.intersection(b) == Box2D(1, 1, 2, 2)
+        assert a.intersection(Box2D(5, 5, 6, 6)) is None
+        assert a.expand(1) == Box2D(-1, -1, 3, 3)
+        with pytest.raises(SpatialError):
+            a.expand(-0.5)
+
+
+class TestMetrics:
+    def test_cartesian(self):
+        assert cartesian.distance((0, 0), (3, 4)) == 5.0
+
+    def test_haversine_known_distance(self):
+        # Brussels-Midi to Antwerp-Central is roughly 42-45 km.
+        d = haversine_distance(4.3354, 50.8354, 4.4212, 51.2172)
+        assert 40_000 < d < 47_000
+
+    def test_haversine_zero(self):
+        assert haversine.distance((4.0, 50.0), (4.0, 50.0)) == 0.0
+
+    def test_metric_instances(self):
+        assert isinstance(cartesian, CartesianMetric)
+        assert isinstance(haversine, HaversineMetric)
+
+    def test_degrees_for_metres_roundtrip(self):
+        deg = degrees_for_metres(1000.0, latitude=50.8)
+        # Converting back via haversine along latitude should give ~1000 m within 30%.
+        d = haversine_distance(4.0, 50.8, 4.0 + deg, 50.8)
+        assert 600 < d < 1400
+
+
+class TestPoint:
+    def test_interpolate(self):
+        p = Point(0, 0).interpolate(Point(10, 10), 0.25)
+        assert (p.x, p.y) == (2.5, 2.5)
+
+    def test_distance(self):
+        assert Point(0, 0).distance(Point(3, 4)) == 5.0
+
+    def test_equality_and_geojson(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert Point(1, 2).to_geojson() == {"type": "Point", "coordinates": [1.0, 2.0]}
+
+    def test_bounds_degenerate(self):
+        assert Point(1, 2).bounds() == Box2D(1, 2, 1, 2)
+
+
+class TestMultiPoint:
+    def test_distance_is_minimum(self):
+        mp = MultiPoint([Point(0, 0), Point(10, 0)])
+        assert mp.distance(Point(9, 0)) == 1.0
+
+    def test_contains(self):
+        mp = MultiPoint([Point(0, 0)])
+        assert mp.contains_point(Point(0, 0))
+        assert not mp.contains_point(Point(1, 0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpatialError):
+            MultiPoint([])
+
+
+class TestLineString:
+    def test_needs_two_points(self):
+        with pytest.raises(SpatialError):
+            LineString([(0, 0)])
+
+    def test_length(self):
+        line = LineString([(0, 0), (3, 0), (3, 4)])
+        assert line.length() == 7.0
+
+    def test_interpolate(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert line.interpolate(0.5) == Point(5, 0)
+        assert line.interpolate(0.0) == Point(0, 0)
+        assert line.interpolate(1.0) == Point(10, 0)
+
+    def test_point_distance(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert line.distance(Point(5, 3)) == 3.0
+        assert line.distance(Point(-3, 0)) == 3.0
+
+    def test_line_line_distance_and_intersects(self):
+        a = LineString([(0, 0), (10, 0)])
+        b = LineString([(5, -5), (5, 5)])
+        c = LineString([(0, 2), (10, 2)])
+        assert a.distance(b) == 0.0
+        assert a.intersects(b)
+        assert not a.intersects(c)
+        assert a.distance(c) == 2.0
+
+    def test_simplify(self):
+        line = LineString([(0, 0), (5, 0.01), (10, 0)])
+        assert len(line.simplify(0.1)) == 2
+        assert len(line.simplify(0.001)) == 3
+
+    def test_contains_point(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert line.contains_point(Point(5, 0))
+        assert not line.contains_point(Point(5, 1))
+
+
+class TestPolygon:
+    def test_auto_close(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert poly.exterior[0] == poly.exterior[-1]
+
+    def test_too_few_vertices(self):
+        with pytest.raises(SpatialError):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_contains_point(self):
+        poly = Polygon.rectangle(0, 0, 10, 10)
+        assert poly.contains_point(Point(5, 5))
+        assert poly.contains_point(Point(0, 5))  # boundary counts as inside
+        assert not poly.contains_point(Point(11, 5))
+
+    def test_holes(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]],
+        )
+        assert not poly.contains_point(Point(5, 5))
+        assert poly.contains_point(Point(1, 1))
+        assert poly.area() == pytest.approx(100 - 4)
+
+    def test_area_and_centroid(self):
+        poly = Polygon.rectangle(0, 0, 4, 2)
+        assert poly.area() == 8.0
+        assert poly.centroid() == Point(2, 1)
+
+    def test_distance(self):
+        poly = Polygon.rectangle(0, 0, 10, 10)
+        assert poly.distance(Point(5, 5)) == 0.0
+        assert poly.distance(Point(13, 5)) == 3.0
+        other = Polygon.rectangle(20, 0, 30, 10)
+        assert poly.distance(other) == 10.0
+        assert poly.distance(Polygon.rectangle(5, 5, 6, 6)) == 0.0
+
+    def test_regular_polygon_approximates_circle(self):
+        poly = Polygon.regular(Point(0, 0), 10.0, sides=64)
+        assert poly.area() == pytest.approx(math.pi * 100, rel=0.01)
+
+    def test_intersects_linestring(self):
+        poly = Polygon.rectangle(0, 0, 10, 10)
+        assert poly.intersects_linestring(LineString([(-5, 5), (15, 5)]))
+        assert not poly.intersects_linestring(LineString([(-5, 20), (15, 20)]))
+
+    def test_from_box(self):
+        poly = Polygon.from_box(Box2D(0, 0, 2, 2))
+        assert poly.area() == 4.0
+
+
+class TestCircle:
+    def test_contains_cartesian(self):
+        c = Circle(Point(0, 0), 5.0)
+        assert c.contains_point(Point(3, 4))
+        assert not c.contains_point(Point(4, 4))
+
+    def test_contains_haversine(self):
+        c = Circle(Point(4.3354, 50.8354), 5000.0, haversine)
+        assert c.contains_point(Point(4.34, 50.84))
+        assert not c.contains_point(Point(4.42, 51.21))
+
+    def test_distance_subtracts_radius(self):
+        c = Circle(Point(0, 0), 5.0)
+        assert c.distance(Point(8, 0)) == 3.0
+        assert c.distance(Point(2, 0)) == 0.0
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(SpatialError):
+            Circle(Point(0, 0), -1.0)
+
+    def test_to_polygon(self):
+        poly = Circle(Point(0, 0), 2.0).to_polygon(sides=48)
+        assert poly.area() == pytest.approx(math.pi * 4, rel=0.01)

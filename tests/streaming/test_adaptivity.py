@@ -1,0 +1,117 @@
+"""Tests for the workload-adaptivity operators (sampling, load shedding)."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streaming.adaptivity import AdaptiveLoadShedder, SamplingOperator
+from repro.streaming.expressions import col
+from repro.streaming.query import Query
+from repro.streaming.record import Record
+from repro.streaming.schema import Schema
+from repro.streaming.source import ListSource
+from repro.streaming.engine import StreamExecutionEngine
+
+
+def burst_events(events_per_second, seconds, alert_every=0):
+    """A stream with a constant event-time rate, optionally carrying alerts."""
+    events = []
+    i = 0
+    for s in range(seconds):
+        for j in range(events_per_second):
+            alert = "alert" if alert_every and i % alert_every == 0 else ""
+            events.append(
+                {"device": "a", "value": float(i), "alert": alert, "timestamp": s + j / events_per_second}
+            )
+            i += 1
+    return events
+
+
+class TestSamplingOperator:
+    def test_keeps_roughly_the_requested_fraction(self):
+        operator = SamplingOperator(0.25, seed=7)
+        kept = 0
+        for i in range(4000):
+            kept += len(list(operator.process(Record({"x": i}, float(i)))))
+        assert 800 < kept < 1200
+        assert operator.seen == 4000 and operator.kept == kept
+
+    def test_probability_one_keeps_everything(self):
+        operator = SamplingOperator(1.0)
+        assert len(list(operator.process(Record({"x": 1}, 0.0)))) == 1
+
+    def test_deterministic_given_seed(self):
+        a = SamplingOperator(0.5, seed=3)
+        b = SamplingOperator(0.5, seed=3)
+        records = [Record({"x": i}, float(i)) for i in range(100)]
+        kept_a = [r["x"] for rec in records for r in a.process(rec)]
+        kept_b = [r["x"] for rec in records for r in b.process(rec)]
+        assert kept_a == kept_b
+
+    def test_invalid_probability(self):
+        with pytest.raises(StreamError):
+            SamplingOperator(0.0)
+        with pytest.raises(StreamError):
+            SamplingOperator(1.5)
+
+
+class TestAdaptiveLoadShedder:
+    def test_caps_event_time_rate(self):
+        shedder = AdaptiveLoadShedder(target_eps=10)
+        out = []
+        for event in burst_events(events_per_second=50, seconds=4):
+            out.extend(shedder.process(Record(event)))
+        # 4 seconds at a cap of 10 events/second.
+        assert len(out) == 40
+        assert shedder.shed == 160
+        assert shedder.shed_ratio == pytest.approx(0.8)
+
+    def test_below_target_nothing_is_shed(self):
+        shedder = AdaptiveLoadShedder(target_eps=100)
+        out = []
+        for event in burst_events(events_per_second=20, seconds=3):
+            out.extend(shedder.process(Record(event)))
+        assert len(out) == 60
+        assert shedder.shed == 0
+
+    def test_priority_records_always_pass(self):
+        shedder = AdaptiveLoadShedder(target_eps=5, priority=col("alert").ne(""))
+        events = burst_events(events_per_second=50, seconds=2, alert_every=10)
+        out = []
+        for event in events:
+            out.extend(shedder.process(Record(event)))
+        alerts_in = sum(1 for e in events if e["alert"])
+        alerts_out = sum(1 for r in out if r["alert"])
+        assert alerts_out == alerts_in
+        # Non-priority records are capped at 5 per second.
+        assert sum(1 for r in out if not r["alert"]) == 10
+
+    def test_per_key_budget(self):
+        shedder = AdaptiveLoadShedder(target_eps=2, key_field="device")
+        events = []
+        for device in ("a", "b"):
+            for i in range(5):
+                events.append({"device": device, "value": float(i), "timestamp": 0.1 * i})
+        out = []
+        for event in events:
+            out.extend(shedder.process(Record(event)))
+        per_device = {}
+        for record in out:
+            per_device[record["device"]] = per_device.get(record["device"], 0) + 1
+        assert per_device == {"a": 2, "b": 2}
+
+    def test_invalid_target(self):
+        with pytest.raises(StreamError):
+            AdaptiveLoadShedder(target_eps=0)
+
+    def test_usable_inside_a_query(self):
+        schema = Schema.of("s", device=str, value=float, alert=str, timestamp=float)
+        source = ListSource(burst_events(events_per_second=40, seconds=3, alert_every=20), schema)
+        query = (
+            Query.from_source(source, name="shedded")
+            .apply(lambda: AdaptiveLoadShedder(target_eps=10, priority=col("alert").ne("")), name="shed")
+            .filter(col("value") >= 0)
+        )
+        result = StreamExecutionEngine().execute(query)
+        assert result.metrics.events_in == 120
+        assert len(result) < 120
+        assert all(r["alert"] for r in result.records if r["value"] % 20 == 0)

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.queries import QUERY_CATALOG
+
+
+SMALL = ["--trains", "2", "--duration", "300", "--interval", "10"]
+
+
+class TestCli:
+    def test_queries_lists_catalog(self, capsys):
+        assert main(["queries"]) == 0
+        out = capsys.readouterr().out
+        for query_id in QUERY_CATALOG:
+            assert query_id in out
+
+    def test_dataset_to_file(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        assert main(["dataset", *SMALL, "--output", str(path)]) == 0
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2 * 30
+        event = json.loads(lines[0])
+        assert "device_id" in event and "timestamp" in event
+
+    def test_run_query(self, capsys, tmp_path):
+        geojson = tmp_path / "q3.geojson"
+        assert main(["run", "q3", *SMALL, "--limit", "3", "--geojson", str(geojson)]) == 0
+        out = capsys.readouterr().out
+        assert "q3_dynamic_speed_limit" in out
+        assert geojson.exists()
+        layer = json.loads(geojson.read_text())
+        assert layer["type"] == "FeatureCollection"
+
+    def test_run_unknown_query(self, capsys):
+        assert main(["run", "q42", *SMALL]) == 2
+        assert "unknown query" in capsys.readouterr().err
+
+    def test_figures_command(self, tmp_path, capsys):
+        out_dir = tmp_path / "figs"
+        assert main(["figures", "--figure", "2", "--output-dir", str(out_dir), *SMALL]) == 0
+        written = list(out_dir.glob("figure2_*.geojson"))
+        assert written
+        payload = json.loads(written[0].read_text())
+        assert payload["type"] == "FeatureCollection"
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

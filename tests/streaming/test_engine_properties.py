@@ -1,0 +1,113 @@
+"""Property-based tests of the stream engine's core invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streaming.aggregations import Avg, Count, Max, Min, Sum
+from repro.streaming.engine import StreamExecutionEngine
+from repro.streaming.expressions import col
+from repro.streaming.query import Query
+from repro.streaming.schema import Schema
+from repro.streaming.source import ListSource
+from repro.streaming.windows import SlidingWindow, TumblingWindow
+
+SCHEMA = Schema.of("s", device=str, value=float, timestamp=float)
+ENGINE = StreamExecutionEngine()
+
+
+def event_streams(max_events=60, devices=("a", "b")):
+    """Streams of events with bounded values and non-negative timestamps."""
+
+    def build(rows):
+        events = [
+            {"device": devices[i % len(devices)], "value": v, "timestamp": float(i)}
+            for i, v in enumerate(rows)
+        ]
+        return ListSource(events, SCHEMA)
+
+    return st.lists(
+        st.floats(-1000, 1000, allow_nan=False, allow_infinity=False), min_size=1, max_size=max_events
+    ).map(build)
+
+
+@given(event_streams(), st.floats(-500, 500, allow_nan=False))
+def test_filter_partitions_the_stream(source, threshold):
+    """filter(p) and filter(not p) together account for every input event."""
+    above = ENGINE.execute(Query.from_source(source).filter(col("value") > threshold))
+    below = ENGINE.execute(Query.from_source(source).filter(~(col("value") > threshold)))
+    assert len(above) + len(below) == len(source)
+
+
+@given(event_streams())
+def test_map_preserves_cardinality_and_input_fields(source):
+    result = ENGINE.execute(Query.from_source(source).map(double=col("value") * 2))
+    assert len(result) == len(source)
+    for record in result:
+        assert record["double"] == pytest.approx(record["value"] * 2)
+
+
+@given(event_streams(), st.sampled_from([2.0, 5.0, 10.0, 32.0]))
+def test_tumbling_window_counts_sum_to_input(source, size):
+    result = ENGINE.execute(
+        Query.from_source(source).window(TumblingWindow(size), [Count()], key_by=["device"])
+    )
+    assert sum(r["count"] for r in result) == len(source)
+
+
+@given(event_streams(), st.sampled_from([2.0, 5.0, 10.0]))
+def test_tumbling_window_sum_matches_total(source, size):
+    result = ENGINE.execute(
+        Query.from_source(source).window(
+            TumblingWindow(size), [Sum("value", output="total")], key_by=["device"]
+        )
+    )
+    expected = sum(r["value"] for r in source)
+    assert sum(r["total"] for r in result) == pytest.approx(expected)
+
+
+@given(event_streams())
+def test_window_min_max_bound_avg(source):
+    result = ENGINE.execute(
+        Query.from_source(source).window(
+            TumblingWindow(10.0),
+            [Min("value", output="lo"), Max("value", output="hi"), Avg("value", output="mean")],
+            key_by=["device"],
+        )
+    )
+    for record in result:
+        assert record["lo"] - 1e-9 <= record["mean"] <= record["hi"] + 1e-9
+
+
+@given(event_streams(), st.sampled_from([(10.0, 5.0), (10.0, 2.0), (20.0, 10.0)]))
+def test_sliding_window_counts_each_event_size_over_slide_times(source, window_spec):
+    size, slide = window_spec
+    result = ENGINE.execute(
+        Query.from_source(source).window(SlidingWindow(size, slide), [Count()], key_by=["device"])
+    )
+    factor = size / slide
+    assert sum(r["count"] for r in result) == pytest.approx(len(source) * factor)
+
+
+@given(event_streams())
+def test_optimizer_never_changes_results(source):
+    query = (
+        Query.from_source(source)
+        .map(double=col("value") * 2)
+        .filter(col("value") > 0)
+        .filter(col("double") < 500)
+    )
+    optimized = ENGINE.execute(query)
+    unoptimized = ENGINE.execute(query.plan(optimized=False))
+    assert sorted(r["value"] for r in optimized) == sorted(r["value"] for r in unoptimized)
+
+
+@given(event_streams())
+def test_metrics_account_for_every_event(source):
+    result = ENGINE.execute(Query.from_source(source).filter(col("value") > 0))
+    assert result.metrics.events_in == len(source)
+    assert result.metrics.events_out == len(result)
+    assert 0.0 <= result.metrics.selectivity <= 1.0
+    assert result.metrics.bytes_in >= result.metrics.events_in * 8

@@ -1,0 +1,108 @@
+"""Tests for the expression framework."""
+
+import pytest
+
+from repro.errors import PluginError
+from repro.streaming.expressions import (
+    AliasedExpression,
+    ConstantExpression,
+    FieldExpression,
+    FunctionExpression,
+    LambdaExpression,
+    call,
+    col,
+    event_time,
+    lit,
+    udf,
+    wrap,
+)
+from repro.streaming.plugin import PluginRegistry
+from repro.streaming.record import Record
+
+
+R = Record({"speed": 80.0, "limit": 60.0, "name": "ic-123", "flag": True}, timestamp=42.0)
+
+
+class TestBasicExpressions:
+    def test_field_and_literal(self):
+        assert col("speed").evaluate(R) == 80.0
+        assert lit(5).evaluate(R) == 5
+        assert event_time().evaluate(R) == 42.0
+
+    def test_fields_introspection(self):
+        expr = (col("speed") - col("limit")) > lit(0)
+        assert expr.fields() == ["limit", "speed"]
+        assert lit(1).fields() == []
+        assert udf(lambda r: 1).fields() == ["*"]
+
+    def test_wrap(self):
+        assert isinstance(wrap(3), ConstantExpression)
+        expr = col("speed")
+        assert wrap(expr) is expr
+
+
+class TestArithmeticAndComparison:
+    def test_arithmetic(self):
+        assert (col("speed") + 10).evaluate(R) == 90.0
+        assert (col("speed") - col("limit")).evaluate(R) == 20.0
+        assert (col("speed") * 2).evaluate(R) == 160.0
+        assert (col("speed") / 4).evaluate(R) == 20.0
+        assert (col("speed") % 3).evaluate(R) == pytest.approx(80 % 3)
+        assert (-col("speed")).evaluate(R) == -80.0
+        assert (100 - col("speed")).evaluate(R) == 20.0
+        assert (2 * col("limit")).evaluate(R) == 120.0
+
+    def test_comparisons(self):
+        assert (col("speed") > 60).evaluate(R)
+        assert (col("speed") >= 80).evaluate(R)
+        assert not (col("speed") < 60).evaluate(R)
+        assert (col("speed") <= 80).evaluate(R)
+        assert col("name").eq("ic-123").evaluate(R)
+        assert col("name").ne("other").evaluate(R)
+
+    def test_logical(self):
+        expr = (col("speed") > 60) & (col("limit") < 70)
+        assert expr.evaluate(R)
+        assert ((col("speed") > 100) | col("flag")).evaluate(R)
+        assert (~(col("speed") > 100)).evaluate(R)
+
+    def test_between_in_abs(self):
+        assert col("speed").between(60, 90).evaluate(R)
+        assert not col("speed").between(90, 100).evaluate(R)
+        assert col("name").is_in(["ic-123", "ic-999"]).evaluate(R)
+        assert (col("limit") - col("speed")).abs().evaluate(R) == 20.0
+
+
+class TestFunctionExpressions:
+    def test_call_python_function(self):
+        expr = call(max, col("speed"), col("limit"))
+        assert expr.evaluate(R) == 80.0
+        assert set(expr.fields()) == {"speed", "limit"}
+
+    def test_call_registered_name(self):
+        registry = PluginRegistry("test")
+        registry.register_function("double", lambda v: v * 2)
+        expr = call("double", col("limit"), registry=registry)
+        assert expr.evaluate(R) == 120.0
+
+    def test_call_unknown_name_raises(self):
+        registry = PluginRegistry("empty")
+        with pytest.raises(PluginError):
+            call("nope", col("limit"), registry=registry)
+
+    def test_udf(self):
+        expr = udf(lambda record: record["speed"] - record["limit"], name="excess")
+        assert expr.evaluate(R) == 20.0
+        assert isinstance(expr, LambdaExpression)
+
+    def test_alias(self):
+        aliased = (col("speed") * 2).alias("double_speed")
+        assert isinstance(aliased, AliasedExpression)
+        assert aliased.name == "double_speed"
+        assert aliased.evaluate(R) == 160.0
+        assert aliased.fields() == ["speed"]
+
+    def test_repr_is_readable(self):
+        expr = (col("speed") > lit(60)) & col("flag")
+        text = repr(expr)
+        assert "speed" in text and "60" in text

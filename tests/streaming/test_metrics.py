@@ -1,0 +1,96 @@
+"""Tests for the metrics collector/report and a few plan-introspection gaps."""
+
+import time
+
+import pytest
+
+from repro.streaming.expressions import col
+from repro.streaming.metrics import MetricsCollector, MetricsReport
+from repro.streaming.plan import (
+    FilterNode,
+    LogicalPlan,
+    OperatorNode,
+    SourceNode,
+    UnionNode,
+)
+from repro.streaming.operators import FilterOperator
+from repro.streaming.query import Query
+from repro.streaming.schema import Schema
+from repro.streaming.source import ListSource
+from repro.temporal.interpolation import Interpolation
+
+
+class TestMetricsCollector:
+    def test_counts_and_report(self):
+        collector = MetricsCollector("q")
+        collector.start()
+        collector.record_in(10, 1000)
+        collector.record_out(3, 300)
+        collector.record_operator("0:filter", 10)
+        collector.record_operator("0:filter", 5)
+        collector.stop()
+        report = collector.report()
+        assert report.events_in == 10 and report.bytes_in == 1000
+        assert report.events_out == 3 and report.bytes_out == 300
+        assert report.operator_events == {"0:filter": 15}
+        assert report.wall_time_s >= 0.0
+
+    def test_report_without_start_has_zero_wall_time(self):
+        report = MetricsCollector("q").report()
+        assert report.wall_time_s == 0.0
+        assert report.ingestion_rate_eps == 0.0
+        assert report.throughput_mb_per_s == 0.0
+        assert report.avg_latency_us == 0.0
+
+    def test_derived_quantities(self):
+        report = MetricsReport(
+            query_name="q",
+            events_in=1000,
+            events_out=100,
+            bytes_in=2_000_000,
+            bytes_out=50_000,
+            wall_time_s=2.0,
+        )
+        assert report.ingestion_rate_eps == 500.0
+        assert report.throughput_mb_per_s == 1.0
+        assert report.megabytes_in == 2.0
+        assert report.selectivity == 0.1
+        assert report.avg_latency_us == pytest.approx(2000.0)
+        payload = report.as_dict()
+        assert payload["query"] == "q"
+        assert payload["ingestion_rate_eps"] == 500.0
+
+    def test_zero_events_selectivity(self):
+        report = MetricsReport("q", 0, 0, 0, 0, 1.0)
+        assert report.selectivity == 0.0
+        assert report.avg_latency_us == 0.0
+
+
+class TestPlanIntrospection:
+    def test_operator_node_describe_and_create(self):
+        node = OperatorNode(lambda: FilterOperator(col("x") > 1), name="my-op")
+        assert "my-op" in node.describe()
+        assert isinstance(node.create(), FilterOperator)
+
+    def test_union_node_describe(self):
+        schema = Schema.of("s", x=float, timestamp=float)
+        right = Query.from_source(ListSource([], schema)).plan(optimized=False)
+        assert UnionNode(right).describe() == "union"
+
+    def test_plan_repr_and_len(self):
+        schema = Schema.of("s", x=float, timestamp=float)
+        plan = LogicalPlan([SourceNode(ListSource([], schema)), FilterNode(col("x") > 1)])
+        assert len(plan) == 2
+        assert "filter" in repr(plan)
+
+
+class TestInterpolationParsing:
+    def test_parse_accepts_member_and_string(self):
+        assert Interpolation.parse(Interpolation.LINEAR) is Interpolation.LINEAR
+        assert Interpolation.parse("Stepwise") is Interpolation.STEPWISE
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Interpolation.parse("cubic")
+        with pytest.raises(ValueError):
+            Interpolation.parse(42)

@@ -1,0 +1,113 @@
+"""Tests for the basic physical operators (filter, map, project, flat_map, join, sink)."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streaming.expressions import col, udf
+from repro.streaming.operators import (
+    FilterOperator,
+    FlatMapOperator,
+    JoinOperator,
+    MapOperator,
+    ProjectOperator,
+    SinkOperator,
+)
+from repro.streaming.record import Record
+from repro.streaming.sink import CollectSink
+
+
+def rec(**kwargs):
+    kwargs.setdefault("timestamp", 0.0)
+    return Record(kwargs)
+
+
+class TestFilterMapProject:
+    def test_filter(self):
+        op = FilterOperator(col("x") > 5)
+        assert list(op.process(rec(x=10))) != []
+        assert list(op.process(rec(x=1))) == []
+
+    def test_map_with_expressions(self):
+        op = MapOperator({"double": col("x") * 2, "const": 7})
+        out = list(op.process(rec(x=3)))[0]
+        assert out["double"] == 6 and out["const"] == 7
+        assert out["x"] == 3  # original fields preserved
+
+    def test_map_with_callable(self):
+        op = MapOperator({"y": lambda r: r["x"] + 1})
+        assert list(op.process(rec(x=1)))[0]["y"] == 2
+
+    def test_map_requires_assignments(self):
+        with pytest.raises(StreamError):
+            MapOperator({})
+
+    def test_map_introspection(self):
+        op = MapOperator({"y": col("x") * 2, "z": col("a") + col("b")})
+        assert op.output_fields() == ["y", "z"]
+        assert op.input_fields() == ["a", "b", "x"]
+
+    def test_project(self):
+        op = ProjectOperator(["x"])
+        out = list(op.process(rec(x=1, y=2)))[0]
+        assert out.data == {"x": 1}
+        with pytest.raises(StreamError):
+            ProjectOperator([])
+
+    def test_flat_map(self):
+        op = FlatMapOperator(lambda r: [{"n": i, "timestamp": r.timestamp} for i in range(r["x"])])
+        out = list(op.process(rec(x=3)))
+        assert [o["n"] for o in out] == [0, 1, 2]
+        assert list(op.process(rec(x=0))) == []
+
+    def test_sink_operator_passthrough(self):
+        sink = CollectSink()
+        op = SinkOperator(sink)
+        out = list(op.process(rec(x=1)))
+        assert len(out) == 1 and len(sink.records) == 1
+
+
+class TestJoinOperator:
+    def test_join_matches_within_window(self):
+        op = JoinOperator(key_fields=["k"], window=10.0)
+        left = rec(k="a", l=1, timestamp=0.0)
+        left.data["_join_side"] = "left"
+        right = rec(k="a", r=2, timestamp=5.0)
+        right.data["_join_side"] = "right"
+        assert list(op.process(left)) == []
+        out = list(op.process(right))
+        assert len(out) == 1
+        merged = out[0]
+        assert merged["l"] == 1 and merged["r"] == 2
+        assert "_join_side" not in merged.data
+
+    def test_join_respects_window(self):
+        op = JoinOperator(key_fields=["k"], window=10.0)
+        left = rec(k="a", l=1, timestamp=0.0)
+        left.data["_join_side"] = "left"
+        late_right = rec(k="a", r=2, timestamp=50.0)
+        late_right.data["_join_side"] = "right"
+        list(op.process(left))
+        assert list(op.process(late_right)) == []
+
+    def test_join_respects_key(self):
+        op = JoinOperator(key_fields=["k"], window=10.0)
+        left = rec(k="a", l=1, timestamp=0.0)
+        left.data["_join_side"] = "left"
+        other_key = rec(k="b", r=2, timestamp=1.0)
+        other_key.data["_join_side"] = "right"
+        list(op.process(left))
+        assert list(op.process(other_key)) == []
+
+    def test_join_prefixes_colliding_fields(self):
+        op = JoinOperator(key_fields=["k"], window=10.0)
+        left = rec(k="a", value=1, timestamp=0.0)
+        left.data["_join_side"] = "left"
+        right = rec(k="a", value=2, timestamp=1.0)
+        right.data["_join_side"] = "right"
+        list(op.process(left))
+        merged = list(op.process(right))[0]
+        assert merged["value"] == 1 and merged["right_value"] == 2
+
+    def test_invalid_window(self):
+        with pytest.raises(StreamError):
+            JoinOperator(["k"], window=0)

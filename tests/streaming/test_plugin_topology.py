@@ -1,0 +1,137 @@
+"""Tests for the plugin registry and the topology / placement simulation."""
+
+import pytest
+
+from repro.errors import PluginError, StreamError
+from repro.streaming.engine import StreamExecutionEngine
+from repro.streaming.expressions import col
+from repro.streaming.plugin import PluginRegistry, default_registry, reset_default_registry
+from repro.streaming.query import Query
+from repro.streaming.schema import Schema
+from repro.streaming.source import ListSource
+from repro.streaming.topology import (
+    NodeKind,
+    NodeSpec,
+    PlacementStrategy,
+    Topology,
+    TopologyExecution,
+)
+
+SCHEMA = Schema.of("s", device=str, value=float, timestamp=float)
+
+
+def make_source(n=200):
+    return ListSource(
+        [{"device": "a", "value": float(i % 50), "timestamp": float(i)} for i in range(n)], SCHEMA
+    )
+
+
+class TestPluginRegistry:
+    def test_register_and_get_function(self):
+        registry = PluginRegistry("r")
+        registry.register_function("add", lambda a, b: a + b)
+        assert registry.get_function("add")(1, 2) == 3
+        assert registry.has_function("add")
+        with pytest.raises(PluginError):
+            registry.register_function("add", lambda a, b: a - b)
+        registry.register_function("add", lambda a, b: a - b, overwrite=True)
+        assert registry.get_function("add")(3, 1) == 2
+
+    def test_unknown_lookups_raise(self):
+        registry = PluginRegistry("r")
+        with pytest.raises(PluginError):
+            registry.get_function("nope")
+        with pytest.raises(PluginError):
+            registry.create_expression("nope")
+        with pytest.raises(PluginError):
+            registry.create_operator("nope")
+
+    def test_expression_and_operator_factories(self):
+        registry = PluginRegistry("r")
+        registry.register_expression("const", lambda v: v)
+        registry.register_operator("dummy", lambda x=1: {"x": x})
+        assert registry.create_expression("const", 5) == 5
+        assert registry.create_operator("dummy", x=3) == {"x": 3}
+        names = registry.registered_names()
+        assert names["expressions"] == ["const"] and names["operators"] == ["dummy"]
+
+    def test_default_registry_is_singleton(self):
+        reset_default_registry()
+        a = default_registry()
+        b = default_registry()
+        assert a is b
+        reset_default_registry()
+        assert default_registry() is not a
+
+
+class TestTopology:
+    def test_train_deployment_shape(self):
+        topology = Topology.train_deployment(num_trains=6)
+        assert len(topology) == 8
+        assert len(topology.edges()) == 6
+        path = topology.path_to_root("train-0")
+        assert [n.name for n in path] == ["train-0", "coordinator", "cloud"]
+
+    def test_duplicate_and_unknown_nodes_rejected(self):
+        with pytest.raises(StreamError):
+            Topology([NodeSpec("a"), NodeSpec("a")])
+        with pytest.raises(StreamError):
+            Topology([NodeSpec("a", parent="missing")])
+        with pytest.raises(StreamError):
+            Topology([])
+
+    def test_invalid_node_spec(self):
+        with pytest.raises(StreamError):
+            NodeSpec("bad", cpu_factor=0)
+        with pytest.raises(StreamError):
+            NodeSpec("bad", uplink_mbps=0)
+
+    def test_unknown_node_lookup(self):
+        topology = Topology.train_deployment(1)
+        with pytest.raises(StreamError):
+            topology.node("nope")
+
+
+class TestPlacement:
+    def make_query(self):
+        # Selective filter: most events are dropped at the edge.
+        return Query.from_source(make_source()).filter(col("value") > 45).named("selective")
+
+    def test_edge_first_transfers_fewer_bytes(self):
+        topology = Topology.train_deployment(num_trains=1)
+        execution = TopologyExecution(topology)
+        reports = execution.compare(self.make_query(), "train-0")
+        edge = reports[PlacementStrategy.EDGE_FIRST.value]
+        cloud = reports[PlacementStrategy.CLOUD_ONLY.value]
+        assert edge.bytes_transferred < cloud.bytes_transferred
+        assert edge.events_transferred < cloud.events_transferred
+
+    def test_cloud_only_uses_no_edge_compute(self):
+        topology = Topology.train_deployment(num_trains=1)
+        execution = TopologyExecution(topology)
+        report = execution.run(self.make_query(), "train-0", PlacementStrategy.CLOUD_ONLY)
+        assert report.edge_compute_s == 0.0
+        assert report.upstream_compute_s > 0.0
+
+    def test_edge_first_report_fields(self):
+        topology = Topology.train_deployment(num_trains=1)
+        execution = TopologyExecution(topology)
+        report = execution.run(self.make_query(), "train-0", PlacementStrategy.EDGE_FIRST)
+        payload = report.as_dict()
+        assert payload["strategy"] == "edge_first"
+        assert payload["events_in"] == 200
+        assert report.total_latency_s > 0
+        assert report.megabytes_transferred >= 0
+
+    def test_edge_compute_slower_than_cloud_per_operator(self):
+        # Edge cpu_factor < 1 means more compute seconds for the same work.
+        topology = Topology(
+            [
+                NodeSpec("cloud", NodeKind.CLOUD, cpu_factor=1.0),
+                NodeSpec("edge", NodeKind.EDGE, cpu_factor=0.25, parent="cloud"),
+            ]
+        )
+        execution = TopologyExecution(topology)
+        edge = execution.run(self.make_query(), "edge", PlacementStrategy.EDGE_FIRST)
+        cloud = execution.run(self.make_query(), "edge", PlacementStrategy.CLOUD_ONLY)
+        assert edge.edge_compute_s > cloud.upstream_compute_s

@@ -1,0 +1,214 @@
+"""Tests for the query builder, plan optimizer and execution engine."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.streaming.aggregations import Avg, Count, Max
+from repro.streaming.engine import StreamExecutionEngine
+from repro.streaming.expressions import col, udf
+from repro.streaming.operators import Operator
+from repro.streaming.plan import (
+    FilterNode,
+    LogicalPlan,
+    MapNode,
+    SourceNode,
+    fuse_filters,
+    optimize,
+    push_down_filters,
+)
+from repro.streaming.query import Query
+from repro.streaming.record import Record
+from repro.streaming.schema import Schema
+from repro.streaming.sink import CollectSink
+from repro.streaming.source import ListSource
+from repro.streaming.windows import TumblingWindow
+
+SCHEMA = Schema.of("speeds", device=str, speed=float, timestamp=float)
+
+
+def make_source(values=None):
+    values = values if values is not None else [10, 20, 130, 140, 30, 20, 150, 10, 10, 10]
+    events = [
+        {"device": "t1", "speed": float(s), "timestamp": float(i)} for i, s in enumerate(values)
+    ]
+    return ListSource(events, SCHEMA)
+
+
+class TestQueryBuilder:
+    def test_builder_is_immutable(self):
+        base = Query.from_source(make_source())
+        filtered = base.filter(col("speed") > 100)
+        assert len(base.plan(optimized=False)) == 1
+        assert len(filtered.plan(optimized=False)) == 2
+
+    def test_named(self):
+        q = Query.from_source(make_source()).named("my-query")
+        assert q.name == "my-query"
+
+    def test_plan_must_start_with_source(self):
+        with pytest.raises(PlanError):
+            LogicalPlan([FilterNode(col("x") > 1)])
+
+    def test_map_requires_assignment(self):
+        with pytest.raises(PlanError):
+            Query.from_source(make_source()).map()
+
+    def test_project_requires_fields(self):
+        with pytest.raises(PlanError):
+            Query.from_source(make_source()).project()
+
+    def test_explain_mentions_operators(self):
+        q = Query.from_source(make_source()).filter(col("speed") > 1).map(x=col("speed"))
+        text = q.explain()
+        assert "filter" in text and "map" in text and "source" in text
+
+
+class TestOptimizer:
+    def test_fuse_filters(self):
+        q = Query.from_source(make_source()).filter(col("speed") > 1).filter(col("speed") < 100)
+        plan = fuse_filters(q.plan(optimized=False))
+        kinds = [n.kind for n in plan.nodes]
+        assert kinds.count("filter") == 1
+
+    def test_push_down_filter_through_independent_map(self):
+        q = (
+            Query.from_source(make_source())
+            .map(double=col("speed") * 2)
+            .filter(col("speed") > 100)
+        )
+        plan = push_down_filters(q.plan(optimized=False))
+        kinds = [n.kind for n in plan.nodes]
+        assert kinds == ["source", "filter", "map"]
+
+    def test_no_push_down_when_filter_uses_map_output(self):
+        q = (
+            Query.from_source(make_source())
+            .map(double=col("speed") * 2)
+            .filter(col("double") > 100)
+        )
+        plan = push_down_filters(q.plan(optimized=False))
+        kinds = [n.kind for n in plan.nodes]
+        assert kinds == ["source", "map", "filter"]
+
+    def test_no_push_down_for_udf_filter(self):
+        q = (
+            Query.from_source(make_source())
+            .map(double=col("speed") * 2)
+            .filter(udf(lambda r: r["speed"] > 100))
+        )
+        plan = push_down_filters(q.plan(optimized=False))
+        assert [n.kind for n in plan.nodes] == ["source", "map", "filter"]
+
+    def test_optimized_plan_gives_same_results(self, engine):
+        q = (
+            Query.from_source(make_source())
+            .map(double=col("speed") * 2)
+            .filter(col("speed") > 100)
+            .filter(col("double") < 300)
+        )
+        optimized = engine.execute(q)
+        unoptimized = engine.execute(q.plan(optimized=False))
+        assert sorted(r["speed"] for r in optimized) == sorted(r["speed"] for r in unoptimized)
+
+
+class TestEngine:
+    def test_filter_map_project(self, engine):
+        q = (
+            Query.from_source(make_source())
+            .filter(col("speed") > 100)
+            .map(excess=col("speed") - 100.0)
+            .project("device", "excess")
+        )
+        result = engine.execute(q)
+        assert [r["excess"] for r in result] == [30.0, 40.0, 50.0]
+        assert result.metrics.events_in == 10
+        assert result.metrics.events_out == 3
+
+    def test_metrics_throughput_positive(self, engine):
+        result = engine.execute(Query.from_source(make_source()))
+        metrics = result.metrics
+        assert metrics.events_in == 10
+        assert metrics.bytes_in > 0
+        assert metrics.ingestion_rate_eps > 0
+        assert metrics.throughput_mb_per_s > 0
+        assert 0 < metrics.selectivity <= 1
+        assert "events" in str(metrics)
+        assert metrics.as_dict()["events_in"] == 10
+
+    def test_window_aggregate_via_query(self, engine):
+        q = Query.from_source(make_source()).window(
+            TumblingWindow(4.0), [Count(), Avg("speed", output="avg_speed")], key_by=["device"]
+        )
+        result = engine.execute(q)
+        counts = [r["count"] for r in result]
+        assert sum(counts) == 10
+
+    def test_sink_receives_records(self, engine):
+        sink = CollectSink()
+        q = Query.from_source(make_source()).filter(col("speed") > 100).sink(sink)
+        result = engine.execute(q)
+        assert len(sink.records) == len(result.records) == 3
+
+    def test_flat_map(self, engine):
+        q = Query.from_source(make_source([1, 2])).flat_map(
+            lambda r: [{"n": i, "timestamp": r.timestamp} for i in range(int(r["speed"]))]
+        )
+        result = engine.execute(q)
+        assert len(result) == 3
+
+    def test_union(self, engine):
+        a = Query.from_source(make_source([200, 10]))
+        b = Query.from_source(make_source([300, 20])).filter(col("speed") > 100)
+        union = a.union(b).filter(col("speed") > 100)
+        result = engine.execute(union)
+        assert sorted(r["speed"] for r in result) == [200.0, 300.0]
+
+    def test_join(self, engine):
+        limits_schema = Schema.of("limits", device=str, limit=float, timestamp=float)
+        limits = ListSource([{"device": "t1", "limit": 120.0, "timestamp": 0.0}], limits_schema)
+        q = (
+            Query.from_source(make_source())
+            .join(Query.from_source(limits), on=["device"], window=1000.0)
+            .filter(col("speed") > col("limit"))
+        )
+        result = engine.execute(q)
+        assert sorted(r["speed"] for r in result) == [130.0, 140.0, 150.0]
+
+    def test_apply_custom_operator(self, engine):
+        class TagOperator(Operator):
+            name = "tag"
+
+            def process(self, record):
+                yield record.derive({"tagged": True})
+
+        q = Query.from_source(make_source([1, 2])).apply(TagOperator, name="tag")
+        result = engine.execute(q)
+        assert all(r["tagged"] for r in result)
+
+    def test_apply_requires_operator(self, engine):
+        q = Query.from_source(make_source([1])).apply(lambda: "not an operator", name="bad")
+        with pytest.raises(PlanError):
+            engine.execute(q)
+
+    def test_run_all(self, engine):
+        queries = [
+            Query.from_source(make_source()).filter(col("speed") > 100).named("fast"),
+            Query.from_source(make_source()).filter(col("speed") <= 100).named("slow"),
+        ]
+        results = engine.run_all(queries)
+        assert len(results) == 2
+        assert results[0].metrics.query_name == "fast"
+        assert results[0].metrics.events_out + results[1].metrics.events_out == 10
+
+    def test_cep_via_query(self, engine):
+        from repro.cep.patterns import times
+
+        pattern = times("slow", lambda r: r["speed"] < 25, at_least=3)
+        q = Query.from_source(make_source()).cep(pattern, key_by=["device"])
+        result = engine.execute(q)
+        assert len(result) == 1
+        assert result.records[0]["slow_count"] == 3
+
+    def test_source_property(self):
+        source = make_source()
+        assert Query.from_source(source).source is source

@@ -1,0 +1,122 @@
+"""Tests for records, schemas and byte estimation."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streaming.record import Record, estimate_record_bytes
+from repro.streaming.schema import Field, Schema
+
+
+class TestRecord:
+    def test_timestamp_from_field(self):
+        r = Record({"timestamp": 12.0, "x": 1})
+        assert r.timestamp == 12.0
+
+    def test_timestamp_explicit(self):
+        r = Record({"x": 1}, timestamp=5)
+        assert r.timestamp == 5.0
+
+    def test_missing_timestamp_raises(self):
+        with pytest.raises(StreamError):
+            Record({"x": 1})
+
+    def test_getitem_and_get(self):
+        r = Record({"x": 1}, timestamp=0)
+        assert r["x"] == 1
+        assert r.get("y", 7) == 7
+        assert "x" in r and "y" not in r
+        with pytest.raises(StreamError):
+            r["missing"]
+
+    def test_derive_does_not_mutate_original(self):
+        r = Record({"x": 1}, timestamp=0)
+        derived = r.derive({"x": 2, "y": 3})
+        assert r["x"] == 1
+        assert derived["x"] == 2 and derived["y"] == 3
+        assert derived.timestamp == 0
+
+    def test_derive_new_timestamp(self):
+        r = Record({"x": 1}, timestamp=0)
+        assert r.derive({}, timestamp=9).timestamp == 9
+
+    def test_project(self):
+        r = Record({"x": 1, "y": 2, "z": 3}, timestamp=0)
+        assert r.project(["x", "z"]).data == {"x": 1, "z": 3}
+
+    def test_as_dict_includes_timestamp(self):
+        r = Record({"x": 1}, timestamp=4)
+        assert r.as_dict() == {"x": 1, "timestamp": 4}
+
+    def test_equality(self):
+        assert Record({"x": 1}, 0) == Record({"x": 1}, 0)
+        assert Record({"x": 1}, 0) != Record({"x": 2}, 0)
+
+
+class TestEstimateBytes:
+    def test_counts_numbers_strings_bools(self):
+        r = Record({"a": 1.0, "b": "hello", "c": True, "d": None}, timestamp=0)
+        size = estimate_record_bytes(r)
+        # 8 (timestamp) + 1+8 + 1+5 + 1+1 + 1+1 = 27
+        assert size == 27
+
+    def test_larger_record_is_larger(self):
+        small = Record({"a": 1.0}, timestamp=0)
+        big = Record({"a": 1.0, "text": "x" * 100}, timestamp=0)
+        assert estimate_record_bytes(big) > estimate_record_bytes(small)
+
+
+class TestSchema:
+    def test_field_type_aliases(self):
+        assert Field("x", "double").type is float
+        assert Field("x", "string").type is str
+        with pytest.raises(StreamError):
+            Field("x", "nonsense")
+
+    def test_field_validation(self):
+        Field("x", float).validate(3)
+        Field("x", float).validate(3.5)
+        with pytest.raises(StreamError):
+            Field("x", float).validate("a")
+        with pytest.raises(StreamError):
+            Field("x", float, nullable=False).validate(None)
+        Field("x", float, nullable=True).validate(None)
+        with pytest.raises(StreamError):
+            Field("x", int).validate(True)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(StreamError):
+            Field("")
+
+    def test_schema_of_shorthand(self):
+        schema = Schema.of("gps", device_id=str, lon=float, lat=float)
+        assert schema.field_names == ["device_id", "lon", "lat"]
+        assert schema.field("lon").type is float
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(StreamError):
+            Schema([Field("a"), Field("a")])
+
+    def test_validate_record(self):
+        schema = Schema.of("s", x=float, name=str)
+        schema.validate_record(Record({"x": 1.0, "name": "n"}, timestamp=0))
+        with pytest.raises(StreamError):
+            schema.validate_record(Record({"x": 1.0}, timestamp=0))
+        with pytest.raises(StreamError):
+            schema.validate_record(Record({"x": "bad", "name": "n"}, timestamp=0))
+
+    def test_nullable_field_may_be_absent(self):
+        schema = Schema([Field("x", float), Field("opt", float, nullable=True)])
+        schema.validate_record(Record({"x": 1.0}, timestamp=0))
+
+    def test_project_and_extend(self):
+        schema = Schema.of("s", a=float, b=float, c=str)
+        assert schema.project(["c", "a"]).field_names == ["c", "a"]
+        extended = schema.extend([Field("d", int)])
+        assert "d" in extended
+        with pytest.raises(StreamError):
+            schema.project(["nope"])
+
+    def test_unknown_field_lookup(self):
+        schema = Schema.of("s", a=float)
+        with pytest.raises(StreamError):
+            schema.field("zz")

@@ -1,0 +1,117 @@
+"""Tests for sources and sinks."""
+
+import json
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streaming.record import Record
+from repro.streaming.schema import Field, Schema
+from repro.streaming.sink import CallbackSink, CollectSink, FileSink, NullSink, Topic, TopicSink
+from repro.streaming.source import CSVSource, GeneratorSource, ListSource, MergedSource
+
+SCHEMA = Schema.of("s", device=str, value=float, timestamp=float)
+
+
+class TestListSource:
+    def test_sorts_by_time(self):
+        source = ListSource(
+            [{"device": "a", "value": 1.0, "timestamp": 10.0}, {"device": "a", "value": 2.0, "timestamp": 5.0}],
+            SCHEMA,
+        )
+        timestamps = [r.timestamp for r in source]
+        assert timestamps == [5.0, 10.0]
+        assert len(source) == 2
+
+    def test_accepts_records_and_validates(self):
+        ListSource([Record({"device": "a", "value": 1.0, "timestamp": 0.0})], SCHEMA, validate=True)
+        with pytest.raises(StreamError):
+            ListSource([{"device": "a", "timestamp": 0.0}], SCHEMA, validate=True)
+
+    def test_reiterable(self):
+        source = ListSource([{"device": "a", "value": 1.0, "timestamp": 0.0}], SCHEMA)
+        assert len(list(source)) == 1
+        assert len(list(source)) == 1
+
+
+class TestGeneratorSource:
+    def test_factory_called_each_iteration(self):
+        source = GeneratorSource(
+            lambda: ({"device": "a", "value": float(i), "timestamp": float(i)} for i in range(3)),
+            SCHEMA,
+        )
+        assert len(list(source)) == 3
+        assert len(list(source)) == 3
+
+
+class TestCSVSource(object):
+    def test_reads_and_coerces(self, tmp_path):
+        path = tmp_path / "events.csv"
+        path.write_text("device,value,timestamp,flag\n" "a,1.5,10,true\n" "b,2.0,20,false\n")
+        schema = Schema([Field("device", str), Field("value", float), Field("timestamp", float), Field("flag", bool)])
+        rows = list(CSVSource(str(path), schema))
+        assert rows[0]["value"] == 1.5 and rows[0]["flag"] is True
+        assert rows[1].timestamp == 20.0
+
+    def test_missing_timestamp_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("device,value\na,1\n")
+        schema = Schema([Field("device", str), Field("value", float)])
+        with pytest.raises(StreamError):
+            list(CSVSource(str(path), schema))
+
+
+class TestMergedSource:
+    def test_merges_in_time_order(self):
+        a = ListSource([{"device": "a", "value": 1.0, "timestamp": t} for t in (0.0, 10.0)], SCHEMA)
+        b = ListSource([{"device": "b", "value": 1.0, "timestamp": t} for t in (5.0, 15.0)], SCHEMA)
+        merged = MergedSource([a, b])
+        assert [r.timestamp for r in merged] == [0.0, 5.0, 10.0, 15.0]
+
+    def test_needs_sources(self):
+        with pytest.raises(StreamError):
+            MergedSource([])
+
+
+class TestSinks:
+    def test_collect_sink(self):
+        sink = CollectSink()
+        sink.accept(Record({"x": 1}, 0))
+        assert len(sink) == 1
+        assert sink.as_dicts()[0]["x"] == 1
+
+    def test_callback_and_null(self):
+        seen = []
+        sink = CallbackSink(seen.append)
+        sink.accept(Record({"x": 1}, 0))
+        assert sink.count == 1 and len(seen) == 1
+        null = NullSink()
+        null.accept(Record({"x": 1}, 0))
+        assert null.count == 1
+
+    def test_file_sink(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        sink = FileSink(str(path))
+        sink.accept(Record({"x": 1}, 0))
+        sink.close()
+        lines = path.read_text().strip().splitlines()
+        assert json.loads(lines[0])["x"] == 1
+
+    def test_topic_poll_per_consumer(self):
+        topic = Topic("alerts")
+        sink = TopicSink(topic)
+        for i in range(3):
+            sink.accept(Record({"i": i}, float(i)))
+        assert topic.size == 3
+        first = topic.poll("viz")
+        assert len(first) == 3
+        assert topic.poll("viz") == []
+        # A different consumer starts from the beginning.
+        assert len(topic.poll("other")) == 3
+
+    def test_topic_retention(self):
+        topic = Topic("small", retention=2)
+        for i in range(5):
+            topic.publish({"i": i})
+        assert topic.size == 2
+        assert [m["i"] for m in topic.poll("c")] == [3, 4]

@@ -1,0 +1,152 @@
+"""Tests for window assigners, aggregation functions and the window operator."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streaming.aggregations import Avg, Collect, Count, Max, Min, Reduce, Sum
+from repro.streaming.expressions import col
+from repro.streaming.operators import WindowAggregateOperator
+from repro.streaming.record import Record
+from repro.streaming.windows import SlidingWindow, ThresholdWindow, TumblingWindow
+
+
+def records(values, key="k"):
+    return [Record({"device": key, "value": float(v), "timestamp": float(t)}) for t, v in values]
+
+
+def run_operator(operator, stream):
+    out = []
+    for record in stream:
+        out.extend(operator.process(record))
+    out.extend(operator.flush())
+    return out
+
+
+class TestAssigners:
+    def test_tumbling_assign(self):
+        w = TumblingWindow(10.0)
+        assert w.assign(Record({"timestamp": 12.0})) == [(10.0, 20.0)]
+        assert w.assign(Record({"timestamp": 10.0})) == [(10.0, 20.0)]
+        with pytest.raises(StreamError):
+            TumblingWindow(0)
+
+    def test_sliding_assign_overlapping(self):
+        w = SlidingWindow(10.0, 5.0)
+        windows = w.assign(Record({"timestamp": 12.0}))
+        assert windows == [(5.0, 15.0), (10.0, 20.0)]
+        with pytest.raises(StreamError):
+            SlidingWindow(5.0, 10.0)
+
+    def test_threshold_flags(self):
+        w = ThresholdWindow(col("value") > 5, min_count=2)
+        assert w.is_threshold()
+        assert w.matches(Record({"value": 6.0, "timestamp": 0}))
+        assert not w.matches(Record({"value": 1.0, "timestamp": 0}))
+        with pytest.raises(StreamError):
+            w.assign(Record({"timestamp": 0}))
+        with pytest.raises(StreamError):
+            ThresholdWindow(col("value") > 5, min_count=0)
+
+
+class TestAggregations:
+    def test_count_sum_avg_min_max(self):
+        values = [1.0, 2.0, 3.0, None]
+        for agg, expected in [
+            (Count(), 4),
+            (Sum("value"), 6.0),
+            (Avg("value"), 2.0),
+            (Min("value"), 1.0),
+            (Max("value"), 3.0),
+        ]:
+            state = agg.create()
+            for v in values:
+                record = Record({"value": v, "timestamp": 0})
+                state = agg.add(state, agg.extract(record))
+            assert agg.result(state) == expected
+
+    def test_avg_of_nothing_is_none(self):
+        agg = Avg("value")
+        assert agg.result(agg.create()) is None
+
+    def test_collect(self):
+        agg = Collect("value")
+        state = agg.create()
+        for v in (1, 2, 3):
+            state = agg.add(state, v)
+        assert agg.result(state) == [1, 2, 3]
+
+    def test_reduce(self):
+        agg = Reduce("value", lambda a, b: a * b, initial=None)
+        state = agg.create()
+        for v in (2.0, 3.0, 4.0):
+            state = agg.add(state, v)
+        assert agg.result(state) == 24.0
+
+    def test_named_copy(self):
+        agg = Max("value").named("peak")
+        assert agg.output == "peak"
+        assert Max("value").output == "max"
+
+
+class TestWindowOperator:
+    def test_tumbling_keyed(self):
+        operator = WindowAggregateOperator(
+            TumblingWindow(10.0), [Count(), Avg("value", output="avg")], key_fields=["device"]
+        )
+        stream = records([(0, 1), (5, 3), (12, 10), (15, 20)], key="a")
+        out = run_operator(operator, stream)
+        assert len(out) == 2
+        first, second = out
+        assert first["count"] == 2 and first["avg"] == 2.0
+        assert first["window_start"] == 0.0 and first["window_end"] == 10.0
+        assert second["count"] == 2 and second["avg"] == 15.0
+
+    def test_window_emitted_once_watermark_passes(self):
+        operator = WindowAggregateOperator(TumblingWindow(10.0), [Count()], key_fields=["device"])
+        outputs = list(operator.process(Record({"device": "a", "value": 1.0, "timestamp": 0.0})))
+        assert outputs == []
+        outputs = list(operator.process(Record({"device": "a", "value": 1.0, "timestamp": 11.0})))
+        assert len(outputs) == 1 and outputs[0]["count"] == 1
+
+    def test_separate_keys_get_separate_windows(self):
+        operator = WindowAggregateOperator(TumblingWindow(10.0), [Count()], key_fields=["device"])
+        stream = records([(0, 1), (2, 1)], key="a") + records([(3, 1)], key="b")
+        out = run_operator(operator, stream)
+        counts = {r["device"]: r["count"] for r in out}
+        assert counts == {"a": 2, "b": 1}
+
+    def test_sliding_window_double_counts(self):
+        operator = WindowAggregateOperator(SlidingWindow(10.0, 5.0), [Count()], key_fields=["device"])
+        out = run_operator(operator, records([(7, 1)], key="a"))
+        # The single event belongs to windows (0,10) and (5,15).
+        assert len(out) == 2
+        assert all(r["count"] == 1 for r in out)
+
+    def test_threshold_window_opens_and_closes(self):
+        operator = WindowAggregateOperator(
+            ThresholdWindow(col("value") > 5, min_count=2),
+            [Count(), Max("value", output="peak")],
+            key_fields=["device"],
+        )
+        stream = records([(0, 1), (5, 10), (10, 12), (15, 2), (20, 9)], key="a")
+        out = run_operator(operator, stream)
+        # First open period has two matching events; the trailing single-event
+        # window (value 9) is below min_count and is dropped at flush.
+        assert len(out) == 1
+        assert out[0]["count"] == 2 and out[0]["peak"] == 12.0
+        assert out[0]["window_start"] == 5.0 and out[0]["window_end"] == 10.0
+
+    def test_threshold_window_max_duration_splits(self):
+        operator = WindowAggregateOperator(
+            ThresholdWindow(col("value") > 0, min_count=1, max_duration=10.0),
+            [Count()],
+            key_fields=["device"],
+        )
+        stream = records([(0, 1), (5, 1), (10, 1), (15, 1), (20, 1)], key="a")
+        out = run_operator(operator, stream)
+        assert len(out) >= 2
+        assert sum(r["count"] for r in out) == 5
+
+    def test_requires_aggregations(self):
+        with pytest.raises(StreamError):
+            WindowAggregateOperator(TumblingWindow(5.0), [])

@@ -1,0 +1,208 @@
+"""Tests for periods, timestamp sets and period sets."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.temporal.time import Period, PeriodSet, TimestampSet, from_timestamp, to_timestamp
+
+
+class TestToTimestamp:
+    def test_float_passthrough(self):
+        assert to_timestamp(12.5) == 12.5
+
+    def test_int_becomes_float(self):
+        value = to_timestamp(3)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_datetime_utc(self):
+        dt = datetime(2025, 6, 22, 12, 0, 0, tzinfo=timezone.utc)
+        assert to_timestamp(dt) == dt.timestamp()
+
+    def test_naive_datetime_assumed_utc(self):
+        naive = datetime(2025, 6, 22, 12, 0, 0)
+        aware = naive.replace(tzinfo=timezone.utc)
+        assert to_timestamp(naive) == aware.timestamp()
+
+    def test_iso_string(self):
+        assert to_timestamp("2025-06-22T12:00:00+00:00") == to_timestamp(
+            datetime(2025, 6, 22, 12, tzinfo=timezone.utc)
+        )
+
+    def test_bad_string_raises(self):
+        with pytest.raises(TemporalError):
+            to_timestamp("not-a-date")
+
+    def test_bool_rejected(self):
+        with pytest.raises(TemporalError):
+            to_timestamp(True)
+
+    def test_roundtrip(self):
+        ts = to_timestamp(datetime(2025, 1, 1, tzinfo=timezone.utc))
+        assert to_timestamp(from_timestamp(ts)) == ts
+
+
+class TestPeriod:
+    def test_default_bounds(self):
+        p = Period(0, 10)
+        assert p.lower_inc and not p.upper_inc
+
+    def test_invalid_order_raises(self):
+        with pytest.raises(TemporalError):
+            Period(10, 0)
+
+    def test_degenerate_needs_inclusive_bounds(self):
+        with pytest.raises(TemporalError):
+            Period(5, 5)
+        assert Period.at(5).is_instant()
+
+    def test_duration_and_mid(self):
+        p = Period(10, 30)
+        assert p.duration == 20
+        assert p.mid == 20
+
+    def test_contains_timestamp_respects_bounds(self):
+        p = Period(0, 10, lower_inc=True, upper_inc=False)
+        assert p.contains_timestamp(0)
+        assert p.contains_timestamp(5)
+        assert not p.contains_timestamp(10)
+        assert not p.contains_timestamp(-1)
+        assert 5 in p
+
+    def test_contains_period(self):
+        assert Period(0, 10).contains_period(Period(2, 8))
+        assert not Period(0, 10).contains_period(Period(2, 12))
+        # Equal upper bound but other is inclusive while self is not.
+        assert not Period(0, 10).contains_period(Period(2, 10, upper_inc=True))
+
+    def test_overlaps(self):
+        assert Period(0, 10).overlaps(Period(5, 15))
+        assert not Period(0, 10).overlaps(Period(10, 20))  # exclusive/inclusive touch
+        assert Period(0, 10, upper_inc=True).overlaps(Period(10, 20))
+        assert not Period(0, 5).overlaps(Period(6, 8))
+
+    def test_before_after(self):
+        assert Period(0, 5).is_before(Period(6, 8))
+        assert Period(6, 8).is_after(Period(0, 5))
+        assert not Period(0, 5).is_after(Period(6, 8))
+
+    def test_adjacency(self):
+        assert Period(0, 5).is_adjacent(Period(5, 8))
+        assert not Period(0, 5, upper_inc=True).is_adjacent(Period(5, 8))
+        assert not Period(0, 5).is_adjacent(Period(6, 8))
+
+    def test_intersection(self):
+        inter = Period(0, 10).intersection(Period(5, 15))
+        assert inter == Period(5, 10)
+        assert Period(0, 5).intersection(Period(6, 8)) is None
+
+    def test_intersection_bound_flags(self):
+        a = Period(0, 10, upper_inc=True)
+        b = Period(10, 20, lower_inc=True)
+        inter = a.intersection(b)
+        assert inter is not None and inter.is_instant()
+
+    def test_merge_overlapping(self):
+        merged = Period(0, 10).merge(Period(5, 15))
+        assert merged == Period(0, 15)
+
+    def test_merge_disjoint_returns_none(self):
+        assert Period(0, 5).merge(Period(7, 9)) is None
+
+    def test_minus_middle(self):
+        remainder = Period(0, 10).minus(Period(3, 6))
+        assert [(p.lower, p.upper) for p in remainder] == [(0, 3), (6, 10)]
+
+    def test_minus_disjoint(self):
+        remainder = Period(0, 10).minus(Period(20, 30))
+        assert list(remainder) == [Period(0, 10)]
+
+    def test_minus_covering(self):
+        assert Period(3, 4).minus(Period(0, 10)).is_empty()
+
+    def test_shift_and_expand(self):
+        assert Period(0, 10).shift(5) == Period(5, 15)
+        assert Period(5, 10).expand(2) == Period(3, 12)
+        with pytest.raises(TemporalError):
+            Period(0, 1).expand(-1)
+
+    def test_distance(self):
+        assert Period(0, 5).distance(Period(8, 10)) == 3
+        assert Period(0, 5).distance(Period(3, 10)) == 0
+        assert Period(8, 10).distance(Period(0, 5)) == 3
+
+    def test_equality_and_hash(self):
+        assert Period(0, 1) == Period(0, 1)
+        assert Period(0, 1) != Period(0, 1, upper_inc=True)
+        assert len({Period(0, 1), Period(0, 1)}) == 1
+
+
+class TestTimestampSet:
+    def test_sorted_and_deduplicated(self):
+        ts = TimestampSet([5, 1, 3, 3])
+        assert ts.timestamps == (1.0, 3.0, 5.0)
+        assert len(ts) == 3
+
+    def test_empty_raises(self):
+        with pytest.raises(TemporalError):
+            TimestampSet([])
+
+    def test_period_bounds(self):
+        ts = TimestampSet([1, 9])
+        assert ts.period() == Period(1, 9, upper_inc=True)
+
+    def test_contains_and_restrict(self):
+        ts = TimestampSet([1, 3, 5, 7])
+        assert ts.contains(3)
+        assert not ts.contains(4)
+        restricted = ts.at_period(Period(2, 6))
+        assert restricted is not None and restricted.timestamps == (3.0, 5.0)
+        assert ts.at_period(Period(100, 200)) is None
+
+    def test_shift_union(self):
+        ts = TimestampSet([1, 2]).shift(10)
+        assert ts.timestamps == (11.0, 12.0)
+        merged = ts.union(TimestampSet([1]))
+        assert merged.timestamps == (1.0, 11.0, 12.0)
+
+
+class TestPeriodSet:
+    def test_normalization_merges_overlaps(self):
+        ps = PeriodSet([Period(0, 5), Period(3, 8), Period(10, 12)])
+        assert [(p.lower, p.upper) for p in ps] == [(0, 8), (10, 12)]
+
+    def test_normalization_merges_adjacent(self):
+        ps = PeriodSet([Period(0, 5), Period(5, 8)])
+        assert len(ps) == 1
+
+    def test_duration_excludes_gaps(self):
+        ps = PeriodSet([Period(0, 5), Period(10, 12)])
+        assert ps.duration == 7
+
+    def test_empty(self):
+        assert PeriodSet.empty().is_empty()
+        assert PeriodSet.empty().period() is None
+
+    def test_contains_timestamp(self):
+        ps = PeriodSet([Period(0, 5), Period(10, 12)])
+        assert ps.contains_timestamp(3)
+        assert not ps.contains_timestamp(7)
+
+    def test_union_intersection_minus(self):
+        a = PeriodSet([Period(0, 10)])
+        b = PeriodSet([Period(5, 15)])
+        assert a.union(b).duration == 15
+        assert a.intersection(b).duration == 5
+        assert a.minus(b).duration == 5
+        assert [(p.lower, p.upper) for p in a.minus(b)] == [(0, 5)]
+
+    def test_overlaps(self):
+        a = PeriodSet([Period(0, 5)])
+        assert a.overlaps(Period(4, 6))
+        assert not a.overlaps(Period(6, 7))
+
+    def test_shift(self):
+        ps = PeriodSet([Period(0, 5)]).shift(100)
+        assert list(ps)[0] == Period(100, 105)

@@ -1,0 +1,120 @@
+"""Property-based tests of the temporal algebra (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.temporal.time import Period, PeriodSet
+from repro.temporal.tsequence import TSequence
+
+
+def periods(min_value=-1000.0, max_value=1000.0):
+    """Strategy producing valid (non-degenerate) periods."""
+    return (
+        st.tuples(
+            st.floats(min_value, max_value, allow_nan=False, allow_infinity=False),
+            st.floats(0.001, 500.0, allow_nan=False, allow_infinity=False),
+            st.booleans(),
+            st.booleans(),
+        )
+        .map(lambda t: Period(t[0], t[0] + t[1], t[2], t[3]))
+    )
+
+
+@given(periods(), periods())
+def test_overlaps_is_symmetric(a, b):
+    assert a.overlaps(b) == b.overlaps(a)
+
+
+@given(periods(), periods())
+def test_intersection_within_both(a, b):
+    inter = a.intersection(b)
+    if inter is None:
+        assert not a.overlaps(b)
+    else:
+        assert a.contains_period(inter) or inter.duration == 0
+        assert b.contains_period(inter) or inter.duration == 0
+
+
+@given(periods(), periods())
+def test_minus_plus_intersection_preserves_duration(a, b):
+    inter = a.intersection(b)
+    remainder = a.minus(b)
+    inter_duration = inter.duration if inter is not None else 0.0
+    assert remainder.duration + inter_duration == pytest.approx(a.duration, abs=1e-6)
+
+
+@given(periods(), st.floats(-500, 500, allow_nan=False))
+def test_shift_preserves_duration(p, delta):
+    assert p.shift(delta).duration == pytest.approx(p.duration)
+
+
+@given(st.lists(periods(), min_size=1, max_size=8))
+def test_periodset_normalization_is_disjoint_and_ordered(period_list):
+    ps = PeriodSet(period_list)
+    members = list(ps)
+    for a, b in zip(members[:-1], members[1:]):
+        assert a.upper <= b.lower
+        assert not a.overlaps(b)
+
+
+@given(st.lists(periods(), min_size=1, max_size=8))
+def test_periodset_duration_at_most_sum(period_list):
+    ps = PeriodSet(period_list)
+    assert ps.duration <= sum(p.duration for p in period_list) + 1e-9
+
+
+@given(st.lists(periods(), min_size=1, max_size=6), periods())
+def test_periodset_minus_then_intersection_empty(period_list, cut):
+    ps = PeriodSet(period_list).minus(cut)
+    assert ps.intersection(cut).duration == pytest.approx(0.0, abs=1e-6)
+
+
+# -- temporal sequences -----------------------------------------------------------------
+
+
+def float_sequences(min_len=2, max_len=10):
+    """Strategy producing linear float sequences with strictly increasing timestamps."""
+
+    def build(values):
+        pairs = [(v, 10.0 * i) for i, v in enumerate(values)]
+        return TSequence.from_pairs(pairs)
+
+    return st.lists(
+        st.floats(-1000, 1000, allow_nan=False, allow_infinity=False),
+        min_size=min_len,
+        max_size=max_len,
+    ).map(build)
+
+
+@given(float_sequences())
+def test_value_at_instants_returns_exact_values(seq):
+    for instant in seq.instants:
+        assert seq.value_at(instant.timestamp) == pytest.approx(instant.value)
+
+
+@given(float_sequences(), st.floats(0, 1))
+def test_interpolated_value_within_segment_bounds(seq, fraction):
+    t = seq.start_timestamp + fraction * seq.duration
+    value = seq.value_at(t)
+    assert value is not None
+    assert seq.min_value() - 1e-9 <= value <= seq.max_value() + 1e-9
+
+
+@given(float_sequences())
+def test_time_weighted_average_within_min_max(seq):
+    avg = seq.time_weighted_average()
+    assert seq.min_value() - 1e-9 <= avg <= seq.max_value() + 1e-9
+
+
+@given(float_sequences(), st.floats(0.05, 0.95), st.floats(0.05, 0.95))
+def test_restriction_preserves_values(seq, a, b):
+    lo, hi = sorted((a, b))
+    start = seq.start_timestamp + lo * seq.duration
+    end = seq.start_timestamp + hi * seq.duration
+    if end - start < 1e-6:
+        return
+    piece = seq.at_period(Period(start, end, upper_inc=True))
+    assert piece is not None
+    mid = (start + end) / 2.0
+    assert piece.value_at(mid) == pytest.approx(seq.value_at(mid), abs=1e-6)

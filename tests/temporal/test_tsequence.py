@@ -1,0 +1,193 @@
+"""Tests for temporal instants and sequences."""
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.temporal.interpolation import Interpolation, interpolate_value
+from repro.temporal.time import Period, PeriodSet
+from repro.temporal.tinstant import TInstant
+from repro.temporal.tsequence import TSequence
+
+
+class TestTInstant:
+    def test_basic(self):
+        i = TInstant(3.5, 10)
+        assert i.value == 3.5
+        assert i.timestamp == 10.0
+
+    def test_none_value_rejected(self):
+        with pytest.raises(TemporalError):
+            TInstant(None, 0)
+
+    def test_ordering_by_timestamp(self):
+        assert TInstant(1, 5) < TInstant(0, 10)
+
+    def test_shift_and_with_value(self):
+        i = TInstant(1.0, 5).shift(10)
+        assert i.timestamp == 15
+        assert i.with_value(2.0).value == 2.0
+
+    def test_period_is_degenerate(self):
+        assert TInstant(1, 5).period().is_instant()
+
+
+class TestInterpolateValue:
+    def test_numeric(self):
+        assert interpolate_value(0.0, 10.0, 0.25) == 2.5
+
+    def test_clamped(self):
+        assert interpolate_value(0.0, 10.0, 2.0) == 10.0
+        assert interpolate_value(0.0, 10.0, -1.0) == 0.0
+
+    def test_non_numeric_stepwise(self):
+        assert interpolate_value("a", "b", 0.4) == "a"
+        assert interpolate_value("a", "b", 1.0) == "b"
+
+
+class TestTSequenceConstruction:
+    def test_sorts_instants(self):
+        seq = TSequence([TInstant(2.0, 20), TInstant(1.0, 10)])
+        assert seq.timestamps == [10, 20]
+
+    def test_duplicate_timestamps_rejected(self):
+        with pytest.raises(TemporalError):
+            TSequence([TInstant(1.0, 10), TInstant(2.0, 10)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(TemporalError):
+            TSequence([])
+
+    def test_default_interpolation_float_is_linear(self):
+        seq = TSequence([TInstant(1.0, 0)])
+        assert seq.interpolation is Interpolation.LINEAR
+
+    def test_default_interpolation_str_is_stepwise(self):
+        seq = TSequence([TInstant("on", 0)])
+        assert seq.interpolation is Interpolation.STEPWISE
+
+    def test_from_pairs(self):
+        seq = TSequence.from_pairs([(1.0, 0), (2.0, 10)])
+        assert seq.start_value == 1.0 and seq.end_value == 2.0
+
+
+class TestValueAt:
+    def test_linear_interpolation(self):
+        seq = TSequence.from_pairs([(0.0, 0), (10.0, 10)])
+        assert seq.value_at(5) == 5.0
+        assert seq.value_at(0) == 0.0
+        assert seq.value_at(10) == 10.0
+
+    def test_outside_period_is_none(self):
+        seq = TSequence.from_pairs([(0.0, 0), (10.0, 10)])
+        assert seq.value_at(-1) is None
+        assert seq.value_at(11) is None
+
+    def test_stepwise_holds_previous_value(self):
+        seq = TSequence.from_pairs([(1, 0), (5, 10)], interpolation="stepwise")
+        assert seq.value_at(9.9) == 1
+        assert seq.value_at(10) == 5
+
+    def test_discrete_only_at_instants(self):
+        seq = TSequence.from_pairs([(1.0, 0), (2.0, 10)], interpolation="discrete")
+        assert seq.value_at(0) == 1.0
+        assert seq.value_at(5) is None
+
+    def test_instant_at(self):
+        seq = TSequence.from_pairs([(0.0, 0), (10.0, 10)])
+        instant = seq.instant_at(2.5)
+        assert instant is not None and instant.value == 2.5
+
+
+class TestPredicatesAndStats:
+    def test_ever_always(self):
+        seq = TSequence.from_pairs([(1.0, 0), (5.0, 10), (2.0, 20)])
+        assert seq.ever(lambda v: v > 4)
+        assert not seq.always(lambda v: v > 4)
+        assert seq.always(lambda v: v >= 1)
+        assert seq.ever_eq(5.0)
+        assert not seq.always_eq(5.0)
+
+    def test_min_max(self):
+        seq = TSequence.from_pairs([(3.0, 0), (1.0, 5), (7.0, 10)])
+        assert seq.min_value() == 1.0
+        assert seq.max_value() == 7.0
+
+    def test_time_weighted_average_linear(self):
+        seq = TSequence.from_pairs([(0.0, 0), (10.0, 10)])
+        assert seq.time_weighted_average() == pytest.approx(5.0)
+
+    def test_time_weighted_average_weights_by_duration(self):
+        # 0 for 10 seconds then jumps to 10 for 90 seconds (stepwise).
+        seq = TSequence.from_pairs([(0.0, 0), (10.0, 10), (10.0, 100)], interpolation="stepwise")
+        assert seq.time_weighted_average() == pytest.approx(9.0)
+
+    def test_single_instant_average(self):
+        seq = TSequence.from_pairs([(4.0, 0)])
+        assert seq.time_weighted_average() == 4.0
+
+
+class TestRestriction:
+    def test_at_period_interpolates_bounds(self):
+        seq = TSequence.from_pairs([(0.0, 0), (10.0, 10)])
+        piece = seq.at_period(Period(2, 8))
+        assert piece is not None
+        assert piece.start_value == pytest.approx(2.0)
+        assert piece.end_value == pytest.approx(8.0)
+
+    def test_at_period_disjoint(self):
+        seq = TSequence.from_pairs([(0.0, 0), (10.0, 10)])
+        assert seq.at_period(Period(20, 30)) is None
+
+    def test_at_periodset(self):
+        seq = TSequence.from_pairs([(0.0, 0), (10.0, 10)])
+        pieces = seq.at_periodset(PeriodSet([Period(1, 2), Period(8, 9)]))
+        assert len(pieces) == 2
+
+    def test_at_values_linear_crossing(self):
+        seq = TSequence.from_pairs([(0.0, 0), (10.0, 10)])
+        periods = seq.at_values(lambda v: v >= 5.0)
+        assert len(periods) == 1
+        period = list(periods)[0]
+        assert period.lower == pytest.approx(5.0, abs=0.01)
+        assert period.upper == pytest.approx(10.0)
+
+    def test_at_values_stepwise(self):
+        seq = TSequence.from_pairs([(1, 0), (5, 10), (1, 20)], interpolation="stepwise")
+        periods = seq.at_values(lambda v: v == 5)
+        assert len(periods) == 1
+        assert list(periods)[0].lower == 10
+
+
+class TestTransformations:
+    def test_shift(self):
+        seq = TSequence.from_pairs([(0.0, 0), (1.0, 10)]).shift(100)
+        assert seq.timestamps == [100, 110]
+
+    def test_map_values(self):
+        seq = TSequence.from_pairs([(1.0, 0), (2.0, 10)]).map_values(lambda v: v * 10)
+        assert seq.values == [10.0, 20.0]
+
+    def test_append_requires_later_timestamp(self):
+        seq = TSequence.from_pairs([(1.0, 0)])
+        extended = seq.append(TInstant(2.0, 5))
+        assert len(extended) == 2
+        with pytest.raises(TemporalError):
+            extended.append(TInstant(3.0, 5))
+
+    def test_split_at_gaps(self):
+        seq = TSequence.from_pairs([(0.0, 0), (1.0, 10), (2.0, 100), (3.0, 110)])
+        parts = seq.split_at_gaps(30)
+        assert len(parts) == 2
+        assert parts[0].timestamps == [0, 10]
+        assert parts[1].timestamps == [100, 110]
+
+    def test_sample(self):
+        seq = TSequence.from_pairs([(0.0, 0), (10.0, 10)])
+        sampled = seq.sample(2.5)
+        assert sampled.timestamps == [0, 2.5, 5.0, 7.5, 10.0]
+        assert sampled.values == [0.0, 2.5, 5.0, 7.5, 10.0]
+
+    def test_sample_bad_interval(self):
+        seq = TSequence.from_pairs([(0.0, 0), (10.0, 10)])
+        with pytest.raises(TemporalError):
+            seq.sample(0)

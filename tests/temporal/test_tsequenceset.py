@@ -1,0 +1,149 @@
+"""Tests for temporal sequence sets and typed factories and aggregates."""
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.temporal.aggregates import (
+    temporal_average,
+    temporal_count,
+    temporal_extent,
+    temporal_max,
+    temporal_min,
+    time_weighted_average,
+)
+from repro.temporal.time import Period, PeriodSet
+from repro.temporal.tinstant import TInstant
+from repro.temporal.tsequence import TSequence
+from repro.temporal.tsequenceset import TSequenceSet
+from repro.temporal.types import TBool, TFloat, TInt, TText
+
+
+def make_set():
+    a = TSequence.from_pairs([(0.0, 0), (10.0, 10)])
+    b = TSequence.from_pairs([(20.0, 100), (40.0, 110)])
+    return TSequenceSet([a, b])
+
+
+class TestTSequenceSet:
+    def test_requires_sequences(self):
+        with pytest.raises(TemporalError):
+            TSequenceSet([])
+
+    def test_rejects_overlapping(self):
+        a = TSequence.from_pairs([(0.0, 0), (10.0, 10)])
+        b = TSequence.from_pairs([(1.0, 5), (2.0, 15)])
+        with pytest.raises(TemporalError):
+            TSequenceSet([a, b])
+
+    def test_rejects_mixed_interpolation(self):
+        a = TSequence.from_pairs([(0.0, 0), (10.0, 10)], interpolation="linear")
+        b = TSequence.from_pairs([(1.0, 50), (2.0, 60)], interpolation="stepwise")
+        with pytest.raises(TemporalError):
+            TSequenceSet([a, b])
+
+    def test_ordering(self):
+        ss = make_set()
+        assert ss.start_timestamp == 0
+        assert ss.end_timestamp == 110
+        assert ss.num_sequences() == 2
+        assert ss.num_instants() == 4
+
+    def test_duration_excludes_gap(self):
+        assert make_set().duration == 20
+
+    def test_value_at(self):
+        ss = make_set()
+        assert ss.value_at(5) == 5.0
+        assert ss.value_at(105) == 30.0
+        assert ss.value_at(50) is None
+
+    def test_periodset(self):
+        ps = make_set().periodset()
+        assert len(ps) == 2
+
+    def test_ever_always_min_max(self):
+        ss = make_set()
+        assert ss.ever(lambda v: v > 30)
+        assert not ss.always(lambda v: v > 30)
+        assert ss.min_value() == 0.0
+        assert ss.max_value() == 40.0
+
+    def test_time_weighted_average(self):
+        # First sequence averages 5 over 10s, second 30 over 10s.
+        assert make_set().time_weighted_average() == pytest.approx(17.5)
+
+    def test_at_period(self):
+        restricted = make_set().at_period(Period(100, 105, upper_inc=True))
+        assert restricted is not None
+        assert restricted.num_sequences() == 1
+        assert restricted.value_at(105) == pytest.approx(30.0)
+        assert make_set().at_period(Period(40, 60)) is None
+
+    def test_at_periodset(self):
+        restricted = make_set().at_periodset(PeriodSet([Period(0, 5), Period(100, 105)]))
+        assert restricted is not None and restricted.num_sequences() == 2
+
+    def test_at_values(self):
+        periods = make_set().at_values(lambda v: v >= 30.0)
+        assert periods.duration == pytest.approx(5.0, abs=0.05)
+
+    def test_map_and_shift(self):
+        ss = make_set().map_values(lambda v: v + 1).shift(10)
+        assert ss.start_timestamp == 10
+        assert ss.value_at(15) == pytest.approx(6.0)
+
+    def test_from_instants_with_gaps(self):
+        instants = [TInstant(float(i), t) for i, t in enumerate([0, 5, 100, 105])]
+        ss = TSequenceSet.from_instants_with_gaps(instants, max_gap=30)
+        assert ss.num_sequences() == 2
+
+
+class TestTypedFactories:
+    def test_tfloat_coerces_int(self):
+        seq = TFloat.sequence([(1, 0), (2, 10)])
+        assert seq.values == [1.0, 2.0]
+        assert seq.interpolation.value == "linear"
+
+    def test_tfloat_rejects_bool_and_str(self):
+        with pytest.raises(TemporalError):
+            TFloat.instant(True, 0)
+        with pytest.raises(TemporalError):
+            TFloat.instant("x", 0)
+
+    def test_tint_rejects_bool(self):
+        with pytest.raises(TemporalError):
+            TInt.instant(True, 0)
+
+    def test_tbool_stepwise(self):
+        seq = TBool.sequence([(True, 0), (False, 10)])
+        assert seq.value_at(5) is True
+        assert seq.value_at(10) is False
+
+    def test_ttext(self):
+        seq = TText.sequence([("stopped", 0), ("moving", 10)])
+        assert seq.value_at(3) == "stopped"
+        with pytest.raises(TemporalError):
+            TText.instant(3, 0)
+
+
+class TestAggregates:
+    def test_min_max_avg(self):
+        seq = TFloat.sequence([(2.0, 0), (6.0, 10)])
+        assert temporal_min(seq) == 2.0
+        assert temporal_max(seq) == 6.0
+        assert temporal_average(seq) == 4.0
+        assert time_weighted_average(seq) == pytest.approx(4.0)
+
+    def test_extent_and_count(self):
+        a = TFloat.sequence([(1.0, 0), (2.0, 10)])
+        b = TFloat.sequence([(1.0, 100), (2.0, 130)])
+        extent = temporal_extent([a, b])
+        assert extent == Period(0, 130, upper_inc=True)
+        assert temporal_count([a, b]) == 4
+        assert temporal_extent([]) is None
+
+    def test_aggregates_on_sequence_set(self):
+        ss = make_set()
+        assert temporal_min(ss) == 0.0
+        assert temporal_max(ss) == 40.0
+        assert time_weighted_average(ss) == pytest.approx(17.5)

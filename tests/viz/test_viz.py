@@ -1,0 +1,95 @@
+"""Tests for the GeoJSON export layer."""
+
+import json
+
+import pytest
+
+from repro.sncb.zones import ZoneType
+from repro.spatial.geometry import LineString, Point, Polygon
+from repro.streaming.record import Record
+from repro.viz.geojson import Feature, FeatureCollection, feature_from_record
+from repro.viz.layers import network_layer, positions_layer, query_layer, scenario_overview, zones_layer
+
+
+class TestGeoJson:
+    def test_feature_dict(self):
+        feature = Feature(Point(4.3, 50.8), {"name": "Brussels"})
+        payload = feature.as_dict()
+        assert payload["type"] == "Feature"
+        assert payload["geometry"]["type"] == "Point"
+        assert payload["properties"]["name"] == "Brussels"
+
+    def test_collection_roundtrips_through_json(self):
+        collection = FeatureCollection(
+            [Feature(Point(0, 0)), Feature(LineString([(0, 0), (1, 1)]))],
+            name="layer",
+            metadata={"query": "Q1"},
+        )
+        parsed = json.loads(collection.to_json())
+        assert parsed["type"] == "FeatureCollection"
+        assert len(parsed["features"]) == 2
+        assert parsed["metadata"]["query"] == "Q1"
+        assert len(collection) == 2
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "layer.geojson"
+        FeatureCollection([Feature(Point(1, 2))], name="x").save(str(path))
+        parsed = json.loads(path.read_text())
+        assert parsed["features"][0]["geometry"]["coordinates"] == [1.0, 2.0]
+
+    def test_non_serializable_properties_become_repr(self):
+        feature = Feature(Point(0, 0), {"geom": Polygon.rectangle(0, 0, 1, 1)})
+        assert isinstance(feature.as_dict()["properties"]["geom"], str)
+
+    def test_feature_from_record(self):
+        record = Record({"lon": 4.3, "lat": 50.8, "speed": 12.0, "timestamp": 0.0})
+        feature = feature_from_record(record)
+        assert feature is not None
+        assert feature.geometry == Point(4.3, 50.8)
+        assert feature.properties["speed"] == 12.0
+        assert "lon" not in feature.properties
+
+    def test_feature_from_record_without_position(self):
+        assert feature_from_record({"lon": None, "lat": None, "timestamp": 0.0}) is None
+
+    def test_feature_from_record_selected_properties(self):
+        record = {"lon": 1.0, "lat": 2.0, "a": 1, "b": 2, "timestamp": 0.0}
+        feature = feature_from_record(record, properties=["a"])
+        assert feature.properties == {"a": 1}
+
+
+class TestLayers:
+    def test_network_layer(self, small_scenario):
+        layer = network_layer(small_scenario.network)
+        kinds = {f.properties["kind"] for f in layer.features}
+        assert kinds == {"station", "track"}
+        assert len(layer) > 20
+
+    def test_zones_layer(self, small_scenario):
+        layer = zones_layer(small_scenario.zones, ZoneType.SPEED_RESTRICTION)
+        assert len(layer) == len(small_scenario.zones.by_type(ZoneType.SPEED_RESTRICTION))
+        assert all("speed_limit_kmh" in f.properties for f in layer.features)
+        assert all("radius_m" in f.properties for f in layer.features)
+
+    def test_positions_layer_samples(self, small_scenario):
+        layer = positions_layer(small_scenario.events, every_nth=10)
+        assert 0 < len(layer) <= len(small_scenario.events) // 10 + 1
+        assert all("device_id" in f.properties for f in layer.features)
+
+    def test_query_layer_with_positions(self):
+        records = [Record({"lon": 4.3, "lat": 50.8, "alert": "speeding", "timestamp": 0.0})]
+        layer = query_layer("Q1", records, title="Alert filtering")
+        assert len(layer) == 1
+        assert layer.metadata["alerts"] == 1
+        assert layer.features[0].properties["query"] == "Q1"
+
+    def test_query_layer_without_positions(self):
+        records = [Record({"device_id": "t1", "avg_occupancy": 0.9, "timestamp": 0.0})]
+        layer = query_layer("Q6", records)
+        assert len(layer) == 0
+        assert layer.metadata["non_spatial_results"][0]["device_id"] == "t1"
+
+    def test_scenario_overview(self, small_scenario):
+        layers = scenario_overview(small_scenario)
+        assert "network" in layers and "positions" in layers
+        assert any(name.startswith("zones_") for name in layers)
