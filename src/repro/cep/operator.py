@@ -60,5 +60,9 @@ class CEPOperator(Operator):
         for match in self.matcher.flush():
             yield self._emit(match)
 
+    def partition_keys(self):
+        # Unkeyed patterns match across the whole stream and cannot be partitioned.
+        return list(self.key_fields) or None
+
     def __repr__(self) -> str:
         return f"CEPOperator({self.pattern!r}, keys={self.key_fields})"

@@ -6,6 +6,7 @@ reproduction:
 
 * ``python -m repro.cli dataset``   — generate the SNCB dataset as JSON lines.
 * ``python -m repro.cli run Q3``    — run one catalog query, print alerts + metrics.
+* ``python -m repro.cli bench Q1``  — record vs micro-batch throughput on one query.
 * ``python -m repro.cli report``    — the paper-vs-measured throughput table.
 * ``python -m repro.cli figures``   — regenerate the Figure 2 / Figure 3 GeoJSON layers.
 * ``python -m repro.cli queries``   — list the catalog queries.
@@ -18,6 +19,7 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.errors import PlanError
 from repro.queries import QUERY_CATALOG
 from repro.sncb.scenario import Scenario, ScenarioConfig
 from repro.streaming.engine import StreamExecutionEngine
@@ -28,6 +30,26 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration", type=float, default=3600.0, help="simulated seconds")
     parser.add_argument("--interval", type=float, default=5.0, help="sensor sampling interval (s)")
     parser.add_argument("--seed", type=int, default=42)
+
+
+def _add_batch_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--batch-size", type=int, default=256, help="rows per micro-batch")
+    parser.add_argument(
+        "--partitions",
+        type=int,
+        default=1,
+        help="key-partitioned parallel pipelines (batch mode only)",
+    )
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--execution-mode",
+        choices=["record", "batch"],
+        default="record",
+        help="record-at-a-time pipeline or vectorized micro-batch runtime",
+    )
+    _add_batch_arguments(parser)
 
 
 def _scenario_from(args: argparse.Namespace) -> Scenario:
@@ -60,6 +82,14 @@ def cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_from(args: argparse.Namespace) -> StreamExecutionEngine:
+    return StreamExecutionEngine(
+        execution_mode=getattr(args, "execution_mode", "record"),
+        batch_size=getattr(args, "batch_size", 256),
+        num_partitions=getattr(args, "partitions", 1),
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     query_id = args.query.upper()
     if query_id not in QUERY_CATALOG:
@@ -67,7 +97,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 2
     scenario = _scenario_from(args)
     info = QUERY_CATALOG[query_id]
-    result = StreamExecutionEngine().execute(info.build(scenario))
+    result = _engine_from(args).execute(info.build(scenario))
     limit = args.limit if args.limit is not None else 10
     for record in result.records[:limit]:
         print(json.dumps(record.as_dict(), default=str))
@@ -80,6 +110,43 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         query_layer(query_id, result.records, title=info.title).save(args.geojson)
         print(f"wrote {args.geojson}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    query_id = args.query.upper()
+    if query_id not in QUERY_CATALOG:
+        print(f"unknown query {args.query!r}; known: {', '.join(QUERY_CATALOG)}", file=sys.stderr)
+        return 2
+    scenario = _scenario_from(args)
+    info = QUERY_CATALOG[query_id]
+    engines = [
+        ("record", StreamExecutionEngine(measure_bytes=False)),
+        (
+            f"batch[{args.batch_size}]",
+            StreamExecutionEngine(
+                measure_bytes=False,
+                execution_mode="batch",
+                batch_size=args.batch_size,
+                num_partitions=args.partitions,
+            ),
+        ),
+    ]
+    rates = []
+    for label, engine in engines:
+        best = None
+        for _ in range(max(1, args.repeat)):
+            result = engine.execute(info.build(scenario))
+            rate = result.metrics.ingestion_rate_eps
+            best = rate if best is None or rate > best else best
+        if result.partitions > 1:
+            label += f" x{result.partitions}"
+        elif args.partitions > 1 and label != "record":
+            label += " x1 (plan not partitionable)"
+        rates.append(best)
+        print(f"{label:>16}: {best:>12,.0f} events/s ({len(result)} output records)")
+    if rates[0]:
+        print(f"{'speedup':>16}: {rates[1] / rates[0]:.2f}x")
     return 0
 
 
@@ -124,9 +191,19 @@ def build_parser() -> argparse.ArgumentParser:
     run = subparsers.add_parser("run", help="run one catalog query")
     run.add_argument("query", help="query id, e.g. Q3")
     _add_scenario_arguments(run)
+    _add_execution_arguments(run)
     run.add_argument("--limit", type=int, default=None, help="max output records to print")
     run.add_argument("--geojson", type=str, default=None, help="also write the output layer here")
     run.set_defaults(func=cmd_run)
+
+    bench = subparsers.add_parser(
+        "bench", help="compare record-at-a-time vs micro-batch execution on one query"
+    )
+    bench.add_argument("query", help="query id, e.g. Q1")
+    _add_scenario_arguments(bench)
+    _add_batch_arguments(bench)
+    bench.add_argument("--repeat", type=int, default=3, help="runs per mode (best is kept)")
+    bench.set_defaults(func=cmd_bench)
 
     report = subparsers.add_parser("report", help="paper-vs-measured throughput table")
     report.add_argument("--duration", type=float, default=3600.0)
@@ -147,7 +224,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except PlanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

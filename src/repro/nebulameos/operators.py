@@ -69,6 +69,10 @@ class GeofenceOperator(Operator):
         if entered or left:
             yield annotated.derive({"entered": entered, "left": left})
 
+    def partition_keys(self):
+        # Transition tracking is keyed per device; plain annotation is stateless.
+        return [self.device_field] if self.transitions_only else []
+
     def __repr__(self) -> str:
         return f"GeofenceOperator({len(self.index)} zones, transitions_only={self.transitions_only})"
 
@@ -114,6 +118,9 @@ class SpatialJoinOperator(Operator):
         for key, _ in matches:
             updates.update(self.attributes.get(key, {}))
         yield record.derive(updates)
+
+    def partition_keys(self):
+        return []
 
     def __repr__(self) -> str:
         return f"SpatialJoinOperator({len(self.index)} zones)"
@@ -163,6 +170,9 @@ class NearestNeighborOperator(Operator):
                 f"{self.output_prefix}_distance_m": best_distance,
             }
         )
+
+    def partition_keys(self):
+        return []
 
     def __repr__(self) -> str:
         return f"NearestNeighborOperator({len(self.index)} geometries)"

@@ -121,6 +121,9 @@ class TrajectoryBuilder(Operator):
     def num_devices(self) -> int:
         return len(self._states)
 
+    def partition_keys(self):
+        return [self.device_field]
+
     def __repr__(self) -> str:
         return (
             f"TrajectoryBuilder(device={self.device_field!r}, horizon={self.horizon_s}s, "

@@ -1,0 +1,56 @@
+"""Vectorized micro-batch execution runtime.
+
+The runtime executes the same logical plans as the record-at-a-time engine in
+:mod:`repro.streaming.engine`, but moves data through the pipeline in
+columnar micro-batches:
+
+* :class:`RecordBatch` — a dict-of-lists container with per-field arrays,
+  cheap slicing and batch-level byte accounting, plus :func:`batchify` /
+  :func:`unbatchify` adapters between record streams and batch streams;
+* :func:`compile_expression` — compiles the streaming expression trees into
+  closures evaluated over whole columns;
+* batch-native operators (vectorized filter/map/project, batch windowed
+  aggregation) with a per-record bridge for CEP, joins, sinks and plugin
+  operators;
+* :class:`BatchExecutionEngine` — compiles existing
+  :class:`~repro.streaming.query.Query` plans unchanged, fuses adjacent
+  stateless stages, and optionally runs key-partitioned batches across a
+  thread pool (``num_partitions``).
+
+Outputs are record-for-record identical to the record engine; the speedup
+comes purely from amortizing Python interpreter overhead over whole batches.
+"""
+
+from repro.runtime.batch import MISSING, RecordBatch, batchify, unbatchify
+from repro.runtime.compiler import ColumnFunction, compile_expression
+from repro.runtime.engine import BatchExecutionEngine
+from repro.runtime.operators import (
+    BatchOperator,
+    BatchWindowAggregateOperator,
+    FusedBatchStage,
+    RecordBridgeOperator,
+    VectorizedFilterOperator,
+    VectorizedMapOperator,
+    VectorizedProjectOperator,
+    build_batch_pipeline,
+    vectorize,
+)
+
+__all__ = [
+    "MISSING",
+    "RecordBatch",
+    "batchify",
+    "unbatchify",
+    "ColumnFunction",
+    "compile_expression",
+    "BatchExecutionEngine",
+    "BatchOperator",
+    "BatchWindowAggregateOperator",
+    "FusedBatchStage",
+    "RecordBridgeOperator",
+    "VectorizedFilterOperator",
+    "VectorizedMapOperator",
+    "VectorizedProjectOperator",
+    "build_batch_pipeline",
+    "vectorize",
+]

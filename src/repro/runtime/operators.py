@@ -1,0 +1,412 @@
+"""Batch-native physical operators.
+
+Each operator consumes one :class:`~repro.runtime.batch.RecordBatch` per call
+and produces one (possibly empty) output batch; ``flush`` plays the same
+end-of-stream role as for record operators.  Stateless relational operators
+(filter, map, project) are vectorized over whole columns via the compiled
+closures from :mod:`repro.runtime.compiler`; the windowed aggregation keeps
+per-key accumulators fed from pre-extracted value columns; everything else
+(CEP, joins, plugin operators, sinks) runs through a per-record bridge that
+reuses the existing record operator unchanged — identical semantics, batch
+API.
+
+Per-operator metric counts use the same ``"{index}:{name}"`` labels as the
+record engine, incremented by the number of rows entering the operator, so
+``operator_events`` agree between the two execution modes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.streaming.aggregations import Aggregation
+from repro.streaming.expressions import Expression
+from repro.streaming.metrics import MetricsCollector
+from repro.streaming.operators import (
+    FilterOperator,
+    FlatMapOperator,
+    MapOperator,
+    Operator,
+    ProjectOperator,
+    WindowAggregateOperator,
+)
+from repro.streaming.record import Record
+from repro.streaming.windows import (
+    SlidingWindow,
+    ThresholdWindow,
+    TumblingWindow,
+    WindowAssigner,
+    WindowKey,
+)
+from repro.runtime.batch import RecordBatch, _fast_record
+from repro.runtime.compiler import ColumnFunction, compile_expression
+
+
+class BatchOperator:
+    """Base class for batch operators.
+
+    ``position`` is the operator's index in the compiled record-operator
+    pipeline (used for entry points of binary nodes and for metric labels);
+    ``stateless`` marks operators that are safe to fuse into one batch pass.
+    """
+
+    name = "batch-operator"
+    stateless = False
+
+    def __init__(self, position: int) -> None:
+        self.position = position
+        self.start_position = position
+        self.end_position = position + 1
+        self.label = f"{position}:{self.name}"
+
+    def process_batch(self, batch: RecordBatch, metrics: MetricsCollector) -> RecordBatch:
+        raise NotImplementedError
+
+    def flush(self, metrics: MetricsCollector) -> RecordBatch:
+        return RecordBatch.empty()
+
+    def __repr__(self) -> str:
+        return f"<{self.__class__.__name__} at {self.position}>"
+
+
+class VectorizedFilterOperator(BatchOperator):
+    """Evaluates the predicate over whole columns and compresses the batch."""
+
+    name = "filter"
+    stateless = True
+
+    def __init__(self, predicate: Expression, position: int) -> None:
+        super().__init__(position)
+        self.predicate = predicate
+        self._mask = compile_expression(predicate)
+
+    def process_batch(self, batch: RecordBatch, metrics: MetricsCollector) -> RecordBatch:
+        metrics.record_operator(self.label, len(batch))
+        return batch.compress(self._mask(batch))
+
+
+class VectorizedMapOperator(BatchOperator):
+    """Computes every assignment column from the input batch, then derives.
+
+    Like ``MapOperator`` all assignments read the *input* record, so columns
+    are computed against the incoming batch before any of them is attached.
+    """
+
+    name = "map"
+    stateless = True
+
+    def __init__(self, assignments: Mapping[str, Expression], position: int) -> None:
+        super().__init__(position)
+        self._columns: List[Tuple[str, ColumnFunction]] = [
+            (name, compile_expression(expr)) for name, expr in assignments.items()
+        ]
+
+    def process_batch(self, batch: RecordBatch, metrics: MetricsCollector) -> RecordBatch:
+        metrics.record_operator(self.label, len(batch))
+        updates = {name: fn(batch) for name, fn in self._columns}
+        return batch.with_columns(updates)
+
+
+class VectorizedProjectOperator(BatchOperator):
+    """Keeps only the listed columns."""
+
+    name = "project"
+    stateless = True
+
+    def __init__(self, fields: Sequence[str], position: int) -> None:
+        super().__init__(position)
+        self.fields = list(fields)
+
+    def process_batch(self, batch: RecordBatch, metrics: MetricsCollector) -> RecordBatch:
+        metrics.record_operator(self.label, len(batch))
+        return batch.project(self.fields)
+
+
+class BatchWindowAggregateOperator(BatchOperator):
+    """Keyed windowed aggregation consuming whole batches.
+
+    Key tuples, threshold-predicate matches and per-aggregation input values
+    are extracted column-wise once per batch; the per-row state machine then
+    mirrors :class:`~repro.streaming.operators.WindowAggregateOperator`
+    exactly (watermark bumps, emission ordering, threshold open/close), so the
+    output record sequence is identical to record-at-a-time execution.
+    """
+
+    name = "window"
+
+    def __init__(
+        self,
+        assigner: WindowAssigner,
+        aggregations: Sequence[Aggregation],
+        key_fields: Sequence[str],
+        allowed_lateness: float,
+        position: int,
+    ) -> None:
+        super().__init__(position)
+        self.assigner = assigner
+        self.aggregations = list(aggregations)
+        self.key_fields = list(key_fields)
+        self.allowed_lateness = float(allowed_lateness)
+        self._watermark = float("-inf")
+        self._states: Dict[Tuple[Tuple[Any, ...], WindowKey], List[Any]] = {}
+        self._open_thresholds: Dict[Tuple[Any, ...], List[Any]] = {}
+        self._is_threshold = isinstance(assigner, ThresholdWindow)
+        self._matches: Optional[ColumnFunction] = (
+            compile_expression(assigner.predicate) if self._is_threshold else None
+        )
+        # Per-aggregation value extractors: a compiled column when possible, a
+        # per-record fallback when the aggregation overrides ``extract``.
+        self._extractors: List[Tuple[str, Any]] = []
+        for agg in self.aggregations:
+            if type(agg).extract is not Aggregation.extract:
+                self._extractors.append(("record", agg))
+            elif agg.on is None:
+                self._extractors.append(("none", None))
+            else:
+                self._extractors.append(("column", compile_expression(agg.on)))
+
+    # -- columnar preparation ------------------------------------------------------
+
+    def _key_rows(self, batch: RecordBatch) -> List[Tuple[Any, ...]]:
+        if not self.key_fields:
+            return [()] * len(batch)
+        columns = [batch.column_or_none(field) for field in self.key_fields]
+        return list(zip(*columns))
+
+    def _value_columns(self, batch: RecordBatch) -> List[Optional[List[Any]]]:
+        columns: List[Optional[List[Any]]] = []
+        for kind, payload in self._extractors:
+            if kind == "none":
+                columns.append(None)
+            elif kind == "column":
+                columns.append(payload(batch))
+            else:
+                columns.append([payload.extract(r) for r in batch.to_records()])
+        return columns
+
+    def _window_rows(self, batch: RecordBatch) -> List[List[WindowKey]]:
+        """Per-row window assignments (vectorized for the built-in assigners)."""
+        assigner = self.assigner
+        kind = type(assigner)
+        if kind is TumblingWindow:
+            size = assigner.size
+            floor = math.floor
+            return [
+                [(floor(t / size) * size, floor(t / size) * size + size)]
+                for t in batch.timestamps
+            ]
+        if kind is SlidingWindow:
+            size, slide = assigner.size, assigner.slide
+            floor = math.floor
+            rows = []
+            for t in batch.timestamps:
+                start = floor(t / slide) * slide
+                windows: List[WindowKey] = []
+                while start > t - size:
+                    windows.append((start, start + size))
+                    start -= slide
+                rows.append(sorted(windows))
+            return rows
+        return [assigner.assign(record) for record in batch.to_records()]
+
+    # -- state machine (mirrors WindowAggregateOperator) -------------------------------
+
+    def _new_states(self) -> List[Any]:
+        return [agg.create() for agg in self.aggregations]
+
+    def _emit(self, key: Tuple[Any, ...], window: WindowKey, states: List[Any]) -> Record:
+        start, end = window
+        payload: Dict[str, Any] = {"window_start": start, "window_end": end}
+        for name, value in zip(self.key_fields, key):
+            payload[name] = value
+        for agg, state in zip(self.aggregations, states):
+            payload[agg.output] = agg.result(state)
+        return _fast_record(payload, float(end))
+
+    def _emit_closed_into(self, out: List[Record]) -> None:
+        watermark = self._watermark
+        ready = [
+            (key, window)
+            for (key, window) in self._states
+            if window[1] + self.allowed_lateness <= watermark
+        ]
+        for key, window in sorted(ready, key=lambda kw: kw[1][1]):
+            out.append(self._emit(key, window, self._states.pop((key, window))))
+
+    def _close_threshold_into(self, key: Tuple[Any, ...], out: List[Record]) -> None:
+        start, end, count, states = self._open_thresholds.pop(key)
+        if count >= self.assigner.min_count:  # type: ignore[union-attr]
+            out.append(self._emit(key, (start, end), states))
+
+    def process_batch(self, batch: RecordBatch, metrics: MetricsCollector) -> RecordBatch:
+        metrics.record_operator(self.label, len(batch))
+        out: List[Record] = []
+        keys = self._key_rows(batch)
+        values = self._value_columns(batch)
+        aggregations = self.aggregations
+        timestamps = batch.timestamps
+        if self._is_threshold:
+            assigner = self.assigner
+            max_duration = assigner.max_duration  # type: ignore[union-attr]
+            matches_column = self._matches(batch)  # type: ignore[misc]
+            open_thresholds = self._open_thresholds
+            for i, t in enumerate(timestamps):
+                key = keys[i]
+                open_state = open_thresholds.get(key)
+                if matches_column[i]:
+                    if open_state is None:
+                        open_state = [t, t, 0, self._new_states()]
+                        open_thresholds[key] = open_state
+                    open_state[1] = t
+                    open_state[2] += 1
+                    states = open_state[3]
+                    for j, agg in enumerate(aggregations):
+                        column = values[j]
+                        states[j] = agg.add(states[j], None if column is None else column[i])
+                    if max_duration is not None and open_state[1] - open_state[0] >= max_duration:
+                        self._close_threshold_into(key, out)
+                elif open_state is not None:
+                    self._close_threshold_into(key, out)
+        else:
+            window_rows = self._window_rows(batch)
+            all_states = self._states
+            for i, t in enumerate(timestamps):
+                key = keys[i]
+                for window in window_rows[i]:
+                    state_key = (key, window)
+                    states = all_states.get(state_key)
+                    if states is None:
+                        states = all_states[state_key] = self._new_states()
+                    for j, agg in enumerate(aggregations):
+                        column = values[j]
+                        states[j] = agg.add(states[j], None if column is None else column[i])
+                if t > self._watermark:
+                    self._watermark = t
+                    self._emit_closed_into(out)
+        return RecordBatch.from_records(out)
+
+    def flush(self, metrics: MetricsCollector) -> RecordBatch:
+        out: List[Record] = []
+        if self._is_threshold:
+            for key in list(self._open_thresholds):
+                self._close_threshold_into(key, out)
+        else:
+            remaining = sorted(self._states, key=lambda kw: kw[1][1])
+            for key, window in remaining:
+                out.append(self._emit(key, window, self._states[(key, window)]))
+            self._states.clear()
+        return RecordBatch.from_records(out)
+
+
+class RecordBridgeOperator(BatchOperator):
+    """Runs an arbitrary record operator over the rows of each batch.
+
+    The fallback path for operators with no vectorized equivalent — CEP (NFA
+    stepping is inherently per-event), joins, sinks, and plugin operators.
+    Materialized rows are cached on the batch, so several bridges in one
+    pipeline share a single batch-to-records conversion.
+    """
+
+    def __init__(self, operator: Operator, position: int, stateless: bool = False) -> None:
+        self.name = operator.name
+        self.stateless = stateless
+        super().__init__(position)
+        self.operator = operator
+
+    def process_batch(self, batch: RecordBatch, metrics: MetricsCollector) -> RecordBatch:
+        metrics.record_operator(self.label, len(batch))
+        process = self.operator.process
+        out: List[Record] = []
+        for record in batch.to_records():
+            out.extend(process(record))
+        return RecordBatch.from_records(out)
+
+    def flush(self, metrics: MetricsCollector) -> RecordBatch:
+        return RecordBatch.from_records(list(self.operator.flush()))
+
+    def __repr__(self) -> str:
+        return f"RecordBridge({self.operator!r})"
+
+
+class FusedBatchStage(BatchOperator):
+    """Adjacent stateless operators fused into a single batch pass.
+
+    One engine dispatch per batch covers the whole run of operators; the
+    stage short-circuits as soon as a filter empties the batch.
+    """
+
+    name = "fused"
+    stateless = True
+
+    def __init__(self, operators: Sequence[BatchOperator]) -> None:
+        super().__init__(operators[0].position)
+        self.operators = list(operators)
+        self.end_position = self.operators[-1].position + 1
+        self.label = "+".join(op.label for op in self.operators)
+
+    def process_batch(self, batch: RecordBatch, metrics: MetricsCollector) -> RecordBatch:
+        for operator in self.operators:
+            if not len(batch):
+                break
+            batch = operator.process_batch(batch, metrics)
+        return batch
+
+    def __repr__(self) -> str:
+        return f"FusedBatchStage({[op.label for op in self.operators]})"
+
+
+def vectorize(position: int, operator: Operator) -> BatchOperator:
+    """The batch equivalent of one compiled record operator."""
+    kind = type(operator)
+    if kind is FilterOperator:
+        return VectorizedFilterOperator(operator.predicate, position)
+    if kind is MapOperator:
+        return VectorizedMapOperator(operator.assignments, position)
+    if kind is ProjectOperator:
+        return VectorizedProjectOperator(operator.fields, position)
+    if kind is WindowAggregateOperator:
+        return BatchWindowAggregateOperator(
+            operator.assigner,
+            operator.aggregations,
+            operator.key_fields,
+            operator.allowed_lateness,
+            position,
+        )
+    return RecordBridgeOperator(operator, position, stateless=kind is FlatMapOperator)
+
+
+def build_batch_pipeline(
+    operators: Sequence[Operator],
+    entry_positions: Sequence[int] = (),
+    fuse: bool = True,
+) -> List[BatchOperator]:
+    """Vectorize a compiled record pipeline and fuse adjacent stateless stages.
+
+    ``entry_positions`` are pipeline positions where records from the right
+    side of a binary node enter mid-pipeline; fusion never spans them so a
+    partial batch can start at any entry point.
+    """
+    batch_operators = [vectorize(i, op) for i, op in enumerate(operators)]
+    if not fuse:
+        return batch_operators
+    barriers = set(entry_positions)
+    stages: List[BatchOperator] = []
+    run: List[BatchOperator] = []
+
+    def close_run() -> None:
+        if not run:
+            return
+        stages.append(run[0] if len(run) == 1 else FusedBatchStage(list(run)))
+        run.clear()
+
+    for operator in batch_operators:
+        if operator.position in barriers:
+            close_run()
+        if operator.stateless:
+            run.append(operator)
+        else:
+            close_run()
+            stages.append(operator)
+    close_run()
+    return stages

@@ -334,13 +334,19 @@ class Circle(Geometry):
         self.metric = metric
 
     def bounds(self) -> Box2D:
-        # For haversine metrics the box in degrees is approximate but conservative enough
-        # for indexing purposes (1 degree >= ~78 km anywhere in Belgium).
         if self.metric is cartesian:
-            r = self.radius
+            rx = ry = self.radius
         else:
-            r = self.radius / 78_000.0
-        return Box2D(self.center.x - r, self.center.y - r, self.center.x + r, self.center.y + r)
+            # Metric radius to degrees: one great-circle degree is ~111.2 km, but a
+            # degree of longitude shrinks with cos(latitude), so the box must widen
+            # east-west accordingly.  110 km/degree (< R*pi/180) and the cosine at
+            # the latitude band edge keep the box conservative: it may admit a few
+            # extra index candidates but can never miss a contained point.
+            deg_m = 110_000.0
+            ry = self.radius / deg_m
+            cos_lat = math.cos(math.radians(min(90.0, abs(self.center.y) + ry)))
+            rx = 180.0 if cos_lat <= 1e-9 else self.radius / (deg_m * cos_lat)
+        return Box2D(self.center.x - rx, self.center.y - ry, self.center.x + rx, self.center.y + ry)
 
     def contains_point(self, point: Point) -> bool:
         return self.metric.distance(self.center.coords, point.coords) <= self.radius

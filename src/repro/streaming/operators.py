@@ -31,6 +31,20 @@ class Operator:
         """Emit whatever is still buffered at end-of-stream."""
         return []
 
+    def partition_keys(self) -> Optional[List[str]]:
+        """Which key-partitionings this operator stays correct under.
+
+        * ``[]`` — the operator is stateless: any partitioning is safe.
+        * a non-empty list — state is keyed by these record fields: safe iff
+          the stream is partitioned on one of them.
+        * ``None`` (the default) — unknown or global state: never safe.
+
+        The batch runtime consults this before running a plan across
+        key-partitioned parallel pipelines and falls back to a single
+        partition when any operator cannot guarantee correctness.
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"<{self.__class__.__name__}>"
 
@@ -46,6 +60,9 @@ class FilterOperator(Operator):
     def process(self, record: Record) -> Iterable[Record]:
         if self.predicate.evaluate(record):
             yield record
+
+    def partition_keys(self) -> List[str]:
+        return []
 
     def __repr__(self) -> str:
         return f"Filter({self.predicate!r})"
@@ -91,6 +108,9 @@ class MapOperator(Operator):
         updates = {name: expr.evaluate(record) for name, expr in self.assignments.items()}
         yield record.derive(updates)
 
+    def partition_keys(self) -> List[str]:
+        return []
+
     def __repr__(self) -> str:
         return f"Map({list(self.assignments)})"
 
@@ -107,6 +127,9 @@ class ProjectOperator(Operator):
 
     def process(self, record: Record) -> Iterable[Record]:
         yield record.project(self.fields)
+
+    def partition_keys(self) -> List[str]:
+        return []
 
     def __repr__(self) -> str:
         return f"Project({self.fields})"
@@ -127,6 +150,9 @@ class FlatMapOperator(Operator):
             else:
                 payload = dict(item)
                 yield Record(payload, payload.get("timestamp", record.timestamp))
+
+    def partition_keys(self) -> List[str]:
+        return []
 
     def __repr__(self) -> str:
         return f"FlatMap({getattr(self.func, '__name__', 'fn')})"
@@ -246,6 +272,10 @@ class WindowAggregateOperator(Operator):
             yield self._emit(key, window, self._states[(key, window)])
         self._states.clear()
 
+    def partition_keys(self) -> Optional[List[str]]:
+        # Unkeyed windows hold global state and cannot be partitioned.
+        return list(self.key_fields) or None
+
     def __repr__(self) -> str:
         return f"WindowAggregate({self.assigner!r}, keys={self.key_fields}, aggs={[a.output for a in self.aggregations]})"
 
@@ -302,6 +332,9 @@ class JoinOperator(Operator):
                 else:
                     yield self._merge(candidate, record)
 
+    def partition_keys(self) -> Optional[List[str]]:
+        return list(self.key_fields) or None
+
     def __repr__(self) -> str:
         return f"Join(keys={self.key_fields}, window={self.window}s)"
 
@@ -317,3 +350,8 @@ class SinkOperator(Operator):
     def process(self, record: Record) -> Iterable[Record]:
         self.sink.accept(record)
         yield record
+
+    def partition_keys(self) -> List[str]:
+        # Stateless itself; the engine separately refuses to partition plans
+        # with sinks because partitions would interleave writes out of order.
+        return []

@@ -65,24 +65,32 @@ class Record:
         return f"Record(t={self.timestamp}, {self.data})"
 
 
+def estimate_value_bytes(value: Any) -> int:
+    """Wire-size estimate of one field value.
+
+    Numbers count as 8 bytes, booleans as 1, strings as their UTF-8 length and
+    anything else as the length of its ``repr``.  Shared by the per-record
+    estimator below and the batch-level accounting in
+    :meth:`repro.runtime.batch.RecordBatch.estimate_bytes`, so the two modes
+    can never drift apart.
+    """
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if value is None:
+        return 1
+    return len(repr(value))
+
+
 def estimate_record_bytes(record: Record) -> int:
     """Rough wire-size estimate of a record, used for throughput accounting.
 
-    Numbers count as 8 bytes, booleans as 1, strings as their UTF-8 length and
-    anything else as the length of its ``repr``.  Field names count as their
-    length (as they would in a JSON/CSV encoding).
+    Field names count as their length (as they would in a JSON/CSV encoding).
     """
     total = 8  # event timestamp
     for key, value in record.data.items():
-        total += len(key)
-        if isinstance(value, bool):
-            total += 1
-        elif isinstance(value, (int, float)):
-            total += 8
-        elif isinstance(value, str):
-            total += len(value.encode("utf-8"))
-        elif value is None:
-            total += 1
-        else:
-            total += len(repr(value))
+        total += len(key) + estimate_value_bytes(value)
     return total

@@ -182,9 +182,13 @@ class TopologyExecution:
         topology: Topology,
         engine: Optional[StreamExecutionEngine] = None,
         base_cost_us: float = 8.0,
+        execution_mode: str = "record",
+        batch_size: int = 256,
     ) -> None:
         self.topology = topology
-        self.engine = engine or StreamExecutionEngine()
+        self.engine = engine or StreamExecutionEngine(
+            execution_mode=execution_mode, batch_size=batch_size
+        )
         self.base_cost_us = float(base_cost_us)
 
     def run(

@@ -1,0 +1,152 @@
+"""Unit tests for the columnar RecordBatch container and the expression compiler."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.runtime import MISSING, RecordBatch, batchify, compile_expression, unbatchify
+from repro.streaming.expressions import call, col, event_time, lit, udf
+from repro.streaming.record import Record, estimate_record_bytes
+
+
+def make_records(n=10):
+    return [
+        Record(
+            {
+                "device_id": f"train-{i % 3}",
+                "speed": float(10 * i),
+                "label": f"ev{i}",
+                "flag": i % 2 == 0,
+                "timestamp": float(i),
+            }
+        )
+        for i in range(n)
+    ]
+
+
+class TestRecordBatch:
+    def test_roundtrip_is_identity_for_untouched_batches(self):
+        records = make_records()
+        batch = RecordBatch.from_records(records)
+        assert len(batch) == 10
+        assert batch.to_records() is records
+
+    def test_columns_materialize_lazily(self):
+        batch = RecordBatch.from_records(make_records())
+        assert batch.column("speed") == [float(10 * i) for i in range(10)]
+        assert batch.timestamps == [float(i) for i in range(10)]
+
+    def test_missing_column_raises_like_record_access(self):
+        batch = RecordBatch.from_records(make_records())
+        with pytest.raises(StreamError, match="no field 'nope'"):
+            batch.column("nope")
+
+    def test_column_or_none_fills_absent_fields(self):
+        records = [Record({"a": 1, "timestamp": 0.0}), Record({"b": 2, "timestamp": 1.0})]
+        batch = RecordBatch.from_records(records)
+        assert batch.column_or_none("a") == [1, None]
+        assert batch.column_or_none("c") == [None, None]
+
+    def test_heterogeneous_roundtrip_preserves_absent_fields(self):
+        records = [Record({"a": 1, "timestamp": 0.0}), Record({"b": None, "timestamp": 1.0})]
+        batch = RecordBatch.from_records(records)
+        batch.column_or_none("a")  # force materialization with MISSING fill
+        out = batch.to_records()
+        assert out[0].data == {"a": 1, "timestamp": 0.0}
+        assert out[1].data == {"b": None, "timestamp": 1.0}
+
+    def test_compress_take_slice(self):
+        batch = RecordBatch.from_records(make_records())
+        even = batch.compress([i % 2 == 0 for i in range(10)])
+        assert len(even) == 5
+        assert even.column("speed") == [0.0, 20.0, 40.0, 60.0, 80.0]
+        assert len(batch.take([0, 9])) == 2
+        assert batch.take([0, 9]).timestamps == [0.0, 9.0]
+        assert batch.slice(2, 5).column("speed") == [20.0, 30.0, 40.0]
+        # compress with an all-true mask returns the batch itself
+        assert batch.compress([True] * 10) is batch
+
+    def test_with_columns_matches_record_derive_order(self):
+        records = make_records(3)
+        batch = RecordBatch.from_records(records).with_columns(
+            {"speed": [1.0, 2.0, 3.0], "extra": ["x", "y", "z"]}
+        )
+        expected = [
+            r.derive({"speed": s, "extra": e})
+            for r, s, e in zip(records, [1.0, 2.0, 3.0], ["x", "y", "z"])
+        ]
+        assert [r.data for r in batch.to_records()] == [r.data for r in expected]
+        assert list(batch.to_records()[0].data) == list(expected[0].data)
+
+    def test_project_keeps_order_and_raises_on_missing(self):
+        batch = RecordBatch.from_records(make_records(4))
+        projected = batch.project(["label", "speed"])
+        assert projected.field_names() == ["label", "speed"]
+        assert [list(r.data) for r in projected.to_records()] == [["label", "speed"]] * 4
+        with pytest.raises(StreamError):
+            batch.project(["label", "nope"])
+
+    def test_estimate_bytes_matches_per_record_sum(self):
+        records = make_records() + [
+            Record({"weird": [1, 2, 3], "n": None, "timestamp": 99.0})
+        ]
+        batch = RecordBatch.from_records(records)
+        assert batch.estimate_bytes() == sum(estimate_record_bytes(r) for r in records)
+        # column-backed path (after a project) must agree too
+        uniform = RecordBatch.from_records(make_records())
+        projected = uniform.project(["device_id", "speed"])
+        assert projected.estimate_bytes() == sum(
+            estimate_record_bytes(r) for r in projected.to_records()
+        )
+
+    def test_batchify_unbatchify_roundtrip(self):
+        records = make_records(25)
+        batches = list(batchify(iter(records), batch_size=8))
+        assert [len(b) for b in batches] == [8, 8, 8, 1]
+        assert list(unbatchify(batches)) == records
+        with pytest.raises(StreamError):
+            list(batchify(iter(records), batch_size=0))
+
+
+class TestCompiler:
+    def records(self):
+        return make_records(8)
+
+    def check(self, expression):
+        """Compiled column values must equal per-record evaluation."""
+        records = self.records()
+        batch = RecordBatch.from_records(records)
+        compiled = compile_expression(expression)
+        assert compiled(batch) == [expression.evaluate(r) for r in records]
+
+    def test_field_and_constant(self):
+        self.check(col("speed"))
+        self.check(lit(42))
+        self.check(event_time())
+
+    def test_arithmetic_and_comparisons(self):
+        self.check(col("speed") + 1.0)
+        self.check(col("speed") * 2 - 5)
+        self.check(100.0 - col("speed"))
+        self.check(col("speed") > 40.0)
+        self.check(col("speed").between(20.0, 60.0))
+        self.check(col("speed").eq(30.0))
+        self.check(col("label").ne("ev3"))
+
+    def test_boolean_connectives_and_not(self):
+        self.check((col("speed") > 10.0) & col("flag"))
+        self.check((col("speed") > 70.0) | col("flag"))
+        self.check(~col("flag"))
+        # constant-folded sides keep record-engine truthiness semantics
+        self.check(col("flag") & lit(True))
+        self.check(col("flag") & lit(False))
+        self.check(lit(True) | col("flag"))
+        self.check(lit(0) | col("flag"))
+
+    def test_membership_abs_neg(self):
+        self.check(col("device_id").is_in(["train-0", "train-2"]))
+        self.check((col("speed") - 45.0).abs())
+        self.check(-col("speed"))
+
+    def test_function_and_udf_fallback(self):
+        self.check(call(lambda a, b: f"{a}:{b}", col("device_id"), col("label")))
+        self.check(udf(lambda r: r["speed"] / (r.timestamp + 1.0), name="ratio"))

@@ -1,0 +1,138 @@
+"""Record-vs-batch engine parity over the whole query catalog.
+
+The batch runtime's contract is that it is a drop-in replacement: every
+catalog query must produce record-for-record identical output and identical
+ingestion metrics under both execution modes, for any batch size.
+"""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.queries import QUERY_CATALOG
+from repro.runtime import BatchExecutionEngine
+from repro.streaming import ListSource, Query, Schema, col
+from repro.streaming.engine import StreamExecutionEngine
+
+
+@pytest.fixture(scope="module")
+def record_results(full_scenario):
+    engine = StreamExecutionEngine()
+    return {
+        query_id: engine.execute(info.build(full_scenario))
+        for query_id, info in QUERY_CATALOG.items()
+    }
+
+
+@pytest.mark.parametrize("query_id", sorted(QUERY_CATALOG))
+def test_batch_mode_is_record_identical(query_id, full_scenario, record_results):
+    info = QUERY_CATALOG[query_id]
+    batch_result = BatchExecutionEngine(batch_size=256).execute(info.build(full_scenario))
+    record_result = record_results[query_id]
+    assert [r.as_dict() for r in batch_result.records] == [
+        r.as_dict() for r in record_result.records
+    ]
+    assert batch_result.metrics.events_in == record_result.metrics.events_in
+    assert batch_result.metrics.events_out == record_result.metrics.events_out
+    assert batch_result.metrics.bytes_in == record_result.metrics.bytes_in
+    assert batch_result.metrics.operator_events == record_result.metrics.operator_events
+
+
+@pytest.mark.parametrize("batch_size", [1, 7, 1024])
+def test_parity_is_batch_size_independent(batch_size, full_scenario, record_results):
+    info = QUERY_CATALOG["Q2"]
+    result = BatchExecutionEngine(batch_size=batch_size).execute(info.build(full_scenario))
+    assert [r.as_dict() for r in result.records] == [
+        r.as_dict() for r in record_results["Q2"].records
+    ]
+
+
+@pytest.mark.parametrize("query_id", sorted(QUERY_CATALOG))
+def test_partitioned_execution_matches_as_multiset(query_id, full_scenario, record_results):
+    info = QUERY_CATALOG[query_id]
+    result = BatchExecutionEngine(batch_size=256, num_partitions=4).execute(
+        info.build(full_scenario)
+    )
+    record_result = record_results[query_id]
+    key = lambda r: sorted((k, repr(v)) for k, v in r.as_dict().items())
+    assert sorted((key(r) for r in result.records), key=repr) == sorted(
+        (key(r) for r in record_result.records), key=repr
+    )
+    assert result.metrics.events_in == record_result.metrics.events_in
+    # partition merge keeps event-time order
+    timestamps = [r.timestamp for r in result.records]
+    assert timestamps == sorted(timestamps)
+    # Q4's join forces the single-partition fallback; all other plans split
+    assert result.partitions == (1 if query_id == "Q4" else 4)
+    assert record_result.partitions == 1
+
+
+def test_partitioning_falls_back_for_unsafe_plans(full_scenario):
+    """Stateful operators not keyed by the partition key must not be split.
+
+    An unkeyed (global) window run with num_partitions > 1 has to fall back
+    to a single partition — output must be *exactly* the record-engine
+    output, not per-partition partial aggregates.
+    """
+    from repro.streaming.aggregations import Avg, Count
+    from repro.streaming.windows import TumblingWindow
+
+    query = (
+        Query.from_source(full_scenario.source(), name="global-window")
+        .filter(col("speed_kmh").ne(None))
+        .window(TumblingWindow(600.0), [Count(), Avg("speed_kmh")])  # unkeyed
+    )
+    record = StreamExecutionEngine().execute(query)
+    partitioned = BatchExecutionEngine(batch_size=128, num_partitions=4).execute(query)
+    assert [r.as_dict() for r in partitioned.records] == [
+        r.as_dict() for r in record.records
+    ]
+
+
+def test_partitioning_falls_back_for_sinks(full_scenario):
+    """Plans with sinks keep stream-ordered writes under num_partitions > 1."""
+    from repro.streaming.sink import CollectSink
+
+    record_sink, batch_sink = CollectSink(), CollectSink()
+    info = QUERY_CATALOG["Q1"]
+    StreamExecutionEngine().execute(info.build(full_scenario).sink(record_sink))
+    BatchExecutionEngine(batch_size=128, num_partitions=4).execute(
+        info.build(full_scenario).sink(batch_sink)
+    )
+    assert [r.as_dict() for r in batch_sink.records] == [
+        r.as_dict() for r in record_sink.records
+    ]
+
+
+def test_stream_engine_execution_mode_switch(full_scenario):
+    info = QUERY_CATALOG["Q1"]
+    record = StreamExecutionEngine().execute(info.build(full_scenario))
+    switched = StreamExecutionEngine(execution_mode="batch", batch_size=128).execute(
+        info.build(full_scenario)
+    )
+    assert [r.as_dict() for r in switched.records] == [r.as_dict() for r in record.records]
+    with pytest.raises(PlanError):
+        StreamExecutionEngine(execution_mode="vectorized")
+    with pytest.raises(PlanError):
+        BatchExecutionEngine(batch_size=0)
+    with pytest.raises(PlanError):
+        BatchExecutionEngine(num_partitions=0)
+
+
+def _deep_query(depth, events):
+    schema = Schema.of("deep", value=float, timestamp=float)
+    query = Query.from_source(ListSource(events, schema), name="deep")
+    for i in range(depth):
+        # each filter reads the preceding map's output, so the optimizer can
+        # neither push the filters down nor fuse them into one expression
+        query = query.map(**{f"f{i}": col("value") + float(i)})
+        query = query.filter(col(f"f{i}") >= 0.0)
+    return query
+
+
+def test_deep_pipelines_do_not_hit_recursion_limit():
+    """Regression: the record engine's _push/_flush used to recurse per operator."""
+    events = [{"value": float(i), "timestamp": float(i)} for i in range(5)]
+    query = _deep_query(700, events)  # 1400 operators, far beyond the recursion limit
+    for engine in (StreamExecutionEngine(), BatchExecutionEngine(batch_size=2)):
+        result = engine.execute(query)
+        assert len(result) == 5
