@@ -4,29 +4,39 @@ The batch runtime (:mod:`repro.runtime`) exists to amortize Python
 interpreter overhead over whole columns; these benchmarks quantify the win on
 the catalog queries the paper reports ingestion rates for:
 
-* **Q1** (geofencing: filters + plugin geofence operator + project) — the
-  stateless stages vectorize, so this is the headline speedup;
+* **Q1** (geofencing: filters + batch-native geofence kernel + project) —
+  the headline fully-columnar pipeline;
+* **Q3** (geofencing: batch-native spatial-join kernel + filters/map) —
+  exercises the column-wise grid-index probes;
 * **Q6** (GCEP: windowed aggregation over the full stream) — exercises the
-  batch-native window operator with per-key accumulators.
+  batch-native window operator with per-key accumulators;
+* **Q8** (GCEP: per-cell UDF map + batch-native CEP) — exercises the NFA
+  column stepping.
 
 Byte accounting is disabled in both modes (as in the other benchmarks) so the
 measurement captures engine overhead, not ``estimate_record_bytes``.
-The agreement test doubles as the acceptance gate: at ``batch_size=256`` the
-batch engine must ingest Q1 at least 2x faster than the record engine while
-producing identical output.
+The agreement tests double as acceptance gates: at ``batch_size=256`` the
+batch engine must ingest Q1 at least 2x and Q3/Q8 at least 2.5x faster than
+the record engine while producing identical output.  Gate results are
+written to ``BENCH_runtime.json`` at the repository root so the performance
+trajectory is tracked across PRs.
 """
 
 import os
 
+from repro.cli import merge_bench_json
 from repro.queries import QUERY_CATALOG
 from repro.runtime import BatchExecutionEngine
 from repro.streaming.engine import StreamExecutionEngine
 
 BATCH_SIZE = 256
 
-# Shared CI runners are timing-noisy; keep the full 2x bar for local /
+# Shared CI runners are timing-noisy; keep the full bars for local /
 # dedicated-hardware runs and only sanity-check the direction on CI.
 SPEEDUP_FLOOR = 1.2 if os.environ.get("CI") else 2.0
+SPEEDUP_FLOOR_STATEFUL = 1.2 if os.environ.get("CI") else 2.5
+
+BENCH_JSON = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_runtime.json")
 
 
 def _best_rate(engine, info, scenario, repeat=3):
@@ -38,6 +48,27 @@ def _best_rate(engine, info, scenario, repeat=3):
             best_rate = run.metrics.ingestion_rate_eps
         result = run
     return best_rate, result
+
+
+def _speedup_gate(query_id, bench_scenario, floor):
+    """Measure record vs batch on one query, assert parity + speedup floor."""
+    info = QUERY_CATALOG[query_id]
+    record_rate, record_result = _best_rate(
+        StreamExecutionEngine(measure_bytes=False), info, bench_scenario
+    )
+    batch_rate, batch_result = _best_rate(
+        BatchExecutionEngine(batch_size=BATCH_SIZE, measure_bytes=False), info, bench_scenario
+    )
+    assert [r.as_dict() for r in batch_result.records] == [
+        r.as_dict() for r in record_result.records
+    ]
+    merge_bench_json(BENCH_JSON, query_id, record_rate, batch_rate, batch_size=BATCH_SIZE)
+    speedup = batch_rate / record_rate
+    print(
+        f"\n{query_id} ingestion: record {record_rate:,.0f} e/s, "
+        f"batch[{BATCH_SIZE}] {batch_rate:,.0f} e/s ({speedup:.2f}x)"
+    )
+    assert speedup >= floor
 
 
 def test_bench_q1_record_mode(benchmark, bench_scenario):
@@ -72,24 +103,51 @@ def test_bench_q6_batch_mode(benchmark, bench_scenario):
     benchmark.extra_info["execution_mode"] = f"batch[{BATCH_SIZE}]"
 
 
+def test_bench_q3_record_mode(benchmark, bench_scenario):
+    engine = StreamExecutionEngine(measure_bytes=False)
+    info = QUERY_CATALOG["Q3"]
+    result = benchmark(lambda: engine.execute(info.build(bench_scenario)))
+    benchmark.extra_info["ingestion_rate_eps"] = round(result.metrics.ingestion_rate_eps, 1)
+    benchmark.extra_info["execution_mode"] = "record"
+
+
+def test_bench_q3_batch_mode(benchmark, bench_scenario):
+    engine = BatchExecutionEngine(batch_size=BATCH_SIZE, measure_bytes=False)
+    info = QUERY_CATALOG["Q3"]
+    result = benchmark(lambda: engine.execute(info.build(bench_scenario)))
+    benchmark.extra_info["ingestion_rate_eps"] = round(result.metrics.ingestion_rate_eps, 1)
+    benchmark.extra_info["execution_mode"] = f"batch[{BATCH_SIZE}]"
+
+
+def test_bench_q8_record_mode(benchmark, bench_scenario):
+    engine = StreamExecutionEngine(measure_bytes=False)
+    info = QUERY_CATALOG["Q8"]
+    result = benchmark(lambda: engine.execute(info.build(bench_scenario)))
+    benchmark.extra_info["ingestion_rate_eps"] = round(result.metrics.ingestion_rate_eps, 1)
+    benchmark.extra_info["execution_mode"] = "record"
+
+
+def test_bench_q8_batch_mode(benchmark, bench_scenario):
+    engine = BatchExecutionEngine(batch_size=BATCH_SIZE, measure_bytes=False)
+    info = QUERY_CATALOG["Q8"]
+    result = benchmark(lambda: engine.execute(info.build(bench_scenario)))
+    benchmark.extra_info["ingestion_rate_eps"] = round(result.metrics.ingestion_rate_eps, 1)
+    benchmark.extra_info["execution_mode"] = f"batch[{BATCH_SIZE}]"
+
+
 def test_batch_mode_speedup_on_q1(bench_scenario):
     """Acceptance gate: >= 2x ingestion-rate speedup on Q1 at batch_size=256."""
-    info = QUERY_CATALOG["Q1"]
-    record_rate, record_result = _best_rate(
-        StreamExecutionEngine(measure_bytes=False), info, bench_scenario
-    )
-    batch_rate, batch_result = _best_rate(
-        BatchExecutionEngine(batch_size=BATCH_SIZE, measure_bytes=False), info, bench_scenario
-    )
-    assert [r.as_dict() for r in batch_result.records] == [
-        r.as_dict() for r in record_result.records
-    ]
-    speedup = batch_rate / record_rate
-    print(
-        f"\nQ1 ingestion: record {record_rate:,.0f} e/s, "
-        f"batch[{BATCH_SIZE}] {batch_rate:,.0f} e/s ({speedup:.2f}x)"
-    )
-    assert speedup >= SPEEDUP_FLOOR
+    _speedup_gate("Q1", bench_scenario, SPEEDUP_FLOOR)
+
+
+def test_batch_mode_speedup_on_q3(bench_scenario):
+    """Acceptance gate: the batch-native spatial-join kernel lifts Q3 >= 2.5x."""
+    _speedup_gate("Q3", bench_scenario, SPEEDUP_FLOOR_STATEFUL)
+
+
+def test_batch_mode_speedup_on_q8(bench_scenario):
+    """Acceptance gate: batch-native CEP lifts Q8 >= 2.5x."""
+    _speedup_gate("Q8", bench_scenario, SPEEDUP_FLOOR_STATEFUL)
 
 
 def test_batch_sizes_sweep_q1(bench_scenario):

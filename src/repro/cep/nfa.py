@@ -150,6 +150,142 @@ class NFAMatcher:
         self._runs[key] = surviving
         return matches
 
+    # -- batch processing ------------------------------------------------------------
+
+    def process_batch(
+        self,
+        keys: Sequence[Tuple[Any, ...]],
+        records: Sequence[Record],
+        step_columns: Sequence[Sequence[bool]],
+        negation_columns: Sequence[Sequence[Sequence[bool]]],
+    ) -> List[Match]:
+        """Advance the matcher over a whole micro-batch in one pass.
+
+        ``step_columns[k][i]`` says (by truthiness) whether ``records[i]``
+        matches step ``k``'s positive pattern and ``negation_columns[k][j][i]``
+        whether it matches the ``j``-th negation guarding step ``k`` — the
+        caller evaluates every step predicate column-wise once per batch
+        instead of per live run.
+
+        Rows are grouped by key (in first-appearance order, so run-table
+        bookkeeping matches record-at-a-time execution) and each key's live
+        runs are stepped over its rows; a key with no live runs skips straight
+        to its next first-step hit.  The returned matches are ordered exactly
+        as record-at-a-time :meth:`process` calls would have emitted them.
+        """
+        groups: Dict[Tuple[Any, ...], List[int]] = {}
+        for i, key in enumerate(keys):
+            group = groups.get(key)
+            if group is None:
+                groups[key] = group = []
+            group.append(i)
+
+        completed: List[Tuple[int, Match]] = []
+        all_runs = self._runs
+        first_column = step_columns[0]
+        first_step = self.steps[0]
+        single_step = len(self.steps) == 1
+        window = self.window
+        suppress = self.suppress_overlaps
+        max_runs = self.max_runs_per_key
+        for key, rows in groups.items():
+            runs = all_runs.setdefault(key, [])
+            for i in rows:
+                if not runs and not first_column[i]:
+                    continue  # nothing to advance, nothing to start
+                record = records[i]
+                now = record.timestamp
+                if window is not None and runs:
+                    runs = [run for run in runs if now - run.start_time <= window]
+                    if not runs and not first_column[i]:
+                        continue
+
+                matches: List[Match] = []
+                surviving: List[_Run] = []
+                for run in runs:
+                    outcome = self._advance_at(run, record, i, step_columns, negation_columns)
+                    if outcome == "kill":
+                        continue
+                    if outcome == "complete":
+                        matches.append(self._to_match(key, run))
+                    else:
+                        surviving.append(run)
+
+                if first_column[i]:
+                    new_run = self._start_run(record, first_step.pattern)
+                    if single_step and self._step_satisfied(new_run, first_step):
+                        matches.append(self._to_match(key, new_run))
+                    else:
+                        surviving.append(new_run)
+
+                if matches:
+                    if suppress:
+                        matches = self._drop_overlapping_matches(matches)
+                        latest_end = max(m.end_time for m in matches)
+                        surviving = [run for run in surviving if run.start_time > latest_end]
+                    for match in matches:
+                        completed.append((i, match))
+                if len(surviving) > max_runs:
+                    surviving = surviving[-max_runs:]
+                runs = surviving
+            all_runs[key] = runs
+
+        completed.sort(key=lambda pair: pair[0])
+        return [match for _, match in completed]
+
+    def _advance_at(
+        self,
+        run: _Run,
+        record: Record,
+        i: int,
+        step_columns: Sequence[Sequence[bool]],
+        negation_columns: Sequence[Sequence[Sequence[bool]]],
+    ) -> str:
+        """:meth:`_advance` against precomputed per-step match columns."""
+        if self.window is not None and record.timestamp - run.start_time > self.window:
+            return "kill"
+        if run.step_index >= len(self.steps):
+            return "kill"
+        index = run.step_index
+        step = self.steps[index]
+
+        for guard in negation_columns[index]:
+            if guard[i]:
+                return "kill"
+
+        pattern = step.pattern
+        hit = step_columns[index][i]
+        if isinstance(pattern, EventPattern):
+            if hit:
+                run.bindings.setdefault(pattern.name, []).append(record)
+                run.last_time = record.timestamp
+                run.step_index += 1
+                run.iteration_count = 0
+                if run.step_index >= len(self.steps):
+                    return "complete"
+            return "continue"
+
+        if isinstance(pattern, IterationPattern):
+            if hit:
+                run.bindings.setdefault(pattern.name, []).append(record)
+                run.last_time = record.timestamp
+                run.iteration_count += 1
+                if pattern.max_times is not None and run.iteration_count >= pattern.max_times:
+                    run.step_index += 1
+                    run.iteration_count = 0
+                    if run.step_index >= len(self.steps):
+                        return "complete"
+                return "continue"
+            if run.iteration_count >= pattern.min_times:
+                run.step_index += 1
+                run.iteration_count = 0
+                if run.step_index >= len(self.steps):
+                    return "complete"
+                return self._advance_at(run, record, i, step_columns, negation_columns)
+            return "kill"
+
+        raise CEPError(f"unsupported step pattern {pattern!r}")
+
     @staticmethod
     def _drop_overlapping_matches(matches: List[Match]) -> List[Match]:
         """Keep only non-overlapping matches, preferring the earliest (longest) ones.
@@ -173,6 +309,11 @@ class NFAMatcher:
         first = self.steps[0].pattern
         if not first.matches(record):  # type: ignore[union-attr]
             return None
+        return self._start_run(record, first)
+
+    @staticmethod
+    def _start_run(record: Record, first: Pattern) -> _Run:
+        """A fresh run for a record already known to match the first step."""
         run = _Run(
             step_index=0,
             bindings={first.name: [record]},  # type: ignore[union-attr]

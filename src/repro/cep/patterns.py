@@ -36,6 +36,18 @@ def _as_predicate(predicate: Predicate) -> Callable[[Record], bool]:
     raise CEPError(f"not a predicate: {predicate!r}")
 
 
+def _classify_predicate(predicate: Predicate):
+    """``(expression, raw_callable)`` view of a predicate.
+
+    Predicate-bearing patterns keep this alongside the bool-wrapped
+    ``predicate`` so the batch runtime can compile Expression predicates to
+    whole columns and bind plain callables without per-row wrapper frames.
+    """
+    if isinstance(predicate, Expression):
+        return predicate, None
+    return None, predicate
+
+
 class Pattern:
     """Base class for CEP patterns."""
 
@@ -69,6 +81,7 @@ class EventPattern(Pattern):
         if not name:
             raise CEPError("an event pattern needs a name")
         self.name = name
+        self.expression, self.raw_predicate = _classify_predicate(predicate)
         self.predicate = _as_predicate(predicate)
 
     def matches(self, record: Record) -> bool:
@@ -93,6 +106,7 @@ class IterationPattern(Pattern):
         if max_times is not None and max_times < min_times:
             raise CEPError("max_times must be >= min_times")
         self.name = name
+        self.expression, self.raw_predicate = _classify_predicate(predicate)
         self.predicate = _as_predicate(predicate)
         self.min_times = int(min_times)
         self.max_times = max_times
@@ -110,6 +124,7 @@ class NegationPattern(Pattern):
     def __init__(self, name: str, predicate: Predicate) -> None:
         super().__init__()
         self.name = name
+        self.expression, self.raw_predicate = _classify_predicate(predicate)
         self.predicate = _as_predicate(predicate)
 
     def matches(self, record: Record) -> bool:

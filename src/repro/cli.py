@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -133,6 +134,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         ),
     ]
     rates = []
+    partitions_ran = 1
     for label, engine in engines:
         best = None
         for _ in range(max(1, args.repeat)):
@@ -141,13 +143,55 @@ def cmd_bench(args: argparse.Namespace) -> int:
             best = rate if best is None or rate > best else best
         if result.partitions > 1:
             label += f" x{result.partitions}"
+            partitions_ran = result.partitions
         elif args.partitions > 1 and label != "record":
             label += " x1 (plan not partitionable)"
         rates.append(best)
         print(f"{label:>16}: {best:>12,.0f} events/s ({len(result)} output records)")
     if rates[0]:
         print(f"{'speedup':>16}: {rates[1] / rates[0]:.2f}x")
+    if args.json:
+        merge_bench_json(
+            args.json,
+            query_id,
+            record_eps=rates[0],
+            batch_eps=rates[1],
+            batch_size=args.batch_size,
+            partitions=partitions_ran,
+            events_in=result.metrics.events_in,
+        )
+        print(f"wrote {args.json}")
     return 0
+
+
+def merge_bench_json(path: str, query_id: str, record_eps: float, batch_eps: float, **extra) -> None:
+    """Merge one query's record-vs-batch rates into a machine-readable file.
+
+    The canonical writer for ``BENCH_runtime.json`` (shared with the
+    benchmark gates in ``benchmarks/test_bench_runtime.py``): one entry per
+    query holding ``record_eps`` / ``batch_eps`` / ``speedup`` plus any extra
+    keys, so repeated invocations accumulate a consistent per-query schema.
+    """
+    data: dict = {"queries": {}}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                loaded = json.load(handle)
+        except (OSError, ValueError):
+            loaded = None
+        # start fresh on any unusable shape, not just unparseable files
+        if isinstance(loaded, dict) and isinstance(loaded.get("queries", {}), dict):
+            data = loaded
+    entry = {
+        "record_eps": round(record_eps, 1),
+        "batch_eps": round(batch_eps, 1),
+        "speedup": round(batch_eps / record_eps, 3) if record_eps else None,
+    }
+    entry.update(extra)
+    data.setdefault("queries", {})[query_id] = entry
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -163,8 +207,6 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
-    import os
-
     from benchmarks.figures import figure2, figure3
 
     scenario = _scenario_from(args)
@@ -203,6 +245,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arguments(bench)
     _add_batch_arguments(bench)
     bench.add_argument("--repeat", type=int, default=3, help="runs per mode (best is kept)")
+    bench.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        help="merge machine-readable results into this file (e.g. BENCH_runtime.json)",
+    )
     bench.set_defaults(func=cmd_bench)
 
     report = subparsers.add_parser("report", help="paper-vs-measured throughput table")

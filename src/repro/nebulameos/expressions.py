@@ -211,15 +211,7 @@ class NearestZoneExpression(Expression, _PositionMixin):
         point = self._point(record)
         if point is None:
             return None
-        best_key = None
-        best_distance = None
-        for key, geometry in self.index.items():
-            distance = geometry.distance(point, self.metric)
-            if best_distance is None or distance < best_distance:
-                best_key, best_distance = key, distance
-        if best_key is None:
-            return None
-        return (best_key, best_distance)
+        return self.index.nearest(point, self.metric)
 
     def fields(self) -> List[str]:
         return [self.lon_field, self.lat_field]
@@ -280,3 +272,163 @@ class DistanceToExpression(Expression, _PositionMixin):
 
     def __repr__(self) -> str:
         return f"DistanceTo({self.geometry!r})"
+
+
+# -- columnar kernels --------------------------------------------------------------
+#
+# Each kernel evaluates one expression over a whole RecordBatch and returns a
+# column, replacing the batch runtime's per-record fallback.  Semantics are
+# identical to calling ``evaluate`` row by row; the win is reading positions
+# column-wise and probing the grid index once per batch
+# (:meth:`~repro.spatial.index.GridIndex.containing_each` caches per-cell
+# candidate lists across rows).  Registered with the expression compiler at
+# import time via :func:`repro.runtime.compiler.register_vectorizer`.
+
+
+def _positions(expression, batch):
+    """The (lon, lat) columns of an expression's position fields."""
+    return (
+        batch.column_or_none(expression.lon_field),
+        batch.column_or_none(expression.lat_field),
+    )
+
+
+def _trajectory_or_point_rows(expression, batch, metric: Metric):
+    """Column-wise ``_trajectory_or_point``: one trajectory (or None) per row."""
+    trajectories = batch.column_or_none(expression.trajectory_field)
+    lons, lats = _positions(expression, batch)
+    timestamps = batch.timestamps
+    rows: List[Optional[TGeomPoint]] = []
+    for i, trajectory in enumerate(trajectories):
+        if isinstance(trajectory, TGeomPoint):
+            rows.append(trajectory)
+            continue
+        lon, lat = lons[i], lats[i]
+        if lon is None or lat is None:
+            rows.append(None)
+        else:
+            rows.append(
+                TGeomPoint.from_fixes(
+                    [(float(lon), float(lat), timestamps[i])], metric=metric
+                )
+            )
+    return rows
+
+
+def _vectorize_within_geometry(expression: WithinGeometryExpression):
+    contains = expression.geometry.contains_point
+
+    def column(batch) -> List[bool]:
+        lons, lats = _positions(expression, batch)
+        return [
+            lon is not None and lat is not None and contains(Point(float(lon), float(lat)))
+            for lon, lat in zip(lons, lats)
+        ]
+
+    return column
+
+
+def _vectorize_edwithin(expression: EDWithinExpression):
+    geometry, distance, metric = expression.geometry, expression.distance, expression.metric
+
+    def column(batch) -> List[bool]:
+        return [
+            False if trajectory is None else edwithin(trajectory, geometry, distance)
+            for trajectory in _trajectory_or_point_rows(expression, batch, metric)
+        ]
+
+    return column
+
+
+def _vectorize_tpoint_at_stbox(expression: TPointAtStboxExpression):
+    stbox = expression.stbox
+
+    def column(batch) -> List[List[TGeomPoint]]:
+        return [
+            [] if trajectory is None else tpoint_at_stbox(trajectory, stbox)
+            for trajectory in _trajectory_or_point_rows(expression, batch, haversine)
+        ]
+
+    return column
+
+
+def _vectorize_meos_at_stbox(expression: MeosAtStboxExpression):
+    fragments = _vectorize_tpoint_at_stbox(expression)
+
+    def column(batch) -> List[bool]:
+        return [bool(value) for value in fragments(batch)]
+
+    return column
+
+
+def _vectorize_zone_lookup(expression: ZoneLookupExpression):
+    index = expression.index
+
+    def column(batch) -> List[List[Any]]:
+        lons, lats = _positions(expression, batch)
+        return [
+            [] if matches is None else [key for key, _ in matches]
+            for matches in index.containing_each(lons, lats)
+        ]
+
+    return column
+
+
+def _vectorize_nearest_zone(expression: NearestZoneExpression):
+    index, metric = expression.index, expression.metric
+    nearest = index.nearest
+
+    def column(batch) -> List[Optional[tuple]]:
+        lons, lats = _positions(expression, batch)
+        return [
+            None if lon is None or lat is None else nearest(Point(float(lon), float(lat)), metric)
+            for lon, lat in zip(lons, lats)
+        ]
+
+    return column
+
+
+def _vectorize_speed(expression: SpeedExpression):
+    def column(batch) -> List[float]:
+        trajectories = batch.column_or_none(expression.trajectory_field)
+        speeds = batch.column_or_none(expression.speed_field)
+        out: List[float] = []
+        for trajectory, speed in zip(trajectories, speeds):
+            if isinstance(trajectory, TGeomPoint) and trajectory.num_instants() >= 2:
+                out.append(float(trajectory.speed().end_value))
+            else:
+                out.append(float(speed) if speed is not None else 0.0)
+        return out
+
+    return column
+
+
+def _vectorize_distance_to(expression: DistanceToExpression):
+    geometry, metric = expression.geometry, expression.metric
+
+    def column(batch) -> List[Optional[float]]:
+        lons, lats = _positions(expression, batch)
+        return [
+            None
+            if lon is None or lat is None
+            else geometry.distance(Point(float(lon), float(lat)), metric)
+            for lon, lat in zip(lons, lats)
+        ]
+
+    return column
+
+
+def _register_vectorizers() -> None:
+    from repro.runtime.compiler import register_vectorizer
+
+    register_vectorizer(WithinGeometryExpression, _vectorize_within_geometry)
+    register_vectorizer(EDWithinExpression, _vectorize_edwithin)
+    register_vectorizer(TPointAtStboxExpression, _vectorize_tpoint_at_stbox)
+    register_vectorizer(MeosAtStboxExpression, _vectorize_meos_at_stbox)
+    register_vectorizer(ZoneLookupExpression, _vectorize_zone_lookup)
+    register_vectorizer(NearestZoneExpression, _vectorize_nearest_zone)
+    register_vectorizer(SpeedExpression, _vectorize_speed)
+    register_vectorizer(DistanceToExpression, _vectorize_distance_to)
+
+
+_register_vectorizers()

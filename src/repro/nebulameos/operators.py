@@ -1,8 +1,15 @@
-"""Spatiotemporal stream operators contributed by the NebulaMEOS plugin."""
+"""Spatiotemporal stream operators contributed by the NebulaMEOS plugin.
+
+All three operators declare ``supports_batches`` and bring their own batch
+kernels: positions are read column-wise and the grid index is probed with
+whole columns (:meth:`~repro.spatial.index.GridIndex.containing_each`), so
+the batch runtime runs them natively instead of bridging row by row.  The
+batch kernels are record-for-record identical to ``process``.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.errors import StreamError
 from repro.spatial.geometry import Geometry, Point
@@ -10,6 +17,9 @@ from repro.spatial.index import GridIndex
 from repro.spatial.measure import Metric, haversine
 from repro.streaming.operators import Operator
 from repro.streaming.record import Record
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard runtime import
+    from repro.runtime.batch import RecordBatch
 
 
 class GeofenceOperator(Operator):
@@ -69,6 +79,70 @@ class GeofenceOperator(Operator):
         if entered or left:
             yield annotated.derive({"entered": entered, "left": left})
 
+    supports_batches = True
+
+    def process_batch(self, batch: "RecordBatch") -> "RecordBatch":
+        """Batch kernel: one column-wise grid probe per batch.
+
+        When every row carries a position and the operator only annotates
+        (``transitions_only=False``), the zone and flag columns are attached
+        without materializing any row; otherwise rows are derived exactly as
+        ``process`` would.
+        """
+        from repro.runtime.batch import RecordBatch
+
+        lons = batch.column_or_none(self.lon_field)
+        lats = batch.column_or_none(self.lat_field)
+        zone_lists = self.index.containing_each(lons, lats)
+        output_field = self.output_field
+        flag_field = f"in_{output_field}"
+        if not self.transitions_only:
+            if all(matches is not None for matches in zone_lists):
+                zones_column = [
+                    sorted(key for key, _ in matches) for matches in zone_lists
+                ]
+                return batch.with_columns(
+                    {
+                        output_field: zones_column,
+                        flag_field: [bool(zones) for zones in zones_column],
+                    }
+                )
+            out: List[Record] = []
+            for record, matches in zip(batch.to_records(), zone_lists):
+                if matches is None:
+                    out.append(record)
+                else:
+                    zones = sorted(key for key, _ in matches)
+                    out.append(record.derive({output_field: zones, flag_field: bool(zones)}))
+            return RecordBatch.from_records(out)
+
+        records = batch.to_records()
+        devices = batch.column_or_none(self.device_field)
+        previous_zones = self._previous
+        out = []
+        for i, matches in enumerate(zone_lists):
+            if matches is None:
+                out.append(records[i])
+                continue
+            zones = sorted(key for key, _ in matches)
+            device = devices[i]
+            previous = previous_zones.get(device, [])
+            entered = [z for z in zones if z not in previous]
+            left = [z for z in previous if z not in zones]
+            previous_zones[device] = zones
+            if entered or left:
+                out.append(
+                    records[i].derive(
+                        {
+                            output_field: zones,
+                            flag_field: bool(zones),
+                            "entered": entered,
+                            "left": left,
+                        }
+                    )
+                )
+        return RecordBatch.from_records(out)
+
     def partition_keys(self):
         # Transition tracking is keyed per device; plain annotation is stateless.
         return [self.device_field] if self.transitions_only else []
@@ -119,6 +193,31 @@ class SpatialJoinOperator(Operator):
             updates.update(self.attributes.get(key, {}))
         yield record.derive(updates)
 
+    supports_batches = True
+
+    def process_batch(self, batch: "RecordBatch") -> "RecordBatch":
+        """Batch kernel: column-wise grid probe, per-row attribute merge."""
+        from repro.runtime.batch import RecordBatch
+
+        lons = batch.column_or_none(self.lon_field)
+        lats = batch.column_or_none(self.lat_field)
+        match_lists = self.index.containing_each(lons, lats)
+        records = batch.to_records()
+        attributes = self.attributes
+        drop_unmatched = self.drop_unmatched
+        out: List[Record] = []
+        append = out.append
+        for i, matches in enumerate(match_lists):
+            if not matches:  # no position (None) or outside every zone ([])
+                if not drop_unmatched:
+                    append(records[i])
+                continue
+            updates: Dict[str, Any] = {"matched_zones": sorted(key for key, _ in matches)}
+            for key, _ in matches:
+                updates.update(attributes.get(key, {}))
+            append(records[i].derive(updates))
+        return RecordBatch.from_records(out)
+
     def partition_keys(self):
         return []
 
@@ -155,21 +254,43 @@ class NearestNeighborOperator(Operator):
         if lon is None or lat is None:
             yield record
             return
-        point = Point(float(lon), float(lat))
-        best_key, best_distance = None, None
-        for key, geometry in self.index.items():
-            distance = geometry.distance(point, self.metric)
-            if best_distance is None or distance < best_distance:
-                best_key, best_distance = key, distance
-        if best_key is None:
+        nearest = self.index.nearest(Point(float(lon), float(lat)), self.metric)
+        if nearest is None:
             yield record
             return
+        best_key, best_distance = nearest
         yield record.derive(
             {
                 f"{self.output_prefix}_id": best_key,
                 f"{self.output_prefix}_distance_m": best_distance,
             }
         )
+
+    supports_batches = True
+
+    def process_batch(self, batch: "RecordBatch") -> "RecordBatch":
+        """Batch kernel: positions read column-wise, one shared nearest scan per row."""
+        from repro.runtime.batch import RecordBatch
+
+        lons = batch.column_or_none(self.lon_field)
+        lats = batch.column_or_none(self.lat_field)
+        records = batch.to_records()
+        nearest = self.index.nearest
+        metric = self.metric
+        id_field = f"{self.output_prefix}_id"
+        distance_field = f"{self.output_prefix}_distance_m"
+        out: List[Record] = []
+        for i, record in enumerate(records):
+            lon, lat = lons[i], lats[i]
+            if lon is None or lat is None:
+                out.append(record)
+                continue
+            best = nearest(Point(float(lon), float(lat)), metric)
+            if best is None:
+                out.append(record)
+            else:
+                out.append(record.derive({id_field: best[0], distance_field: best[1]}))
+        return RecordBatch.from_records(out)
 
     def partition_keys(self):
         return []

@@ -8,10 +8,12 @@ columnar micro-batches:
   cheap slicing and batch-level byte accounting, plus :func:`batchify` /
   :func:`unbatchify` adapters between record streams and batch streams;
 * :func:`compile_expression` — compiles the streaming expression trees into
-  closures evaluated over whole columns;
+  closures evaluated over whole columns, with a :func:`register_vectorizer`
+  registry for plugin expression kernels;
 * batch-native operators (vectorized filter/map/project, batch windowed
-  aggregation) with a per-record bridge for CEP, joins, sinks and plugin
-  operators;
+  aggregation, CEP via NFA column stepping, hash joins, and plugin batch
+  kernels via ``Operator.supports_batches``) with a per-record bridge only
+  for batch-less plugin operators and sinks;
 * :class:`BatchExecutionEngine` — compiles existing
   :class:`~repro.streaming.query.Query` plans unchanged, fuses adjacent
   stateless stages, and optionally runs key-partitioned batches across a
@@ -22,12 +24,15 @@ comes purely from amortizing Python interpreter overhead over whole batches.
 """
 
 from repro.runtime.batch import MISSING, RecordBatch, batchify, unbatchify
-from repro.runtime.compiler import ColumnFunction, compile_expression
+from repro.runtime.compiler import ColumnFunction, compile_expression, register_vectorizer
 from repro.runtime.engine import BatchExecutionEngine
 from repro.runtime.operators import (
+    BatchCEPOperator,
+    BatchJoinOperator,
     BatchOperator,
     BatchWindowAggregateOperator,
     FusedBatchStage,
+    NativeBatchOperator,
     RecordBridgeOperator,
     VectorizedFilterOperator,
     VectorizedMapOperator,
@@ -43,10 +48,14 @@ __all__ = [
     "unbatchify",
     "ColumnFunction",
     "compile_expression",
+    "register_vectorizer",
     "BatchExecutionEngine",
+    "BatchCEPOperator",
+    "BatchJoinOperator",
     "BatchOperator",
     "BatchWindowAggregateOperator",
     "FusedBatchStage",
+    "NativeBatchOperator",
     "RecordBridgeOperator",
     "VectorizedFilterOperator",
     "VectorizedMapOperator",

@@ -42,7 +42,18 @@ def _fast_record(data: Dict[str, Any], timestamp: float) -> Record:
 class RecordBatch:
     """A micro-batch of records with lazily materialized columns."""
 
-    __slots__ = ("_rows", "_updates", "_columns", "_missing", "_timestamps", "_field_order", "_length", "_derived")
+    __slots__ = (
+        "_rows",
+        "_updates",
+        "_columns",
+        "_missing",
+        "_timestamps",
+        "_field_order",
+        "_length",
+        "_derived",
+        "_version",
+        "_derived_version",
+    )
 
     def __init__(
         self,
@@ -59,6 +70,8 @@ class RecordBatch:
         self._timestamps: Optional[List[float]] = list(timestamps)
         self._length = len(timestamps)
         self._derived: Optional[List[Record]] = None
+        self._version = 0
+        self._derived_version = 0
 
     @classmethod
     def _raw(cls) -> "RecordBatch":
@@ -71,6 +84,8 @@ class RecordBatch:
         batch._timestamps = None
         batch._length = 0
         batch._derived = None
+        batch._version = 0
+        batch._derived_version = 0
         return batch
 
     # -- construction ------------------------------------------------------------
@@ -142,8 +157,16 @@ class RecordBatch:
         """The column for ``name``; raises like ``Record.__getitem__`` when any
         row lacks the field."""
         values = self._materialize(name)
-        if values is None or name in self._missing:
+        if values is None:
             raise self._missing_error(name)
+        if name in self._missing:
+            # The missing marker is inherited by derived batches (slice/take/
+            # compress) as a hint; rows lacking the field may have been
+            # filtered out since, so verify against *this* batch's values —
+            # the record engine only raises for rows actually present.
+            if MISSING in values:
+                raise self._missing_error(name)
+            self._missing.discard(name)
         return values
 
     def column_or_none(self, name: str) -> List[Any]:
@@ -226,6 +249,46 @@ class RecordBatch:
             batch._field_order = order
         return batch
 
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every in-place change (``set_column``).
+
+        Derived-row caches record the version they were materialized at and
+        are rebuilt when it moves, so consumers of :meth:`to_records` (the
+        record bridges in particular) never observe stale rows — an explicit
+        dirty check instead of an implicit reliance on operator ordering.
+        """
+        return self._version
+
+    def set_column(self, name: str, values: List[Any]) -> None:
+        """Write a column **in place**, invalidating cached rows.
+
+        This is the one sanctioned mutation on a batch (everything else
+        derives a new batch).  It exists for plugin batch kernels that
+        annotate a batch they received rather than deriving a copy; the
+        version bump guarantees rows materialized *before* the write are
+        re-derived on the next :meth:`to_records` call.  ``values`` may
+        contain :data:`MISSING` to mark absent fields and must match the
+        batch length.
+        """
+        if len(values) != self._length:
+            raise StreamError(
+                f"column {name!r} has {len(values)} values for a batch of {self._length} rows"
+            )
+        values = list(values)
+        self._columns[name] = values
+        if MISSING in values:
+            self._missing.add(name)
+        else:
+            self._missing.discard(name)
+        if self._rows is not None:
+            if self._updates is None:
+                self._updates = {}
+            self._updates[name] = values
+        elif self._field_order is not None and name not in self._field_order:
+            self._field_order.append(name)
+        self._version += 1
+
     def project(self, fields: Sequence[str]) -> "RecordBatch":
         """Keep only the listed columns (raises like ``Record.project`` on a
         missing field); the result is purely column-backed."""
@@ -243,22 +306,36 @@ class RecordBatch:
         """The rows as records.
 
         Free for an untouched row-backed batch (the original records are
-        returned); derived rows are materialized once and cached.
+        returned); derived rows are materialized once and cached.  The cache
+        carries the batch :attr:`version` it was built at, so an in-place
+        :meth:`set_column` after materialization transparently triggers a
+        re-derive instead of serving stale rows.
         """
         rows = self._rows
         if rows is not None and not self._updates:
             return rows
+        if self._derived is not None and self._derived_version != self._version:
+            self._derived = None
         if self._derived is None:
+            self._derived_version = self._version
             if rows is not None:
                 updates = self._updates or {}
                 names = list(updates)
                 columns = [updates[name] for name in names]
                 derived = []
-                for i, record in enumerate(rows):
-                    data = dict(record.data)
-                    for name, values in zip(names, columns):
+                if len(names) == 1:
+                    # the common one-assignment map: no per-row zip
+                    name, values = names[0], columns[0]
+                    for i, record in enumerate(rows):
+                        data = dict(record.data)
                         data[name] = values[i]
-                    derived.append(_fast_record(data, record.timestamp))
+                        derived.append(_fast_record(data, record.timestamp))
+                else:
+                    for i, record in enumerate(rows):
+                        data = dict(record.data)
+                        for name, values in zip(names, columns):
+                            data[name] = values[i]
+                        derived.append(_fast_record(data, record.timestamp))
                 self._derived = derived
             else:
                 names = self.field_names()

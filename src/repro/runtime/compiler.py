@@ -7,16 +7,18 @@ Compiles the per-record expression trees of
 node costs one Python call per *batch* plus a C-level ``map``/comprehension
 over the rows, instead of a full interpreter-dispatched tree walk per record.
 
-Only the exact built-in expression types are vectorized.  Any subclass (a
-NebulaMEOS spatial expression, a user UDF, …) may override ``evaluate`` with
-arbitrary record-level logic, so unknown types fall back to evaluating the
-expression against the batch's materialized rows — identical semantics, just
-without the columnar speedup.
+The exact built-in expression types are vectorized here; expression
+subclasses defined by plugins can register their own columnar kernels via
+:func:`register_vectorizer` (the NebulaMEOS spatial expressions do, probing
+the grid index with whole columns).  Unregistered subclasses may override
+``evaluate`` with arbitrary record-level logic, so they fall back to
+evaluating the expression against the batch's materialized rows — identical
+semantics, just without the columnar speedup.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List
+from typing import Any, Callable, Dict, List
 
 from repro.runtime.batch import RecordBatch
 from repro.streaming.expressions import (
@@ -26,6 +28,7 @@ from repro.streaming.expressions import (
     Expression,
     FieldExpression,
     FunctionExpression,
+    LambdaExpression,
     TimestampExpression,
     UnaryExpression,
 )
@@ -180,5 +183,38 @@ def compile_expression(expression: Expression) -> ColumnFunction:
             return list(map(func, *(arg(batch) for arg in args)))
 
         return call
-    # LambdaExpression, plugin expression classes, any other subclass.
+    if kind is LambdaExpression:
+        # A record-level UDF stays per-record, but the user callable is bound
+        # directly — no ``evaluate`` dispatch per row.
+        func = expression.func
+
+        def per_record_udf(batch: RecordBatch) -> List[Any]:
+            return [func(record) for record in batch.to_records()]
+
+        return per_record_udf
+    vectorizer = _VECTORIZERS.get(kind)
+    if vectorizer is not None:
+        return vectorizer(expression)
+    # Plugin expression classes and any other subclass.
     return _compile_fallback(expression)
+
+
+#: Registered columnar kernels for expression subclasses (e.g. the NebulaMEOS
+#: spatial expressions); see :func:`register_vectorizer`.
+_VECTORIZERS: Dict[type, Callable[[Expression], ColumnFunction]] = {}
+
+
+def register_vectorizer(
+    expression_type: type, factory: Callable[[Expression], ColumnFunction]
+) -> None:
+    """Register a columnar kernel for an :class:`Expression` subclass.
+
+    ``factory`` receives the expression instance and returns a
+    :data:`ColumnFunction` that must evaluate to exactly the same per-row
+    values as calling ``expression.evaluate`` on each record.  Plugin packages
+    (e.g. :mod:`repro.nebulameos.expressions`) call this at import time so
+    their expressions stop falling back to per-record evaluation inside the
+    batch runtime.  The registration is keyed on the exact type — subclasses
+    that override ``evaluate`` register separately or keep the fallback.
+    """
+    _VECTORIZERS[expression_type] = factory

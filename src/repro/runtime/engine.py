@@ -17,8 +17,10 @@ identical), then executes them batch-wise:
   run on a thread pool, one compiled pipeline each.  Partitioning is only
   used when provably record-correct: every operator must declare itself
   stateless or keyed by the partition key
-  (:meth:`~repro.streaming.operators.Operator.partition_keys`), and plans
-  with binary nodes (join/union) or sinks fall back to a single partition.
+  (:meth:`~repro.streaming.operators.Operator.partition_keys`).  Binary
+  plans qualify through the same declarations — a join partitions exactly
+  when the stream is split on one of its join keys (both sides are hashed
+  identically) — while plans with sinks fall back to a single partition.
   Outputs are re-merged in event-time order — this assumes sources honour
   the :class:`~repro.streaming.source.Source` contract of yielding records
   in event-time order, and equally-timestamped outputs of *different* keys
@@ -38,7 +40,15 @@ from repro.runtime.batch import RecordBatch
 from repro.runtime.operators import BatchOperator, build_batch_pipeline
 from repro.streaming.engine import QueryResult, StreamExecutionEngine
 from repro.streaming.metrics import MetricsCollector
-from repro.streaming.plan import JoinNode, LogicalPlan, UnionNode
+from repro.streaming.plan import (
+    FlatMapNode,
+    JoinNode,
+    LogicalPlan,
+    MapNode,
+    OperatorNode,
+    ProjectNode,
+    UnionNode,
+)
 from repro.streaming.query import Query
 from repro.streaming.record import Record, estimate_record_bytes
 
@@ -85,13 +95,16 @@ class BatchExecutionEngine(StreamExecutionEngine):
     def _can_partition(self, plan: LogicalPlan, compiled) -> bool:
         """Whether key-partitioned execution is guaranteed record-correct.
 
-        Requires a linear plan (binary nodes merge streams), no sinks (whose
-        write order partitions would scramble), and every operator either
-        stateless or keyed by the partition key (see
-        :meth:`~repro.streaming.operators.Operator.partition_keys`).
+        Requires no sinks (whose write order partitions would scramble) and
+        every operator either stateless or keyed by the partition key (see
+        :meth:`~repro.streaming.operators.Operator.partition_keys`).  Binary
+        plans qualify through the same declarations: a join declares its join
+        keys, so a join plan partitions exactly when the stream is split on a
+        join key (both sides hash identically and matching pairs land in the
+        same partition); a union contributes no operator and only merges
+        streams.  Right-hand sides are materialized once and split by the
+        same hash as the source (see :meth:`_execute_partitioned`).
         """
-        if any(isinstance(node, (JoinNode, UnionNode)) for node in plan.nodes):
-            return False
         operators, sinks, _ = compiled
         if sinks:
             return False
@@ -101,6 +114,35 @@ class BatchExecutionEngine(StreamExecutionEngine):
                 return False
             if keys and self.partition_key not in keys:
                 return False
+        strict_plugins = any(isinstance(node, (JoinNode, UnionNode)) for node in plan.nodes)
+        return self._partition_key_is_stable(plan, strict_plugins)
+
+    def _partition_key_is_stable(self, plan: LogicalPlan, strict_plugins: bool) -> bool:
+        """Whether every record keeps its source-time partition-key value.
+
+        Records are hashed into partitions *before any operator runs*, so the
+        split is only correct if the partition-key value a keyed operator (or
+        a join) later reads is the value that was hashed.  A ``map`` that
+        produces/overwrites the key, a ``project`` that drops it, or a
+        ``flat_map`` (whose output records are arbitrary) each break that and
+        disqualify partitioning.  Plugin operators can also attach arbitrary
+        fields; they are trusted not to rewrite the partition key in linear
+        plans (the NebulaMEOS operators only annotate), but conservatively
+        disqualify binary plans (``strict_plugins``), where both sides must
+        co-hash and right-hand records may lack the field entirely.
+        """
+        for node in plan.nodes:
+            if isinstance(node, MapNode) and self.partition_key in node.output_fields():
+                return False
+            if isinstance(node, ProjectNode) and self.partition_key not in node.fields:
+                return False
+            if isinstance(node, FlatMapNode):
+                return False
+            if strict_plugins and isinstance(node, OperatorNode):
+                return False
+            if isinstance(node, (JoinNode, UnionNode)):
+                if not self._partition_key_is_stable(node.right_plan, True):
+                    return False
         return True
 
     def _execute_single(self, plan: LogicalPlan, query_name: str, compiled) -> QueryResult:
@@ -152,6 +194,17 @@ class BatchExecutionEngine(StreamExecutionEngine):
                 metrics.record_out(0, estimate_record_bytes(record))
         metrics.events_out = len(collected)
         return QueryResult(collected, metrics.report(), plan, partitions=partitions)
+
+    def _materialize_side(self, right_plan: LogicalPlan, metrics: MetricsCollector):
+        """Run a binary node's right-hand plan into a buffer, single-partition.
+
+        Partitioning the side would be wasted work: its output is re-hashed
+        into the outer partitions (or merged into the single stream) right
+        after, so the pool, per-partition buffers and heap-merge buy nothing.
+        """
+        result = self._execute_single(right_plan, "join-side", self.compile(right_plan))
+        metrics.record_in(result.metrics.events_in, result.metrics.bytes_in)
+        return result.records
 
     # -- batching helpers -----------------------------------------------------------
 
@@ -215,35 +268,35 @@ class BatchExecutionEngine(StreamExecutionEngine):
     def _execute_partitioned(self, plan: LogicalPlan, query_name: str, first_compiled) -> QueryResult:
         """Hash-partitioned parallel execution.
 
-        The whole source is materialized into per-partition buffers before
-        the pool starts (peak memory is O(stream length), unlike the
-        streaming single-partition path) — acceptable for the in-memory
-        scenario replays this engine targets.
+        The whole (merged) input stream — including the materialized,
+        entry-tagged right-hand sides of binary nodes — is split into
+        per-partition buffers before the pool starts (peak memory is
+        O(stream length), unlike the streaming single-partition path) —
+        acceptable for the in-memory scenario replays this engine targets.
+        Both sides of a join hash on the same partition key, so matching
+        pairs always meet in the same partition.
         """
         num_partitions = self.num_partitions
         metrics = MetricsCollector(query_name)
         compiled = [first_compiled] + [self.compile(plan) for _ in range(num_partitions - 1)]
         sinks = first_compiled[1]
+        entry_points = first_compiled[2]
 
         metrics.start()
         partitions: List[List[Record]] = [[] for _ in range(num_partitions)]
         partition_key = self.partition_key
-        for record in self._counted_source(plan.source_node.source, metrics):
+        for record in self._input_stream(plan, metrics, entry_points):
             slot = hash(record.data.get(partition_key)) % num_partitions
             partitions[slot].append(record)
 
         def run_partition(index: int) -> Tuple[List[Record], MetricsCollector]:
-            operators, _, entry_points = compiled[index]
-            stages = build_batch_pipeline(operators, set(entry_points.values()), fuse=self.fuse)
+            operators, _, entries = compiled[index]
+            stages = build_batch_pipeline(operators, set(entries.values()), fuse=self.fuse)
             local = MetricsCollector(query_name)
             out: List[Record] = []
-            records = partitions[index]
-            for start in range(0, len(records), self.batch_size):
+            for entry_index, records in self._entry_chunks(iter(partitions[index])):
                 batch = self._run_through(
-                    stages,
-                    RecordBatch.from_records(records[start : start + self.batch_size]),
-                    0,
-                    local,
+                    stages, RecordBatch.from_records(records), entry_index, local
                 )
                 if batch is not None and len(batch):
                     out.extend(batch.to_records())

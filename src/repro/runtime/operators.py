@@ -5,10 +5,13 @@ and produces one (possibly empty) output batch; ``flush`` plays the same
 end-of-stream role as for record operators.  Stateless relational operators
 (filter, map, project) are vectorized over whole columns via the compiled
 closures from :mod:`repro.runtime.compiler`; the windowed aggregation keeps
-per-key accumulators fed from pre-extracted value columns; everything else
-(CEP, joins, plugin operators, sinks) runs through a per-record bridge that
-reuses the existing record operator unchanged — identical semantics, batch
-API.
+per-key accumulators fed from pre-extracted value columns; CEP steps the NFA
+over precomputed predicate columns (:class:`BatchCEPOperator`); joins
+build/probe their keyed buffers from column arrays (:class:`BatchJoinOperator`);
+plugin operators that declare ``supports_batches`` run their own batch kernel
+(:class:`NativeBatchOperator`).  Only plugin operators without a batch kernel
+and sinks still run through the per-record bridge — identical semantics,
+batch API.
 
 Per-operator metric counts use the same ``"{index}:{name}"`` labels as the
 record engine, incremented by the number of rows entering the operator, so
@@ -20,12 +23,15 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.cep.nfa import Match
+from repro.cep.operator import CEPOperator
 from repro.streaming.aggregations import Aggregation
 from repro.streaming.expressions import Expression
 from repro.streaming.metrics import MetricsCollector
 from repro.streaming.operators import (
     FilterOperator,
     FlatMapOperator,
+    JoinOperator,
     MapOperator,
     Operator,
     ProjectOperator,
@@ -41,6 +47,46 @@ from repro.streaming.windows import (
 )
 from repro.runtime.batch import RecordBatch, _fast_record
 from repro.runtime.compiler import ColumnFunction, compile_expression
+
+
+_UNEVALUATED = object()
+
+
+class _LazyColumn:
+    """A column that evaluates rows only when they are actually accessed.
+
+    Whole-column evaluation diverges from the record engine on heterogeneous
+    batches: a later CEP step or a threshold-window extractor is only ever
+    evaluated by the record engine for the rows that *reach* it, so a row
+    lacking one of the referenced fields must not fail the query unless it is
+    consulted.  When an eager column evaluation raises (or the evaluator may
+    have side effects), this wrapper reproduces record-at-a-time semantics
+    exactly: one evaluation per accessed row, cached, raising only if the
+    accessed row itself fails.
+    """
+
+    __slots__ = ("_evaluate", "_records", "_cache")
+
+    def __init__(self, evaluate: Callable[[Record], Any], records: Sequence[Record]) -> None:
+        self._evaluate = evaluate
+        self._records = records
+        self._cache: List[Any] = [_UNEVALUATED] * len(records)
+
+    def __getitem__(self, index: int) -> Any:
+        value = self._cache[index]
+        if value is _UNEVALUATED:
+            value = self._cache[index] = self._evaluate(self._records[index])
+        return value
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def _key_rows_of(batch: RecordBatch, key_fields: Sequence[str]) -> List[Tuple[Any, ...]]:
+    """Per-row key tuples with ``Record.get`` semantics, built column-wise."""
+    if not key_fields:
+        return [()] * len(batch)
+    return list(zip(*(batch.column_or_none(field) for field in key_fields)))
 
 
 class BatchOperator:
@@ -157,32 +203,41 @@ class BatchWindowAggregateOperator(BatchOperator):
         )
         # Per-aggregation value extractors: a compiled column when possible, a
         # per-record fallback when the aggregation overrides ``extract``.
-        self._extractors: List[Tuple[str, Any]] = []
+        self._extractors: List[Tuple[str, Any, Aggregation]] = []
         for agg in self.aggregations:
             if type(agg).extract is not Aggregation.extract:
-                self._extractors.append(("record", agg))
+                self._extractors.append(("record", None, agg))
             elif agg.on is None:
-                self._extractors.append(("none", None))
+                self._extractors.append(("none", None, agg))
             else:
-                self._extractors.append(("column", compile_expression(agg.on)))
+                self._extractors.append(("column", compile_expression(agg.on), agg))
 
     # -- columnar preparation ------------------------------------------------------
 
     def _key_rows(self, batch: RecordBatch) -> List[Tuple[Any, ...]]:
-        if not self.key_fields:
-            return [()] * len(batch)
-        columns = [batch.column_or_none(field) for field in self.key_fields]
-        return list(zip(*columns))
+        return _key_rows_of(batch, self.key_fields)
 
-    def _value_columns(self, batch: RecordBatch) -> List[Optional[List[Any]]]:
-        columns: List[Optional[List[Any]]] = []
-        for kind, payload in self._extractors:
+    def _value_columns(self, batch: RecordBatch) -> List[Optional[Sequence[Any]]]:
+        """One value column per aggregation.
+
+        The record engine only calls ``extract`` for rows that actually enter
+        a window (threshold windows skip non-matching rows entirely), so
+        custom ``extract`` overrides are always evaluated lazily per accessed
+        row, and a compiled column that raises on a heterogeneous batch (a
+        missing field, or a value the expression chokes on) falls back to the
+        same lazy per-row extraction.
+        """
+        columns: List[Optional[Sequence[Any]]] = []
+        for kind, compiled, agg in self._extractors:
             if kind == "none":
                 columns.append(None)
             elif kind == "column":
-                columns.append(payload(batch))
+                try:
+                    columns.append(compiled(batch))
+                except Exception:
+                    columns.append(_LazyColumn(agg.extract, batch.to_records()))
             else:
-                columns.append([payload.extract(r) for r in batch.to_records()])
+                columns.append(_LazyColumn(agg.extract, batch.to_records()))
         return columns
 
     def _window_rows(self, batch: RecordBatch) -> List[List[WindowKey]]:
@@ -299,13 +354,202 @@ class BatchWindowAggregateOperator(BatchOperator):
         return RecordBatch.from_records(out)
 
 
+class BatchCEPOperator(BatchOperator):
+    """Batch-native CEP: steps the NFA over whole columns.
+
+    Per batch, every step (and negation) predicate is evaluated once as a
+    boolean column — compiled via :func:`compile_expression` when the pattern
+    was built from an :class:`~repro.streaming.expressions.Expression`, a
+    single per-record pass otherwise — and the matcher's
+    :meth:`~repro.cep.nfa.NFAMatcher.process_batch` advances all live runs,
+    key-partitioned, in one call.  Output records are identical to feeding the
+    wrapped :class:`~repro.cep.operator.CEPOperator` row by row, in the same
+    order.
+    """
+
+    name = "cep"
+
+    def __init__(self, operator: CEPOperator, position: int) -> None:
+        super().__init__(position)
+        self.operator = operator
+        matcher = operator.matcher
+        self._step_functions: List[Tuple[Callable[[RecordBatch], List[Any]], Any]] = []
+        self._negation_functions: List[List[Tuple[Callable[[RecordBatch], List[Any]], Any]]] = []
+        for step in matcher.steps:
+            self._step_functions.append((self._match_column(step.pattern), step.pattern))
+            self._negation_functions.append(
+                [(self._match_column(negation), negation) for negation in step.negations]
+            )
+
+    @staticmethod
+    def _match_column(pattern) -> Callable[[RecordBatch], List[Any]]:
+        """A column of per-row match outcomes (truthiness is what counts).
+
+        The NFA's batch path only ever tests the column entries for truth, so
+        Expression-backed predicates compile straight to their value column
+        and callable predicates are bound raw — no ``bool()`` wrapper and no
+        ``matches`` dispatch per row.
+        """
+        expression = getattr(pattern, "expression", None)
+        if expression is not None:
+            return compile_expression(expression)
+        predicate = getattr(pattern, "raw_predicate", None) or pattern.matches
+
+        def per_record(batch: RecordBatch) -> List[Any]:
+            return [predicate(record) for record in batch.to_records()]
+
+        return per_record
+
+    @staticmethod
+    def _guarded_column(fn, pattern, batch: RecordBatch, records) -> Sequence[Any]:
+        """Eager column evaluation with a lazy per-row fallback.
+
+        The record engine evaluates a non-first step (or negation) predicate
+        only for rows that a live run actually reaches, so a heterogeneous
+        batch where some row lacks a referenced field (StreamError) or holds a
+        value the predicate chokes on (e.g. a TypeError comparing None) must
+        not fail the whole query up front — fall back to evaluating accessed
+        rows only, which re-raises exactly when the record engine would.
+        """
+        try:
+            return fn(batch)
+        except Exception:
+            return _LazyColumn(pattern.matches, records)
+
+    def process_batch(self, batch: RecordBatch, metrics: MetricsCollector) -> RecordBatch:
+        metrics.record_operator(self.label, len(batch))
+        if not len(batch):
+            return RecordBatch.empty()
+        operator = self.operator
+        keys = _key_rows_of(batch, operator.key_fields)
+        records = batch.to_records()
+        # The first step is evaluated for every record by the record engine
+        # too (every record may start a run), so it stays eager and an error
+        # there is record-engine behaviour; later steps get the lazy guard.
+        first_fn, _ = self._step_functions[0]
+        step_columns: List[Sequence[Any]] = [first_fn(batch)]
+        for fn, pattern in self._step_functions[1:]:
+            step_columns.append(self._guarded_column(fn, pattern, batch, records))
+        negation_columns = [
+            [self._guarded_column(fn, pattern, batch, records) for fn, pattern in fns]
+            for fns in self._negation_functions
+        ]
+        matches = operator.matcher.process_batch(keys, records, step_columns, negation_columns)
+        if not matches:
+            return RecordBatch.empty()
+        emit = operator._emit
+        return RecordBatch.from_records([emit(match) for match in matches])
+
+    def flush(self, metrics: MetricsCollector) -> RecordBatch:
+        operator = self.operator
+        return RecordBatch.from_records(
+            [operator._emit(match) for match in operator.matcher.flush()]
+        )
+
+    def __repr__(self) -> str:
+        return f"BatchCEP({self.operator!r})"
+
+
+class BatchJoinOperator(BatchOperator):
+    """Batch-native windowed equi-join: hash build/probe over column arrays.
+
+    Shares the wrapped :class:`~repro.streaming.operators.JoinOperator`'s
+    keyed per-side buffers (so state, eviction and merge semantics are the
+    record engine's), but extracts key tuples and timestamps column-wise and
+    probes without generator dispatch.  ``partition_keys`` remains the join
+    keys, declared by the wrapped operator, so key-partitioned scheduling
+    stays legal exactly when the stream is partitioned on a join key.
+    """
+
+    name = "join"
+
+    def __init__(self, operator: JoinOperator, position: int) -> None:
+        super().__init__(position)
+        self.operator = operator
+
+    def process_batch(self, batch: RecordBatch, metrics: MetricsCollector) -> RecordBatch:
+        n = len(batch)
+        metrics.record_operator(self.label, n)
+        operator = self.operator
+        keys = _key_rows_of(batch, operator.key_fields)
+        records = batch.to_records()
+        timestamps = batch.timestamps
+        left, right = operator._left, operator._right
+        window = operator.window
+        evict, merge = operator._evict, operator._merge
+        out: List[Record] = []
+        for i, record in enumerate(records):
+            side = record.data.get("_join_side", "left")
+            key = keys[i]
+            own, other = (left, right) if side == "left" else (right, left)
+            own_buffer = own[key]
+            own_buffer.append(record)
+            timestamp = timestamps[i]
+            evict(own_buffer, timestamp)
+            other_buffer = other[key]
+            evict(other_buffer, timestamp)
+            if side == "left":
+                for candidate in other_buffer:
+                    if abs(candidate.timestamp - timestamp) <= window:
+                        out.append(merge(record, candidate))
+            else:
+                for candidate in other_buffer:
+                    if abs(candidate.timestamp - timestamp) <= window:
+                        out.append(merge(candidate, record))
+        return RecordBatch.from_records(out)
+
+    def flush(self, metrics: MetricsCollector) -> RecordBatch:
+        return RecordBatch.from_records(list(self.operator.flush()))
+
+    def __repr__(self) -> str:
+        return f"BatchJoin({self.operator!r})"
+
+
+class NativeBatchOperator(BatchOperator):
+    """Adapter for plugin operators that bring their own batch kernel.
+
+    Operators declaring :attr:`~repro.streaming.operators.Operator.supports_batches`
+    implement ``process_batch(batch) -> RecordBatch`` themselves (e.g. the
+    NebulaMEOS spatial operators probing the grid index column-wise); this
+    adapter only adds metric accounting.  A plugin participates in stage
+    fusion only when it declares itself stateless (``partition_keys() == []``)
+    **and** does not override ``flush`` — fused stages are never flushed, so
+    an operator buffering records for end-of-stream must stay a standalone
+    stage regardless of its partitioning declaration.
+    """
+
+    def __init__(self, operator: Operator, position: int) -> None:
+        self.name = operator.name
+        self.stateless = (
+            operator.partition_keys() == [] and type(operator).flush is Operator.flush
+        )
+        super().__init__(position)
+        self.operator = operator
+
+    def process_batch(self, batch: RecordBatch, metrics: MetricsCollector) -> RecordBatch:
+        metrics.record_operator(self.label, len(batch))
+        return self.operator.process_batch(batch)
+
+    def flush(self, metrics: MetricsCollector) -> RecordBatch:
+        return RecordBatch.from_records(list(self.operator.flush()))
+
+    def __repr__(self) -> str:
+        return f"NativeBatch({self.operator!r})"
+
+
 class RecordBridgeOperator(BatchOperator):
     """Runs an arbitrary record operator over the rows of each batch.
 
-    The fallback path for operators with no vectorized equivalent — CEP (NFA
-    stepping is inherently per-event), joins, sinks, and plugin operators.
-    Materialized rows are cached on the batch, so several bridges in one
-    pipeline share a single batch-to-records conversion.
+    The fallback path for operators with no vectorized equivalent: sinks and
+    plugin operators that do not declare ``supports_batches`` (CEP, joins and
+    the NebulaMEOS spatial operators are batch-native).
+
+    Cached-rows contract: materialized rows are cached *on the batch*, so
+    several bridges in one pipeline share a single batch-to-records
+    conversion.  The cache is guarded by :attr:`RecordBatch.version` — a
+    batch mutated in place after materialization (``set_column``) re-derives
+    its rows on the next access, so correctness never depends on whether the
+    mutating stage ran before or after a bridge.
     """
 
     def __init__(self, operator: Operator, position: int, stateless: bool = False) -> None:
@@ -357,7 +601,13 @@ class FusedBatchStage(BatchOperator):
 
 
 def vectorize(position: int, operator: Operator) -> BatchOperator:
-    """The batch equivalent of one compiled record operator."""
+    """The batch equivalent of one compiled record operator.
+
+    Built-in relational operators, CEP and joins all have batch-native
+    equivalents; plugin operators declaring ``supports_batches`` run their own
+    batch kernel.  The per-record bridge remains only for plugin operators
+    without a batch kernel and for sinks.
+    """
     kind = type(operator)
     if kind is FilterOperator:
         return VectorizedFilterOperator(operator.predicate, position)
@@ -373,6 +623,12 @@ def vectorize(position: int, operator: Operator) -> BatchOperator:
             operator.allowed_lateness,
             position,
         )
+    if kind is CEPOperator:
+        return BatchCEPOperator(operator, position)
+    if kind is JoinOperator:
+        return BatchJoinOperator(operator, position)
+    if operator.supports_batches:
+        return NativeBatchOperator(operator, position)
     return RecordBridgeOperator(operator, position, stateless=kind is FlatMapOperator)
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SpatialError
 from repro.spatial.bbox import Box2D
@@ -26,6 +26,9 @@ class GridIndex:
         self.cell_size = float(cell_size)
         self._cells: Dict[Tuple[int, int], List[int]] = defaultdict(list)
         self._items: List[Tuple[object, Geometry, Box2D]] = []
+        # Per-cell candidate lists for the batch point probes, built lazily
+        # and invalidated on every insert.
+        self._point_candidates: Dict[Tuple[int, int], List[Tuple[object, Geometry, Box2D]]] = {}
 
     def __len__(self) -> int:
         return len(self._items)
@@ -46,6 +49,7 @@ class GridIndex:
         self._items.append((key, geometry, box))
         for cell in self._cell_range(box):
             self._cells[cell].append(index)
+        self._point_candidates.clear()
 
     def query_box(self, box: Box2D) -> List[Tuple[object, Geometry]]:
         """All (key, geometry) pairs whose bounding box intersects ``box``."""
@@ -73,6 +77,86 @@ class GridIndex:
             for key, geometry in self.query_point(point)
             if geometry.contains_point(point)
         ]
+
+    # -- batch probes -----------------------------------------------------------------
+
+    _EMPTY_CELL: Tuple = ()
+
+    def _cell_items(self, cell: Tuple[int, int]) -> Sequence[Tuple[object, Geometry, Box2D]]:
+        """The (key, geometry, box) candidates of one grid cell.
+
+        Non-empty cells are cached (bounded by the number of cells the indexed
+        geometries overlap); empty cells — the entire world outside every
+        zone — are answered from the cell table directly so a stream sweeping
+        a wide area cannot grow the cache without bound.
+        """
+        candidates = self._point_candidates.get(cell)
+        if candidates is None:
+            indices = self._cells.get(cell)
+            if not indices:
+                return self._EMPTY_CELL
+            items = self._items
+            candidates = self._point_candidates[cell] = [items[index] for index in indices]
+        return candidates
+
+    def containing_each(
+        self,
+        xs: Sequence[Optional[float]],
+        ys: Sequence[Optional[float]],
+    ) -> List[Optional[List[Tuple[object, Geometry]]]]:
+        """Column-wise :meth:`containing`: one probe per coordinate pair.
+
+        A ``None`` coordinate yields ``None`` (no position — callers decide
+        whether that means "pass through" or "no zones"); everything else
+        yields exactly ``self.containing(Point(x, y))``, including candidate
+        order.  The point probe touches a single grid cell, whose candidate
+        list is cached across rows and batches, so a stream of fixes pays one
+        cell lookup plus the exact containment tests per event.
+        """
+        cell_size = self.cell_size
+        floor = math.floor
+        cell_items = self._cell_items
+        results: List[Optional[List[Tuple[object, Geometry]]]] = []
+        append = results.append
+        for x, y in zip(xs, ys):
+            if x is None or y is None:
+                append(None)
+                continue
+            x = float(x)
+            y = float(y)
+            candidates = cell_items((floor(x / cell_size), floor(y / cell_size)))
+            if not candidates:
+                append([])
+                continue
+            point = Point(x, y)
+            append(
+                [
+                    (key, geometry)
+                    for key, geometry, box in candidates
+                    if box.xmin <= x <= box.xmax
+                    and box.ymin <= y <= box.ymax
+                    and geometry.contains_point(point)
+                ]
+            )
+        return results
+
+    def nearest(self, point: Point, metric) -> Optional[Tuple[object, float]]:
+        """The nearest indexed geometry to a point: ``(key, distance)``.
+
+        Linear scan in insertion order, first minimum wins on ties — the one
+        shared implementation behind the nearest-zone expression and the
+        nearest-neighbor operator (record and batch paths alike), so their
+        tie-breaking can never diverge.  ``None`` when the index is empty.
+        """
+        best_key = None
+        best_distance = None
+        for key, geometry, _ in self._items:
+            distance = geometry.distance(point, metric)
+            if best_distance is None or distance < best_distance:
+                best_key, best_distance = key, distance
+        if best_key is None:
+            return None
+        return (best_key, best_distance)
 
     def items(self) -> Iterable[Tuple[object, Geometry]]:
         """All indexed (key, geometry) pairs."""

@@ -20,9 +20,20 @@ from repro.streaming.windows import ThresholdWindow, WindowAssigner, WindowKey
 
 
 class Operator:
-    """Base class for physical operators."""
+    """Base class for physical operators.
+
+    Operators are record-at-a-time by default.  An operator that can consume
+    whole columnar micro-batches may set :attr:`supports_batches` to ``True``
+    and implement ``process_batch(batch)`` taking and returning a
+    :class:`~repro.runtime.batch.RecordBatch`; the batch runtime then runs it
+    natively instead of bridging it row by row.  ``flush`` keeps its record
+    signature in both cases.
+    """
 
     name = "operator"
+
+    #: Set by subclasses that implement ``process_batch(batch) -> RecordBatch``.
+    supports_batches = False
 
     def process(self, record: Record) -> Iterable[Record]:
         raise NotImplementedError

@@ -2,10 +2,32 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.sncb.scenario import Scenario, ScenarioConfig
 from repro.streaming.engine import StreamExecutionEngine
+
+
+def engine_from_env(**kwargs) -> StreamExecutionEngine:
+    """An engine honouring the CI execution-mode matrix.
+
+    ``REPRO_TEST_EXECUTION_MODE`` selects ``record`` (default), ``batch`` or
+    ``batch-partitioned`` so the same integration/query tests exercise every
+    engine; tests that explicitly pin an engine (e.g. the parity suite, which
+    *compares* modes) construct their own and are unaffected.
+    """
+    mode = os.environ.get("REPRO_TEST_EXECUTION_MODE", "record")
+    if mode == "batch":
+        return StreamExecutionEngine(execution_mode="batch", **kwargs)
+    if mode == "batch-partitioned":
+        return StreamExecutionEngine(execution_mode="batch", num_partitions=4, **kwargs)
+    if mode != "record":
+        # fail fast: a typo in the CI matrix must not silently re-run the
+        # record engine while claiming batch coverage
+        raise ValueError(f"unknown REPRO_TEST_EXECUTION_MODE {mode!r}")
+    return StreamExecutionEngine(**kwargs)
 
 
 @pytest.fixture(scope="session")
@@ -22,4 +44,4 @@ def full_scenario() -> Scenario:
 
 @pytest.fixture()
 def engine() -> StreamExecutionEngine:
-    return StreamExecutionEngine()
+    return engine_from_env()

@@ -19,18 +19,23 @@ from repro.queries.geofencing import (
 from repro.sncb.replay import SncbStreamSource
 from repro.sncb.zones import ZoneType
 from repro.spatial.geometry import Point
-from repro.streaming.engine import StreamExecutionEngine
+from tests.conftest import engine_from_env
 
 
 @pytest.fixture(scope="module")
 def engine():
-    return StreamExecutionEngine()
+    return engine_from_env()
 
 
 @pytest.fixture(scope="module")
 def results(full_scenario):
-    """Execute every catalog query once against the full scenario."""
-    engine = StreamExecutionEngine()
+    """Execute every catalog query once against the full scenario.
+
+    Runs under whichever engine the CI execution-mode matrix selects
+    (``REPRO_TEST_EXECUTION_MODE``), so every per-query assertion here is
+    checked against the record, batch and batch+partitions engines.
+    """
+    engine = engine_from_env()
     output = {}
     for query_id, info in QUERY_CATALOG.items():
         output[query_id] = engine.execute(info.build(full_scenario))

@@ -150,3 +150,71 @@ class TestCompiler:
     def test_function_and_udf_fallback(self):
         self.check(call(lambda a, b: f"{a}:{b}", col("device_id"), col("label")))
         self.check(udf(lambda r: r["speed"] / (r.timestamp + 1.0), name="ratio"))
+
+
+class TestVersionedRowCache:
+    """The cached-rows contract: in-place mutation invalidates cached rows."""
+
+    def test_set_column_invalidates_cached_rows_on_column_batch(self):
+        batch = RecordBatch(
+            {"speed": [1.0, 2.0], "device_id": ["a", "b"]}, timestamps=[0.0, 1.0]
+        )
+        before = batch.to_records()
+        assert [r["speed"] for r in before] == [1.0, 2.0]
+        version = batch.version
+        batch.set_column("speed", [10.0, 20.0])
+        assert batch.version == version + 1
+        after = batch.to_records()
+        assert after is not before
+        assert [r["speed"] for r in after] == [10.0, 20.0]
+
+    def test_set_column_invalidates_cached_rows_on_row_backed_batch(self):
+        batch = RecordBatch.from_records(make_records(4))
+        derived = batch.with_columns({"double": [2.0 * r["speed"] for r in batch]})
+        before = derived.to_records()  # materializes + caches derived rows
+        derived.set_column("double", [0.0, 0.0, 0.0, 0.0])
+        after = derived.to_records()
+        assert [r["double"] for r in after] == [0.0, 0.0, 0.0, 0.0]
+        # original fields and timestamps are untouched
+        assert [r["speed"] for r in after] == [r["speed"] for r in before]
+        assert [r.timestamp for r in after] == [r.timestamp for r in before]
+
+    def test_set_column_on_pristine_row_backed_batch(self):
+        records = make_records(3)
+        batch = RecordBatch.from_records(records)
+        assert batch.to_records() is records  # pristine: original rows returned
+        batch.set_column("extra", [1, 2, 3])
+        rows = batch.to_records()
+        assert rows is not records
+        assert [r["extra"] for r in rows] == [1, 2, 3]
+        assert batch.column("extra") == [1, 2, 3]
+
+    def test_set_column_supports_missing_sentinel(self):
+        batch = RecordBatch({"x": [1, 2]}, timestamps=[0.0, 1.0])
+        batch.set_column("maybe", [MISSING, 7])
+        rows = batch.to_records()
+        assert "maybe" not in rows[0].data
+        assert rows[1]["maybe"] == 7
+        # overwriting with a complete column clears the missing marker again
+        batch.set_column("maybe", [5, 7])
+        assert batch.column("maybe") == [5, 7]
+        assert batch.to_records()[0]["maybe"] == 5
+
+    def test_set_column_rejects_wrong_length(self):
+        batch = RecordBatch({"x": [1, 2]}, timestamps=[0.0, 1.0])
+        with pytest.raises(StreamError, match="3 values for a batch of 2 rows"):
+            batch.set_column("x", [1, 2, 3])
+
+    def test_mutation_between_bridges_is_observed_regardless_of_order(self):
+        """A bridge materializing rows before a mutation must not pin them."""
+        from repro.streaming.metrics import MetricsCollector
+        from repro.streaming.operators import FlatMapOperator
+        from repro.runtime.operators import RecordBridgeOperator
+
+        batch = RecordBatch({"value": [1, 2, 3]}, timestamps=[0.0, 1.0, 2.0])
+        bridge = RecordBridgeOperator(FlatMapOperator(lambda r: [r]), position=0)
+        first = bridge.process_batch(batch, MetricsCollector())
+        assert [r["value"] for r in first.to_records()] == [1, 2, 3]
+        batch.set_column("value", [7, 8, 9])  # mutated *after* materialization
+        second = bridge.process_batch(batch, MetricsCollector())
+        assert [r["value"] for r in second.to_records()] == [7, 8, 9]

@@ -48,6 +48,7 @@ def test_parity_is_batch_size_independent(batch_size, full_scenario, record_resu
 
 @pytest.mark.parametrize("query_id", sorted(QUERY_CATALOG))
 def test_partitioned_execution_matches_as_multiset(query_id, full_scenario, record_results):
+    """Full catalog parity in num_partitions=4 mode, per-operator counters included."""
     info = QUERY_CATALOG[query_id]
     result = BatchExecutionEngine(batch_size=256, num_partitions=4).execute(
         info.build(full_scenario)
@@ -58,12 +59,91 @@ def test_partitioned_execution_matches_as_multiset(query_id, full_scenario, reco
         (key(r) for r in record_result.records), key=repr
     )
     assert result.metrics.events_in == record_result.metrics.events_in
+    assert result.metrics.events_out == record_result.metrics.events_out
+    assert result.metrics.bytes_in == record_result.metrics.bytes_in
+    assert result.metrics.operator_events == record_result.metrics.operator_events
     # partition merge keeps event-time order
     timestamps = [r.timestamp for r in result.records]
     assert timestamps == sorted(timestamps)
-    # Q4's join forces the single-partition fallback; all other plans split
+    # Q4's join key (cell_id) is map-derived, not source-borne, so its plan
+    # must fall back to one partition; all other plans split
     assert result.partitions == (1 if query_id == "Q4" else 4)
     assert record_result.partitions == 1
+
+
+def test_catalog_compiles_bridge_free(full_scenario):
+    """No RecordBridgeOperator is left in any catalog pipeline.
+
+    CEP, joins and the NebulaMEOS spatial operators are batch-native; the
+    bridge remains only for plugin operators without a batch kernel and for
+    sinks (exercised separately below).
+    """
+    from repro.runtime.operators import FusedBatchStage, RecordBridgeOperator, build_batch_pipeline
+
+    engine = BatchExecutionEngine()
+    for query_id, info in QUERY_CATALOG.items():
+        operators, _, entry_points = engine.compile(info.build(full_scenario).plan())
+        stages = build_batch_pipeline(operators, set(entry_points.values()))
+        flattened = []
+        for stage in stages:
+            flattened.extend(stage.operators if isinstance(stage, FusedBatchStage) else [stage])
+        bridged = [s for s in flattened if isinstance(s, RecordBridgeOperator)]
+        assert not bridged, f"{query_id} still bridges {bridged}"
+
+
+def test_sinks_still_bridge(full_scenario):
+    from repro.runtime.operators import RecordBridgeOperator, build_batch_pipeline
+    from repro.streaming.sink import CollectSink
+
+    engine = BatchExecutionEngine()
+    query = QUERY_CATALOG["Q1"].build(full_scenario).sink(CollectSink())
+    operators, _, entry_points = engine.compile(query.plan())
+    stages = build_batch_pipeline(operators, set(entry_points.values()))
+    assert any(isinstance(stage, RecordBridgeOperator) for stage in stages)
+
+
+def test_partitioned_join_on_source_borne_key(full_scenario):
+    """A join plan partitions when the stream is split on a join key.
+
+    Both sides hash on the same source-borne key, so matching pairs meet in
+    the same partition and output (as a multiset), metrics and per-operator
+    counters equal the record engine's.
+    """
+    import random
+
+    rng = random.Random(7)
+    left_schema = Schema.of("left", device_id=str, speed=float, timestamp=float)
+    right_schema = Schema.of("right", device_id=str, temp=float, timestamp=float)
+    left = [
+        {"device_id": f"d{rng.randrange(5)}", "speed": rng.random() * 100, "timestamp": float(t)}
+        for t in range(400)
+    ]
+    right = [
+        {"device_id": f"d{rng.randrange(5)}", "temp": rng.random() * 40, "timestamp": t + 0.5}
+        for t in range(0, 400, 3)
+    ]
+
+    def build():
+        right_query = Query.from_source(ListSource(right, right_schema), name="right").filter(
+            col("temp") > 5.0
+        )
+        return (
+            Query.from_source(ListSource(left, left_schema), name="join-partitioned")
+            .filter(col("speed") > 10.0)
+            .join(right_query, on=["device_id"], window=10.0)
+            .map(hot=col("temp") > 20.0)
+        )
+
+    record = StreamExecutionEngine().execute(build())
+    partitioned = BatchExecutionEngine(batch_size=32, num_partitions=4).execute(build())
+    assert partitioned.partitions == 4
+    key = lambda r: sorted((k, repr(v)) for k, v in r.as_dict().items())
+    assert sorted((key(r) for r in partitioned.records), key=repr) == sorted(
+        (key(r) for r in record.records), key=repr
+    )
+    assert partitioned.metrics.operator_events == record.metrics.operator_events
+    timestamps = [r.timestamp for r in partitioned.records]
+    assert timestamps == sorted(timestamps)
 
 
 def test_partitioning_falls_back_for_unsafe_plans(full_scenario):
@@ -136,3 +216,119 @@ def test_deep_pipelines_do_not_hit_recursion_limit():
     for engine in (StreamExecutionEngine(), BatchExecutionEngine(batch_size=2)):
         result = engine.execute(query)
         assert len(result) == 5
+
+
+class TestHeterogeneousRowParity:
+    """Eager columnarization must not fail rows the record engine never evaluates."""
+
+    @staticmethod
+    def _run_both(query_builder):
+        record = StreamExecutionEngine().execute(query_builder())
+        for batch_size in (2, 64):
+            batch = BatchExecutionEngine(batch_size=batch_size).execute(query_builder())
+            assert [r.as_dict() for r in batch.records] == [
+                r.as_dict() for r in record.records
+            ], f"batch_size={batch_size}"
+        return record
+
+    def test_filtered_out_missing_fields_do_not_poison_columns(self):
+        """compress/take must not inherit a stale missing-field marker.
+
+        Rows lacking 'lon' are dropped by the filter; the downstream map reads
+        'lon' strictly and must succeed on the survivors, as it does record-wise.
+        """
+        schema = Schema.of("mixed", device_id=str, timestamp=float)
+        events = [
+            {"device_id": "a", "flag": True, "lon": 1.0, "timestamp": 0.0},
+            {"device_id": "a", "flag": False, "timestamp": 1.0},  # no lon
+            {"device_id": "a", "flag": True, "lon": 3.0, "timestamp": 2.0},
+        ]
+
+        def build():
+            return (
+                Query.from_source(ListSource(events, schema), name="hetero-filter")
+                .filter(col("flag"))
+                .map(lon2=col("lon") * 2)
+            )
+
+        result = self._run_both(build)
+        assert [r["lon2"] for r in result.records] == [2.0, 6.0]
+
+    def test_cep_later_step_on_partially_missing_field(self):
+        """A later-step predicate is only evaluated for rows live runs reach."""
+        from repro.cep.patterns import every, seq
+
+        schema = Schema.of("mixed", device_id=str, timestamp=float)
+        events = [
+            {"device_id": "a", "kind": "noise", "timestamp": 0.0},  # no speed
+            {"device_id": "a", "kind": "start", "timestamp": 1.0},
+            {"device_id": "a", "kind": "go", "speed": 30.0, "timestamp": 2.0},
+        ]
+
+        def build():
+            pattern = seq(
+                every("a", lambda r: r.get("kind") == "start"),
+                every("b", col("speed") > 10.0),
+            )
+            return Query.from_source(ListSource(events, schema), name="hetero-cep").cep(
+                pattern, key_by=["device_id"]
+            )
+
+        result = self._run_both(build)
+        assert len(result.records) == 1
+
+    def test_threshold_window_extractor_skips_non_matching_rows(self):
+        """Threshold windows only extract values from matching rows."""
+        from repro.streaming.aggregations import Sum
+        from repro.streaming.windows import ThresholdWindow
+
+        schema = Schema.of("mixed", device_id=str, timestamp=float)
+        events = [
+            {"device_id": "a", "active": False, "timestamp": 0.0},  # no speed
+            {"device_id": "a", "active": True, "speed": 1.5, "timestamp": 1.0},
+            {"device_id": "a", "active": True, "speed": 0.5, "timestamp": 2.0},
+            {"device_id": "a", "active": False, "timestamp": 3.0},  # no speed
+        ]
+
+        def build():
+            return Query.from_source(ListSource(events, schema), name="hetero-window").window(
+                ThresholdWindow(col("active"), min_count=2),
+                [Sum("speed", output="total_speed")],
+                key_by=["device_id"],
+            )
+
+        result = self._run_both(build)
+        assert [r["total_speed"] for r in result.records] == [2.0]
+
+
+def test_partitioning_falls_back_when_key_is_projected_away():
+    """Hashing at the source is invalid if the partition key is later dropped.
+
+    Both sides carry device_id at the source but project it away before
+    joining on it — the record engine then joins everything under a None key,
+    so scattering rows by the *source* device_id would silently lose matches.
+    The plan must fall back to a single partition and match record output.
+    """
+    left_schema = Schema.of("left", device_id=str, speed=float, timestamp=float)
+    right_schema = Schema.of("right", device_id=str, temp=float, timestamp=float)
+    left = [
+        {"device_id": f"d{i % 4}", "speed": float(i), "timestamp": float(i)} for i in range(40)
+    ]
+    right = [
+        {"device_id": f"d{i % 4}", "temp": float(i), "timestamp": i + 0.5} for i in range(40)
+    ]
+
+    def build():
+        right_query = Query.from_source(ListSource(right, right_schema), name="right").project(
+            "temp", "timestamp"
+        )
+        return (
+            Query.from_source(ListSource(left, left_schema), name="projected-key")
+            .project("speed", "timestamp")
+            .join(right_query, on=["device_id"], window=2.0)
+        )
+
+    record = StreamExecutionEngine().execute(build())
+    partitioned = BatchExecutionEngine(batch_size=16, num_partitions=4).execute(build())
+    assert partitioned.partitions == 1
+    assert [r.as_dict() for r in partitioned.records] == [r.as_dict() for r in record.records]
