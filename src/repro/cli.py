@@ -41,6 +41,13 @@ def _add_batch_arguments(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="key-partitioned parallel pipelines (batch mode only)",
     )
+    parser.add_argument(
+        "--partition-key",
+        type=str,
+        default="device_id",
+        help="record field to hash partitions on (map-derived keys such as "
+        "Q4's cell_id re-hash after the producing stage)",
+    )
 
 
 def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
@@ -88,6 +95,7 @@ def _engine_from(args: argparse.Namespace) -> StreamExecutionEngine:
         execution_mode=getattr(args, "execution_mode", "record"),
         batch_size=getattr(args, "batch_size", 256),
         num_partitions=getattr(args, "partitions", 1),
+        partition_key=getattr(args, "partition_key", "device_id"),
     )
 
 
@@ -115,11 +123,23 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    query_id = args.query.upper()
-    if query_id not in QUERY_CATALOG:
-        print(f"unknown query {args.query!r}; known: {', '.join(QUERY_CATALOG)}", file=sys.stderr)
+    requested = args.query.upper()
+    if requested != "ALL" and requested not in QUERY_CATALOG:
+        print(
+            f"unknown query {args.query!r}; known: {', '.join(QUERY_CATALOG)} (or 'all')",
+            file=sys.stderr,
+        )
         return 2
     scenario = _scenario_from(args)
+    query_ids = list(QUERY_CATALOG) if requested == "ALL" else [requested]
+    for query_id in query_ids:
+        if len(query_ids) > 1:
+            print(f"-- {query_id} --")
+        _bench_one(args, scenario, query_id)
+    return 0
+
+
+def _bench_one(args: argparse.Namespace, scenario: Scenario, query_id: str) -> None:
     info = QUERY_CATALOG[query_id]
     engines = [
         ("record", StreamExecutionEngine(measure_bytes=False)),
@@ -130,6 +150,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 execution_mode="batch",
                 batch_size=args.batch_size,
                 num_partitions=args.partitions,
+                partition_key=args.partition_key,
             ),
         ),
     ]
@@ -161,7 +182,6 @@ def cmd_bench(args: argparse.Namespace) -> int:
             events_in=result.metrics.events_in,
         )
         print(f"wrote {args.json}")
-    return 0
 
 
 def merge_bench_json(path: str, query_id: str, record_eps: float, batch_eps: float, **extra) -> None:
@@ -241,7 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = subparsers.add_parser(
         "bench", help="compare record-at-a-time vs micro-batch execution on one query"
     )
-    bench.add_argument("query", help="query id, e.g. Q1")
+    bench.add_argument("query", help="query id (e.g. Q1), or 'all' for the whole catalog")
     _add_scenario_arguments(bench)
     _add_batch_arguments(bench)
     bench.add_argument("--repeat", type=int, default=3, help="runs per mode (best is kept)")

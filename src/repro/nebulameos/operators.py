@@ -1,10 +1,15 @@
 """Spatiotemporal stream operators contributed by the NebulaMEOS plugin.
 
-All three operators declare ``supports_batches`` and bring their own batch
-kernels: positions are read column-wise and the grid index is probed with
-whole columns (:meth:`~repro.spatial.index.GridIndex.containing_each`), so
-the batch runtime runs them natively instead of bridging row by row.  The
-batch kernels are record-for-record identical to ``process``.
+All NebulaMEOS operators — the three spatial operators here plus the
+:class:`~repro.nebulameos.trajectory.TrajectoryBuilder` and
+:class:`~repro.nebulameos.topk.TopKNearestOperator` — declare
+``supports_batches`` and bring their own batch kernels: positions are read
+column-wise, the grid index is probed with whole columns
+(:meth:`~repro.spatial.index.GridIndex.containing_each`), trajectory fixes
+are accumulated per key in one pass, and top-k peers are heap-selected from
+scored columns.  The batch runtime therefore runs the whole plugin natively
+(no per-record bridge anywhere except sinks); every batch kernel is
+record-for-record identical to its ``process``.
 """
 
 from __future__ import annotations

@@ -229,13 +229,27 @@ class RecordBatch:
             return self
         return self.take(indices)
 
-    def with_columns(self, updates: Dict[str, List[Any]]) -> "RecordBatch":
+    def with_columns(
+        self, updates: Dict[str, List[Any]], has_missing: bool = False
+    ) -> "RecordBatch":
         """Add or overwrite columns, mirroring ``Record.derive`` field order:
-        existing fields keep their position, new fields append in update order."""
+        existing fields keep their position, new fields append in update order.
+
+        ``has_missing`` declares that update columns may contain the
+        :data:`MISSING` sentinel (a row the operator leaves untouched, e.g. a
+        position-less record passing through a plugin kernel); those entries
+        are tracked so the row neither gains the field nor turns it into
+        ``None`` when materialized.  The flag exists so the hot map path does
+        not pay a sentinel scan per column.
+        """
         batch = RecordBatch._raw()
         batch._rows = self._rows
         batch._columns = {**self._columns, **updates}
         batch._missing = self._missing - set(updates)
+        if has_missing:
+            batch._missing.update(
+                name for name, values in updates.items() if MISSING in values
+            )
         batch._timestamps = self._timestamps
         batch._length = self._length
         if self._rows is not None:
@@ -323,7 +337,18 @@ class RecordBatch:
                 names = list(updates)
                 columns = [updates[name] for name in names]
                 derived = []
-                if len(names) == 1:
+                if self._missing.intersection(names):
+                    # update columns may hold MISSING (plugin kernels marking
+                    # rows they passed through untouched): such a row keeps its
+                    # original payload for that field instead of gaining it
+                    for i, record in enumerate(rows):
+                        data = dict(record.data)
+                        for name, values in zip(names, columns):
+                            value = values[i]
+                            if value is not MISSING:
+                                data[name] = value
+                        derived.append(_fast_record(data, record.timestamp))
+                elif len(names) == 1:
                     # the common one-assignment map: no per-row zip
                     name, values = names[0], columns[0]
                     for i, record in enumerate(rows):

@@ -21,6 +21,11 @@ identical), then executes them batch-wise:
   plans qualify through the same declarations — a join partitions exactly
   when the stream is split on one of its join keys (both sides are hashed
   identically) — while plans with sinks fall back to a single partition.
+  A **map-derived** partition key (e.g. Q4's ``cell_id``) no longer
+  disqualifies the plan: the stages up to and including the producing
+  ``map`` run as a shared single-partition prefix and records are re-hashed
+  on the key *after* it, so only the suffix operators need to be keyed by
+  the partition key (:meth:`_partition_split` picks the hash position).
   Outputs are re-merged in event-time order — this assumes sources honour
   the :class:`~repro.streaming.source.Source` contract of yielding records
   in event-time order, and equally-timestamped outputs of *different* keys
@@ -33,7 +38,7 @@ from __future__ import annotations
 import heapq
 from concurrent.futures import ThreadPoolExecutor
 from itertools import islice
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import PlanError
 from repro.runtime.batch import RecordBatch
@@ -88,48 +93,105 @@ class BatchExecutionEngine(StreamExecutionEngine):
             plan = query
             query_name = name or "plan"
         compiled = self.compile(plan)
-        if self.num_partitions > 1 and self._can_partition(plan, compiled):
-            return self._execute_partitioned(plan, query_name, compiled)
+        if self.num_partitions > 1:
+            split = self._partition_split(plan, compiled)
+            if split is not None:
+                return self._execute_partitioned(plan, query_name, compiled, split)
         return self._execute_single(plan, query_name, compiled)
 
-    def _can_partition(self, plan: LogicalPlan, compiled) -> bool:
-        """Whether key-partitioned execution is guaranteed record-correct.
+    def _partition_split(self, plan: LogicalPlan, compiled) -> Optional[int]:
+        """The pipeline position at which records may be hashed into
+        partitions, or ``None`` when the plan cannot split record-correctly.
 
-        Requires no sinks (whose write order partitions would scramble) and
-        every operator either stateless or keyed by the partition key (see
-        :meth:`~repro.streaming.operators.Operator.partition_keys`).  Binary
+        ``0`` is the classic source-borne case: records are hashed before any
+        operator runs.  A positive position means the partition key only
+        becomes stable mid-pipeline (it is produced by a ``map``): the
+        operators before the position run as a shared single-partition
+        prefix and records are re-hashed on the produced key after it — this
+        is what lets Q4 (whose join key ``cell_id`` is map-derived)
+        partition.  Qualification requires no sinks (whose write order
+        partitions would scramble) and every operator *from the hash position
+        on* either stateless or keyed by the partition key (see
+        :meth:`~repro.streaming.operators.Operator.partition_keys`); prefix
+        operators run single-partition and need no declaration.  Binary
         plans qualify through the same declarations: a join declares its join
         keys, so a join plan partitions exactly when the stream is split on a
         join key (both sides hash identically and matching pairs land in the
         same partition); a union contributes no operator and only merges
         streams.  Right-hand sides are materialized once and split by the
-        same hash as the source (see :meth:`_execute_partitioned`).
+        same hash (see :meth:`_execute_partitioned`).
         """
         operators, sinks, _ = compiled
         if sinks:
-            return False
-        for operator in operators:
-            keys = operator.partition_keys()
+            return None
+        split = self._key_stable_from(plan)
+        if split is None:
+            return None
+        for position in range(split, len(operators)):
+            keys = operators[position].partition_keys()
             if keys is None:
-                return False
+                return None
             if keys and self.partition_key not in keys:
-                return False
-        strict_plugins = any(isinstance(node, (JoinNode, UnionNode)) for node in plan.nodes)
-        return self._partition_key_is_stable(plan, strict_plugins)
+                return None
+        return split
+
+    def _key_stable_from(self, plan: LogicalPlan) -> Optional[int]:
+        """The earliest pipeline position from which every record keeps its
+        partition-key value, or ``None`` when no such position exists.
+
+        The key is stable from the source (position 0) unless rewritten.  A
+        ``map`` that produces/overwrites the key moves the stable position to
+        just after itself (re-hash there); a ``project`` that drops it or a
+        ``flat_map`` (whose output records are arbitrary) invalidates it
+        until a later ``map`` re-produces it.  Plugin operators can attach
+        arbitrary fields; they are trusted not to rewrite the partition key
+        in linear plans (the NebulaMEOS operators only annotate), but
+        conservatively disqualify binary plans when they run after the hash
+        position, where both sides must co-hash.  A binary node whose records
+        enter at or after the hash position needs a right-hand side that
+        carries the key stably (right-side records are hashed on their own
+        key value as they arrive); a binary node wholly inside the prefix
+        runs single-partition and needs nothing.
+        """
+        key = self.partition_key
+        split: Optional[int] = 0
+        position = 0
+        binaries: List[Tuple[int, LogicalPlan]] = []
+        plugin_positions: List[int] = []
+        for node in plan.nodes[1:]:
+            if isinstance(node, MapNode):
+                if key in node.output_fields():
+                    split = position + 1
+            elif isinstance(node, ProjectNode):
+                if key not in node.fields:
+                    split = None
+            elif isinstance(node, FlatMapNode):
+                split = None
+            elif isinstance(node, OperatorNode):
+                plugin_positions.append(position)
+            elif isinstance(node, (JoinNode, UnionNode)):
+                binaries.append((position, node.right_plan))
+            if not isinstance(node, UnionNode):
+                position += 1
+        if split is None:
+            return None
+        if binaries:
+            for entry, right_plan in binaries:
+                if entry >= split and not self._partition_key_is_stable(right_plan, True):
+                    return None
+            if any(p >= split for p in plugin_positions):
+                return None
+        return split
 
     def _partition_key_is_stable(self, plan: LogicalPlan, strict_plugins: bool) -> bool:
         """Whether every record keeps its source-time partition-key value.
 
-        Records are hashed into partitions *before any operator runs*, so the
-        split is only correct if the partition-key value a keyed operator (or
-        a join) later reads is the value that was hashed.  A ``map`` that
+        Used for the right-hand plans of binary nodes, whose records are
+        hashed on the key value they arrive with: a ``map`` that
         produces/overwrites the key, a ``project`` that drops it, or a
-        ``flat_map`` (whose output records are arbitrary) each break that and
-        disqualify partitioning.  Plugin operators can also attach arbitrary
-        fields; they are trusted not to rewrite the partition key in linear
-        plans (the NebulaMEOS operators only annotate), but conservatively
-        disqualify binary plans (``strict_plugins``), where both sides must
-        co-hash and right-hand records may lack the field entirely.
+        ``flat_map`` (arbitrary output records) breaks that.  Plugin
+        operators conservatively disqualify under ``strict_plugins`` (both
+        sides must co-hash and right-hand records may lack the field).
         """
         for node in plan.nodes:
             if isinstance(node, MapNode) and self.partition_key in node.output_fields():
@@ -217,11 +279,18 @@ class BatchExecutionEngine(StreamExecutionEngine):
         (binary-node right-hand sides enter mid-pipeline), capped at
         ``batch_size`` rows, so every batch enters the pipeline at one place.
         """
+        return self._chunk_runs(
+            (record.data.pop("_entry_index", 0), record) for record in input_stream
+        )
+
+    def _chunk_runs(
+        self, pairs: "Iterable[Tuple[int, Record]]"
+    ) -> Iterator[Tuple[int, List[Record]]]:
+        """Chunk ``(entry_point, record)`` pairs into same-entry micro-batches."""
         batch_size = self.batch_size
         current_entry = 0
         buffer: List[Record] = []
-        for record in input_stream:
-            entry = record.data.pop("_entry_index", 0)
+        for entry, record in pairs:
             if buffer and (entry != current_entry or len(buffer) >= batch_size):
                 yield current_entry, buffer
                 buffer = []
@@ -265,7 +334,9 @@ class BatchExecutionEngine(StreamExecutionEngine):
 
     # -- partition-parallel execution ----------------------------------------------------
 
-    def _execute_partitioned(self, plan: LogicalPlan, query_name: str, first_compiled) -> QueryResult:
+    def _execute_partitioned(
+        self, plan: LogicalPlan, query_name: str, first_compiled, split: int = 0
+    ) -> QueryResult:
         """Hash-partitioned parallel execution.
 
         The whole (merged) input stream — including the materialized,
@@ -275,26 +346,75 @@ class BatchExecutionEngine(StreamExecutionEngine):
         acceptable for the in-memory scenario replays this engine targets.
         Both sides of a join hash on the same partition key, so matching
         pairs always meet in the same partition.
+
+        With ``split > 0`` the partition key is map-derived: records entering
+        before ``split`` first flow through a shared single-partition prefix
+        pipeline (the stages ending at or before ``split``) and its *output*
+        rows are hashed on the key they now carry, resuming mid-pipeline at
+        ``split`` inside their partition; records already entering at or
+        after ``split`` (binary right-hand sides) are hashed directly on
+        their own key value.  Scatter order is prefix processing order, i.e.
+        exactly the single-pipeline processing order, so each partition sees
+        the record-engine sequence restricted to its keys.
         """
         num_partitions = self.num_partitions
         metrics = MetricsCollector(query_name)
-        compiled = [first_compiled] + [self.compile(plan) for _ in range(num_partitions - 1)]
-        sinks = first_compiled[1]
-        entry_points = first_compiled[2]
+        if split:
+            # fresh pipelines for every partition: the prefix stages keep
+            # first_compiled's operator instances for themselves
+            compiled = [self.compile(plan) for _ in range(num_partitions)]
+        else:
+            compiled = [first_compiled] + [
+                self.compile(plan) for _ in range(num_partitions - 1)
+            ]
+        operators, sinks, entry_points = first_compiled
+        partition_key = self.partition_key
+        partitions: List[List[Tuple[int, Record]]] = [[] for _ in range(num_partitions)]
 
         metrics.start()
-        partitions: List[List[Record]] = [[] for _ in range(num_partitions)]
-        partition_key = self.partition_key
-        for record in self._input_stream(plan, metrics, entry_points):
-            slot = hash(record.data.get(partition_key)) % num_partitions
-            partitions[slot].append(record)
+        input_stream = self._input_stream(plan, metrics, entry_points)
+        if split:
+            barriers = set(entry_points.values()) | {split}
+            prefix_stages = [
+                stage
+                for stage in build_batch_pipeline(operators, barriers, fuse=self.fuse)
+                if stage.end_position <= split
+            ]
+
+            def scatter(entry: int, records: Sequence[Record], keys: Sequence) -> None:
+                for record, key in zip(records, keys):
+                    partitions[hash(key) % num_partitions].append((entry, record))
+
+            for entry, records in self._entry_chunks(input_stream):
+                if entry >= split:
+                    batch = RecordBatch.from_records(records)
+                    scatter(entry, records, batch.column_or_none(partition_key))
+                    continue
+                batch = self._run_through(
+                    prefix_stages, RecordBatch.from_records(records), entry, metrics
+                )
+                if batch is not None and len(batch):
+                    scatter(split, batch.to_records(), batch.column_or_none(partition_key))
+            tail: List[Record] = []
+            self._flush_stages(prefix_stages, metrics, tail)
+            if tail:
+                batch = RecordBatch.from_records(tail)
+                scatter(split, tail, batch.column_or_none(partition_key))
+        else:
+            for record in input_stream:
+                entry = record.data.pop("_entry_index", 0)
+                slot = hash(record.data.get(partition_key)) % num_partitions
+                partitions[slot].append((entry, record))
 
         def run_partition(index: int) -> Tuple[List[Record], MetricsCollector]:
             operators, _, entries = compiled[index]
-            stages = build_batch_pipeline(operators, set(entries.values()), fuse=self.fuse)
+            stage_barriers = set(entries.values())
+            if split:
+                stage_barriers.add(split)
+            stages = build_batch_pipeline(operators, stage_barriers, fuse=self.fuse)
             local = MetricsCollector(query_name)
             out: List[Record] = []
-            for entry_index, records in self._entry_chunks(iter(partitions[index])):
+            for entry_index, records in self._chunk_runs(partitions[index]):
                 batch = self._run_through(
                     stages, RecordBatch.from_records(records), entry_index, local
                 )

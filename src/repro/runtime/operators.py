@@ -9,9 +9,10 @@ per-key accumulators fed from pre-extracted value columns; CEP steps the NFA
 over precomputed predicate columns (:class:`BatchCEPOperator`); joins
 build/probe their keyed buffers from column arrays (:class:`BatchJoinOperator`);
 plugin operators that declare ``supports_batches`` run their own batch kernel
-(:class:`NativeBatchOperator`).  Only plugin operators without a batch kernel
-and sinks still run through the per-record bridge — identical semantics,
-batch API.
+(:class:`NativeBatchOperator`).  Every built-in and NebulaMEOS operator is
+batch-native; only sinks — and third-party plugin operators that do not
+declare a batch kernel — still run through the per-record bridge, with
+identical semantics behind the batch API.
 
 Per-operator metric counts use the same ``"{index}:{name}"`` labels as the
 record engine, incremented by the number of rows entering the operator, so
@@ -21,7 +22,7 @@ record engine, incremented by the number of rows entering the operator, so
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cep.nfa import Match
 from repro.cep.operator import CEPOperator
@@ -541,8 +542,9 @@ class RecordBridgeOperator(BatchOperator):
     """Runs an arbitrary record operator over the rows of each batch.
 
     The fallback path for operators with no vectorized equivalent: sinks and
-    plugin operators that do not declare ``supports_batches`` (CEP, joins and
-    the NebulaMEOS spatial operators are batch-native).
+    third-party plugin operators that do not declare ``supports_batches``
+    (CEP, joins and every NebulaMEOS operator — spatial, trajectory and
+    top-k — are batch-native).
 
     Cached-rows contract: materialized rows are cached *on the batch*, so
     several bridges in one pipeline share a single batch-to-records
@@ -598,6 +600,21 @@ class FusedBatchStage(BatchOperator):
 
     def __repr__(self) -> str:
         return f"FusedBatchStage({[op.label for op in self.operators]})"
+
+
+def iter_operators(stages: Sequence[BatchOperator]) -> Iterator[BatchOperator]:
+    """Every batch operator of a compiled pipeline, fused stages flattened.
+
+    Convenience for introspection (the bridge-free assertions in the parity
+    suite): stage fusion hides the individual operators inside
+    :class:`FusedBatchStage`, and this restores the flat, position-ordered
+    view.
+    """
+    for stage in stages:
+        if isinstance(stage, FusedBatchStage):
+            yield from stage.operators
+        else:
+            yield stage
 
 
 def vectorize(position: int, operator: Operator) -> BatchOperator:

@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 import os
+import random
+import zlib
+from typing import Dict, List, Sequence
 
 import pytest
 
@@ -28,6 +31,106 @@ def engine_from_env(**kwargs) -> StreamExecutionEngine:
         # record engine while claiming batch coverage
         raise ValueError(f"unknown REPRO_TEST_EXECUTION_MODE {mode!r}")
     return StreamExecutionEngine(**kwargs)
+
+
+def canonical_value(value):
+    """Hashable, loss-free stand-in for a record value in multiset compares.
+
+    ``repr`` is enough for scalars but lossy for trajectories (it prints only
+    the fix count and period), so trajectories canonicalize to their full fix
+    list.
+    """
+    from repro.mobility.tpoint import TGeomPoint
+
+    if isinstance(value, TGeomPoint):
+        return (
+            "tgeompoint",
+            tuple((p.coords, ts) for p, ts in zip(value.points, value.timestamps)),
+        )
+    return repr(value)
+
+
+def canonical_records(rows):
+    """Order-insensitive canonical form of record dicts (for partitioned modes,
+    whose output is only guaranteed to be the same *multiset* as record mode)."""
+    return sorted(
+        (sorted(((k, canonical_value(v)) for k, v in d.items()), key=repr) for d in rows),
+        key=repr,
+    )
+
+
+class StreamFuzz:
+    """Seeded randomized scenario-stream generator shared by the property suites.
+
+    One base seed — ``REPRO_TEST_SEED`` (CI pins a different one per matrix
+    job, so the fuzz suites are deterministic per job but varied across
+    execution modes) — and a per-case derived seed, so every test case draws
+    an independent but reproducible stream.  Both seeds are printed when a
+    stream is generated; pytest only shows captured stdout for failing tests,
+    so a failure reports exactly the ``REPRO_TEST_SEED=<base>`` needed to
+    reproduce it.
+    """
+
+    DEVICES = ("d0", "d1", "d2")
+
+    def __init__(self, base_seed: int) -> None:
+        self.base_seed = base_seed
+
+    def rng(self, case: str) -> random.Random:
+        derived = zlib.crc32(f"{self.base_seed}:{case}".encode())
+        print(
+            f"[stream-fuzz] case={case!r} derived_seed={derived} "
+            f"(reproduce with REPRO_TEST_SEED={self.base_seed})"
+        )
+        return random.Random(derived)
+
+    def keyed_events(
+        self,
+        case: str,
+        n: int = 600,
+        devices: Sequence[str] = DEVICES,
+        steps: Sequence[float] = (1.0, 2.0, 5.0),
+        value_range: int = 100,
+        position_gap: float = 0.0,
+        duplicate_ts: float = 0.0,
+        jitter: float = 0.0,
+    ) -> List[Dict[str, object]]:
+        """A random keyed scenario stream (device, value, flag, GPS fix).
+
+        ``position_gap`` drops the position from that fraction of events
+        (sensor-only records), ``duplicate_ts`` repeats the previous event's
+        timestamp (same-instant fixes), and ``jitter`` swaps that fraction of
+        adjacent events out of event-time order — feed jittered streams
+        through ``ListSource(..., sort=False)`` to keep the disorder.
+        """
+        rng = self.rng(case)
+        events: List[Dict[str, object]] = []
+        t = 0.0
+        for _ in range(n):
+            if not (duplicate_ts and events and rng.random() < duplicate_ts):
+                t += rng.choice(list(steps))
+            positioned = not (position_gap and rng.random() < position_gap)
+            events.append(
+                {
+                    "device_id": rng.choice(list(devices)),
+                    "value": float(rng.randrange(value_range)),
+                    "flag": rng.random() < 0.3,
+                    "lon": round(rng.uniform(3.8, 4.8), 6) if positioned else None,
+                    "lat": round(rng.uniform(50.5, 51.1), 6) if positioned else None,
+                    "timestamp": t,
+                }
+            )
+        if jitter:
+            for i in range(1, len(events)):
+                if rng.random() < jitter:
+                    events[i - 1], events[i] = events[i], events[i - 1]
+        return events
+
+
+@pytest.fixture(scope="session")
+def stream_fuzz() -> StreamFuzz:
+    """The shared stream-fuzz source, seeded from ``REPRO_TEST_SEED``."""
+    return StreamFuzz(int(os.environ.get("REPRO_TEST_SEED", "42")))
 
 
 @pytest.fixture(scope="session")

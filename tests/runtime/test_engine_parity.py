@@ -12,6 +12,7 @@ from repro.queries import QUERY_CATALOG
 from repro.runtime import BatchExecutionEngine
 from repro.streaming import ListSource, Query, Schema, col
 from repro.streaming.engine import StreamExecutionEngine
+from tests.conftest import canonical_records
 
 
 @pytest.fixture(scope="module")
@@ -54,9 +55,8 @@ def test_partitioned_execution_matches_as_multiset(query_id, full_scenario, reco
         info.build(full_scenario)
     )
     record_result = record_results[query_id]
-    key = lambda r: sorted((k, repr(v)) for k, v in r.as_dict().items())
-    assert sorted((key(r) for r in result.records), key=repr) == sorted(
-        (key(r) for r in record_result.records), key=repr
+    assert canonical_records(r.as_dict() for r in result.records) == canonical_records(
+        r.as_dict() for r in record_result.records
     )
     assert result.metrics.events_in == record_result.metrics.events_in
     assert result.metrics.events_out == record_result.metrics.events_out
@@ -65,30 +65,96 @@ def test_partitioned_execution_matches_as_multiset(query_id, full_scenario, reco
     # partition merge keeps event-time order
     timestamps = [r.timestamp for r in result.records]
     assert timestamps == sorted(timestamps)
-    # Q4's join key (cell_id) is map-derived, not source-borne, so its plan
-    # must fall back to one partition; all other plans split
+    # Q4 joins on cell_id, so a device_id-keyed split must fall back to one
+    # partition (it partitions on cell_id instead — see
+    # test_q4_partitions_on_map_derived_key); all other plans split
     assert result.partitions == (1 if query_id == "Q4" else 4)
     assert record_result.partitions == 1
 
 
-def test_catalog_compiles_bridge_free(full_scenario):
-    """No RecordBridgeOperator is left in any catalog pipeline.
+def test_q4_partitions_on_map_derived_key(full_scenario, record_results):
+    """Q4 splits 4-way when partitioned on its map-derived join key.
 
-    CEP, joins and the NebulaMEOS spatial operators are batch-native; the
-    bridge remains only for plugin operators without a batch kernel and for
-    sinks (exercised separately below).
+    ``cell_id`` only exists after the ``map`` stage, so the engine runs the
+    stages up to the map as a shared single-partition prefix and re-hashes
+    the map's output (and the weather side) on ``cell_id`` — output multiset,
+    metrics and per-operator counters must still equal the record engine's.
     """
-    from repro.runtime.operators import FusedBatchStage, RecordBridgeOperator, build_batch_pipeline
+    result = BatchExecutionEngine(
+        batch_size=256, num_partitions=4, partition_key="cell_id"
+    ).execute(QUERY_CATALOG["Q4"].build(full_scenario))
+    record_result = record_results["Q4"]
+    assert result.partitions == 4
+    assert canonical_records(r.as_dict() for r in result.records) == canonical_records(
+        r.as_dict() for r in record_result.records
+    )
+    assert result.metrics.events_in == record_result.metrics.events_in
+    assert result.metrics.events_out == record_result.metrics.events_out
+    assert result.metrics.operator_events == record_result.metrics.operator_events
+    timestamps = [r.timestamp for r in result.records]
+    assert timestamps == sorted(timestamps)
+
+
+def _future_work_plans(scenario):
+    """Trajectory- and top-k-based plans (the paper's future-work operators)."""
+    from repro.nebulameos.topk import TopKNearestOperator
+    from repro.nebulameos.trajectory import TrajectoryBuilder
+
+    positioned = lambda name: (
+        Query.from_source(scenario.source(), name=name)
+        .filter(col("lon").ne(None) & col("lat").ne(None))
+    )
+    return {
+        "trajectory": positioned("trajectory-native").apply(
+            lambda: TrajectoryBuilder(horizon_s=300.0, max_fixes=64), name="trajectory"
+        ),
+        "topk": positioned("topk-native")
+        .apply(lambda: TopKNearestOperator(k=3, staleness_s=120.0), name="topk")
+        .project("device_id", "timestamp", "nearest_trains_ids", "nearest_trains_distance_m"),
+    }
+
+
+def test_catalog_compiles_bridge_free(full_scenario):
+    """No RecordBridgeOperator is left in any pipeline except for sinks.
+
+    Every operator the repository ships — the relational core, CEP, joins and
+    *all five* NebulaMEOS plugins (geofence, spatial join, nearest neighbour,
+    trajectory builder, top-k nearest) — is batch-native; the per-record
+    bridge survives only for sinks (exercised separately below).  Both the
+    eight catalog queries and the trajectory/top-k future-work plans must
+    compile without a single bridge.
+    """
+    from repro.runtime.operators import RecordBridgeOperator, build_batch_pipeline, iter_operators
 
     engine = BatchExecutionEngine()
-    for query_id, info in QUERY_CATALOG.items():
-        operators, _, entry_points = engine.compile(info.build(full_scenario).plan())
+    plans = {query_id: info.build(full_scenario) for query_id, info in QUERY_CATALOG.items()}
+    plans.update(_future_work_plans(full_scenario))
+    for query_id, query in plans.items():
+        operators, _, entry_points = engine.compile(query.plan())
         stages = build_batch_pipeline(operators, set(entry_points.values()))
-        flattened = []
-        for stage in stages:
-            flattened.extend(stage.operators if isinstance(stage, FusedBatchStage) else [stage])
-        bridged = [s for s in flattened if isinstance(s, RecordBridgeOperator)]
+        bridged = [s for s in iter_operators(stages) if isinstance(s, RecordBridgeOperator)]
         assert not bridged, f"{query_id} still bridges {bridged}"
+
+
+def test_all_nebulameos_operators_declare_batch_kernels():
+    """The plugin batch protocol covers the whole NebulaMEOS operator set."""
+    from repro.nebulameos.operators import (
+        GeofenceOperator,
+        NearestNeighborOperator,
+        SpatialJoinOperator,
+    )
+    from repro.nebulameos.topk import TopKNearestOperator
+    from repro.nebulameos.trajectory import TrajectoryBuilder
+
+    for operator_class in (
+        GeofenceOperator,
+        SpatialJoinOperator,
+        NearestNeighborOperator,
+        TrajectoryBuilder,
+        TopKNearestOperator,
+    ):
+        assert operator_class.supports_batches, operator_class
+        assert "process_batch" in vars(operator_class), operator_class
 
 
 def test_sinks_still_bridge(full_scenario):
@@ -137,9 +203,8 @@ def test_partitioned_join_on_source_borne_key(full_scenario):
     record = StreamExecutionEngine().execute(build())
     partitioned = BatchExecutionEngine(batch_size=32, num_partitions=4).execute(build())
     assert partitioned.partitions == 4
-    key = lambda r: sorted((k, repr(v)) for k, v in r.as_dict().items())
-    assert sorted((key(r) for r in partitioned.records), key=repr) == sorted(
-        (key(r) for r in record.records), key=repr
+    assert canonical_records(r.as_dict() for r in partitioned.records) == canonical_records(
+        r.as_dict() for r in record.records
     )
     assert partitioned.metrics.operator_events == record.metrics.operator_events
     timestamps = [r.timestamp for r in partitioned.records]
@@ -332,3 +397,87 @@ def test_partitioning_falls_back_when_key_is_projected_away():
     partitioned = BatchExecutionEngine(batch_size=16, num_partitions=4).execute(build())
     assert partitioned.partitions == 1
     assert [r.as_dict() for r in partitioned.records] == [r.as_dict() for r in record.records]
+
+
+class TestMapDerivedPartitioning:
+    """Plans whose partition key is produced mid-pipeline by a ``map``.
+
+    The engine hashes *after* the producing stage: everything before it runs
+    as a shared single-partition prefix, everything after runs per-partition.
+    """
+
+    EVENTS = [
+        {"device_id": f"d{i % 7}", "speed": float(i % 50), "timestamp": float(i)}
+        for i in range(400)
+    ]
+    SCHEMA = Schema.of("derived", device_id=str, speed=float, timestamp=float)
+
+    def _build(self):
+        from repro.streaming.aggregations import Avg, Count
+        from repro.streaming.windows import TumblingWindow
+
+        return (
+            Query.from_source(ListSource(self.EVENTS, self.SCHEMA), name="derived-key")
+            .map(bucket=col("speed") % 5.0)
+            .window(
+                TumblingWindow(50.0),
+                [Count(), Avg("speed", output="avg_speed")],
+                key_by=["bucket"],
+            )
+        )
+
+    def test_keyed_window_after_producing_map_partitions(self):
+        """A window keyed by a map-derived field splits and matches exactly."""
+        record = StreamExecutionEngine().execute(self._build())
+        partitioned = BatchExecutionEngine(
+            batch_size=32, num_partitions=4, partition_key="bucket"
+        ).execute(self._build())
+        assert partitioned.partitions == 4
+        assert canonical_records(r.as_dict() for r in partitioned.records) == canonical_records(
+            r.as_dict() for r in record.records
+        )
+        assert partitioned.metrics.operator_events == record.metrics.operator_events
+
+    def test_flat_map_after_producing_map_falls_back(self):
+        """A flat_map invalidates the derived key again: single partition."""
+        from repro.streaming.aggregations import Count
+        from repro.streaming.windows import TumblingWindow
+
+        def build():
+            return (
+                Query.from_source(ListSource(self.EVENTS, self.SCHEMA), name="derived-flatmap")
+                .map(bucket=col("speed") % 5.0)
+                .flat_map(lambda r: [r])  # arbitrary records: key no longer provable
+                .window(TumblingWindow(50.0), [Count()], key_by=["bucket"])
+            )
+
+        record = StreamExecutionEngine().execute(build())
+        partitioned = BatchExecutionEngine(
+            batch_size=32, num_partitions=4, partition_key="bucket"
+        ).execute(build())
+        assert partitioned.partitions == 1
+        assert [r.as_dict() for r in partitioned.records] == [
+            r.as_dict() for r in record.records
+        ]
+
+    def test_later_map_overwrite_rehashes_after_the_last_producer(self):
+        """When two maps produce the key, hashing happens after the last one."""
+        from repro.streaming.aggregations import Count
+        from repro.streaming.windows import TumblingWindow
+
+        def build():
+            return (
+                Query.from_source(ListSource(self.EVENTS, self.SCHEMA), name="re-derived")
+                .map(bucket=col("speed") % 5.0)
+                .map(bucket=col("bucket") + 10.0)  # overwrite: only this value is hashable
+                .window(TumblingWindow(50.0), [Count()], key_by=["bucket"])
+            )
+
+        record = StreamExecutionEngine().execute(build())
+        partitioned = BatchExecutionEngine(
+            batch_size=32, num_partitions=4, partition_key="bucket"
+        ).execute(build())
+        assert partitioned.partitions == 4
+        assert canonical_records(r.as_dict() for r in partitioned.records) == canonical_records(
+            r.as_dict() for r in record.records
+        )

@@ -1,52 +1,44 @@
 """Property-style parity: random streams through record vs batch kernels.
 
-The batch-native CEP and join kernels claim record-for-record equivalence
-with the record engine — including output *ordering*.  These tests generate
-random event streams (seeded, so failures reproduce) and assert exact
+The batch-native stateful kernels — CEP, join, and the NebulaMEOS trajectory
+and top-k plugins — claim record-for-record equivalence with the record
+engine, including output *ordering*.  These tests draw random event streams
+from the shared :class:`~tests.conftest.StreamFuzz` fixture (seeded via
+``REPRO_TEST_SEED``, derived per case, printed on failure) and assert exact
 equality of outputs and per-operator counters across execution modes, batch
 sizes and partition counts.
 """
 
-import random
-
 import pytest
 
 from repro.cep.patterns import absence, every, seq, times
+from repro.nebulameos.topk import TopKNearestOperator
+from repro.nebulameos.trajectory import TrajectoryBuilder
 from repro.runtime import BatchExecutionEngine
+from repro.spatial.measure import cartesian
 from repro.streaming import ListSource, Query, Schema, col
 from repro.streaming.engine import StreamExecutionEngine
+from tests.conftest import canonical_records
 
-DEVICES = ["d0", "d1", "d2"]
+FUZZ_SCHEMA = Schema.of(
+    "fuzz", device_id=str, value=float, flag=bool, lon=float, lat=float, timestamp=float
+)
 
-
-def make_stream(seed, n=600, devices=DEVICES):
-    """A random keyed stream with strictly increasing timestamps."""
-    rng = random.Random(seed)
-    events, t = [], 0.0
-    for _ in range(n):
-        t += rng.choice([1.0, 2.0, 5.0])
-        events.append(
-            {
-                "device_id": rng.choice(devices),
-                "value": float(rng.randrange(0, 100)),
-                "flag": rng.random() < 0.3,
-                "timestamp": t,
-            }
-        )
-    return events
+VARIANTS = [1, 2, 3]
 
 
-STREAM_SCHEMA = Schema.of("random", device_id=str, value=float, flag=bool, timestamp=float)
+def assert_exact_parity(
+    build_query,
+    batch_sizes=(1, 7, 64),
+    num_partitions=3,
+    expect_partitions=None,
+):
+    """Record engine vs batch engine: identical ordered output and counters.
 
-
-def cep_query(events, pattern, key_by=("device_id",)):
-    return Query.from_source(ListSource(events, STREAM_SCHEMA), name="cep-prop").cep(
-        pattern, key_by=list(key_by)
-    )
-
-
-def assert_exact_parity(build_query, batch_sizes=(1, 7, 64)):
-    """Record engine vs batch engine: identical ordered output and counters."""
+    Partitioned mode additionally asserts the same multiset of records, the
+    same per-operator counters, and — when ``expect_partitions`` is given —
+    that the plan actually split (or provably fell back) as declared.
+    """
     record = StreamExecutionEngine().execute(build_query())
     expected = [r.as_dict() for r in record.records]
     for batch_size in batch_sizes:
@@ -54,11 +46,25 @@ def assert_exact_parity(build_query, batch_sizes=(1, 7, 64)):
         assert [r.as_dict() for r in batch.records] == expected, f"batch_size={batch_size}"
         assert batch.metrics.operator_events == record.metrics.operator_events
         assert batch.metrics.events_in == record.metrics.events_in
-    # partitioned mode: same multiset, event-time ordered
-    partitioned = BatchExecutionEngine(batch_size=32, num_partitions=3).execute(build_query())
-    canonical = lambda rows: sorted((sorted(d.items(), key=repr) for d in rows), key=repr)
-    assert canonical([r.as_dict() for r in partitioned.records]) == canonical(expected)
+    partitioned = BatchExecutionEngine(
+        batch_size=32, num_partitions=num_partitions
+    ).execute(build_query())
+    if expect_partitions is not None:
+        assert partitioned.partitions == expect_partitions
+    assert canonical_records(
+        [r.as_dict() for r in partitioned.records]
+    ) == canonical_records(expected)
     assert partitioned.metrics.operator_events == record.metrics.operator_events
+    return record
+
+
+# -- CEP ----------------------------------------------------------------------------
+
+
+def cep_query(events, pattern, key_by=("device_id",)):
+    return Query.from_source(ListSource(events, FUZZ_SCHEMA), name="cep-prop").cep(
+        pattern, key_by=list(key_by)
+    )
 
 
 def iteration_pattern():
@@ -86,21 +92,21 @@ def mixed_iteration_sequence_pattern():
     ).within(200.0)
 
 
-@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+@pytest.mark.parametrize("variant", VARIANTS)
 @pytest.mark.parametrize(
     "make_pattern",
     [iteration_pattern, sequence_with_negation_pattern, mixed_iteration_sequence_pattern],
     ids=["iteration", "seq-negation", "seq-iteration"],
 )
-def test_random_streams_cep_parity(seed, make_pattern):
-    events = make_stream(seed)
+def test_random_streams_cep_parity(stream_fuzz, variant, make_pattern):
+    events = stream_fuzz.keyed_events(f"cep-{make_pattern.__name__}-v{variant}")
     assert_exact_parity(lambda: cep_query(events, make_pattern()))
 
 
-@pytest.mark.parametrize("seed", [11, 12, 13])
-def test_random_streams_cep_unkeyed_parity(seed):
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_random_streams_cep_unkeyed_parity(stream_fuzz, variant):
     """Unkeyed patterns match across the whole stream (single global key)."""
-    events = make_stream(seed, n=300)
+    events = stream_fuzz.keyed_events(f"cep-unkeyed-v{variant}", n=300)
     record = StreamExecutionEngine().execute(cep_query(events, iteration_pattern(), key_by=()))
     for batch_size in (1, 16, 128):
         batch = BatchExecutionEngine(batch_size=batch_size).execute(
@@ -109,23 +115,27 @@ def test_random_streams_cep_unkeyed_parity(seed):
         assert [r.as_dict() for r in batch.records] == [r.as_dict() for r in record.records]
 
 
-@pytest.mark.parametrize("seed", [21, 22, 23, 24])
+# -- joins --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
 @pytest.mark.parametrize("window", [3.0, 15.0])
-def test_random_streams_join_parity(seed, window):
-    rng = random.Random(seed)
+def test_random_streams_join_parity(stream_fuzz, variant, window):
+    rng = stream_fuzz.rng(f"join-w{window}-v{variant}")
     left_schema = Schema.of("left", device_id=str, speed=float, timestamp=float)
     right_schema = Schema.of("right", device_id=str, temp=float, timestamp=float)
+    devices = list(stream_fuzz.DEVICES)
     left, t = [], 0.0
     for _ in range(400):
         t += rng.choice([0.5, 1.0, 3.0])
         left.append(
-            {"device_id": rng.choice(DEVICES), "speed": float(rng.randrange(100)), "timestamp": t}
+            {"device_id": rng.choice(devices), "speed": float(rng.randrange(100)), "timestamp": t}
         )
     right, t = [], 0.25
     for _ in range(150):
         t += rng.choice([1.0, 4.0])
         right.append(
-            {"device_id": rng.choice(DEVICES), "temp": float(rng.randrange(40)), "timestamp": t}
+            {"device_id": rng.choice(devices), "temp": float(rng.randrange(40)), "timestamp": t}
         )
 
     def build():
@@ -139,20 +149,21 @@ def test_random_streams_join_parity(seed, window):
     assert_exact_parity(build, batch_sizes=(1, 13, 100))
 
 
-@pytest.mark.parametrize("seed", [31, 32])
-def test_random_streams_cep_after_join_parity(seed):
+@pytest.mark.parametrize("variant", VARIANTS[:2])
+def test_random_streams_cep_after_join_parity(stream_fuzz, variant):
     """A join feeding CEP exercises both batch-native stateful kernels at once."""
-    rng = random.Random(seed)
+    rng = stream_fuzz.rng(f"join-cep-v{variant}")
     left_schema = Schema.of("left", device_id=str, speed=float, timestamp=float)
     right_schema = Schema.of("right", device_id=str, temp=float, timestamp=float)
+    devices = list(stream_fuzz.DEVICES)
     left, t = [], 0.0
     for _ in range(300):
         t += 1.0
         left.append(
-            {"device_id": rng.choice(DEVICES), "speed": float(rng.randrange(100)), "timestamp": t}
+            {"device_id": rng.choice(devices), "speed": float(rng.randrange(100)), "timestamp": t}
         )
     right = [
-        {"device_id": rng.choice(DEVICES), "temp": float(rng.randrange(40)), "timestamp": t + 0.5}
+        {"device_id": rng.choice(devices), "temp": float(rng.randrange(40)), "timestamp": t + 0.5}
         for t in range(0, 300, 2)
     ]
 
@@ -172,3 +183,139 @@ def test_random_streams_cep_after_join_parity(seed):
         batch = BatchExecutionEngine(batch_size=batch_size).execute(build())
         assert [r.as_dict() for r in batch.records] == [r.as_dict() for r in record.records]
         assert batch.metrics.operator_events == record.metrics.operator_events
+
+
+# -- trajectory builder -------------------------------------------------------------
+
+
+def trajectory_query(events, sort=True, **builder_kwargs):
+    builder_kwargs.setdefault("metric", cartesian)
+    return Query.from_source(ListSource(events, FUZZ_SCHEMA, sort=sort), name="traj-prop").apply(
+        lambda: TrajectoryBuilder(**builder_kwargs), name="trajectory"
+    )
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_random_streams_trajectory_parity(stream_fuzz, variant):
+    """Varying keys, position gaps and tight horizon/max_fixes evictions.
+
+    The trajectory builder is keyed by ``device_id``, so 4-partition mode
+    must actually split and still match the record engine's multiset and
+    per-operator counters.
+    """
+    events = stream_fuzz.keyed_events(
+        f"trajectory-v{variant}", n=500, devices=("d0", "d1", "d2", "d3"),
+        position_gap=0.2, duplicate_ts=0.1,
+    )
+    assert_exact_parity(
+        lambda: trajectory_query(events, horizon_s=25.0, max_fixes=6),
+        num_partitions=4,
+        expect_partitions=4,
+    )
+
+
+@pytest.mark.parametrize("variant", VARIANTS[:2])
+def test_random_streams_trajectory_out_of_order_parity(stream_fuzz, variant):
+    """Out-of-order and same-instant fixes hit the state's drop/update branches."""
+    events = stream_fuzz.keyed_events(
+        f"trajectory-ooo-v{variant}", n=400, jitter=0.25, duplicate_ts=0.15
+    )
+    assert_exact_parity(
+        lambda: trajectory_query(events, sort=False, horizon_s=40.0, max_fixes=8),
+        num_partitions=4,
+        expect_partitions=4,
+    )
+
+
+def test_random_streams_trajectory_imputation_parity(stream_fuzz):
+    """Gap imputation runs inside the batch kernel exactly as per record."""
+    events = stream_fuzz.keyed_events(
+        "trajectory-impute", n=300, steps=(1.0, 4.0, 20.0), position_gap=0.1
+    )
+    assert_exact_parity(
+        lambda: trajectory_query(
+            events, horizon_s=120.0, max_fixes=16, impute_max_gap=30.0, impute_step=5.0
+        ),
+        num_partitions=4,
+        expect_partitions=4,
+    )
+
+
+# -- top-k nearest -----------------------------------------------------------------
+
+
+def topk_query(events, **operator_kwargs):
+    operator_kwargs.setdefault("metric", cartesian)
+    operator_kwargs.setdefault("k", 2)
+    return Query.from_source(ListSource(events, FUZZ_SCHEMA), name="topk-prop").apply(
+        lambda: TopKNearestOperator(**operator_kwargs), name="topk"
+    )
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_random_streams_topk_parity(stream_fuzz, variant):
+    """Varying keys, stale-position evictions and position-less passthroughs.
+
+    The top-k operator ranks against *all* devices (global state, no
+    ``partition_keys`` declaration), so 4-partition mode must provably fall
+    back to a single partition rather than produce per-partition rankings.
+    """
+    events = stream_fuzz.keyed_events(
+        f"topk-v{variant}", n=400, devices=("d0", "d1", "d2", "d3", "d4"),
+        position_gap=0.25, steps=(1.0, 5.0, 30.0),
+    )
+    assert_exact_parity(
+        lambda: topk_query(events, staleness_s=45.0),
+        num_partitions=4,
+        expect_partitions=1,
+    )
+
+
+def test_random_streams_topk_distance_ties(stream_fuzz):
+    """Equidistant peers keep the record path's stable insertion-order ties."""
+    rng = stream_fuzz.rng("topk-ties")
+    events, t = [], 0.0
+    for _ in range(300):
+        t += 1.0
+        events.append(
+            {
+                "device_id": rng.choice(["a", "b", "c", "d", "e"]),
+                # a coarse grid makes exact distance ties frequent
+                "lon": float(rng.randrange(3)),
+                "lat": float(rng.randrange(3)),
+                "value": 0.0,
+                "flag": False,
+                "timestamp": t,
+            }
+        )
+    assert_exact_parity(
+        lambda: topk_query(events, k=3, staleness_s=60.0),
+        num_partitions=4,
+        expect_partitions=1,
+    )
+
+
+def test_random_streams_trajectory_into_topk_parity(stream_fuzz):
+    """The two new kernels compose bridge-free in one pipeline."""
+    from repro.runtime.operators import (
+        RecordBridgeOperator,
+        build_batch_pipeline,
+        iter_operators,
+    )
+
+    events = stream_fuzz.keyed_events("trajectory-topk", n=350, position_gap=0.1)
+
+    def build():
+        return (
+            Query.from_source(ListSource(events, FUZZ_SCHEMA), name="traj-topk-prop")
+            .filter(col("lon").ne(None) & col("lat").ne(None))
+            .apply(lambda: TrajectoryBuilder(metric=cartesian, horizon_s=60.0), name="trajectory")
+            .apply(lambda: TopKNearestOperator(metric=cartesian, k=2, staleness_s=30.0), name="topk")
+            .map(nearest_gap_m=col("nearest_trains_distance_m"))
+        )
+
+    engine = BatchExecutionEngine()
+    operators, _, entry_points = engine.compile(build().plan())
+    stages = build_batch_pipeline(operators, set(entry_points.values()))
+    assert not [s for s in iter_operators(stages) if isinstance(s, RecordBridgeOperator)]
+    assert_exact_parity(build, batch_sizes=(1, 32), num_partitions=4, expect_partitions=1)
