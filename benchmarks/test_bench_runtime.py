@@ -2,43 +2,65 @@
 
 The batch runtime (:mod:`repro.runtime`) exists to amortize Python
 interpreter overhead over whole columns; these benchmarks quantify the win on
-the catalog queries the paper reports ingestion rates for:
+the full catalog and gate the performance trajectory across PRs.
 
-* **Q1** (geofencing: filters + batch-native geofence kernel + project) —
-  the headline fully-columnar pipeline;
-* **Q3** (geofencing: batch-native spatial-join kernel + filters/map) —
-  exercises the column-wise grid-index probes;
-* **Q4** (geofencing: map-derived join key + batch-native hash join) —
-  exercises the windowed join kernel behind a per-record UDF map;
-* **Q6** (GCEP: windowed aggregation over the full stream) — exercises the
-  batch-native window operator with per-key accumulators;
-* **Q8** (GCEP: per-cell UDF map + batch-native CEP) — exercises the NFA
-  column stepping.
+Two gate families run, one per column backend
+(:mod:`repro.runtime.columns`):
+
+* **numpy** (the headline numbers, written to ``BENCH_runtime.json`` with
+  the backend recorded): typed-array columns, ufunc filter/map kernels,
+  grouped window reductions and the cached per-source column store.  Q1
+  (fully columnar geofencing) must reach **8x** and Q8 (per-cell CEP) **5x**
+  over the record engine at ``batch_size=256``; the other six queries hold
+  query-specific floors set below their measured headroom.
+* **python** (numpy uninstalled or ``REPRO_BATCH_BACKEND=python``): every
+  kernel takes its pure-Python list path and the pre-numpy floors (Q1 >= 2x,
+  Q3/Q8 >= 2.5x, Q4 >= 2x) must keep holding, so the fallback never rots.
 
 Byte accounting is disabled in both modes (as in the other benchmarks) so the
-measurement captures engine overhead, not ``estimate_record_bytes``.
-The agreement tests double as acceptance gates: at ``batch_size=256`` the
-batch engine must ingest Q1/Q4 at least 2x and Q3/Q8 at least 2.5x faster
-than the record engine while producing identical output.  Gate results are
-written to ``BENCH_runtime.json`` at the repository root so the performance
-trajectory is tracked across PRs.
+measurement captures engine overhead, not ``estimate_record_bytes``.  Every
+gate also asserts record-for-record output parity, so a "fast but wrong"
+regression cannot pass.
 """
 
 import os
 
+import pytest
+
 from repro.cli import merge_bench_json
 from repro.queries import QUERY_CATALOG
 from repro.runtime import BatchExecutionEngine
+from repro.runtime import columns
 from repro.streaming.engine import StreamExecutionEngine
 
 BATCH_SIZE = 256
 
+#: Local speedup floors per query for the numpy backend.  Q1/Q8 are the
+#: acceptance bars; the rest sit ~20-30% under their measured rates so a real
+#: regression trips them while timing noise does not.
+NUMPY_FLOORS = {
+    "Q1": 8.0,
+    "Q2": 2.2,
+    "Q3": 2.5,
+    "Q4": 2.0,
+    "Q5": 1.3,
+    "Q6": 3.0,
+    "Q7": 2.5,
+    "Q8": 5.0,
+}
+
+#: The pure-Python backend keeps the pre-numpy gates.
+PYTHON_FLOORS = {"Q1": 2.0, "Q3": 2.5, "Q4": 2.0, "Q8": 2.5}
+
 # Shared CI runners are timing-noisy; keep the full bars for local /
 # dedicated-hardware runs and only sanity-check the direction on CI.
-SPEEDUP_FLOOR = 1.2 if os.environ.get("CI") else 2.0
-SPEEDUP_FLOOR_STATEFUL = 1.2 if os.environ.get("CI") else 2.5
+CI = bool(os.environ.get("CI"))
 
 BENCH_JSON = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_runtime.json")
+
+
+def _ci_floor(floor: float) -> float:
+    return min(1.2, floor) if CI else floor
 
 
 def _best_rate(engine, info, scenario, repeat=3):
@@ -52,7 +74,7 @@ def _best_rate(engine, info, scenario, repeat=3):
     return best_rate, result
 
 
-def _speedup_gate(query_id, bench_scenario, floor, repeat=3):
+def _speedup_gate(query_id, bench_scenario, floor, repeat=3, write_json=True):
     """Measure record vs batch on one query, assert parity + speedup floor."""
     info = QUERY_CATALOG[query_id]
     record_rate, record_result = _best_rate(
@@ -67,104 +89,106 @@ def _speedup_gate(query_id, bench_scenario, floor, repeat=3):
     assert [r.as_dict() for r in batch_result.records] == [
         r.as_dict() for r in record_result.records
     ]
-    merge_bench_json(BENCH_JSON, query_id, record_rate, batch_rate, batch_size=BATCH_SIZE)
+    if write_json:
+        merge_bench_json(
+            BENCH_JSON,
+            query_id,
+            record_rate,
+            batch_rate,
+            batch_size=BATCH_SIZE,
+            backend=columns.active_backend(),
+        )
     speedup = batch_rate / record_rate
     print(
-        f"\n{query_id} ingestion: record {record_rate:,.0f} e/s, "
-        f"batch[{BATCH_SIZE}] {batch_rate:,.0f} e/s ({speedup:.2f}x)"
+        f"\n{query_id}[{columns.active_backend()}] ingestion: record {record_rate:,.0f} e/s, "
+        f"batch[{BATCH_SIZE}] {batch_rate:,.0f} e/s ({speedup:.2f}x, floor {floor:.1f}x)"
     )
     assert speedup >= floor
 
 
-def test_bench_q1_record_mode(benchmark, bench_scenario):
-    engine = StreamExecutionEngine(measure_bytes=False)
-    info = QUERY_CATALOG["Q1"]
+@pytest.fixture()
+def numpy_backend():
+    if not columns.numpy_available():
+        pytest.skip("numpy not installed")
+    previous = columns.active_backend()
+    columns.set_backend("numpy")
+    yield
+    columns.set_backend(previous)
+
+
+@pytest.fixture()
+def python_backend():
+    previous = columns.active_backend()
+    columns.set_backend("python")
+    yield
+    columns.set_backend(previous)
+
+
+# -- pytest-benchmark timings (informational) ---------------------------------------
+
+
+def _bench_mode(benchmark, bench_scenario, query_id, engine, label):
+    info = QUERY_CATALOG[query_id]
     result = benchmark(lambda: engine.execute(info.build(bench_scenario)))
     benchmark.extra_info["ingestion_rate_eps"] = round(result.metrics.ingestion_rate_eps, 1)
-    benchmark.extra_info["execution_mode"] = "record"
+    benchmark.extra_info["execution_mode"] = label
+    benchmark.extra_info["column_backend"] = columns.active_backend()
 
 
-def test_bench_q1_batch_mode(benchmark, bench_scenario):
-    engine = BatchExecutionEngine(batch_size=BATCH_SIZE, measure_bytes=False)
-    info = QUERY_CATALOG["Q1"]
-    result = benchmark(lambda: engine.execute(info.build(bench_scenario)))
-    benchmark.extra_info["ingestion_rate_eps"] = round(result.metrics.ingestion_rate_eps, 1)
-    benchmark.extra_info["execution_mode"] = f"batch[{BATCH_SIZE}]"
+@pytest.mark.parametrize("query_id", ["Q1", "Q3", "Q6", "Q8"])
+def test_bench_record_mode(benchmark, bench_scenario, query_id):
+    _bench_mode(
+        benchmark, bench_scenario, query_id, StreamExecutionEngine(measure_bytes=False), "record"
+    )
 
 
-def test_bench_q6_record_mode(benchmark, bench_scenario):
-    engine = StreamExecutionEngine(measure_bytes=False)
-    info = QUERY_CATALOG["Q6"]
-    result = benchmark(lambda: engine.execute(info.build(bench_scenario)))
-    benchmark.extra_info["ingestion_rate_eps"] = round(result.metrics.ingestion_rate_eps, 1)
-    benchmark.extra_info["execution_mode"] = "record"
+@pytest.mark.parametrize("query_id", ["Q1", "Q3", "Q6", "Q8"])
+def test_bench_batch_mode(benchmark, bench_scenario, query_id):
+    _bench_mode(
+        benchmark,
+        bench_scenario,
+        query_id,
+        BatchExecutionEngine(batch_size=BATCH_SIZE, measure_bytes=False),
+        f"batch[{BATCH_SIZE}]",
+    )
 
 
-def test_bench_q6_batch_mode(benchmark, bench_scenario):
-    engine = BatchExecutionEngine(batch_size=BATCH_SIZE, measure_bytes=False)
-    info = QUERY_CATALOG["Q6"]
-    result = benchmark(lambda: engine.execute(info.build(bench_scenario)))
-    benchmark.extra_info["ingestion_rate_eps"] = round(result.metrics.ingestion_rate_eps, 1)
-    benchmark.extra_info["execution_mode"] = f"batch[{BATCH_SIZE}]"
+# -- acceptance gates: numpy backend --------------------------------------------------
 
 
-def test_bench_q3_record_mode(benchmark, bench_scenario):
-    engine = StreamExecutionEngine(measure_bytes=False)
-    info = QUERY_CATALOG["Q3"]
-    result = benchmark(lambda: engine.execute(info.build(bench_scenario)))
-    benchmark.extra_info["ingestion_rate_eps"] = round(result.metrics.ingestion_rate_eps, 1)
-    benchmark.extra_info["execution_mode"] = "record"
+@pytest.mark.parametrize("query_id", sorted(NUMPY_FLOORS))
+def test_numpy_backend_speedup_gates(query_id, bench_scenario, numpy_backend):
+    """Typed-column acceptance gates over the whole catalog.
 
-
-def test_bench_q3_batch_mode(benchmark, bench_scenario):
-    engine = BatchExecutionEngine(batch_size=BATCH_SIZE, measure_bytes=False)
-    info = QUERY_CATALOG["Q3"]
-    result = benchmark(lambda: engine.execute(info.build(bench_scenario)))
-    benchmark.extra_info["ingestion_rate_eps"] = round(result.metrics.ingestion_rate_eps, 1)
-    benchmark.extra_info["execution_mode"] = f"batch[{BATCH_SIZE}]"
-
-
-def test_bench_q8_record_mode(benchmark, bench_scenario):
-    engine = StreamExecutionEngine(measure_bytes=False)
-    info = QUERY_CATALOG["Q8"]
-    result = benchmark(lambda: engine.execute(info.build(bench_scenario)))
-    benchmark.extra_info["ingestion_rate_eps"] = round(result.metrics.ingestion_rate_eps, 1)
-    benchmark.extra_info["execution_mode"] = "record"
-
-
-def test_bench_q8_batch_mode(benchmark, bench_scenario):
-    engine = BatchExecutionEngine(batch_size=BATCH_SIZE, measure_bytes=False)
-    info = QUERY_CATALOG["Q8"]
-    result = benchmark(lambda: engine.execute(info.build(bench_scenario)))
-    benchmark.extra_info["ingestion_rate_eps"] = round(result.metrics.ingestion_rate_eps, 1)
-    benchmark.extra_info["execution_mode"] = f"batch[{BATCH_SIZE}]"
-
-
-def test_batch_mode_speedup_on_q1(bench_scenario):
-    """Acceptance gate: >= 2x ingestion-rate speedup on Q1 at batch_size=256."""
-    _speedup_gate("Q1", bench_scenario, SPEEDUP_FLOOR)
-
-
-def test_batch_mode_speedup_on_q3(bench_scenario):
-    """Acceptance gate: the batch-native spatial-join kernel lifts Q3 >= 2.5x."""
-    _speedup_gate("Q3", bench_scenario, SPEEDUP_FLOOR_STATEFUL)
-
-
-def test_batch_mode_speedup_on_q4(bench_scenario):
-    """Acceptance gate: the join-heavy Q4 pipeline lifts >= 2x at batch_size=256.
-
-    Q4 chains filters, a per-record UDF map (the weather grid cell), the
-    batch-native hash join against the weather stream, and a final
-    filter/map/project — the catalog's only binary plan, now also the only
-    one that partitions on a map-derived key.  Its margin over the floor is
-    the thinnest of the gates (~2.2–2.4x), so it takes best-of-5 runs.
+    Q1 >= 8x and Q8 >= 5x are the headline bars (Q4, the catalog's thinnest
+    margin, takes best-of-5); results land in ``BENCH_runtime.json`` with the
+    active backend recorded so the perf trajectory stays comparable across
+    PRs.
     """
-    _speedup_gate("Q4", bench_scenario, SPEEDUP_FLOOR, repeat=5)
+    repeat = 5 if query_id in ("Q4", "Q8") else 3
+    _speedup_gate(
+        query_id, bench_scenario, _ci_floor(NUMPY_FLOORS[query_id]), repeat=repeat
+    )
 
 
-def test_batch_mode_speedup_on_q8(bench_scenario):
-    """Acceptance gate: batch-native CEP lifts Q8 >= 2.5x."""
-    _speedup_gate("Q8", bench_scenario, SPEEDUP_FLOOR_STATEFUL)
+# -- acceptance gates: pure-Python backend --------------------------------------------
+
+
+@pytest.mark.parametrize("query_id", sorted(PYTHON_FLOORS))
+def test_python_backend_keeps_existing_gates(query_id, bench_scenario, python_backend):
+    """The list-kernel fallback must not rot behind the numpy backend.
+
+    These are the pre-typed-column floors; results are not merged into the
+    headline JSON (the numpy rows are the tracked trajectory) unless numpy is
+    absent altogether, in which case these are the only rows.
+    """
+    _speedup_gate(
+        query_id,
+        bench_scenario,
+        _ci_floor(PYTHON_FLOORS[query_id]),
+        repeat=5 if query_id == "Q4" else 3,
+        write_json=not columns.numpy_available(),
+    )
 
 
 def test_batch_sizes_sweep_q1(bench_scenario):

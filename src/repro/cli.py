@@ -48,6 +48,14 @@ def _add_batch_arguments(parser: argparse.ArgumentParser) -> None:
         help="record field to hash partitions on (map-derived keys such as "
         "Q4's cell_id re-hash after the producing stage)",
     )
+    parser.add_argument(
+        "--batch-backend",
+        choices=["auto", "numpy", "python"],
+        default=None,
+        help="column backend for the batch runtime: typed numpy arrays "
+        "(default when numpy is importable) or the pure-Python lists "
+        "(also selectable via REPRO_BATCH_BACKEND)",
+    )
 
 
 def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
@@ -90,7 +98,18 @@ def cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_backend(args: argparse.Namespace) -> str:
+    """Apply ``--batch-backend`` (when given) and return the active backend."""
+    from repro.runtime import columns
+
+    requested = getattr(args, "batch_backend", None)
+    if requested is not None:
+        columns.set_backend(requested)
+    return columns.active_backend()
+
+
 def _engine_from(args: argparse.Namespace) -> StreamExecutionEngine:
+    _apply_backend(args)
     return StreamExecutionEngine(
         execution_mode=getattr(args, "execution_mode", "record"),
         batch_size=getattr(args, "batch_size", 256),
@@ -140,6 +159,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _bench_one(args: argparse.Namespace, scenario: Scenario, query_id: str) -> None:
+    backend = _apply_backend(args)
     info = QUERY_CATALOG[query_id]
     engines = [
         ("record", StreamExecutionEngine(measure_bytes=False)),
@@ -157,6 +177,8 @@ def _bench_one(args: argparse.Namespace, scenario: Scenario, query_id: str) -> N
     rates = []
     partitions_ran = 1
     for label, engine in engines:
+        if label != "record":
+            label = f"{label}/{backend}"
         best = None
         for _ in range(max(1, args.repeat)):
             result = engine.execute(info.build(scenario))
@@ -168,9 +190,9 @@ def _bench_one(args: argparse.Namespace, scenario: Scenario, query_id: str) -> N
         elif args.partitions > 1 and label != "record":
             label += " x1 (plan not partitionable)"
         rates.append(best)
-        print(f"{label:>16}: {best:>12,.0f} events/s ({len(result)} output records)")
+        print(f"{label:>22}: {best:>12,.0f} events/s ({len(result)} output records)")
     if rates[0]:
-        print(f"{'speedup':>16}: {rates[1] / rates[0]:.2f}x")
+        print(f"{'speedup':>22}: {rates[1] / rates[0]:.2f}x")
     if args.json:
         merge_bench_json(
             args.json,
@@ -180,6 +202,7 @@ def _bench_one(args: argparse.Namespace, scenario: Scenario, query_id: str) -> N
             batch_size=args.batch_size,
             partitions=partitions_ran,
             events_in=result.metrics.events_in,
+            backend=backend,
         )
         print(f"wrote {args.json}")
 

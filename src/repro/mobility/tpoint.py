@@ -55,6 +55,23 @@ class TGeomPoint:
     def from_instants(cls, instants: Iterable[TInstant], metric: Metric = cartesian) -> "TGeomPoint":
         return cls(TSequence(list(instants), Interpolation.LINEAR), metric)
 
+    @classmethod
+    def from_instant_run(
+        cls, instants: List[TInstant], metric: Metric = cartesian
+    ) -> "TGeomPoint":
+        """Wrap Point-valued instants already sorted by strictly increasing
+        timestamp.
+
+        The incremental path of the streaming trajectory builder: the
+        instants were validated when they entered the rolling window, so the
+        per-emission rebuild skips ``from_fixes``'s re-validation, re-sorting
+        and object reconstruction.  The list is owned by the new trajectory.
+        """
+        point = cls.__new__(cls)
+        point.sequence = TSequence.from_sorted(instants, Interpolation.LINEAR)
+        point.metric = metric
+        return point
+
     # -- accessors -----------------------------------------------------------------
 
     @property

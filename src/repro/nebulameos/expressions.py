@@ -365,10 +365,13 @@ def _vectorize_zone_lookup(expression: ZoneLookupExpression):
     index = expression.index
 
     def column(batch) -> List[List[Any]]:
-        lons, lats = _positions(expression, batch)
+        from repro.nebulameos.operators import probe_zones
+
         return [
             [] if matches is None else [key for key, _ in matches]
-            for matches in index.containing_each(lons, lats)
+            for matches in probe_zones(
+                batch, index, expression.lon_field, expression.lat_field
+            )
         ]
 
     return column

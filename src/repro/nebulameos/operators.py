@@ -27,6 +27,32 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard runtime impor
     from repro.runtime.batch import RecordBatch
 
 
+def probe_zones(batch: "RecordBatch", index: GridIndex, lon_field: str, lat_field: str):
+    """Column-wise grid probe for a batch's positions.
+
+    Prefers the batch's float64 coordinate views (``numeric_or_none``) so
+    :meth:`GridIndex.containing_each` computes the probe cells from whole
+    arrays; non-numeric coordinate columns fall back to the per-row lists
+    with identical semantics.  Shared by the spatial operators and the
+    NebulaMEOS expression kernels.
+    """
+    lon_entry = batch.numeric_or_none(lon_field)
+    lat_entry = batch.numeric_or_none(lat_field)
+    if lon_entry is not None and lat_entry is not None:
+        lons, lon_valid = lon_entry
+        lats, lat_valid = lat_entry
+        if lon_valid is None:
+            valid = lat_valid
+        elif lat_valid is None:
+            valid = lon_valid
+        else:
+            valid = lon_valid & lat_valid
+        return index.containing_each(lons, lats, valid)
+    return index.containing_each(
+        batch.column_or_none(lon_field), batch.column_or_none(lat_field)
+    )
+
+
 class GeofenceOperator(Operator):
     """Annotates each record with the geofences its position falls in.
 
@@ -96,9 +122,7 @@ class GeofenceOperator(Operator):
         """
         from repro.runtime.batch import RecordBatch
 
-        lons = batch.column_or_none(self.lon_field)
-        lats = batch.column_or_none(self.lat_field)
-        zone_lists = self.index.containing_each(lons, lats)
+        zone_lists = probe_zones(batch, self.index, self.lon_field, self.lat_field)
         output_field = self.output_field
         flag_field = f"in_{output_field}"
         if not self.transitions_only:
@@ -204,9 +228,7 @@ class SpatialJoinOperator(Operator):
         """Batch kernel: column-wise grid probe, per-row attribute merge."""
         from repro.runtime.batch import RecordBatch
 
-        lons = batch.column_or_none(self.lon_field)
-        lats = batch.column_or_none(self.lat_field)
-        match_lists = self.index.containing_each(lons, lats)
+        match_lists = probe_zones(batch, self.index, self.lon_field, self.lat_field)
         records = batch.to_records()
         attributes = self.attributes
         drop_unmatched = self.drop_unmatched

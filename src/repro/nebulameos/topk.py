@@ -5,6 +5,26 @@ stream.  For each incoming GPS event it computes the distance from the
 reporting device to every other device's last position and annotates the
 record with the k nearest ones.  Positions older than ``staleness_s`` are
 ignored, so a train that stopped reporting does not linger in the results.
+
+Fleet scoring has two implementations behind one scorer
+(:meth:`TopKNearestOperator._score_neighbours`), shared by the record path
+and the batch kernel so the two engines always produce bit-identical output:
+
+* the **scalar scan** — one ``metric.distance`` call per peer with
+  ``heapq.nsmallest`` selection — used for small fleets and under the
+  pure-Python column backend;
+* the **vectorized kernel** — once the fleet reaches
+  :attr:`~TopKNearestOperator.vector_min_fleet` devices (and numpy is the
+  active backend), per-device coordinates live in slot-addressed arrays and
+  each event scores the whole fleet with one array-kernel call
+  (:meth:`~repro.spatial.measure.Metric.make_vector_kernel`), selecting the
+  k nearest via ``argpartition`` plus an exact ``(distance, slot)`` tie-break
+  that reproduces the scalar path's stable ordering (slot order is fleet
+  first-appearance order, exactly the dict iteration order the scan uses).
+
+The two implementations agree to float tolerance but not necessarily to the
+last bit (array trig vs ``math`` trig), which is why the switch is by fleet
+size — deterministic from the stream alone — and never mixed per record.
 """
 
 from __future__ import annotations
@@ -25,6 +45,36 @@ def _distance_of(entry: Tuple[float, Any]) -> float:
     return entry[0]
 
 
+class _VectorFleet:
+    """Slot-addressed fleet state feeding a metric's vector kernel."""
+
+    __slots__ = ("np", "kernel", "slots", "devices", "seen")
+
+    def __init__(self, np, kernel, last_position: Dict[Any, Tuple[float, float, float]]) -> None:
+        self.np = np
+        self.kernel = kernel
+        self.slots: Dict[Any, int] = {}
+        self.devices: List[Any] = []
+        self.seen = np.zeros(max(64, 2 * len(last_position)))
+        # Slot order is dict insertion order == the scalar scan's iteration
+        # order, which is what keeps tie-breaking identical.
+        for device, (lon, lat, ts) in last_position.items():
+            self.update(device, lon, lat, ts)
+
+    def update(self, device: Any, lon: float, lat: float, ts: float) -> int:
+        slot = self.slots.get(device)
+        if slot is None:
+            slot = self.slots[device] = len(self.devices)
+            self.devices.append(device)
+            if slot >= len(self.seen):
+                bigger = self.np.zeros(2 * len(self.seen))
+                bigger[: len(self.seen)] = self.seen
+                self.seen = bigger
+        self.kernel.set(slot, lon, lat)
+        self.seen[slot] = ts
+        return slot
+
+
 class TopKNearestOperator(Operator):
     """Annotates each positioned record with its k nearest peers.
 
@@ -38,6 +88,12 @@ class TopKNearestOperator(Operator):
     """
 
     name = "topk_nearest"
+
+    #: Fleet size at which scoring switches to the vectorized kernel.  Below
+    #: it the scalar scan wins (a handful of ufunc dispatches costs more than
+    #: a short Python loop); at and above it the whole fleet is scored per
+    #: event in C.  Class attribute so tests can tune the switchover.
+    vector_min_fleet = 32
 
     def __init__(
         self,
@@ -62,6 +118,91 @@ class TopKNearestOperator(Operator):
         self.metric = metric
         # device -> (lon, lat, timestamp of the last fix)
         self._last_position: Dict[Any, Tuple[float, float, float]] = {}
+        #: None = not built yet; False = metric/backend cannot vectorize.
+        self._vector: Any = None
+
+    # -- fleet scoring (shared by the record path and the batch kernel) -------------
+
+    def _ensure_vector(self) -> Optional[_VectorFleet]:
+        vector = self._vector
+        if vector is False:
+            return None
+        if vector is not None:
+            return vector
+        if len(self._last_position) < self.vector_min_fleet:
+            return None
+        from repro.runtime.columns import get_numpy
+
+        np = get_numpy()
+        if np is None:
+            return None
+        kernel = self.metric.make_vector_kernel(np)
+        if kernel is None:
+            self._vector = False
+            return None
+        self._vector = _VectorFleet(np, kernel, self._last_position)
+        return self._vector
+
+    def _score_neighbours(
+        self, device: Any, lon: float, lat: float, now: float
+    ) -> List[Tuple[float, Any]]:
+        """The k nearest ``(distance, device)`` pairs, nearest first; ties in
+        fleet first-appearance order (the scalar scan's iteration order)."""
+        self._last_position[device] = (lon, lat, now)
+        vector = self._ensure_vector()
+        if vector is not None:
+            return self._score_vector(vector, device, lon, lat, now)
+        scored: List[Tuple[float, Any]] = []
+        append = scored.append
+        distance = self.metric.distance
+        staleness_s = self.staleness_s
+        position = (lon, lat)
+        # staleness is tested exactly as the record path always has
+        # (now - seen_at > staleness_s): a precomputed cutoff would round
+        # differently at the boundary
+        for other, (other_lon, other_lat, seen_at) in self._last_position.items():
+            if other == device or now - seen_at > staleness_s:
+                continue
+            append((distance(position, (other_lon, other_lat)), other))
+        return heapq.nsmallest(self.k, scored, key=_distance_of)
+
+    def _score_vector(
+        self, vector: _VectorFleet, device: Any, lon: float, lat: float, now: float
+    ) -> List[Tuple[float, Any]]:
+        np = vector.np
+        slot = vector.update(device, lon, lat, now)
+        count = len(vector.devices)
+        valid = (now - vector.seen[:count]) <= self.staleness_s
+        valid[slot] = False
+        candidates = np.flatnonzero(valid)
+        if not len(candidates):
+            return []
+        scores = vector.kernel.distances(count, lon, lat)[candidates]
+        k = self.k
+        if len(candidates) > max(4 * k, k + 1):
+            # argpartition narrows to the k smallest values, then every entry
+            # tied with the k-th is kept so the exact tie-break below sees
+            # the same candidate set a full sort would
+            part = np.argpartition(scores, k - 1)[:k]
+            kth = scores[part].max()
+            keep = np.flatnonzero(scores <= kth)
+        else:
+            keep = np.arange(len(candidates))
+        order = np.lexsort((candidates[keep], scores[keep]))[:k]
+        chosen = keep[order]
+        return [
+            (value.item(), vector.devices[candidates[index].item()])
+            for value, index in zip(scores[chosen], chosen)
+        ]
+
+    def _output_columns(self, top: List[Tuple[float, Any]]):
+        return (
+            [{"device": other, "distance_m": d} for d, other in top],
+            [other for _, other in top],
+            top[0][0] if top else None,
+        )
+
+    # -- record path -----------------------------------------------------------------
 
     def process(self, record: Record) -> Iterable[Record]:
         device = record.get(self.device_field)
@@ -70,40 +211,28 @@ class TopKNearestOperator(Operator):
         if lon is None or lat is None or device is None:
             yield record
             return
-        position = (float(lon), float(lat))
-        now = record.timestamp
-        self._last_position[device] = (position[0], position[1], now)
-
-        neighbours: List[Dict[str, Any]] = []
-        for other, (other_lon, other_lat, seen_at) in self._last_position.items():
-            if other == device:
-                continue
-            if now - seen_at > self.staleness_s:
-                continue
-            distance = self.metric.distance(position, (other_lon, other_lat))
-            neighbours.append({"device": other, "distance_m": distance})
-        neighbours.sort(key=lambda n: n["distance_m"])
-        top = neighbours[: self.k]
+        top = self._score_neighbours(device, float(lon), float(lat), record.timestamp)
+        neighbours, ids, nearest = self._output_columns(top)
         yield record.derive(
             {
-                self.output_prefix: top,
-                f"{self.output_prefix}_ids": [n["device"] for n in top],
-                f"{self.output_prefix}_distance_m": top[0]["distance_m"] if top else None,
+                self.output_prefix: neighbours,
+                f"{self.output_prefix}_ids": ids,
+                f"{self.output_prefix}_distance_m": nearest,
             }
         )
+
+    # -- batch kernel ------------------------------------------------------------------
 
     supports_batches = True
 
     def process_batch(self, batch: "RecordBatch") -> "RecordBatch":
-        """Batch kernel: columnar position reads, heap-selected top-k per row.
+        """Batch kernel: columnar position reads, shared per-row fleet scoring.
 
         Positions, devices and timestamps are extracted as whole columns once
-        per batch; the per-row scan over the fleet's last positions binds the
-        metric once and scores candidates as ``(distance, device)`` pairs, and
-        ``heapq.nsmallest`` selects the k nearest (stable on ties, exactly
-        like the record path's full sort) without sorting — or building a
-        dict for — every candidate.  The three output fields come back as
-        whole columns; rows without a position or device stay untouched.
+        per batch; each positioned row then runs the same scorer as the
+        record path (scalar scan or vectorized fleet kernel).  The three
+        output fields come back as whole columns; rows without a position or
+        device stay untouched.
         """
         from repro.runtime.batch import MISSING
 
@@ -115,11 +244,7 @@ class TopKNearestOperator(Operator):
         top_column: List[Any] = [MISSING] * n
         ids_column: List[Any] = [MISSING] * n
         distance_column: List[Any] = [MISSING] * n
-        last_position = self._last_position
-        distance = self.metric.distance
-        nsmallest = heapq.nsmallest
-        k = self.k
-        staleness_s = self.staleness_s
+        score = self._score_neighbours
         annotated = passthrough = False
         for i in range(n):
             device = devices[i]
@@ -128,22 +253,8 @@ class TopKNearestOperator(Operator):
                 passthrough = True
                 continue
             annotated = True
-            position = (float(lon), float(lat))
-            now = timestamps[i]
-            last_position[device] = (position[0], position[1], now)
-            scored: List[Tuple[float, Any]] = []
-            append = scored.append
-            # staleness is tested exactly as in ``process`` (now - seen_at >
-            # staleness_s): a precomputed cutoff would round differently at
-            # the boundary and break record-for-record parity
-            for other, (other_lon, other_lat, seen_at) in last_position.items():
-                if other == device or now - seen_at > staleness_s:
-                    continue
-                append((distance(position, (other_lon, other_lat)), other))
-            top = nsmallest(k, scored, key=_distance_of)
-            top_column[i] = [{"device": other, "distance_m": d} for d, other in top]
-            ids_column[i] = [other for _, other in top]
-            distance_column[i] = top[0][0] if top else None
+            top = score(device, float(lon), float(lat), timestamps[i])
+            top_column[i], ids_column[i], distance_column[i] = self._output_columns(top)
         if not annotated:
             return batch
         return batch.with_columns(

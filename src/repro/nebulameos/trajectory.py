@@ -17,7 +17,9 @@ from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple, TYPE_CHECK
 from repro.errors import StreamError
 from repro.mobility.imputation import fill_gaps
 from repro.mobility.tpoint import TGeomPoint
+from repro.spatial.geometry import Point
 from repro.spatial.measure import Metric, haversine
+from repro.temporal.tinstant import TInstant
 from repro.streaming.operators import Operator
 from repro.streaming.record import Record
 
@@ -26,12 +28,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard runtime impor
 
 
 class TrajectoryState:
-    """Per-device rolling buffer of GPS fixes."""
+    """Per-device rolling buffer of GPS fixes.
 
-    __slots__ = ("fixes", "horizon_s", "max_fixes")
+    The buffer is kept **incrementally as temporal instants**: every accepted
+    fix is converted to its :class:`~repro.temporal.tinstant.TInstant`
+    exactly once, on entry, and :meth:`trajectory` wraps the current window
+    via the validation-free :meth:`TGeomPoint.from_instant_run` fast path —
+    appending/evicting on the live window instead of rebuilding every
+    ``Point``/``TInstant`` (and re-sorting, re-validating) per record, which
+    made per-record emission O(window) object construction.  Emitted
+    trajectories share the (immutable) instants but never the list, so each
+    record still carries an independent trajectory value.
+    """
+
+    __slots__ = ("fixes", "instants", "horizon_s", "max_fixes")
 
     def __init__(self, horizon_s: float, max_fixes: int) -> None:
         self.fixes: Deque[Tuple[float, float, float]] = deque()
+        self.instants: Deque[TInstant] = deque()
         self.horizon_s = horizon_s
         self.max_fixes = max_fixes
 
@@ -40,18 +54,22 @@ class TrajectoryState:
             # Out-of-order or duplicate fix: keep the newest position for that instant.
             if ts == self.fixes[-1][2]:
                 self.fixes[-1] = (lon, lat, ts)
+                self.instants[-1] = TInstant(Point(lon, lat), ts)
             return
         self.fixes.append((lon, lat, ts))
+        self.instants.append(TInstant(Point(lon, lat), ts))
         cutoff = ts - self.horizon_s
         while self.fixes and self.fixes[0][2] < cutoff:
             self.fixes.popleft()
+            self.instants.popleft()
         while len(self.fixes) > self.max_fixes:
             self.fixes.popleft()
+            self.instants.popleft()
 
     def trajectory(self, metric: Metric) -> Optional[TGeomPoint]:
-        if not self.fixes:
+        if not self.instants:
             return None
-        return TGeomPoint.from_fixes(list(self.fixes), metric=metric)
+        return TGeomPoint.from_instant_run(list(self.instants), metric=metric)
 
     def __len__(self) -> int:
         return len(self.fixes)

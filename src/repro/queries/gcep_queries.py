@@ -12,7 +12,7 @@ from typing import Dict, Optional
 from repro.cep.gcep import all_of, outside_all, speed_below
 from repro.cep.patterns import times
 from repro.nebulameos.operators import NearestNeighborOperator
-from repro.nebulameos.stwindows import SpatialGridAssigner
+from repro.nebulameos.stwindows import GridCellExpression, SpatialGridAssigner
 from repro.sncb.scenario import Scenario
 from repro.sncb.zones import ZoneType
 from repro.spatial.index import GridIndex
@@ -150,18 +150,17 @@ def build_q8_brake_monitoring(scenario: Scenario, source: Optional[Source] = Non
     degrading brake effectiveness.
     """
     grid = SpatialGridAssigner(0.05)
+    cell_expression = GridCellExpression(grid, missing="unknown")
 
-    def cell_of(record) -> str:
-        lon, lat = record.get("lon"), record.get("lat")
-        if lon is None or lat is None:
-            return "unknown"
-        return grid.cell_id(float(lon), float(lat))
-
-    def brake_anomaly(record) -> bool:
-        if record.get("emergency_brake"):
-            return True
-        pressure = record.get("brake_pressure_bar")
-        return pressure is not None and float(pressure) < LOW_BRAKE_PRESSURE_BAR
+    # Declarative form of "emergency application or persistently low pipe
+    # pressure": as expressions (rather than a record callable) both the cell
+    # map and the pattern's step predicate compile to columnar kernels in the
+    # batch runtime.  ``brake_pressure_bar`` is numeric on every SNCB event
+    # (the record engine, which also evaluates both operands per record,
+    # would raise on a ``None`` pressure just like the batch engine).
+    brake_anomaly = col("emergency_brake") | (
+        col("brake_pressure_bar") < LOW_BRAKE_PRESSURE_BAR
+    )
 
     pattern = times("brake_anomaly", brake_anomaly, at_least=min_events).within(900.0)
 
@@ -180,6 +179,6 @@ def build_q8_brake_monitoring(scenario: Scenario, source: Optional[Source] = Non
 
     return (
         Query.from_source(_source(scenario, source), name="q8_brake_monitoring")
-        .map(cell=udf(cell_of, name="cell"))
+        .map(cell=cell_expression)
         .cep(pattern, key_by=["device_id", "cell"], output_builder=describe)
     )

@@ -1,23 +1,39 @@
 """Columnar micro-batches.
 
 A :class:`RecordBatch` holds a fixed number of records with per-field value
-arrays (dict-of-lists).  Batches are what flows between the vectorized
-operators of the batch execution engine: instead of paying Python-interpreter
-overhead per record and per operator, each operator touches whole columns at
-a time.
+columns.  Batches are what flows between the vectorized operators of the
+batch execution engine: instead of paying Python-interpreter overhead per
+record and per operator, each operator touches whole columns at a time.
 
 Batches are **lazily** columnar: a batch built from records keeps the row
 objects as its backbone and materializes a column the first time an operator
 reads that field.  A pipeline that filters on three fields out of twenty only
 ever transposes three columns, and converting an untouched batch back to
 records is free (the original row objects are returned).  Derived batches
-(filtered, mapped) share the unchanged column lists and row pointers —
-slicing copies list pointers, never payload values.
+(filtered, mapped) share the unchanged columns and row pointers — slicing
+copies pointers, never payload values.
+
+Columns have up to two physical representations, kept in sync lazily:
+
+* a plain Python **list** (always available on demand; the representation
+  row reconstruction and per-record fallbacks use), and
+* a typed **numpy array** (see :mod:`repro.runtime.columns`), built the
+  first time an array kernel asks for the column and propagated zero-copy
+  through ``slice``/``take``/``compress`` — under the numpy backend a
+  filtered batch never re-touches Python objects for its array columns.
+
+Conversions between the two are exact: native dtypes are used only for
+type-homogeneous ``bool``/``int``/``float`` columns (``tolist`` round-trips
+the identical values) and everything else is an ``object`` array holding the
+original Python objects.
 
 Records inside one batch may be heterogeneous (e.g. the merged outputs of a
 per-record bridge).  Absent fields are represented by the :data:`MISSING`
-sentinel in materialized columns so a batch round-trip neither invents
-``None`` fields nor loses the distinction between "absent" and "is None".
+sentinel in materialized list columns so a batch round-trip neither invents
+``None`` fields nor loses the distinction between "absent" and "is None";
+columns with MISSING entries never get a (strict) array representation —
+:meth:`RecordBatch.numeric_or_none` exposes them to coordinate kernels as
+``float64`` values plus a validity mask instead.
 """
 
 from __future__ import annotations
@@ -25,10 +41,14 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.errors import StreamError
+from repro.runtime.columns import as_list, get_numpy, is_ndarray, masked_floats, typed_array
 from repro.streaming.record import Record
 
 #: Sentinel marking a field a record did not carry (distinct from ``None``).
 MISSING = object()
+
+#: Sentinel distinguishing "not cached" from a cached ``None`` result.
+_UNSET = object()
 
 
 def _fast_record(data: Dict[str, Any], timestamp: float) -> Record:
@@ -46,13 +66,17 @@ class RecordBatch:
         "_rows",
         "_updates",
         "_columns",
+        "_arrays",
+        "_numeric",
         "_missing",
         "_timestamps",
+        "_ts_array",
         "_field_order",
         "_length",
         "_derived",
         "_version",
         "_derived_version",
+        "_row_cache",
     )
 
     def __init__(
@@ -63,15 +87,19 @@ class RecordBatch:
     ) -> None:
         """A purely column-backed batch (``from_records`` builds row-backed ones)."""
         self._rows: Optional[List[Record]] = None
-        self._updates: Optional[Dict[str, List[Any]]] = None
+        self._updates: Optional[Dict[str, Any]] = None
         self._columns: Dict[str, List[Any]] = dict(columns)
+        self._arrays: Dict[str, Any] = {}
+        self._numeric: Dict[str, Any] = {}
         self._field_order: Optional[List[str]] = list(columns)
         self._missing = {name for name, values in columns.items() if MISSING in values} if has_missing else set()
         self._timestamps: Optional[List[float]] = list(timestamps)
+        self._ts_array: Any = None
         self._length = len(timestamps)
         self._derived: Optional[List[Record]] = None
         self._version = 0
         self._derived_version = 0
+        self._row_cache: Optional[Dict[int, Record]] = None
 
     @classmethod
     def _raw(cls) -> "RecordBatch":
@@ -79,13 +107,17 @@ class RecordBatch:
         batch._rows = None
         batch._updates = None
         batch._columns = {}
+        batch._arrays = {}
+        batch._numeric = {}
         batch._field_order = None
         batch._missing = set()
         batch._timestamps = None
+        batch._ts_array = None
         batch._length = 0
         batch._derived = None
         batch._version = 0
         batch._derived_version = 0
+        batch._row_cache = None
         return batch
 
     # -- construction ------------------------------------------------------------
@@ -113,6 +145,16 @@ class RecordBatch:
             self._timestamps = [r.timestamp for r in self._rows]  # type: ignore[union-attr]
         return self._timestamps
 
+    def timestamps_array(self):
+        """The event timestamps as a ``float64`` array (``None`` under the
+        python backend)."""
+        if self._ts_array is None:
+            np = get_numpy()
+            if np is None:
+                return None
+            self._ts_array = np.asarray(self.timestamps, dtype=np.float64)
+        return self._ts_array
+
     def field_names(self) -> List[str]:
         """Field names in record order (unions heterogeneous rows)."""
         if self._field_order is not None:
@@ -133,9 +175,14 @@ class RecordBatch:
     # -- column access -------------------------------------------------------------
 
     def _materialize(self, name: str) -> Optional[List[Any]]:
-        """The raw column (may contain MISSING), or None when entirely absent."""
+        """The raw list column (may contain MISSING), or None when entirely absent."""
         values = self._columns.get(name)
         if values is not None:
+            return values
+        array = self._arrays.get(name)
+        if array is not None:
+            values = array.tolist()
+            self._columns[name] = values
             return values
         rows = self._rows
         if rows is None:
@@ -154,8 +201,8 @@ class RecordBatch:
         )
 
     def column(self, name: str) -> List[Any]:
-        """The column for ``name``; raises like ``Record.__getitem__`` when any
-        row lacks the field."""
+        """The column for ``name`` as a list; raises like ``Record.__getitem__``
+        when any row lacks the field."""
         values = self._materialize(name)
         if values is None:
             raise self._missing_error(name)
@@ -169,6 +216,34 @@ class RecordBatch:
             self._missing.discard(name)
         return values
 
+    def array(self, name: str):
+        """The column as a typed ndarray, or ``None`` under the python backend.
+
+        Error semantics are exactly :meth:`column`'s (an entirely absent or
+        MISSING-holed field raises :class:`StreamError`).  Homogeneous
+        ``bool``/``int``/``float`` columns come back with a native dtype;
+        everything else as an ``object`` array over the same Python objects.
+        The array is cached and flows zero-copy through derived batches.
+        """
+        array = self._arrays.get(name)
+        if array is not None:
+            return array
+        if get_numpy() is None:
+            return None
+        array = typed_array(self.column(name))
+        if array is not None:
+            self._arrays[name] = array
+        return array
+
+    def none_mask(self, name: str, invert: bool):
+        """Precomputed ``column == None`` (or ``!= None``) mask, if one exists.
+
+        Only cache-backed source batches (:mod:`repro.runtime.storage`) have
+        one; everywhere else the compiled ``== None`` kernels take their
+        regular path.  ``None`` means "not available", never "empty mask".
+        """
+        return None
+
     def column_or_none(self, name: str) -> List[Any]:
         """The column with ``Record.get`` semantics: absent values become None."""
         values = self._materialize(name)
@@ -178,79 +253,194 @@ class RecordBatch:
             return [None if v is MISSING else v for v in values]
         return values
 
+    def numeric_or_none(self, name: str):
+        """``(float64 values, validity)`` with ``column_or_none`` semantics.
+
+        For numeric columns — including ones holed by ``None`` values or the
+        MISSING sentinel — returns a ``float64`` array plus a boolean
+        validity mask (``None`` mask = every row valid); rows that
+        ``column_or_none`` would report as ``None`` are invalid.  Returns
+        ``None`` for non-numeric columns and under the python backend, so
+        callers keep their per-row fallback.  Used by the coordinate kernels
+        (grid probes, haversine scoring), which cast values per row anyway.
+        """
+        cached = self._numeric.get(name, _UNSET)
+        if cached is not _UNSET:
+            return cached
+        np = get_numpy()
+        result = None
+        if np is not None:
+            array = self._arrays.get(name)
+            if array is not None and array.dtype.kind in "bif":
+                values = array if array.dtype.kind == "f" else array.astype(np.float64)
+                result = (values, None)
+            else:
+                values_list = self._materialize(name)
+                if values_list is None:
+                    result = (np.zeros(self._length), np.zeros(self._length, dtype=bool))
+                else:
+                    result = masked_floats(values_list, MISSING)
+        self._numeric[name] = result
+        return result
+
     # -- transformations ---------------------------------------------------------------
 
     def _derive_shape(
         self,
         rows: Optional[List[Record]],
         columns: Dict[str, List[Any]],
+        arrays: Dict[str, Any],
+        numeric: Dict[str, Any],
         timestamps: Optional[List[float]],
+        ts_array: Any,
         length: int,
     ) -> "RecordBatch":
         batch = RecordBatch._raw()
         batch._rows = rows
         batch._columns = columns
+        batch._arrays = arrays
+        batch._numeric = numeric
         batch._missing = set(self._missing)
         batch._timestamps = timestamps
+        batch._ts_array = ts_array
         batch._length = length
         if self._updates is not None:
-            batch._updates = {name: columns[name] for name in self._updates}
+            batch._updates = {
+                name: (columns[name] if name in columns else arrays[name])
+                for name in self._updates
+            }
         if rows is None:
             batch._field_order = self.field_names()
         return batch
 
     def slice(self, start: int, stop: int) -> "RecordBatch":
-        """A contiguous sub-batch (lists are sliced, values shared)."""
+        """A contiguous sub-batch (lists are sliced, arrays are views)."""
         norm_start, norm_stop, _ = slice(start, stop).indices(self._length)
         rows = self._rows[norm_start:norm_stop] if self._rows is not None else None
+        arrays = {name: array[norm_start:norm_stop] for name, array in self._arrays.items()}
         columns = {
-            name: values[norm_start:norm_stop] for name, values in self._columns.items()
+            name: values[norm_start:norm_stop]
+            for name, values in self._columns.items()
+            if name not in arrays
+        }
+        numeric = {
+            name: (
+                (entry[0][norm_start:norm_stop], None if entry[1] is None else entry[1][norm_start:norm_stop])
+                if entry is not None
+                else None
+            )
+            for name, entry in self._numeric.items()
         }
         timestamps = (
             self._timestamps[norm_start:norm_stop] if self._timestamps is not None else None
         )
-        return self._derive_shape(rows, columns, timestamps, max(0, norm_stop - norm_start))
+        ts_array = self._ts_array[norm_start:norm_stop] if self._ts_array is not None else None
+        return self._derive_shape(
+            rows, columns, arrays, numeric, timestamps, ts_array, max(0, norm_stop - norm_start)
+        )
 
     def take(self, indices: Sequence[int]) -> "RecordBatch":
-        """The rows at the given positions, in the given order."""
+        """The rows at the given positions, in the given order.
+
+        ``indices`` may be a Python list or an index ndarray (the output of
+        ``np.flatnonzero`` on a filter mask): list-backed columns and rows
+        are gathered with Python list comprehensions, array-backed columns
+        with C fancy indexing.
+        """
+        if is_ndarray(indices):
+            index_array = indices
+            index_list = indices.tolist()
+        else:
+            index_list = indices if isinstance(indices, list) else list(indices)
+            index_array = None
         rows = self._rows
-        taken_rows = [rows[i] for i in indices] if rows is not None else None
+        taken_rows = [rows[i] for i in index_list] if rows is not None else None
+        arrays: Dict[str, Any] = {}
+        numeric: Dict[str, Any] = {}
+        if self._arrays or any(entry is not None for entry in self._numeric.values()):
+            if index_array is None:
+                np = get_numpy()
+                index_array = np.asarray(index_list, dtype=np.intp) if np is not None else None
+            arrays = {name: array[index_array] for name, array in self._arrays.items()}
+            numeric = {
+                name: (
+                    (entry[0][index_array], None if entry[1] is None else entry[1][index_array])
+                    if entry is not None
+                    else None
+                )
+                for name, entry in self._numeric.items()
+            }
+        else:
+            numeric = dict(self._numeric)
         columns = {
-            name: [values[i] for i in indices] for name, values in self._columns.items()
+            name: [values[i] for i in index_list]
+            for name, values in self._columns.items()
+            if name not in arrays
         }
         timestamps = self._timestamps
-        taken_ts = [timestamps[i] for i in indices] if timestamps is not None else None
-        return self._derive_shape(taken_rows, columns, taken_ts, len(indices))
+        taken_ts = [timestamps[i] for i in index_list] if timestamps is not None else None
+        ts_array = self._ts_array[index_array] if self._ts_array is not None and index_array is not None else None
+        return self._derive_shape(
+            taken_rows, columns, arrays, numeric, taken_ts, ts_array, len(index_list)
+        )
 
     def compress(self, mask: Sequence[Any]) -> "RecordBatch":
-        """The rows whose mask entry is truthy (vectorized filter kernel)."""
+        """The rows whose mask entry is truthy (vectorized filter kernel).
+
+        A boolean ndarray mask (the numpy backend's compiled predicates)
+        selects via ``np.flatnonzero``; list masks via a Python scan.
+        """
+        if is_ndarray(mask):
+            np = get_numpy()
+            indices = np.flatnonzero(mask)
+            if len(indices) == self._length:
+                return self
+            return self.take(indices)
         indices = [i for i, keep in enumerate(mask) if keep]
         if len(indices) == self._length:
             return self
         return self.take(indices)
 
     def with_columns(
-        self, updates: Dict[str, List[Any]], has_missing: bool = False
+        self, updates: Dict[str, Any], has_missing: bool = False
     ) -> "RecordBatch":
         """Add or overwrite columns, mirroring ``Record.derive`` field order:
         existing fields keep their position, new fields append in update order.
+
+        Update values may be Python lists or ndarrays (the output of ufunc
+        kernels); arrays are stored as the column's array representation and
+        only converted to a list if row reconstruction needs them.
 
         ``has_missing`` declares that update columns may contain the
         :data:`MISSING` sentinel (a row the operator leaves untouched, e.g. a
         position-less record passing through a plugin kernel); those entries
         are tracked so the row neither gains the field nor turns it into
         ``None`` when materialized.  The flag exists so the hot map path does
-        not pay a sentinel scan per column.
+        not pay a sentinel scan per column.  MISSING-holed updates must be
+        lists (array kernels never produce MISSING).
         """
         batch = RecordBatch._raw()
         batch._rows = self._rows
-        batch._columns = {**self._columns, **updates}
+        array_updates = {name: v for name, v in updates.items() if is_ndarray(v)}
+        list_updates = {name: v for name, v in updates.items() if name not in array_updates}
+        batch._arrays = {
+            name: array for name, array in self._arrays.items() if name not in updates
+        }
+        batch._arrays.update(array_updates)
+        batch._columns = {
+            name: values for name, values in self._columns.items() if name not in updates
+        }
+        batch._columns.update(list_updates)
+        batch._numeric = {
+            name: entry for name, entry in self._numeric.items() if name not in updates
+        }
         batch._missing = self._missing - set(updates)
         if has_missing:
             batch._missing.update(
-                name for name, values in updates.items() if MISSING in values
+                name for name, values in list_updates.items() if MISSING in values
             )
         batch._timestamps = self._timestamps
+        batch._ts_array = self._ts_array
         batch._length = self._length
         if self._rows is not None:
             merged = dict(self._updates) if self._updates else {}
@@ -274,7 +464,7 @@ class RecordBatch:
         """
         return self._version
 
-    def set_column(self, name: str, values: List[Any]) -> None:
+    def set_column(self, name: str, values: Sequence[Any]) -> None:
         """Write a column **in place**, invalidating cached rows.
 
         This is the one sanctioned mutation on a batch (everything else
@@ -289,8 +479,10 @@ class RecordBatch:
             raise StreamError(
                 f"column {name!r} has {len(values)} values for a batch of {self._length} rows"
             )
-        values = list(values)
+        values = as_list(values) if is_ndarray(values) else list(values)
         self._columns[name] = values
+        self._arrays.pop(name, None)
+        self._numeric.pop(name, None)
         if MISSING in values:
             self._missing.add(name)
         else:
@@ -306,15 +498,33 @@ class RecordBatch:
     def project(self, fields: Sequence[str]) -> "RecordBatch":
         """Keep only the listed columns (raises like ``Record.project`` on a
         missing field); the result is purely column-backed."""
-        columns = {name: self.column(name) for name in fields}
+        columns: Dict[str, List[Any]] = {}
+        arrays: Dict[str, Any] = {}
+        for name in fields:
+            array = self._arrays.get(name)
+            if array is not None:
+                arrays[name] = array
+            else:
+                columns[name] = self.column(name)
         batch = RecordBatch._raw()
         batch._columns = columns
+        batch._arrays = arrays
         batch._field_order = list(fields)
         batch._timestamps = self.timestamps
+        batch._ts_array = self._ts_array
         batch._length = self._length
         return batch
 
     # -- row access ---------------------------------------------------------------------
+
+    def _update_lists(self) -> Dict[str, List[Any]]:
+        """The update columns as lists (array-valued updates are converted
+        in place, so the conversion happens at most once per batch)."""
+        updates = self._updates or {}
+        for name, values in updates.items():
+            if is_ndarray(values):
+                updates[name] = values.tolist()
+        return updates
 
     def to_records(self) -> List[Record]:
         """The rows as records.
@@ -333,7 +543,7 @@ class RecordBatch:
         if self._derived is None:
             self._derived_version = self._version
             if rows is not None:
-                updates = self._updates or {}
+                updates = self._update_lists()
                 names = list(updates)
                 columns = [updates[name] for name in names]
                 derived = []
@@ -364,7 +574,7 @@ class RecordBatch:
                 self._derived = derived
             else:
                 names = self.field_names()
-                columns = [self._columns[name] for name in names]
+                columns = [self._materialize(name) for name in names]
                 timestamps = self.timestamps
                 if self._missing:
                     derived = []
@@ -385,6 +595,47 @@ class RecordBatch:
                         )
                     ]
         return self._derived
+
+    def row_at(self, index: int) -> Record:
+        """One row as a record, materialized lazily and cached per index.
+
+        Sparse counterpart of :meth:`to_records` for consumers that touch
+        only a few rows of a batch (the CEP operator binding matched events):
+        rows that are never accessed are never built.  Returns the identical
+        objects :meth:`to_records` would return when those are free or
+        already cached.
+        """
+        rows = self._rows
+        if rows is not None and not self._updates:
+            return rows[index]
+        if self._derived is not None and self._derived_version == self._version:
+            return self._derived[index]
+        cache = self._row_cache
+        if cache is None or self._derived_version != self._version:
+            self._derived_version = self._version
+            self._derived = None
+            cache = self._row_cache = {}
+        record = cache.get(index)
+        if record is not None:
+            return record
+        if rows is not None:
+            base = rows[index]
+            data = dict(base.data)
+            for name, values in self._update_lists().items():
+                value = values[index]
+                if value is not MISSING:
+                    data[name] = value
+            record = _fast_record(data, base.timestamp)
+        else:
+            data = {}
+            for name in self.field_names():
+                values = self._materialize(name)
+                value = values[index]  # type: ignore[index]
+                if value is not MISSING:
+                    data[name] = value
+            record = _fast_record(data, self.timestamps[index])
+        cache[index] = record
+        return record
 
     def __iter__(self) -> Iterator[Record]:
         return iter(self.to_records())
@@ -411,9 +662,9 @@ class RecordBatch:
 
         total = 8 * self._length
         for name in self.field_names():
-            values = self._columns[name]
+            values = self._materialize(name)
             name_len = len(name)
-            for value in values:
+            for value in values:  # type: ignore[union-attr]
                 if value is MISSING:
                     continue
                 total += name_len + estimate_value_bytes(value)

@@ -1,0 +1,189 @@
+"""Typed, numpy-backed column storage for the batch runtime.
+
+This module is the single place that decides how a :class:`RecordBatch`
+column is physically represented.  Two backends exist:
+
+* ``numpy`` (the default whenever numpy is importable) — columns are typed
+  ``ndarray`` objects: homogeneous ``bool``/``int``/``float`` columns get a
+  native dtype (``bool_``/``int64``/``float64``) so the expression compiler
+  can run real ufunc kernels over them; every other column becomes an
+  ``object``-dtype array, whose "ufuncs" dispatch the ordinary Python
+  operators element-wise from a C loop — identical semantics (including
+  which exception is raised, and for which row), just without interpreter
+  bytecode per element.
+* ``python`` — no arrays are ever produced; every kernel takes its
+  pure-Python list path.  This is both the fallback when numpy is missing
+  and a first-class backend selectable via ``REPRO_BATCH_BACKEND=python``
+  (CI proves the whole suite green without numpy installed).
+
+Exactness rules (these are what keep record-for-record parity *bit-exact*,
+not approximate):
+
+* A native dtype is only used for **type-homogeneous** columns.  A mixed
+  ``int``/``float`` column stays ``object`` — promoting it to ``float64``
+  would silently turn ``1`` into ``1.0`` in reconstructed records and lose
+  integer exactness past 2**53.  (Spatial kernels that *want* the float64
+  promotion — they cast per row anyway — use :func:`masked_floats`.)
+* Python ints that overflow ``int64`` force the object representation, so
+  arbitrary-precision arithmetic is preserved.
+* Reconstruction is ``ndarray.tolist()``: for the three native dtypes this
+  round-trips exactly (``np.float64 -> float`` is the identical IEEE value;
+  ``int64 -> int``; ``bool_ -> bool``), and object arrays hand back the very
+  same Python objects they were built from.
+
+The env variable is read once at import; tests and the CLI switch with
+:func:`set_backend`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.errors import StreamError
+
+try:  # pragma: no cover - exercised via both CI legs
+    import numpy as _numpy
+except ImportError:  # pragma: no cover
+    _numpy = None
+
+#: The numpy module when the numpy backend is active, else ``None``.  All
+#: array producers in the runtime consult this through :func:`get_numpy` so a
+#: ``set_backend`` call takes effect immediately, with no re-imports.
+_np = None
+
+_BACKENDS = ("auto", "numpy", "python")
+
+
+def resolve_backend(requested: Optional[str]) -> str:
+    """The backend name for a requested value (``None``/"auto" pick numpy
+    when importable)."""
+    requested = requested or "auto"
+    if requested not in _BACKENDS:
+        raise StreamError(
+            f"unknown REPRO_BATCH_BACKEND {requested!r}; expected one of {_BACKENDS}"
+        )
+    if requested == "numpy" and _numpy is None:
+        raise StreamError("REPRO_BATCH_BACKEND=numpy requested but numpy is not importable")
+    if requested == "auto":
+        return "numpy" if _numpy is not None else "python"
+    return requested
+
+
+def set_backend(name: Optional[str]) -> str:
+    """Select the column backend (``auto`` / ``numpy`` / ``python``).
+
+    Returns the resolved backend name.  Takes effect for every batch built
+    afterwards; batches already holding arrays keep them (their semantics do
+    not depend on the active backend).
+    """
+    global _np
+    resolved = resolve_backend(name)
+    _np = _numpy if resolved == "numpy" else None
+    return resolved
+
+
+def active_backend() -> str:
+    """The currently active column backend: ``"numpy"`` or ``"python"``."""
+    return "python" if _np is None else "numpy"
+
+
+def numpy_available() -> bool:
+    return _numpy is not None
+
+
+def get_numpy():
+    """The numpy module if the numpy backend is active, else ``None``."""
+    return _np
+
+
+set_backend(os.environ.get("REPRO_BATCH_BACKEND"))
+
+
+def is_ndarray(values: Any) -> bool:
+    """Whether ``values`` is a numpy array (False when numpy is missing)."""
+    return _numpy is not None and isinstance(values, _numpy.ndarray)
+
+
+def as_list(values: Any) -> List[Any]:
+    """A plain Python list for a column in either representation.
+
+    ``tolist`` on the native dtypes yields Python scalars with the exact
+    same values; object arrays return their original objects.
+    """
+    if _numpy is not None and isinstance(values, _numpy.ndarray):
+        return values.tolist()
+    return values if isinstance(values, list) else list(values)
+
+
+# -- dtype inference -------------------------------------------------------------------
+
+
+def typed_array(values: Sequence[Any]) -> Optional[Any]:
+    """The typed ndarray for a hole-free column, or ``None`` (python backend).
+
+    Dtype inference is sample-driven over the *whole* column (``set(map(type,
+    ...))`` runs at C speed): exactly-``bool`` columns become ``bool_``,
+    exactly-``int`` columns ``int64`` (falling back when a value overflows),
+    exactly-``float`` columns ``float64``; anything else — mixed numerics,
+    strings, ``None`` values, nested lists, plugin objects — becomes an
+    ``object`` array holding the original Python objects.
+    """
+    np = _np
+    if np is None:
+        return None
+    kinds = set(map(type, values))
+    if kinds == {bool}:
+        return np.asarray(values, dtype=np.bool_)
+    if kinds == {int}:
+        try:
+            return np.asarray(values, dtype=np.int64)
+        except OverflowError:
+            return _object_array(values)
+    if kinds == {float}:
+        return np.asarray(values, dtype=np.float64)
+    return _object_array(values)
+
+
+def _object_array(values: Sequence[Any]) -> Any:
+    """An object-dtype array of the exact Python objects in ``values``.
+
+    ``np.fromiter`` treats every item as one element, so list- or
+    array-valued cells never trigger numpy's nested-sequence broadcasting.
+    """
+    return _np.fromiter(values, dtype=object, count=len(values))
+
+
+def masked_floats(values: Sequence[Any], missing: Any) -> Optional[Tuple[Any, Any]]:
+    """``(float64 values, bool validity)`` for a numeric column with holes.
+
+    This is the ``column_or_none`` counterpart for coordinate kernels: every
+    ``int``/``float``/``bool`` value is promoted to ``float64`` (the kernels
+    cast per row anyway, so the promotion loses nothing they used), and
+    ``None`` / ``missing``-sentinel entries are marked invalid (validity
+    ``False``) with a ``0.0`` fill.  Returns ``None`` when the column holds
+    anything else (or under the python backend) — callers fall back to their
+    per-row path, preserving whatever error the row-wise code would raise.
+    """
+    np = _np
+    if np is None:
+        return None
+    kinds = set(map(type, values))
+    plain = kinds <= {int, float, bool}
+    if plain:
+        try:
+            return np.asarray(values, dtype=np.float64), None
+        except OverflowError:
+            return None
+    if not kinds <= {int, float, bool, type(None), type(missing)}:
+        return None
+    try:
+        array = _object_array(values)
+        invalid = array == None  # noqa: E711 - elementwise None test
+        if missing is not None:
+            invalid |= array == missing
+        filled = array.copy()
+        filled[invalid] = 0.0
+        return filled.astype(np.float64), ~invalid
+    except Exception:
+        return None

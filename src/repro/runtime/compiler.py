@@ -2,10 +2,42 @@
 
 Compiles the per-record expression trees of
 :mod:`repro.streaming.expressions` into closures that evaluate one whole
-:class:`~repro.runtime.batch.RecordBatch` at a time and return a column
-(list) of values.  The tree is walked once at compile time; at run time each
-node costs one Python call per *batch* plus a C-level ``map``/comprehension
-over the rows, instead of a full interpreter-dispatched tree walk per record.
+:class:`~repro.runtime.batch.RecordBatch` at a time and return a column of
+values.  The tree is walked once at compile time; at run time each node costs
+one Python call per *batch*.
+
+Under the numpy column backend (:mod:`repro.runtime.columns`) field reads
+return typed arrays and the binary/unary kernels run as real ufuncs:
+comparisons, arithmetic and the boolean combinators produce mask/value arrays
+with no per-row interpreter dispatch, which is what lets the batch filter
+select rows via ``np.flatnonzero`` and the map operator attach result columns
+without ever materializing Python rows.  Under the python backend (or for
+inputs that are not arrays) every kernel falls back to the original
+list-comprehension form.
+
+The array kernels are **exact**, not approximate — each one is enabled only
+where numpy reproduces the record engine's Python semantics bit-for-bit:
+
+* native dtypes exist only for type-homogeneous columns (so ``int`` stays
+  arbitrary-precision-exact within ``int64`` and never silently becomes
+  ``float``);
+* ``bool`` operands of arithmetic are cast to ``int64`` first (Python's
+  ``True + True == 2``, where numpy's bool ufuncs saturate);
+* division only vectorizes over ``float64`` (numpy's ``int/int`` rounds the
+  operands, CPython rounds the exact rational) and falls back to the Python
+  kernel when numpy flags a zero-division/invalid operation, so the
+  ``ZeroDivisionError`` the record engine would raise is raised identically;
+* ``%`` only vectorizes over integers (C and CPython agree exactly there);
+* comparisons mixing ``int64`` and ``float64`` fall back (numpy compares
+  them through a lossy cast, CPython exactly);
+* ``object``-dtype operands run the ordinary Python operators element-wise
+  inside numpy's C loop — same values, same exceptions — and mixed
+  native/object operands are boxed back to Python scalars first.
+
+One documented divergence remains: ``int64`` arithmetic that overflows
+2**63 wraps instead of promoting to a Python long.  (Column *values* beyond
+``int64`` force the object representation, so this needs two in-range values
+whose sum overflows.)
 
 The exact built-in expression types are vectorized here; expression
 subclasses defined by plugins can register their own columnar kernels via
@@ -21,6 +53,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List
 
 from repro.runtime.batch import RecordBatch
+from repro.runtime.columns import get_numpy, is_ndarray
 from repro.streaming.expressions import (
     AliasedExpression,
     BinaryExpression,
@@ -33,13 +66,18 @@ from repro.streaming.expressions import (
     UnaryExpression,
 )
 
-#: A compiled expression: batch in, one value per row out.
+#: A compiled expression: batch in, one value per row out (list or ndarray).
 ColumnFunction = Callable[[RecordBatch], List[Any]]
+
+
+def _to_list(values: Any) -> List[Any]:
+    return values.tolist() if is_ndarray(values) else values
 
 
 def _compile_field(name: str) -> ColumnFunction:
     def read_column(batch: RecordBatch) -> List[Any]:
-        return batch.column(name)
+        array = batch.array(name)
+        return array if array is not None else batch.column(name)
 
     return read_column
 
@@ -60,93 +98,347 @@ def _compile_fallback(expression: Expression) -> ColumnFunction:
     return per_record
 
 
-# Symbol-specialized binary kernels.  ``map(lambda a, b: a > b, ...)`` pays a
-# Python frame per row; a comprehension with the operator inlined is several
-# times cheaper and — because the record engine's lambdas evaluate both sides
-# unconditionally — semantically identical, including for "and"/"or" (which
-# return ``bool(a) and bool(b)``, not a short-circuited operand).
-_BINARY_ZIP_KERNELS: dict = {
-    "+": lambda lf, rf: lambda b: [x + y for x, y in zip(lf(b), rf(b))],
-    "-": lambda lf, rf: lambda b: [x - y for x, y in zip(lf(b), rf(b))],
-    "*": lambda lf, rf: lambda b: [x * y for x, y in zip(lf(b), rf(b))],
-    "/": lambda lf, rf: lambda b: [x / y for x, y in zip(lf(b), rf(b))],
-    "%": lambda lf, rf: lambda b: [x % y for x, y in zip(lf(b), rf(b))],
-    ">": lambda lf, rf: lambda b: [x > y for x, y in zip(lf(b), rf(b))],
-    ">=": lambda lf, rf: lambda b: [x >= y for x, y in zip(lf(b), rf(b))],
-    "<": lambda lf, rf: lambda b: [x < y for x, y in zip(lf(b), rf(b))],
-    "<=": lambda lf, rf: lambda b: [x <= y for x, y in zip(lf(b), rf(b))],
-    "==": lambda lf, rf: lambda b: [x == y for x, y in zip(lf(b), rf(b))],
-    "!=": lambda lf, rf: lambda b: [x != y for x, y in zip(lf(b), rf(b))],
-    "and": lambda lf, rf: lambda b: [bool(x) and bool(y) for x, y in zip(lf(b), rf(b))],
-    "or": lambda lf, rf: lambda b: [bool(x) or bool(y) for x, y in zip(lf(b), rf(b))],
+# -- pure-Python kernels ---------------------------------------------------------------
+#
+# Symbol-specialized binary kernels over plain lists.  ``map(lambda a, b:
+# a > b, ...)`` pays a Python frame per row; a comprehension with the operator
+# inlined is several times cheaper and — because the record engine's lambdas
+# evaluate both sides unconditionally — semantically identical, including for
+# "and"/"or" (which return ``bool(a) and bool(b)``, not a short-circuited
+# operand).
+
+_PY_ZIP_KERNELS: dict = {
+    "+": lambda l, r: [x + y for x, y in zip(l, r)],
+    "-": lambda l, r: [x - y for x, y in zip(l, r)],
+    "*": lambda l, r: [x * y for x, y in zip(l, r)],
+    "/": lambda l, r: [x / y for x, y in zip(l, r)],
+    "%": lambda l, r: [x % y for x, y in zip(l, r)],
+    ">": lambda l, r: [x > y for x, y in zip(l, r)],
+    ">=": lambda l, r: [x >= y for x, y in zip(l, r)],
+    "<": lambda l, r: [x < y for x, y in zip(l, r)],
+    "<=": lambda l, r: [x <= y for x, y in zip(l, r)],
+    "==": lambda l, r: [x == y for x, y in zip(l, r)],
+    "!=": lambda l, r: [x != y for x, y in zip(l, r)],
+    "and": lambda l, r: [bool(x) and bool(y) for x, y in zip(l, r)],
+    "or": lambda l, r: [bool(x) or bool(y) for x, y in zip(l, r)],
 }
 
-_BINARY_CONST_RIGHT_KERNELS: dict = {
-    "+": lambda lf, c: lambda b: [x + c for x in lf(b)],
-    "-": lambda lf, c: lambda b: [x - c for x in lf(b)],
-    "*": lambda lf, c: lambda b: [x * c for x in lf(b)],
-    "/": lambda lf, c: lambda b: [x / c for x in lf(b)],
-    "%": lambda lf, c: lambda b: [x % c for x in lf(b)],
-    ">": lambda lf, c: lambda b: [x > c for x in lf(b)],
-    ">=": lambda lf, c: lambda b: [x >= c for x in lf(b)],
-    "<": lambda lf, c: lambda b: [x < c for x in lf(b)],
-    "<=": lambda lf, c: lambda b: [x <= c for x in lf(b)],
-    "==": lambda lf, c: lambda b: [x == c for x in lf(b)],
-    "!=": lambda lf, c: lambda b: [x != c for x in lf(b)],
+_PY_CONST_RIGHT_KERNELS: dict = {
+    "+": lambda l, c: [x + c for x in l],
+    "-": lambda l, c: [x - c for x in l],
+    "*": lambda l, c: [x * c for x in l],
+    "/": lambda l, c: [x / c for x in l],
+    "%": lambda l, c: [x % c for x in l],
+    ">": lambda l, c: [x > c for x in l],
+    ">=": lambda l, c: [x >= c for x in l],
+    "<": lambda l, c: [x < c for x in l],
+    "<=": lambda l, c: [x <= c for x in l],
+    "==": lambda l, c: [x == c for x in l],
+    "!=": lambda l, c: [x != c for x in l],
     # The non-constant side is still evaluated (the record engine's lambdas
     # evaluate both operands), only the per-row bool coercion is elided.
-    "and": lambda lf, c: (
-        (lambda b: [bool(x) for x in lf(b)]) if c else (lambda b: [False for _ in lf(b)])
-    ),
-    "or": lambda lf, c: (
-        (lambda b: [True for _ in lf(b)]) if c else (lambda b: [bool(x) for x in lf(b)])
-    ),
+    "and": lambda l, c: [bool(x) for x in l] if c else [False for _ in l],
+    "or": lambda l, c: [True for _ in l] if c else [bool(x) for x in l],
 }
 
-_BINARY_CONST_LEFT_KERNELS: dict = {
-    "+": lambda c, rf: lambda b: [c + y for y in rf(b)],
-    "-": lambda c, rf: lambda b: [c - y for y in rf(b)],
-    "*": lambda c, rf: lambda b: [c * y for y in rf(b)],
-    "/": lambda c, rf: lambda b: [c / y for y in rf(b)],
-    "%": lambda c, rf: lambda b: [c % y for y in rf(b)],
-    ">": lambda c, rf: lambda b: [c > y for y in rf(b)],
-    ">=": lambda c, rf: lambda b: [c >= y for y in rf(b)],
-    "<": lambda c, rf: lambda b: [c < y for y in rf(b)],
-    "<=": lambda c, rf: lambda b: [c <= y for y in rf(b)],
-    "==": lambda c, rf: lambda b: [c == y for y in rf(b)],
-    "!=": lambda c, rf: lambda b: [c != y for y in rf(b)],
-    "and": lambda c, rf: (
-        (lambda b: [bool(y) for y in rf(b)]) if c else (lambda b: [False for _ in rf(b)])
-    ),
-    "or": lambda c, rf: (
-        (lambda b: [True for _ in rf(b)]) if c else (lambda b: [bool(y) for y in rf(b)])
-    ),
+_PY_CONST_LEFT_KERNELS: dict = {
+    "+": lambda c, r: [c + y for y in r],
+    "-": lambda c, r: [c - y for y in r],
+    "*": lambda c, r: [c * y for y in r],
+    "/": lambda c, r: [c / y for y in r],
+    "%": lambda c, r: [c % y for y in r],
+    ">": lambda c, r: [c > y for y in r],
+    ">=": lambda c, r: [c >= y for y in r],
+    "<": lambda c, r: [c < y for y in r],
+    "<=": lambda c, r: [c <= y for y in r],
+    "==": lambda c, r: [c == y for y in r],
+    "!=": lambda c, r: [c != y for y in r],
+    "and": lambda c, r: [bool(y) for y in r] if c else [False for _ in r],
+    "or": lambda c, r: [True for _ in r] if c else [bool(y) for y in r],
 }
+
+_COMPARISONS = {">", ">=", "<", "<=", "==", "!="}
+_ARITHMETIC = {"+", "-", "*", "/", "%"}
+
+
+# -- array kernels ---------------------------------------------------------------------
+
+
+def _as_bool(array, np):
+    """Per-element Python truthiness as a bool array (C-level for natives)."""
+    return array if array.dtype == np.bool_ else array.astype(bool)
+
+
+def _cmp_ufunc(symbol: str, np):
+    return {
+        ">": np.greater,
+        ">=": np.greater_equal,
+        "<": np.less,
+        "<=": np.less_equal,
+        "==": np.equal,
+        "!=": np.not_equal,
+    }[symbol]
+
+
+def _arith_ufunc(symbol: str, np):
+    return {
+        "+": np.add,
+        "-": np.subtract,
+        "*": np.multiply,
+        "/": np.true_divide,
+        "%": np.remainder,
+    }[symbol]
+
+
+def _native_operand(value, np):
+    """Normalize a native-path operand: bool arrays/consts become int64/int
+    (Python arithmetic treats ``True`` as ``1``); returns ``None`` for
+    operands the native kernels must not touch."""
+    if is_ndarray(value):
+        if value.dtype == np.bool_:
+            return value.astype(np.int64)
+        return value
+    if type(value) is bool:
+        return int(value)
+    return value
+
+
+def _kind_of(value, np) -> str:
+    """'i' / 'f' for an int64/float64 array or int/float scalar."""
+    if is_ndarray(value):
+        return value.dtype.kind
+    return "i" if type(value) is int else "f"
+
+
+def _array_binary(symbol: str, left: Any, right: Any):
+    """The ufunc result for a binary kernel, or ``None`` to take the exact
+    Python fallback.  Operands are ndarrays or (for one side) scalar
+    constants already screened by :func:`_const_supported`."""
+    np = get_numpy()
+    if symbol == "and" or symbol == "or":
+        masks = []
+        for operand in (left, right):
+            if is_ndarray(operand):
+                masks.append(_as_bool(operand, np))
+            elif symbol == "and" and not operand:
+                return np.zeros(len(left if is_ndarray(left) else right), dtype=bool)
+            elif symbol == "or" and operand:
+                return np.ones(len(left if is_ndarray(left) else right), dtype=bool)
+        if len(masks) == 1:
+            return masks[0]
+        return (masks[0] & masks[1]) if symbol == "and" else (masks[0] | masks[1])
+
+    left_object = is_ndarray(left) and left.dtype.kind == "O"
+    right_object = is_ndarray(right) and right.dtype.kind == "O"
+    if left_object or right_object:
+        # Box any native side back to Python scalars, then run the ordinary
+        # Python operators element-wise inside the object loop.
+        if is_ndarray(left) and not left_object:
+            left = left.astype(object)
+        if is_ndarray(right) and not right_object:
+            right = right.astype(object)
+        ufunc = _cmp_ufunc(symbol, np) if symbol in _COMPARISONS else _arith_ufunc(symbol, np)
+        return ufunc(left, right)
+
+    if symbol in _COMPARISONS:
+        if left is None or right is None:
+            # Only ==/!= reach here (screened); numpy matches Python: nothing
+            # equals None.
+            return _cmp_ufunc(symbol, np)(left, right)
+        left = _native_operand(left, np)
+        right = _native_operand(right, np)
+        if _int_const_overflows(left) or _int_const_overflows(right):
+            return None
+        if _kind_of(left, np) != _kind_of(right, np):
+            # numpy compares int64 against float64 through a lossy cast;
+            # CPython compares exactly.  A scalar constant can sometimes be
+            # converted to the array's kind without changing any outcome.
+            refined = _refine_mixed_comparison(left, right)
+            if refined is None:
+                return None
+            left, right = refined
+        return _cmp_ufunc(symbol, np)(left, right)
+
+    left = _native_operand(left, np)
+    right = _native_operand(right, np)
+    if _int_const_overflows(left) or _int_const_overflows(right):
+        return None
+    kinds = {_kind_of(left, np), _kind_of(right, np)}
+    if symbol == "/":
+        if kinds == {"i"}:
+            return None  # CPython rounds int/int exactly; float64 casting does not
+        with np.errstate(divide="raise", invalid="raise"):
+            try:
+                return np.true_divide(left, right)
+            except FloatingPointError:
+                return None  # replay in Python for the exact ZeroDivisionError/nan
+    if symbol == "%":
+        if kinds != {"i"}:
+            return None  # C and CPython agree exactly on integer remainders only
+        with np.errstate(divide="raise", invalid="raise"):
+            try:
+                return np.remainder(left, right)
+            except FloatingPointError:
+                return None
+    return _arith_ufunc(symbol, np)(left, right)
+
+
+#: Integers up to 2**53 convert to float64 without rounding, so comparisons
+#: against an exactly-converted constant cannot diverge from CPython's
+#: exact mixed-type comparison.
+_EXACT_FLOAT_INT = 2**53
+
+
+def _int_const_overflows(value: Any) -> bool:
+    """A scalar int constant numpy could not represent as int64."""
+    return (
+        not is_ndarray(value)
+        and type(value) is int
+        and not (-(2**63) <= value < 2**63)
+    )
+
+
+def _refine_mixed_comparison(left: Any, right: Any):
+    """Convert a scalar constant to the array operand's kind when that is
+    provably exact, or ``None`` when the Python fallback must decide."""
+
+    def refine(const, array_kind):
+        if type(const) is int and array_kind == "f" and abs(const) <= _EXACT_FLOAT_INT:
+            return float(const)
+        if (
+            type(const) is float
+            and array_kind == "i"
+            and const == int(const)
+            and abs(const) <= _EXACT_FLOAT_INT
+        ):
+            return int(const)
+        return None
+
+    if is_ndarray(left) and not is_ndarray(right):
+        const = refine(right, left.dtype.kind)
+        return None if const is None else (left, const)
+    if is_ndarray(right) and not is_ndarray(left):
+        const = refine(left, right.dtype.kind)
+        return None if const is None else (const, right)
+    return None
+
+
+def _const_supported(symbol: str, constant: Any) -> bool:
+    """Whether a constant operand may enter the array kernels at all.
+
+    Containers and arbitrary objects are kept out (numpy would broadcast a
+    list instead of treating it as one value); strings and other scalars are
+    fine against object arrays and are screened per-dtype in
+    :func:`_array_binary` via the object/native split.  ``None`` only makes
+    sense for equality.
+    """
+    if symbol in ("and", "or"):
+        return True
+    if constant is None:
+        return symbol in ("==", "!=")
+    return type(constant) in (bool, int, float, str)
+
+
+def _str_const_blocks_native(constant: Any) -> bool:
+    return type(constant) is str
 
 
 def _compile_binary(expression: BinaryExpression) -> ColumnFunction:
     symbol = expression.symbol
     left, right = expression.left, expression.right
-    if symbol in _BINARY_ZIP_KERNELS:
+    if symbol in _PY_ZIP_KERNELS:
+        if symbol in ("==", "!="):
+            # ``field == None`` / ``field != None``: cache-backed source
+            # batches precompute the None mask once per source, making the
+            # ubiquitous has-a-position filters free per batch.
+            if type(right) is ConstantExpression and right.value is None and type(left) is FieldExpression:
+                return _make_field_none_cmp(left.name, symbol, compile_expression(left))
+            if type(left) is ConstantExpression and left.value is None and type(right) is FieldExpression:
+                return _make_field_none_cmp(right.name, symbol, compile_expression(right))
         if type(right) is ConstantExpression:
-            return _BINARY_CONST_RIGHT_KERNELS[symbol](
-                compile_expression(left), right.value
-            )
+            return _make_const_right(symbol, compile_expression(left), right.value)
         if type(left) is ConstantExpression:
-            return _BINARY_CONST_LEFT_KERNELS[symbol](
-                left.value, compile_expression(right)
-            )
-        return _BINARY_ZIP_KERNELS[symbol](
-            compile_expression(left), compile_expression(right)
-        )
+            return _make_const_left(symbol, left.value, compile_expression(right))
+        return _make_zip(symbol, compile_expression(left), compile_expression(right))
     left_fn = compile_expression(left)
     right_fn = compile_expression(right)
     op = expression.op
 
     def binary(batch: RecordBatch) -> List[Any]:
-        return list(map(op, left_fn(batch), right_fn(batch)))
+        return list(map(op, _to_list(left_fn(batch)), _to_list(right_fn(batch))))
 
     return binary
+
+
+def _make_field_none_cmp(name: str, symbol: str, lf: ColumnFunction) -> ColumnFunction:
+    """``field == None`` / ``field != None`` with the source-cached mask fast
+    path; falls back to the regular constant kernel (which preserves the
+    raising semantics for MISSING-holed columns)."""
+    fallback = _make_const_right(symbol, lf, None)
+    invert = symbol == "!="
+
+    def kernel(batch: RecordBatch) -> List[Any]:
+        mask = batch.none_mask(name, invert)
+        if mask is not None:
+            return mask
+        return fallback(batch)
+
+    return kernel
+
+
+def _make_zip(symbol: str, lf: ColumnFunction, rf: ColumnFunction) -> ColumnFunction:
+    py = _PY_ZIP_KERNELS[symbol]
+
+    def kernel(batch: RecordBatch) -> List[Any]:
+        left = lf(batch)
+        right = rf(batch)
+        if is_ndarray(left) and is_ndarray(right):
+            out = _array_binary(symbol, left, right)
+            if out is not None:
+                return out
+        return py(_to_list(left), _to_list(right))
+
+    return kernel
+
+
+def _make_const_right(symbol: str, lf: ColumnFunction, constant: Any) -> ColumnFunction:
+    py = _PY_CONST_RIGHT_KERNELS[symbol]
+    supported = _const_supported(symbol, constant)
+
+    def kernel(batch: RecordBatch) -> List[Any]:
+        left = lf(batch)
+        if supported and is_ndarray(left):
+            if (
+                symbol in ("and", "or")
+                or left.dtype.kind == "O"
+                or not _str_const_blocks_native(constant)
+            ):
+                out = _array_binary(symbol, left, constant)
+                if out is not None:
+                    return out
+        return py(_to_list(left), constant)
+
+    return kernel
+
+
+def _make_const_left(symbol: str, constant: Any, rf: ColumnFunction) -> ColumnFunction:
+    py = _PY_CONST_LEFT_KERNELS[symbol]
+    supported = _const_supported(symbol, constant)
+
+    def kernel(batch: RecordBatch) -> List[Any]:
+        right = rf(batch)
+        if supported and is_ndarray(right):
+            if (
+                symbol in ("and", "or")
+                or right.dtype.kind == "O"
+                or not _str_const_blocks_native(constant)
+            ):
+                out = _array_binary(symbol, constant, right)
+                if out is not None:
+                    return out
+        return py(constant, _to_list(right))
+
+    return kernel
 
 
 def compile_expression(expression: Expression) -> ColumnFunction:
@@ -159,18 +451,39 @@ def compile_expression(expression: Expression) -> ColumnFunction:
     if kind is ConstantExpression:
         return _compile_constant(expression.value)
     if kind is TimestampExpression:
-        return lambda batch: batch.timestamps
+        def timestamps_column(batch: RecordBatch) -> List[Any]:
+            array = batch.timestamps_array()
+            return array if array is not None else batch.timestamps
+
+        return timestamps_column
     if kind is BinaryExpression:
         return _compile_binary(expression)
     if kind is UnaryExpression:
         operand = compile_expression(expression.operand)
         if expression.symbol == "not":
             # ``not bool(a)`` == ``not a`` for every value.
-            return lambda batch: [not x for x in operand(batch)]
+            def not_kernel(batch: RecordBatch) -> List[Any]:
+                values = operand(batch)
+                if is_ndarray(values):
+                    return ~_as_bool(values, get_numpy())
+                return [not x for x in values]
+
+            return not_kernel
+        if expression.symbol == "neg":
+            def neg_kernel(batch: RecordBatch) -> List[Any]:
+                values = operand(batch)
+                if is_ndarray(values):
+                    np = get_numpy()
+                    if values.dtype == np.bool_:
+                        values = values.astype(np.int64)  # Python: -True == -1
+                    return np.negative(values)
+                return [-x for x in values]
+
+            return neg_kernel
         op = expression.op
 
         def unary(batch: RecordBatch) -> List[Any]:
-            return list(map(op, operand(batch)))
+            return list(map(op, _to_list(operand(batch))))
 
         return unary
     if kind is FunctionExpression:
@@ -180,7 +493,9 @@ def compile_expression(expression: Expression) -> ColumnFunction:
             return lambda batch: [func() for _ in range(len(batch))]
 
         def call(batch: RecordBatch) -> List[Any]:
-            return list(map(func, *(arg(batch) for arg in args)))
+            # args are normalized to lists so user callables always see the
+            # original Python scalars, never numpy ones
+            return list(map(func, *(_to_list(arg(batch)) for arg in args)))
 
         return call
     if kind is LambdaExpression:
@@ -211,10 +526,11 @@ def register_vectorizer(
 
     ``factory`` receives the expression instance and returns a
     :data:`ColumnFunction` that must evaluate to exactly the same per-row
-    values as calling ``expression.evaluate`` on each record.  Plugin packages
-    (e.g. :mod:`repro.nebulameos.expressions`) call this at import time so
-    their expressions stop falling back to per-record evaluation inside the
-    batch runtime.  The registration is keyed on the exact type — subclasses
-    that override ``evaluate`` register separately or keep the fallback.
+    values as calling ``expression.evaluate`` on each record (it may return
+    a list or an ndarray).  Plugin packages (e.g.
+    :mod:`repro.nebulameos.expressions`) call this at import time so their
+    expressions stop falling back to per-record evaluation inside the batch
+    runtime.  The registration is keyed on the exact type — subclasses that
+    override ``evaluate`` register separately or keep the fallback.
     """
     _VECTORIZERS[expression_type] = factory

@@ -43,6 +43,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 from repro.errors import PlanError
 from repro.runtime.batch import RecordBatch
 from repro.runtime.operators import BatchOperator, build_batch_pipeline
+from repro.runtime.storage import iter_source_batches
 from repro.streaming.engine import QueryResult, StreamExecutionEngine
 from repro.streaming.metrics import MetricsCollector
 from repro.streaming.plan import (
@@ -217,15 +218,26 @@ class BatchExecutionEngine(StreamExecutionEngine):
         if not entry_points:
             # Linear plan: chunk the source directly and count whole batches —
             # no per-record counting generator, no entry-index bookkeeping.
-            source_iterator = iter(plan.source_node.source)
+            # Replay sources additionally get cache-backed columnar batches:
+            # touched columns are transposed once per source and served as
+            # slices/views (see repro.runtime.storage).
+            source = plan.source_node.source
             batch_size = self.batch_size
             measure_bytes = self.measure_bytes
-            while True:
-                records = list(islice(source_iterator, batch_size))
-                if not records:
-                    break
-                batch = RecordBatch.from_records(records)
-                metrics.record_in(len(records), batch.estimate_bytes() if measure_bytes else 0)
+            if hasattr(source, "records_list"):
+                batches: "Iterable[RecordBatch]" = iter_source_batches(source, batch_size)
+            else:
+
+                def _chunked(iterator=iter(source)) -> "Iterator[RecordBatch]":
+                    while True:
+                        records = list(islice(iterator, batch_size))
+                        if not records:
+                            return
+                        yield RecordBatch.from_records(records)
+
+                batches = _chunked()
+            for batch in batches:
+                metrics.record_in(len(batch), batch.estimate_bytes() if measure_bytes else 0)
                 batch = self._run_through(stages, batch, 0, metrics)
                 if batch is not None and len(batch):
                     collected.extend(batch.to_records())

@@ -26,7 +26,7 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Seque
 
 from repro.cep.nfa import Match
 from repro.cep.operator import CEPOperator
-from repro.streaming.aggregations import Aggregation
+from repro.streaming.aggregations import Aggregation, Avg, Count, Max, Min, Sum
 from repro.streaming.expressions import Expression
 from repro.streaming.metrics import MetricsCollector
 from repro.streaming.operators import (
@@ -47,6 +47,7 @@ from repro.streaming.windows import (
     WindowKey,
 )
 from repro.runtime.batch import RecordBatch, _fast_record
+from repro.runtime.columns import as_list, get_numpy, is_ndarray
 from repro.runtime.compiler import ColumnFunction, compile_expression
 
 
@@ -88,6 +89,26 @@ def _key_rows_of(batch: RecordBatch, key_fields: Sequence[str]) -> List[Tuple[An
     if not key_fields:
         return [()] * len(batch)
     return list(zip(*(batch.column_or_none(field) for field in key_fields)))
+
+
+class _LazyRowsView:
+    """Row access that materializes (and caches) only the rows it is asked for.
+
+    Stands in for ``batch.to_records()`` where most rows are never touched —
+    the CEP operator only binds records that advance a run.  Indexing returns
+    exactly the record ``to_records()[i]`` would have produced.
+    """
+
+    __slots__ = ("_batch",)
+
+    def __init__(self, batch: RecordBatch) -> None:
+        self._batch = batch
+
+    def __getitem__(self, index: int) -> Record:
+        return self._batch.row_at(index)
+
+    def __len__(self) -> int:
+        return len(self._batch)
 
 
 class BatchOperator:
@@ -241,6 +262,147 @@ class BatchWindowAggregateOperator(BatchOperator):
                 columns.append(_LazyColumn(agg.extract, batch.to_records()))
         return columns
 
+    # -- grouped fast path (numpy backend, tumbling windows) -----------------------
+
+    #: Aggregations whose per-row ``add`` folds can be replayed from grouped
+    #: reductions with bit-identical results (see :meth:`_process_grouped`).
+    _GROUPABLE = (Count, Sum, Min, Max, Avg)
+
+    def _process_grouped(
+        self,
+        batch: RecordBatch,
+        keys: List[Tuple[Any, ...]],
+        values: List[Optional[Sequence[Any]]],
+        out: List[Record],
+    ) -> bool:
+        """Grouped-reduction kernel for tumbling windows; True when it applied.
+
+        Rows are bucketed by ``(key, window)`` once (``np.add.reduceat``-style
+        grouped reductions over a stable argsort), Count/Min/Max fold in C,
+        and Sum/Avg replay their float additions sequentially per group —
+        numpy's pairwise float summation would differ in the last bits from
+        the record engine's left-to-right folds, so only the *machinery*
+        (window assignment, bucketing, state lookups) is vectorized for them,
+        never the float arithmetic itself.
+
+        Exactness is protected by two vectorized guards:
+
+        * every row's window must close strictly *after* every earlier
+          timestamp (including the carried watermark).  Event-time-ordered
+          streams always satisfy this — a row's window end exceeds its own
+          timestamp — while a disordered batch that would make the record
+          engine close-and-recreate a window mid-batch falls back to the
+          per-row state machine.  Closing emissions can then be deferred to
+          the end of the batch: windows close in end order, so the deferred
+          emission sequence is exactly the record engine's.
+        * ``NaN`` values fall back (``np.minimum`` propagates NaN, the record
+          engine's ``<`` comparison skips it).
+        """
+        np = get_numpy()
+        if np is None or type(self.assigner) is not TumblingWindow:
+            return False
+        if self.allowed_lateness < 0:
+            return False
+        for (kind, _, agg), column in zip(self._extractors, values):
+            if kind == "record":
+                return False
+            if kind == "none":
+                # no value column: only Count ignores its input; the others
+                # fold per-row ``add(state, None)`` skips — keep them exact
+                if type(agg) is not Count:
+                    return False
+            elif kind == "column" and not (
+                is_ndarray(column) and column.dtype.kind in "bif"
+            ):
+                return False
+        if not all(type(agg) in self._GROUPABLE for agg in self.aggregations):
+            return False
+        timestamps = batch.timestamps_array()
+        if timestamps is None:
+            return False
+        size = self.assigner.size
+        starts = np.floor(timestamps / size) * size
+        closes = starts + size + self.allowed_lateness
+        running = np.maximum.accumulate(timestamps)
+        if self._watermark > float("-inf"):
+            if closes[0] <= self._watermark:
+                return False
+            running = np.maximum(running, self._watermark)
+        if len(closes) > 1 and not bool(np.all(closes[1:] > running[:-1])):
+            return False
+        for column in values:
+            if (
+                column is not None
+                and column.dtype.kind == "f"
+                and bool(np.isnan(column).any())
+            ):
+                return False
+
+        group_of: Dict[Tuple[Tuple[Any, ...], float], int] = {}
+        group_ids: List[int] = []
+        start_list = starts.tolist()
+        for key, start in zip(keys, start_list):
+            group_key = (key, start)
+            gid = group_of.get(group_key)
+            if gid is None:
+                gid = group_of[group_key] = len(group_of)
+            group_ids.append(gid)
+        gid_array = np.asarray(group_ids, dtype=np.intp)
+        order = np.argsort(gid_array, kind="stable")
+        sorted_gids = gid_array[order]
+        boundaries = np.flatnonzero(np.diff(sorted_gids)) + 1
+        offsets = np.concatenate((np.zeros(1, dtype=np.intp), boundaries))
+        counts = np.diff(np.concatenate((offsets, np.asarray([len(keys)])))).tolist()
+        offset_list = offsets.tolist()
+
+        reduced: List[Any] = []
+        for (kind, _, _), agg, column in zip(self._extractors, self.aggregations, values):
+            agg_type = type(agg)
+            if agg_type is Count:
+                reduced.append(counts)
+            elif agg_type is Min:
+                reduced.append(np.minimum.reduceat(column[order], offsets).tolist())
+            elif agg_type is Max:
+                reduced.append(np.maximum.reduceat(column[order], offsets).tolist())
+            else:  # Sum / Avg: sequential float folds per group
+                reduced.append(column[order].tolist())
+
+        size_f = size
+        all_states = self._states
+        for (key, start), gid in group_of.items():
+            state_key = (key, (start, start + size_f))
+            states = all_states.get(state_key)
+            if states is None:
+                states = all_states[state_key] = self._new_states()
+            lo = offset_list[gid]
+            hi = lo + counts[gid]
+            for j, agg in enumerate(self.aggregations):
+                agg_type = type(agg)
+                state = states[j]
+                if agg_type is Count:
+                    states[j] = state + counts[gid]
+                elif agg_type is Min:
+                    value = reduced[j][gid]
+                    states[j] = value if state is None or value < state else state
+                elif agg_type is Max:
+                    value = reduced[j][gid]
+                    states[j] = value if state is None or value > state else state
+                elif agg_type is Sum:
+                    for value in reduced[j][lo:hi]:
+                        state = state + float(value)
+                    states[j] = state
+                else:  # Avg
+                    total, count = state
+                    for value in reduced[j][lo:hi]:
+                        total = total + float(value)
+                    states[j] = [total, count + counts[gid]]
+
+        final = running[-1].item() if len(running) else self._watermark
+        if final > self._watermark:
+            self._watermark = final
+            self._emit_closed_into(out)
+        return True
+
     def _window_rows(self, batch: RecordBatch) -> List[List[WindowKey]]:
         """Per-row window assignments (vectorized for the built-in assigners)."""
         assigner = self.assigner
@@ -295,17 +457,26 @@ class BatchWindowAggregateOperator(BatchOperator):
         if count >= self.assigner.min_count:  # type: ignore[union-attr]
             out.append(self._emit(key, (start, end), states))
 
+    @staticmethod
+    def _as_row_values(values: List[Optional[Sequence[Any]]]) -> List[Optional[Sequence[Any]]]:
+        """Per-row-indexable value columns: ndarrays become lists so the
+        ``agg.add`` folds see Python scalars, never numpy ones."""
+        return [as_list(column) if is_ndarray(column) else column for column in values]
+
     def process_batch(self, batch: RecordBatch, metrics: MetricsCollector) -> RecordBatch:
         metrics.record_operator(self.label, len(batch))
         out: List[Record] = []
         keys = self._key_rows(batch)
         values = self._value_columns(batch)
+        if not self._is_threshold and len(batch) and self._process_grouped(batch, keys, values, out):
+            return RecordBatch.from_records(out)
+        values = self._as_row_values(values)
         aggregations = self.aggregations
         timestamps = batch.timestamps
         if self._is_threshold:
             assigner = self.assigner
             max_duration = assigner.max_duration  # type: ignore[union-attr]
-            matches_column = self._matches(batch)  # type: ignore[misc]
+            matches_column = as_list(self._matches(batch))  # type: ignore[misc]
             open_thresholds = self._open_thresholds
             for i, t in enumerate(timestamps):
                 key = keys[i]
@@ -376,11 +547,20 @@ class BatchCEPOperator(BatchOperator):
         matcher = operator.matcher
         self._step_functions: List[Tuple[Callable[[RecordBatch], List[Any]], Any]] = []
         self._negation_functions: List[List[Tuple[Callable[[RecordBatch], List[Any]], Any]]] = []
+        patterns = []
         for step in matcher.steps:
             self._step_functions.append((self._match_column(step.pattern), step.pattern))
             self._negation_functions.append(
                 [(self._match_column(negation), negation) for negation in step.negations]
             )
+            patterns.append(step.pattern)
+            patterns.extend(step.negations)
+        # Expression-backed patterns never touch records to evaluate, so rows
+        # only need to exist for the few the NFA actually binds into runs —
+        # a raw-callable predicate forces eager row materialization instead.
+        self._rows_on_demand = all(
+            getattr(pattern, "expression", None) is not None for pattern in patterns
+        )
 
     @staticmethod
     def _match_column(pattern) -> Callable[[RecordBatch], List[Any]]:
@@ -413,7 +593,7 @@ class BatchCEPOperator(BatchOperator):
         rows only, which re-raises exactly when the record engine would.
         """
         try:
-            return fn(batch)
+            return as_list(fn(batch))
         except Exception:
             return _LazyColumn(pattern.matches, records)
 
@@ -423,12 +603,14 @@ class BatchCEPOperator(BatchOperator):
             return RecordBatch.empty()
         operator = self.operator
         keys = _key_rows_of(batch, operator.key_fields)
-        records = batch.to_records()
+        records: Sequence[Record] = (
+            _LazyRowsView(batch) if self._rows_on_demand else batch.to_records()
+        )
         # The first step is evaluated for every record by the record engine
         # too (every record may start a run), so it stays eager and an error
         # there is record-engine behaviour; later steps get the lazy guard.
         first_fn, _ = self._step_functions[0]
-        step_columns: List[Sequence[Any]] = [first_fn(batch)]
+        step_columns: List[Sequence[Any]] = [as_list(first_fn(batch))]
         for fn, pattern in self._step_functions[1:]:
             step_columns.append(self._guarded_column(fn, pattern, batch, records))
         negation_columns = [

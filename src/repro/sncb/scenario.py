@@ -62,6 +62,7 @@ class Scenario:
             interval=self.config.weather_interval_s,
             seed=self.config.seed,
         )
+        self._sources: Dict[tuple, object] = {}
 
     # -- convenience accessors --------------------------------------------------------
 
@@ -71,11 +72,25 @@ class Scenario:
         return cls(ScenarioConfig(num_trains=num_trains, duration_s=duration_s, interval_s=interval_s, seed=seed))
 
     def source(self, name: str = "sncb") -> SncbStreamSource:
-        """The unified train stream as an engine source."""
-        return SncbStreamSource(self.events, name=name)
+        """The unified train stream as an engine source.
+
+        The source instance is cached per name: replay is stateless (every
+        iteration starts fresh), so repeated query builds share one source —
+        and with it the batch runtime's per-source column cache, which is
+        what lets repeated executions skip re-transposing the event table.
+        """
+        cached = self._sources.get(("sncb", name))
+        if cached is None:
+            cached = self._sources[("sncb", name)] = SncbStreamSource(self.events, name=name)
+        return cached
 
     def weather_source(self, name: str = "weather") -> WeatherStreamSource:
-        return WeatherStreamSource(self.weather_events, name=name)
+        cached = self._sources.get(("weather", name))
+        if cached is None:
+            cached = self._sources[("weather", name)] = WeatherStreamSource(
+                self.weather_events, name=name
+            )
+        return cached
 
     def zone_index(self, zone_type: ZoneType):
         return self.zones.index(zone_type)

@@ -103,42 +103,99 @@ class GridIndex:
         self,
         xs: Sequence[Optional[float]],
         ys: Sequence[Optional[float]],
+        valid: Optional[Sequence[bool]] = None,
     ) -> List[Optional[List[Tuple[object, Geometry]]]]:
         """Column-wise :meth:`containing`: one probe per coordinate pair.
 
-        A ``None`` coordinate yields ``None`` (no position — callers decide
-        whether that means "pass through" or "no zones"); everything else
-        yields exactly ``self.containing(Point(x, y))``, including candidate
-        order.  The point probe touches a single grid cell, whose candidate
-        list is cached across rows and batches, so a stream of fixes pays one
-        cell lookup plus the exact containment tests per event.
+        ``xs``/``ys`` are either plain sequences (a ``None`` coordinate
+        yields ``None`` — no position; callers decide whether that means
+        "pass through" or "no zones") or float64 **coordinate arrays** with
+        an optional ``valid`` mask marking the positioned rows: the grid
+        cells of the whole column are then computed with one vectorized
+        floor-divide pair (the identical IEEE divide-and-floor of the scalar
+        path) instead of two Python ``math.floor`` calls per row.  Either
+        way every positioned row yields exactly ``self.containing(Point(x,
+        y))``, including candidate order.  The point probe touches a single
+        grid cell, whose candidate list is cached across rows and batches,
+        so a stream of fixes pays one cell lookup plus the exact containment
+        tests per event.
         """
         cell_size = self.cell_size
-        floor = math.floor
         cell_items = self._cell_items
         results: List[Optional[List[Tuple[object, Geometry]]]] = []
         append = results.append
-        for x, y in zip(xs, ys):
-            if x is None or y is None:
+        pairs = self._probe_pairs(xs, ys, valid)
+        if pairs is None:
+            floor = math.floor
+            valid_list = list(valid) if valid is not None else None
+            for i, (x, y) in enumerate(zip(xs, ys)):
+                if (
+                    x is None
+                    or y is None
+                    or (valid_list is not None and not valid_list[i])
+                ):
+                    append(None)
+                    continue
+                x = float(x)
+                y = float(y)
+                cell = (floor(x / cell_size), floor(y / cell_size))
+                append(self._probe(cell_items(cell), x, y))
+            return results
+        for pair in pairs:
+            if pair is None:
                 append(None)
                 continue
-            x = float(x)
-            y = float(y)
-            candidates = cell_items((floor(x / cell_size), floor(y / cell_size)))
-            if not candidates:
-                append([])
-                continue
-            point = Point(x, y)
-            append(
-                [
-                    (key, geometry)
-                    for key, geometry, box in candidates
-                    if box.xmin <= x <= box.xmax
-                    and box.ymin <= y <= box.ymax
-                    and geometry.contains_point(point)
-                ]
-            )
+            x, y, cell = pair
+            append(self._probe(cell_items(cell), x, y))
         return results
+
+    def _probe_pairs(self, xs, ys, valid):
+        """Vectorized ``(x, y, cell)`` rows for ndarray coordinates, or
+        ``None`` to take the scalar path (also for non-finite coordinates,
+        where ``math.floor`` raising is the contract)."""
+        if not (hasattr(xs, "dtype") and hasattr(ys, "dtype")):
+            return None
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover - arrays imply numpy
+            return None
+        if valid is None:
+            if not (np.isfinite(xs).all() and np.isfinite(ys).all()):
+                return None
+        else:
+            picked = np.flatnonzero(valid)
+            if not (np.isfinite(xs[picked]).all() and np.isfinite(ys[picked]).all()):
+                return None
+        cell_size = self.cell_size
+        qx = np.floor(xs / cell_size)
+        qy = np.floor(ys / cell_size)
+        if len(qx) and max(np.abs(qx).max(), np.abs(qy).max()) >= 2.0**62:
+            return None  # cell indices past int64: keep Python's exact big ints
+        cx = qx.astype(np.int64).tolist()
+        cy = qy.astype(np.int64).tolist()
+        x_list = xs.tolist()
+        y_list = ys.tolist()
+        if valid is None:
+            return [
+                (x, y, cell) for x, y, cell in zip(x_list, y_list, zip(cx, cy))
+            ]
+        valid_list = valid.tolist() if hasattr(valid, "tolist") else list(valid)
+        return [
+            (x, y, cell) if ok else None
+            for ok, x, y, cell in zip(valid_list, x_list, y_list, zip(cx, cy))
+        ]
+
+    def _probe(self, candidates, x: float, y: float):
+        if not candidates:
+            return []
+        point = Point(x, y)
+        return [
+            (key, geometry)
+            for key, geometry, box in candidates
+            if box.xmin <= x <= box.xmax
+            and box.ymin <= y <= box.ymax
+            and geometry.contains_point(point)
+        ]
 
     def nearest(self, point: Point, metric) -> Optional[Tuple[object, float]]:
         """The nearest indexed geometry to a point: ``(key, distance)``.

@@ -9,7 +9,7 @@ geometry algorithms can stay metric-agnostic.
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from typing import Optional, Tuple
 
 EARTH_RADIUS_M = 6_371_008.8
 
@@ -33,8 +33,99 @@ class Metric:
     def distance(self, a: Coordinate, b: Coordinate) -> float:
         raise NotImplementedError
 
+    def make_vector_kernel(self, np) -> "Optional[VectorDistanceKernel]":
+        """A one-against-many distance kernel over coordinate arrays.
+
+        ``np`` is the numpy module (callers own the backend decision; this
+        package never imports numpy itself).  Returns ``None`` when the
+        metric has no vectorized form — callers then keep their scalar scan.
+        The kernel trades bit-identity with :meth:`distance` for throughput
+        (array trig may differ from ``math`` trig in the last ulp), so a
+        consumer must use *either* the scalar or the vector form for a given
+        computation, never compare across the two.
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"<Metric {self.name}>"
+
+
+class VectorDistanceKernel:
+    """One-against-many distances over a slot-addressed coordinate table.
+
+    ``set(slot, x, y)`` registers/updates a point; ``distances(count, x, y)``
+    returns a float64 array of distances from ``(x, y)`` to slots
+    ``0..count-1``.  Subclasses store whatever per-slot precomputation their
+    formula wants (the haversine kernel keeps latitudes in radians with their
+    cosines).
+    """
+
+    def __init__(self, np, capacity: int = 64) -> None:
+        self.np = np
+        self.capacity = capacity
+
+    def _grow(self, arrays, slot: int):
+        np = self.np
+        while slot >= self.capacity:
+            self.capacity *= 2
+        grown = []
+        for array in arrays:
+            bigger = np.zeros(self.capacity)
+            bigger[: len(array)] = array
+            grown.append(bigger)
+        return grown
+
+    def set(self, slot: int, x: float, y: float) -> None:
+        raise NotImplementedError
+
+    def distances(self, count: int, x: float, y: float):
+        raise NotImplementedError
+
+
+class _CartesianVectorKernel(VectorDistanceKernel):
+    def __init__(self, np, capacity: int = 64) -> None:
+        super().__init__(np, capacity)
+        self.xs = np.zeros(capacity)
+        self.ys = np.zeros(capacity)
+
+    def set(self, slot: int, x: float, y: float) -> None:
+        if slot >= self.capacity:
+            self.xs, self.ys = self._grow((self.xs, self.ys), slot)
+        self.xs[slot] = x
+        self.ys[slot] = y
+
+    def distances(self, count: int, x: float, y: float):
+        return self.np.hypot(self.xs[:count] - x, self.ys[:count] - y)
+
+
+class _HaversineVectorKernel(VectorDistanceKernel):
+    def __init__(self, np, capacity: int = 64) -> None:
+        super().__init__(np, capacity)
+        self.phi = np.zeros(capacity)
+        self.cos_phi = np.zeros(capacity)
+        self.lam = np.zeros(capacity)
+
+    def set(self, slot: int, x: float, y: float) -> None:
+        np = self.np
+        if slot >= self.capacity:
+            self.phi, self.cos_phi, self.lam = self._grow(
+                (self.phi, self.cos_phi, self.lam), slot
+            )
+        phi = np.radians(y)
+        self.phi[slot] = phi
+        self.cos_phi[slot] = np.cos(phi)
+        self.lam[slot] = np.radians(x)
+
+    def distances(self, count: int, x: float, y: float):
+        np = self.np
+        phi1 = np.radians(y)
+        dphi = self.phi[:count] - phi1
+        dlam = self.lam[:count] - np.radians(x)
+        a = (
+            np.sin(dphi * 0.5) ** 2
+            + np.cos(phi1) * self.cos_phi[:count] * np.sin(dlam * 0.5) ** 2
+        )
+        return 2.0 * EARTH_RADIUS_M * np.arcsin(np.minimum(1.0, np.sqrt(a)))
 
 
 class CartesianMetric(Metric):
@@ -45,6 +136,9 @@ class CartesianMetric(Metric):
     def distance(self, a: Coordinate, b: Coordinate) -> float:
         return math.hypot(a[0] - b[0], a[1] - b[1])
 
+    def make_vector_kernel(self, np) -> VectorDistanceKernel:
+        return _CartesianVectorKernel(np)
+
 
 class HaversineMetric(Metric):
     """Great-circle distance; coordinates are (lon, lat) degrees."""
@@ -53,6 +147,9 @@ class HaversineMetric(Metric):
 
     def distance(self, a: Coordinate, b: Coordinate) -> float:
         return haversine_distance(a[0], a[1], b[0], b[1])
+
+    def make_vector_kernel(self, np) -> VectorDistanceKernel:
+        return _HaversineVectorKernel(np)
 
 
 cartesian = CartesianMetric()

@@ -60,6 +60,16 @@ class ListSource(Source):
     def records(self) -> Iterator[Record]:
         return iter(self._records)
 
+    def records_list(self) -> List[Record]:
+        """The underlying record buffer (callers must treat it as read-only).
+
+        Exposed so the batch runtime can chunk a replay source by list
+        slicing and attach its per-source column cache (see
+        :mod:`repro.runtime.storage`) instead of re-consuming the iterator
+        protocol record by record.
+        """
+        return self._records
+
     def __len__(self) -> int:
         return len(self._records)
 

@@ -51,6 +51,30 @@ class TSequence:
     # -- constructors -----------------------------------------------------------
 
     @classmethod
+    def from_sorted(
+        cls,
+        instants: List[TInstant],
+        interpolation: "Interpolation | str",
+        lower_inc: bool = True,
+        upper_inc: bool = True,
+    ) -> "TSequence":
+        """Wrap a list of instants **already** sorted by strictly increasing
+        timestamp, skipping the sort and distinctness validation.
+
+        The incremental producers (the streaming trajectory builder appends
+        one fix at a time and re-wraps its rolling window per record) uphold
+        the ordering invariant themselves; re-validating it per emission is
+        the cost this constructor removes.  The list must be non-empty and is
+        owned by the sequence afterwards — callers must not mutate it.
+        """
+        sequence = cls.__new__(cls)
+        sequence.interpolation = Interpolation.parse(interpolation)
+        sequence._instants = instants
+        sequence.lower_inc = bool(lower_inc)
+        sequence.upper_inc = bool(upper_inc)
+        return sequence
+
+    @classmethod
     def from_pairs(
         cls,
         pairs: Iterable[Tuple[Any, TimestampLike]],

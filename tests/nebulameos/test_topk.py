@@ -68,3 +68,112 @@ class TestTopKNearestOperator:
             distances = [n["distance_m"] for n in record["nearest_trains"]]
             assert distances == sorted(distances)
             assert len(distances) <= 2
+
+
+class TestVectorizedFleetScoring:
+    """The array-kernel fleet scorer (fleets >= ``vector_min_fleet``).
+
+    The scorer is shared by the record path and the batch kernel, so
+    record-vs-batch parity is bit-exact by construction; against the scalar
+    scan it must agree on ordering and match distances to float tolerance
+    (array trig and ``math`` trig may differ in the last ulp).
+    """
+
+    @staticmethod
+    def fleet_events(num_devices=48, n=800, seed=11):
+        import random
+
+        rng = random.Random(seed)
+        events, t = [], 0.0
+        for _ in range(n):
+            t += rng.random() * 3.0
+            events.append(
+                gps(
+                    f"d{rng.randrange(num_devices)}",
+                    round(rng.uniform(4.0, 4.6), 6),
+                    round(rng.uniform(50.5, 50.9), 6),
+                    t,
+                )
+            )
+        return events
+
+    @staticmethod
+    def run_record_path(events, **kwargs):
+        operator = TopKNearestOperator(k=3, staleness_s=400.0, **kwargs)
+        out = []
+        for event in events:
+            out.extend(operator.process(event))
+        return operator, [r.data for r in out]
+
+    def requires_numpy(self):
+        from repro.runtime import columns
+
+        if columns.active_backend() != "numpy":
+            pytest.skip("vectorized fleet scoring needs the numpy backend")
+
+    def test_large_fleet_uses_the_vector_kernel(self):
+        self.requires_numpy()
+        events = self.fleet_events()
+        operator, _ = self.run_record_path(events)
+        assert operator._vector not in (None, False)
+
+    def test_vector_kernel_matches_scalar_scan(self):
+        self.requires_numpy()
+        import math
+
+        events = self.fleet_events()
+        _, vectored = self.run_record_path(events)
+        scalar_operator = TopKNearestOperator(k=3, staleness_s=400.0)
+        scalar_operator.vector_min_fleet = 10**9  # force the scalar scan
+        out = []
+        for event in events:
+            out.extend(scalar_operator.process(event))
+        scalar = [r.data for r in out]
+        assert len(vectored) == len(scalar)
+        for v, s in zip(vectored, scalar):
+            assert v["nearest_trains_ids"] == s["nearest_trains_ids"]
+            if s["nearest_trains_distance_m"] is None:
+                assert v["nearest_trains_distance_m"] is None
+            else:
+                assert v["nearest_trains_distance_m"] == pytest.approx(
+                    s["nearest_trains_distance_m"], rel=1e-9
+                )
+                assert type(v["nearest_trains_distance_m"]) is float
+            assert math.isfinite(v["nearest_trains_distance_m"] or 0.0)
+
+    def test_record_and_batch_engines_agree_exactly_on_large_fleets(self):
+        self.requires_numpy()
+        from repro.runtime.batch import batchify
+
+        events = self.fleet_events()
+        _, record_rows = self.run_record_path(events)
+        batch_operator = TopKNearestOperator(k=3, staleness_s=400.0)
+        batch_rows = []
+        for batch in batchify(iter(list(events)), 128):
+            batch_rows.extend(r.data for r in batch_operator.process_batch(batch).to_records())
+        assert batch_rows == record_rows
+
+    def test_exact_tie_order_matches_scalar_scan(self):
+        """Equidistant peers keep fleet first-appearance order, like the
+        stable ``nsmallest`` of the scalar scan (cartesian 3-4-5 distances
+        are exact in both implementations)."""
+        self.requires_numpy()
+        operator = TopKNearestOperator(k=3, metric=cartesian, staleness_s=1e6)
+        operator.vector_min_fleet = 4
+        scalar = TopKNearestOperator(k=3, metric=cartesian, staleness_s=1e6)
+        scalar.vector_min_fleet = 10**9
+        events = [gps(f"p{i}", x, y, i) for i, (x, y) in enumerate(
+            [(3.0, 4.0), (-3.0, 4.0), (4.0, 3.0), (0.0, 5.0), (5.0, 0.0), (0.0, -5.0)]
+        )] + [gps("probe", 0.0, 0.0, 99)]
+        for engine_op in (operator, scalar):
+            outs = []
+            for event in events:
+                outs.extend(engine_op.process(event))
+            engine_op.last = outs[-1].data  # type: ignore[attr-defined]
+        # every peer is exactly 5.0 away from the probe: first-appearance order wins
+        assert operator.last["nearest_trains_ids"] == scalar.last["nearest_trains_ids"] == [
+            "p0",
+            "p1",
+            "p2",
+        ]
+        assert operator.last["nearest_trains_distance_m"] == 5.0

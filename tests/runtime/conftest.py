@@ -1,0 +1,30 @@
+"""Shared fixtures for the batch-runtime suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import columns
+
+#: Both column backends when numpy is importable; the pure-Python backend is
+#: always covered, so a numpy-less environment (the CI no-numpy leg) still
+#: runs every parity test once.
+COLUMN_BACKENDS = ["python", "numpy"] if columns.numpy_available() else ["python"]
+
+
+@pytest.fixture(
+    scope="module",
+    params=COLUMN_BACKENDS,
+    ids=[f"columns-{backend}" for backend in COLUMN_BACKENDS],
+)
+def column_backend(request):
+    """Run the requesting module's tests once per column backend.
+
+    Module-scoped so a whole parity module replays under ``python`` columns
+    and again under ``numpy`` columns; the previous backend is restored
+    afterwards, so suites that do not opt in keep the ambient default.
+    """
+    previous = columns.active_backend()
+    columns.set_backend(request.param)
+    yield request.param
+    columns.set_backend(previous)

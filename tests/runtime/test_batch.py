@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import StreamError
 from repro.runtime import MISSING, RecordBatch, batchify, compile_expression, unbatchify
+from repro.runtime.columns import as_list
 from repro.streaming.expressions import call, col, event_time, lit, udf
 from repro.streaming.record import Record, estimate_record_bytes
 
@@ -112,11 +113,18 @@ class TestCompiler:
         return make_records(8)
 
     def check(self, expression):
-        """Compiled column values must equal per-record evaluation."""
+        """Compiled column values must equal per-record evaluation.
+
+        Compiled kernels may return a list or (under the numpy backend) a
+        typed ndarray; ``as_list`` is the documented exact conversion.
+        """
         records = self.records()
         batch = RecordBatch.from_records(records)
         compiled = compile_expression(expression)
-        assert compiled(batch) == [expression.evaluate(r) for r in records]
+        values = as_list(compiled(batch))
+        expected = [expression.evaluate(r) for r in records]
+        assert values == expected
+        assert [type(v) for v in values] == [type(v) for v in expected]
 
     def test_field_and_constant(self):
         self.check(col("speed"))

@@ -1,0 +1,229 @@
+"""Unit tests for the typed column backend: dtype inference, exact
+round-trips, masked float views and backend selection."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.runtime import columns
+from repro.runtime.batch import MISSING, RecordBatch
+from repro.streaming.record import Record
+
+numpy = pytest.importorskip("numpy") if columns.numpy_available() else None
+
+
+def batch_of(values, name="x"):
+    return RecordBatch({name: list(values)}, timestamps=[float(i) for i in range(len(values))])
+
+
+@pytest.fixture(autouse=True)
+def numpy_backend():
+    """These tests exercise the numpy representation explicitly."""
+    if not columns.numpy_available():
+        pytest.skip("numpy not installed; the pure-Python backend has no arrays")
+    previous = columns.active_backend()
+    columns.set_backend("numpy")
+    yield
+    columns.set_backend(previous)
+
+
+class TestDtypeInference:
+    def test_homogeneous_native_dtypes(self):
+        assert batch_of([1.0, 2.5]).array("x").dtype == numpy.float64
+        assert batch_of([1, 2, 3]).array("x").dtype == numpy.int64
+        assert batch_of([True, False]).array("x").dtype == numpy.bool_
+
+    def test_mixed_int_float_stays_object(self):
+        """Promotion to float64 would turn ``1`` into ``1.0`` in reconstructed
+        records; the strict array keeps Python semantics instead."""
+        array = batch_of([1, 2.5]).array("x")
+        assert array.dtype.kind == "O"
+        assert array.tolist() == [1, 2.5]
+        assert [type(v) for v in array.tolist()] == [int, float]
+
+    def test_mixed_int_float_promotes_in_numeric_view(self):
+        """The coordinate kernels *ask* for the float64 promotion — they cast
+        per row anyway — via ``numeric_or_none``."""
+        values, valid = batch_of([1, 2.5, True]).numeric_or_none("x")
+        assert values.dtype == numpy.float64
+        assert values.tolist() == [1.0, 2.5, 1.0]
+        assert valid is None
+
+    def test_none_holes_force_object_and_masked_view(self):
+        batch = batch_of([1.5, None, 3.0])
+        assert batch.array("x").dtype.kind == "O"
+        values, valid = batch.numeric_or_none("x")
+        assert values.tolist() == [1.5, 0.0, 3.0]
+        assert valid.tolist() == [True, False, True]
+
+    def test_int64_overflow_falls_back_to_object(self):
+        array = batch_of([2**70, 1]).array("x")
+        assert array.dtype.kind == "O"
+        assert array.tolist() == [2**70, 1]
+
+    def test_strings_and_containers_are_object(self):
+        assert batch_of(["a", "", "b"]).array("x").dtype.kind == "O"
+        lists = [[1, 2], [3, 4], [5, 6]]  # uniform lengths: the broadcast trap
+        array = batch_of(lists).array("x")
+        assert array.dtype.kind == "O"
+        assert array[0] is lists[0]
+
+    def test_all_missing_column_raises_like_record_access(self):
+        records = [Record({"a": 1, "timestamp": 0.0}), Record({"a": 2, "timestamp": 1.0})]
+        batch = RecordBatch.from_records(records)
+        with pytest.raises(StreamError, match="no field 'x'"):
+            batch.array("x")
+        values, valid = batch.numeric_or_none("x")
+        assert values.tolist() == [0.0, 0.0]
+        assert valid.tolist() == [False, False]
+
+    def test_missing_holed_column_raises_for_strict_array(self):
+        records = [Record({"x": 1, "timestamp": 0.0}), Record({"y": 2, "timestamp": 1.0})]
+        batch = RecordBatch.from_records(records)
+        with pytest.raises(StreamError, match="no field 'x'"):
+            batch.array("x")
+        values, valid = batch.numeric_or_none("x")
+        assert values.tolist() == [1.0, 0.0]
+        assert valid.tolist() == [True, False]
+
+
+class TestExactRoundTrips:
+    def test_tolist_round_trips_native_values_exactly(self):
+        values = [0.1 + 0.2, -0.0, 1e308, 5.0]
+        assert columns.as_list(batch_of(values).array("x")) == values
+        ints = [2**53 + 1, -7, 0]
+        out = columns.as_list(batch_of(ints).array("x"))
+        assert out == ints
+        assert all(type(v) is int for v in out)
+        bools = [True, False, True]
+        out = columns.as_list(batch_of(bools).array("x"))
+        assert out == bools
+        assert all(type(v) is bool for v in out)
+
+    def test_object_arrays_hand_back_identical_objects(self):
+        payload = [{"k": 1}, "s", (1, 2)]
+        out = columns.as_list(batch_of(payload).array("x"))
+        assert all(a is b for a, b in zip(out, payload))
+
+    def test_derived_batches_reconstruct_python_scalars(self):
+        batch = batch_of([1.0, 2.0, 3.0]).with_columns(
+            {"y": columns.get_numpy().asarray([2.0, 4.0, 6.0])}
+        )
+        rows = batch.to_records()
+        assert [r["y"] for r in rows] == [2.0, 4.0, 6.0]
+        assert all(type(r["y"]) is float for r in rows)
+
+
+class TestBackendSelection:
+    def test_resolve_backend(self):
+        assert columns.resolve_backend(None) == "numpy"
+        assert columns.resolve_backend("auto") == "numpy"
+        assert columns.resolve_backend("python") == "python"
+        with pytest.raises(StreamError, match="unknown REPRO_BATCH_BACKEND"):
+            columns.resolve_backend("cupy")
+
+    def test_python_backend_produces_no_arrays(self):
+        columns.set_backend("python")
+        assert columns.active_backend() == "python"
+        assert batch_of([1.0, 2.0]).array("x") is None
+        assert batch_of([1.0, 2.0]).numeric_or_none("x") is None
+        columns.set_backend("numpy")
+        assert batch_of([1.0, 2.0]).array("x") is not None
+
+    def test_compiled_kernels_follow_the_backend(self):
+        from repro.runtime.compiler import compile_expression
+        from repro.streaming.expressions import col
+
+        expression = col("x") > 1.5
+        columns.set_backend("python")
+        assert isinstance(compile_expression(expression)(batch_of([1.0, 2.0])), list)
+        columns.set_backend("numpy")
+        assert columns.is_ndarray(compile_expression(expression)(batch_of([1.0, 2.0])))
+
+
+class TestSourceBatchColumnStore:
+    """Regression coverage for the per-source column cache (storage.py)."""
+
+    def make_source(self, n=6):
+        from repro.streaming.schema import Schema
+        from repro.streaming.source import ListSource
+
+        schema = Schema.of("s", speed=float, lon=float, timestamp=float)
+        events = [
+            {"speed": float(i), "lon": 4.0 + i, "timestamp": float(i)} for i in range(n)
+        ]
+        return ListSource(events, schema)
+
+    def source_batch(self, n=6):
+        from repro.runtime.storage import iter_source_batches
+
+        return next(iter_source_batches(self.make_source(n), n))
+
+    def test_overwritten_columns_are_not_served_from_the_source_cache(self):
+        batch = self.source_batch(4)
+        batch.array("speed")  # warm the source cache
+        updated = batch.with_columns({"speed": [100.0, 200.0, 300.0, 400.0]})
+        assert updated.column("speed") == [100.0, 200.0, 300.0, 400.0]
+        assert updated.array("speed").tolist() == [100.0, 200.0, 300.0, 400.0]
+        values, valid = updated.numeric_or_none("speed")
+        assert values.tolist() == [100.0, 200.0, 300.0, 400.0] and valid is None
+        # != None must not reuse the stale cached mask either
+        overwritten = batch.with_columns({"lon": [None, 1.0, None, 2.0]})
+        assert overwritten.none_mask("lon", invert=True) is None
+
+    def test_set_column_invalidates_the_view(self):
+        batch = self.source_batch(3)
+        batch.array("speed")
+        batch.set_column("speed", [9.0, 8.0, 7.0])
+        assert batch.array("speed").tolist() == [9.0, 8.0, 7.0]
+
+    def test_untouched_columns_still_come_from_the_cache(self):
+        from repro.runtime.storage import SourceColumnCache, iter_source_batches
+
+        source = self.make_source(6)
+        cache = SourceColumnCache.of(source)
+        batches = list(iter_source_batches(source, 4))
+        full = cache.array_column("speed")
+        assert batches[0].array("speed").base is full  # zero-copy view
+        assert batches[1].array("speed").tolist() == [4.0, 5.0]
+
+
+def test_grouped_window_skips_value_less_aggregations():
+    """Sum()/Min()/Max()/Avg() without an `on` expression fold add(state,
+    None) per row; the grouped kernel must leave them to the exact path."""
+    from repro.queries import QUERY_CATALOG  # noqa: F401 - ensures registry import
+    from repro.runtime import BatchExecutionEngine
+    from repro.streaming.aggregations import Count, Sum
+    from repro.streaming.engine import StreamExecutionEngine
+    from repro.streaming.schema import Schema
+    from repro.streaming.source import ListSource
+    from repro.streaming.query import Query
+    from repro.streaming.windows import TumblingWindow
+
+    schema = Schema.of("s", device_id=str, timestamp=float)
+    events = [{"device_id": "d", "timestamp": float(t)} for t in range(20)]
+
+    def build():
+        return Query.from_source(ListSource(events, schema), name="valueless").window(
+            TumblingWindow(5.0), [Sum(), Count()], key_by=["device_id"]
+        )
+
+    record = StreamExecutionEngine().execute(build())
+    batch = BatchExecutionEngine(batch_size=8).execute(build())
+    assert [r.as_dict() for r in batch.records] == [r.as_dict() for r in record.records]
+
+
+def test_grid_cell_kernel_falls_back_past_int64_cells():
+    from repro.nebulameos.stwindows import GridCellExpression, SpatialGridAssigner
+    from repro.runtime.batch import RecordBatch
+    from repro.runtime.compiler import compile_expression
+    from repro.streaming.record import Record
+
+    expression = GridCellExpression(SpatialGridAssigner(0.05))
+    records = [
+        Record({"lon": 1e19, "lat": 50.0, "timestamp": 0.0}),
+        Record({"lon": 4.0, "lat": 50.0, "timestamp": 1.0}),
+    ]
+    batch = RecordBatch.from_records(records)
+    assert compile_expression(expression)(batch) == [
+        expression.evaluate(r) for r in records
+    ]

@@ -14,9 +14,13 @@ from repro.streaming import ListSource, Query, Schema, col
 from repro.streaming.engine import StreamExecutionEngine
 from tests.conftest import canonical_records
 
+# The whole module runs once per column backend (python / numpy): parity must
+# hold under both physical column representations.
+pytestmark = pytest.mark.usefixtures("column_backend")
+
 
 @pytest.fixture(scope="module")
-def record_results(full_scenario):
+def record_results(full_scenario, column_backend):
     engine = StreamExecutionEngine()
     return {
         query_id: engine.execute(info.build(full_scenario))

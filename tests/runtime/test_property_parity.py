@@ -20,6 +20,9 @@ from repro.streaming import ListSource, Query, Schema, col
 from repro.streaming.engine import StreamExecutionEngine
 from tests.conftest import canonical_records
 
+# Every randomized parity case replays under both column backends.
+pytestmark = pytest.mark.usefixtures("column_backend")
+
 FUZZ_SCHEMA = Schema.of(
     "fuzz", device_id=str, value=float, flag=bool, lon=float, lat=float, timestamp=float
 )
