@@ -7,7 +7,7 @@ from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Tuple
 from repro.cep.nfa import Match, NFAMatcher
 from repro.cep.patterns import Pattern
 from repro.streaming.operators import Operator
-from repro.streaming.record import Record
+from repro.streaming.record import Record, fast_record
 
 OutputBuilder = Callable[[Match], Dict[str, Any]]
 
@@ -50,7 +50,9 @@ class CEPOperator(Operator):
             payload.setdefault(field, value)
         payload.setdefault("match_start", match.start_time)
         payload.setdefault("match_end", match.end_time)
-        return Record(payload, match.end_time)
+        # ``payload`` is already a private copy; skip Record.__init__'s
+        # defensive re-copy (one dict copy per match, on both engines).
+        return fast_record(payload, float(match.end_time))
 
     def process(self, record: Record) -> Iterable[Record]:
         for match in self.matcher.process(self._key(record), record):

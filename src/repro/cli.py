@@ -160,6 +160,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 def _bench_one(args: argparse.Namespace, scenario: Scenario, query_id: str) -> None:
     backend = _apply_backend(args)
+    profile = getattr(args, "profile", False)
     info = QUERY_CATALOG[query_id]
     engines = [
         ("record", StreamExecutionEngine(measure_bytes=False)),
@@ -171,11 +172,13 @@ def _bench_one(args: argparse.Namespace, scenario: Scenario, query_id: str) -> N
                 batch_size=args.batch_size,
                 num_partitions=args.partitions,
                 partition_key=args.partition_key,
+                profile=profile,
             ),
         ),
     ]
     rates = []
     partitions_ran = 1
+    batch_profile = None
     for label, engine in engines:
         if label != "record":
             label = f"{label}/{backend}"
@@ -191,20 +194,53 @@ def _bench_one(args: argparse.Namespace, scenario: Scenario, query_id: str) -> N
             label += " x1 (plan not partitionable)"
         rates.append(best)
         print(f"{label:>22}: {best:>12,.0f} events/s ({len(result)} output records)")
+        if engine.execution_mode == "batch" and result.metrics.operator_seconds:
+            batch_profile = _profile_breakdown(result.metrics)
+            _print_profile(batch_profile)
     if rates[0]:
         print(f"{'speedup':>22}: {rates[1] / rates[0]:.2f}x")
     if args.json:
-        merge_bench_json(
-            args.json,
-            query_id,
-            record_eps=rates[0],
-            batch_eps=rates[1],
+        extra = dict(
             batch_size=args.batch_size,
             partitions=partitions_ran,
             events_in=result.metrics.events_in,
             backend=backend,
         )
+        if batch_profile is not None:
+            extra["profile"] = batch_profile
+        merge_bench_json(
+            args.json,
+            query_id,
+            record_eps=rates[0],
+            batch_eps=rates[1],
+            **extra,
+        )
         print(f"wrote {args.json}")
+
+
+def _profile_breakdown(metrics) -> dict:
+    """Per-operator wall-time rows from a profiled batch run (last repeat),
+    slowest first: ``{label: {seconds, share, events}}``."""
+    total = sum(metrics.operator_seconds.values()) or 1.0
+    return {
+        label: {
+            "seconds": round(seconds, 6),
+            "share": round(seconds / total, 4),
+            "events": metrics.operator_events.get(label, 0),
+        }
+        for label, seconds in sorted(
+            metrics.operator_seconds.items(), key=lambda item: -item[1]
+        )
+    }
+
+
+def _print_profile(breakdown: dict) -> None:
+    print(f"{'per-operator wall time':>22}:")
+    for label, row in breakdown.items():
+        print(
+            f"{'':>8}{label:<28} {row['seconds']*1000.0:>9.2f} ms "
+            f"{row['share']*100.0:>5.1f}%  {row['events']:>9,} events"
+        )
 
 
 def merge_bench_json(path: str, query_id: str, record_eps: float, batch_eps: float, **extra) -> None:
@@ -288,6 +324,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arguments(bench)
     _add_batch_arguments(bench)
     bench.add_argument("--repeat", type=int, default=3, help="runs per mode (best is kept)")
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="per-operator wall-time breakdown of the batch pipeline (from the "
+        "last repeat; adds one clock pair per stage per batch, so the batch "
+        "rate carries a small measurement overhead)",
+    )
     bench.add_argument(
         "--json",
         type=str,

@@ -379,14 +379,14 @@ def _vectorize_zone_lookup(expression: ZoneLookupExpression):
 
 def _vectorize_nearest_zone(expression: NearestZoneExpression):
     index, metric = expression.index, expression.metric
-    nearest = index.nearest
 
     def column(batch) -> List[Optional[tuple]]:
-        lons, lats = _positions(expression, batch)
-        return [
-            None if lon is None or lat is None else nearest(Point(float(lon), float(lat)), metric)
-            for lon, lat in zip(lons, lats)
-        ]
+        from repro.nebulameos.operators import coordinate_columns
+
+        lons, lats, valid = coordinate_columns(
+            batch, expression.lon_field, expression.lat_field
+        )
+        return index.nearest_each(lons, lats, valid, metric)
 
     return column
 

@@ -27,14 +27,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard runtime impor
     from repro.runtime.batch import RecordBatch
 
 
-def probe_zones(batch: "RecordBatch", index: GridIndex, lon_field: str, lat_field: str):
-    """Column-wise grid probe for a batch's positions.
+def coordinate_columns(batch: "RecordBatch", lon_field: str, lat_field: str):
+    """``(lons, lats, valid)`` for a batch's positions, array-first.
 
-    Prefers the batch's float64 coordinate views (``numeric_or_none``) so
-    :meth:`GridIndex.containing_each` computes the probe cells from whole
-    arrays; non-numeric coordinate columns fall back to the per-row lists
-    with identical semantics.  Shared by the spatial operators and the
-    NebulaMEOS expression kernels.
+    Prefers the batch's float64 coordinate views (``numeric_or_none``) with
+    their validity masks merged; non-numeric coordinate columns fall back to
+    the per-row ``column_or_none`` lists (``valid=None``) with identical
+    semantics.  The one home of the subtle mask merge, shared by the grid
+    probes, the nearest scans and the expression kernels.
     """
     lon_entry = batch.numeric_or_none(lon_field)
     lat_entry = batch.numeric_or_none(lat_field)
@@ -47,10 +47,15 @@ def probe_zones(batch: "RecordBatch", index: GridIndex, lon_field: str, lat_fiel
             valid = lon_valid
         else:
             valid = lon_valid & lat_valid
-        return index.containing_each(lons, lats, valid)
-    return index.containing_each(
-        batch.column_or_none(lon_field), batch.column_or_none(lat_field)
-    )
+        return lons, lats, valid
+    return batch.column_or_none(lon_field), batch.column_or_none(lat_field), None
+
+
+def probe_zones(batch: "RecordBatch", index: GridIndex, lon_field: str, lat_field: str):
+    """Column-wise grid probe for a batch's positions
+    (:func:`coordinate_columns` into :meth:`GridIndex.containing_each`)."""
+    lons, lats, valid = coordinate_columns(batch, lon_field, lat_field)
+    return index.containing_each(lons, lats, valid)
 
 
 class GeofenceOperator(Operator):
@@ -296,28 +301,52 @@ class NearestNeighborOperator(Operator):
     supports_batches = True
 
     def process_batch(self, batch: "RecordBatch") -> "RecordBatch":
-        """Batch kernel: positions read column-wise, one shared nearest scan per row."""
-        from repro.runtime.batch import RecordBatch
+        """Batch kernel: one column-wise nearest scan, columnar emission.
 
-        lons = batch.column_or_none(self.lon_field)
-        lats = batch.column_or_none(self.lat_field)
-        records = batch.to_records()
-        nearest = self.index.nearest
-        metric = self.metric
-        id_field = f"{self.output_prefix}_id"
-        distance_field = f"{self.output_prefix}_distance_m"
-        out: List[Record] = []
-        for i, record in enumerate(records):
-            lon, lat = lons[i], lats[i]
-            if lon is None or lat is None:
-                out.append(record)
-                continue
-            best = nearest(Point(float(lon), float(lat)), metric)
-            if best is None:
-                out.append(record)
+        Positions are read as float64 coordinate views when available and
+        the whole batch goes through :meth:`GridIndex.nearest_each` — under
+        the numpy backend that scores coordinate *columns* against the
+        indexed geometries (bit-identical to the record path's per-probe
+        scan, which shares the same scorer).  The id/distance annotations
+        come back as whole columns; rows without a position (or an empty
+        index) stay untouched via the MISSING sentinel, so no row is ever
+        materialized here.
+        """
+        from repro.runtime.batch import MISSING
+
+        lons, lats, valid = coordinate_columns(batch, self.lon_field, self.lat_field)
+        entries = self.index.nearest_each(lons, lats, valid, self.metric)
+        n = len(batch)
+        ids: List[Any] = [MISSING] * n
+        distances: List[Any] = [MISSING] * n
+        annotated = passthrough = False
+        for i, entry in enumerate(entries):
+            if entry is None:
+                passthrough = True
             else:
-                out.append(record.derive({id_field: best[0], distance_field: best[1]}))
-        return RecordBatch.from_records(out)
+                annotated = True
+                ids[i], distances[i] = entry
+        if not annotated:
+            return batch
+        id_column: Any = ids
+        distance_column: Any = distances
+        if not passthrough:
+            # Fully annotated batch: the kernel knows the distance column is
+            # float64 (ids stay objects), so downstream dtype inference is
+            # skipped entirely.
+            from repro.runtime.columns import ColumnBuilder, object_column
+
+            builder = ColumnBuilder("float64")
+            builder.extend(distances)
+            distance_column = builder.build()
+            id_column = object_column(ids)
+        return batch.with_columns(
+            {
+                f"{self.output_prefix}_id": id_column,
+                f"{self.output_prefix}_distance_m": distance_column,
+            },
+            has_missing=passthrough,
+        )
 
     def partition_keys(self):
         return []

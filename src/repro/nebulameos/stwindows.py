@@ -19,7 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.errors import StreamError
 from repro.spatial.geometry import Geometry
 from repro.spatial.index import GridIndex
-from repro.streaming.expressions import Expression, LambdaExpression
+from repro.streaming.expressions import Expression
 from repro.streaming.record import Record
 from repro.streaming.windows import SlidingWindow, ThresholdWindow, TumblingWindow
 
@@ -174,15 +174,6 @@ def _vectorize_grid_cell(expression: GridCellExpression):
     return column
 
 
-def _register_vectorizers() -> None:
-    from repro.runtime.compiler import register_vectorizer
-
-    register_vectorizer(GridCellExpression, _vectorize_grid_cell)
-
-
-_register_vectorizers()
-
-
 def spatiotemporal_tumbling(size_s: float) -> TumblingWindow:
     """A tumbling time window intended to be keyed by a spatial cell or device."""
     return TumblingWindow(size_s)
@@ -191,6 +182,116 @@ def spatiotemporal_tumbling(size_s: float) -> TumblingWindow:
 def spatiotemporal_sliding(size_s: float, slide_s: float) -> SlidingWindow:
     """A sliding time window intended to be keyed by a spatial cell or device."""
     return SlidingWindow(size_s, slide_s)
+
+
+class InsideGeometryExpression(Expression):
+    """True while the record's position lies inside a static geometry.
+
+    The predicate form backing :func:`spatiotemporal_threshold`.  As a
+    first-class expression (rather than a record lambda) it compiles to a
+    columnar mask in the batch runtime, which is what lets the vectorized
+    threshold-window kernel derive episode boundaries from mask transitions
+    instead of running the per-row state machine.
+    """
+
+    def __init__(
+        self, geometry: Geometry, lon_field: str = "lon", lat_field: str = "lat"
+    ) -> None:
+        self.geometry = geometry
+        self.lon_field = lon_field
+        self.lat_field = lat_field
+
+    def evaluate(self, record: Record) -> bool:
+        lon = record.get(self.lon_field)
+        lat = record.get(self.lat_field)
+        if lon is None or lat is None:
+            return False
+        from repro.spatial.geometry import Point
+
+        return bool(self.geometry.contains_point(Point(float(lon), float(lat))))
+
+    def fields(self) -> List[str]:
+        return [self.lon_field, self.lat_field]
+
+    def __repr__(self) -> str:
+        return f"InsideGeometry({self.geometry!r})"
+
+
+class InsideAnyZoneExpression(Expression):
+    """True while the record's position lies inside *any* indexed zone
+    (the predicate form backing :func:`zone_threshold`)."""
+
+    def __init__(
+        self, index: GridIndex, lon_field: str = "lon", lat_field: str = "lat"
+    ) -> None:
+        self.index = index
+        self.lon_field = lon_field
+        self.lat_field = lat_field
+
+    def evaluate(self, record: Record) -> bool:
+        lon = record.get(self.lon_field)
+        lat = record.get(self.lat_field)
+        if lon is None or lat is None:
+            return False
+        from repro.spatial.geometry import Point
+
+        return bool(self.index.containing(Point(float(lon), float(lat))))
+
+    def fields(self) -> List[str]:
+        return [self.lon_field, self.lat_field]
+
+    def __repr__(self) -> str:
+        return f"InsideAnyZone({len(self.index)} zones)"
+
+
+def _bool_column(values: List[bool]):
+    """A list of bools as a native mask under the numpy backend.
+
+    The containment decisions themselves stay scalar (``contains_point`` is
+    the record engine's arithmetic — vector trig could flip a boundary
+    point), but a typed mask is what lets the threshold-window kernel find
+    episode boundaries via transitions.
+    """
+    from repro.runtime.columns import get_numpy
+
+    np = get_numpy()
+    return values if np is None else np.asarray(values, dtype=np.bool_)
+
+
+def _vectorize_inside_geometry(expression: InsideGeometryExpression):
+    contains = expression.geometry.contains_point
+
+    def column(batch):
+        from repro.spatial.geometry import Point
+
+        lons = batch.column_or_none(expression.lon_field)
+        lats = batch.column_or_none(expression.lat_field)
+        return _bool_column(
+            [
+                lon is not None and lat is not None and bool(contains(Point(float(lon), float(lat))))
+                for lon, lat in zip(lons, lats)
+            ]
+        )
+
+    return column
+
+
+def _vectorize_inside_any_zone(expression: InsideAnyZoneExpression):
+    index = expression.index
+
+    def column(batch):
+        from repro.nebulameos.operators import probe_zones
+
+        return _bool_column(
+            [
+                bool(matches)
+                for matches in probe_zones(
+                    batch, index, expression.lon_field, expression.lat_field
+                )
+            ]
+        )
+
+    return column
 
 
 def spatiotemporal_threshold(
@@ -205,17 +306,7 @@ def spatiotemporal_threshold(
     This is the window form of a geofence: one output record per visit of the
     zone, aggregating every event emitted while inside.
     """
-
-    def inside(record: Record) -> bool:
-        lon = record.get(lon_field)
-        lat = record.get(lat_field)
-        if lon is None or lat is None:
-            return False
-        from repro.spatial.geometry import Point
-
-        return geometry.contains_point(Point(float(lon), float(lat)))
-
-    predicate = LambdaExpression(inside, name="inside_geometry")
+    predicate = InsideGeometryExpression(geometry, lon_field=lon_field, lat_field=lat_field)
     return ThresholdWindow(predicate, min_count=min_count, max_duration=max_duration)
 
 
@@ -226,14 +317,16 @@ def zone_threshold(
     min_count: int = 1,
 ) -> ThresholdWindow:
     """A threshold window that stays open while the position is inside *any* indexed zone."""
+    predicate = InsideAnyZoneExpression(index, lon_field=lon_field, lat_field=lat_field)
+    return ThresholdWindow(predicate, min_count=min_count)
 
-    def inside(record: Record) -> bool:
-        lon = record.get(lon_field)
-        lat = record.get(lat_field)
-        if lon is None or lat is None:
-            return False
-        from repro.spatial.geometry import Point
 
-        return bool(index.containing(Point(float(lon), float(lat))))
+def _register_vectorizers() -> None:
+    from repro.runtime.compiler import register_vectorizer
 
-    return ThresholdWindow(LambdaExpression(inside, name="inside_any_zone"), min_count=min_count)
+    register_vectorizer(GridCellExpression, _vectorize_grid_cell)
+    register_vectorizer(InsideGeometryExpression, _vectorize_inside_geometry)
+    register_vectorizer(InsideAnyZoneExpression, _vectorize_inside_any_zone)
+
+
+_register_vectorizers()

@@ -257,6 +257,16 @@ class TopKNearestOperator(Operator):
             top_column[i], ids_column[i], distance_column[i] = self._output_columns(top)
         if not annotated:
             return batch
+        if not passthrough:
+            # Hole-free list-valued outputs can never take a native dtype:
+            # declare them object up front so downstream array access skips
+            # inference.  The distance column stays inference-backed — it is
+            # float64 whenever every row found a peer, and only the scan can
+            # know that.
+            from repro.runtime.columns import object_column
+
+            top_column = object_column(top_column)
+            ids_column = object_column(ids_column)
         return batch.with_columns(
             {
                 self.output_prefix: top_column,

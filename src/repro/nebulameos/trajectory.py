@@ -183,7 +183,14 @@ class TrajectoryBuilder(Operator):
                     trajectory = fill_gaps(trajectory, impute_max_gap, impute_step)
                 trajectories[i] = trajectory
         has_missing = sum(map(len, groups.values())) < len(batch)
-        return batch.with_columns({self.output_field: trajectories}, has_missing=has_missing)
+        column: Any = trajectories
+        if not has_missing:
+            # Hole-free output: declare the column object-dtype up front so
+            # downstream array access never re-infers over trajectory values.
+            from repro.runtime.columns import object_column
+
+            column = object_column(trajectories)
+        return batch.with_columns({self.output_field: column}, has_missing=has_missing)
 
     def num_devices(self) -> int:
         return len(self._states)

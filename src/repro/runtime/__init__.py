@@ -24,6 +24,7 @@ comes purely from amortizing Python interpreter overhead over whole batches.
 """
 
 from repro.runtime.batch import MISSING, RecordBatch, batchify, unbatchify
+from repro.runtime.columns import BatchBuilder, ColumnBuilder
 from repro.runtime.compiler import ColumnFunction, compile_expression, register_vectorizer
 from repro.runtime.engine import BatchExecutionEngine
 from repro.runtime.operators import (
@@ -44,6 +45,8 @@ from repro.runtime.operators import (
 __all__ = [
     "MISSING",
     "RecordBatch",
+    "BatchBuilder",
+    "ColumnBuilder",
     "batchify",
     "unbatchify",
     "ColumnFunction",

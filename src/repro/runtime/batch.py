@@ -42,21 +42,13 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.errors import StreamError
 from repro.runtime.columns import as_list, get_numpy, is_ndarray, masked_floats, typed_array
-from repro.streaming.record import Record
+from repro.streaming.record import Record, fast_record as _fast_record
 
 #: Sentinel marking a field a record did not carry (distinct from ``None``).
 MISSING = object()
 
 #: Sentinel distinguishing "not cached" from a cached ``None`` result.
 _UNSET = object()
-
-
-def _fast_record(data: Dict[str, Any], timestamp: float) -> Record:
-    """Build a Record without re-copying the payload (callers own ``data``)."""
-    record = Record.__new__(Record)
-    record.data = data
-    record.timestamp = timestamp
-    return record
 
 
 class RecordBatch:
@@ -123,11 +115,49 @@ class RecordBatch:
     # -- construction ------------------------------------------------------------
 
     @classmethod
-    def from_records(cls, records: Sequence[Record]) -> "RecordBatch":
-        """Wrap a sequence of records; columns materialize on first access."""
+    def from_records(
+        cls, records: Sequence[Record], timestamps: Optional[List[float]] = None
+    ) -> "RecordBatch":
+        """Wrap a sequence of records; columns materialize on first access.
+
+        ``timestamps`` optionally seeds the timestamp column when the caller
+        already holds the event times (e.g. CEP emissions stamped with their
+        match end times), saving the per-row re-derivation.
+        """
         batch = cls._raw()
         batch._rows = list(records) if not isinstance(records, list) else records
         batch._length = len(batch._rows)
+        batch._timestamps = timestamps
+        return batch
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Dict[str, Any],
+        timestamps: List[float],
+        ts_array: Any = None,
+    ) -> "RecordBatch":
+        """A purely column-backed batch from finished output columns.
+
+        This is the emission-side constructor used by
+        :class:`~repro.runtime.columns.BatchBuilder`: column values may be
+        plain lists *or* ready typed ndarrays (a kernel that declared its
+        output dtype), which are installed as the batch's array
+        representation directly — downstream operators get native kernels
+        without re-running dtype inference.  Columns must be hole-free
+        (emitting kernels produce every field of every row; MISSING-holed
+        outputs go through :meth:`with_columns` ``has_missing`` instead).
+        """
+        batch = cls._raw()
+        for name, values in columns.items():
+            if is_ndarray(values):
+                batch._arrays[name] = values
+            else:
+                batch._columns[name] = values
+        batch._field_order = list(columns)
+        batch._timestamps = timestamps
+        batch._ts_array = ts_array
+        batch._length = len(timestamps)
         return batch
 
     @classmethod

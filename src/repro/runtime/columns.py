@@ -38,7 +38,7 @@ The env variable is read once at import; tests and the CLI switch with
 from __future__ import annotations
 
 import os
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import StreamError
 
@@ -152,6 +152,117 @@ def _object_array(values: Sequence[Any]) -> Any:
     array-valued cells never trigger numpy's nested-sequence broadcasting.
     """
     return _np.fromiter(values, dtype=object, count=len(values))
+
+
+# -- columnar emission -----------------------------------------------------------------
+
+
+#: Dtypes a kernel may declare for an output column.  Declaring one is a
+#: *contract*: every appended value is already of the matching Python type
+#: (``float`` / ``int`` / ``bool``), or — for ``object`` — the column should
+#: skip native-dtype inference entirely.  The builder then materializes the
+#: typed array straight from the accumulated values, so downstream batches
+#: never re-run ``set(map(type, ...))`` inference over emitted columns.
+DECLARABLE_DTYPES = ("float64", "int64", "bool", "object")
+
+
+class ColumnBuilder:
+    """Accumulates one output column for a batch under construction.
+
+    Kernels append scalars (one emission at a time) or extend with whole
+    runs (a ``reduceat`` result, a ``tolist`` slice).  ``dtype`` is declared
+    by the kernel when it can *prove* the column's type — e.g. window bounds
+    are always ``float``, ``Count`` results always ``int`` — and left
+    ``None`` when it cannot (a ``Min`` over an arbitrary expression), in
+    which case the finished column is a plain list and downstream batches
+    infer lazily exactly as for record-built batches.
+    """
+
+    __slots__ = ("dtype", "values")
+
+    def __init__(self, dtype: Optional[str] = None) -> None:
+        if dtype is not None and dtype not in DECLARABLE_DTYPES:
+            raise StreamError(
+                f"undeclarable column dtype {dtype!r}; expected one of {DECLARABLE_DTYPES}"
+            )
+        self.dtype = dtype
+        self.values: List[Any] = []
+
+    def append(self, value: Any) -> None:
+        self.values.append(value)
+
+    def extend(self, values: Sequence[Any]) -> None:
+        self.values.extend(values)
+
+    def build(self) -> Any:
+        """The finished column: a typed ndarray when a dtype was declared and
+        the numpy backend is active, else the plain value list."""
+        np = _np
+        if np is None or self.dtype is None:
+            return self.values
+        if self.dtype == "object":
+            return _object_array(self.values)
+        return np.asarray(self.values, dtype=np.dtype(self.dtype))
+
+
+def object_column(values: List[Any]) -> Any:
+    """A finished hole-free column declared object-dtype.
+
+    One-call form of ``ColumnBuilder("object")`` for kernels that already
+    hold the full value list (trajectory/top-k emissions): the objects go
+    into an object ndarray under the numpy backend — downstream array access
+    skips dtype inference — and stay the plain list under the python one.
+    """
+    np = _np
+    return values if np is None else _object_array(values)
+
+
+class BatchBuilder:
+    """Accumulates a whole output batch as typed columns plus timestamps.
+
+    The columnar counterpart of collecting emitted records in a list:
+    operators declare their output schema once (:meth:`column`), append one
+    value per column per emission plus the emission timestamp, and
+    :meth:`finish` produces a purely column-backed
+    :class:`~repro.runtime.batch.RecordBatch` — no per-record dict assembly,
+    no row-to-column re-transposition downstream, and declared-dtype columns
+    arrive as ready typed arrays.
+
+    ``timestamp_field`` optionally names a declared ``float64`` column whose
+    array doubles as the batch's timestamp array (window emissions stamp
+    records with ``window_end``), saving the separate conversion.
+    """
+
+    __slots__ = ("columns", "timestamps", "timestamp_field")
+
+    def __init__(self, timestamp_field: Optional[str] = None) -> None:
+        self.columns: Dict[str, ColumnBuilder] = {}
+        self.timestamps: List[float] = []
+        self.timestamp_field = timestamp_field
+
+    def column(self, name: str, dtype: Optional[str] = None) -> ColumnBuilder:
+        """Declare (or fetch) one output column, in schema order."""
+        builder = self.columns.get(name)
+        if builder is None:
+            builder = self.columns[name] = ColumnBuilder(dtype)
+        return builder
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def finish(self):
+        """The accumulated emissions as a column-backed ``RecordBatch``."""
+        from repro.runtime.batch import RecordBatch
+
+        if not self.timestamps:
+            return RecordBatch.empty()
+        columns = {name: builder.build() for name, builder in self.columns.items()}
+        ts_array = None
+        if self.timestamp_field is not None:
+            candidate = columns.get(self.timestamp_field)
+            if is_ndarray(candidate) and candidate.dtype.kind == "f":
+                ts_array = candidate
+        return RecordBatch.from_columns(columns, self.timestamps, ts_array=ts_array)
 
 
 def masked_floats(values: Sequence[Any], missing: Any) -> Optional[Tuple[Any, Any]]:

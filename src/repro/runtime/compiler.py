@@ -169,6 +169,26 @@ def _as_bool(array, np):
     return array if array.dtype == np.bool_ else array.astype(bool)
 
 
+def bool_mask(values: Any):
+    """A native boolean mask with Python truthiness semantics, else ``None``.
+
+    For a compiled predicate column of native dtype this is the exact
+    per-row ``bool(value)``: booleans pass through, int/float casts match
+    CPython truthiness element-wise (``NaN`` is truthy both ways).  Returns
+    ``None`` for lists and object arrays — callers (the vectorized
+    threshold-window kernel) then take their per-row path, which applies
+    ``bool()`` itself.
+    """
+    if not is_ndarray(values):
+        return None
+    kind = values.dtype.kind
+    if kind == "b":
+        return values
+    if kind in "iuf":
+        return values.astype(get_numpy().bool_)
+    return None
+
+
 def _cmp_ufunc(symbol: str, np):
     return {
         ">": np.greater,

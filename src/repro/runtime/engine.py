@@ -42,7 +42,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import PlanError
 from repro.runtime.batch import RecordBatch
-from repro.runtime.operators import BatchOperator, build_batch_pipeline
+from repro.runtime.operators import BatchOperator, FusedBatchStage, build_batch_pipeline
 from repro.runtime.storage import iter_source_batches
 from repro.streaming.engine import QueryResult, StreamExecutionEngine
 from repro.streaming.metrics import MetricsCollector
@@ -73,6 +73,7 @@ class BatchExecutionEngine(StreamExecutionEngine):
         fuse: bool = True,
         num_partitions: int = 1,
         partition_key: str = "device_id",
+        profile: bool = False,
     ) -> None:
         super().__init__(measure_bytes=measure_bytes)
         if batch_size < 1:
@@ -83,6 +84,10 @@ class BatchExecutionEngine(StreamExecutionEngine):
         self.fuse = bool(fuse)
         self.num_partitions = int(num_partitions)
         self.partition_key = partition_key
+        #: Attribute per-operator wall time (``MetricsReport.operator_seconds``)
+        #: — one clock pair per stage per batch, so leave off for headline
+        #: throughput runs.
+        self.profile = bool(profile)
 
     # -- execution ---------------------------------------------------------------------
 
@@ -209,7 +214,7 @@ class BatchExecutionEngine(StreamExecutionEngine):
         return True
 
     def _execute_single(self, plan: LogicalPlan, query_name: str, compiled) -> QueryResult:
-        metrics = MetricsCollector(query_name)
+        metrics = MetricsCollector(query_name, profile=self.profile)
         operators, sinks, entry_points = compiled
         stages = build_batch_pipeline(operators, set(entry_points.values()), fuse=self.fuse)
 
@@ -318,6 +323,10 @@ class BatchExecutionEngine(StreamExecutionEngine):
         entry_index: int,
         metrics: MetricsCollector,
     ) -> Optional[RecordBatch]:
+        if metrics.profile:
+            return BatchExecutionEngine._run_through_profiled(
+                stages, batch, entry_index, metrics
+            )
         for stage in stages:
             if stage.end_position <= entry_index:
                 continue
@@ -327,20 +336,61 @@ class BatchExecutionEngine(StreamExecutionEngine):
         return batch
 
     @staticmethod
+    def _run_through_profiled(
+        stages: Sequence[BatchOperator],
+        batch: RecordBatch,
+        entry_index: int,
+        metrics: MetricsCollector,
+    ) -> Optional[RecordBatch]:
+        """`_run_through` with per-stage wall-time attribution.
+
+        Fused stages time their member operators themselves (so labels match
+        ``operator_events``); every other stage is timed here.
+        """
+        from time import perf_counter
+
+        for stage in stages:
+            if stage.end_position <= entry_index:
+                continue
+            if not len(batch):
+                return None
+            if isinstance(stage, FusedBatchStage):
+                batch = stage.process_batch(batch, metrics)
+            else:
+                started = perf_counter()
+                batch = stage.process_batch(batch, metrics)
+                metrics.record_operator_time(stage.label, perf_counter() - started)
+        return batch
+
+    @staticmethod
     def _flush_stages(
         stages: Sequence[BatchOperator],
         metrics: MetricsCollector,
         collected: List[Record],
     ) -> None:
         """Flush stateful stages upstream-to-downstream, like the record engine."""
+        profile = metrics.profile
+        if profile:
+            from time import perf_counter
         for position, stage in enumerate(stages):
-            batch = stage.flush(metrics)
+            if profile:
+                started = perf_counter()
+                batch = stage.flush(metrics)
+                if not isinstance(stage, FusedBatchStage):
+                    metrics.record_operator_time(stage.label, perf_counter() - started)
+            else:
+                batch = stage.flush(metrics)
             if not len(batch):
                 continue
             for later in stages[position + 1 :]:
                 if not len(batch):
                     break
-                batch = later.process_batch(batch, metrics)
+                if profile and not isinstance(later, FusedBatchStage):
+                    started = perf_counter()
+                    batch = later.process_batch(batch, metrics)
+                    metrics.record_operator_time(later.label, perf_counter() - started)
+                else:
+                    batch = later.process_batch(batch, metrics)
             if len(batch):
                 collected.extend(batch.to_records())
 
@@ -370,7 +420,7 @@ class BatchExecutionEngine(StreamExecutionEngine):
         the record-engine sequence restricted to its keys.
         """
         num_partitions = self.num_partitions
-        metrics = MetricsCollector(query_name)
+        metrics = MetricsCollector(query_name, profile=self.profile)
         if split:
             # fresh pipelines for every partition: the prefix stages keep
             # first_compiled's operator instances for themselves
@@ -424,7 +474,7 @@ class BatchExecutionEngine(StreamExecutionEngine):
             if split:
                 stage_barriers.add(split)
             stages = build_batch_pipeline(operators, stage_barriers, fuse=self.fuse)
-            local = MetricsCollector(query_name)
+            local = MetricsCollector(query_name, profile=self.profile)
             out: List[Record] = []
             for entry_index, records in self._chunk_runs(partitions[index]):
                 batch = self._run_through(
@@ -447,5 +497,7 @@ class BatchExecutionEngine(StreamExecutionEngine):
         for _, local in results:
             for label, count in local.operator_events.items():
                 metrics.record_operator(label, count)
+            for label, seconds in local.operator_seconds.items():
+                metrics.record_operator_time(label, seconds)
         metrics.stop()
         return self._finalize(collected, sinks, metrics, plan, partitions=num_partitions)

@@ -47,8 +47,8 @@ from repro.streaming.windows import (
     WindowKey,
 )
 from repro.runtime.batch import RecordBatch, _fast_record
-from repro.runtime.columns import as_list, get_numpy, is_ndarray
-from repro.runtime.compiler import ColumnFunction, compile_expression
+from repro.runtime.columns import BatchBuilder, as_list, get_numpy, is_ndarray
+from repro.runtime.compiler import ColumnFunction, bool_mask, compile_expression
 
 
 _UNEVALUATED = object()
@@ -191,6 +191,83 @@ class VectorizedProjectOperator(BatchOperator):
         return batch.project(self.fields)
 
 
+class _WindowEmitter:
+    """Window emissions accumulated as typed output columns.
+
+    The columnar replacement for collecting emitted :class:`Record` objects:
+    every emission appends one value per output column into a
+    :class:`~repro.runtime.columns.BatchBuilder`, and :meth:`finish` hands
+    downstream operators a column-backed batch whose provably-typed columns
+    (window bounds for the built-in assigners, ``Count``/``Sum`` results)
+    arrive as ready float64/int64 arrays — no per-record dict assembly, no
+    row-to-column re-transposition, no dtype re-inference.  The ``window_end``
+    column doubles as the emitted batch's timestamp array.
+    """
+
+    __slots__ = ("builder", "start", "end", "keys", "aggs", "timestamps")
+
+    def __init__(self, operator: "BatchWindowAggregateOperator") -> None:
+        builder = self.builder = BatchBuilder(timestamp_field="window_end")
+        bounds = operator._bounds_dtype
+        self.start = builder.column("window_start", bounds)
+        self.end = builder.column("window_end", bounds)
+        self.keys = [builder.column(name) for name in operator.key_fields]
+        self.aggs = [
+            (builder.column(agg.output, _agg_result_dtype(agg)), agg)
+            for agg in operator.aggregations
+        ]
+        self.timestamps = builder.timestamps
+
+    def emit(self, key: Tuple[Any, ...], window: WindowKey, states: List[Any]) -> None:
+        start, end = window
+        self.start.append(start)
+        self.end.append(end)
+        for column, value in zip(self.keys, key):
+            column.append(value)
+        for (column, agg), state in zip(self.aggs, states):
+            column.append(agg.result(state))
+        self.timestamps.append(float(end))
+
+    def finish(self) -> RecordBatch:
+        return self.builder.finish()
+
+
+class _WindowRecordEmitter:
+    """Fallback emitter for colliding output names (a key field or a second
+    aggregation reusing ``window_start``/another output): record payloads are
+    dicts, where the last writer wins — column identity cannot express that,
+    so these (rare) operators keep per-record emission."""
+
+    __slots__ = ("operator", "out")
+
+    def __init__(self, operator: "BatchWindowAggregateOperator") -> None:
+        self.operator = operator
+        self.out: List[Record] = []
+
+    def emit(self, key: Tuple[Any, ...], window: WindowKey, states: List[Any]) -> None:
+        self.out.append(self.operator._emit(key, window, states))
+
+    def finish(self) -> RecordBatch:
+        return RecordBatch.from_records(self.out)
+
+
+def _agg_result_dtype(agg: Aggregation) -> Optional[str]:
+    """The provable result dtype of an aggregation, or ``None``.
+
+    Only declared where the aggregation's fold guarantees it for every
+    input: ``Count`` results are always ``int``, ``Sum`` always ``float``
+    (its state starts at ``0.0`` and only ever adds ``float(value)``).
+    ``Min``/``Max`` mirror their input types and ``Avg`` may yield ``None``
+    on an empty fold, so they stay inference-backed lists.
+    """
+    kind = type(agg)
+    if kind is Count:
+        return "int64"
+    if kind is Sum:
+        return "float64"
+    return None
+
+
 class BatchWindowAggregateOperator(BatchOperator):
     """Keyed windowed aggregation consuming whole batches.
 
@@ -199,6 +276,10 @@ class BatchWindowAggregateOperator(BatchOperator):
     mirrors :class:`~repro.streaming.operators.WindowAggregateOperator`
     exactly (watermark bumps, emission ordering, threshold open/close), so the
     output record sequence is identical to record-at-a-time execution.
+    Emissions are accumulated column-wise (:class:`_WindowEmitter`); under
+    the numpy backend both tumbling windows (:meth:`_process_grouped`) and
+    threshold windows (:meth:`_process_threshold_grouped`) run grouped array
+    kernels instead of the per-row state machine whenever exactness allows.
     """
 
     name = "window"
@@ -223,6 +304,21 @@ class BatchWindowAggregateOperator(BatchOperator):
         self._matches: Optional[ColumnFunction] = (
             compile_expression(assigner.predicate) if self._is_threshold else None
         )
+        # The built-in assigners provably produce float window bounds
+        # (record timestamps, or floor(t / size) * size with a float size);
+        # an assigner subclass may emit anything, so its bounds columns stay
+        # inference-backed.
+        self._bounds_dtype: Optional[str] = (
+            "float64"
+            if type(assigner) in (TumblingWindow, SlidingWindow, ThresholdWindow)
+            else None
+        )
+        # Columnar emission needs one column per output field; duplicate
+        # names (dict payloads: last writer wins) keep record emission.
+        output_names = ["window_start", "window_end"]
+        output_names.extend(self.key_fields)
+        output_names.extend(agg.output for agg in self.aggregations)
+        self._columnar_emission = len(set(output_names)) == len(output_names)
         # Per-aggregation value extractors: a compiled column when possible, a
         # per-record fallback when the aggregation overrides ``extract``.
         self._extractors: List[Tuple[str, Any, Aggregation]] = []
@@ -233,6 +329,11 @@ class BatchWindowAggregateOperator(BatchOperator):
                 self._extractors.append(("none", None, agg))
             else:
                 self._extractors.append(("column", compile_expression(agg.on), agg))
+
+    def _emitter(self) -> "_WindowEmitter | _WindowRecordEmitter":
+        if self._columnar_emission:
+            return _WindowEmitter(self)
+        return _WindowRecordEmitter(self)
 
     # -- columnar preparation ------------------------------------------------------
 
@@ -273,7 +374,7 @@ class BatchWindowAggregateOperator(BatchOperator):
         batch: RecordBatch,
         keys: List[Tuple[Any, ...]],
         values: List[Optional[Sequence[Any]]],
-        out: List[Record],
+        out: "_WindowEmitter | _WindowRecordEmitter",
     ) -> bool:
         """Grouped-reduction kernel for tumbling windows; True when it applied.
 
@@ -442,7 +543,7 @@ class BatchWindowAggregateOperator(BatchOperator):
             payload[agg.output] = agg.result(state)
         return _fast_record(payload, float(end))
 
-    def _emit_closed_into(self, out: List[Record]) -> None:
+    def _emit_closed_into(self, out: "_WindowEmitter | _WindowRecordEmitter") -> None:
         watermark = self._watermark
         ready = [
             (key, window)
@@ -450,12 +551,14 @@ class BatchWindowAggregateOperator(BatchOperator):
             if window[1] + self.allowed_lateness <= watermark
         ]
         for key, window in sorted(ready, key=lambda kw: kw[1][1]):
-            out.append(self._emit(key, window, self._states.pop((key, window))))
+            out.emit(key, window, self._states.pop((key, window)))
 
-    def _close_threshold_into(self, key: Tuple[Any, ...], out: List[Record]) -> None:
+    def _close_threshold_into(
+        self, key: Tuple[Any, ...], out: "_WindowEmitter | _WindowRecordEmitter"
+    ) -> None:
         start, end, count, states = self._open_thresholds.pop(key)
         if count >= self.assigner.min_count:  # type: ignore[union-attr]
-            out.append(self._emit(key, (start, end), states))
+            out.emit(key, (start, end), states)
 
     @staticmethod
     def _as_row_values(values: List[Optional[Sequence[Any]]]) -> List[Optional[Sequence[Any]]]:
@@ -463,67 +566,285 @@ class BatchWindowAggregateOperator(BatchOperator):
         ``agg.add`` folds see Python scalars, never numpy ones."""
         return [as_list(column) if is_ndarray(column) else column for column in values]
 
+    # -- threshold-window kernel (numpy backend) -----------------------------------
+
+    def _process_threshold_grouped(
+        self,
+        batch: RecordBatch,
+        keys: List[Tuple[Any, ...]],
+        values: List[Optional[Sequence[Any]]],
+        matches: Any,
+        out: "_WindowEmitter | _WindowRecordEmitter",
+    ) -> bool:
+        """Batch-native threshold windows; ``True`` when the kernel applied.
+
+        The predicate arrives as one boolean mask column; per key group the
+        episode open/close boundaries are the mask's transitions (runs of
+        consecutive matching rows, split further when ``max_duration`` caps
+        an episode mid-run), and per-episode aggregates come from the same
+        ``reduceat`` machinery as the grouped tumbling path — Count/Min/Max
+        reduce in C, Sum/Avg replay their float folds sequentially per
+        episode so the arithmetic stays bit-identical to the record engine.
+        Episodes still open at batch end carry over through
+        ``_open_thresholds`` exactly as the per-row machine leaves them, and
+        closed episodes are emitted in closing-row order, which is the
+        record engine's emission order (a close is yielded while processing
+        the first non-matching — or duration-capping — row).
+
+        Engages only where exactness is proven: a native mask, every
+        aggregation groupable with native-dtype value columns, no NaN values
+        (``np.minimum``/``np.maximum`` propagate NaN, the record fold's
+        comparison skips it).
+        """
+        np = get_numpy()
+        if np is None:
+            return False
+        mask = bool_mask(matches)
+        if mask is None:
+            return False
+        for (kind, _, agg), column in zip(self._extractors, values):
+            if kind == "record":
+                return False
+            if kind == "none":
+                if type(agg) is not Count:
+                    return False
+            elif not (is_ndarray(column) and column.dtype.kind in "bif"):
+                return False
+        if not all(type(agg) in self._GROUPABLE for agg in self.aggregations):
+            return False
+        for column in values:
+            if (
+                column is not None
+                and column.dtype.kind == "f"
+                and bool(np.isnan(column).any())
+            ):
+                return False
+
+        timestamps = batch.timestamps
+        aggregations = self.aggregations
+        agg_kinds = [type(agg) for agg in aggregations]
+        min_count = self.assigner.min_count  # type: ignore[union-attr]
+        max_duration = self.assigner.max_duration  # type: ignore[union-attr]
+        open_thresholds = self._open_thresholds
+        groups: Dict[Tuple[Any, ...], List[int]] = {}
+        for i, key in enumerate(keys):
+            group = groups.get(key)
+            if group is None:
+                groups[key] = [i]
+            else:
+                group.append(i)
+        # (closing row, key, start, end, count, states) — sorted at the end so
+        # emissions interleave across keys exactly like row-order processing.
+        closes: List[Tuple[int, Tuple[Any, ...], float, float, int, List[Any]]] = []
+        # (opening row, key, open state) for episodes opened in this batch and
+        # still open at its end: inserted into _open_thresholds in opening-row
+        # order, because its dict order is the record engine's flush order.
+        # Carried episodes that stay open are updated in place instead — a
+        # dict assignment to an existing key preserves its position.
+        opens: List[Tuple[int, Tuple[Any, ...], List[Any]]] = []
+
+        for key, indices in groups.items():
+            idx = np.asarray(indices, dtype=np.intp)
+            m = mask[idx]
+            matched_local = np.flatnonzero(m)
+            carried = open_thresholds.get(key)
+            if not len(matched_local):
+                if carried is not None:
+                    del open_thresholds[key]
+                    closes.append(
+                        (indices[0], key, carried[0], carried[1], carried[2], carried[3])
+                    )
+                continue
+            if carried is not None and matched_local[0] != 0:
+                # the key's first row does not match: the carried episode
+                # closes there, before any new episode opens
+                del open_thresholds[key]
+                closes.append(
+                    (indices[0], key, carried[0], carried[1], carried[2], carried[3])
+                )
+                carried = None
+
+            matched_idx = idx[matched_local]
+            matched_rows = matched_idx.tolist()
+            matched_ts = [timestamps[row] for row in matched_rows]
+            local_list = matched_local.tolist()
+            if len(matched_local) > 1:
+                breaks = (np.flatnonzero(np.diff(matched_local) > 1) + 1).tolist()
+            else:
+                breaks = []
+            run_bounds = list(zip([0] + breaks, breaks + [len(local_list)]))
+
+            # Episode segmentation: (a, b) in matched-row space, the episode
+            # start/end timestamps, the closing row (None = still open) and
+            # the carried state it continues (first episode only).
+            episodes: List[Tuple[int, int, float, float, Optional[int], Optional[List[Any]]]] = []
+            for run_index, (ra, rb) in enumerate(run_bounds):
+                carry = carried if run_index == 0 else None
+                seg_start = ra
+                start_ts = carry[0] if carry is not None else matched_ts[ra]
+                if max_duration is not None:
+                    for p in range(ra, rb):
+                        if matched_ts[p] - start_ts >= max_duration:
+                            episodes.append(
+                                (seg_start, p + 1, start_ts, matched_ts[p], matched_rows[p], carry)
+                            )
+                            carry = None
+                            seg_start = p + 1
+                            if seg_start < rb:
+                                start_ts = matched_ts[seg_start]
+                if seg_start < rb:
+                    after = local_list[rb - 1] + 1
+                    if after < len(indices):
+                        # by run construction the key's next in-batch row does
+                        # not match: the episode closes while processing it
+                        episodes.append(
+                            (seg_start, rb, start_ts, matched_ts[rb - 1], indices[after], carry)
+                        )
+                    else:
+                        episodes.append(
+                            (seg_start, rb, start_ts, matched_ts[rb - 1], None, carry)
+                        )
+
+            offsets = np.asarray([episode[0] for episode in episodes], dtype=np.intp)
+            reduced: List[Optional[List[Any]]] = []
+            for kind_t, column in zip(agg_kinds, values):
+                if kind_t is Count:
+                    reduced.append(None)
+                    continue
+                matched_values = column[matched_idx]
+                if kind_t is Min:
+                    reduced.append(np.minimum.reduceat(matched_values, offsets).tolist())
+                elif kind_t is Max:
+                    reduced.append(np.maximum.reduceat(matched_values, offsets).tolist())
+                else:  # Sum / Avg: sequential float folds per episode
+                    reduced.append(matched_values.tolist())
+
+            for episode_index, (a, b, start_ts, end_ts, close_row, carry) in enumerate(episodes):
+                states = carry[3] if carry is not None else self._new_states()
+                count = (carry[2] if carry is not None else 0) + (b - a)
+                for j, kind_t in enumerate(agg_kinds):
+                    if kind_t is Count:
+                        states[j] = states[j] + (b - a)
+                    elif kind_t is Min:
+                        value = reduced[j][episode_index]
+                        state = states[j]
+                        states[j] = value if state is None or value < state else state
+                    elif kind_t is Max:
+                        value = reduced[j][episode_index]
+                        state = states[j]
+                        states[j] = value if state is None or value > state else state
+                    elif kind_t is Sum:
+                        state = states[j]
+                        for value in reduced[j][a:b]:
+                            state = state + float(value)
+                        states[j] = state
+                    else:  # Avg
+                        total, seen = states[j]
+                        for value in reduced[j][a:b]:
+                            total = total + float(value)
+                        states[j] = [total, seen + (b - a)]
+                if close_row is None:
+                    if carry is not None:
+                        open_thresholds[key] = [start_ts, end_ts, count, states]
+                    else:
+                        opens.append((matched_rows[a], key, [start_ts, end_ts, count, states]))
+                else:
+                    if carry is not None:
+                        del open_thresholds[key]
+                    closes.append((close_row, key, start_ts, end_ts, count, states))
+
+        opens.sort(key=lambda entry: entry[0])
+        for _, key, state in opens:
+            open_thresholds[key] = state
+        closes.sort(key=lambda entry: entry[0])
+        for _, key, start_ts, end_ts, count, states in closes:
+            if count >= min_count:
+                out.emit(key, (start_ts, end_ts), states)
+        return True
+
+    # -- per-row state machines ----------------------------------------------------
+
+    def _process_threshold_rows(
+        self,
+        batch: RecordBatch,
+        keys: List[Tuple[Any, ...]],
+        values: List[Optional[Sequence[Any]]],
+        matches_column: Sequence[Any],
+        out: "_WindowEmitter | _WindowRecordEmitter",
+    ) -> None:
+        aggregations = self.aggregations
+        max_duration = self.assigner.max_duration  # type: ignore[union-attr]
+        open_thresholds = self._open_thresholds
+        for i, t in enumerate(batch.timestamps):
+            key = keys[i]
+            open_state = open_thresholds.get(key)
+            if matches_column[i]:
+                if open_state is None:
+                    open_state = [t, t, 0, self._new_states()]
+                    open_thresholds[key] = open_state
+                open_state[1] = t
+                open_state[2] += 1
+                states = open_state[3]
+                for j, agg in enumerate(aggregations):
+                    column = values[j]
+                    states[j] = agg.add(states[j], None if column is None else column[i])
+                if max_duration is not None and open_state[1] - open_state[0] >= max_duration:
+                    self._close_threshold_into(key, out)
+            elif open_state is not None:
+                self._close_threshold_into(key, out)
+
+    def _process_window_rows(
+        self,
+        batch: RecordBatch,
+        keys: List[Tuple[Any, ...]],
+        values: List[Optional[Sequence[Any]]],
+        out: "_WindowEmitter | _WindowRecordEmitter",
+    ) -> None:
+        aggregations = self.aggregations
+        window_rows = self._window_rows(batch)
+        all_states = self._states
+        for i, t in enumerate(batch.timestamps):
+            key = keys[i]
+            for window in window_rows[i]:
+                state_key = (key, window)
+                states = all_states.get(state_key)
+                if states is None:
+                    states = all_states[state_key] = self._new_states()
+                for j, agg in enumerate(aggregations):
+                    column = values[j]
+                    states[j] = agg.add(states[j], None if column is None else column[i])
+            if t > self._watermark:
+                self._watermark = t
+                self._emit_closed_into(out)
+
     def process_batch(self, batch: RecordBatch, metrics: MetricsCollector) -> RecordBatch:
         metrics.record_operator(self.label, len(batch))
-        out: List[Record] = []
+        out = self._emitter()
         keys = self._key_rows(batch)
         values = self._value_columns(batch)
-        if not self._is_threshold and len(batch) and self._process_grouped(batch, keys, values, out):
-            return RecordBatch.from_records(out)
-        values = self._as_row_values(values)
-        aggregations = self.aggregations
-        timestamps = batch.timestamps
         if self._is_threshold:
-            assigner = self.assigner
-            max_duration = assigner.max_duration  # type: ignore[union-attr]
-            matches_column = as_list(self._matches(batch))  # type: ignore[misc]
-            open_thresholds = self._open_thresholds
-            for i, t in enumerate(timestamps):
-                key = keys[i]
-                open_state = open_thresholds.get(key)
-                if matches_column[i]:
-                    if open_state is None:
-                        open_state = [t, t, 0, self._new_states()]
-                        open_thresholds[key] = open_state
-                    open_state[1] = t
-                    open_state[2] += 1
-                    states = open_state[3]
-                    for j, agg in enumerate(aggregations):
-                        column = values[j]
-                        states[j] = agg.add(states[j], None if column is None else column[i])
-                    if max_duration is not None and open_state[1] - open_state[0] >= max_duration:
-                        self._close_threshold_into(key, out)
-                elif open_state is not None:
-                    self._close_threshold_into(key, out)
-        else:
-            window_rows = self._window_rows(batch)
-            all_states = self._states
-            for i, t in enumerate(timestamps):
-                key = keys[i]
-                for window in window_rows[i]:
-                    state_key = (key, window)
-                    states = all_states.get(state_key)
-                    if states is None:
-                        states = all_states[state_key] = self._new_states()
-                    for j, agg in enumerate(aggregations):
-                        column = values[j]
-                        states[j] = agg.add(states[j], None if column is None else column[i])
-                if t > self._watermark:
-                    self._watermark = t
-                    self._emit_closed_into(out)
-        return RecordBatch.from_records(out)
+            if len(batch):
+                matches = self._matches(batch)  # type: ignore[misc]
+                if not self._process_threshold_grouped(batch, keys, values, matches, out):
+                    self._process_threshold_rows(
+                        batch, keys, self._as_row_values(values), as_list(matches), out
+                    )
+        elif len(batch):
+            if not self._process_grouped(batch, keys, values, out):
+                self._process_window_rows(batch, keys, self._as_row_values(values), out)
+        return out.finish()
 
     def flush(self, metrics: MetricsCollector) -> RecordBatch:
-        out: List[Record] = []
+        out = self._emitter()
         if self._is_threshold:
             for key in list(self._open_thresholds):
                 self._close_threshold_into(key, out)
         else:
             remaining = sorted(self._states, key=lambda kw: kw[1][1])
             for key, window in remaining:
-                out.append(self._emit(key, window, self._states[(key, window)]))
+                out.emit(key, window, self._states[(key, window)])
             self._states.clear()
-        return RecordBatch.from_records(out)
+        return out.finish()
 
 
 class BatchCEPOperator(BatchOperator):
@@ -620,14 +941,25 @@ class BatchCEPOperator(BatchOperator):
         matches = operator.matcher.process_batch(keys, records, step_columns, negation_columns)
         if not matches:
             return RecordBatch.empty()
-        emit = operator._emit
-        return RecordBatch.from_records([emit(match) for match in matches])
+        return self._emit_batch(matches)
+
+    def _emit_batch(self, matches: Sequence[Match]) -> RecordBatch:
+        """The emission batch for a run of matches.
+
+        Match payloads come from the (user-supplied) output builder, so the
+        rows stay the batch's backbone — but their event times are the match
+        end times the operator already holds, so the timestamp column is
+        seeded instead of being re-derived row by row downstream.
+        """
+        emit = self.operator._emit
+        rows = [emit(match) for match in matches]
+        return RecordBatch.from_records(rows, timestamps=[row.timestamp for row in rows])
 
     def flush(self, metrics: MetricsCollector) -> RecordBatch:
-        operator = self.operator
-        return RecordBatch.from_records(
-            [operator._emit(match) for match in operator.matcher.flush()]
-        )
+        matches = self.operator.matcher.flush()
+        if not matches:
+            return RecordBatch.empty()
+        return self._emit_batch(matches)
 
     def __repr__(self) -> str:
         return f"BatchCEP({self.operator!r})"
@@ -774,6 +1106,18 @@ class FusedBatchStage(BatchOperator):
         self.label = "+".join(op.label for op in self.operators)
 
     def process_batch(self, batch: RecordBatch, metrics: MetricsCollector) -> RecordBatch:
+        if metrics.profile:
+            # profiled runs attribute wall time to the *individual* fused
+            # operators, matching the operator_events labels
+            from time import perf_counter
+
+            for operator in self.operators:
+                if not len(batch):
+                    break
+                started = perf_counter()
+                batch = operator.process_batch(batch, metrics)
+                metrics.record_operator_time(operator.label, perf_counter() - started)
+            return batch
         for operator in self.operators:
             if not len(batch):
                 break

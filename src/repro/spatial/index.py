@@ -14,11 +14,22 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 from repro.errors import SpatialError
 from repro.spatial.bbox import Box2D
-from repro.spatial.geometry import Geometry, Point
+from repro.spatial.geometry import Circle, Geometry, Point
 
 
 class GridIndex:
     """Bucket geometries into fixed-size grid cells keyed by their bounding boxes."""
+
+    #: Geometry count from which the nearest scan uses the vectorized scorer
+    #: (when numpy is the active column backend and every geometry has a
+    #: vector form).  Below it a handful of ufunc dispatches costs more than
+    #: the scalar loop.  Class attribute so tests can tune the switchover.
+    vector_min_size = 4
+
+    #: Geometry count from which per-probe nearest scans switch from the
+    #: brute-force array scan (score everything, ``argmin``) to
+    #: expanding-ring candidate pruning over the grid cells.
+    prune_min_size = 512
 
     def __init__(self, cell_size: float) -> None:
         if cell_size <= 0:
@@ -29,6 +40,10 @@ class GridIndex:
         # Per-cell candidate lists for the batch point probes, built lazily
         # and invalidated on every insert.
         self._point_candidates: Dict[Tuple[int, int], List[Tuple[object, Geometry, Box2D]]] = {}
+        # Per-metric vectorized nearest scorers (False = proven unusable),
+        # also invalidated on every insert.
+        self._nearest_scorers: Dict[object, object] = {}
+        self._cell_extent: Optional[Tuple[int, int, int, int]] = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -50,6 +65,8 @@ class GridIndex:
         for cell in self._cell_range(box):
             self._cells[cell].append(index)
         self._point_candidates.clear()
+        self._nearest_scorers.clear()
+        self._cell_extent = None
 
     def query_box(self, box: Box2D) -> List[Tuple[object, Geometry]]:
         """All (key, geometry) pairs whose bounding box intersects ``box``."""
@@ -200,11 +217,28 @@ class GridIndex:
     def nearest(self, point: Point, metric) -> Optional[Tuple[object, float]]:
         """The nearest indexed geometry to a point: ``(key, distance)``.
 
-        Linear scan in insertion order, first minimum wins on ties — the one
-        shared implementation behind the nearest-zone expression and the
-        nearest-neighbor operator (record and batch paths alike), so their
-        tie-breaking can never diverge.  ``None`` when the index is empty.
+        Tie-breaking contract (shared by every path): among geometries at the
+        minimal distance, the **first inserted** wins — the scalar scan keeps
+        the first strict minimum, the brute-force array scan's ``argmin``
+        returns the first minimal slot (slot order = insertion order), and
+        the expanding-ring scan merges candidates with an explicit
+        ``(distance, insertion index)`` rule — so the nearest-zone expression
+        and the nearest-neighbor operator (record and batch paths alike) can
+        never diverge.  ``None`` when the index is empty, with no NaN leaking
+        out of an empty scan.
+
+        Under the numpy column backend, indexes of at least
+        :attr:`vector_min_size` point/circle geometries are scanned with the
+        metric's vector kernel (see :class:`_NearestScorer`); the scalar
+        loop remains for the pure-Python backend, small or mixed-geometry
+        indexes, and non-finite probes — deterministic from the index and
+        backend alone, never mixed per probe kind, so record and batch
+        engines always take the same path.
         """
+        if self._items:
+            scorer = self._nearest_scorer(metric)
+            if scorer is not None and math.isfinite(point.x) and math.isfinite(point.y):
+                return self._nearest_vector(scorer, point.x, point.y, metric)
         best_key = None
         best_distance = None
         for key, geometry, _ in self._items:
@@ -215,6 +249,298 @@ class GridIndex:
             return None
         return (best_key, best_distance)
 
+    def nearest_each(
+        self,
+        xs: Sequence[Optional[float]],
+        ys: Sequence[Optional[float]],
+        valid: Optional[Sequence[bool]] = None,
+        metric=None,
+    ) -> List[Optional[Tuple[object, float]]]:
+        """Column-wise :meth:`nearest`: one ``(key, distance)`` per row.
+
+        ``xs``/``ys`` follow the :meth:`containing_each` convention — plain
+        sequences with ``None`` holes, or float64 coordinate arrays with an
+        optional ``valid`` mask.  Position-less rows yield ``None`` (so does
+        every row of an empty index).  When the vectorized scorer applies,
+        sub-:attr:`prune_min_size` indexes are scored **row-major**: one
+        ``distances_to`` kernel pass per geometry over the whole coordinate
+        column, ``argmin`` down the geometry axis — per row bit-identical to
+        the probe-major :meth:`nearest` scan (the kernels guarantee it), so
+        the record engine and the batch engine agree to the last bit.
+        Larger indexes run the expanding-ring scan per row, sharing
+        :meth:`nearest`'s exact code path.  Non-finite coordinates fall back
+        to the scalar scan for that row, exactly as :meth:`nearest` does.
+        """
+        rows = self._coordinate_rows(xs, ys, valid)
+        results: List[Optional[Tuple[object, float]]] = [None] * len(rows)
+        if not self._items:
+            return results
+        scorer = self._nearest_scorer(metric)
+        if scorer is None:
+            for i, row in enumerate(rows):
+                if row is not None:
+                    results[i] = self.nearest(Point(row[0], row[1]), metric)
+            return results
+        np = scorer.np
+        pending: List[int] = []
+        for i, row in enumerate(rows):
+            if row is None:
+                continue
+            x, y = row
+            if not (math.isfinite(x) and math.isfinite(y)):
+                results[i] = self.nearest(Point(x, y), metric)
+            elif len(self._items) >= self.prune_min_size:
+                results[i] = self._nearest_vector(scorer, x, y, metric)
+            else:
+                pending.append(i)
+        if pending:
+            sub_xs = np.asarray([rows[i][0] for i in pending], dtype=np.float64)
+            sub_ys = np.asarray([rows[i][1] for i in pending], dtype=np.float64)
+            best, distances = scorer.score_rows(sub_xs, sub_ys)
+            keys = scorer.keys
+            for i, g, distance in zip(pending, best.tolist(), distances.tolist()):
+                results[i] = (keys[g], distance)
+        return results
+
+    def _coordinate_rows(self, xs, ys, valid) -> List[Optional[Tuple[float, float]]]:
+        """Per-row ``(x, y)`` floats, ``None`` for position-less rows."""
+        if hasattr(xs, "tolist"):
+            xs = xs.tolist()
+        if hasattr(ys, "tolist"):
+            ys = ys.tolist()
+        if valid is not None and hasattr(valid, "tolist"):
+            valid = valid.tolist()
+        rows: List[Optional[Tuple[float, float]]] = []
+        append = rows.append
+        for i, (x, y) in enumerate(zip(xs, ys)):
+            if x is None or y is None or (valid is not None and not valid[i]):
+                append(None)
+            else:
+                append((float(x), float(y)))
+        return rows
+
+    # -- vectorized nearest machinery ---------------------------------------------------
+
+    def _nearest_scorer(self, metric) -> "Optional[_NearestScorer]":
+        entry = self._nearest_scorers.get(metric)
+        if entry is None:
+            entry = _NearestScorer.build(self, metric) or False
+            self._nearest_scorers[metric] = entry
+        return entry or None
+
+    def _nearest_vector(
+        self, scorer: "_NearestScorer", x: float, y: float, metric
+    ) -> Tuple[object, float]:
+        if len(self._items) >= self.prune_min_size:
+            pruned = self._nearest_pruned(scorer, x, y, metric)
+            if pruned is not None:
+                return pruned
+        g, distance = scorer.nearest_one(x, y)
+        return (scorer.keys[g], distance)
+
+    def _occupied_extent(self) -> Tuple[int, int, int, int]:
+        """(xmin, xmax, ymin, ymax) over occupied grid cells."""
+        extent = self._cell_extent
+        if extent is None:
+            cells = self._cells
+            xs = [cell[0] for cell in cells]
+            ys = [cell[1] for cell in cells]
+            extent = self._cell_extent = (min(xs), max(xs), min(ys), max(ys))
+        return extent
+
+    def _nearest_pruned(
+        self, scorer: "_NearestScorer", x: float, y: float, metric
+    ) -> Optional[Tuple[object, float]]:
+        """Expanding-ring nearest scan: score cells around the probe outward,
+        stopping once the metric proves everything beyond the current ring is
+        farther than the best candidate.
+
+        Cells at Chebyshev ring ``r`` from the probe's cell hold geometry
+        bounded at least ``(r - 1) * cell_size`` coordinate units away along
+        some axis, which :meth:`Metric.grid_lower_bound` turns into a
+        distance floor; a floor above the current best distance ends the
+        scan.  Candidates are scored with the same subset kernel the
+        brute-force scan uses (bit-identical distances), and the global
+        first-minimum tie order is preserved by merging per-ring winners on
+        ``(distance, insertion index)``.  Returns ``None`` when the metric
+        offers no usable bound (``grid_lower_bound() == 0``) — the caller
+        then takes the brute-force scan.
+        """
+        cell_size = self.cell_size
+        max_abs_lat = max(scorer.max_abs_coord_y, abs(y))
+        if metric.grid_lower_bound(cell_size, max_abs_lat) <= 0.0:
+            return None
+        np = scorer.np
+        cells = self._cells
+        ex0, ex1, ey0, ey1 = self._occupied_extent()
+        floor = math.floor
+        cx = floor(x / cell_size)
+        cy = floor(y / cell_size)
+        max_ring = max(abs(cx - ex0), abs(cx - ex1), abs(cy - ey0), abs(cy - ey1))
+        seen = np.zeros(len(self._items), dtype=bool)
+        best_d: Optional[float] = None
+        best_g = -1
+        for r in range(max_ring + 1):
+            if best_d is not None and r >= 2:
+                if metric.grid_lower_bound((r - 1) * cell_size, max_abs_lat) > best_d:
+                    break
+            candidates: List[int] = []
+            for cell in self._ring_cells(cx, cy, r, ex0, ex1, ey0, ey1):
+                for index in cells.get(cell, ()):
+                    if not seen[index]:
+                        seen[index] = True
+                        candidates.append(index)
+            if not candidates:
+                continue
+            candidates.sort()
+            idx = np.asarray(candidates, dtype=np.intp)
+            adjusted = scorer.score_at(idx, x, y)
+            pos = int(np.argmin(adjusted))
+            cand_d = adjusted[pos].item()
+            cand_g = candidates[pos]
+            if (
+                best_d is None
+                or cand_d < best_d
+                or (cand_d == best_d and cand_g < best_g)
+            ):
+                best_d, best_g = cand_d, cand_g
+        if best_g < 0:  # pragma: no cover - non-empty indexes always find one
+            return None
+        return (scorer.keys[best_g], best_d)
+
+    @staticmethod
+    def _ring_cells(
+        cx: int, cy: int, r: int, ex0: int, ex1: int, ey0: int, ey1: int
+    ) -> Iterator[Tuple[int, int]]:
+        """The cells at Chebyshev distance exactly ``r`` from ``(cx, cy)``,
+        clipped to the occupied extent."""
+        if r == 0:
+            if ex0 <= cx <= ex1 and ey0 <= cy <= ey1:
+                yield (cx, cy)
+            return
+        x_lo, x_hi = cx - r, cx + r
+        y_lo, y_hi = cy - r, cy + r
+        for yy in (y_lo, y_hi):
+            if ey0 <= yy <= ey1:
+                for xx in range(max(x_lo, ex0), min(x_hi, ex1) + 1):
+                    yield (xx, yy)
+        for xx in (x_lo, x_hi):
+            if ex0 <= xx <= ex1:
+                for yy in range(max(y_lo + 1, ey0), min(y_hi - 1, ey1) + 1):
+                    yield (xx, yy)
+
     def items(self) -> Iterable[Tuple[object, Geometry]]:
         """All indexed (key, geometry) pairs."""
         return [(key, geometry) for key, geometry, _ in self._items]
+
+
+class _NearestScorer:
+    """Vectorized nearest-geometry scoring over point/circle centers.
+
+    Per-geometry center coordinates live in a metric vector kernel's
+    slot-addressed table (slot order = insertion order, exactly the scalar
+    scan's iteration order) next to a float64 radius column (0 for points),
+    so ``geometry.distance(point, metric)`` becomes
+    ``maximum(kernel_distance - radius, 0.0)`` for every indexed geometry at
+    once.  Three scoring shapes share the same per-element arithmetic (the
+    kernels guarantee bit-identical floats across them):
+
+    * :meth:`nearest_one` — probe-major, one probe against every slot (the
+      record path);
+    * :meth:`score_rows` — row-major, one ``distances_to`` pass per geometry
+      over a whole coordinate column (the batch ``nearest_each`` path);
+    * :meth:`score_at` — a candidate subset of slots (the expanding-ring
+      pruned scan).
+    """
+
+    __slots__ = ("np", "kernel", "keys", "radii", "radii_list", "count", "max_abs_coord_y")
+
+    def __init__(self, np, kernel, keys, radii, max_abs_coord_y: float) -> None:
+        self.np = np
+        self.kernel = kernel
+        self.keys = keys
+        self.radii = radii
+        self.radii_list = radii.tolist()
+        self.count = len(keys)
+        self.max_abs_coord_y = max_abs_coord_y
+
+    @classmethod
+    def build(cls, index: GridIndex, metric) -> "Optional[_NearestScorer]":
+        """A scorer for the index under one metric, or ``None`` when the
+        vector path must not engage: pure-Python column backend, too few
+        geometries, a metric without a vector kernel, any geometry that is
+        not a finite Point/Circle (their distance laws are the only ones the
+        radius trick covers exactly)."""
+        from repro.runtime.columns import get_numpy
+
+        np = get_numpy()
+        if np is None or metric is None:
+            return None
+        items = index._items
+        if len(items) < index.vector_min_size:
+            return None
+        kernel = metric.make_vector_kernel(np)
+        if kernel is None:
+            return None
+        keys: List[object] = []
+        radii: List[float] = []
+        max_abs_y = 0.0
+        isfinite = math.isfinite
+        for slot, (key, geometry, _) in enumerate(items):
+            kind = type(geometry)
+            if kind is Point:
+                x, y, radius = geometry.x, geometry.y, 0.0
+            elif kind is Circle:
+                x, y, radius = geometry.center.x, geometry.center.y, geometry.radius
+            else:
+                return None
+            if not (isfinite(x) and isfinite(y) and isfinite(radius)):
+                return None
+            kernel.set(slot, x, y)
+            keys.append(key)
+            radii.append(radius)
+            max_abs_y = max(max_abs_y, abs(y))
+        return cls(np, kernel, keys, np.asarray(radii, dtype=np.float64), max_abs_y)
+
+    def nearest_one(self, x: float, y: float) -> Tuple[int, float]:
+        """Probe-major scan: ``(insertion index, distance)`` of the nearest
+        geometry, first minimum winning in insertion order (the scalar
+        scan's tie rule).  The trig runs in the vector kernel; the radius
+        clamp and the argmin run as a Python scan over the exact ``tolist``
+        floats — identical IEEE doubles to the array clamp the row-major
+        scorer applies, a third of the ufunc dispatches per probe (this is
+        the record engine's per-event path, where dispatch overhead on a
+        handful of slots dominates)."""
+        distances = self.kernel.distances(self.count, x, y).tolist()
+        best_g = 0
+        best_d = None
+        for g, (distance, radius) in enumerate(zip(distances, self.radii_list)):
+            adjusted = distance - radius
+            if adjusted < 0.0:
+                adjusted = 0.0
+            if best_d is None or adjusted < best_d:
+                best_g, best_d = g, adjusted
+        return best_g, best_d
+
+    def score_at(self, indices, x: float, y: float):
+        """Adjusted distances for a slot subset (expanding-ring candidates)."""
+        return self.np.maximum(
+            self.kernel.distances_at(indices, x, y) - self.radii[indices], 0.0
+        )
+
+    def score_rows(self, xs, ys) -> Tuple[object, object]:
+        """Row-major scan of whole coordinate columns.
+
+        Returns ``(best, distances)`` arrays: per row the insertion index of
+        the nearest geometry (first minimum down the geometry axis) and its
+        distance.  Element ``[g, i]`` of the score matrix is bit-identical to
+        what :meth:`nearest_one` computes for row ``i`` at slot ``g``.
+        """
+        np = self.np
+        matrix = np.empty((self.count, len(xs)), dtype=np.float64)
+        kernel = self.kernel
+        radii = self.radii
+        for g in range(self.count):
+            matrix[g] = np.maximum(kernel.distances_to(g, xs, ys) - radii[g], 0.0)
+        best = np.argmin(matrix, axis=0)
+        return best, matrix[best, np.arange(len(xs))]

@@ -46,6 +46,19 @@ class Metric:
         """
         return None
 
+    def grid_lower_bound(self, degrees: float, max_abs_lat: float = 90.0) -> float:
+        """A lower bound on the distance of two points separated by at least
+        ``degrees`` coordinate units along *some* axis.
+
+        Used by the grid index's expanding-ring nearest scan to prove that
+        every geometry bucketed beyond the current ring is farther than the
+        best candidate found so far.  ``max_abs_lat`` bounds both points'
+        absolute latitudes (only geodesic metrics use it).  ``0.0`` (the
+        default for metrics without a bound) disables pruning — correct, just
+        never faster.
+        """
+        return 0.0
+
     def __repr__(self) -> str:
         return f"<Metric {self.name}>"
 
@@ -81,6 +94,30 @@ class VectorDistanceKernel:
     def distances(self, count: int, x: float, y: float):
         raise NotImplementedError
 
+    def distances_at(self, indices, x: float, y: float):
+        """Distances from ``(x, y)`` to the slots listed in ``indices`` only.
+
+        Bit-identical to ``distances(count, x, y)[indices]`` — the formula is
+        evaluated with the same operations in the same association order over
+        fancy-indexed slot arrays — without computing the unlisted slots.
+        Used by candidate-pruned scans (the grid index's expanding-ring
+        nearest) that score a few slots out of many.
+        """
+        raise NotImplementedError
+
+    def distances_to(self, slot: int, xs, ys):
+        """Distances from every ``(xs[i], ys[i])`` to the single slot.
+
+        The row-major transpose of :meth:`distances`: one call scores a whole
+        coordinate column against one stored point.  Per element the result
+        is bit-identical to ``distances(count, xs[i], ys[i])[slot]`` (the
+        formulas share operand association; multiplication order differences
+        are IEEE-commutative), which is what lets a batch kernel score
+        columns geometry-by-geometry while the record path scores
+        point-by-point, with equal floats.
+        """
+        raise NotImplementedError
+
 
 class _CartesianVectorKernel(VectorDistanceKernel):
     def __init__(self, np, capacity: int = 64) -> None:
@@ -96,6 +133,12 @@ class _CartesianVectorKernel(VectorDistanceKernel):
 
     def distances(self, count: int, x: float, y: float):
         return self.np.hypot(self.xs[:count] - x, self.ys[:count] - y)
+
+    def distances_at(self, indices, x: float, y: float):
+        return self.np.hypot(self.xs[indices] - x, self.ys[indices] - y)
+
+    def distances_to(self, slot: int, xs, ys):
+        return self.np.hypot(self.xs[slot] - xs, self.ys[slot] - ys)
 
 
 class _HaversineVectorKernel(VectorDistanceKernel):
@@ -127,6 +170,31 @@ class _HaversineVectorKernel(VectorDistanceKernel):
         )
         return 2.0 * EARTH_RADIUS_M * np.arcsin(np.minimum(1.0, np.sqrt(a)))
 
+    def distances_at(self, indices, x: float, y: float):
+        np = self.np
+        phi1 = np.radians(y)
+        dphi = self.phi[indices] - phi1
+        dlam = self.lam[indices] - np.radians(x)
+        a = (
+            np.sin(dphi * 0.5) ** 2
+            + np.cos(phi1) * self.cos_phi[indices] * np.sin(dlam * 0.5) ** 2
+        )
+        return 2.0 * EARTH_RADIUS_M * np.arcsin(np.minimum(1.0, np.sqrt(a)))
+
+    def distances_to(self, slot: int, xs, ys):
+        # Same operand association as ``distances``; subtraction operand
+        # order is also preserved (stored point minus probe), so every
+        # element matches the column-major form bit-for-bit.
+        np = self.np
+        phi1 = np.radians(ys)
+        dphi = self.phi[slot] - phi1
+        dlam = self.lam[slot] - np.radians(xs)
+        a = (
+            np.sin(dphi * 0.5) ** 2
+            + np.cos(phi1) * self.cos_phi[slot] * np.sin(dlam * 0.5) ** 2
+        )
+        return 2.0 * EARTH_RADIUS_M * np.arcsin(np.minimum(1.0, np.sqrt(a)))
+
 
 class CartesianMetric(Metric):
     """Planar Euclidean distance; coordinates are metres."""
@@ -139,6 +207,11 @@ class CartesianMetric(Metric):
     def make_vector_kernel(self, np) -> VectorDistanceKernel:
         return _CartesianVectorKernel(np)
 
+    def grid_lower_bound(self, degrees: float, max_abs_lat: float = 90.0) -> float:
+        # Coordinate units are distance units: a separation of D along either
+        # axis puts the Euclidean distance at >= D.
+        return degrees
+
 
 class HaversineMetric(Metric):
     """Great-circle distance; coordinates are (lon, lat) degrees."""
@@ -150,6 +223,25 @@ class HaversineMetric(Metric):
 
     def make_vector_kernel(self, np) -> VectorDistanceKernel:
         return _HaversineVectorKernel(np)
+
+    def grid_lower_bound(self, degrees: float, max_abs_lat: float = 90.0) -> float:
+        """Conservative great-circle bound for a degree separation.
+
+        A latitude gap of D degrees alone forces ``R * radians(D)`` metres
+        (``dist = 2R asin(sqrt(a)) >= 2R asin(sin(dphi/2)) = R dphi``).  A
+        longitude gap of D <= 180 forces ``(2/pi) R cos(lat_max) radians(D)``
+        (via ``asin(x) >= x`` and ``sin(x) >= 2x/pi`` on [0, pi/2]); beyond
+        180 degrees the great circle wraps, so no bound is claimed.  The
+        separation axis is unknown, so the minimum of the two applies.
+        """
+        if degrees <= 0.0:
+            return 0.0
+        lat_bound = EARTH_RADIUS_M * math.radians(min(degrees, 180.0))
+        if degrees > 180.0:
+            return 0.0
+        cos_max = math.cos(math.radians(min(90.0, max_abs_lat)))
+        lon_bound = (2.0 / math.pi) * EARTH_RADIUS_M * cos_max * math.radians(degrees)
+        return min(lat_bound, lon_bound)
 
 
 cartesian = CartesianMetric()

@@ -102,6 +102,7 @@ class StreamExecutionEngine:
         batch_size: int = 256,
         num_partitions: int = 1,
         partition_key: str = "device_id",
+        profile: bool = False,
     ) -> None:
         if execution_mode not in ("record", "batch"):
             raise PlanError(
@@ -112,6 +113,10 @@ class StreamExecutionEngine:
         self.batch_size = batch_size
         self.num_partitions = num_partitions
         self.partition_key = partition_key
+        #: Per-operator wall-time attribution; honoured by the batch runtime
+        #: (the record pipeline's generator fan-out has no per-operator
+        #: boundary cheap enough to clock without distorting the measurement).
+        self.profile = profile
         self._batch_delegate = None
 
     # -- compilation -------------------------------------------------------------
@@ -212,6 +217,7 @@ class StreamExecutionEngine:
                 measure_bytes=self.measure_bytes,
                 num_partitions=self.num_partitions,
                 partition_key=self.partition_key,
+                profile=self.profile,
             )
         return self._batch_delegate
 

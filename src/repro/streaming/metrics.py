@@ -15,7 +15,14 @@ from typing import Dict, List, Optional
 
 @dataclass
 class MetricsReport:
-    """Immutable summary of one query execution."""
+    """Immutable summary of one query execution.
+
+    ``operator_seconds`` is filled only under profiled executions (the batch
+    engine's ``profile`` flag / CLI ``bench --profile``): per-operator wall
+    time keyed by the same ``"{position}:{name}"`` labels as
+    ``operator_events``, so a breakdown can pair each stage's time with its
+    row count.
+    """
 
     query_name: str
     events_in: int
@@ -24,6 +31,7 @@ class MetricsReport:
     bytes_out: int
     wall_time_s: float
     operator_events: Dict[str, int] = field(default_factory=dict)
+    operator_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ingestion_rate_eps(self) -> float:
@@ -58,7 +66,7 @@ class MetricsReport:
         return self.wall_time_s / self.events_in * 1_000_000.0
 
     def as_dict(self) -> Dict[str, float]:
-        return {
+        payload = {
             "query": self.query_name,
             "events_in": self.events_in,
             "events_out": self.events_out,
@@ -69,6 +77,11 @@ class MetricsReport:
             "selectivity": round(self.selectivity, 4),
             "avg_latency_us": round(self.avg_latency_us, 2),
         }
+        if self.operator_seconds:
+            payload["operator_seconds"] = {
+                label: round(seconds, 6) for label, seconds in self.operator_seconds.items()
+            }
+        return payload
 
     def __str__(self) -> str:
         return (
@@ -79,15 +92,23 @@ class MetricsReport:
 
 
 class MetricsCollector:
-    """Mutable counters filled in during execution, producing a :class:`MetricsReport`."""
+    """Mutable counters filled in during execution, producing a :class:`MetricsReport`.
 
-    def __init__(self, query_name: str = "query") -> None:
+    ``profile=True`` asks the executing engine to additionally attribute
+    wall time per operator (:meth:`record_operator_time`); the flag lives on
+    the collector so deeply nested execution helpers (fused stages, per-
+    partition pipelines) can consult it without threading a parameter.
+    """
+
+    def __init__(self, query_name: str = "query", profile: bool = False) -> None:
         self.query_name = query_name
+        self.profile = profile
         self.events_in = 0
         self.events_out = 0
         self.bytes_in = 0
         self.bytes_out = 0
         self.operator_events: Dict[str, int] = {}
+        self.operator_seconds: Dict[str, float] = {}
         self._start: Optional[float] = None
         self._end: Optional[float] = None
 
@@ -108,6 +129,11 @@ class MetricsCollector:
     def record_operator(self, operator_name: str, count: int = 1) -> None:
         self.operator_events[operator_name] = self.operator_events.get(operator_name, 0) + count
 
+    def record_operator_time(self, operator_name: str, seconds: float) -> None:
+        self.operator_seconds[operator_name] = (
+            self.operator_seconds.get(operator_name, 0.0) + seconds
+        )
+
     def report(self) -> MetricsReport:
         if self._start is None:
             wall = 0.0
@@ -122,4 +148,5 @@ class MetricsCollector:
             bytes_out=self.bytes_out,
             wall_time_s=wall,
             operator_events=dict(self.operator_events),
+            operator_seconds=dict(self.operator_seconds),
         )

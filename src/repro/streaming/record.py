@@ -65,6 +65,21 @@ class Record:
         return f"Record(t={self.timestamp}, {self.data})"
 
 
+def fast_record(data: Dict[str, Any], timestamp: float) -> Record:
+    """Build a Record without re-copying the payload.
+
+    Callers own ``data`` (a freshly built dict) and guarantee ``timestamp``
+    is already a float — the one sanctioned bypass of ``Record.__init__``'s
+    defensive copy, shared by the batch runtime's row materialization and
+    the CEP emitter so a future ``Record`` invariant has a single bypass
+    site to update.
+    """
+    record = Record.__new__(Record)
+    record.data = data
+    record.timestamp = timestamp
+    return record
+
+
 def estimate_value_bytes(value: Any) -> int:
     """Wire-size estimate of one field value.
 

@@ -1,0 +1,225 @@
+"""Columnar emission: operators must produce array-built output batches.
+
+The acceptance contract of the emission-side work: on the numpy backend,
+window/CEP/trajectory/top-k/nearest emissions carry their provably-typed
+output columns as ready ndarrays (installed at emission time by the
+:class:`~repro.runtime.columns.BatchBuilder` machinery), so downstream
+operators get native kernels without ever re-running object-dtype inference
+over emitted values.  These tests assert the arrays are present on the
+emitted batch *before* any column access (``batch._arrays`` is the
+pre-seeded array store).
+"""
+
+import pytest
+
+from repro.cep.operator import CEPOperator
+from repro.cep.patterns import times
+from repro.nebulameos.operators import NearestNeighborOperator
+from repro.nebulameos.topk import TopKNearestOperator
+from repro.nebulameos.trajectory import TrajectoryBuilder
+from repro.runtime import columns
+from repro.runtime.batch import RecordBatch
+from repro.runtime.columns import BatchBuilder, ColumnBuilder
+from repro.runtime.operators import BatchCEPOperator, BatchWindowAggregateOperator
+from repro.spatial.geometry import Point
+from repro.spatial.index import GridIndex
+from repro.spatial.measure import cartesian
+from repro.streaming.aggregations import Avg, Count, Min, Sum
+from repro.streaming.expressions import col
+from repro.streaming.metrics import MetricsCollector
+from repro.streaming.record import Record
+from repro.streaming.windows import ThresholdWindow, TumblingWindow
+
+pytestmark = pytest.mark.skipif(not columns.numpy_available(), reason="numpy not installed")
+
+
+@pytest.fixture(autouse=True)
+def numpy_backend():
+    previous = columns.active_backend()
+    columns.set_backend("numpy")
+    yield
+    columns.set_backend(previous)
+
+
+def records(n=20, devices=("a", "b")):
+    return [
+        Record(
+            {
+                "device_id": devices[i % len(devices)],
+                "value": float(i % 7),
+                "flag": (i % 5) < 3,
+                "lon": 1.0 + 0.1 * i,
+                "lat": 2.0 + 0.1 * i,
+            },
+            timestamp=float(i),
+        )
+        for i in range(n)
+    ]
+
+
+def emitted_window_batch(assigner, aggregations, batch_rows, flush=True):
+    operator = BatchWindowAggregateOperator(assigner, aggregations, ["device_id"], 0.0, 0)
+    metrics = MetricsCollector()
+    out = operator.process_batch(RecordBatch.from_records(batch_rows), metrics)
+    if flush and not len(out):
+        out = operator.flush(metrics)
+    return out
+
+
+class TestWindowEmission:
+    AGGS = lambda self: [Count(), Sum("value"), Min("value", output="low"), Avg("value")]
+
+    def assert_typed(self, out):
+        import numpy as np
+
+        assert len(out)
+        # provably-typed columns arrive as pre-built arrays: no inference ran
+        assert out._arrays["window_start"].dtype == np.float64
+        assert out._arrays["window_end"].dtype == np.float64
+        assert out._arrays["count"].dtype == np.int64
+        assert out._arrays["sum"].dtype == np.float64
+        # Min/Avg results are input-dependent; they stay inference-backed
+        assert "low" not in out._arrays and "avg" not in out._arrays
+        # the window_end array doubles as the emission timestamps
+        assert out.timestamps_array() is out._arrays["window_end"]
+
+    def test_tumbling_emission_is_array_built(self):
+        out = emitted_window_batch(TumblingWindow(5.0), self.AGGS(), records(40))
+        self.assert_typed(out)
+
+    def test_threshold_emission_is_array_built(self):
+        out = emitted_window_batch(
+            ThresholdWindow(col("flag"), min_count=1), self.AGGS(), records(40)
+        )
+        self.assert_typed(out)
+
+    def test_flush_emission_is_array_built(self):
+        operator = BatchWindowAggregateOperator(
+            TumblingWindow(100.0), self.AGGS(), ["device_id"], 0.0, 0
+        )
+        metrics = MetricsCollector()
+        operator.process_batch(RecordBatch.from_records(records(10)), metrics)
+        out = operator.flush(metrics)
+        self.assert_typed(out)
+
+    def test_colliding_output_names_fall_back_to_records(self):
+        # two aggregations writing the same field: dict semantics (last wins)
+        out = emitted_window_batch(
+            TumblingWindow(5.0),
+            [Count(output="x"), Sum("value", output="x")],
+            records(40),
+        )
+        assert len(out)
+        assert not out._arrays  # record-built fallback path
+        assert all(isinstance(row["x"], float) for row in out.to_records())
+
+
+class TestCEPEmission:
+    def test_match_timestamps_are_seeded(self):
+        operator = CEPOperator(
+            times("hit", col("flag"), at_least=2).within(100.0), ["device_id"]
+        )
+        batch_op = BatchCEPOperator(operator, 0)
+        metrics = MetricsCollector()
+        out = batch_op.process_batch(RecordBatch.from_records(records(30)), metrics)
+        flushed = batch_op.flush(metrics)
+        emitted = out if len(out) else flushed
+        assert len(emitted)
+        # the timestamp column was seeded from the match end times — no
+        # per-row re-derivation pending
+        assert emitted._timestamps is not None
+        assert emitted.timestamps == [r.timestamp for r in emitted.to_records()]
+
+
+class TestPluginEmission:
+    def test_trajectory_column_is_object_array(self):
+        operator = TrajectoryBuilder(metric=cartesian)
+        out = operator.process_batch(RecordBatch.from_records(records(16)))
+        assert out._arrays["trajectory"].dtype.kind == "O"
+
+    def test_topk_columns_are_object_arrays(self):
+        operator = TopKNearestOperator(metric=cartesian, k=2)
+        out = operator.process_batch(RecordBatch.from_records(records(16)))
+        assert out._arrays["nearest_trains"].dtype.kind == "O"
+        assert out._arrays["nearest_trains_ids"].dtype.kind == "O"
+
+    def test_nearest_distance_column_is_float64_array(self):
+        import numpy as np
+
+        index = GridIndex(1.0)
+        for i in range(6):
+            index.insert(f"w{i}", Point(float(i), float(i)))
+        operator = NearestNeighborOperator(index, output_prefix="workshop", metric=cartesian)
+        out = operator.process_batch(RecordBatch.from_records(records(16)))
+        assert out._arrays["workshop_distance_m"].dtype == np.float64
+        assert out._arrays["workshop_id"].dtype.kind == "O"
+
+    def test_passthrough_rows_keep_list_columns(self):
+        # MISSING-holed outputs must stay lists (the sentinel cannot live in
+        # a typed array); the row-merge semantics are covered by the parity
+        # suites — here we only pin the representation choice
+        rows = records(8)
+        rows.append(Record({"device_id": "a", "value": 1.0, "flag": True}, timestamp=99.0))
+        operator = TrajectoryBuilder(metric=cartesian)
+        out = operator.process_batch(RecordBatch.from_records(rows))
+        assert "trajectory" not in out._arrays
+
+
+class TestBuilders:
+    def test_column_builder_declared_dtypes(self):
+        import numpy as np
+
+        floats = ColumnBuilder("float64")
+        floats.extend([1.0, 2.0])
+        floats.append(3.0)
+        built = floats.build()
+        assert built.dtype == np.float64 and built.tolist() == [1.0, 2.0, 3.0]
+        objects = ColumnBuilder("object")
+        sentinel = object()
+        objects.extend([sentinel, [1, 2]])
+        built = objects.build()
+        assert built.dtype.kind == "O"
+        assert built[0] is sentinel and built[1] == [1, 2]
+
+    def test_column_builder_rejects_unknown_dtype(self):
+        from repro.errors import StreamError
+
+        with pytest.raises(StreamError):
+            ColumnBuilder("float32")
+
+    def test_column_builder_without_dtype_stays_list(self):
+        builder = ColumnBuilder()
+        builder.extend([1, "two"])
+        assert builder.build() == [1, "two"]
+
+    def test_batch_builder_finish(self):
+        import numpy as np
+
+        builder = BatchBuilder(timestamp_field="ts")
+        ts = builder.column("ts", "float64")
+        name = builder.column("name")
+        for i in range(3):
+            ts.append(float(i))
+            name.append(f"n{i}")
+            builder.timestamps.append(float(i))
+        batch = builder.finish()
+        assert len(batch) == 3
+        assert batch._arrays["ts"].dtype == np.float64
+        assert batch.timestamps_array() is batch._arrays["ts"]
+        assert [r.as_dict() for r in batch.to_records()] == [
+            {"ts": float(i), "name": f"n{i}", "timestamp": float(i)} for i in range(3)
+        ]
+
+    def test_batch_builder_empty(self):
+        builder = BatchBuilder()
+        builder.column("x", "int64")
+        assert len(builder.finish()) == 0
+
+    def test_python_backend_builds_lists(self):
+        columns.set_backend("python")
+        try:
+            builder = ColumnBuilder("float64")
+            builder.append(1.0)
+            assert builder.build() == [1.0]
+        finally:
+            columns.set_backend("numpy")

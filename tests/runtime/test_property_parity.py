@@ -12,12 +12,17 @@ sizes and partition counts.
 import pytest
 
 from repro.cep.patterns import absence, every, seq, times
+from repro.nebulameos.stwindows import spatiotemporal_threshold, zone_threshold
 from repro.nebulameos.topk import TopKNearestOperator
 from repro.nebulameos.trajectory import TrajectoryBuilder
 from repro.runtime import BatchExecutionEngine
-from repro.spatial.measure import cartesian
+from repro.spatial.geometry import Circle, Point, Polygon
+from repro.spatial.index import GridIndex
+from repro.spatial.measure import cartesian, haversine
 from repro.streaming import ListSource, Query, Schema, col
+from repro.streaming.aggregations import Avg, Count, Max, Min, Sum
 from repro.streaming.engine import StreamExecutionEngine
+from repro.streaming.windows import ThresholdWindow
 from tests.conftest import canonical_records
 
 # Every randomized parity case replays under both column backends.
@@ -295,6 +300,102 @@ def test_random_streams_topk_distance_ties(stream_fuzz):
         lambda: topk_query(events, k=3, staleness_s=60.0),
         num_partitions=4,
         expect_partitions=1,
+    )
+
+
+# -- threshold windows ----------------------------------------------------------------
+#
+# The vectorized threshold-window kernel (mask transitions + reduceat
+# aggregates) claims bit-exact parity with the record engine's per-row state
+# machine, including emission ordering across keys, carried-over episodes at
+# batch boundaries, and min_count/max_duration handling.  Small batch sizes
+# (1, 7, 64) force episodes to open and close mid-batch and to carry state
+# across batches; 4-partition mode must split on the window key with the same
+# multiset and per-operator counters.
+
+THRESHOLD_AGGS = lambda: [  # noqa: E731 - fresh aggregation instances per query
+    Count(),
+    Min("value", output="low"),
+    Max("value", output="high"),
+    Sum("value", output="total"),
+    Avg("value", output="mean"),
+]
+
+
+def threshold_query(events, predicate=None, min_count=2, max_duration=None, window=None):
+    if window is None:
+        window = ThresholdWindow(
+            predicate if predicate is not None else col("flag"),
+            min_count=min_count,
+            max_duration=max_duration,
+        )
+    return Query.from_source(ListSource(events, FUZZ_SCHEMA), name="threshold-prop").window(
+        window, THRESHOLD_AGGS(), key_by=["device_id"]
+    )
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("min_count", [1, 3], ids=["single-record-episodes", "min3"])
+def test_random_streams_threshold_window_parity(stream_fuzz, variant, min_count):
+    """Episodes opening/closing mid-batch plus duplicate timestamps.
+
+    ``min_count=1`` keeps single-record episodes emittable; ``duplicate_ts``
+    produces same-instant rows inside and at the edges of episodes.
+    """
+    events = stream_fuzz.keyed_events(
+        f"threshold-mc{min_count}-v{variant}", n=500, duplicate_ts=0.2
+    )
+    assert_exact_parity(
+        lambda: threshold_query(events, min_count=min_count),
+        num_partitions=4,
+        expect_partitions=4,
+    )
+
+
+@pytest.mark.parametrize("variant", VARIANTS[:2])
+def test_random_streams_threshold_max_duration_parity(stream_fuzz, variant):
+    """``max_duration`` closes episodes mid-run (the in-run split path)."""
+    events = stream_fuzz.keyed_events(
+        f"threshold-maxdur-v{variant}", n=500, duplicate_ts=0.1
+    )
+    assert_exact_parity(
+        lambda: threshold_query(events, min_count=1, max_duration=12.0),
+        num_partitions=4,
+        expect_partitions=4,
+    )
+
+
+def test_random_streams_threshold_value_predicate_parity(stream_fuzz):
+    """A numeric (non-boolean) predicate column exercises the truthiness mask."""
+    events = stream_fuzz.keyed_events("threshold-numeric", n=400)
+    assert_exact_parity(
+        lambda: threshold_query(events, predicate=col("value") - 50.0, min_count=2)
+    )
+
+
+def test_random_streams_spatiotemporal_threshold_parity(stream_fuzz):
+    """The geometry-predicate window (vectorized mask) over gappy positions."""
+    events = stream_fuzz.keyed_events("threshold-geom", n=500, position_gap=0.3)
+    zone = Polygon.rectangle(3.9, 50.6, 4.5, 50.9)
+    assert_exact_parity(
+        lambda: threshold_query(
+            events, window=spatiotemporal_threshold(zone, min_count=1)
+        ),
+        num_partitions=4,
+        expect_partitions=4,
+    )
+
+
+def test_random_streams_zone_threshold_parity(stream_fuzz):
+    """The any-zone predicate window probes the grid index column-wise."""
+    events = stream_fuzz.keyed_events("threshold-zone", n=500, position_gap=0.2)
+    index = GridIndex(0.1)
+    index.insert("west", Polygon.rectangle(3.8, 50.5, 4.2, 51.1))
+    index.insert("east", Circle(Point(4.6, 50.8), 15_000.0, metric=haversine))
+    assert_exact_parity(
+        lambda: threshold_query(events, window=zone_threshold(index, min_count=2)),
+        num_partitions=4,
+        expect_partitions=4,
     )
 
 

@@ -1,0 +1,235 @@
+"""GridIndex nearest-scan tests: tie order, empty-index guarantees, and
+bit-identity of the vectorized scoring shapes.
+
+The tie-handling contract is documented on :meth:`GridIndex.nearest`: among
+geometries at the minimal distance the **first inserted** wins, on every
+path — the scalar linear scan, the brute-force array scan, the row-major
+``nearest_each`` kernel and the expanding-ring pruned scan.  These are the
+explicit regression tests for that contract (the property suites would only
+catch a violation by luck, exact distance ties being rare in random data).
+"""
+
+import math
+
+import pytest
+
+from repro.runtime import columns
+from repro.spatial.geometry import Circle, Point, Polygon
+from repro.spatial.index import GridIndex
+from repro.spatial.measure import cartesian, haversine
+
+numpy_only = pytest.mark.skipif(not columns.numpy_available(), reason="numpy not installed")
+
+
+def tie_index(extra_points=0):
+    """Four points equidistant (5 units) from the probe (0, 5), inserted in
+    a known order, plus optional far fillers to cross size thresholds."""
+    index = GridIndex(1.0)
+    index.insert("first", Point(0.0, 0.0))
+    index.insert("second", Point(0.0, 10.0))
+    index.insert("third", Point(5.0, 5.0))
+    index.insert("fourth", Point(-5.0, 5.0))
+    for i in range(extra_points):
+        index.insert(f"far-{i}", Point(100.0 + i, 100.0))
+    return index
+
+
+PROBE = Point(0.0, 5.0)
+
+
+class TestTieOrder:
+    def test_scalar_path_resolves_ties_by_insertion_order(self):
+        previous = columns.active_backend()
+        columns.set_backend("python")
+        try:
+            key, distance = tie_index().nearest(PROBE, cartesian)
+        finally:
+            columns.set_backend(previous)
+        assert key == "first"
+        assert distance == 5.0
+
+    @numpy_only
+    def test_vector_path_resolves_ties_by_insertion_order(self):
+        columns.set_backend("numpy")
+        try:
+            index = tie_index()
+            assert index._nearest_scorer(cartesian) is not None  # vector engaged
+            key, distance = index.nearest(PROBE, cartesian)
+            assert key == "first"
+            assert distance == 5.0
+        finally:
+            columns.set_backend("auto")
+
+    @numpy_only
+    def test_nearest_each_resolves_ties_by_insertion_order(self):
+        columns.set_backend("numpy")
+        try:
+            index = tie_index()
+            (entry,) = index.nearest_each([0.0], [5.0], metric=cartesian)
+            assert entry == ("first", 5.0)
+        finally:
+            columns.set_backend("auto")
+
+    @numpy_only
+    def test_pruned_path_resolves_ties_by_insertion_order(self):
+        columns.set_backend("numpy")
+        previous = GridIndex.prune_min_size
+        GridIndex.prune_min_size = 4
+        try:
+            index = tie_index(extra_points=8)
+            key, distance = index.nearest(PROBE, cartesian)
+            assert key == "first"
+            assert distance == 5.0
+            (entry,) = index.nearest_each([0.0], [5.0], metric=cartesian)
+            assert entry == ("first", 5.0)
+        finally:
+            GridIndex.prune_min_size = previous
+            columns.set_backend("auto")
+
+    def test_insertion_order_not_distance_of_later_duplicates(self):
+        # a later exact duplicate of the winner must not displace it
+        index = GridIndex(1.0)
+        index.insert("a", Point(1.0, 1.0))
+        index.insert("b", Point(1.0, 1.0))
+        index.insert("c", Point(2.0, 2.0))
+        index.insert("d", Point(3.0, 3.0))
+        key, _ = index.nearest(Point(1.0, 1.5), cartesian)
+        assert key == "a"
+
+
+class TestEmptyIndex:
+    def test_nearest_returns_none(self):
+        assert GridIndex(1.0).nearest(Point(0.0, 0.0), cartesian) is None
+        assert GridIndex(1.0).nearest(Point(0.0, 0.0), haversine) is None
+
+    def test_nearest_each_returns_none_rows(self):
+        results = GridIndex(1.0).nearest_each([0.0, None, 2.0], [0.0, 1.0, None], metric=cartesian)
+        assert results == [None, None, None]
+
+    def test_no_nan_leaks(self):
+        # the empty scan must produce no (key, NaN) pair on any path
+        result = GridIndex(1.0).nearest(Point(float("nan"), 0.0), cartesian)
+        assert result is None
+
+
+@numpy_only
+class TestVectorScoringBitIdentity:
+    """The three scoring shapes (probe-major, row-major, subset) must agree
+    bit-for-bit — this is what keeps the record engine (per-probe scans) and
+    the batch engine (column scans) producing identical floats."""
+
+    @pytest.mark.parametrize("metric", [cartesian, haversine], ids=["cartesian", "haversine"])
+    def test_row_major_equals_probe_major(self, metric):
+        import numpy as np
+
+        columns.set_backend("numpy")
+        try:
+            rng = np.random.default_rng(7)
+            index = GridIndex(0.5)
+            for i, (x, y) in enumerate(rng.uniform(-10.0, 10.0, size=(48, 2))):
+                if i % 3:
+                    index.insert(i, Point(x, y))
+                else:
+                    radius = abs(float(rng.normal())) * (800.0 if metric is haversine else 1.0)
+                    index.insert(i, Circle(Point(x, y), radius, metric))
+            scorer = index._nearest_scorer(metric)
+            assert scorer is not None
+            xs = rng.uniform(-10.0, 10.0, 128)
+            ys = rng.uniform(-10.0, 10.0, 128)
+            best, distances = scorer.score_rows(xs, ys)
+            for i in range(len(xs)):
+                g, d = scorer.nearest_one(float(xs[i]), float(ys[i]))
+                assert g == best[i]
+                assert d == distances[i]  # bitwise, no tolerance
+                subset = scorer.score_at(
+                    np.arange(scorer.count, dtype=np.intp), float(xs[i]), float(ys[i])
+                )
+                full = np.maximum(
+                    scorer.kernel.distances(scorer.count, float(xs[i]), float(ys[i]))
+                    - scorer.radii,
+                    0.0,
+                )
+                assert (subset == full).all()
+        finally:
+            columns.set_backend("auto")
+
+    @pytest.mark.parametrize("metric", [cartesian, haversine], ids=["cartesian", "haversine"])
+    def test_pruned_equals_brute_force(self, metric):
+        import numpy as np
+
+        columns.set_backend("numpy")
+        previous = GridIndex.prune_min_size
+        GridIndex.prune_min_size = 8
+        try:
+            rng = np.random.default_rng(11)
+            index = GridIndex(1.0)
+            for i, (x, y) in enumerate(rng.uniform(-40.0, 40.0, size=(200, 2))):
+                index.insert(i, Point(x, y))
+            scorer = index._nearest_scorer(metric)
+            assert scorer is not None
+            for x, y in rng.uniform(-55.0, 55.0, size=(200, 2)):
+                g, d = scorer.nearest_one(float(x), float(y))
+                pruned = index._nearest_pruned(scorer, float(x), float(y), metric)
+                assert pruned == (scorer.keys[g], d)
+        finally:
+            GridIndex.prune_min_size = previous
+            columns.set_backend("auto")
+
+
+class TestVectorEligibility:
+    @numpy_only
+    def test_small_index_stays_scalar(self):
+        columns.set_backend("numpy")
+        try:
+            index = GridIndex(1.0)
+            index.insert("a", Point(0.0, 0.0))
+            index.insert("b", Point(1.0, 1.0))
+            assert index._nearest_scorer(cartesian) is None
+        finally:
+            columns.set_backend("auto")
+
+    @numpy_only
+    def test_polygon_disqualifies_vector_path(self):
+        columns.set_backend("numpy")
+        try:
+            index = tie_index()
+            index.insert("poly", Polygon.rectangle(20.0, 20.0, 21.0, 21.0))
+            assert index._nearest_scorer(cartesian) is None
+            # scalar result still correct
+            key, distance = index.nearest(PROBE, cartesian)
+            assert key == "first" and distance == 5.0
+        finally:
+            columns.set_backend("auto")
+
+    def test_python_backend_stays_scalar(self):
+        previous = columns.active_backend()
+        columns.set_backend("python")
+        try:
+            index = tie_index()
+            assert index._nearest_scorer(cartesian) is None
+            assert index.nearest(PROBE, cartesian) == ("first", 5.0)
+        finally:
+            columns.set_backend(previous)
+
+    @numpy_only
+    def test_insert_invalidates_scorer(self):
+        columns.set_backend("numpy")
+        try:
+            index = tie_index()
+            assert index.nearest(PROBE, cartesian) == ("first", 5.0)
+            index.insert("closer", Point(0.0, 4.0))
+            assert index.nearest(PROBE, cartesian) == ("closer", 1.0)
+        finally:
+            columns.set_backend("auto")
+
+    @numpy_only
+    def test_non_finite_probe_takes_scalar_path(self):
+        columns.set_backend("numpy")
+        try:
+            index = tie_index()
+            result = index.nearest(Point(math.inf, 0.0), cartesian)
+            assert result is not None and result[1] == math.inf
+            (entry,) = index.nearest_each([math.inf], [0.0], metric=cartesian)
+            assert entry == result
+        finally:
+            columns.set_backend("auto")
