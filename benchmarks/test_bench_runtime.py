@@ -193,6 +193,43 @@ def test_python_backend_keeps_existing_gates(query_id, bench_scenario, python_ba
     )
 
 
+def test_bus_enabled_keeps_q1_floor(bench_scenario):
+    """The live metrics bus at default intervals must not eat the batch win.
+
+    Same Q1 gate as the backend suites, but with a :class:`MetricBus`
+    (default ``interval_events``/``interval_s``) and a subscriber attached to
+    the batch engine — the instrumented twin loop plus per-batch latency
+    observations have to stay in the floor's noise budget.  Not merged into
+    ``BENCH_runtime.json``: the uninstrumented rows are the tracked
+    trajectory.
+    """
+    from repro.streaming.metricbus import MetricBus, SnapshotLog
+
+    info = QUERY_CATALOG["Q1"]
+    record_rate, record_result = _best_rate(
+        StreamExecutionEngine(measure_bytes=False), info, bench_scenario
+    )
+    bus = MetricBus()
+    log = bus.subscribe(SnapshotLog())
+    batch_rate, batch_result = _best_rate(
+        BatchExecutionEngine(batch_size=BATCH_SIZE, measure_bytes=False, metric_bus=bus),
+        info,
+        bench_scenario,
+    )
+    assert [r.as_dict() for r in batch_result.records] == [
+        r.as_dict() for r in record_result.records
+    ]
+    assert log.snapshots  # the bus really was live
+    floors = NUMPY_FLOORS if columns.active_backend() == "numpy" else PYTHON_FLOORS
+    speedup = batch_rate / record_rate
+    print(
+        f"\nQ1[{columns.active_backend()}] with live bus: record {record_rate:,.0f} e/s, "
+        f"batch[{BATCH_SIZE}] {batch_rate:,.0f} e/s ({speedup:.2f}x, "
+        f"floor {floors['Q1']:.1f}x, {len(log.snapshots)} snapshots)"
+    )
+    assert speedup >= _ci_floor(floors["Q1"])
+
+
 def test_batch_sizes_sweep_q1(bench_scenario):
     """Throughput grows with the batch size, then saturates — record the curve."""
     info = QUERY_CATALOG["Q1"]

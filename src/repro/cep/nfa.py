@@ -393,6 +393,10 @@ class NFAMatcher:
             end_time=run.last_time,
         )
 
+    def live_runs(self) -> int:
+        """How many partial-match runs are currently alive (all keys)."""
+        return sum(len(runs) for runs in self._runs.values())
+
     # -- end of stream ------------------------------------------------------------------
 
     def flush(self) -> List[Match]:

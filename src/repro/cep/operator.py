@@ -66,5 +66,8 @@ class CEPOperator(Operator):
         # Unkeyed patterns match across the whole stream and cannot be partitioned.
         return list(self.key_fields) or None
 
+    def buffered_depth(self) -> int:
+        return self.matcher.live_runs()
+
     def __repr__(self) -> str:
         return f"CEPOperator({self.pattern!r}, keys={self.key_fields})"

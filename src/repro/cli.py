@@ -6,10 +6,15 @@ reproduction:
 
 * ``python -m repro.cli dataset``   — generate the SNCB dataset as JSON lines.
 * ``python -m repro.cli run Q3``    — run one catalog query, print alerts + metrics.
+* ``python -m repro.cli top Q3``    — live terminal dashboard while a query runs.
 * ``python -m repro.cli bench Q1``  — record vs micro-batch throughput on one query.
 * ``python -m repro.cli report``    — the paper-vs-measured throughput table.
 * ``python -m repro.cli figures``   — regenerate the Figure 2 / Figure 3 GeoJSON layers.
 * ``python -m repro.cli queries``   — list the catalog queries.
+
+``run`` (and ``top``) accept live-observability flags: ``--metrics-out`` for
+NDJSON snapshots, ``--live`` for the in-terminal dashboard, and
+``--adaptive-batch`` to let the snapshot feedback loop resize micro-batches.
 """
 
 from __future__ import annotations
@@ -68,6 +73,48 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
     _add_batch_arguments(parser)
 
 
+def _add_metrics_arguments(parser: argparse.ArgumentParser, live_flag: bool = True) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        help="write live metrics snapshots as NDJSON to this file ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--metrics-interval-events",
+        type=int,
+        default=1000,
+        help="snapshot after this many ingested events",
+    )
+    parser.add_argument(
+        "--metrics-interval-s",
+        type=float,
+        default=0.5,
+        help="also snapshot whenever this much wall-clock time elapsed",
+    )
+    if live_flag:
+        parser.add_argument(
+            "--live",
+            action="store_true",
+            help="redraw a terminal dashboard on every snapshot (plain ANSI; "
+            "sequential frames when output is not a TTY)",
+        )
+    parser.add_argument(
+        "--adaptive-batch",
+        action="store_true",
+        help="let the snapshot feedback loop resize micro-batches between "
+        "--batch-min and --batch-max toward --latency-target-ms (batch mode)",
+    )
+    parser.add_argument("--batch-min", type=int, default=32, help="adaptive batch floor")
+    parser.add_argument("--batch-max", type=int, default=4096, help="adaptive batch ceiling")
+    parser.add_argument(
+        "--latency-target-ms",
+        type=float,
+        default=5.0,
+        help="windowed p95 latency target for --adaptive-batch",
+    )
+
+
 def _scenario_from(args: argparse.Namespace) -> Scenario:
     return Scenario(
         ScenarioConfig(
@@ -108,14 +155,61 @@ def _apply_backend(args: argparse.Namespace) -> str:
     return columns.active_backend()
 
 
-def _engine_from(args: argparse.Namespace) -> StreamExecutionEngine:
+def _engine_from(args: argparse.Namespace, metric_bus=None) -> StreamExecutionEngine:
     _apply_backend(args)
     return StreamExecutionEngine(
         execution_mode=getattr(args, "execution_mode", "record"),
         batch_size=getattr(args, "batch_size", 256),
         num_partitions=getattr(args, "partitions", 1),
         partition_key=getattr(args, "partition_key", "device_id"),
+        metric_bus=metric_bus,
+        adaptive_batch=getattr(args, "adaptive_batch", False),
     )
+
+
+def _metric_bus_from(args: argparse.Namespace):
+    """A :class:`MetricBus` when any observability flag asks for one, else None."""
+    wanted = (
+        getattr(args, "metrics_out", None)
+        or getattr(args, "live", False)
+        or getattr(args, "adaptive_batch", False)
+    )
+    if not wanted:
+        return None
+    from repro.streaming.metricbus import MetricBus
+
+    return MetricBus(
+        interval_events=args.metrics_interval_events,
+        interval_s=args.metrics_interval_s,
+    )
+
+
+def _attach_consumers(args: argparse.Namespace, bus, engine):
+    """Subscribe the requested consumers; returns (writer, dashboard, sizer)."""
+    writer = dashboard = sizer = None
+    if args.metrics_out:
+        from repro.streaming.metricbus import SnapshotWriter
+
+        target = sys.stdout if args.metrics_out == "-" else args.metrics_out
+        writer = bus.subscribe(SnapshotWriter(target))
+    if getattr(args, "live", False):
+        from repro.streaming.dashboard import LiveDashboard
+
+        # snapshots on stdout push the dashboard to stderr so the NDJSON stays clean
+        frame_stream = sys.stderr if args.metrics_out == "-" else sys.stdout
+        dashboard = bus.subscribe(LiveDashboard(stream=frame_stream))
+    if getattr(args, "adaptive_batch", False):
+        from repro.streaming.adaptivity import AdaptiveBatchSizer
+
+        sizer = bus.subscribe(
+            AdaptiveBatchSizer(
+                engine,
+                min_size=args.batch_min,
+                max_size=args.batch_max,
+                target_p95_us=args.latency_target_ms * 1000.0,
+            )
+        )
+    return writer, dashboard, sizer
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -125,20 +219,44 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 2
     scenario = _scenario_from(args)
     info = QUERY_CATALOG[query_id]
-    result = _engine_from(args).execute(info.build(scenario))
+    bus = _metric_bus_from(args)
+    engine = _engine_from(args, metric_bus=bus)
+    writer = dashboard = sizer = None
+    if bus is not None:
+        writer, dashboard, sizer = _attach_consumers(args, bus, engine)
+    try:
+        result = engine.execute(info.build(scenario))
+    finally:
+        if writer is not None:
+            writer.close()
+    if dashboard is not None and dashboard.use_ansi:
+        print()  # leave the final frame on screen, drop below it
     limit = args.limit if args.limit is not None else 10
     for record in result.records[:limit]:
         print(json.dumps(record.as_dict(), default=str))
-    if len(result) > limit:
+    if limit and len(result) > limit:
         print(f"... ({len(result) - limit} more)")
     print()
     print(result.metrics)
+    if writer is not None and args.metrics_out != "-":
+        print(f"wrote {writer.written} snapshots to {args.metrics_out}")
+    if sizer is not None and sizer.resizes:
+        trail = ", ".join(f"#{seq}->{size}" for seq, size in sizer.resizes)
+        print(f"adaptive batch sizing: {trail}")
     if args.geojson:
         from repro.viz.layers import query_layer
 
         query_layer(query_id, result.records, title=info.title).save(args.geojson)
         print(f"wrote {args.geojson}")
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """``run --live`` with the record dump suppressed: just the dashboard."""
+    args.live = True
+    args.limit = 0
+    args.geojson = None
+    return cmd_run(args)
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -163,7 +281,7 @@ def _bench_one(args: argparse.Namespace, scenario: Scenario, query_id: str) -> N
     profile = getattr(args, "profile", False)
     info = QUERY_CATALOG[query_id]
     engines = [
-        ("record", StreamExecutionEngine(measure_bytes=False)),
+        ("record", StreamExecutionEngine(measure_bytes=False, profile=profile)),
         (
             f"batch[{args.batch_size}]",
             StreamExecutionEngine(
@@ -178,7 +296,7 @@ def _bench_one(args: argparse.Namespace, scenario: Scenario, query_id: str) -> N
     ]
     rates = []
     partitions_ran = 1
-    batch_profile = None
+    profiles: dict = {}
     for label, engine in engines:
         if label != "record":
             label = f"{label}/{backend}"
@@ -194,9 +312,10 @@ def _bench_one(args: argparse.Namespace, scenario: Scenario, query_id: str) -> N
             label += " x1 (plan not partitionable)"
         rates.append(best)
         print(f"{label:>22}: {best:>12,.0f} events/s ({len(result)} output records)")
-        if engine.execution_mode == "batch" and result.metrics.operator_seconds:
-            batch_profile = _profile_breakdown(result.metrics)
-            _print_profile(batch_profile)
+        if result.metrics.operator_seconds:
+            breakdown = _profile_breakdown(result.metrics)
+            profiles[engine.execution_mode] = breakdown
+            _print_profile(breakdown)
     if rates[0]:
         print(f"{'speedup':>22}: {rates[1] / rates[0]:.2f}x")
     if args.json:
@@ -206,8 +325,8 @@ def _bench_one(args: argparse.Namespace, scenario: Scenario, query_id: str) -> N
             events_in=result.metrics.events_in,
             backend=backend,
         )
-        if batch_profile is not None:
-            extra["profile"] = batch_profile
+        if profiles:
+            extra["profile"] = profiles
         merge_bench_json(
             args.json,
             query_id,
@@ -313,9 +432,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("query", help="query id, e.g. Q3")
     _add_scenario_arguments(run)
     _add_execution_arguments(run)
+    _add_metrics_arguments(run)
     run.add_argument("--limit", type=int, default=None, help="max output records to print")
     run.add_argument("--geojson", type=str, default=None, help="also write the output layer here")
     run.set_defaults(func=cmd_run)
+
+    top = subparsers.add_parser(
+        "top", help="run one catalog query with a live terminal dashboard"
+    )
+    top.add_argument("query", help="query id, e.g. Q3")
+    _add_scenario_arguments(top)
+    _add_execution_arguments(top)
+    _add_metrics_arguments(top, live_flag=False)
+    top.set_defaults(func=cmd_top)
 
     bench = subparsers.add_parser(
         "bench", help="compare record-at-a-time vs micro-batch execution on one query"
@@ -327,9 +456,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--profile",
         action="store_true",
-        help="per-operator wall-time breakdown of the batch pipeline (from the "
-        "last repeat; adds one clock pair per stage per batch, so the batch "
-        "rate carries a small measurement overhead)",
+        help="per-operator wall-time breakdown of both pipelines (from the "
+        "last repeat; the record engine clocks each operator resume, the "
+        "batch engine one clock pair per stage per batch, so both rates "
+        "carry a small measurement overhead)",
     )
     bench.add_argument(
         "--json",

@@ -45,7 +45,11 @@ from repro.runtime.batch import RecordBatch
 from repro.runtime.operators import BatchOperator, FusedBatchStage, build_batch_pipeline
 from repro.runtime.storage import iter_source_batches
 from repro.streaming.engine import QueryResult, StreamExecutionEngine
-from repro.streaming.metrics import MetricsCollector
+from repro.streaming.metrics import (
+    MetricsCollector,
+    adaptivity_stats_of,
+    merge_adaptivity_stats,
+)
 from repro.streaming.plan import (
     FlatMapNode,
     JoinNode,
@@ -74,6 +78,8 @@ class BatchExecutionEngine(StreamExecutionEngine):
         num_partitions: int = 1,
         partition_key: str = "device_id",
         profile: bool = False,
+        metric_bus=None,
+        adaptive_batch: bool = False,
     ) -> None:
         super().__init__(measure_bytes=measure_bytes)
         if batch_size < 1:
@@ -88,6 +94,14 @@ class BatchExecutionEngine(StreamExecutionEngine):
         #: — one clock pair per stage per batch, so leave off for headline
         #: throughput runs.
         self.profile = bool(profile)
+        #: Live-snapshot bus (see :mod:`repro.streaming.metricbus`): per-batch
+        #: size/latency observations, per-partition row counts and gauges,
+        #: all behind ``if bus is None`` guards on the hot path.
+        self.metric_bus = metric_bus
+        #: Honour mid-run :meth:`set_batch_size` calls at chunk boundaries
+        #: (the ``AdaptiveBatchSizer`` hook); off by default so the static
+        #: chunkers stay untouched.
+        self.adaptive_batch = bool(adaptive_batch)
 
     # -- execution ---------------------------------------------------------------------
 
@@ -214,9 +228,12 @@ class BatchExecutionEngine(StreamExecutionEngine):
         return True
 
     def _execute_single(self, plan: LogicalPlan, query_name: str, compiled) -> QueryResult:
-        metrics = MetricsCollector(query_name, profile=self.profile)
+        metrics = MetricsCollector(query_name, profile=self.profile, bus=self.metric_bus)
         operators, sinks, entry_points = compiled
         stages = build_batch_pipeline(operators, set(entry_points.values()), fuse=self.fuse)
+        bus = metrics.bus
+        if bus is not None:
+            self._register_gauges(bus, stages, operators)
 
         collected: List[Record] = []
         metrics.start()
@@ -227,25 +244,29 @@ class BatchExecutionEngine(StreamExecutionEngine):
             # touched columns are transposed once per source and served as
             # slices/views (see repro.runtime.storage).
             source = plan.source_node.source
-            batch_size = self.batch_size
+            batches = self._source_batches(source)
             measure_bytes = self.measure_bytes
-            if hasattr(source, "records_list"):
-                batches: "Iterable[RecordBatch]" = iter_source_batches(source, batch_size)
+            if bus is None:
+                for batch in batches:
+                    metrics.record_in(len(batch), batch.estimate_bytes() if measure_bytes else 0)
+                    batch = self._run_through(stages, batch, 0, metrics)
+                    if batch is not None and len(batch):
+                        collected.extend(batch.to_records())
             else:
+                # instrumented twin of the loop above: batch-size distribution
+                # plus one whole-batch latency observation per batch (every
+                # row in the batch experienced that processing time)
+                from time import perf_counter
 
-                def _chunked(iterator=iter(source)) -> "Iterator[RecordBatch]":
-                    while True:
-                        records = list(islice(iterator, batch_size))
-                        if not records:
-                            return
-                        yield RecordBatch.from_records(records)
-
-                batches = _chunked()
-            for batch in batches:
-                metrics.record_in(len(batch), batch.estimate_bytes() if measure_bytes else 0)
-                batch = self._run_through(stages, batch, 0, metrics)
-                if batch is not None and len(batch):
-                    collected.extend(batch.to_records())
+                for batch in batches:
+                    rows = len(batch)
+                    bus.observe_batch_size(rows)
+                    metrics.record_in(rows, batch.estimate_bytes() if measure_bytes else 0)
+                    started = perf_counter()
+                    batch = self._run_through(stages, batch, 0, metrics)
+                    bus.observe_latency(perf_counter() - started, rows)
+                    if batch is not None and len(batch):
+                        collected.extend(batch.to_records())
         else:
             input_stream = self._input_stream(plan, metrics, entry_points)
             for entry_index, records in self._entry_chunks(input_stream):
@@ -256,7 +277,56 @@ class BatchExecutionEngine(StreamExecutionEngine):
                     collected.extend(batch.to_records())
         self._flush_stages(stages, metrics, collected)
         metrics.stop()
+        metrics.record_adaptivity(adaptivity_stats_of(operators))
         return self._finalize(collected, sinks, metrics, plan)
+
+    def _register_gauges(self, bus, stages, operators) -> None:
+        """Point-in-time gauges, evaluated only when a snapshot is built."""
+        bus.set_gauge(
+            "buffer_depth", lambda: sum(stage.buffered_depth() for stage in stages)
+        )
+        bus.set_gauge("adaptivity", lambda: adaptivity_stats_of(operators))
+        bus.set_gauge("batch_size", lambda: self.batch_size)
+
+    def _source_batches(self, source) -> "Iterable[RecordBatch]":
+        """Chunk the source, honouring mid-run resizes under ``adaptive_batch``."""
+        if hasattr(source, "records_list"):
+            if not self.adaptive_batch:
+                return iter_source_batches(source, self.batch_size)
+            return self._adaptive_source_batches(source)
+        if not self.adaptive_batch:
+            batch_size = self.batch_size
+
+            def _chunked(iterator=iter(source)) -> "Iterator[RecordBatch]":
+                while True:
+                    records = list(islice(iterator, batch_size))
+                    if not records:
+                        return
+                    yield RecordBatch.from_records(records)
+
+            return _chunked()
+
+        def _chunked_adaptive(iterator=iter(source)) -> "Iterator[RecordBatch]":
+            while True:
+                records = list(islice(iterator, max(1, self.batch_size)))
+                if not records:
+                    return
+                yield RecordBatch.from_records(records)
+
+        return _chunked_adaptive()
+
+    def _adaptive_source_batches(self, source) -> "Iterator[RecordBatch]":
+        """Cache-backed source slices re-reading ``batch_size`` per chunk."""
+        from repro.runtime.storage import SourceBatch, SourceColumnCache
+
+        cache = SourceColumnCache.of(source)
+        records = cache.records
+        total = len(records)
+        start = 0
+        while start < total:
+            stop = min(start + max(1, self.batch_size), total)
+            yield SourceBatch.for_slice(cache, records[start:stop], start, stop)
+            start = stop
 
     def _finalize(
         self,
@@ -304,10 +374,13 @@ class BatchExecutionEngine(StreamExecutionEngine):
         self, pairs: "Iterable[Tuple[int, Record]]"
     ) -> Iterator[Tuple[int, List[Record]]]:
         """Chunk ``(entry_point, record)`` pairs into same-entry micro-batches."""
+        adaptive = self.adaptive_batch
         batch_size = self.batch_size
         current_entry = 0
         buffer: List[Record] = []
         for entry, record in pairs:
+            if adaptive:
+                batch_size = self.batch_size
             if buffer and (entry != current_entry or len(buffer) >= batch_size):
                 yield current_entry, buffer
                 buffer = []
@@ -420,7 +493,7 @@ class BatchExecutionEngine(StreamExecutionEngine):
         the record-engine sequence restricted to its keys.
         """
         num_partitions = self.num_partitions
-        metrics = MetricsCollector(query_name, profile=self.profile)
+        metrics = MetricsCollector(query_name, profile=self.profile, bus=self.metric_bus)
         if split:
             # fresh pipelines for every partition: the prefix stages keep
             # first_compiled's operator instances for themselves
@@ -432,6 +505,26 @@ class BatchExecutionEngine(StreamExecutionEngine):
         operators, sinks, entry_points = first_compiled
         partition_key = self.partition_key
         partitions: List[List[Tuple[int, Record]]] = [[] for _ in range(num_partitions)]
+        # every distinct compiled pipeline: the per-partition ones, plus the
+        # shared prefix pipeline when the partition key is map-derived
+        # (split > 0, where first_compiled is not reused for a partition)
+        pipelines = [ops for ops, _, _ in compiled]
+        if not any(ops is operators for ops in pipelines):
+            pipelines.insert(0, operators)
+        bus = metrics.bus
+        if bus is not None:
+            all_operators = [op for ops in pipelines for op in ops]
+            bus.set_gauge(
+                "adaptivity",
+                lambda: merge_adaptivity_stats(
+                    *(adaptivity_stats_of(ops) for ops in pipelines)
+                ),
+            )
+            bus.set_gauge("batch_size", lambda: self.batch_size)
+            bus.set_gauge(
+                "buffer_depth",
+                lambda: sum(operator.buffered_depth() for operator in all_operators),
+            )
 
         metrics.start()
         input_stream = self._input_stream(plan, metrics, entry_points)
@@ -467,6 +560,9 @@ class BatchExecutionEngine(StreamExecutionEngine):
                 entry = record.data.pop("_entry_index", 0)
                 slot = hash(record.data.get(partition_key)) % num_partitions
                 partitions[slot].append((entry, record))
+        if bus is not None:
+            # the skew view: how many rows each parallel pipeline received
+            bus.observe_partition_rows([len(p) for p in partitions])
 
         def run_partition(index: int) -> Tuple[List[Record], MetricsCollector]:
             operators, _, entries = compiled[index]
@@ -500,4 +596,7 @@ class BatchExecutionEngine(StreamExecutionEngine):
             for label, seconds in local.operator_seconds.items():
                 metrics.record_operator_time(label, seconds)
         metrics.stop()
+        metrics.record_adaptivity(
+            merge_adaptivity_stats(*(adaptivity_stats_of(ops) for ops in pipelines))
+        )
         return self._finalize(collected, sinks, metrics, plan, partitions=num_partitions)

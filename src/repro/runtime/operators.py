@@ -134,6 +134,16 @@ class BatchOperator:
     def flush(self, metrics: MetricsCollector) -> RecordBatch:
         return RecordBatch.empty()
 
+    def buffered_depth(self) -> int:
+        """Buffered-state gauge, mirroring :meth:`Operator.buffered_depth`.
+
+        Batch operators that wrap a record operator delegate to it; the
+        batch-native window keeps its own state dictionaries.  Snapshot-time
+        only — never consulted per batch.
+        """
+        operator = getattr(self, "operator", None)
+        return operator.buffered_depth() if operator is not None else 0
+
     def __repr__(self) -> str:
         return f"<{self.__class__.__name__} at {self.position}>"
 
@@ -845,6 +855,9 @@ class BatchWindowAggregateOperator(BatchOperator):
                 out.emit(key, window, self._states[(key, window)])
             self._states.clear()
         return out.finish()
+
+    def buffered_depth(self) -> int:
+        return len(self._states) + len(self._open_thresholds)
 
 
 class BatchCEPOperator(BatchOperator):

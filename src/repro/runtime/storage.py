@@ -12,8 +12,9 @@ source — the common benchmarking and replay pattern — skip the transposition
 entirely.
 
 The cache holds only the fields queries actually touch, and is keyed to the
-identity of the record buffer, so a rebuilt source (new records) never sees
-stale columns.  Semantics are identical to ``RecordBatch.from_records`` over
+identity of the record buffer *and* the active column backend, so a rebuilt
+source (new records) or a backend switch (typed arrays under ``numpy``,
+``None`` placeholders under ``python``) never sees stale columns.  Semantics are identical to ``RecordBatch.from_records`` over
 the same row slice: the rows themselves remain the batch's backbone
 (``to_records`` returns the original record objects), and the MISSING/None
 distinctions of heterogeneous buffers are preserved.
@@ -24,7 +25,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.runtime.batch import MISSING, RecordBatch
-from repro.runtime.columns import get_numpy, masked_floats, typed_array
+from repro.runtime.columns import active_backend, get_numpy, masked_floats, typed_array
 from repro.streaming.record import Record
 
 
@@ -33,6 +34,7 @@ class SourceColumnCache:
 
     __slots__ = (
         "records",
+        "backend",
         "_lists",
         "_arrays",
         "_numeric",
@@ -43,6 +45,7 @@ class SourceColumnCache:
 
     def __init__(self, records: Sequence[Record]) -> None:
         self.records = records
+        self.backend = active_backend()
         self._lists: Dict[str, Tuple[List[Any], bool]] = {}
         self._arrays: Dict[str, Any] = {}
         self._numeric: Dict[str, Any] = {}
@@ -52,10 +55,20 @@ class SourceColumnCache:
 
     @classmethod
     def of(cls, source: Any) -> "SourceColumnCache":
-        """The cache attached to a source, (re)built when its buffer changed."""
+        """The cache attached to a source, (re)built when its buffer changed.
+
+        Also rebuilt when the column backend changed since the cache was
+        populated: the memoized arrays/views are backend-specific (``None``
+        placeholders under ``python``), so a backend switch mid-session —
+        the benchmark suites do this — must not serve stale entries.
+        """
         records = source.records_list()
         cache = getattr(source, "_runtime_column_cache", None)
-        if cache is None or cache.records is not records:
+        if (
+            cache is None
+            or cache.records is not records
+            or cache.backend != active_backend()
+        ):
             cache = SourceColumnCache(records)
             source._runtime_column_cache = cache
         return cache

@@ -14,6 +14,9 @@ relies on:
 * a **plugin registry** for runtime registration of expressions and
   operators (NebulaStream's plugin mechanism).
 * a **topology / placement** model for coordinator, cloud and edge workers.
+* **live observability** — a delta-snapshot metrics bus
+  (:mod:`repro.streaming.metricbus`), an NDJSON sink, a terminal dashboard
+  (:mod:`repro.streaming.dashboard`) and a closed-loop adaptive batch sizer.
 """
 
 from repro.streaming.record import Record, estimate_record_bytes
@@ -50,11 +53,23 @@ from repro.streaming.source import (
     Source,
 )
 from repro.streaming.sink import CallbackSink, CollectSink, FileSink, NullSink, Sink, Topic, TopicSink
-from repro.streaming.adaptivity import AdaptiveLoadShedder, SamplingOperator
+from repro.streaming.adaptivity import (
+    AdaptiveBatchSizer,
+    AdaptiveLoadShedder,
+    SamplingOperator,
+)
 from repro.streaming.query import Query
 from repro.streaming.engine import QueryResult, StreamExecutionEngine
 from repro.streaming.plugin import PluginRegistry, default_registry
 from repro.streaming.metrics import MetricsReport
+from repro.streaming.metricbus import (
+    LatencyHistogram,
+    MetricBus,
+    MetricsSnapshot,
+    SnapshotLog,
+    SnapshotWriter,
+)
+from repro.streaming.dashboard import LiveDashboard
 from repro.streaming.topology import (
     NodeSpec,
     PlacementStrategy,
@@ -97,6 +112,7 @@ __all__ = [
     "NullSink",
     "Topic",
     "TopicSink",
+    "AdaptiveBatchSizer",
     "AdaptiveLoadShedder",
     "SamplingOperator",
     "Query",
@@ -105,6 +121,12 @@ __all__ = [
     "PluginRegistry",
     "default_registry",
     "MetricsReport",
+    "MetricBus",
+    "MetricsSnapshot",
+    "LatencyHistogram",
+    "SnapshotWriter",
+    "SnapshotLog",
+    "LiveDashboard",
     "NodeSpec",
     "Topology",
     "PlacementStrategy",

@@ -1,4 +1,4 @@
-"""Workload adaptivity: load shedding under event-rate oscillations.
+"""Workload adaptivity: load shedding and closed-loop batch sizing.
 
 The paper emphasises that "real-time spatiotemporal processing must be both
 low-latency and workload-adaptive, adjusting to data volume and rate
@@ -6,20 +6,26 @@ oscillations to maintain consistent throughput".  On a resource-constrained
 edge device that means shedding load when the incoming rate exceeds what the
 device can sustain, while keeping the events that matter (alerts, anomalies).
 
-Two operators implement this in event time (deterministic and therefore
+Two operators implement shedding in event time (deterministic and therefore
 testable):
 
 * :class:`SamplingOperator` — a fixed-probability shedder (seeded).
 * :class:`AdaptiveLoadShedder` — tracks the event count per (event-time)
   second and, whenever the rate exceeds ``target_eps``, sheds the excess —
   but never records matching the ``priority`` predicate.
+
+:class:`AdaptiveBatchSizer` closes the loop on the *execution* side: it
+subscribes to the live metrics bus (:mod:`repro.streaming.metricbus`) and
+resizes the batch engine's micro-batches from the snapshots' latency
+histogram — grow while latency has headroom (throughput-bound), shrink when
+the windowed p95 exceeds the target.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import StreamError
 from repro.streaming.expressions import Expression, wrap
@@ -124,3 +130,75 @@ class AdaptiveLoadShedder(Operator):
 
     def __repr__(self) -> str:
         return f"AdaptiveLoadShedder(target_eps={self.target_eps}, priority={self.priority!r})"
+
+
+class AdaptiveBatchSizer:
+    """Closed-loop micro-batch sizing from live metrics snapshots.
+
+    Subscribe it to a :class:`~repro.streaming.metricbus.MetricBus` feeding
+    an engine built with ``adaptive_batch=True``; on every snapshot carrying
+    latency samples it compares the windowed p95 against ``target_p95_us``:
+
+    * p95 above the target → the engine is latency-bound: **shrink** by
+      ``shrink_factor`` (smaller batches finish sooner), floored at
+      ``min_size``;
+    * p95 at or below ``headroom * target`` → the engine is
+      throughput-bound: **grow** by ``grow_factor`` (amortize more
+      interpreter overhead per dispatch), capped at ``max_size``;
+    * in between — inside the deadband — leave the size alone, so the
+      controller cannot oscillate around the target.
+
+    Snapshots without latency samples (an empty window) change nothing.
+    Every resize is recorded in :attr:`resizes` as ``(snapshot_seq,
+    new_size)`` so runs are auditable; the engine hook
+    (``set_batch_size``) applies changes at the next chunk boundary, never
+    mid-batch, so record/batch output parity is unaffected.
+    """
+
+    def __init__(
+        self,
+        engine,
+        min_size: int = 32,
+        max_size: int = 4096,
+        target_p95_us: float = 5000.0,
+        grow_factor: float = 2.0,
+        shrink_factor: float = 0.5,
+        headroom: float = 0.5,
+    ) -> None:
+        if min_size < 1 or max_size < min_size:
+            raise StreamError("need 1 <= min_size <= max_size")
+        if target_p95_us <= 0:
+            raise StreamError("target_p95_us must be positive")
+        if grow_factor <= 1.0 or not 0.0 < shrink_factor < 1.0:
+            raise StreamError("need grow_factor > 1 and 0 < shrink_factor < 1")
+        if not 0.0 < headroom <= 1.0:
+            raise StreamError("headroom must be in (0, 1]")
+        self.engine = engine
+        self.min_size = int(min_size)
+        self.max_size = int(max_size)
+        self.target_p95_us = float(target_p95_us)
+        self.grow_factor = float(grow_factor)
+        self.shrink_factor = float(shrink_factor)
+        self.headroom = float(headroom)
+        self.resizes: List[Tuple[int, int]] = []
+
+    def __call__(self, snapshot) -> None:
+        p95 = snapshot.latency_p95_us
+        if p95 is None:
+            return
+        current = self.engine.batch_size
+        if p95 > self.target_p95_us:
+            proposed = max(self.min_size, int(current * self.shrink_factor))
+        elif p95 <= self.target_p95_us * self.headroom:
+            proposed = min(self.max_size, int(current * self.grow_factor))
+        else:
+            return
+        if proposed != current:
+            self.engine.set_batch_size(proposed)
+            self.resizes.append((snapshot.seq, proposed))
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveBatchSizer([{self.min_size}, {self.max_size}], "
+            f"target_p95_us={self.target_p95_us})"
+        )

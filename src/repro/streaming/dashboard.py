@@ -1,0 +1,183 @@
+"""Live terminal dashboard over the metrics snapshot bus.
+
+:class:`LiveDashboard` is a plain :class:`~repro.streaming.metricbus.MetricBus`
+subscriber that redraws a compact text panel on every snapshot: overall and
+per-stage events/second, the windowed latency percentiles from the sampled
+histogram, batch-size distribution, partition skew, buffered state and shed
+ratios.  It degrades deliberately:
+
+* on a TTY it repaints in place with bare ANSI escapes (cursor-home +
+  clear-to-end) — no curses, no external packages;
+* when :mod:`rich` happens to be importable it is used for nothing more
+  than color — it is never required;
+* on a non-TTY stream (CI, ``| tee``) it prints sequential frames separated
+  by a rule, so headless runs still produce inspectable output.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, List, Optional
+
+from repro.streaming.metricbus import MetricsSnapshot
+
+_ANSI_HOME_CLEAR = "\x1b[H\x1b[J"
+
+try:  # optional: color if the environment happens to ship rich
+    from rich.console import Console as _RichConsole  # type: ignore
+except Exception:  # pragma: no cover - rich genuinely absent or broken
+    _RichConsole = None
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    """A fixed-width unicode bar for ratios in [0, 1]."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return "█" * filled + "·" * (width - filled)
+
+
+def _fmt_us(value: Optional[float]) -> str:
+    if value is None:
+        return "    -"
+    if value >= 1e6:
+        return f"{value / 1e6:5.2f}s"
+    if value >= 1e3:
+        return f"{value / 1e3:5.1f}ms"
+    return f"{value:5.0f}µs"
+
+
+class LiveDashboard:
+    """Renders each :class:`MetricsSnapshot` as a terminal frame.
+
+    Subscribe it to a bus (``bus.subscribe(dashboard)``); every publish
+    redraws.  ``stream`` defaults to stdout; ``use_ansi`` defaults to the
+    stream's ``isatty`` so redirected output automatically switches to
+    sequential frames.  :attr:`frames` counts repaints, which the headless
+    CI smoke asserts on.
+    """
+
+    def __init__(self, stream=None, use_ansi: Optional[bool] = None) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+        if use_ansi is None:
+            isatty = getattr(self.stream, "isatty", None)
+            use_ansi = bool(isatty()) if callable(isatty) else False
+        self.use_ansi = use_ansi
+        self.frames = 0
+        self._console = None
+        if _RichConsole is not None and self.use_ansi:
+            try:
+                self._console = _RichConsole(file=self.stream, highlight=False)
+            except Exception:
+                self._console = None
+
+    # -- rendering -------------------------------------------------------------------
+
+    def __call__(self, snapshot: MetricsSnapshot) -> None:
+        frame = self.render(snapshot)
+        if self.use_ansi:
+            self.stream.write(_ANSI_HOME_CLEAR + frame + "\n")
+        else:
+            self.stream.write(f"--- frame {self.frames} ---\n{frame}\n")
+        flush = getattr(self.stream, "flush", None)
+        if callable(flush):
+            flush()
+        self.frames += 1
+
+    def render(self, snapshot: MetricsSnapshot) -> str:
+        """The frame text for one snapshot (no escapes — testable)."""
+        lines: List[str] = []
+        tag = "final" if snapshot.final else f"#{snapshot.seq}"
+        lines.append(
+            f"{snapshot.query}  [{tag}]  t={snapshot.elapsed_s:7.3f}s  "
+            f"window={snapshot.interval_s * 1000.0:6.1f}ms"
+        )
+        lines.append(
+            f"  in  {snapshot.eps_in:>12,.0f} e/s  ({snapshot.total_events_in:,} total)   "
+            f"out {snapshot.eps_out:>12,.0f} e/s  ({snapshot.total_events_out:,} total)"
+        )
+        lines.append(
+            "  latency  p50 " + _fmt_us(snapshot.latency_p50_us)
+            + "   p95 " + _fmt_us(snapshot.latency_p95_us)
+            + "   p99 " + _fmt_us(snapshot.latency_p99_us)
+        )
+        lines.extend(self._stage_lines(snapshot))
+        lines.extend(self._batch_lines(snapshot))
+        lines.extend(self._partition_lines(snapshot))
+        lines.extend(self._gauge_lines(snapshot))
+        return "\n".join(lines)
+
+    def _stage_lines(self, snapshot: MetricsSnapshot) -> List[str]:
+        stage_eps = snapshot.stage_eps()
+        if not stage_eps:
+            return []
+        lines = ["  stages:"]
+        top = max(stage_eps.values()) or 1.0
+        for label in sorted(stage_eps, key=_stage_order):
+            eps = stage_eps[label]
+            seconds = snapshot.operator_seconds.get(label)
+            timing = f"  {seconds * 1000.0:8.2f} ms" if seconds is not None else ""
+            lines.append(f"    {label:<28} {eps:>12,.0f} e/s {_bar(eps / top)}{timing}")
+        return lines
+
+    def _batch_lines(self, snapshot: MetricsSnapshot) -> List[str]:
+        if not snapshot.batch_sizes:
+            return []
+        total = sum(snapshot.batch_sizes.values())
+        parts = [
+            f"{size}×{count}" for size, count in sorted(snapshot.batch_sizes.items())
+        ]
+        return [f"  batches: {total} ({', '.join(parts)})"]
+
+    def _partition_lines(self, snapshot: MetricsSnapshot) -> List[str]:
+        rows = snapshot.partition_rows
+        if not rows:
+            return []
+        top = max(rows) or 1
+        lines = ["  partitions:"]
+        for index, count in enumerate(rows):
+            lines.append(f"    p{index:<3} {count:>10,} rows {_bar(count / top)}")
+        return lines
+
+    def _gauge_lines(self, snapshot: MetricsSnapshot) -> List[str]:
+        lines: List[str] = []
+        gauges = snapshot.gauges
+        depth = gauges.get("buffer_depth")
+        batch_size = gauges.get("batch_size")
+        extras = []
+        if depth is not None:
+            extras.append(f"buffered={depth}")
+        if batch_size is not None:
+            extras.append(f"batch_size={batch_size}")
+        if extras:
+            lines.append("  " + "  ".join(extras))
+        adaptivity = gauges.get("adaptivity")
+        if isinstance(adaptivity, dict) and adaptivity:
+            for label, stats in sorted(adaptivity.items()):
+                if "shed_ratio" in stats:
+                    ratio = stats["shed_ratio"]
+                    lines.append(
+                        f"  shed {label:<24} {ratio * 100.0:5.1f}% "
+                        f"({int(stats.get('shed', 0)):,}/{int(stats.get('seen', 0)):,}) "
+                        f"{_bar(ratio)}"
+                    )
+                elif "keep_ratio" in stats:
+                    ratio = stats["keep_ratio"]
+                    lines.append(
+                        f"  kept {label:<24} {ratio * 100.0:5.1f}% "
+                        f"({int(stats.get('kept', 0)):,}/{int(stats.get('seen', 0)):,}) "
+                        f"{_bar(ratio)}"
+                    )
+        return lines
+
+    def __repr__(self) -> str:
+        mode = "ansi" if self.use_ansi else "plain"
+        return f"LiveDashboard({mode}, frames={self.frames})"
+
+
+def _stage_order(label: str) -> Any:
+    """Sort ``"{position}:{name}"`` labels numerically by position."""
+    head, _, _ = label.partition(":")
+    try:
+        return (0, int(head), label)
+    except ValueError:
+        return (1, 0, label)

@@ -16,7 +16,7 @@ import heapq
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import PlanError
-from repro.streaming.metrics import MetricsCollector, MetricsReport
+from repro.streaming.metrics import MetricsCollector, MetricsReport, adaptivity_stats_of
 from repro.streaming.operators import (
     FilterOperator,
     FlatMapOperator,
@@ -103,6 +103,8 @@ class StreamExecutionEngine:
         num_partitions: int = 1,
         partition_key: str = "device_id",
         profile: bool = False,
+        metric_bus=None,
+        adaptive_batch: bool = False,
     ) -> None:
         if execution_mode not in ("record", "batch"):
             raise PlanError(
@@ -113,11 +115,34 @@ class StreamExecutionEngine:
         self.batch_size = batch_size
         self.num_partitions = num_partitions
         self.partition_key = partition_key
-        #: Per-operator wall-time attribution; honoured by the batch runtime
-        #: (the record pipeline's generator fan-out has no per-operator
-        #: boundary cheap enough to clock without distorting the measurement).
+        #: Per-operator wall-time attribution (``MetricsReport.operator_seconds``).
+        #: The batch runtime clocks each stage per batch; the record pipeline
+        #: clocks each generator resume (one ``perf_counter`` pair per
+        #: operator step), which distorts throughput more — use for
+        #: breakdowns, not headline rates.
         self.profile = profile
+        #: Optional :class:`~repro.streaming.metricbus.MetricBus`: when set,
+        #: executions publish live delta snapshots (per-stage eps, sampled
+        #: latency histogram, gauges).  ``None`` leaves the hot path
+        #: untouched.
+        self.metric_bus = metric_bus
+        #: Honour mid-run :meth:`set_batch_size` calls (the
+        #: ``AdaptiveBatchSizer`` hook).  Off by default: the static paths
+        #: read ``batch_size`` once per execution.
+        self.adaptive_batch = adaptive_batch
         self._batch_delegate = None
+
+    def set_batch_size(self, batch_size: int) -> None:
+        """Resize micro-batches; takes effect at the next chunk boundary.
+
+        The hook the :class:`~repro.streaming.adaptivity.AdaptiveBatchSizer`
+        drives.  Mid-run changes are only honoured when the engine was built
+        with ``adaptive_batch=True``.
+        """
+        batch_size = max(1, int(batch_size))
+        self.batch_size = batch_size
+        if self._batch_delegate is not None:
+            self._batch_delegate.set_batch_size(batch_size)
 
     # -- compilation -------------------------------------------------------------
 
@@ -182,18 +207,29 @@ class StreamExecutionEngine:
         else:
             plan = query
             query_name = name or "plan"
-        metrics = MetricsCollector(query_name)
+        metrics = MetricsCollector(query_name, profile=self.profile, bus=self.metric_bus)
         operators, sinks, entry_points = self.compile(plan)
+        bus = metrics.bus
+        if bus is not None:
+            bus.set_gauge(
+                "buffer_depth",
+                lambda: sum(operator.buffered_depth() for operator in operators),
+            )
+            bus.set_gauge("adaptivity", lambda: adaptivity_stats_of(operators))
         input_stream = self._input_stream(plan, metrics, entry_points)
 
         collected: List[Record] = []
         metrics.start()
-        for record in input_stream:
-            start_index = record.data.pop("_entry_index", 0)
-            for output in self._push(record, operators, start_index, metrics):
+        if bus is None and not metrics.profile:
+            # the uninstrumented hot path, byte-identical to pre-bus behavior
+            for record in input_stream:
+                start_index = record.data.pop("_entry_index", 0)
+                for output in self._push(record, operators, start_index, metrics):
+                    collected.append(output)
+            for output in self._flush(operators, 0, metrics):
                 collected.append(output)
-        for output in self._flush(operators, 0, metrics):
-            collected.append(output)
+        else:
+            self._run_instrumented(input_stream, operators, metrics, bus, collected)
         metrics.stop()
         for sink in sinks:
             sink.close()
@@ -201,7 +237,43 @@ class StreamExecutionEngine:
             for record in collected:
                 metrics.record_out(0, estimate_record_bytes(record))
         metrics.events_out = len(collected)
+        metrics.record_adaptivity(adaptivity_stats_of(operators))
         return QueryResult(collected, metrics.report(), plan)
+
+    def _run_instrumented(
+        self,
+        input_stream: Iterator[Record],
+        operators: List[Operator],
+        metrics: MetricsCollector,
+        bus,
+        collected: List[Record],
+    ) -> None:
+        """The record loop with live-metrics and/or profiling taps.
+
+        Latency sampling times every ``bus.latency_sample_every``-th
+        record's full trip through the pipeline (two clock reads per
+        sampled record, none for the rest); profiled runs swap in
+        :meth:`_push_profiled` so per-operator wall time is attributed with
+        the same labels as ``operator_events``.
+        """
+        from time import perf_counter
+
+        push = self._push_profiled if metrics.profile else self._push
+        sample_every = bus.latency_sample_every if bus is not None else 0
+        seen = 0
+        for record in input_stream:
+            start_index = record.data.pop("_entry_index", 0)
+            seen += 1
+            if sample_every and seen % sample_every == 0:
+                started = perf_counter()
+                for output in push(record, operators, start_index, metrics):
+                    collected.append(output)
+                bus.observe_latency(perf_counter() - started)
+            else:
+                for output in push(record, operators, start_index, metrics):
+                    collected.append(output)
+        for output in self._flush(operators, 0, metrics, push=push):
+            collected.append(output)
 
     def run_all(self, queries: Sequence[Query]) -> List[QueryResult]:
         """Execute several queries one after another (shared nothing)."""
@@ -218,6 +290,8 @@ class StreamExecutionEngine:
                 num_partitions=self.num_partitions,
                 partition_key=self.partition_key,
                 profile=self.profile,
+                metric_bus=self.metric_bus,
+                adaptive_batch=self.adaptive_batch,
             )
         return self._batch_delegate
 
@@ -293,10 +367,73 @@ class StreamExecutionEngine:
                 record_operator(f"{next_index}:{operator.name}")
                 stack.append((iter(operator.process(produced)), next_index + 1))
 
-    def _flush(
-        self, operators: List[Operator], index: int, metrics: MetricsCollector
+    def _push_profiled(
+        self, record: Record, operators: List[Operator], index: int, metrics: MetricsCollector
     ) -> Iterable[Record]:
-        """Flush stateful operators from upstream to downstream at end-of-stream."""
+        """:meth:`_push` with per-operator wall-time attribution.
+
+        Each generator resume executes exactly one operator's code until its
+        next yield, so clocking ``next()`` (and the initial ``process()``
+        call) attributes time correctly even through fan-out cascades.
+        Labels match ``operator_events``.
+        """
+        from time import perf_counter
+
+        total = len(operators)
+        if index >= total:
+            yield record
+            return
+        record_operator = metrics.record_operator
+        record_time = metrics.record_operator_time
+        operator = operators[index]
+        label = f"{index}:{operator.name}"
+        record_operator(label)
+        started = perf_counter()
+        iterator = iter(operator.process(record))
+        record_time(label, perf_counter() - started)
+        stack: List[Tuple[Iterator[Record], int, str]] = [(iterator, index + 1, label)]
+        sentinel = _END_OF_OUTPUT
+        while stack:
+            iterator, next_index, label = stack[-1]
+            started = perf_counter()
+            produced = next(iterator, sentinel)
+            record_time(label, perf_counter() - started)
+            if produced is sentinel:
+                stack.pop()
+            elif next_index >= total:
+                yield produced
+            else:
+                operator = operators[next_index]
+                label = f"{next_index}:{operator.name}"
+                record_operator(label)
+                started = perf_counter()
+                iterator = iter(operator.process(produced))
+                record_time(label, perf_counter() - started)
+                stack.append((iterator, next_index + 1, label))
+
+    def _flush(
+        self, operators: List[Operator], index: int, metrics: MetricsCollector, push=None
+    ) -> Iterable[Record]:
+        """Flush stateful operators from upstream to downstream at end-of-stream.
+
+        ``push`` swaps in :meth:`_push_profiled` for profiled runs, in which
+        case each operator's ``flush()`` cost is attributed to it as well
+        (flush output is materialized first — flushes only feed downstream,
+        so the record order is unchanged).
+        """
+        if push is None:
+            push = self._push
+        profiled = metrics.profile
+        if profiled:
+            from time import perf_counter
         for position in range(index, len(operators)):
-            for produced in operators[position].flush():
-                yield from self._push(produced, operators, position + 1, metrics)
+            if profiled:
+                started = perf_counter()
+                produced_run = list(operators[position].flush())
+                metrics.record_operator_time(
+                    f"{position}:{operators[position].name}", perf_counter() - started
+                )
+            else:
+                produced_run = operators[position].flush()
+            for produced in produced_run:
+                yield from push(produced, operators, position + 1, metrics)

@@ -1,0 +1,452 @@
+"""Live metrics: an event-driven snapshot bus over :class:`MetricsCollector`.
+
+``bench --profile`` attributes wall time *after* a run ends; the paper's
+operational claim — low-latency, workload-adaptive processing under "data
+volume and rate oscillations" — needs the same numbers *live*.  This module
+turns the passive counters of :class:`~repro.streaming.metrics.
+MetricsCollector` into a stream of :class:`MetricsSnapshot` deltas:
+
+* the executing engine attaches a :class:`MetricBus` to its collector;
+  every ``record_in`` tick checks two cheap triggers (events since the last
+  snapshot, wall-clock since the last snapshot) and, when one fires,
+  publishes a delta snapshot to all registered subscribers;
+* engines additionally feed the bus hot-path observations that the
+  cumulative counters cannot express: end-to-end latency samples (a
+  fixed-bucket log-scale :class:`LatencyHistogram` — no per-event
+  allocation), micro-batch size distribution, and per-partition row counts;
+* slow-changing state (buffered window/join/CEP depth, shed ratios, the
+  current batch size) is exposed through gauge callables evaluated only at
+  snapshot time, so it costs nothing between snapshots.
+
+Delta discipline: every snapshot carries the *change* since the previous
+one, and the bus emits a final snapshot when the collector reports, so the
+per-stage event deltas summed over all snapshots equal the final
+:class:`~repro.streaming.metrics.MetricsReport` counters exactly — the bus
+and the report can never disagree.
+
+Subscribers are isolated: one raising subscriber is recorded in
+:attr:`MetricBus.subscriber_errors` and never kills the query or starves
+the other subscribers.  Consumers shipped here: :class:`SnapshotWriter`
+(one JSON object per snapshot — NDJSON, the ``--metrics-out`` format) and
+:class:`SnapshotLog` (an in-memory list, used by tests and the adaptive
+batch sizer's history).  The live terminal dashboard lives in
+:mod:`repro.streaming.dashboard`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+def _log_bucket_bounds() -> Tuple[float, ...]:
+    """Upper bounds (seconds) of the latency buckets: 5 per decade, 1µs–100s."""
+    bounds = []
+    for step in range(41):  # 10 ** (step / 5) microseconds, up to 1e8 µs = 100 s
+        bounds.append(1e-6 * 10.0 ** (step / 5.0))
+    return tuple(bounds)
+
+
+#: Shared fixed bucket layout: every histogram (and every snapshot delta)
+#: uses the same bounds, so counts can be merged and diffed index-wise.
+LATENCY_BUCKET_BOUNDS: Tuple[float, ...] = _log_bucket_bounds()
+_NUM_BUCKETS = len(LATENCY_BUCKET_BOUNDS) + 1  # +1 overflow bucket
+
+
+def percentile_from_counts(counts: Sequence[int], quantile: float) -> Optional[float]:
+    """The latency (seconds) at ``quantile`` from fixed-bucket counts.
+
+    Returns the upper bound of the bucket containing the quantile rank — a
+    conservative (never under-reporting) and fully deterministic estimate.
+    ``None`` when there are no observations.  Overflow observations report
+    the largest finite bound.
+    """
+    total = sum(counts)
+    if total == 0:
+        return None
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+    rank = quantile * total
+    running = 0
+    for index, count in enumerate(counts):
+        running += count
+        if running >= rank:
+            bounded = min(index, len(LATENCY_BUCKET_BOUNDS) - 1)
+            return LATENCY_BUCKET_BOUNDS[bounded]
+    return LATENCY_BUCKET_BOUNDS[-1]
+
+
+class LatencyHistogram:
+    """Fixed-bucket log-scale latency histogram.
+
+    ``observe`` is the hot-path entry: one bisect into the precomputed
+    bounds plus an integer increment — no allocation, no per-event objects.
+    Percentiles are derived from the bucket counts (see
+    :func:`percentile_from_counts`), so p50/p95/p99 cost nothing until
+    asked for.
+    """
+
+    __slots__ = ("counts", "observations")
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * _NUM_BUCKETS
+        self.observations = 0
+
+    def observe(self, seconds: float, count: int = 1) -> None:
+        index = bisect_left(LATENCY_BUCKET_BOUNDS, seconds)
+        self.counts[index] += count
+        self.observations += count
+
+    def percentile(self, quantile: float) -> Optional[float]:
+        return percentile_from_counts(self.counts, quantile)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.observations += other.observations
+
+    def nonzero(self) -> Dict[int, int]:
+        """Sparse ``{bucket_index: count}`` view (the NDJSON form)."""
+        return {i: c for i, c in enumerate(self.counts) if c}
+
+    def __len__(self) -> int:
+        return self.observations
+
+    def __repr__(self) -> str:
+        return f"LatencyHistogram({self.observations} observations)"
+
+
+def _us(seconds: Optional[float]) -> Optional[float]:
+    return None if seconds is None else round(seconds * 1e6, 3)
+
+
+@dataclass
+class MetricsSnapshot:
+    """One delta window of a running query's metrics.
+
+    Count fields (``events_in``, ``operator_events``, ``latency_counts``,
+    ``batch_sizes``…) are **deltas** since the previous snapshot; ``total_*``
+    fields are cumulative; gauges are point-in-time.  Summing any delta
+    field over a run's snapshots (the final one included) reproduces the
+    corresponding :class:`MetricsReport` counter exactly.
+    """
+
+    query: str
+    seq: int
+    elapsed_s: float
+    interval_s: float
+    final: bool
+    events_in: int
+    events_out: int
+    total_events_in: int
+    total_events_out: int
+    operator_events: Dict[str, int] = field(default_factory=dict)
+    operator_seconds: Dict[str, float] = field(default_factory=dict)
+    latency_counts: Dict[int, int] = field(default_factory=dict)
+    batch_sizes: Dict[int, int] = field(default_factory=dict)
+    partition_rows: List[int] = field(default_factory=list)
+    gauges: Dict[str, Any] = field(default_factory=dict)
+
+    # -- derived ------------------------------------------------------------------
+
+    @property
+    def eps_in(self) -> float:
+        return self.events_in / self.interval_s if self.interval_s > 0 else 0.0
+
+    @property
+    def eps_out(self) -> float:
+        return self.events_out / self.interval_s if self.interval_s > 0 else 0.0
+
+    def stage_eps(self) -> Dict[str, float]:
+        """Per-stage events/second over this snapshot's window."""
+        if self.interval_s <= 0:
+            return {label: 0.0 for label in self.operator_events}
+        return {
+            label: count / self.interval_s for label, count in self.operator_events.items()
+        }
+
+    def _dense_latency_counts(self) -> List[int]:
+        dense = [0] * _NUM_BUCKETS
+        for index, count in self.latency_counts.items():
+            dense[int(index)] = count
+        return dense
+
+    def latency_percentile_us(self, quantile: float) -> Optional[float]:
+        """Windowed latency percentile in microseconds (``None`` if unsampled)."""
+        return _us(percentile_from_counts(self._dense_latency_counts(), quantile))
+
+    @property
+    def latency_p50_us(self) -> Optional[float]:
+        return self.latency_percentile_us(0.50)
+
+    @property
+    def latency_p95_us(self) -> Optional[float]:
+        return self.latency_percentile_us(0.95)
+
+    @property
+    def latency_p99_us(self) -> Optional[float]:
+        return self.latency_percentile_us(0.99)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form — the NDJSON snapshot schema."""
+        return {
+            "query": self.query,
+            "seq": self.seq,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "interval_s": round(self.interval_s, 6),
+            "final": self.final,
+            "events_in": self.events_in,
+            "events_out": self.events_out,
+            "total_events_in": self.total_events_in,
+            "total_events_out": self.total_events_out,
+            "eps_in": round(self.eps_in, 1),
+            "eps_out": round(self.eps_out, 1),
+            "operator_events": dict(self.operator_events),
+            "operator_seconds": {
+                label: round(seconds, 6) for label, seconds in self.operator_seconds.items()
+            },
+            "latency_counts": {str(i): c for i, c in sorted(self.latency_counts.items())},
+            "latency_p50_us": self.latency_p50_us,
+            "latency_p95_us": self.latency_p95_us,
+            "latency_p99_us": self.latency_p99_us,
+            "batch_sizes": {str(size): c for size, c in sorted(self.batch_sizes.items())},
+            "partition_rows": list(self.partition_rows),
+            "gauges": dict(self.gauges),
+        }
+
+
+Subscriber = Callable[[MetricsSnapshot], None]
+
+
+class MetricBus:
+    """Publishes periodic :class:`MetricsSnapshot` deltas to subscribers.
+
+    The bus attaches to at most one :class:`MetricsCollector` at a time
+    (:meth:`open` refuses re-entrant attachment, so nested executions —
+    join sides, per-partition pipelines — run uninstrumented and their
+    counters surface through the outer collector's merge).  Triggers:
+
+    * **event count** — a snapshot after every ``interval_events`` ingested
+      events (deterministic, the trigger tests rely on);
+    * **wall clock** — a snapshot whenever ``interval_s`` elapsed since the
+      last one, so slow streams still report.
+
+    Engines feed :meth:`observe_latency` (sampled every
+    ``latency_sample_every``-th event on the record path; per batch on the
+    batch path), :meth:`observe_batch_size` and
+    :meth:`observe_partition_rows`; everything else is diffed from the
+    collector's own counters at snapshot time.
+    """
+
+    def __init__(
+        self,
+        interval_events: int = 1000,
+        interval_s: float = 0.5,
+        latency_sample_every: int = 64,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if interval_events < 1:
+            raise ValueError("interval_events must be at least 1")
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if latency_sample_every < 1:
+            raise ValueError("latency_sample_every must be at least 1")
+        self.interval_events = int(interval_events)
+        self.interval_s = float(interval_s)
+        self.latency_sample_every = int(latency_sample_every)
+        self.clock = clock
+        self.histogram = LatencyHistogram()
+        self.subscribers: List[Subscriber] = []
+        self.subscriber_errors: List[Tuple[Subscriber, BaseException]] = []
+        self.last_snapshot: Optional[MetricsSnapshot] = None
+        self._collector: Optional[object] = None
+        self._gauges: Dict[str, Callable[[], Any]] = {}
+        self._batch_sizes: Dict[int, int] = {}
+        self._partition_rows: List[int] = []
+        self._reset_baselines(0.0)
+
+    # -- subscriber management -------------------------------------------------------
+
+    def subscribe(self, subscriber: Subscriber) -> Subscriber:
+        self.subscribers.append(subscriber)
+        return subscriber
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        self.subscribers = [s for s in self.subscribers if s is not subscriber]
+
+    def set_gauge(self, name: str, source: Callable[[], Any]) -> None:
+        """Register a point-in-time gauge, evaluated only at snapshot time."""
+        self._gauges[name] = source
+
+    # -- collector lifecycle ---------------------------------------------------------
+
+    def open(self, collector) -> bool:
+        """Attach to a collector run; ``False`` when one is already active."""
+        if self._collector is not None:
+            return False
+        self._collector = collector
+        self._seq = 0
+        self._gauges = {}
+        self._batch_sizes = {}
+        self._partition_rows = []
+        self.histogram = LatencyHistogram()
+        self._reset_baselines(self.clock())
+        return True
+
+    def _reset_baselines(self, now: float) -> None:
+        self._seq = 0
+        self._start_time = now
+        self._last_time = now
+        self._last_events_in = 0
+        self._last_events_out = 0
+        self._last_operator_events: Dict[str, int] = {}
+        self._last_operator_seconds: Dict[str, float] = {}
+        self._last_latency_counts: List[int] = [0] * _NUM_BUCKETS
+        self._last_batch_sizes: Dict[int, int] = {}
+
+    def close(self, collector) -> None:
+        """Emit the final snapshot and detach.  Idempotent per run."""
+        if collector is not self._collector:
+            return
+        self._emit(collector, final=True)
+        self._collector = None
+
+    # -- hot-path hooks --------------------------------------------------------------
+
+    def tick(self, collector) -> None:
+        """Called by the collector after each ``record_in``; maybe snapshot."""
+        if collector is not self._collector:
+            return
+        if collector.events_in - self._last_events_in >= self.interval_events:
+            self._emit(collector, final=False)
+            return
+        if self.clock() - self._last_time >= self.interval_s:
+            self._emit(collector, final=False)
+
+    def observe_latency(self, seconds: float, count: int = 1) -> None:
+        self.histogram.observe(seconds, count)
+
+    def observe_batch_size(self, size: int) -> None:
+        self._batch_sizes[size] = self._batch_sizes.get(size, 0) + 1
+
+    def observe_partition_rows(self, rows: Sequence[int]) -> None:
+        self._partition_rows = list(rows)
+
+    # -- snapshot emission -----------------------------------------------------------
+
+    @staticmethod
+    def _diff_map(current: Dict[str, Any], last: Dict[str, Any]) -> Dict[str, Any]:
+        delta = {}
+        for key, value in current.items():
+            change = value - last.get(key, 0)
+            if change:
+                delta[key] = change
+        return delta
+
+    def _emit(self, collector, final: bool) -> None:
+        now = self.clock()
+        counts = self.histogram.counts
+        latency_delta = {
+            i: counts[i] - self._last_latency_counts[i]
+            for i in range(_NUM_BUCKETS)
+            if counts[i] != self._last_latency_counts[i]
+        }
+        gauges: Dict[str, Any] = {}
+        for name, source in self._gauges.items():
+            try:
+                gauges[name] = source()
+            except Exception as exc:  # a broken gauge must not kill the query
+                gauges[name] = f"<gauge error: {exc}>"
+        snapshot = MetricsSnapshot(
+            query=collector.query_name,
+            seq=self._seq,
+            elapsed_s=now - self._start_time,
+            interval_s=now - self._last_time,
+            final=final,
+            events_in=collector.events_in - self._last_events_in,
+            events_out=collector.events_out - self._last_events_out,
+            total_events_in=collector.events_in,
+            total_events_out=collector.events_out,
+            operator_events=self._diff_map(
+                collector.operator_events, self._last_operator_events
+            ),
+            operator_seconds=self._diff_map(
+                collector.operator_seconds, self._last_operator_seconds
+            ),
+            latency_counts=latency_delta,
+            batch_sizes=self._diff_map(self._batch_sizes, self._last_batch_sizes),
+            partition_rows=list(self._partition_rows),
+            gauges=gauges,
+        )
+        self._seq += 1
+        self._last_time = now
+        self._last_events_in = collector.events_in
+        self._last_events_out = collector.events_out
+        self._last_operator_events = dict(collector.operator_events)
+        self._last_operator_seconds = dict(collector.operator_seconds)
+        self._last_latency_counts = list(counts)
+        self._last_batch_sizes = dict(self._batch_sizes)
+        self.last_snapshot = snapshot
+        self.publish(snapshot)
+
+    def publish(self, snapshot: MetricsSnapshot) -> None:
+        """Deliver to every subscriber; a raising subscriber is isolated."""
+        for subscriber in list(self.subscribers):
+            try:
+                subscriber(snapshot)
+            except Exception as exc:
+                self.subscriber_errors.append((subscriber, exc))
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricBus(interval_events={self.interval_events}, "
+            f"interval_s={self.interval_s}, subscribers={len(self.subscribers)})"
+        )
+
+
+class SnapshotWriter:
+    """NDJSON snapshot sink: one JSON object per snapshot (``--metrics-out``)."""
+
+    def __init__(self, target) -> None:
+        if hasattr(target, "write"):
+            self._stream = target
+            self._owns = False
+        else:
+            self._stream = open(target, "w")
+            self._owns = True
+        self.written = 0
+
+    def __call__(self, snapshot: MetricsSnapshot) -> None:
+        self._stream.write(json.dumps(snapshot.as_dict()) + "\n")
+        self.written += 1
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns:
+            self._stream.close()
+
+
+class SnapshotLog:
+    """In-memory subscriber collecting every snapshot (tests, controllers)."""
+
+    def __init__(self) -> None:
+        self.snapshots: List[MetricsSnapshot] = []
+
+    def __call__(self, snapshot: MetricsSnapshot) -> None:
+        self.snapshots.append(snapshot)
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def summed(self, field_name: str) -> Any:
+        """Sum a delta field over all snapshots (map fields merge key-wise)."""
+        if field_name in ("operator_events", "operator_seconds", "batch_sizes", "latency_counts"):
+            merged: Dict[Any, Any] = {}
+            for snapshot in self.snapshots:
+                for key, value in getattr(snapshot, field_name).items():
+                    merged[key] = merged.get(key, 0) + value
+            return merged
+        return sum(getattr(s, field_name) for s in self.snapshots)

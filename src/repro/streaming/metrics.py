@@ -4,13 +4,19 @@ The paper reports, per query, an ingestion rate (events per second) and a
 throughput (megabytes processed).  The :class:`MetricsCollector` measures the
 same quantities for our engine: events and bytes ingested from the source,
 events emitted, wall-clock time, and derived rates.
+
+Live observability: a collector can carry a
+:class:`~repro.streaming.metricbus.MetricBus`, which turns the cumulative
+counters into periodic delta snapshots for dashboards and controllers.  The
+bus hook is a single ``is None`` check on the ingest path, so collectors
+without a bus behave exactly as before.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 
 @dataclass
@@ -32,6 +38,11 @@ class MetricsReport:
     wall_time_s: float
     operator_events: Dict[str, int] = field(default_factory=dict)
     operator_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Per-operator adaptivity statistics (load shedders, samplers), keyed by
+    #: the same ``"{position}:{name}"`` labels: ``{"seen", "shed",
+    #: "shed_ratio"}`` for shedders, ``{"seen", "kept", "keep_ratio"}`` for
+    #: samplers.  Empty when the plan carries no adaptivity operators.
+    adaptivity: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def ingestion_rate_eps(self) -> float:
@@ -59,14 +70,29 @@ class MetricsReport:
         return self.events_out / self.events_in
 
     @property
-    def avg_latency_us(self) -> float:
-        """Average per-event processing time in microseconds."""
+    def wall_us_per_event(self) -> float:
+        """Wall-clock microseconds of engine time per ingested event.
+
+        This is *throughput inverted* — total run time divided by event
+        count — not the latency any single event experienced; per-event
+        latency is what the snapshot bus's sampled histogram reports
+        (:class:`~repro.streaming.metricbus.LatencyHistogram`).
+        """
         if self.events_in == 0:
             return 0.0
         return self.wall_time_s / self.events_in * 1_000_000.0
 
-    def as_dict(self) -> Dict[str, float]:
-        payload = {
+    @property
+    def avg_latency_us(self) -> float:
+        """Deprecated alias of :attr:`wall_us_per_event`.
+
+        The old name mislabeled wall-time-per-event as latency; kept for
+        one release so existing consumers keep working.
+        """
+        return self.wall_us_per_event
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
             "query": self.query_name,
             "events_in": self.events_in,
             "events_out": self.events_out,
@@ -75,11 +101,16 @@ class MetricsReport:
             "ingestion_rate_eps": round(self.ingestion_rate_eps, 1),
             "throughput_mb_per_s": round(self.throughput_mb_per_s, 3),
             "selectivity": round(self.selectivity, 4),
-            "avg_latency_us": round(self.avg_latency_us, 2),
+            "wall_us_per_event": round(self.wall_us_per_event, 2),
         }
         if self.operator_seconds:
             payload["operator_seconds"] = {
                 label: round(seconds, 6) for label, seconds in self.operator_seconds.items()
+            }
+        if self.adaptivity:
+            payload["adaptivity"] = {
+                label: {key: round(value, 6) for key, value in stats.items()}
+                for label, stats in self.adaptivity.items()
             }
         return payload
 
@@ -98,9 +129,18 @@ class MetricsCollector:
     wall time per operator (:meth:`record_operator_time`); the flag lives on
     the collector so deeply nested execution helpers (fused stages, per-
     partition pipelines) can consult it without threading a parameter.
+
+    ``bus`` attaches a :class:`~repro.streaming.metricbus.MetricBus`: every
+    ``record_in`` then ticks the bus (which may publish a delta snapshot)
+    and :meth:`report` emits the final one.  A bus already attached to
+    another collector (nested join-side or per-partition runs) is silently
+    dropped, so only the outermost execution publishes.  With ``bus=None``
+    (the default) no bus state exists and the counting path is unchanged.
     """
 
-    def __init__(self, query_name: str = "query", profile: bool = False) -> None:
+    def __init__(
+        self, query_name: str = "query", profile: bool = False, bus=None
+    ) -> None:
         self.query_name = query_name
         self.profile = profile
         self.events_in = 0
@@ -109,6 +149,8 @@ class MetricsCollector:
         self.bytes_out = 0
         self.operator_events: Dict[str, int] = {}
         self.operator_seconds: Dict[str, float] = {}
+        self.adaptivity: Dict[str, Dict[str, float]] = {}
+        self.bus = bus if bus is not None and bus.open(self) else None
         self._start: Optional[float] = None
         self._end: Optional[float] = None
 
@@ -121,6 +163,8 @@ class MetricsCollector:
     def record_in(self, count: int = 1, nbytes: int = 0) -> None:
         self.events_in += count
         self.bytes_in += nbytes
+        if self.bus is not None:
+            self.bus.tick(self)
 
     def record_out(self, count: int = 1, nbytes: int = 0) -> None:
         self.events_out += count
@@ -134,12 +178,21 @@ class MetricsCollector:
             self.operator_seconds.get(operator_name, 0.0) + seconds
         )
 
+    def record_adaptivity(self, stats: Dict[str, Dict[str, float]]) -> None:
+        """Merge per-operator adaptivity stats (see :func:`adaptivity_stats_of`)."""
+        self.adaptivity = merge_adaptivity_stats(self.adaptivity, stats)
+
     def report(self) -> MetricsReport:
         if self._start is None:
             wall = 0.0
         else:
             end = self._end if self._end is not None else time.perf_counter()
             wall = end - self._start
+        if self.bus is not None:
+            # the final snapshot: delta fields summed over all snapshots now
+            # equal this report's counters exactly
+            self.bus.close(self)
+            self.bus = None
         return MetricsReport(
             query_name=self.query_name,
             events_in=self.events_in,
@@ -149,4 +202,57 @@ class MetricsCollector:
             wall_time_s=wall,
             operator_events=dict(self.operator_events),
             operator_seconds=dict(self.operator_seconds),
+            adaptivity={label: dict(stats) for label, stats in self.adaptivity.items()},
         )
+
+
+def adaptivity_stats_of(operators) -> Dict[str, Dict[str, float]]:
+    """Shedding/sampling statistics of a compiled pipeline, by operator label.
+
+    Duck-typed on the counters the adaptivity operators expose
+    (:class:`~repro.streaming.adaptivity.AdaptiveLoadShedder` counts
+    ``seen``/``shed``, :class:`~repro.streaming.adaptivity.SamplingOperator`
+    counts ``seen``/``kept``) so plugin shedders that follow the same
+    convention surface too.  Labels match ``operator_events``.
+    """
+    stats: Dict[str, Dict[str, float]] = {}
+    for position, operator in enumerate(operators):
+        if hasattr(operator, "shed") and hasattr(operator, "seen"):
+            seen = operator.seen
+            stats[f"{position}:{operator.name}"] = {
+                "seen": seen,
+                "shed": operator.shed,
+                "shed_ratio": operator.shed / seen if seen else 0.0,
+            }
+        elif hasattr(operator, "kept") and hasattr(operator, "seen"):
+            seen = operator.seen
+            stats[f"{position}:{operator.name}"] = {
+                "seen": seen,
+                "kept": operator.kept,
+                "keep_ratio": operator.kept / seen if seen else 0.0,
+            }
+    return stats
+
+
+def merge_adaptivity_stats(*stats_dicts: Dict[str, Dict[str, float]]) -> Dict[str, Dict[str, float]]:
+    """Label-wise merge of adaptivity stats (counts summed, ratios recomputed).
+
+    Partitioned executions compile one pipeline per partition, so the same
+    operator label appears once per partition; the merged view sums the raw
+    counts and re-derives the ratios from the sums.
+    """
+    merged: Dict[str, Dict[str, float]] = {}
+    for stats in stats_dicts:
+        for label, values in stats.items():
+            slot = merged.setdefault(label, {})
+            for key, value in values.items():
+                if key.endswith("_ratio"):
+                    continue  # recomputed below from the merged counts
+                slot[key] = slot.get(key, 0) + value
+    for slot in merged.values():
+        seen = slot.get("seen", 0)
+        if "shed" in slot:
+            slot["shed_ratio"] = slot["shed"] / seen if seen else 0.0
+        elif "kept" in slot:
+            slot["keep_ratio"] = slot["kept"] / seen if seen else 0.0
+    return merged

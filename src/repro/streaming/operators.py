@@ -56,6 +56,15 @@ class Operator:
         """
         return None
 
+    def buffered_depth(self) -> int:
+        """How many units of state this operator currently buffers.
+
+        A coarse queue-depth gauge for the live metrics bus (open windows,
+        join-buffer rows, live NFA runs); ``0`` for stateless operators.
+        Evaluated only at snapshot time, never on the hot path.
+        """
+        return 0
+
     def __repr__(self) -> str:
         return f"<{self.__class__.__name__}>"
 
@@ -287,6 +296,9 @@ class WindowAggregateOperator(Operator):
         # Unkeyed windows hold global state and cannot be partitioned.
         return list(self.key_fields) or None
 
+    def buffered_depth(self) -> int:
+        return len(self._states) + len(self._open_thresholds)
+
     def __repr__(self) -> str:
         return f"WindowAggregate({self.assigner!r}, keys={self.key_fields}, aggs={[a.output for a in self.aggregations]})"
 
@@ -345,6 +357,11 @@ class JoinOperator(Operator):
 
     def partition_keys(self) -> Optional[List[str]]:
         return list(self.key_fields) or None
+
+    def buffered_depth(self) -> int:
+        return sum(len(buffer) for buffer in self._left.values()) + sum(
+            len(buffer) for buffer in self._right.values()
+        )
 
     def __repr__(self) -> str:
         return f"Join(keys={self.key_fields}, window={self.window}s)"

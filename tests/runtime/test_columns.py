@@ -186,6 +186,31 @@ class TestSourceBatchColumnStore:
         assert batches[0].array("speed").base is full  # zero-copy view
         assert batches[1].array("speed").tolist() == [4.0, 5.0]
 
+    def test_backend_switch_rebuilds_the_cache(self):
+        """Entries memoized under one backend must not leak into the other.
+
+        Under the python backend ``typed_array`` returns None; if that
+        placeholder survived a switch back to numpy, every later numpy run
+        on the same source would silently fall off the array fast path
+        (this is exactly what the backend-alternating benchmark suites do).
+        """
+        from repro.runtime.storage import SourceColumnCache
+
+        if not columns.numpy_available():
+            pytest.skip("needs numpy to exercise the switch")
+        source = self.make_source(4)
+        previous = columns.active_backend()
+        try:
+            columns.set_backend("python")
+            python_cache = SourceColumnCache.of(source)
+            assert python_cache.array_column("speed") is None
+            columns.set_backend("numpy")
+            numpy_cache = SourceColumnCache.of(source)
+            assert numpy_cache is not python_cache
+            assert numpy_cache.array_column("speed").tolist() == [0.0, 1.0, 2.0, 3.0]
+        finally:
+            columns.set_backend(previous)
+
 
 def test_grouped_window_skips_value_less_aggregations():
     """Sum()/Min()/Max()/Avg() without an `on` expression fold add(state,

@@ -1,10 +1,15 @@
-"""Tests for the workload-adaptivity operators (sampling, load shedding)."""
+"""Tests for workload adaptivity: sampling, load shedding, batch sizing."""
 
 import pytest
 
 from repro.errors import StreamError
-from repro.streaming.adaptivity import AdaptiveLoadShedder, SamplingOperator
+from repro.streaming.adaptivity import (
+    AdaptiveBatchSizer,
+    AdaptiveLoadShedder,
+    SamplingOperator,
+)
 from repro.streaming.expressions import col
+from repro.streaming.metricbus import MetricBus, MetricsSnapshot
 from repro.streaming.query import Query
 from repro.streaming.record import Record
 from repro.streaming.schema import Schema
@@ -115,3 +120,141 @@ class TestAdaptiveLoadShedder:
         assert result.metrics.events_in == 120
         assert len(result) < 120
         assert all(r["alert"] for r in result.records if r["value"] % 20 == 0)
+
+    def test_shed_stats_surface_in_report(self):
+        schema = Schema.of("s", device=str, value=float, alert=str, timestamp=float)
+        source = ListSource(burst_events(events_per_second=40, seconds=3), schema)
+        query = Query.from_source(source, name="shedded").apply(
+            lambda: AdaptiveLoadShedder(target_eps=10), name="load_shed"
+        )
+        report = StreamExecutionEngine().execute(query).metrics
+        stats = report.adaptivity["0:load_shed"]
+        assert stats["seen"] == 120
+        assert stats["shed"] == 90
+        assert stats["shed_ratio"] == pytest.approx(0.75)
+        assert report.as_dict()["adaptivity"]["0:load_shed"]["shed"] == 90
+
+    def test_sampler_stats_surface_in_report(self):
+        schema = Schema.of("s", device=str, value=float, alert=str, timestamp=float)
+        source = ListSource(burst_events(events_per_second=40, seconds=3), schema)
+        query = Query.from_source(source, name="sampled").apply(
+            lambda: SamplingOperator(0.5, seed=1), name="sample"
+        )
+        report = StreamExecutionEngine().execute(query).metrics
+        stats = report.adaptivity["0:sample"]
+        assert stats["seen"] == 120
+        assert stats["kept"] == stats["keep_ratio"] * 120
+
+
+class FakeEngine:
+    def __init__(self, batch_size):
+        self.batch_size = batch_size
+
+    def set_batch_size(self, batch_size):
+        self.batch_size = max(1, int(batch_size))
+
+
+def snapshot_with_p95(seq, bucket):
+    """A snapshot whose only latency mass sits in one histogram bucket."""
+    return MetricsSnapshot(
+        query="q",
+        seq=seq,
+        elapsed_s=1.0,
+        interval_s=1.0,
+        final=False,
+        events_in=100,
+        events_out=100,
+        total_events_in=100,
+        total_events_out=100,
+        latency_counts={} if bucket is None else {bucket: 100},
+    )
+
+
+class TestAdaptiveBatchSizer:
+    def test_invalid_parameters(self):
+        engine = FakeEngine(256)
+        with pytest.raises(StreamError):
+            AdaptiveBatchSizer(engine, min_size=0)
+        with pytest.raises(StreamError):
+            AdaptiveBatchSizer(engine, min_size=512, max_size=256)
+        with pytest.raises(StreamError):
+            AdaptiveBatchSizer(engine, target_p95_us=0)
+        with pytest.raises(StreamError):
+            AdaptiveBatchSizer(engine, grow_factor=1.0)
+        with pytest.raises(StreamError):
+            AdaptiveBatchSizer(engine, shrink_factor=1.0)
+        with pytest.raises(StreamError):
+            AdaptiveBatchSizer(engine, headroom=0.0)
+
+    def test_high_p95_shrinks_to_floor(self):
+        engine = FakeEngine(256)
+        # bucket 40 is the 100 s bound — astronomically above a 1 ms target
+        sizer = AdaptiveBatchSizer(engine, min_size=32, max_size=1024, target_p95_us=1000.0)
+        for seq in range(5):
+            sizer(snapshot_with_p95(seq, bucket=40))
+        assert engine.batch_size == 32
+        assert [size for _, size in sizer.resizes] == [128, 64, 32]
+
+    def test_low_p95_grows_to_ceiling(self):
+        engine = FakeEngine(64)
+        # bucket 0 is the 1 µs bound — far below the target's headroom
+        sizer = AdaptiveBatchSizer(engine, min_size=32, max_size=512, target_p95_us=1e6)
+        for seq in range(5):
+            sizer(snapshot_with_p95(seq, bucket=0))
+        assert engine.batch_size == 512
+        assert [size for _, size in sizer.resizes] == [128, 256, 512]
+        assert [seq for seq, _ in sizer.resizes] == [0, 1, 2]
+
+    def test_deadband_holds_size(self):
+        engine = FakeEngine(256)
+        sizer = AdaptiveBatchSizer(engine, target_p95_us=1e6, headroom=0.5)
+        # bucket 35: 10 s = 1e7 µs... pick a bucket between headroom*target and target
+        # bucket 30 bound = 1e-6 * 10^6 s = 1 s = 1e6 µs -> exactly the target: hold
+        sizer(snapshot_with_p95(0, bucket=30))
+        assert engine.batch_size == 256
+        assert sizer.resizes == []
+
+    def test_unsampled_snapshot_changes_nothing(self):
+        engine = FakeEngine(256)
+        sizer = AdaptiveBatchSizer(engine, target_p95_us=1.0)
+        sizer(snapshot_with_p95(0, bucket=None))
+        assert engine.batch_size == 256
+        assert sizer.resizes == []
+
+    def test_closed_loop_grows_batches_on_the_engine(self):
+        schema = Schema.of("s", device=str, value=float, alert=str, timestamp=float)
+        events = burst_events(events_per_second=100, seconds=20)
+        bus = MetricBus(interval_events=128, interval_s=1e9, clock=lambda: 0.0)
+        engine = StreamExecutionEngine(
+            execution_mode="batch", batch_size=64, metric_bus=bus, adaptive_batch=True
+        )
+        sizer = bus.subscribe(
+            AdaptiveBatchSizer(engine, min_size=32, max_size=1024, target_p95_us=1e9)
+        )
+        query = Query.from_source(ListSource(events, schema), name="adaptive").filter(
+            col("value") >= 0
+        )
+        result = engine.execute(query)
+        assert result.metrics.events_in == 2000
+        assert sizer.resizes  # the loop actually resized mid-run
+        assert engine.batch_size > 64
+        assert engine.batch_size <= 1024
+
+    def test_adaptive_sizing_preserves_record_parity(self):
+        schema = Schema.of("s", device=str, value=float, alert=str, timestamp=float)
+        events = burst_events(events_per_second=100, seconds=20, alert_every=7)
+        query_of = lambda: (
+            Query.from_source(ListSource(events, schema), name="parity")
+            .filter(col("value") % 2 == 0)
+            .map(flagged=col("alert").ne(""))
+        )
+        record = StreamExecutionEngine().execute(query_of())
+        bus = MetricBus(interval_events=100, interval_s=1e9, clock=lambda: 0.0)
+        engine = StreamExecutionEngine(
+            execution_mode="batch", batch_size=48, metric_bus=bus, adaptive_batch=True
+        )
+        bus.subscribe(AdaptiveBatchSizer(engine, min_size=16, max_size=512, target_p95_us=1e9))
+        adaptive = engine.execute(query_of())
+        assert [r.as_dict() for r in adaptive.records] == [
+            r.as_dict() for r in record.records
+        ]

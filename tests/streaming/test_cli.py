@@ -50,3 +50,110 @@ class TestCli:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestObservabilityCli:
+    def test_run_metrics_out_writes_ndjson(self, tmp_path, capsys):
+        path = tmp_path / "metrics.ndjson"
+        assert (
+            main(
+                [
+                    "run",
+                    "q1",
+                    *SMALL,
+                    "--metrics-out",
+                    str(path),
+                    "--metrics-interval-events",
+                    "20",
+                    "--limit",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) >= 2
+        assert lines[-1]["final"] is True
+        assert sum(line["events_in"] for line in lines) == lines[-1]["total_events_in"]
+        assert "wrote" in capsys.readouterr().out
+
+    def test_run_live_non_tty_prints_frames(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "q1",
+                    *SMALL,
+                    "--live",
+                    "--metrics-interval-events",
+                    "20",
+                    "--limit",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "--- frame 0 ---" in out
+        assert "[final]" in out
+        assert "q1_alert_filtering" in out
+
+    def test_top_subcommand(self, capsys):
+        assert main(["top", "q5", *SMALL, "--execution-mode", "batch"]) == 0
+        out = capsys.readouterr().out
+        assert "--- frame" in out
+        assert "q5_battery_monitoring" in out
+
+    def test_run_adaptive_batch(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "q1",
+                    *SMALL,
+                    "--execution-mode",
+                    "batch",
+                    "--batch-size",
+                    "16",
+                    "--adaptive-batch",
+                    "--batch-min",
+                    "16",
+                    "--batch-max",
+                    "256",
+                    "--latency-target-ms",
+                    "1000000",
+                    "--metrics-interval-events",
+                    "10",
+                    "--limit",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        assert "adaptive batch sizing:" in capsys.readouterr().out
+
+    def test_bench_profile_covers_both_modes(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "q1",
+                    *SMALL,
+                    "--repeat",
+                    "1",
+                    "--profile",
+                    "--json",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        data = json.loads(path.read_text())
+        profile = data["queries"]["Q1"]["profile"]
+        assert set(profile) == {"record", "batch"}
+        assert profile["record"] and profile["batch"]
+        # same labeling scheme; the batch engine only times stages that
+        # actually received a batch, so its label set can be a subset
+        assert set(profile["batch"]) <= set(profile["record"])
+        assert capsys.readouterr().out.count("per-operator wall time") == 2

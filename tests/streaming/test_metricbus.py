@@ -1,0 +1,349 @@
+"""Tests for the live metrics snapshot bus (histogram, deltas, consumers)."""
+
+import json
+
+import pytest
+
+from repro.queries import QUERY_CATALOG
+from repro.runtime import columns
+from repro.sncb.scenario import Scenario
+from repro.streaming.engine import StreamExecutionEngine
+from repro.streaming.expressions import col
+from repro.streaming.metricbus import (
+    LATENCY_BUCKET_BOUNDS,
+    LatencyHistogram,
+    MetricBus,
+    MetricsSnapshot,
+    SnapshotLog,
+    SnapshotWriter,
+    percentile_from_counts,
+)
+from repro.streaming.metrics import MetricsCollector
+from repro.streaming.aggregations import Sum
+from repro.streaming.query import Query
+from repro.streaming.schema import Schema
+from repro.streaming.source import ListSource
+from repro.streaming.windows import TumblingWindow
+
+
+BACKENDS = ["python", "numpy"] if columns.numpy_available() else ["python"]
+
+
+@pytest.fixture(params=BACKENDS, ids=[f"columns-{b}" for b in BACKENDS])
+def each_backend(request):
+    previous = columns.active_backend()
+    columns.set_backend(request.param)
+    yield request.param
+    columns.set_backend(previous)
+
+
+def events(n, period=1.0):
+    return [
+        {"device_id": f"d{i % 3}", "value": float(i % 7), "timestamp": i * period}
+        for i in range(n)
+    ]
+
+
+SCHEMA = Schema.of("s", device_id=str, value=float, timestamp=float)
+
+
+def simple_query(n=240):
+    return (
+        Query.from_source(ListSource(events(n), SCHEMA), name="q")
+        .filter(col("value") > 0)
+        .map(doubled=col("value") * 2)
+    )
+
+
+def frozen_bus(**kwargs):
+    """A bus whose wall-clock trigger can never fire: snapshots are purely
+    event-count driven, so their number and contents are deterministic."""
+    kwargs.setdefault("interval_s", 1e9)
+    return MetricBus(clock=lambda: 0.0, **kwargs)
+
+
+class TestLatencyHistogram:
+    def test_empty_percentile_is_none(self):
+        assert LatencyHistogram().percentile(0.5) is None
+        assert percentile_from_counts([0] * 42, 0.99) is None
+
+    def test_invalid_quantile(self):
+        histogram = LatencyHistogram()
+        histogram.observe(1e-3)
+        with pytest.raises(ValueError):
+            histogram.percentile(0.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+    def test_exact_bound_lands_in_its_bucket(self):
+        histogram = LatencyHistogram()
+        histogram.observe(1e-6)
+        assert histogram.counts[0] == 1
+        assert histogram.percentile(0.5) == LATENCY_BUCKET_BOUNDS[0]
+
+    def test_percentile_never_under_reports(self):
+        for observed in (5e-6, 3.3e-4, 0.017, 2.5):
+            histogram = LatencyHistogram()
+            histogram.observe(observed)
+            assert histogram.percentile(0.99) >= observed
+
+    def test_overflow_reports_largest_finite_bound(self):
+        histogram = LatencyHistogram()
+        histogram.observe(1e4)  # way past the 100 s top bucket
+        assert histogram.counts[-1] == 1
+        assert histogram.percentile(0.5) == LATENCY_BUCKET_BOUNDS[-1]
+
+    def test_percentiles_are_monotone(self):
+        histogram = LatencyHistogram()
+        for i in range(100):
+            histogram.observe(1e-6 * (i + 1))
+        p50, p95, p99 = (histogram.percentile(q) for q in (0.50, 0.95, 0.99))
+        assert p50 <= p95 <= p99
+
+    def test_known_distribution(self):
+        # 90 fast observations in bucket 0, 10 slow ones in bucket 20
+        counts = [0] * 42
+        counts[0] = 90
+        counts[20] = 10
+        assert percentile_from_counts(counts, 0.50) == LATENCY_BUCKET_BOUNDS[0]
+        assert percentile_from_counts(counts, 0.95) == LATENCY_BUCKET_BOUNDS[20]
+
+    def test_merge_sums_counts(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.observe(1e-5, count=3)
+        b.observe(1e-5, count=2)
+        b.observe(1.0)
+        a.merge(b)
+        assert a.observations == 6
+        assert sum(a.counts) == 6
+        assert a.nonzero() == {bucket: count for bucket, count in enumerate(a.counts) if count}
+
+
+class TestSnapshotMath:
+    def make(self, **overrides):
+        base = dict(
+            query="q",
+            seq=0,
+            elapsed_s=2.0,
+            interval_s=2.0,
+            final=False,
+            events_in=1000,
+            events_out=100,
+            total_events_in=1000,
+            total_events_out=100,
+            operator_events={"0:filter": 1000, "1:map": 100},
+        )
+        base.update(overrides)
+        return MetricsSnapshot(**base)
+
+    def test_rates(self):
+        snapshot = self.make()
+        assert snapshot.eps_in == 500.0
+        assert snapshot.eps_out == 50.0
+        assert snapshot.stage_eps() == {"0:filter": 500.0, "1:map": 50.0}
+
+    def test_zero_interval_rates(self):
+        snapshot = self.make(interval_s=0.0)
+        assert snapshot.eps_in == 0.0
+        assert snapshot.stage_eps() == {"0:filter": 0.0, "1:map": 0.0}
+
+    def test_latency_percentiles_from_sparse_counts(self):
+        snapshot = self.make(latency_counts={0: 90, 20: 10})
+        assert snapshot.latency_p50_us == pytest.approx(LATENCY_BUCKET_BOUNDS[0] * 1e6)
+        assert snapshot.latency_p95_us == pytest.approx(LATENCY_BUCKET_BOUNDS[20] * 1e6, rel=1e-3)
+        assert self.make().latency_p99_us is None
+
+    def test_as_dict_is_json_ready(self):
+        snapshot = self.make(latency_counts={3: 5}, batch_sizes={256: 4}, gauges={"buffer_depth": 2})
+        payload = json.loads(json.dumps(snapshot.as_dict()))
+        assert payload["eps_in"] == 500.0
+        assert payload["latency_counts"] == {"3": 5}
+        assert payload["batch_sizes"] == {"256": 4}
+        assert payload["gauges"]["buffer_depth"] == 2
+
+
+class TestBusLifecycle:
+    def test_open_refuses_second_collector(self):
+        bus = frozen_bus()
+        first = MetricsCollector("outer", bus=bus)
+        second = MetricsCollector("inner", bus=bus)
+        assert first.bus is bus
+        assert second.bus is None  # nested run stays uninstrumented
+        first.report()
+        assert bus._collector is None  # released for the next query
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            MetricBus(interval_events=0)
+        with pytest.raises(ValueError):
+            MetricBus(interval_s=0.0)
+        with pytest.raises(ValueError):
+            MetricBus(latency_sample_every=0)
+
+    def test_count_trigger_is_deterministic(self):
+        bus = frozen_bus(interval_events=10)
+        log = bus.subscribe(SnapshotLog())
+        collector = MetricsCollector("q", bus=bus)
+        collector.start()
+        for _ in range(35):
+            collector.record_in()
+        collector.stop()
+        collector.report()
+        # 10, 20, 30, then the final partial window of 5
+        assert [s.events_in for s in log.snapshots] == [10, 10, 10, 5]
+        assert [s.final for s in log.snapshots] == [False, False, False, True]
+        assert log.summed("events_in") == 35
+
+    def test_gauge_errors_are_isolated(self):
+        bus = frozen_bus(interval_events=1)
+        log = bus.subscribe(SnapshotLog())
+        collector = MetricsCollector("q", bus=bus)
+        # gauges register after open(): attaching a collector resets them
+        bus.set_gauge("ok", lambda: 7)
+        bus.set_gauge("broken", lambda: 1 / 0)
+        collector.record_in()
+        snapshot = log.snapshots[0]
+        assert snapshot.gauges["ok"] == 7
+        assert "gauge error" in snapshot.gauges["broken"]
+
+    def test_subscriber_errors_are_isolated(self):
+        bus = frozen_bus(interval_events=10)
+
+        def bad(_snapshot):
+            raise RuntimeError("boom")
+
+        bus.subscribe(bad)
+        log = bus.subscribe(SnapshotLog())
+        collector = MetricsCollector("q", bus=bus)
+        for _ in range(30):
+            collector.record_in()
+        collector.report()
+        assert len(log) == 4  # the raising subscriber starved nobody
+        assert len(bus.subscriber_errors) == 4
+        assert all(isinstance(exc, RuntimeError) for _, exc in bus.subscriber_errors)
+
+
+class TestEngineSnapshots:
+    """Delta discipline on real executions: sums reproduce the final report."""
+
+    def run_with_bus(self, engine_kwargs, n=240, interval=50):
+        bus = frozen_bus(interval_events=interval)
+        log = bus.subscribe(SnapshotLog())
+        engine = StreamExecutionEngine(metric_bus=bus, **engine_kwargs)
+        result = engine.execute(simple_query(n))
+        return result, log
+
+    def check_sums(self, result, log):
+        report = result.metrics
+        assert len(log) >= 2
+        assert log.snapshots[-1].final
+        assert log.summed("events_in") == report.events_in
+        assert log.summed("events_out") == report.events_out
+        assert log.summed("operator_events") == report.operator_events
+        assert log.snapshots[-1].total_events_in == report.events_in
+
+    def test_record_engine(self):
+        result, log = self.run_with_bus({})
+        self.check_sums(result, log)
+
+    def test_record_engine_profiled(self):
+        result, log = self.run_with_bus({"profile": True})
+        self.check_sums(result, log)
+        summed = log.summed("operator_seconds")
+        assert set(summed) == set(result.metrics.operator_seconds)
+        for label, seconds in result.metrics.operator_seconds.items():
+            assert summed[label] == pytest.approx(seconds, rel=1e-6, abs=1e-9)
+
+    def test_batch_engine(self, each_backend):
+        result, log = self.run_with_bus({"execution_mode": "batch", "batch_size": 64})
+        self.check_sums(result, log)
+        # every micro-batch was observed, so the size distribution covers all rows
+        sizes = log.summed("batch_sizes")
+        assert sum(size * count for size, count in sizes.items()) == result.metrics.events_in
+
+    def test_batch_engine_partitioned(self, each_backend):
+        result, log = self.run_with_bus(
+            {"execution_mode": "batch", "batch_size": 64, "num_partitions": 4}
+        )
+        self.check_sums(result, log)
+        final = log.snapshots[-1]
+        assert sum(final.partition_rows) == result.metrics.events_in
+
+    def test_batch_latency_sampled(self, each_backend):
+        result, log = self.run_with_bus({"execution_mode": "batch", "batch_size": 64})
+        merged = log.summed("latency_counts")
+        # batch latency is weighted by rows: every ingested row is covered
+        assert sum(merged.values()) == result.metrics.events_in
+        assert log.snapshots[-1].latency_p95_us or any(
+            s.latency_p95_us for s in log.snapshots
+        )
+
+    def test_buffer_depth_gauge_sees_open_windows(self):
+        query = Query.from_source(ListSource(events(100), SCHEMA), name="q").window(
+            TumblingWindow(30.0), [Sum("value")], key_by=["device_id"]
+        )
+        bus = frozen_bus(interval_events=25)
+        log = bus.subscribe(SnapshotLog())
+        StreamExecutionEngine(metric_bus=bus).execute(query)
+        assert any(s.gauges.get("buffer_depth", 0) > 0 for s in log.snapshots)
+
+
+class TestBusOffPath:
+    def test_no_bus_means_no_bus_state(self):
+        collector = MetricsCollector("q")
+        assert collector.bus is None
+        collector.record_in(5)  # must not touch any bus machinery
+        assert collector.report().events_in == 5
+
+    def test_outputs_identical_with_and_without_bus(self):
+        plain = StreamExecutionEngine().execute(simple_query())
+        bus = frozen_bus(interval_events=50)
+        observed = StreamExecutionEngine(metric_bus=bus).execute(simple_query())
+        assert [r.as_dict() for r in plain.records] == [r.as_dict() for r in observed.records]
+        assert plain.metrics.events_in == observed.metrics.events_in
+        assert plain.metrics.operator_events == observed.metrics.operator_events
+
+    def test_batch_outputs_identical_with_and_without_bus(self, each_backend):
+        plain = StreamExecutionEngine(execution_mode="batch").execute(simple_query())
+        bus = frozen_bus(interval_events=50)
+        observed = StreamExecutionEngine(execution_mode="batch", metric_bus=bus).execute(
+            simple_query()
+        )
+        assert [r.as_dict() for r in plain.records] == [r.as_dict() for r in observed.records]
+
+
+class TestSnapshotWriter:
+    def test_ndjson_file(self, tmp_path):
+        path = tmp_path / "metrics.ndjson"
+        bus = frozen_bus(interval_events=50)
+        writer = bus.subscribe(SnapshotWriter(str(path)))
+        StreamExecutionEngine(metric_bus=bus).execute(simple_query())
+        writer.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == writer.written >= 2
+        assert lines[-1]["final"] is True
+        assert sum(line["events_in"] for line in lines) == lines[-1]["total_events_in"]
+
+    def test_stream_target_is_not_closed(self, tmp_path):
+        import io
+
+        stream = io.StringIO()
+        writer = SnapshotWriter(stream)
+        writer.close()
+        assert not stream.closed
+
+
+class TestAcceptance:
+    """The PR's acceptance shape: profiled Q1 snapshots sum to the report."""
+
+    def test_profiled_q1_snapshots_sum_to_report(self):
+        scenario = Scenario.small(duration_s=900.0, interval_s=5.0, num_trains=3, seed=42)
+        bus = frozen_bus(interval_events=100)
+        log = bus.subscribe(SnapshotLog())
+        engine = StreamExecutionEngine(profile=True, metric_bus=bus)
+        result = engine.execute(QUERY_CATALOG["Q1"].build(scenario))
+        report = result.metrics
+        assert len(log) >= 2
+        assert log.summed("events_in") == report.events_in
+        assert log.summed("events_out") == report.events_out
+        assert log.summed("operator_events") == report.operator_events

@@ -5,7 +5,11 @@ import time
 import pytest
 
 from repro.streaming.expressions import col
-from repro.streaming.metrics import MetricsCollector, MetricsReport
+from repro.streaming.metrics import (
+    MetricsCollector,
+    MetricsReport,
+    merge_adaptivity_stats,
+)
 from repro.streaming.plan import (
     FilterNode,
     LogicalPlan,
@@ -64,6 +68,37 @@ class TestMetricsCollector:
         report = MetricsReport("q", 0, 0, 0, 0, 1.0)
         assert report.selectivity == 0.0
         assert report.avg_latency_us == 0.0
+
+    def test_wall_us_per_event_and_deprecated_alias(self):
+        report = MetricsReport("q", 1000, 100, 0, 0, 2.0)
+        assert report.wall_us_per_event == pytest.approx(2000.0)
+        assert report.avg_latency_us == report.wall_us_per_event
+        payload = report.as_dict()
+        assert payload["wall_us_per_event"] == pytest.approx(2000.0)
+        assert "avg_latency_us" not in payload  # the dict schema moved on
+
+    def test_adaptivity_in_as_dict(self):
+        report = MetricsReport(
+            "q",
+            100,
+            10,
+            0,
+            0,
+            1.0,
+            adaptivity={"0:load_shed": {"seen": 100, "shed": 40, "shed_ratio": 0.4}},
+        )
+        assert report.as_dict()["adaptivity"]["0:load_shed"]["shed_ratio"] == 0.4
+        bare = MetricsReport("q", 0, 0, 0, 0, 1.0)
+        assert "adaptivity" not in bare.as_dict()
+
+    def test_merge_adaptivity_stats_recomputes_ratios(self):
+        merged = merge_adaptivity_stats(
+            {"0:load_shed": {"seen": 100, "shed": 20, "shed_ratio": 0.2}},
+            {"0:load_shed": {"seen": 100, "shed": 60, "shed_ratio": 0.6}},
+            {"1:sample": {"seen": 50, "kept": 25, "keep_ratio": 0.5}},
+        )
+        assert merged["0:load_shed"] == {"seen": 200, "shed": 80, "shed_ratio": 0.4}
+        assert merged["1:sample"]["keep_ratio"] == 0.5
 
 
 class TestPlanIntrospection:
