@@ -19,6 +19,11 @@ Two gate families run, one per column backend
   kernel takes its pure-Python list path and the pre-numpy floors (Q1 >= 2x,
   Q3/Q8 >= 2.5x, Q4 >= 2x) must keep holding, so the fallback never rots.
 
+On 4+-core machines a third family gates multi-core scaling: ``process@4``
+(forked workers over shared-memory columns) must reach 2.5x the
+single-partition batch rate on Q1/Q8 and beat ``thread@4`` on Q1, with the
+measured curve persisted to the ``scaling`` section of ``BENCH_runtime.json``.
+
 Byte accounting is disabled in both modes (as in the other benchmarks) so the
 measurement captures engine overhead, not ``estimate_record_bytes``.  Every
 gate also asserts record-for-record output parity, so a "fast but wrong"
@@ -228,6 +233,71 @@ def test_bus_enabled_keeps_q1_floor(bench_scenario):
         f"floor {floors['Q1']:.1f}x, {len(log.snapshots)} snapshots)"
     )
     assert speedup >= _ci_floor(floors["Q1"])
+
+
+@pytest.mark.parametrize("query_id", ["Q1", "Q8"])
+def test_process_scaling_gates(query_id, bench_scenario, numpy_backend):
+    """Multi-core acceptance: forked workers must beat the GIL on real cores.
+
+    On a 4+-core machine with ``fork`` available, ``process@4`` must reach
+    2.5x the single-partition batch rate on Q1/Q8, and on Q1 it must beat
+    ``thread@4`` outright (thread partitions time-slice one GIL, so they
+    cannot scale CPU-bound columnar work; forked processes can).  The
+    measured curve lands in the ``scaling`` section of
+    ``BENCH_runtime.json``.  Skipped on small runners: with fewer than 4
+    cores the workers just contend and the comparison measures fork
+    overhead, not scaling.
+    """
+    from repro.cli import merge_bench_scaling
+    from repro.runtime.parallel import process_pool_available
+
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        pytest.skip(f"needs >= 4 cores to measure scaling (have {cores})")
+    if not process_pool_available():
+        pytest.skip("fork start method unavailable")
+
+    info = QUERY_CATALOG[query_id]
+    rates = {}
+    base_rate, base_result = _best_rate(
+        BatchExecutionEngine(batch_size=BATCH_SIZE, measure_bytes=False),
+        info,
+        bench_scenario,
+    )
+    rates["batch@1"] = base_rate
+    for mode in ("thread", "process"):
+        engine = BatchExecutionEngine(
+            batch_size=BATCH_SIZE,
+            measure_bytes=False,
+            num_partitions=4,
+            parallelism=mode,
+        )
+        rates[f"{mode}@4"], result = _best_rate(engine, info, bench_scenario)
+        assert result.partitions == 4
+        # partitioned output is the same multiset; exact order is not gated here
+        assert sorted(
+            (sorted(r.as_dict().items(), key=repr) for r in result.records), key=repr
+        ) == sorted(
+            (sorted(r.as_dict().items(), key=repr) for r in base_result.records), key=repr
+        )
+    merge_bench_scaling(
+        BENCH_JSON,
+        query_id,
+        rates={key: round(value, 1) for key, value in rates.items()},
+        backend=columns.active_backend(),
+        batch_size=BATCH_SIZE,
+        cores=cores,
+    )
+    print(
+        f"\n{query_id} scaling over {cores} cores: "
+        + ", ".join(f"{key} {value:,.0f} e/s" for key, value in rates.items())
+        + f" (process@4 = {rates['process@4'] / base_rate:.2f}x base)"
+    )
+    assert rates["process@4"] >= _ci_floor(2.5) * base_rate
+    if query_id == "Q1":
+        # the headline claim: real cores beat GIL time-slicing
+        floor = 0.9 if CI else 1.0
+        assert rates["process@4"] >= floor * rates["thread@4"]
 
 
 def test_batch_sizes_sweep_q1(bench_scenario):

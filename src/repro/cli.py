@@ -54,6 +54,15 @@ def _add_batch_arguments(parser: argparse.ArgumentParser) -> None:
         "Q4's cell_id re-hash after the producing stage)",
     )
     parser.add_argument(
+        "--parallelism",
+        choices=["thread", "process"],
+        default="thread",
+        help="partition scheduler for --partitions > 1: 'thread' shares one "
+        "GIL-bound interpreter, 'process' forks one worker per partition and "
+        "ships typed columns through shared memory (true multi-core; falls "
+        "back to threads where fork is unavailable)",
+    )
+    parser.add_argument(
         "--batch-backend",
         choices=["auto", "numpy", "python"],
         default=None,
@@ -164,6 +173,7 @@ def _engine_from(args: argparse.Namespace, metric_bus=None) -> StreamExecutionEn
         partition_key=getattr(args, "partition_key", "device_id"),
         metric_bus=metric_bus,
         adaptive_batch=getattr(args, "adaptive_batch", False),
+        parallelism=getattr(args, "parallelism", "thread"),
     )
 
 
@@ -272,7 +282,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     for query_id in query_ids:
         if len(query_ids) > 1:
             print(f"-- {query_id} --")
-        _bench_one(args, scenario, query_id)
+        if getattr(args, "scaling", False):
+            _bench_scaling(args, scenario, query_id)
+        else:
+            _bench_one(args, scenario, query_id)
     return 0
 
 
@@ -291,6 +304,7 @@ def _bench_one(args: argparse.Namespace, scenario: Scenario, query_id: str) -> N
                 num_partitions=args.partitions,
                 partition_key=args.partition_key,
                 profile=profile,
+                parallelism=getattr(args, "parallelism", "thread"),
             ),
         ),
     ]
@@ -306,7 +320,7 @@ def _bench_one(args: argparse.Namespace, scenario: Scenario, query_id: str) -> N
             rate = result.metrics.ingestion_rate_eps
             best = rate if best is None or rate > best else best
         if result.partitions > 1:
-            label += f" x{result.partitions}"
+            label += f" x{result.partitions} {getattr(args, 'parallelism', 'thread')}s"
             partitions_ran = result.partitions
         elif args.partitions > 1 and label != "record":
             label += " x1 (plan not partitionable)"
@@ -335,6 +349,80 @@ def _bench_one(args: argparse.Namespace, scenario: Scenario, query_id: str) -> N
             **extra,
         )
         print(f"wrote {args.json}")
+
+
+def _bench_scaling(args: argparse.Namespace, scenario: Scenario, query_id: str) -> None:
+    """``bench --scaling``: eps at 1/2/4 partitions × thread/process.
+
+    Persists per-configuration rates (plus the core count they were measured
+    on) into the ``scaling`` section of ``--json`` — separate from the
+    floor-gated ``queries`` section, so scaling snapshots never move the
+    headline record-vs-batch entries.
+    """
+    backend = _apply_backend(args)
+    info = QUERY_CATALOG[query_id]
+    rates: dict = {}
+    for partitions in (1, 2, 4):
+        modes = ("thread",) if partitions == 1 else ("thread", "process")
+        for parallelism in modes:
+            engine = StreamExecutionEngine(
+                measure_bytes=False,
+                execution_mode="batch",
+                batch_size=args.batch_size,
+                num_partitions=partitions,
+                partition_key=args.partition_key,
+                parallelism=parallelism,
+            )
+            best = None
+            for _ in range(max(1, args.repeat)):
+                result = engine.execute(info.build(scenario))
+                rate = result.metrics.ingestion_rate_eps
+                best = rate if best is None or rate > best else best
+            key = "batch@1" if partitions == 1 else f"{parallelism}@{partitions}"
+            rates[key] = round(best, 1)
+            suffix = "" if result.partitions == partitions else (
+                f" (ran x{result.partitions}: plan not partitionable)"
+            )
+            print(f"{key:>22}: {best:>12,.0f} events/s{suffix}")
+    base = rates.get("batch@1")
+    if base:
+        for key, rate in rates.items():
+            if key != "batch@1":
+                print(f"{key + ' speedup':>22}: {rate / base:.2f}x")
+    if args.json:
+        merge_bench_scaling(
+            args.json,
+            query_id,
+            rates=rates,
+            backend=backend,
+            batch_size=args.batch_size,
+            events_in=result.metrics.events_in,
+            cores=os.cpu_count(),
+        )
+        print(f"wrote {args.json}")
+
+
+def merge_bench_scaling(path: str, query_id: str, rates: dict, **extra) -> None:
+    """Merge one query's partition-scaling rates into the bench JSON file.
+
+    Writes ``data["scaling"][query_id]`` and leaves the floor-gated
+    ``queries`` section untouched.
+    """
+    data: dict = {"queries": {}}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                loaded = json.load(handle)
+        except (OSError, ValueError):
+            loaded = None
+        if isinstance(loaded, dict) and isinstance(loaded.get("queries", {}), dict):
+            data = loaded
+    entry = {"rates": rates}
+    entry.update(extra)
+    data.setdefault("scaling", {})[query_id] = entry
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def _profile_breakdown(metrics) -> dict:
@@ -453,6 +541,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arguments(bench)
     _add_batch_arguments(bench)
     bench.add_argument("--repeat", type=int, default=3, help="runs per mode (best is kept)")
+    bench.add_argument(
+        "--scaling",
+        action="store_true",
+        help="partition-scaling sweep instead of record-vs-batch: eps at "
+        "1/2/4 partitions for thread and process parallelism, persisted "
+        "under the 'scaling' section of --json",
+    )
     bench.add_argument(
         "--profile",
         action="store_true",

@@ -44,8 +44,33 @@ from repro.errors import StreamError
 from repro.runtime.columns import as_list, get_numpy, is_ndarray, masked_floats, typed_array
 from repro.streaming.record import Record, fast_record as _fast_record
 
+class _MissingType:
+    """The type of :data:`MISSING`; a pickle-stable process-wide singleton.
+
+    Operators test for absent fields with ``value is MISSING``, so the
+    sentinel must keep its identity across a pickle round-trip (worker
+    processes return batches/records that may reference it).  ``__reduce__``
+    restores the canonical instance instead of materializing a new object.
+    Truthiness is untouched (instances stay truthy, like the plain
+    ``object()`` the sentinel used to be).
+    """
+
+    _instance: Optional["_MissingType"] = None
+
+    def __new__(cls) -> "_MissingType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __reduce__(self):
+        return (_MissingType, ())
+
+    def __repr__(self) -> str:
+        return "MISSING"
+
+
 #: Sentinel marking a field a record did not carry (distinct from ``None``).
-MISSING = object()
+MISSING = _MissingType()
 
 #: Sentinel distinguishing "not cached" from a cached ``None`` result.
 _UNSET = object()

@@ -13,14 +13,21 @@ identical), then executes them batch-wise:
   sequence — and the ``events_in`` / byte metrics — are identical to
   record-at-a-time execution;
 * with ``num_partitions > 1`` the stream is hash-partitioned on
-  ``partition_key`` (the per-train ``device_id`` by default) and partitions
-  run on a thread pool, one compiled pipeline each.  Partitioning is only
+  ``partition_key`` (the per-train ``device_id`` by default, via the
+  process-stable :func:`~repro.runtime.parallel.stable_hash`) and
+  partitions run in parallel, one compiled pipeline each — on a thread
+  pool by default, or on a **forked process pool** with
+  ``parallelism="process"`` (true multi-core; typed columns travel through
+  shared memory, see :mod:`repro.runtime.parallel`).  Partitioning is only
   used when provably record-correct: every operator must declare itself
   stateless or keyed by the partition key
   (:meth:`~repro.streaming.operators.Operator.partition_keys`).  Binary
   plans qualify through the same declarations — a join partitions exactly
   when the stream is split on one of its join keys (both sides are hashed
-  identically) — while plans with sinks fall back to a single partition.
+  identically).  Plans with sinks partition too: each pipeline writes a
+  partition-local buffer and the engine drains the buffers into the real
+  sinks through the stable event-time merge that also orders the output
+  records, so a terminal sink observes exactly ``result.records``.
   A **map-derived** partition key (e.g. Q4's ``cell_id``) no longer
   disqualifies the plan: the stages up to and including the producing
   ``map`` run as a shared single-partition prefix and records are re-hashed
@@ -42,7 +49,13 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import PlanError
 from repro.runtime.batch import RecordBatch
-from repro.runtime.operators import BatchOperator, FusedBatchStage, build_batch_pipeline
+from repro.runtime.operators import (
+    BatchOperator,
+    FusedBatchStage,
+    build_batch_pipeline,
+    swap_buffering_sinks,
+)
+from repro.runtime.parallel import stable_hash
 from repro.runtime.storage import iter_source_batches
 from repro.streaming.engine import QueryResult, StreamExecutionEngine
 from repro.streaming.metrics import (
@@ -80,16 +93,30 @@ class BatchExecutionEngine(StreamExecutionEngine):
         profile: bool = False,
         metric_bus=None,
         adaptive_batch: bool = False,
+        parallelism: str = "thread",
     ) -> None:
         super().__init__(measure_bytes=measure_bytes)
         if batch_size < 1:
             raise PlanError("batch_size must be at least 1")
         if num_partitions < 1:
             raise PlanError("num_partitions must be at least 1")
+        if parallelism not in ("thread", "process"):
+            raise PlanError(
+                f"unknown parallelism {parallelism!r}; expected 'thread' or 'process'"
+            )
         self.batch_size = int(batch_size)
         self.fuse = bool(fuse)
         self.num_partitions = int(num_partitions)
         self.partition_key = partition_key
+        #: ``"thread"`` runs partitions on a thread pool (GIL-bound);
+        #: ``"process"`` forks one worker per partition for true multi-core
+        #: execution (see :mod:`repro.runtime.parallel`), falling back to the
+        #: thread pool where ``fork`` is unavailable.
+        self.parallelism = parallelism
+        #: The distinct worker PIDs of the last process-partitioned run
+        #: (``None`` before any, or when partitioning ran in threads) — an
+        #: introspection/testing hook.
+        self.last_worker_pids: Optional[List[int]] = None
         #: Attribute per-operator wall time (``MetricsReport.operator_seconds``)
         #: — one clock pair per stage per batch, so leave off for headline
         #: throughput runs.
@@ -129,8 +156,10 @@ class BatchExecutionEngine(StreamExecutionEngine):
         operators before the position run as a shared single-partition
         prefix and records are re-hashed on the produced key after it — this
         is what lets Q4 (whose join key ``cell_id`` is map-derived)
-        partition.  Qualification requires no sinks (whose write order
-        partitions would scramble) and every operator *from the hash position
+        partition.  Sinks do not disqualify a plan: partitioned pipelines
+        buffer sink writes and the engine replays them in restored
+        event-time order (see :meth:`_drain_sink_buffers`).  Qualification
+        requires every operator *from the hash position
         on* either stateless or keyed by the partition key (see
         :meth:`~repro.streaming.operators.Operator.partition_keys`); prefix
         operators run single-partition and need no declaration.  Binary
@@ -141,9 +170,7 @@ class BatchExecutionEngine(StreamExecutionEngine):
         streams.  Right-hand sides are materialized once and split by the
         same hash (see :meth:`_execute_partitioned`).
         """
-        operators, sinks, _ = compiled
-        if sinks:
-            return None
+        operators, _, _ = compiled
         split = self._key_stable_from(plan)
         if split is None:
             return None
@@ -492,6 +519,15 @@ class BatchExecutionEngine(StreamExecutionEngine):
         exactly the single-pipeline processing order, so each partition sees
         the record-engine sequence restricted to its keys.
         """
+        if self.parallelism == "process":
+            from repro.runtime import parallel
+
+            if parallel.process_pool_available():
+                return parallel.execute_process_partitioned(
+                    self, plan, query_name, first_compiled, split
+                )
+            # no fork on this platform: run the thread pool instead — same
+            # results, intra-process parallelism only (documented fallback)
         num_partitions = self.num_partitions
         metrics = MetricsCollector(query_name, profile=self.profile, bus=self.metric_bus)
         if split:
@@ -503,13 +539,23 @@ class BatchExecutionEngine(StreamExecutionEngine):
                 self.compile(plan) for _ in range(num_partitions - 1)
             ]
         operators, sinks, entry_points = first_compiled
-        partition_key = self.partition_key
-        partitions: List[List[Tuple[int, Record]]] = [[] for _ in range(num_partitions)]
-        # every distinct compiled pipeline: the per-partition ones, plus the
-        # shared prefix pipeline when the partition key is map-derived
-        # (split > 0, where first_compiled is not reused for a partition)
+        partition_sink_buffers: List[List[List[Record]]] = []
+        if sinks:
+            # partition pipelines must not write shared sinks concurrently:
+            # swap in buffering twins, drained in order after the pool
+            rebuilt = []
+            for ops, compiled_sinks, entries in compiled:
+                swapped, buffers = swap_buffering_sinks(ops)
+                rebuilt.append((swapped, compiled_sinks, entries))
+                partition_sink_buffers.append(buffers)
+            compiled = rebuilt
+        # every distinct pipeline that actually runs: the per-partition ones,
+        # plus the shared prefix pipeline when the partition key is
+        # map-derived (split > 0, where first_compiled's operators run the
+        # prefix stages; with split == 0 and sinks, the unswapped
+        # first_compiled never executes and is excluded)
         pipelines = [ops for ops, _, _ in compiled]
-        if not any(ops is operators for ops in pipelines):
+        if split:
             pipelines.insert(0, operators)
         bus = metrics.bus
         if bus is not None:
@@ -527,39 +573,7 @@ class BatchExecutionEngine(StreamExecutionEngine):
             )
 
         metrics.start()
-        input_stream = self._input_stream(plan, metrics, entry_points)
-        if split:
-            barriers = set(entry_points.values()) | {split}
-            prefix_stages = [
-                stage
-                for stage in build_batch_pipeline(operators, barriers, fuse=self.fuse)
-                if stage.end_position <= split
-            ]
-
-            def scatter(entry: int, records: Sequence[Record], keys: Sequence) -> None:
-                for record, key in zip(records, keys):
-                    partitions[hash(key) % num_partitions].append((entry, record))
-
-            for entry, records in self._entry_chunks(input_stream):
-                if entry >= split:
-                    batch = RecordBatch.from_records(records)
-                    scatter(entry, records, batch.column_or_none(partition_key))
-                    continue
-                batch = self._run_through(
-                    prefix_stages, RecordBatch.from_records(records), entry, metrics
-                )
-                if batch is not None and len(batch):
-                    scatter(split, batch.to_records(), batch.column_or_none(partition_key))
-            tail: List[Record] = []
-            self._flush_stages(prefix_stages, metrics, tail)
-            if tail:
-                batch = RecordBatch.from_records(tail)
-                scatter(split, tail, batch.column_or_none(partition_key))
-        else:
-            for record in input_stream:
-                entry = record.data.pop("_entry_index", 0)
-                slot = hash(record.data.get(partition_key)) % num_partitions
-                partitions[slot].append((entry, record))
+        partitions = self._scatter_partitions(plan, metrics, first_compiled, split)
         if bus is not None:
             # the skew view: how many rows each parallel pipeline received
             bus.observe_partition_rows([len(p) for p in partitions])
@@ -595,8 +609,84 @@ class BatchExecutionEngine(StreamExecutionEngine):
                 metrics.record_operator(label, count)
             for label, seconds in local.operator_seconds.items():
                 metrics.record_operator_time(label, seconds)
+        if sinks:
+            self._drain_sink_buffers(sinks, partition_sink_buffers)
         metrics.stop()
         metrics.record_adaptivity(
             merge_adaptivity_stats(*(adaptivity_stats_of(ops) for ops in pipelines))
         )
         return self._finalize(collected, sinks, metrics, plan, partitions=num_partitions)
+
+    def _scatter_partitions(
+        self, plan: LogicalPlan, metrics: MetricsCollector, first_compiled, split: int
+    ) -> List[List[Tuple[int, Record]]]:
+        """Hash-split the (merged) input stream into per-partition buffers.
+
+        Shared by the thread and process schedulers.  Assignment uses the
+        process-stable :func:`~repro.runtime.parallel.stable_hash`, so the
+        same stream lands in the same partitions on every run and in every
+        process, regardless of ``PYTHONHASHSEED``.  With ``split > 0`` the
+        shared prefix (``first_compiled``'s stages up to ``split``) runs here
+        in the parent — including any real sinks it contains — and its
+        output rows are hashed on the key they now carry.
+        """
+        operators, _, entry_points = first_compiled
+        num_partitions = self.num_partitions
+        partition_key = self.partition_key
+        partitions: List[List[Tuple[int, Record]]] = [[] for _ in range(num_partitions)]
+        input_stream = self._input_stream(plan, metrics, entry_points)
+        if split:
+            barriers = set(entry_points.values()) | {split}
+            prefix_stages = [
+                stage
+                for stage in build_batch_pipeline(operators, barriers, fuse=self.fuse)
+                if stage.end_position <= split
+            ]
+
+            def scatter(entry: int, records: Sequence[Record], keys: Sequence) -> None:
+                for record, key in zip(records, keys):
+                    partitions[stable_hash(key) % num_partitions].append((entry, record))
+
+            for entry, records in self._entry_chunks(input_stream):
+                if entry >= split:
+                    batch = RecordBatch.from_records(records)
+                    scatter(entry, records, batch.column_or_none(partition_key))
+                    continue
+                batch = self._run_through(
+                    prefix_stages, RecordBatch.from_records(records), entry, metrics
+                )
+                if batch is not None and len(batch):
+                    scatter(split, batch.to_records(), batch.column_or_none(partition_key))
+            tail: List[Record] = []
+            self._flush_stages(prefix_stages, metrics, tail)
+            if tail:
+                batch = RecordBatch.from_records(tail)
+                scatter(split, tail, batch.column_or_none(partition_key))
+        else:
+            for record in input_stream:
+                entry = record.data.pop("_entry_index", 0)
+                slot = stable_hash(record.data.get(partition_key)) % num_partitions
+                partitions[slot].append((entry, record))
+        return partitions
+
+    @staticmethod
+    def _drain_sink_buffers(
+        sinks, partition_buffers: List[List[List[Record]]]
+    ) -> None:
+        """Replay partition-buffered sink writes into the real sinks, in order.
+
+        ``partition_buffers[p][s]`` is partition ``p``'s buffer for sink
+        ``s`` (ordered like the compiled sink list).  Each partition's buffer
+        is event-time ordered (same argument as the output merge), so the
+        stable heap merge restores the exact sequence the single-partition
+        run would have written, up to cross-partition timestamp ties — and a
+        terminal sink receives exactly ``result.records``, because outputs
+        are merged by the identical key and tie-break.
+        """
+        for sink_index, sink in enumerate(sinks):
+            merged = heapq.merge(
+                *(buffers[sink_index] for buffers in partition_buffers),
+                key=lambda record: record.timestamp,
+            )
+            for record in merged:
+                sink.accept(record)

@@ -30,12 +30,14 @@ from repro.streaming.aggregations import Aggregation, Avg, Count, Max, Min, Sum
 from repro.streaming.expressions import Expression
 from repro.streaming.metrics import MetricsCollector
 from repro.streaming.operators import (
+    BufferingSinkOperator,
     FilterOperator,
     FlatMapOperator,
     JoinOperator,
     MapOperator,
     Operator,
     ProjectOperator,
+    SinkOperator,
     WindowAggregateOperator,
 )
 from repro.streaming.record import Record
@@ -1186,6 +1188,32 @@ def vectorize(position: int, operator: Operator) -> BatchOperator:
     if operator.supports_batches:
         return NativeBatchOperator(operator, position)
     return RecordBridgeOperator(operator, position, stateless=kind is FlatMapOperator)
+
+
+def swap_buffering_sinks(
+    operators: Sequence[Operator],
+) -> Tuple[List[Operator], List[List[Record]]]:
+    """Clone a compiled pipeline with every sink replaced by a buffering twin.
+
+    Partitioned pipelines (thread or process pools) must not write shared
+    sinks concurrently: each partition records what it *would* have written,
+    and the engine drains the buffers into the real sinks through the same
+    stable event-time merge that orders the output records — so a terminal
+    sink sees exactly ``result.records``, and any sink sees the
+    single-partition write sequence up to cross-partition timestamp ties.
+    Returns the rewritten operator list plus the buffers, ordered like the
+    compiled sink list (sinks appear in plan-node order in both).
+    """
+    swapped: List[Operator] = []
+    buffers: List[List[Record]] = []
+    for operator in operators:
+        if type(operator) is SinkOperator:
+            twin = BufferingSinkOperator()
+            buffers.append(twin.buffer)
+            swapped.append(twin)
+        else:
+            swapped.append(operator)
+    return swapped, buffers
 
 
 def build_batch_pipeline(

@@ -1,0 +1,517 @@
+"""Process-pool partition execution over shared-memory columns.
+
+The thread-pool scheduler in :mod:`repro.runtime.engine` is GIL-bound:
+partitioned speedups cap out well below core count because the partitions
+time-slice one interpreter.  This module provides the
+``parallelism="process"`` path — the same hash-partitioned plan layout, but
+each partition runs in a **forked worker process** with its own interpreter
+and GIL.
+
+Compiled pipelines hold closures (compiled column expressions, UDF lambdas,
+zone-index captures), so they are deliberately never pickled.  Instead the
+parent stashes everything a worker needs in a module-global
+:data:`_WORKER_CONTEXT` *before* creating the pool; the ``fork`` start
+method makes the children inherit it, and each pool task is just a partition
+index.  Workers rebuild their pipeline from the logical plan
+(``engine.compile(plan)`` — cheap relative to a partition's work) and only
+the **results** cross process boundaries: output records, per-sink buffers
+and a metrics payload (operator counters/times, adaptivity stats) that the
+parent merges into the regular :class:`MetricsReport`.
+
+Input rows travel two ways:
+
+* **columns mode** — linear replay plans on the numpy backend (the Q1/Q8
+  shape).  The parent exports the :class:`SourceColumnCache`'s typed
+  columns once into a single ``multiprocessing.shared_memory`` block,
+  permuted so each partition's rows form one contiguous region; workers map
+  zero-copy ``ndarray`` views over the block and build column-backed
+  batches from slices.  Object-dtype and MISSING-holed columns (strings,
+  heterogeneous payloads) don't have a flat native representation; they are
+  served from the fork-inherited cache lists by gathered index.
+* **records mode** — everything else (binary plans, map-derived partition
+  keys, the pure-python backend, non-replay sources).  The parent scatters
+  ``(entry, record)`` pairs exactly like the thread path and the partitions
+  are inherited by the forked workers; nothing is pickled on the way in.
+
+Shared-memory lifecycle: the block is created, written and **unlinked by
+the parent only**, inside ``try/finally``, so a crashing worker (or a
+raising operator) cannot leak ``/dev/shm`` segments.  Forked children use
+the inherited mapping and never attach by name, which also sidesteps the
+resource-tracker double-unlink wart on attach-by-name openers.
+
+Where ``fork`` is unavailable (Windows/macOS-spawn), the engine falls back
+to the thread pool — same results, intra-process parallelism only.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import struct
+import sys
+import zlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.batch import MISSING, RecordBatch
+from repro.runtime.columns import get_numpy
+from repro.runtime.operators import build_batch_pipeline, swap_buffering_sinks
+from repro.streaming.metrics import (
+    MetricsCollector,
+    adaptivity_stats_of,
+    merge_adaptivity_stats,
+)
+from repro.streaming.record import Record
+
+
+# -- stable partition hashing ------------------------------------------------------
+
+
+_NONE_HASH = 0x9E3779B9
+
+
+def stable_hash(value: Any) -> int:
+    """A deterministic, process-independent partition hash.
+
+    The builtin ``hash`` is salted per process (``PYTHONHASHSEED``), so two
+    runs — or a parent and its spawn-started workers — would disagree on
+    partition assignment.  This hash is pure arithmetic/CRC32 and therefore
+    reproducible everywhere, while preserving the equality semantics
+    partitioning relies on: values that compare equal must co-hash, so
+    ``True``/``1``/``1.0`` (one dict key in a record) land in the same
+    partition, exactly like ``hash()``.
+    """
+    if value is None:
+        return _NONE_HASH
+    if isinstance(value, bool):
+        value = int(value)
+    elif isinstance(value, float):
+        if value.is_integer():
+            value = int(value)
+        else:
+            return zlib.crc32(struct.pack("<d", value))
+    if isinstance(value, int):
+        return value & 0x7FFFFFFFFFFFFFFF
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return zlib.crc32(value)
+    if isinstance(value, tuple):
+        acc = 0x811C9DC5
+        for item in value:
+            acc = ((acc ^ stable_hash(item)) * 0x01000193) & 0xFFFFFFFF
+        return acc
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+def process_pool_available() -> bool:
+    """Whether fork-based worker processes can run on this platform.
+
+    The design requires ``fork``: workers inherit the compiled context
+    (closures and all) instead of unpickling it, which ``spawn`` cannot do.
+    """
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# -- shared-memory column export ---------------------------------------------------
+
+
+class SharedColumnExport:
+    """One shared-memory block holding the partition-permuted typed columns.
+
+    Layout: for each exported field, the full column gathered by ``perm``
+    (the concatenation of the per-partition row-index lists) so that
+    partition ``i`` owns the contiguous region ``bounds[i]:bounds[i+1]`` of
+    every column; the permuted ``float64`` timestamp column sits last.
+    Workers reconstruct zero-copy views from ``specs`` —
+    ``(field, dtype_str, byte_offset)`` triples — over the inherited
+    mapping.
+    """
+
+    __slots__ = ("shm", "specs", "ts_offset", "bounds", "length")
+
+    def __init__(self, shm, specs, ts_offset, bounds, length) -> None:
+        self.shm = shm
+        self.specs = specs
+        self.ts_offset = ts_offset
+        self.bounds = bounds
+        self.length = length
+
+    @classmethod
+    def build(
+        cls, cache, field_order: Sequence[str], perm, bounds: List[int]
+    ) -> Tuple["SharedColumnExport", List[str]]:
+        """Export every native-dtype column of ``cache`` permuted by ``perm``.
+
+        Only homogeneous ``bool``/``int64``/``float64`` columns have a flat
+        byte representation (``typed_array`` returns object arrays for
+        anything else — those stay with the fork-inherited list columns).
+        Returns the export plus the names that made it into the block.
+        """
+        from multiprocessing import shared_memory
+
+        np = get_numpy()
+        native: List[Tuple[str, Any]] = []
+        for name in field_order:
+            array = cache.array_column(name)
+            if array is not None and array.dtype.kind in "bif":
+                native.append((name, array))
+        length = len(perm)
+        total = sum(array.dtype.itemsize for _, array in native) * length
+        total += 8 * length  # float64 timestamps
+        shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+        specs: List[Tuple[str, str, int]] = []
+        offset = 0
+        try:
+            for name, array in native:
+                gathered = array[perm]
+                view = np.ndarray(gathered.shape, dtype=gathered.dtype, buffer=shm.buf, offset=offset)
+                view[:] = gathered
+                specs.append((name, gathered.dtype.str, offset))
+                offset += gathered.nbytes
+                # writer views must not outlive this scope: close() raises
+                # BufferError while exports of shm.buf are alive
+                del view
+            ts = cache.timestamps_array()[perm]
+            view = np.ndarray(ts.shape, dtype=np.float64, buffer=shm.buf, offset=offset)
+            view[:] = ts
+            del view
+        except BaseException:
+            cls._release(shm)
+            raise
+        return cls(shm, specs, offset, bounds, length), [name for name, _ in native]
+
+    def attach(self) -> Tuple[Dict[str, Any], Any]:
+        """Full-length zero-copy views over the block (worker side)."""
+        np = get_numpy()
+        arrays = {
+            name: np.ndarray((self.length,), dtype=np.dtype(dtype), buffer=self.shm.buf, offset=offset)
+            for name, dtype, offset in self.specs
+        }
+        timestamps = np.ndarray(
+            (self.length,), dtype=np.float64, buffer=self.shm.buf, offset=self.ts_offset
+        )
+        return arrays, timestamps
+
+    @staticmethod
+    def _release(shm) -> None:
+        # unlink before close: even if close() trips on a live view export,
+        # the segment is already gone from /dev/shm
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        try:
+            shm.close()
+        except BufferError:
+            pass
+
+    def close(self) -> None:
+        """Unlink + unmap (parent side, ``finally``-driven)."""
+        self._release(self.shm)
+
+
+# -- the fork-inherited worker context ---------------------------------------------
+
+
+_WORKER_CONTEXT: Optional["_WorkerContext"] = None
+
+
+class _WorkerContext:
+    """Everything a forked partition worker needs, inherited — never pickled."""
+
+    __slots__ = (
+        "engine",
+        "plan",
+        "query_name",
+        "split",
+        "mode",
+        "partitions",
+        "export",
+        "list_columns",
+        "field_order",
+        "shm_fields",
+        "perm",
+    )
+
+    def __init__(
+        self,
+        engine,
+        plan,
+        query_name: str,
+        split: int,
+        mode: str,
+        partitions: Optional[List[List[Tuple[int, Record]]]] = None,
+        export: Optional[SharedColumnExport] = None,
+        list_columns: Optional[Dict[str, Tuple[List[Any], bool]]] = None,
+        field_order: Optional[List[str]] = None,
+        shm_fields: Optional[Sequence[str]] = None,
+        perm=None,
+    ) -> None:
+        self.engine = engine
+        self.plan = plan
+        self.query_name = query_name
+        self.split = split
+        self.mode = mode
+        self.partitions = partitions
+        self.export = export
+        self.list_columns = list_columns or {}
+        self.field_order = field_order or []
+        self.shm_fields = frozenset(shm_fields or ())
+        self.perm = perm
+
+    def run(self, index: int) -> Dict[str, Any]:
+        engine = self.engine
+        operators, _, entries = engine.compile(self.plan)
+        operators, sink_buffers = swap_buffering_sinks(operators)
+        barriers = set(entries.values())
+        if self.split:
+            barriers.add(self.split)
+        stages = build_batch_pipeline(operators, barriers, fuse=engine.fuse)
+        local = MetricsCollector(self.query_name, profile=engine.profile)
+        out: List[Record] = []
+        if self.mode == "columns":
+            self._run_columns(index, stages, local, out)
+        else:
+            for entry_index, records in engine._chunk_runs(self.partitions[index]):
+                batch = engine._run_through(
+                    stages, RecordBatch.from_records(records), entry_index, local
+                )
+                if batch is not None and len(batch):
+                    out.extend(batch.to_records())
+        engine._flush_stages(stages, local, out)
+        return {
+            "records": out,
+            "sinks": sink_buffers,
+            "operator_events": local.operator_events,
+            "operator_seconds": local.operator_seconds,
+            "adaptivity": adaptivity_stats_of(operators),
+            "pid": os.getpid(),
+        }
+
+    def _run_columns(self, index: int, stages, local, out: List[Record]) -> None:
+        """Drive the partition's contiguous shared-memory region batch-wise.
+
+        Native columns become zero-copy view slices; list-backed columns are
+        gathered from the inherited full columns by source row index, with
+        the same conservative MISSING marking as ``SourceBatch`` (``column``
+        self-heals markers for hole-free slices).
+        """
+        engine = self.engine
+        shm_arrays, shm_ts = self.export.attach()
+        start, stop = self.export.bounds[index], self.export.bounds[index + 1]
+        perm = self.perm
+        field_order = self.field_order
+        shm_fields = self.shm_fields
+        list_columns = self.list_columns
+        batch_size = max(1, engine.batch_size)
+        for begin in range(start, stop, batch_size):
+            end = min(begin + batch_size, stop)
+            batch = RecordBatch._raw()
+            for name in field_order:
+                if name in shm_fields:
+                    batch._arrays[name] = shm_arrays[name][begin:end]
+                else:
+                    full, has_missing = list_columns[name]
+                    indices = perm[begin:end]
+                    batch._columns[name] = [full[i] for i in indices]
+                    if has_missing:
+                        batch._missing.add(name)
+            ts_view = shm_ts[begin:end]
+            batch._field_order = list(field_order)
+            batch._timestamps = ts_view.tolist()
+            batch._ts_array = ts_view
+            batch._length = end - begin
+            batch = engine._run_through(stages, batch, 0, local)
+            if batch is not None and len(batch):
+                out.extend(batch.to_records())
+
+
+def _run_partition_worker(index: int) -> Dict[str, Any]:
+    """Pool task: run one partition against the fork-inherited context."""
+    context = _WORKER_CONTEXT
+    if context is None:
+        raise RuntimeError(
+            "no process-partition context: workers must be forked from the "
+            "executing parent (spawn cannot inherit compiled pipelines)"
+        )
+    return context.run(index)
+
+
+# -- parent-side orchestration -----------------------------------------------------
+
+
+def _build_columns_context(engine, plan, query_name: str, metrics) -> Tuple[_WorkerContext, List[int]]:
+    """Scatter a replay source's cached columns into a shared-memory export.
+
+    Partition assignment hashes the cached partition-key column directly —
+    no per-record dict probing, no row materialization.  Input accounting
+    (``events_in``/``bytes_in``) reproduces the single-partition batch path
+    exactly: byte estimates come from the same ``SourceBatch`` estimator
+    over the same slicing.
+    """
+    from repro.runtime.storage import SourceBatch, SourceColumnCache
+
+    np = get_numpy()
+    source = plan.source_node.source
+    cache = SourceColumnCache.of(source)
+    records = cache.records
+    total = len(records)
+    measure_bytes = engine.measure_bytes
+    step = max(1, engine.batch_size)
+    for start in range(0, total, step):
+        stop = min(start + step, total)
+        if measure_bytes:
+            chunk = SourceBatch.for_slice(cache, records[start:stop], start, stop)
+            metrics.record_in(stop - start, chunk.estimate_bytes())
+        else:
+            metrics.record_in(stop - start, 0)
+
+    field_order: List[str] = []
+    seen = set()
+    for record in records:
+        for name in record.data:
+            if name not in seen:
+                seen.add(name)
+                field_order.append(name)
+
+    num_partitions = engine.num_partitions
+    index_lists: List[List[int]] = [[] for _ in range(num_partitions)]
+    key_column, _ = cache.list_column(engine.partition_key)
+    if key_column is None:
+        index_lists[_NONE_HASH % num_partitions] = list(range(total))
+    else:
+        for i, key in enumerate(key_column):
+            if key is MISSING:
+                key = None
+            index_lists[stable_hash(key) % num_partitions].append(i)
+    bounds = [0]
+    for indices in index_lists:
+        bounds.append(bounds[-1] + len(indices))
+    perm = (
+        np.concatenate([np.asarray(ix, dtype=np.intp) for ix in index_lists])
+        if total
+        else np.zeros(0, dtype=np.intp)
+    )
+    export, shm_fields = SharedColumnExport.build(cache, field_order, perm, bounds)
+    shm_set = set(shm_fields)
+    list_columns = {
+        name: cache.list_column(name) for name in field_order if name not in shm_set
+    }
+    context = _WorkerContext(
+        engine=engine,
+        plan=plan,
+        query_name=query_name,
+        split=0,
+        mode="columns",
+        export=export,
+        list_columns=list_columns,
+        field_order=field_order,
+        shm_fields=shm_fields,
+        perm=perm,
+    )
+    return context, [len(indices) for indices in index_lists]
+
+
+def _flush_inherited_buffers(sinks) -> None:
+    """Flush parent-side buffered writers before forking.
+
+    A forked child inherits copies of any unflushed stdio/sink buffers and
+    flushes them again at exit — the classic fork+stdio double-write.  An
+    explicit parent-side flush empties the buffers the children will copy.
+    """
+    for stream in (sys.stdout, sys.stderr):
+        try:
+            stream.flush()
+        except Exception:
+            pass
+    for sink in sinks:
+        handle = getattr(sink, "_handle", None)
+        if handle is not None:
+            try:
+                handle.flush()
+            except Exception:
+                pass
+
+
+def execute_process_partitioned(engine, plan, query_name: str, first_compiled, split: int):
+    """Run a partitioned plan on a fork-started process pool.
+
+    Mirrors the thread path end to end — scatter, N workers, stable
+    event-time output merge, metrics merge, ordered sink drain — but each
+    partition owns a whole interpreter.  The pool (and, in columns mode,
+    the shared-memory block) is per-execution and torn down in ``finally``.
+    """
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    global _WORKER_CONTEXT
+
+    num_partitions = engine.num_partitions
+    metrics = MetricsCollector(query_name, profile=engine.profile, bus=engine.metric_bus)
+    operators, sinks, entry_points = first_compiled
+    bus = metrics.bus
+    if bus is not None:
+        # worker operator state is invisible across the process boundary, so
+        # only parent-side gauges are live in process mode
+        bus.set_gauge("batch_size", lambda: engine.batch_size)
+    metrics.start()
+
+    source = plan.source_node.source
+    use_columns = (
+        split == 0
+        and not entry_points
+        and hasattr(source, "records_list")
+        and not engine.adaptive_batch
+        and get_numpy() is not None
+    )
+    context: Optional[_WorkerContext] = None
+    try:
+        if use_columns:
+            context, partition_rows = _build_columns_context(engine, plan, query_name, metrics)
+        else:
+            partitions = engine._scatter_partitions(plan, metrics, first_compiled, split)
+            partition_rows = [len(p) for p in partitions]
+            context = _WorkerContext(
+                engine=engine,
+                plan=plan,
+                query_name=query_name,
+                split=split,
+                mode="records",
+                partitions=partitions,
+            )
+        if bus is not None:
+            bus.observe_partition_rows(partition_rows)
+        _flush_inherited_buffers(sinks)
+        _WORKER_CONTEXT = context
+        mp_context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=num_partitions, mp_context=mp_context) as pool:
+            payloads = list(pool.map(_run_partition_worker, range(num_partitions)))
+    finally:
+        _WORKER_CONTEXT = None
+        if context is not None and context.export is not None:
+            context.export.close()
+
+    engine.last_worker_pids = sorted({payload["pid"] for payload in payloads})
+    collected = list(
+        heapq.merge(
+            *(payload["records"] for payload in payloads),
+            key=lambda record: record.timestamp,
+        )
+    )
+    for payload in payloads:
+        for label, count in payload["operator_events"].items():
+            metrics.record_operator(label, count)
+        for label, seconds in payload["operator_seconds"].items():
+            metrics.record_operator_time(label, seconds)
+    if sinks:
+        engine._drain_sink_buffers(sinks, [payload["sinks"] for payload in payloads])
+    metrics.stop()
+    prefix_stats = [adaptivity_stats_of(operators)] if split else []
+    metrics.record_adaptivity(
+        merge_adaptivity_stats(
+            *prefix_stats, *(payload["adaptivity"] for payload in payloads)
+        )
+    )
+    return engine._finalize(collected, sinks, metrics, plan, partitions=num_partitions)

@@ -92,7 +92,10 @@ class StreamExecutionEngine:
     :mod:`repro.runtime`).  Both modes produce record-for-record identical
     results; batch mode amortizes interpreter overhead over ``batch_size``
     rows and can additionally run ``num_partitions`` key-partitioned
-    pipelines on a thread pool.
+    pipelines in parallel — on a thread pool (``parallelism="thread"``,
+    GIL-bound) or on forked worker processes over shared-memory columns
+    (``parallelism="process"``, true multi-core; see
+    :mod:`repro.runtime.parallel`).
     """
 
     def __init__(
@@ -105,16 +108,25 @@ class StreamExecutionEngine:
         profile: bool = False,
         metric_bus=None,
         adaptive_batch: bool = False,
+        parallelism: str = "thread",
     ) -> None:
         if execution_mode not in ("record", "batch"):
             raise PlanError(
                 f"unknown execution_mode {execution_mode!r}; expected 'record' or 'batch'"
+            )
+        if parallelism not in ("thread", "process"):
+            raise PlanError(
+                f"unknown parallelism {parallelism!r}; expected 'thread' or 'process'"
             )
         self.measure_bytes = measure_bytes
         self.execution_mode = execution_mode
         self.batch_size = batch_size
         self.num_partitions = num_partitions
         self.partition_key = partition_key
+        #: Partition scheduler for ``num_partitions > 1`` in batch mode:
+        #: ``"thread"`` (default) or ``"process"`` (forked workers, falling
+        #: back to threads where ``fork`` is unavailable).
+        self.parallelism = parallelism
         #: Per-operator wall-time attribution (``MetricsReport.operator_seconds``).
         #: The batch runtime clocks each stage per batch; the record pipeline
         #: clocks each generator resume (one ``perf_counter`` pair per
@@ -292,6 +304,7 @@ class StreamExecutionEngine:
                 profile=self.profile,
                 metric_bus=self.metric_bus,
                 adaptive_batch=self.adaptive_batch,
+                parallelism=self.parallelism,
             )
         return self._batch_delegate
 

@@ -380,6 +380,30 @@ class SinkOperator(Operator):
         yield record
 
     def partition_keys(self) -> List[str]:
-        # Stateless itself; the engine separately refuses to partition plans
-        # with sinks because partitions would interleave writes out of order.
+        # Stateless: partitioned pipelines swap in BufferingSinkOperator twins
+        # and the engine drains the buffers in restored event-time order, so
+        # interleaved partition writes never reach the real sink.
         return []
+
+
+class BufferingSinkOperator(SinkOperator):
+    """A partition-local sink twin that records writes instead of performing them.
+
+    Partitioned execution (thread or process pools) must not let N pipelines
+    write one shared sink concurrently and out of order.  Each partition's
+    pipeline gets one of these per sink (see
+    :func:`repro.runtime.operators.swap_buffering_sinks`); after the pool
+    finishes, the engine merges the buffers by event time — the same stable
+    merge that orders the output records — and replays them into the real
+    sink in the parent, where side effects (file writes, callbacks) belong.
+    Inherits ``name = "sink"`` so per-operator metric labels stay identical
+    to single-partition and record-engine runs.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(sink=None)
+        self.buffer: List[Record] = []
+
+    def process(self, record: Record) -> Iterable[Record]:
+        self.buffer.append(record)
+        yield record

@@ -16,16 +16,22 @@ from repro.streaming.engine import StreamExecutionEngine
 def engine_from_env(**kwargs) -> StreamExecutionEngine:
     """An engine honouring the CI execution-mode matrix.
 
-    ``REPRO_TEST_EXECUTION_MODE`` selects ``record`` (default), ``batch`` or
-    ``batch-partitioned`` so the same integration/query tests exercise every
-    engine; tests that explicitly pin an engine (e.g. the parity suite, which
-    *compares* modes) construct their own and are unaffected.
+    ``REPRO_TEST_EXECUTION_MODE`` selects ``record`` (default), ``batch``,
+    ``batch-partitioned`` (4 thread-pool partitions) or ``batch-process``
+    (4 forked worker processes over shared-memory columns) so the same
+    integration/query tests exercise every engine; tests that explicitly pin
+    an engine (e.g. the parity suite, which *compares* modes) construct
+    their own and are unaffected.
     """
     mode = os.environ.get("REPRO_TEST_EXECUTION_MODE", "record")
     if mode == "batch":
         return StreamExecutionEngine(execution_mode="batch", **kwargs)
     if mode == "batch-partitioned":
         return StreamExecutionEngine(execution_mode="batch", num_partitions=4, **kwargs)
+    if mode == "batch-process":
+        return StreamExecutionEngine(
+            execution_mode="batch", num_partitions=4, parallelism="process", **kwargs
+        )
     if mode != "record":
         # fail fast: a typo in the CI matrix must not silently re-run the
         # record engine while claiming batch coverage

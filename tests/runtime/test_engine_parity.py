@@ -237,19 +237,72 @@ def test_partitioning_falls_back_for_unsafe_plans(full_scenario):
     ]
 
 
-def test_partitioning_falls_back_for_sinks(full_scenario):
-    """Plans with sinks keep stream-ordered writes under num_partitions > 1."""
+def test_sinks_partition_with_order_restoring_buffers(full_scenario):
+    """Plans with sinks now partition; buffered writes drain in merged order.
+
+    Each partition pipeline writes a buffering twin and the engine replays
+    the buffers through the same stable event-time merge that orders the
+    output records — so the sink must (a) hold the record-engine multiset,
+    (b) be event-time sorted, and (c) for a terminal sink, equal
+    ``result.records`` exactly.
+    """
     from repro.streaming.sink import CollectSink
 
     record_sink, batch_sink = CollectSink(), CollectSink()
     info = QUERY_CATALOG["Q1"]
     StreamExecutionEngine().execute(info.build(full_scenario).sink(record_sink))
-    BatchExecutionEngine(batch_size=128, num_partitions=4).execute(
+    result = BatchExecutionEngine(batch_size=128, num_partitions=4).execute(
         info.build(full_scenario).sink(batch_sink)
     )
-    assert [r.as_dict() for r in batch_sink.records] == [
+    assert result.partitions == 4
+    assert batch_sink.records == result.records
+    assert canonical_records(r.as_dict() for r in batch_sink.records) == canonical_records(
         r.as_dict() for r in record_sink.records
+    )
+    timestamps = [r.timestamp for r in batch_sink.records]
+    assert timestamps == sorted(timestamps)
+
+
+@pytest.mark.parametrize("parallelism", ["thread", "process"])
+def test_sink_write_order_is_exact_on_tie_free_streams(parallelism):
+    """With unique timestamps the drained sink order *equals* the record engine's.
+
+    Cross-partition timestamp ties are the only freedom the stable merge
+    has; a strictly increasing stream removes it, so both order and content
+    must match the record engine write-for-write, in thread and process
+    mode, for terminal and mid-pipeline sinks alike.
+    """
+    from repro.streaming.sink import CollectSink
+
+    schema = Schema.of("ordered", device_id=str, speed=float, timestamp=float)
+    events = [
+        {"device_id": f"d{i % 5}", "speed": float(i % 40), "timestamp": float(i)}
+        for i in range(500)
     ]
+
+    def build(mid_sink, end_sink):
+        return (
+            Query.from_source(ListSource(events, schema), name="sink-order")
+            .filter(col("speed") > 5.0)
+            .sink(mid_sink)
+            .map(fast=col("speed") > 30.0)
+            .sink(end_sink)
+        )
+
+    record_mid, record_end = CollectSink(), CollectSink()
+    StreamExecutionEngine().execute(build(record_mid, record_end))
+    batch_mid, batch_end = CollectSink(), CollectSink()
+    result = BatchExecutionEngine(
+        batch_size=64, num_partitions=4, parallelism=parallelism
+    ).execute(build(batch_mid, batch_end))
+    assert result.partitions == 4
+    assert [r.as_dict() for r in batch_mid.records] == [
+        r.as_dict() for r in record_mid.records
+    ]
+    assert [r.as_dict() for r in batch_end.records] == [
+        r.as_dict() for r in record_end.records
+    ]
+    assert batch_end.records == result.records
 
 
 def test_stream_engine_execution_mode_switch(full_scenario):

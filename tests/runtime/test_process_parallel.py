@@ -1,0 +1,323 @@
+"""Process-pool partition execution: parity, rebuild-across-fork, shm hygiene.
+
+The ``parallelism="process"`` path (see :mod:`repro.runtime.parallel`) must
+be a drop-in for thread partitioning: identical output multisets and
+metrics, deterministic partition assignment independent of the process and
+``PYTHONHASHSEED``, worker pipelines rebuilt from the logical plan across
+``fork`` (compiled pipelines hold closures and are never pickled), and no
+``/dev/shm`` segment may outlive an execution — including executions whose
+workers raise or die outright.
+"""
+
+import multiprocessing
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import StreamError
+from repro.queries import QUERY_CATALOG
+from repro.runtime import BatchExecutionEngine
+from repro.runtime.batch import MISSING
+from repro.runtime.parallel import process_pool_available, stable_hash
+from repro.streaming import ListSource, Query, Schema, col
+from repro.streaming.engine import StreamExecutionEngine
+from repro.streaming.expressions import udf
+from tests.conftest import canonical_records
+
+fork_required = pytest.mark.skipif(
+    not process_pool_available(), reason="fork start method unavailable"
+)
+
+FUZZ_SCHEMA = Schema.of(
+    "fuzz", device_id=str, value=float, flag=bool, lon=float, lat=float, timestamp=float
+)
+
+
+def _shm_entries():
+    """The current /dev/shm segment names (empty set off Linux)."""
+    try:
+        return set(os.listdir("/dev/shm"))
+    except OSError:
+        return set()
+
+
+def _assert_process_parity(record_result, result, engine):
+    assert result.partitions == engine.num_partitions
+    assert canonical_records(r.as_dict() for r in result.records) == canonical_records(
+        r.as_dict() for r in record_result.records
+    )
+    assert result.metrics.events_in == record_result.metrics.events_in
+    assert result.metrics.events_out == record_result.metrics.events_out
+    assert result.metrics.bytes_in == record_result.metrics.bytes_in
+    assert result.metrics.operator_events == record_result.metrics.operator_events
+    timestamps = [r.timestamp for r in result.records]
+    assert timestamps == sorted(timestamps)
+    # the work really ran out-of-process
+    assert engine.last_worker_pids
+    assert os.getpid() not in engine.last_worker_pids
+
+
+@fork_required
+@pytest.mark.usefixtures("column_backend")
+class TestProcessCatalogParity:
+    """Whole-catalog record-vs-process-partitioned parity, both backends.
+
+    Under the numpy backend linear replay plans take the shared-memory
+    columns path; under the python backend (and for binary/map-derived
+    plans) the same executions degrade to fork-inherited record partitions —
+    results must be indistinguishable either way.
+    """
+
+    @pytest.fixture(scope="class")
+    def record_results(self, full_scenario, column_backend):
+        engine = StreamExecutionEngine()
+        return {
+            query_id: engine.execute(info.build(full_scenario))
+            for query_id, info in QUERY_CATALOG.items()
+        }
+
+    @pytest.mark.parametrize("query_id", sorted(QUERY_CATALOG))
+    def test_catalog_process_partitioned_parity(
+        self, query_id, full_scenario, record_results
+    ):
+        before = _shm_entries()
+        engine = BatchExecutionEngine(
+            batch_size=256,
+            num_partitions=4,
+            parallelism="process",
+            partition_key="cell_id" if query_id == "Q4" else "device_id",
+        )
+        result = engine.execute(QUERY_CATALOG[query_id].build(full_scenario))
+        _assert_process_parity(record_results[query_id], result, engine)
+        assert _shm_entries() == before, "execution leaked /dev/shm segments"
+
+
+@fork_required
+@pytest.mark.usefixtures("column_backend")
+class TestStreamFuzzProcessParity:
+    """Property-style record-vs-process parity on randomized streams."""
+
+    def _events(self, stream_fuzz, case, **kwargs):
+        return stream_fuzz.keyed_events(case, **kwargs)
+
+    def test_windowed_aggregation_parity(self, stream_fuzz):
+        from repro.streaming.aggregations import Avg, Count
+        from repro.streaming.windows import TumblingWindow
+
+        events = self._events(stream_fuzz, "process-window", n=800, duplicate_ts=0.2)
+
+        def build():
+            return (
+                Query.from_source(ListSource(events, FUZZ_SCHEMA), name="fuzz-window")
+                .filter(col("value") > 5.0)
+                .window(
+                    TumblingWindow(30.0),
+                    [Count(), Avg("value", output="avg_value")],
+                    key_by=["device_id"],
+                )
+            )
+
+        record = StreamExecutionEngine().execute(build())
+        engine = BatchExecutionEngine(batch_size=64, num_partitions=4, parallelism="process")
+        result = engine.execute(build())
+        _assert_process_parity(record, result, engine)
+
+    def test_heterogeneous_stream_parity(self, stream_fuzz):
+        """Position gaps produce MISSING-holed columns: the shm path must
+        serve them from inherited lists without changing semantics."""
+        events = self._events(
+            stream_fuzz, "process-hetero", n=700, position_gap=0.3, duplicate_ts=0.1
+        )
+        for event in events:
+            if event["lon"] is None:
+                # absent fields, not None fields: exercises MISSING holes
+                del event["lon"], event["lat"]
+
+        def build():
+            return (
+                Query.from_source(ListSource(events, FUZZ_SCHEMA), name="fuzz-hetero")
+                .filter(col("flag"))
+                .map(doubled=col("value") * 2.0)
+            )
+
+        record = StreamExecutionEngine().execute(build())
+        engine = BatchExecutionEngine(batch_size=32, num_partitions=4, parallelism="process")
+        result = engine.execute(build())
+        _assert_process_parity(record, result, engine)
+
+    def test_sinked_stream_parity(self, stream_fuzz):
+        from repro.streaming.sink import CollectSink
+
+        events = self._events(stream_fuzz, "process-sink", n=500)
+        record_sink, process_sink = CollectSink(), CollectSink()
+
+        def build(sink):
+            return (
+                Query.from_source(ListSource(events, FUZZ_SCHEMA), name="fuzz-sink")
+                .filter(col("value") > 10.0)
+                .sink(sink)
+            )
+
+        record = StreamExecutionEngine().execute(build(record_sink))
+        engine = BatchExecutionEngine(batch_size=64, num_partitions=4, parallelism="process")
+        result = engine.execute(build(process_sink))
+        _assert_process_parity(record, result, engine)
+        assert process_sink.records == result.records
+        assert canonical_records(r.as_dict() for r in process_sink.records) == (
+            canonical_records(r.as_dict() for r in record_sink.records)
+        )
+
+
+@fork_required
+def test_compiled_form_rebuilds_in_forked_worker(full_scenario):
+    """Every catalog plan's compiled form is rebuildable across ``fork``.
+
+    Compiled pipelines hold closures (compiled column expressions, UDFs,
+    zone-index captures), so process mode never pickles them — a forked
+    child must instead recompile the inherited logical plan into the same
+    operator shape and entry points the parent compiled.
+    """
+    ctx = multiprocessing.get_context("fork")
+    engine = BatchExecutionEngine()
+    for query_id, info in QUERY_CATALOG.items():
+        plan = info.build(full_scenario).plan()
+        operators, _, entries = engine.compile(plan)
+        parent_shape = [type(op).__name__ for op in operators]
+        receiver, sender = ctx.Pipe(duplex=False)
+
+        def child(plan=plan, sender=sender):
+            ops, _, ent = BatchExecutionEngine().compile(plan)
+            sender.send(([type(op).__name__ for op in ops], ent))
+
+        worker = ctx.Process(target=child)
+        worker.start()
+        shape, entry_points = receiver.recv()
+        worker.join()
+        assert worker.exitcode == 0, query_id
+        assert shape == parent_shape, query_id
+        assert entry_points == entries, query_id
+
+
+@fork_required
+def test_shared_memory_cleaned_after_worker_exception(full_scenario):
+    """A worker raising mid-partition must not leak /dev/shm segments."""
+    from repro.runtime.columns import get_numpy
+
+    if get_numpy() is None:
+        pytest.skip("shared-memory columns need the numpy backend")
+    events = [
+        {"device_id": f"d{i % 4}", "value": float(i), "timestamp": float(i)}
+        for i in range(200)
+    ]
+    schema = Schema.of("crashy", device_id=str, value=float, timestamp=float)
+    query = Query.from_source(ListSource(events, schema), name="raises").map(
+        # the field does not exist: every worker raises StreamError
+        boom=col("no_such_field") * 2.0
+    )
+    before = _shm_entries()
+    engine = BatchExecutionEngine(batch_size=32, num_partitions=4, parallelism="process")
+    with pytest.raises(StreamError):
+        engine.execute(query)
+    assert _shm_entries() == before, "failed execution leaked /dev/shm segments"
+
+
+@fork_required
+def test_shared_memory_cleaned_after_worker_hard_crash():
+    """Even a worker dying without unwinding (os._exit) leaks nothing.
+
+    The parent owns the segment: creation, the single unlink and the close
+    all happen in the parent's try/finally, so a SIGKILL-equivalent worker
+    death surfaces as BrokenProcessPool while /dev/shm stays clean.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.runtime.columns import get_numpy
+
+    if get_numpy() is None:
+        pytest.skip("shared-memory columns need the numpy backend")
+
+    def die(record):
+        os._exit(13)
+
+    events = [
+        {"device_id": f"d{i % 4}", "value": float(i), "timestamp": float(i)}
+        for i in range(100)
+    ]
+    schema = Schema.of("dying", device_id=str, value=float, timestamp=float)
+    query = Query.from_source(ListSource(events, schema), name="dies").map(
+        boom=udf(die, name="die")
+    )
+    before = _shm_entries()
+    engine = BatchExecutionEngine(batch_size=32, num_partitions=4, parallelism="process")
+    with pytest.raises(BrokenProcessPool):
+        engine.execute(query)
+    assert _shm_entries() == before, "crashed execution leaked /dev/shm segments"
+
+
+def test_missing_sentinel_survives_pickling():
+    """``value is MISSING`` must keep working on worker-returned payloads."""
+    roundtripped = pickle.loads(pickle.dumps(MISSING))
+    assert roundtripped is MISSING
+    assert pickle.loads(pickle.dumps([MISSING, {"x": MISSING}]))[0] is MISSING
+    assert bool(MISSING)  # same truthiness as the old plain object() sentinel
+
+
+class TestStableHash:
+    def test_equal_values_cohash(self):
+        # dict-key equality semantics: True == 1 == 1.0 must co-partition
+        assert stable_hash(True) == stable_hash(1) == stable_hash(1.0)
+        assert stable_hash(2.0) == stable_hash(2)
+        assert stable_hash(0.5) != stable_hash("0.5")
+
+    def test_spreads_typical_keys(self):
+        slots = {stable_hash(f"train-{i}") % 4 for i in range(40)}
+        assert slots == {0, 1, 2, 3}
+
+    def test_deterministic_across_hash_randomization(self):
+        """Same assignment in every process regardless of PYTHONHASHSEED."""
+        values = ["d0", "train-17", None, 42, 3.25, ("a", 7), True, b"bytes"]
+        script = (
+            "from repro.runtime.parallel import stable_hash\n"
+            "print([stable_hash(v) % 4 for v in "
+            "['d0', 'train-17', None, 42, 3.25, ('a', 7), True, b'bytes']])"
+        )
+        outputs = set()
+        for seed in ("0", "1", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in ("src", env.get("PYTHONPATH")) if p
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.add(result.stdout.strip())
+        assert len(outputs) == 1
+        assert outputs.pop() == str([stable_hash(v) % 4 for v in values])
+
+
+def test_unknown_parallelism_rejected():
+    from repro.errors import PlanError
+
+    with pytest.raises(PlanError):
+        BatchExecutionEngine(parallelism="greenlet")
+    with pytest.raises(PlanError):
+        StreamExecutionEngine(parallelism="greenlet")
+
+
+@fork_required
+def test_stream_engine_passes_parallelism_through(full_scenario):
+    engine = StreamExecutionEngine(
+        execution_mode="batch", num_partitions=4, parallelism="process"
+    )
+    result = engine.execute(QUERY_CATALOG["Q1"].build(full_scenario))
+    assert result.partitions == 4
+    delegate = engine._batch_delegate
+    assert delegate is not None and delegate.parallelism == "process"
+    assert delegate.last_worker_pids and os.getpid() not in delegate.last_worker_pids
