@@ -397,6 +397,40 @@ class NFAMatcher:
         """How many partial-match runs are currently alive (all keys)."""
         return sum(len(runs) for runs in self._runs.values())
 
+    # -- checkpointing ------------------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Picklable snapshot of every live run, keyed like ``_runs``.
+
+        Runs are flattened to tuples so the checkpoint payload does not embed
+        the private ``_Run`` dataclass.
+        """
+        return {
+            "runs": {
+                key: [
+                    (r.step_index, r.bindings, r.start_time, r.last_time, r.iteration_count)
+                    for r in runs
+                ]
+                for key, runs in self._runs.items()
+                if runs
+            }
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._runs = {
+            key: [
+                _Run(
+                    step_index=step_index,
+                    bindings={name: list(records) for name, records in bindings.items()},
+                    start_time=start_time,
+                    last_time=last_time,
+                    iteration_count=iteration_count,
+                )
+                for step_index, bindings, start_time, last_time, iteration_count in runs
+            ]
+            for key, runs in state["runs"].items()
+        }
+
     # -- end of stream ------------------------------------------------------------------
 
     def flush(self) -> List[Match]:

@@ -69,5 +69,11 @@ class CEPOperator(Operator):
     def buffered_depth(self) -> int:
         return self.matcher.live_runs()
 
+    def checkpoint(self) -> Dict[str, Any]:
+        return self.matcher.checkpoint()
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self.matcher.restore(state)
+
     def __repr__(self) -> str:
         return f"CEPOperator({self.pattern!r}, keys={self.key_fields})"

@@ -15,20 +15,60 @@ reproduction:
 ``run`` (and ``top``) accept live-observability flags: ``--metrics-out`` for
 NDJSON snapshots, ``--live`` for the in-terminal dashboard, and
 ``--adaptive-batch`` to let the snapshot feedback loop resize micro-batches.
+
+The service layer adds two commands:
+
+* ``python -m repro.cli serve Q1 Q2``  — long-running server: one TCP NDJSON
+  feed fanned out to every registered query, with backpressure watermarks and
+  optional barrier checkpoints (``--checkpoint-dir`` / ``--resume``).
+* ``python -m repro.cli feed --port N`` — send scenario (or NDJSON file)
+  events to a running server, optionally paced with ``--eps``.
+
+All long-running commands (``run --live``, ``top``, ``serve``) shut down
+gracefully on SIGINT/SIGTERM: metrics snapshots are flushed and sinks closed
+before exiting.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
+import signal
 import sys
 from typing import List, Optional
 
-from repro.errors import PlanError
+from repro.errors import PlanError, ServiceError, ShutdownSignal
 from repro.queries import QUERY_CATALOG
 from repro.sncb.scenario import Scenario, ScenarioConfig
 from repro.streaming.engine import StreamExecutionEngine
+
+
+@contextlib.contextmanager
+def _graceful_signals():
+    """Convert SIGINT/SIGTERM into :class:`ShutdownSignal` while active.
+
+    The default SIGTERM disposition kills the process without unwinding the
+    stack — snapshot writers and file sinks would be left unflushed.  Raising
+    instead routes shutdown through the engines' abort path (final metrics
+    snapshot, closed sinks) and the CLI's ``finally`` blocks.
+    """
+
+    def _raise(signum, frame):
+        raise ShutdownSignal(signum, signal.Signals(signum).name)
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _raise)
+        except ValueError:  # not the main thread (e.g. pytest plugins)
+            pass
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
@@ -235,7 +275,17 @@ def cmd_run(args: argparse.Namespace) -> int:
     if bus is not None:
         writer, dashboard, sizer = _attach_consumers(args, bus, engine)
     try:
-        result = engine.execute(info.build(scenario))
+        with _graceful_signals():
+            result = engine.execute(info.build(scenario))
+    except ShutdownSignal as exc:
+        # the engine's abort path already emitted the final snapshot and
+        # closed the sinks; close the writer and report a partial run
+        if dashboard is not None and dashboard.use_ansi:
+            print()
+        print(f"interrupted ({exc.name}); metrics flushed, sinks closed", file=sys.stderr)
+        if writer is not None and args.metrics_out != "-":
+            print(f"wrote {writer.written} snapshots to {args.metrics_out}", file=sys.stderr)
+        return 130
     finally:
         if writer is not None:
             writer.close()
@@ -267,6 +317,121 @@ def cmd_top(args: argparse.Namespace) -> int:
     args.limit = 0
     args.geojson = None
     return cmd_run(args)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Long-running stream server: one TCP NDJSON feed, N registered queries."""
+    import asyncio
+
+    from repro.service import StreamServer
+    from repro.streaming.metricbus import MetricBus, SnapshotWriter
+    from repro.streaming.sink import FileSink
+
+    query_ids = [query_id.upper() for query_id in args.queries]
+    unknown = [query_id for query_id in query_ids if query_id not in QUERY_CATALOG]
+    if unknown:
+        print(
+            f"unknown queries {', '.join(unknown)}; known: {', '.join(QUERY_CATALOG)}",
+            file=sys.stderr,
+        )
+        return 2
+    if len(set(query_ids)) != len(query_ids):
+        print("duplicate query ids", file=sys.stderr)
+        return 2
+    scenario = _scenario_from(args)
+    _apply_backend(args)
+    server = StreamServer(
+        host=args.host,
+        port=args.port,
+        high_watermark=args.high_watermark,
+        low_watermark=args.low_watermark,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval_events=args.checkpoint_every,
+        resume=args.resume,
+        stop_after_eos=args.stop_after_eos,
+    )
+    writers = []
+    for query_id in query_ids:
+        query = QUERY_CATALOG[query_id].build(scenario)
+        if args.out_dir:
+            os.makedirs(args.out_dir, exist_ok=True)
+            path = os.path.join(args.out_dir, f"{query_id.lower()}.ndjson")
+            query = query.sink(FileSink(path, resume=args.resume))
+        # every runner gets a bus: backpressure reads its queue-depth gauge
+        bus = MetricBus(
+            interval_events=args.metrics_interval_events,
+            interval_s=args.metrics_interval_s,
+        )
+        server.register(
+            query_id,
+            query,
+            mode=args.execution_mode,
+            batch_size=args.batch_size,
+            metric_bus=bus,
+            shed_target_eps=args.shed_target_eps,
+            adaptive_batch=args.adaptive_batch,
+        )
+        if args.metrics_dir:
+            os.makedirs(args.metrics_dir, exist_ok=True)
+            target = os.path.join(args.metrics_dir, f"{query_id.lower()}_metrics.ndjson")
+            writers.append(bus.subscribe(SnapshotWriter(target)))
+
+    async def _serve() -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_stop)
+            except (NotImplementedError, RuntimeError):
+                pass  # platforms without loop signal handlers
+        await server.start()
+        resumed = ""
+        if args.resume and server.consumed:
+            resumed = f" (resumed seq {server.checkpoint_seq} at offset {server.consumed})"
+        print(
+            f"serving {', '.join(query_ids)} on {server.host}:{server.port}{resumed}",
+            flush=True,
+        )
+        try:
+            await server.wait_stopped()
+        finally:
+            await server.stop(graceful=True)
+
+    try:
+        asyncio.run(_serve())
+    finally:
+        for writer in writers:
+            writer.close()
+    failed = server.errors
+    for runner in server.runners:
+        status = f"  {runner.name}: in={runner.metrics.events_in} out={runner.events_out}"
+        if runner.name in failed:
+            status += f"  FAILED: {failed[runner.name]}"
+        print(status)
+    if args.checkpoint_dir and server.checkpoints is not None and server.checkpoints.exists():
+        print(f"checkpoint seq {server.checkpoint_seq} in {args.checkpoint_dir}")
+    return 1 if failed else 0
+
+
+def cmd_feed(args: argparse.Namespace) -> int:
+    """Send events to a running ``serve`` instance as NDJSON lines."""
+    from repro.service import feed_events
+
+    if args.input:
+        events = []
+        with open(args.input) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    events.append(json.loads(line))
+    else:
+        events = _scenario_from(args).events
+    if args.limit is not None:
+        events = events[: args.limit]
+    with _graceful_signals():
+        sent = feed_events(args.host, args.port, events, eps=args.eps, eos=not args.no_eos)
+    suffix = "" if args.no_eos else " (+ eos)"
+    print(f"fed {sent} events to {args.host}:{args.port}{suffix}")
+    return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -534,6 +699,102 @@ def build_parser() -> argparse.ArgumentParser:
     _add_metrics_arguments(top, live_flag=False)
     top.set_defaults(func=cmd_top)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="long-running stream server: TCP NDJSON ingestion fanned out to N queries",
+    )
+    serve.add_argument("queries", nargs="+", help="query ids to register, e.g. Q1 Q2")
+    _add_scenario_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 picks a free one; printed at startup)"
+    )
+    serve.add_argument(
+        "--execution-mode",
+        choices=["record", "batch"],
+        default="record",
+        help="engine behind every registered query",
+    )
+    serve.add_argument("--batch-size", type=int, default=256, help="rows per micro-batch")
+    serve.add_argument(
+        "--batch-backend",
+        choices=["auto", "numpy", "python"],
+        default=None,
+        help="column backend for --execution-mode batch",
+    )
+    serve.add_argument(
+        "--out-dir",
+        default=None,
+        help="write each query's output records to <out-dir>/<qid>.ndjson",
+    )
+    serve.add_argument(
+        "--metrics-dir",
+        default=None,
+        help="write each query's metrics snapshots to <metrics-dir>/<qid>_metrics.ndjson",
+    )
+    serve.add_argument("--metrics-interval-events", type=int, default=1000)
+    serve.add_argument("--metrics-interval-s", type=float, default=0.5)
+    serve.add_argument(
+        "--adaptive-batch",
+        action="store_true",
+        help="let each query's snapshot loop resize its micro-batches (batch mode)",
+    )
+    serve.add_argument(
+        "--shed-target-eps",
+        type=float,
+        default=None,
+        help="prepend an adaptive load shedder tuned to this ingest rate on every query",
+    )
+    serve.add_argument(
+        "--high-watermark",
+        type=int,
+        default=10_000,
+        help="pause socket reads when a query's ingest queue reaches this depth",
+    )
+    serve.add_argument(
+        "--low-watermark",
+        type=int,
+        default=1_000,
+        help="resume socket reads when the total backlog falls to this depth",
+    )
+    serve.add_argument(
+        "--checkpoint-dir", default=None, help="directory for barrier checkpoints"
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="checkpoint every N ingested events (0 = only on graceful shutdown)",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore operator/sink state from --checkpoint-dir and skip the "
+        "already-consumed prefix of the replayed feed",
+    )
+    serve.add_argument(
+        "--stop-after-eos",
+        action="store_true",
+        help="exit once an end-of-stream control line has been drained (scripted runs)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    feed = subparsers.add_parser(
+        "feed", help="send scenario or NDJSON-file events to a running server"
+    )
+    _add_scenario_arguments(feed)
+    feed.add_argument("--host", default="127.0.0.1")
+    feed.add_argument("--port", type=int, required=True)
+    feed.add_argument(
+        "--input", default=None, help="NDJSON file to send instead of generated scenario events"
+    )
+    feed.add_argument("--limit", type=int, default=None, help="send at most this many events")
+    feed.add_argument("--eps", type=float, default=None, help="pace the feed (events/second)")
+    feed.add_argument(
+        "--no-eos", action="store_true", help="do not send the end-of-stream control line"
+    )
+    feed.set_defaults(func=cmd_feed)
+
     bench = subparsers.add_parser(
         "bench", help="compare record-at-a-time vs micro-batch execution on one query"
     )
@@ -585,9 +846,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except PlanError as exc:
+    except (PlanError, ServiceError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except ShutdownSignal as exc:
+        print(f"interrupted ({exc.name})", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -31,3 +31,25 @@ class CEPError(ReproError):
 
 class ScenarioError(ReproError):
     """SNCB scenario / simulator configuration error."""
+
+
+class ShutdownSignal(BaseException):
+    """Raised by CLI signal handlers on SIGINT/SIGTERM.
+
+    Deliberately a ``BaseException`` (like ``KeyboardInterrupt``) so it cannot
+    be swallowed by broad ``except Exception`` handlers: it must unwind to the
+    command loop, which flushes metrics/sinks and exits 130.
+    """
+
+    def __init__(self, signum: int, name: str) -> None:
+        super().__init__(f"received {name}")
+        self.signum = signum
+        self.name = name
+
+
+class ServiceError(StreamError):
+    """Stream server / service-layer error (registration, ingestion, control)."""
+
+
+class CheckpointError(ServiceError):
+    """A checkpoint could not be written, read, or applied."""

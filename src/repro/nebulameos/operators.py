@@ -181,6 +181,18 @@ class GeofenceOperator(Operator):
         # Transition tracking is keyed per device; plain annotation is stateless.
         return [self.device_field] if self.transitions_only else []
 
+    def buffered_depth(self) -> int:
+        return len(self._previous) if self.transitions_only else 0
+
+    def checkpoint(self) -> Optional[Dict[str, Any]]:
+        if not self.transitions_only:
+            return None
+        return {"previous": dict(self._previous)}
+
+    def restore(self, state: Optional[Dict[str, Any]]) -> None:
+        if state is not None:
+            self._previous = dict(state["previous"])
+
     def __repr__(self) -> str:
         return f"GeofenceOperator({len(self.index)} zones, transitions_only={self.transitions_only})"
 

@@ -276,5 +276,20 @@ class TopKNearestOperator(Operator):
             has_missing=passthrough,
         )
 
+    def buffered_depth(self) -> int:
+        return len(self._last_position)
+
+    def checkpoint(self) -> Dict[str, Any]:
+        return {"last_position": dict(self._last_position)}
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        # The vector fleet aliases _last_position, so mutate it in place and
+        # drop the fleet; it is lazily rebuilt (in the same first-appearance
+        # order, preserved through the checkpoint dict) on the next record.
+        self._last_position.clear()
+        self._last_position.update(state["last_position"])
+        if self._vector is not False:
+            self._vector = None
+
     def __repr__(self) -> str:
         return f"TopKNearestOperator(k={self.k}, staleness={self.staleness_s}s)"

@@ -195,6 +195,22 @@ class TrajectoryBuilder(Operator):
     def num_devices(self) -> int:
         return len(self._states)
 
+    def buffered_depth(self) -> int:
+        return sum(len(state) for state in self._states.values())
+
+    def checkpoint(self) -> Dict[str, Any]:
+        # Fixes alone determine the window: instants are rebuilt on restore,
+        # so the checkpoint never embeds TInstant/Point objects.
+        return {"fixes": {device: list(state.fixes) for device, state in self._states.items()}}
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._states = {}
+        for device, fixes in state["fixes"].items():
+            rebuilt = TrajectoryState(self.horizon_s, self.max_fixes)
+            for lon, lat, ts in fixes:
+                rebuilt.add(lon, lat, ts)
+            self._states[device] = rebuilt
+
     def partition_keys(self):
         return [self.device_field]
 

@@ -57,7 +57,7 @@ from repro.runtime.operators import (
 )
 from repro.runtime.parallel import stable_hash
 from repro.runtime.storage import iter_source_batches
-from repro.streaming.engine import QueryResult, StreamExecutionEngine
+from repro.streaming.engine import QueryResult, StreamExecutionEngine, abort_execution
 from repro.streaming.metrics import (
     MetricsCollector,
     adaptivity_stats_of,
@@ -264,6 +264,16 @@ class BatchExecutionEngine(StreamExecutionEngine):
 
         collected: List[Record] = []
         metrics.start()
+        try:
+            self._run_single(plan, stages, entry_points, metrics, bus, collected)
+        except BaseException:
+            abort_execution(metrics, sinks)
+            raise
+        metrics.stop()
+        metrics.record_adaptivity(adaptivity_stats_of(operators))
+        return self._finalize(collected, sinks, metrics, plan)
+
+    def _run_single(self, plan, stages, entry_points, metrics, bus, collected) -> None:
         if not entry_points:
             # Linear plan: chunk the source directly and count whole batches —
             # no per-record counting generator, no entry-index bookkeeping.
@@ -303,9 +313,6 @@ class BatchExecutionEngine(StreamExecutionEngine):
                 if batch is not None and len(batch):
                     collected.extend(batch.to_records())
         self._flush_stages(stages, metrics, collected)
-        metrics.stop()
-        metrics.record_adaptivity(adaptivity_stats_of(operators))
-        return self._finalize(collected, sinks, metrics, plan)
 
     def _register_gauges(self, bus, stages, operators) -> None:
         """Point-in-time gauges, evaluated only when a snapshot is built."""
@@ -573,7 +580,11 @@ class BatchExecutionEngine(StreamExecutionEngine):
             )
 
         metrics.start()
-        partitions = self._scatter_partitions(plan, metrics, first_compiled, split)
+        try:
+            partitions = self._scatter_partitions(plan, metrics, first_compiled, split)
+        except BaseException:
+            abort_execution(metrics, sinks)
+            raise
         if bus is not None:
             # the skew view: how many rows each parallel pipeline received
             bus.observe_partition_rows([len(p) for p in partitions])
@@ -595,8 +606,12 @@ class BatchExecutionEngine(StreamExecutionEngine):
             self._flush_stages(stages, local, out)
             return out, local
 
-        with ThreadPoolExecutor(max_workers=num_partitions) as pool:
-            results = list(pool.map(run_partition, range(num_partitions)))
+        try:
+            with ThreadPoolExecutor(max_workers=num_partitions) as pool:
+                results = list(pool.map(run_partition, range(num_partitions)))
+        except BaseException:
+            abort_execution(metrics, sinks)
+            raise
         # heapq.merge requires each partition's output to be event-time
         # ordered, which holds when the source honours the Source contract
         # (records in event-time order): stateless stages preserve it, and

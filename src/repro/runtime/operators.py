@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Seque
 
 from repro.cep.nfa import Match
 from repro.cep.operator import CEPOperator
+from repro.errors import StreamError
 from repro.streaming.aggregations import Aggregation, Avg, Count, Max, Min, Sum
 from repro.streaming.expressions import Expression
 from repro.streaming.metrics import MetricsCollector
@@ -145,6 +146,23 @@ class BatchOperator:
         """
         operator = getattr(self, "operator", None)
         return operator.buffered_depth() if operator is not None else 0
+
+    def checkpoint(self) -> Optional[Any]:
+        """Mirror of :meth:`Operator.checkpoint` for batch pipelines.
+
+        Wrappers around a record operator (CEP, join, native, bridge, sink)
+        share its state object, so delegating covers them; the batch-native
+        window overrides with its own state dictionaries.
+        """
+        operator = getattr(self, "operator", None)
+        return operator.checkpoint() if operator is not None else None
+
+    def restore(self, state: Any) -> None:
+        operator = getattr(self, "operator", None)
+        if operator is not None:
+            operator.restore(state)
+        elif state is not None:
+            raise StreamError(f"{self.__class__.__name__} holds no restorable state")
 
     def __repr__(self) -> str:
         return f"<{self.__class__.__name__} at {self.position}>"
@@ -860,6 +878,20 @@ class BatchWindowAggregateOperator(BatchOperator):
 
     def buffered_depth(self) -> int:
         return len(self._states) + len(self._open_thresholds)
+
+    def checkpoint(self) -> Dict[str, Any]:
+        # Same payload shape as WindowAggregateOperator.checkpoint, so a
+        # checkpoint taken on one engine restores on the other.
+        return {
+            "watermark": self._watermark,
+            "states": self._states,
+            "open_thresholds": self._open_thresholds,
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._watermark = state["watermark"]
+        self._states = dict(state["states"])
+        self._open_thresholds = dict(state["open_thresholds"])
 
 
 class BatchCEPOperator(BatchOperator):

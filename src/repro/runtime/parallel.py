@@ -55,6 +55,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.runtime.batch import MISSING, RecordBatch
 from repro.runtime.columns import get_numpy
 from repro.runtime.operators import build_batch_pipeline, swap_buffering_sinks
+from repro.streaming.engine import abort_execution
 from repro.streaming.metrics import (
     MetricsCollector,
     adaptivity_stats_of,
@@ -488,6 +489,9 @@ def execute_process_partitioned(engine, plan, query_name: str, first_compiled, s
         mp_context = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(max_workers=num_partitions, mp_context=mp_context) as pool:
             payloads = list(pool.map(_run_partition_worker, range(num_partitions)))
+    except BaseException:
+        abort_execution(metrics, sinks)
+        raise
     finally:
         _WORKER_CONTEXT = None
         if context is not None and context.export is not None:

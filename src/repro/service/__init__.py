@@ -1,0 +1,24 @@
+"""Streaming service layer: long-running server, network I/O, checkpoints.
+
+The replay engines (:mod:`repro.streaming`, :mod:`repro.runtime`) execute a
+finite source to completion; this package runs the same compiled pipelines
+continuously — asyncio TCP NDJSON ingestion shared by N registered queries,
+metrics-bus-driven backpressure, and barrier checkpoints that let a
+restarted server resume mid-stream with exact output parity.  See the
+README's "Service layer" section for the CLI (`serve` / `feed`) and wire
+protocol.
+"""
+
+from repro.service.checkpoint import CheckpointManager
+from repro.service.net import SocketSink, SocketSource, feed_events
+from repro.service.runner import QueryRunner
+from repro.service.server import StreamServer
+
+__all__ = [
+    "CheckpointManager",
+    "QueryRunner",
+    "SocketSink",
+    "SocketSource",
+    "StreamServer",
+    "feed_events",
+]

@@ -1,0 +1,102 @@
+"""Atomic operator-state checkpoints for the stream server.
+
+A checkpoint is two files in the checkpoint directory:
+
+* ``checkpoint.pkl`` — the pickled payload: per-query operator state (by
+  pipeline position) and sink positions, plus the global ``consumed`` event
+  offset the barrier was taken at;
+* ``checkpoint.json`` — a small manifest (``seq``, ``consumed``, per-query
+  event counters) readable without unpickling, for feeders, tests and
+  humans.
+
+Both are written to temp files and moved into place with ``os.replace``, so
+a crash mid-write leaves the previous checkpoint intact.  The payload is
+pickled *inside the barrier* (operator state may alias live containers) and
+versioned; a future layout change bumps ``FORMAT_VERSION`` and refuses
+mismatched files instead of mis-restoring them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from typing import Any, Dict, Optional
+
+from repro.errors import CheckpointError
+
+FORMAT_VERSION = 1
+
+_PAYLOAD_FILE = "checkpoint.pkl"
+_MANIFEST_FILE = "checkpoint.json"
+
+
+class CheckpointManager:
+    """Writes and reads the server's checkpoint pair in one directory."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.payload_path = os.path.join(directory, _PAYLOAD_FILE)
+        self.manifest_path = os.path.join(directory, _MANIFEST_FILE)
+
+    def exists(self) -> bool:
+        return os.path.exists(self.payload_path) and os.path.exists(self.manifest_path)
+
+    def write(self, seq: int, consumed: int, queries: Dict[str, Dict[str, Any]]) -> None:
+        """Persist one barrier's state atomically (payload first, then manifest)."""
+        payload = {
+            "version": FORMAT_VERSION,
+            "seq": seq,
+            "consumed": consumed,
+            "queries": queries,
+        }
+        try:
+            blob = pickle.dumps(payload)
+        except Exception as exc:
+            raise CheckpointError(f"operator state is not picklable: {exc}") from exc
+        self._replace(self.payload_path, blob)
+        manifest = {
+            "version": FORMAT_VERSION,
+            "seq": seq,
+            "consumed": consumed,
+            "queries": {
+                name: {
+                    "events_in": state.get("events_in"),
+                    "events_out": state.get("events_out"),
+                }
+                for name, state in queries.items()
+            },
+        }
+        self._replace(self.manifest_path, (json.dumps(manifest) + "\n").encode("utf-8"))
+
+    @staticmethod
+    def _replace(path: str, data: bytes) -> None:
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def read_manifest(self) -> Optional[Dict[str, Any]]:
+        if not os.path.exists(self.manifest_path):
+            return None
+        with open(self.manifest_path) as handle:
+            return json.load(handle)
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        """The latest checkpoint payload, or ``None`` when none was written."""
+        if not self.exists():
+            return None
+        with open(self.payload_path, "rb") as handle:
+            try:
+                payload = pickle.load(handle)
+            except Exception as exc:
+                raise CheckpointError(f"unreadable checkpoint payload: {exc}") from exc
+        version = payload.get("version")
+        if version != FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint format v{version} does not match this build (v{FORMAT_VERSION})"
+            )
+        return payload

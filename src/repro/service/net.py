@@ -1,0 +1,226 @@
+"""TCP NDJSON sources, sinks and the client feeder.
+
+The wire protocol is one JSON object per line.  An object whose
+``__control__`` field is set is a control message, not an event; the only
+control message today is ``{"__control__": "eos"}``, which marks the end of
+the logical stream (client EOF alone does *not* — other clients may still be
+feeding).  Event objects must carry a ``timestamp`` field (or be fed to a
+:class:`SocketSource` whose schema says otherwise — the payload is passed to
+:class:`~repro.streaming.record.Record` verbatim).
+
+:class:`SocketSource` and :class:`SocketSink` are synchronous and slot in
+next to :class:`~repro.streaming.source.ListSource` behind the existing
+``Source``/``Sink`` contracts, so any engine can replay straight off a
+socket; the asyncio :class:`~repro.service.server.StreamServer` speaks the
+same protocol with its own reader.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Dict, Iterable, Iterator, Optional, Union
+
+from repro.errors import ServiceError
+from repro.streaming.record import Record
+from repro.streaming.schema import Schema
+from repro.streaming.sink import Sink
+from repro.streaming.source import Source
+
+CONTROL_FIELD = "__control__"
+EOS = "eos"
+
+
+def encode_event(payload: Dict[str, Any]) -> bytes:
+    """One NDJSON wire line (newline-terminated, UTF-8) for an event payload."""
+    return (json.dumps(payload, default=str) + "\n").encode("utf-8")
+
+
+def encode_control(kind: str) -> bytes:
+    return (json.dumps({CONTROL_FIELD: kind}) + "\n").encode("utf-8")
+
+
+def parse_line(line: Union[str, bytes]) -> Union[Record, Dict[str, Any], None]:
+    """Decode one wire line: a :class:`Record`, a control dict, or ``None``.
+
+    Blank lines decode to ``None`` (keep-alive / trailing newline).  Raises
+    :class:`ServiceError` on malformed JSON or an event without a timestamp.
+    """
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"malformed NDJSON line: {line[:120]!r}") from exc
+    if not isinstance(payload, dict):
+        raise ServiceError(f"NDJSON line is not an object: {line[:120]!r}")
+    if CONTROL_FIELD in payload:
+        return payload
+    try:
+        return Record(payload)
+    except Exception as exc:
+        raise ServiceError(f"bad event line: {exc}") from exc
+
+
+class SocketSource(Source):
+    """Pull-based source reading NDJSON events from a TCP peer.
+
+    ``mode="connect"`` (default) dials ``host:port``; ``mode="listen"`` binds
+    the address and serves exactly one inbound connection (handy for tests
+    and for pointing a feeder at a plain `run`).  Iteration ends at the
+    ``eos`` control line or at EOF.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        name: str = "socket",
+        mode: str = "connect",
+        connect_retries: int = 20,
+        retry_delay_s: float = 0.05,
+    ) -> None:
+        if mode not in ("connect", "listen"):
+            raise ServiceError(f"unknown SocketSource mode {mode!r}")
+        super().__init__(schema, name)
+        self.host = host
+        self.port = port
+        self.mode = mode
+        self.connect_retries = int(connect_retries)
+        self.retry_delay_s = float(retry_delay_s)
+        self._listener: Optional[socket.socket] = None
+        if mode == "listen":
+            self._listener = socket.create_server((host, port))
+            self.port = self._listener.getsockname()[1]
+
+    def _open(self) -> socket.socket:
+        if self._listener is not None:
+            conn, _ = self._listener.accept()
+            return conn
+        last_error: Optional[Exception] = None
+        for _ in range(max(1, self.connect_retries)):
+            try:
+                return socket.create_connection((self.host, self.port))
+            except OSError as exc:
+                last_error = exc
+                time.sleep(self.retry_delay_s)
+        raise ServiceError(
+            f"could not connect to {self.host}:{self.port}: {last_error}"
+        ) from last_error
+
+    def records(self) -> Iterator[Record]:
+        conn = self._open()
+        try:
+            with conn.makefile("r", encoding="utf-8") as stream:
+                for line in stream:
+                    parsed = parse_line(line)
+                    if parsed is None:
+                        continue
+                    if isinstance(parsed, dict):
+                        if parsed.get(CONTROL_FIELD) == EOS:
+                            return
+                        continue
+                    yield parsed
+        finally:
+            conn.close()
+            if self._listener is not None:
+                self._listener.close()
+                self._listener = None
+
+
+class SocketSink(Sink):
+    """Pushes output records to a TCP peer as NDJSON lines."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        connect_retries: int = 20,
+        retry_delay_s: float = 0.05,
+        send_eos: bool = True,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.send_eos = send_eos
+        self.count = 0
+        last_error: Optional[Exception] = None
+        self._conn: Optional[socket.socket] = None
+        for _ in range(max(1, int(connect_retries))):
+            try:
+                self._conn = socket.create_connection((host, port))
+                break
+            except OSError as exc:
+                last_error = exc
+                time.sleep(retry_delay_s)
+        if self._conn is None:
+            raise ServiceError(
+                f"could not connect to {host}:{port}: {last_error}"
+            ) from last_error
+
+    def accept(self, record: Record) -> None:
+        assert self._conn is not None
+        self.count += 1
+        self._conn.sendall(encode_event(record.as_dict()))
+
+    def close(self) -> None:
+        if self._conn is None:
+            return
+        try:
+            if self.send_eos:
+                self._conn.sendall(encode_control(EOS))
+        except OSError:
+            pass
+        self._conn.close()
+        self._conn = None
+
+
+def feed_events(
+    host: str,
+    port: int,
+    events: Iterable[Union[Record, Dict[str, Any]]],
+    eps: Optional[float] = None,
+    eos: bool = True,
+    connect_retries: int = 40,
+    retry_delay_s: float = 0.05,
+) -> int:
+    """Replay events into a listening server over one TCP connection.
+
+    ``eps`` paces the replay (events per second, wall clock); ``None`` sends
+    as fast as the socket accepts.  Returns the number of events sent.
+    The connection is retried so a feeder started alongside `serve` need not
+    race its bind.
+    """
+    last_error: Optional[Exception] = None
+    conn: Optional[socket.socket] = None
+    for _ in range(max(1, int(connect_retries))):
+        try:
+            conn = socket.create_connection((host, port))
+            break
+        except OSError as exc:
+            last_error = exc
+            time.sleep(retry_delay_s)
+    if conn is None:
+        raise ServiceError(f"could not connect to {host}:{port}: {last_error}") from last_error
+    sent = 0
+    interval = (1.0 / eps) if eps else 0.0
+    next_send = time.monotonic()
+    try:
+        for event in events:
+            payload = event.as_dict() if isinstance(event, Record) else dict(event)
+            if interval:
+                now = time.monotonic()
+                if now < next_send:
+                    time.sleep(next_send - now)
+                next_send += interval
+            conn.sendall(encode_event(payload))
+            sent += 1
+        if eos:
+            conn.sendall(encode_control(EOS))
+    finally:
+        conn.close()
+    return sent

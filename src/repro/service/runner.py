@@ -1,0 +1,252 @@
+"""Push-driven query execution for the stream server.
+
+The replay engines pull a finite source to completion; a server is fed one
+record at a time, indefinitely.  :class:`QueryRunner` turns a compiled plan
+into that shape while reusing the engines' own machinery — the record path
+pushes through :meth:`StreamExecutionEngine._push`, the batch path buffers
+into micro-batches and runs them through the compiled batch stages — so a
+runner's cumulative output is record-for-record identical to replaying the
+same events through ``engine.execute`` (the parity the service tests pin).
+
+Runners are single-threaded: the server drives each one from its own worker
+coroutine and quiesces all of them before checkpointing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ServiceError
+from repro.streaming.adaptivity import AdaptiveLoadShedder
+from repro.streaming.engine import StreamExecutionEngine
+from repro.streaming.metrics import MetricsCollector, adaptivity_stats_of
+from repro.streaming.query import Query
+from repro.streaming.record import Record, estimate_record_bytes
+
+_MODES = ("record", "batch")
+
+
+class QueryRunner:
+    """One registered query: a compiled pipeline fed record by record.
+
+    ``mode="record"`` runs the record-at-a-time operators; ``mode="batch"``
+    buffers up to ``batch_size`` records and runs the compiled batch stages
+    (the buffer also drains at checkpoint barriers and shutdown — batch
+    boundaries never change *which* records come out, only when).
+
+    ``shed_target_eps`` prepends an
+    :class:`~repro.streaming.adaptivity.AdaptiveLoadShedder` ahead of the
+    query's own operators — the hook the server's backpressure control loop
+    engages without touching the registered query.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        query: "Query",
+        mode: str = "record",
+        batch_size: int = 256,
+        fuse: bool = True,
+        metric_bus=None,
+        shed_target_eps: Optional[float] = None,
+    ) -> None:
+        if mode not in _MODES:
+            raise ServiceError(f"unknown runner mode {mode!r}; expected one of {_MODES}")
+        self.name = name
+        self.mode = mode
+        self.batch_size = max(1, int(batch_size))
+        plan = query.plan()
+        self._engine = StreamExecutionEngine(measure_bytes=False)
+        operators, sinks, entry_points = self._engine.compile(plan)
+        if entry_points:
+            raise ServiceError(
+                f"query {name!r} has a binary node (join/union); the service layer "
+                "runs linear plans only — materialize the side into the feed instead"
+            )
+        self.shedder: Optional[AdaptiveLoadShedder] = None
+        if shed_target_eps is not None:
+            self.shedder = AdaptiveLoadShedder(shed_target_eps)
+            operators = [self.shedder] + operators
+        self.operators = operators
+        self.sinks = sinks
+        self.metrics = MetricsCollector(name, bus=metric_bus)
+        self.events_out = 0
+        self.finished = False
+        self._stages = None
+        self._buffer: List[Record] = []
+        if mode == "batch":
+            from repro.runtime.operators import build_batch_pipeline
+
+            self._stages = build_batch_pipeline(operators, (), fuse=fuse)
+        bus = self.metrics.bus
+        if bus is not None:
+            bus.set_gauge("buffer_depth", lambda: self.buffered_depth())
+            bus.set_gauge("adaptivity", lambda: adaptivity_stats_of(self.operators))
+        self.metrics.start()
+
+    # -- feeding ---------------------------------------------------------------------
+
+    def process(self, record: Record) -> int:
+        """Feed one record; returns how many output records it produced."""
+        if self.finished:
+            return 0
+        self.metrics.record_in(1, estimate_record_bytes(record))
+        if self._stages is None:
+            produced = 0
+            for _ in self._engine._push(record, self.operators, 0, self.metrics):
+                produced += 1
+            self.events_out += produced
+            return produced
+        self._buffer.append(record)
+        if len(self._buffer) >= self.batch_size:
+            return self.drain()
+        return 0
+
+    def drain(self) -> int:
+        """Run the buffered partial batch through the stages (batch mode)."""
+        if self._stages is None or not self._buffer:
+            return 0
+        from repro.runtime.batch import RecordBatch
+        from repro.runtime.engine import BatchExecutionEngine
+
+        batch = RecordBatch.from_records(self._buffer)
+        self._buffer = []
+        out = BatchExecutionEngine._run_through(self._stages, batch, 0, self.metrics)
+        produced = len(out) if out is not None else 0
+        self.events_out += produced
+        return produced
+
+    def set_batch_size(self, batch_size: int) -> None:
+        """Resize micro-batches (the ``AdaptiveBatchSizer`` engine hook)."""
+        self.batch_size = max(1, int(batch_size))
+
+    def finish(self) -> int:
+        """End-of-stream: flush stateful operators and build the final report.
+
+        Idempotent; the final metric-bus snapshot is emitted by the report.
+        Returns how many records the flush produced.
+        """
+        if self.finished:
+            return 0
+        self.finished = True
+        produced = 0
+        if self._stages is None:
+            for _ in self._engine._flush(self.operators, 0, self.metrics):
+                produced += 1
+        else:
+            self.drain()
+            from repro.runtime.engine import BatchExecutionEngine
+
+            flushed: List[Record] = []
+            BatchExecutionEngine._flush_stages(self._stages, self.metrics, flushed)
+            produced = len(flushed)
+        self.events_out += produced
+        self.metrics.stop()
+        self.metrics.events_out = self.events_out
+        self.metrics.record_adaptivity(adaptivity_stats_of(self.operators))
+        self.metrics.report()
+        return produced
+
+    def abort(self) -> None:
+        """Release metrics/bus without flushing (crash-style teardown)."""
+        if self.finished:
+            return
+        self.finished = True
+        self.metrics.stop()
+        self.metrics.events_out = self.events_out
+        try:
+            self.metrics.report()
+        except Exception:
+            pass
+
+    # -- introspection ---------------------------------------------------------------
+
+    def buffered_depth(self) -> int:
+        depth = len(self._buffer)
+        if self._stages is None:
+            for operator in self.operators:
+                depth += operator.buffered_depth()
+        else:
+            for stage in self._stages:
+                depth += stage.buffered_depth()
+        return depth
+
+    # -- checkpoint / restore --------------------------------------------------------
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """Picklable operator + sink state; call only at a quiesced barrier.
+
+        Batch mode drains the partial buffer first — output record *content*
+        is batch-size independent, so the early boundary preserves parity
+        while keeping in-flight records out of the checkpoint.
+        """
+        self.drain()
+        operator_states: List[Any] = []
+        if self._stages is None:
+            for position, operator in enumerate(self.operators):
+                state = operator.checkpoint()
+                if state is not None:
+                    operator_states.append((position, state))
+        else:
+            from repro.runtime.operators import iter_operators
+
+            for stage in iter_operators(self._stages):
+                state = stage.checkpoint()
+                if state is not None:
+                    operator_states.append((stage.position, state))
+        sink_positions: List[Any] = []
+        for sink in self.sinks:
+            if hasattr(sink, "checkpoint_position"):
+                sink_positions.append(sink.checkpoint_position())
+            else:
+                sink_positions.append(None)
+        return {
+            "operators": operator_states,
+            "sinks": sink_positions,
+            "events_in": self.metrics.events_in,
+            "events_out": self.events_out,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        by_position = dict(state["operators"])
+        if self._stages is None:
+            for position, operator in enumerate(self.operators):
+                if position in by_position:
+                    operator.restore(by_position.pop(position))
+        else:
+            from repro.runtime.operators import iter_operators
+
+            for stage in iter_operators(self._stages):
+                if stage.position in by_position:
+                    stage.restore(by_position.pop(stage.position))
+        if by_position:
+            raise ServiceError(
+                f"checkpoint for {self.name!r} carries state for operator positions "
+                f"{sorted(by_position)} this pipeline does not have — was the query "
+                "or execution mode changed since the checkpoint?"
+            )
+        for sink, position in zip(self.sinks, state["sinks"]):
+            if position is not None:
+                if not hasattr(sink, "restore_position"):
+                    raise ServiceError(
+                        f"sink {sink!r} cannot restore a checkpointed position"
+                    )
+                sink.restore_position(position)
+        self.metrics.events_in = state["events_in"]
+        self.events_out = state["events_out"]
+
+    # -- teardown --------------------------------------------------------------------
+
+    def flush_sinks(self) -> None:
+        for sink in self.sinks:
+            sink.flush()
+
+    def close_sinks(self) -> None:
+        for sink in self.sinks:
+            try:
+                sink.close()
+            except Exception:
+                pass
+
+    def __repr__(self) -> str:
+        return f"QueryRunner({self.name!r}, mode={self.mode!r})"

@@ -1,0 +1,374 @@
+"""The long-running stream server: asyncio ingestion, fan-out, checkpoints.
+
+One asyncio TCP listener accepts any number of NDJSON feeders.  Every event
+line is parsed into a :class:`~repro.streaming.record.Record` exactly once
+and fanned out to the per-query ingest queues — N registered queries share
+one ingestion path instead of re-parsing the feed N times.  Each query runs
+in its own worker coroutine on a :class:`~repro.service.runner.QueryRunner`
+(record or batch engine machinery underneath).
+
+**Backpressure** closes the loop over the live metrics bus: the server
+registers a ``service_queue_depth`` gauge on every runner's bus and
+subscribes a controller to the snapshots; when a snapshot reports the depth
+at or above ``high_watermark`` the socket readers pause (a cleared
+``asyncio.Event`` gates every ``readline``), and the workers — which keep
+draining and therefore keep ticking the bus — resume the readers once the
+backlog falls to ``low_watermark``.  Load shedding and adaptive batch
+sizing hook into the same snapshots per query (``shed_target_eps`` /
+``adaptive_batch`` at registration).
+
+**Checkpoints** are barrier-style: pause ingestion, drain every queue and
+partial batch, snapshot all operator state plus each sink's position and
+the global ``consumed`` offset, write atomically
+(:class:`~repro.service.checkpoint.CheckpointManager`), resume.  A server
+started with ``resume=True`` restores that state and discards the first
+``consumed`` events of the (re-played) feed, so its sinks continue exactly
+where the checkpoint left off — byte-identical to a run that never died.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.service.checkpoint import CheckpointManager
+from repro.service.net import CONTROL_FIELD, EOS, parse_line
+from repro.service.runner import QueryRunner
+from repro.streaming.query import Query
+from repro.streaming.record import Record
+
+_STOP = object()  # queue sentinel: worker exits without flushing
+_FLUSH = object()  # queue sentinel: end-of-stream, worker flushes the runner
+
+
+class _Registration:
+    def __init__(self, runner: QueryRunner) -> None:
+        self.runner = runner
+        self.queue: "asyncio.Queue[Any]" = asyncio.Queue()
+        self.task: Optional[asyncio.Task] = None
+        self.sizer = None
+        self.error: Optional[BaseException] = None
+
+
+class StreamServer:
+    """N continuous queries over one TCP NDJSON feed, in one process."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        high_watermark: int = 10_000,
+        low_watermark: int = 1_000,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_interval_events: int = 0,
+        resume: bool = False,
+        stop_after_eos: bool = False,
+    ) -> None:
+        if low_watermark > high_watermark:
+            raise ServiceError("low_watermark must not exceed high_watermark")
+        self.host = host
+        self.port = port
+        self.high_watermark = int(high_watermark)
+        self.low_watermark = int(low_watermark)
+        self.checkpoint_interval_events = int(checkpoint_interval_events)
+        self.stop_after_eos = stop_after_eos
+        self.checkpoints = CheckpointManager(checkpoint_dir) if checkpoint_dir else None
+        self.resume = resume
+        self.consumed = 0  # events fanned out over the server's lifetime (incl. restored)
+        self.eos_seen = False
+        self.paused = False
+        self.checkpoint_seq = 0
+        self._skip = 0
+        self._since_checkpoint = 0
+        self._registrations: Dict[str, _Registration] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._resume_gate = asyncio.Event()
+        self._resume_gate.set()
+        self._stopped = asyncio.Event()
+        self._checkpoint_lock = asyncio.Lock()
+        self._stopping = False
+
+    # -- registration ----------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        query: "Query",
+        mode: str = "record",
+        batch_size: int = 256,
+        metric_bus=None,
+        shed_target_eps: Optional[float] = None,
+        adaptive_batch: bool = False,
+    ) -> QueryRunner:
+        """Add a continuous query.  Must be called before :meth:`start`."""
+        if self._server is not None:
+            raise ServiceError("register queries before starting the server")
+        if name in self._registrations:
+            raise ServiceError(f"a query named {name!r} is already registered")
+        runner = QueryRunner(
+            name,
+            query,
+            mode=mode,
+            batch_size=batch_size,
+            metric_bus=metric_bus,
+            shed_target_eps=shed_target_eps,
+        )
+        registration = _Registration(runner)
+        bus = runner.metrics.bus
+        if bus is not None:
+            bus.set_gauge("service_queue_depth", lambda r=registration: r.queue.qsize())
+            bus.subscribe(self._backpressure_subscriber(registration))
+            if adaptive_batch and mode == "batch":
+                from repro.streaming.adaptivity import AdaptiveBatchSizer
+
+                registration.sizer = bus.subscribe(AdaptiveBatchSizer(runner))
+        self._registrations[name] = registration
+        return runner
+
+    @property
+    def runners(self) -> List[QueryRunner]:
+        return [r.runner for r in self._registrations.values()]
+
+    @property
+    def errors(self) -> Dict[str, BaseException]:
+        """Per-query failures (a raising operator kills only its query)."""
+        return {
+            name: registration.error
+            for name, registration in self._registrations.items()
+            if registration.error is not None
+        }
+
+    # -- backpressure ----------------------------------------------------------------
+
+    def _backpressure_subscriber(self, registration: _Registration):
+        def on_snapshot(snapshot) -> None:
+            depth = snapshot.gauges.get("service_queue_depth")
+            if depth is None:
+                return
+            if depth >= self.high_watermark:
+                self._pause()
+            elif self.paused and self._total_queued() <= self.low_watermark:
+                self._resume()
+
+        return on_snapshot
+
+    def _total_queued(self) -> int:
+        return sum(r.queue.qsize() for r in self._registrations.values())
+
+    def _pause(self) -> None:
+        if not self.paused:
+            self.paused = True
+            self._resume_gate.clear()
+
+    def _resume(self) -> None:
+        if self.paused and not self._stopping:
+            self.paused = False
+            self._resume_gate.set()
+
+    def _after_drain(self) -> None:
+        """Worker-side resume check: release readers once the backlog clears.
+
+        Resume is drain-driven (not only snapshot-driven) so a paused server
+        with too few remaining records to trigger another snapshot can never
+        deadlock.
+        """
+        if self.paused and self._total_queued() <= self.low_watermark:
+            self._resume()
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Restore from the checkpoint (when resuming), bind, spawn workers."""
+        if not self._registrations:
+            raise ServiceError("no queries registered")
+        if self.resume and self.checkpoints is not None:
+            payload = self.checkpoints.load()
+            if payload is not None:
+                self._apply_checkpoint(payload)
+        for registration in self._registrations.values():
+            registration.task = asyncio.create_task(self._worker(registration))
+        self._server = await asyncio.start_server(self._handle_client, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def _apply_checkpoint(self, payload: Dict[str, Any]) -> None:
+        queries = payload["queries"]
+        unknown = set(queries) - set(self._registrations)
+        if unknown:
+            raise ServiceError(
+                f"checkpoint carries queries {sorted(unknown)} that are not registered"
+            )
+        for name, state in queries.items():
+            self._registrations[name].runner.restore_state(state)
+        self.consumed = int(payload["consumed"])
+        self._skip = self.consumed
+        self.checkpoint_seq = int(payload["seq"])
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                await self._resume_gate.wait()
+                line = await reader.readline()
+                if not line:
+                    break
+                parsed = parse_line(line)
+                if parsed is None:
+                    continue
+                if isinstance(parsed, dict):
+                    if parsed.get(CONTROL_FIELD) == EOS:
+                        await self._on_eos()
+                    continue
+                await self._ingest(parsed)
+        finally:
+            writer.close()
+
+    async def _ingest(self, record: Record) -> None:
+        if self.eos_seen or self._stopping:
+            return
+        if self._skip > 0:
+            # resumed server: this prefix of the replayed feed is already in
+            # the restored state and the rewound sinks
+            self._skip -= 1
+            return
+        self.consumed += 1
+        for registration in self._registrations.values():
+            registration.queue.put_nowait(record)
+        self._since_checkpoint += 1
+        if (
+            self.checkpoints is not None
+            and self.checkpoint_interval_events > 0
+            and self._since_checkpoint >= self.checkpoint_interval_events
+        ):
+            await self.checkpoint()
+        else:
+            # one cooperative yield per line keeps workers fed while a
+            # fast feeder saturates the reader
+            await asyncio.sleep(0)
+
+    async def _on_eos(self) -> None:
+        if self.eos_seen:
+            return
+        self.eos_seen = True
+        for registration in self._registrations.values():
+            registration.queue.put_nowait(_FLUSH)
+        if self.stop_after_eos:
+            await self._join_queues()
+            self._stopped.set()
+
+    async def _worker(self, registration: _Registration) -> None:
+        """Drain one query's ingest queue into its runner.
+
+        A raising operator poisons only its own query: the runner is aborted
+        (final snapshot emitted) and its sinks closed, but the worker keeps
+        consuming — and acknowledging — queue items so barrier drains and
+        sibling queries are unaffected.
+        """
+        queue = registration.queue
+        runner = registration.runner
+        while True:
+            item = await queue.get()
+            try:
+                if item is _STOP:
+                    return
+                if item is _FLUSH:
+                    if registration.error is None:
+                        runner.finish()
+                        runner.flush_sinks()
+                    continue
+                if registration.error is None:
+                    runner.process(item)
+            except Exception as exc:
+                registration.error = exc
+                runner.abort()
+                runner.close_sinks()
+            finally:
+                queue.task_done()
+            self._after_drain()
+
+    async def _join_queues(self) -> None:
+        await asyncio.gather(*(r.queue.join() for r in self._registrations.values()))
+
+    # -- checkpointing ---------------------------------------------------------------
+
+    async def checkpoint(self) -> int:
+        """Barrier checkpoint: pause, drain, snapshot, write, resume."""
+        if self.checkpoints is None:
+            raise ServiceError("server was built without a checkpoint directory")
+        async with self._checkpoint_lock:
+            was_paused = self.paused
+            self._resume_gate.clear()
+            try:
+                await self._join_queues()
+                self.checkpoint_seq += 1
+                states = {
+                    name: registration.runner.checkpoint_state()
+                    for name, registration in self._registrations.items()
+                }
+                self.checkpoints.write(self.checkpoint_seq, self.consumed, states)
+                self._since_checkpoint = 0
+            finally:
+                if not was_paused and not self._stopping:
+                    self._resume_gate.set()
+            return self.checkpoint_seq
+
+    # -- shutdown --------------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Signal-handler hook: ask the serve loop to shut down gracefully."""
+        self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    async def stop(self, graceful: bool = True, final_checkpoint: bool = True) -> None:
+        """Drain, checkpoint, flush and close everything.
+
+        ``graceful=False`` (crash simulation for tests) tears the listener
+        down without draining, flushing or closing sinks — exactly the state
+        a restore must recover from.
+        """
+        self._stopping = True
+        self._resume_gate.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if not graceful:
+            for registration in self._registrations.values():
+                if registration.task is not None:
+                    registration.task.cancel()
+            self._stopped.set()
+            return
+        await self._join_queues()
+        if self.checkpoints is not None and final_checkpoint and not self.eos_seen:
+            self.checkpoint_seq += 1
+            states = {
+                name: registration.runner.checkpoint_state()
+                for name, registration in self._registrations.items()
+            }
+            self.checkpoints.write(self.checkpoint_seq, self.consumed, states)
+        for registration in self._registrations.values():
+            registration.queue.put_nowait(_STOP)
+        for registration in self._registrations.values():
+            if registration.task is not None:
+                await registration.task
+        for registration in self._registrations.values():
+            runner = registration.runner
+            if not runner.finished:
+                # mid-stream shutdown: no operator flush (their state lives in
+                # the checkpoint) — just the final metrics snapshot
+                runner.abort()
+            runner.flush_sinks()
+            runner.close_sinks()
+        self._stopped.set()
+
+    async def run_until_stopped(self) -> None:
+        """Start, then serve until :meth:`request_stop` / EOS stop fires."""
+        await self.start()
+        try:
+            await self.wait_stopped()
+        finally:
+            if self._server is not None:
+                await self.stop(graceful=True)

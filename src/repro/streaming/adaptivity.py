@@ -52,6 +52,14 @@ class SamplingOperator(Operator):
             self.kept += 1
             yield record
 
+    def checkpoint(self) -> Dict[str, object]:
+        return {"rng": self.rng.getstate(), "seen": self.seen, "kept": self.kept}
+
+    def restore(self, state: Dict[str, object]) -> None:
+        self.rng.setstate(state["rng"])
+        self.seen = state["seen"]
+        self.kept = state["kept"]
+
     def __repr__(self) -> str:
         return f"SamplingOperator(keep={self.keep_probability})"
 
@@ -127,6 +135,20 @@ class AdaptiveLoadShedder(Operator):
             return
         self._counts[bucket] = count + 1
         yield record
+
+    def checkpoint(self) -> Dict[str, object]:
+        return {
+            "counts": dict(self._counts),
+            "latest_second": self._latest_second,
+            "seen": self.seen,
+            "shed": self.shed,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        self._counts = dict(state["counts"])
+        self._latest_second = state["latest_second"]
+        self.seen = state["seen"]
+        self.shed = state["shed"]
 
     def __repr__(self) -> str:
         return f"AdaptiveLoadShedder(target_eps={self.target_eps}, priority={self.priority!r})"

@@ -48,6 +48,26 @@ from repro.streaming.sink import CollectSink, Sink
 _END_OF_OUTPUT = object()
 
 
+def abort_execution(metrics: MetricsCollector, sinks: Sequence[Sink]) -> None:
+    """Release execution resources after an operator raised mid-stream.
+
+    Stops the metrics clock, emits the final bus snapshot (so NDJSON
+    consumers see a terminated stream rather than a truncated one) and
+    closes every sink.  Secondary failures are swallowed so the original
+    exception propagates unmasked.
+    """
+    metrics.stop()
+    try:
+        metrics.report()
+    except Exception:
+        pass
+    for sink in sinks:
+        try:
+            sink.close()
+        except Exception:
+            pass
+
+
 class QueryResult:
     """Execution result: the output records plus a metrics report.
 
@@ -232,16 +252,20 @@ class StreamExecutionEngine:
 
         collected: List[Record] = []
         metrics.start()
-        if bus is None and not metrics.profile:
-            # the uninstrumented hot path, byte-identical to pre-bus behavior
-            for record in input_stream:
-                start_index = record.data.pop("_entry_index", 0)
-                for output in self._push(record, operators, start_index, metrics):
+        try:
+            if bus is None and not metrics.profile:
+                # the uninstrumented hot path, byte-identical to pre-bus behavior
+                for record in input_stream:
+                    start_index = record.data.pop("_entry_index", 0)
+                    for output in self._push(record, operators, start_index, metrics):
+                        collected.append(output)
+                for output in self._flush(operators, 0, metrics):
                     collected.append(output)
-            for output in self._flush(operators, 0, metrics):
-                collected.append(output)
-        else:
-            self._run_instrumented(input_stream, operators, metrics, bus, collected)
+            else:
+                self._run_instrumented(input_stream, operators, metrics, bus, collected)
+        except BaseException:
+            abort_execution(metrics, sinks)
+            raise
         metrics.stop()
         for sink in sinks:
             sink.close()

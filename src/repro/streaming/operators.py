@@ -65,6 +65,24 @@ class Operator:
         """
         return 0
 
+    def checkpoint(self) -> Optional[Any]:
+        """Picklable snapshot of this operator's state (``None`` = stateless).
+
+        The snapshot may alias live containers, so callers must serialize it
+        before the operator processes another record (the service layer
+        checkpoints at a barrier, with all pipelines quiesced).
+        """
+        return None
+
+    def restore(self, state: Any) -> None:
+        """Replace operator state with a snapshot from :meth:`checkpoint`.
+
+        The operator takes ownership of ``state`` (which normally comes
+        straight out of ``pickle.load``).
+        """
+        if state is not None:
+            raise StreamError(f"{self.__class__.__name__} holds no restorable state")
+
     def __repr__(self) -> str:
         return f"<{self.__class__.__name__}>"
 
@@ -299,6 +317,18 @@ class WindowAggregateOperator(Operator):
     def buffered_depth(self) -> int:
         return len(self._states) + len(self._open_thresholds)
 
+    def checkpoint(self) -> Dict[str, Any]:
+        return {
+            "watermark": self._watermark,
+            "states": self._states,
+            "open_thresholds": self._open_thresholds,
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._watermark = state["watermark"]
+        self._states = dict(state["states"])
+        self._open_thresholds = dict(state["open_thresholds"])
+
     def __repr__(self) -> str:
         return f"WindowAggregate({self.assigner!r}, keys={self.key_fields}, aggs={[a.output for a in self.aggregations]})"
 
@@ -362,6 +392,13 @@ class JoinOperator(Operator):
         return sum(len(buffer) for buffer in self._left.values()) + sum(
             len(buffer) for buffer in self._right.values()
         )
+
+    def checkpoint(self) -> Dict[str, Any]:
+        return {"left": dict(self._left), "right": dict(self._right)}
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._left = defaultdict(list, state["left"])
+        self._right = defaultdict(list, state["right"])
 
     def __repr__(self) -> str:
         return f"Join(keys={self.key_fields}, window={self.window}s)"

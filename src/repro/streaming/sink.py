@@ -9,6 +9,7 @@ consumes.
 from __future__ import annotations
 
 import json
+import os
 from collections import defaultdict, deque
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional
 
@@ -21,6 +22,9 @@ class Sink:
     def accept(self, record: Record) -> None:
         """Receive one output record."""
         raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered output to durable storage (checkpoints, shutdown)."""
 
     def close(self) -> None:
         """Called once the query has finished."""
@@ -40,6 +44,12 @@ class CollectSink(Sink):
 
     def as_dicts(self) -> List[Dict[str, Any]]:
         return [r.as_dict() for r in self.records]
+
+    def checkpoint_position(self) -> Dict[str, Any]:
+        return {"count": len(self.records)}
+
+    def restore_position(self, position: Dict[str, Any]) -> None:
+        del self.records[position["count"] :]
 
 
 class CallbackSink(Sink):
@@ -65,19 +75,40 @@ class NullSink(Sink):
 
 
 class FileSink(Sink):
-    """Writes output records as JSON lines."""
+    """Writes output records as JSON lines.
 
-    def __init__(self, path: str) -> None:
+    With ``resume=True`` an existing file is opened in place instead of
+    truncated, so a restored server can rewind it to a checkpointed byte
+    offset (see :meth:`restore_position`) and append from there.
+    """
+
+    def __init__(self, path: str, resume: bool = False) -> None:
         self.path = path
-        self._handle = open(path, "w")
+        mode = "r+" if resume and os.path.exists(path) else "w"
+        self._handle = open(path, mode)
+        if mode == "r+":
+            self._handle.seek(0, os.SEEK_END)
         self.count = 0
 
     def accept(self, record: Record) -> None:
         self.count += 1
         self._handle.write(json.dumps(record.as_dict(), default=str) + "\n")
 
+    def flush(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+
     def close(self) -> None:
         self._handle.close()
+
+    def checkpoint_position(self) -> Dict[str, Any]:
+        self.flush()
+        return {"count": self.count, "offset": self._handle.tell()}
+
+    def restore_position(self, position: Dict[str, Any]) -> None:
+        self.count = position["count"]
+        self._handle.seek(position["offset"])
+        self._handle.truncate()
 
 
 class Topic:

@@ -1,0 +1,39 @@
+"""Shared helpers for the service-layer tests."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.streaming.aggregations import Sum
+from repro.streaming.expressions import col
+from repro.streaming.query import Query
+from repro.streaming.schema import Schema
+from repro.streaming.sink import Sink
+from repro.streaming.source import ListSource
+from repro.streaming.windows import TumblingWindow
+
+SCHEMA = Schema.of("svc", device_id=str, value=float, timestamp=float)
+
+
+def make_events(n: int, period: float = 1.0) -> List[Dict[str, object]]:
+    return [
+        {"device_id": f"d{i % 3}", "value": float(i % 7), "timestamp": i * period}
+        for i in range(n)
+    ]
+
+
+def passthrough_query(events, sink: Sink, name: str = "pass") -> Query:
+    return (
+        Query.from_source(ListSource(events, SCHEMA), name=name)
+        .filter(col("value") >= 0)
+        .sink(sink)
+    )
+
+
+def windowed_query(events, sink: Sink, name: str = "win", window_s: float = 10.0) -> Query:
+    return (
+        Query.from_source(ListSource(events, SCHEMA), name=name)
+        .filter(col("value") > 0)
+        .window(TumblingWindow(window_s), [Sum("value")], key_by=["device_id"])
+        .sink(sink)
+    )

@@ -1,0 +1,149 @@
+"""CLI `serve` / `feed` smoke: real processes, loopback TCP, SIGTERM.
+
+This mirrors the CI "server smoke" leg: start `serve`, push a few hundred
+events with `feed`, SIGTERM the server, and assert it exits cleanly with
+closed sinks and a well-formed final metrics snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+SCENARIO = ["--trains", "3", "--duration", "600"]
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _cli(*args):
+    return [sys.executable, "-m", "repro.cli", *args]
+
+
+def _start_server(*extra):
+    proc = subprocess.Popen(
+        _cli("serve", "Q2", *SCENARIO, "--port", "0", *extra),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_env(),
+        cwd=REPO_ROOT,
+    )
+    banner = proc.stdout.readline()  # "serving Q2 on 127.0.0.1:<port>"
+    if "serving" not in banner:
+        proc.kill()
+        pytest.fail(f"server did not come up: {banner!r}")
+    port = int(banner.strip().split(" on ", 1)[1].split(":")[1].split()[0])
+    return proc, port
+
+
+def _feed(port, *extra):
+    return subprocess.run(
+        _cli("feed", *SCENARIO, "--port", str(port), *extra),
+        capture_output=True,
+        text=True,
+        env=_env(),
+        cwd=REPO_ROOT,
+        timeout=60,
+    )
+
+
+def test_serve_feed_sigterm_roundtrip(tmp_path):
+    out_dir = tmp_path / "out"
+    metrics_dir = tmp_path / "metrics"
+    proc, port = _start_server(
+        "--out-dir", str(out_dir), "--metrics-dir", str(metrics_dir)
+    )
+    try:
+        fed = _feed(port, "--limit", "300", "--no-eos")
+        assert fed.returncode == 0, fed.stdout + fed.stderr
+        assert "fed 300 events" in fed.stdout
+        time.sleep(1.0)  # let the worker drain the queue
+        proc.send_signal(signal.SIGTERM)
+        output, _ = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    assert proc.returncode == 0, output
+    assert "Q2: in=300" in output
+
+    # results: closed, line-terminated, valid NDJSON
+    result_path = out_dir / "q2.ndjson"
+    assert result_path.exists()
+    content = result_path.read_text()
+    assert content, "graceful shutdown flushed no results"
+    assert content.endswith("\n")
+    for line in content.splitlines():
+        json.loads(line)
+
+    # metrics: the last snapshot is the final one
+    snapshots = [
+        json.loads(line)
+        for line in (metrics_dir / "q2_metrics.ndjson").read_text().splitlines()
+    ]
+    assert snapshots
+    assert snapshots[-1]["final"] is True
+    assert snapshots[-1]["query"] == "Q2"
+
+
+def test_serve_eos_shutdown_and_summary(tmp_path):
+    out_dir = tmp_path / "out"
+    proc, port = _start_server("--out-dir", str(out_dir), "--stop-after-eos")
+    try:
+        fed = _feed(port, "--limit", "200")  # sends eos
+        assert fed.returncode == 0, fed.stdout + fed.stderr
+        output, _ = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    assert proc.returncode == 0, output
+    assert "Q2: in=200" in output
+    for line in (out_dir / "q2.ndjson").read_text().splitlines():
+        json.loads(line)
+
+
+def test_serve_rejects_unknown_query():
+    proc = subprocess.run(
+        _cli("serve", "Q99"),
+        capture_output=True,
+        text=True,
+        env=_env(),
+        cwd=REPO_ROOT,
+        timeout=60,
+    )
+    assert proc.returncode == 2
+    assert "unknown queries" in proc.stderr
+
+
+def test_feed_reads_ndjson_file(tmp_path):
+    events_path = tmp_path / "events.ndjson"
+    dataset = subprocess.run(
+        _cli("dataset", *SCENARIO, "--output", str(events_path)),
+        capture_output=True,
+        text=True,
+        env=_env(),
+        cwd=REPO_ROOT,
+        timeout=60,
+    )
+    assert dataset.returncode == 0, dataset.stdout + dataset.stderr
+    proc, port = _start_server("--stop-after-eos")
+    try:
+        fed = _feed(port, "--input", str(events_path), "--limit", "25")
+        assert fed.returncode == 0, fed.stdout + fed.stderr
+        assert "fed 25 events" in fed.stdout
+        output, _ = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    assert "Q2: in=25" in output

@@ -1,0 +1,155 @@
+"""Engine lifecycle regressions: exception paths must still release resources.
+
+Before the abort-path fix a raising operator left sinks open (file handles
+leaked, buffered NDJSON lines lost) and the metric bus never emitted its
+final snapshot.  These tests pin the fixed behaviour on every engine.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+
+import pytest
+
+from repro.errors import ShutdownSignal
+from repro.streaming.engine import StreamExecutionEngine
+from repro.streaming.metricbus import MetricBus, SnapshotLog
+from repro.streaming.query import Query
+from repro.streaming.record import Record
+from repro.streaming.sink import CollectSink, FileSink, Sink
+from repro.streaming.source import ListSource
+
+from tests.service.conftest import SCHEMA, make_events
+
+
+class Boom(RuntimeError):
+    pass
+
+
+def _exploding(record):
+    # fires mid-stream: some records have already reached the sink
+    if record["timestamp"] >= 50.0 and record["value"] == 3.0:
+        raise Boom("operator exploded")
+    return record["value"]
+
+
+def _failing_query(events, sink: Sink) -> Query:
+    return (
+        Query.from_source(ListSource(events, SCHEMA), name="boom")
+        .map(checked=_exploding)
+        .sink(sink)
+    )
+
+
+class ClosableSink(CollectSink):
+    def __init__(self) -> None:
+        super().__init__()
+        self.closed = 0
+
+    def close(self) -> None:
+        self.closed += 1
+
+
+def _engines():
+    yield "record", StreamExecutionEngine(measure_bytes=False)
+    yield "batch", StreamExecutionEngine(measure_bytes=False, execution_mode="batch", batch_size=16)
+    yield "partitioned", StreamExecutionEngine(
+        measure_bytes=False, execution_mode="batch", batch_size=16, num_partitions=2
+    )
+
+
+@pytest.mark.parametrize(
+    "label,engine", list(_engines()), ids=[label for label, _ in _engines()]
+)
+def test_operator_error_still_closes_sinks(label, engine):
+    sink = ClosableSink()
+    with pytest.raises(Boom):
+        engine.execute(_failing_query(make_events(200), sink))
+    assert sink.closed == 1
+    if label != "partitioned":
+        # partitioned runs deliver sink output only at the final gather, so
+        # only the single-pipeline engines have mid-stream records to check
+        assert len(sink.records) > 0
+
+
+@pytest.mark.parametrize(
+    "label,engine", list(_engines()), ids=[label for label, _ in _engines()]
+)
+def test_operator_error_leaves_file_sink_valid_ndjson(label, engine, tmp_path):
+    path = tmp_path / "out.ndjson"
+    sink = FileSink(str(path))
+    with pytest.raises(Boom):
+        engine.execute(_failing_query(make_events(200), sink))
+    assert sink._handle.closed
+    with open(path) as handle:
+        content = handle.read()
+    lines = content.splitlines()
+    if label != "partitioned":
+        assert content.endswith("\n")  # no torn trailing line
+        assert len(lines) > 0
+    for line in lines:
+        json.loads(line)  # every line is complete JSON
+
+
+def test_operator_error_emits_final_snapshot():
+    bus = MetricBus(interval_events=50, interval_s=1e9, clock=lambda: 0.0)
+    log = bus.subscribe(SnapshotLog())
+    engine = StreamExecutionEngine(measure_bytes=False, metric_bus=bus)
+    with pytest.raises(Boom):
+        engine.execute(_failing_query(make_events(200), CollectSink()))
+    assert log.snapshots, "abort emitted no snapshots at all"
+    assert log.snapshots[-1].final
+
+
+def test_file_sink_flush_makes_output_durable(tmp_path):
+    path = tmp_path / "out.ndjson"
+    sink = FileSink(str(path))
+    sink.accept(Record({"device_id": "d0", "value": 1.0, "timestamp": 0.0}))
+    sink.flush()
+    with open(path) as handle:
+        assert len(handle.readlines()) == 1
+    sink.close()
+    sink.flush()  # flushing a closed sink is a no-op, not an error
+
+
+def test_base_sink_flush_is_noop():
+    Sink().flush()
+
+
+def test_graceful_signals_convert_and_restore():
+    from repro.cli import _graceful_signals
+
+    before = signal.getsignal(signal.SIGTERM)
+    with pytest.raises(ShutdownSignal) as excinfo:
+        with _graceful_signals():
+            signal.raise_signal(signal.SIGTERM)
+    assert excinfo.value.name == "SIGTERM"
+    assert signal.getsignal(signal.SIGTERM) is before
+
+
+def test_sigterm_mid_run_aborts_cleanly(tmp_path):
+    """The full chain: signal -> ShutdownSignal -> engine abort -> closed sink."""
+    from repro.cli import _graceful_signals
+
+    path = tmp_path / "out.ndjson"
+    sink = FileSink(str(path))
+
+    def _kill(record):
+        if record["timestamp"] == 100.0:
+            signal.raise_signal(signal.SIGTERM)
+        return record["value"]
+
+    query = (
+        Query.from_source(ListSource(make_events(500), SCHEMA), name="killed")
+        .map(checked=_kill)
+        .sink(sink)
+    )
+    engine = StreamExecutionEngine(measure_bytes=False)
+    with _graceful_signals():
+        with pytest.raises(ShutdownSignal):
+            engine.execute(query)
+    assert sink._handle.closed
+    with open(path) as handle:
+        for line in handle:
+            json.loads(line)

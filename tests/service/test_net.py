@@ -1,0 +1,128 @@
+"""Wire protocol and socket source/sink/feeder tests (loopback TCP)."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.net import (
+    CONTROL_FIELD,
+    EOS,
+    SocketSink,
+    SocketSource,
+    encode_control,
+    encode_event,
+    feed_events,
+    parse_line,
+)
+from repro.streaming.record import Record
+
+from tests.service.conftest import SCHEMA, make_events
+
+
+class TestParseLine:
+    def test_event_roundtrip(self):
+        payload = {"device_id": "d0", "value": 3.0, "timestamp": 17.5}
+        parsed = parse_line(encode_event(payload))
+        assert isinstance(parsed, Record)
+        assert parsed.timestamp == 17.5
+        assert parsed["device_id"] == "d0"
+
+    def test_control_roundtrip(self):
+        parsed = parse_line(encode_control(EOS))
+        assert isinstance(parsed, dict)
+        assert parsed[CONTROL_FIELD] == EOS
+
+    def test_blank_lines_are_keepalive(self):
+        assert parse_line("") is None
+        assert parse_line("\n") is None
+        assert parse_line(b"  \r\n") is None
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(ServiceError):
+            parse_line("{not json")
+
+    def test_non_object_raises(self):
+        with pytest.raises(ServiceError):
+            parse_line("[1, 2, 3]")
+
+    def test_accepts_str_and_bytes(self):
+        line = encode_event({"device_id": "d1", "value": 1.0, "timestamp": 2.0})
+        assert parse_line(line)["device_id"] == "d1"
+        assert parse_line(line.decode("utf-8"))["device_id"] == "d1"
+
+
+class TestSocketPairs:
+    def test_feeder_into_listening_source(self):
+        events = make_events(50)
+        source = SocketSource(SCHEMA, mode="listen")
+        sent = {}
+        feeder = threading.Thread(
+            target=lambda: sent.update(n=feed_events("127.0.0.1", source.port, events))
+        )
+        feeder.start()
+        received = list(source)
+        feeder.join()
+        assert sent["n"] == 50
+        assert len(received) == 50
+        assert [r["timestamp"] for r in received] == [e["timestamp"] for e in events]
+
+    def test_source_ends_at_eof_without_eos(self):
+        events = make_events(10)
+        source = SocketSource(SCHEMA, mode="listen")
+        feeder = threading.Thread(
+            target=feed_events,
+            args=("127.0.0.1", source.port, events),
+            kwargs={"eos": False},
+        )
+        feeder.start()
+        received = list(source)
+        feeder.join()
+        assert len(received) == 10
+
+    def test_socket_sink_to_listening_source(self):
+        events = make_events(20)
+        source = SocketSource(SCHEMA, mode="listen")
+
+        def _push():
+            sink = SocketSink("127.0.0.1", source.port)
+            for event in events:
+                sink.accept(Record(dict(event)))
+            sink.close()  # sends eos
+            assert sink.count == 20
+
+        pusher = threading.Thread(target=_push)
+        pusher.start()
+        received = list(source)
+        pusher.join()
+        assert len(received) == 20
+
+    def test_connect_failure_raises_service_error(self):
+        # bind then close a port so nothing is listening on it
+        probe = socket.create_server(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(ServiceError, match="could not connect"):
+            feed_events("127.0.0.1", port, [], connect_retries=2, retry_delay_s=0.01)
+        with pytest.raises(ServiceError, match="could not connect"):
+            SocketSink("127.0.0.1", port, connect_retries=2, retry_delay_s=0.01)
+
+    def test_unknown_source_mode_raises(self):
+        with pytest.raises(ServiceError):
+            SocketSource(SCHEMA, mode="broadcast")
+
+    def test_paced_feed_sends_everything(self):
+        events = make_events(20)
+        source = SocketSource(SCHEMA, mode="listen")
+        feeder = threading.Thread(
+            target=feed_events,
+            args=("127.0.0.1", source.port, events),
+            kwargs={"eps": 10_000.0},
+        )
+        feeder.start()
+        received = list(source)
+        feeder.join()
+        assert len(received) == 20

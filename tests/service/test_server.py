@@ -1,0 +1,281 @@
+"""StreamServer end-to-end: fan-out parity, backpressure, error containment,
+checkpoint -> crash -> restore."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import CheckpointManager, StreamServer, feed_events
+from repro.service.runner import QueryRunner
+from repro.streaming.metricbus import MetricBus, SnapshotLog
+from repro.streaming.query import Query
+from repro.streaming.record import Record
+from repro.streaming.sink import CollectSink, FileSink
+from repro.streaming.source import ListSource
+
+from tests.service.conftest import SCHEMA, make_events, passthrough_query, windowed_query
+
+HOST = "127.0.0.1"
+
+
+def _feed_async(port, events, **kwargs):
+    """Run the blocking feeder in a thread; returns the thread."""
+    thread = threading.Thread(
+        target=feed_events, args=(HOST, port, events), kwargs=kwargs, daemon=True
+    )
+    thread.start()
+    return thread
+
+
+def _serve_to_completion(server, events, **feed_kwargs):
+    """start -> feed (with eos) -> wait for the eos-triggered stop -> stop."""
+
+    async def main():
+        await server.start()
+        feeder = _feed_async(server.port, events, **feed_kwargs)
+        await asyncio.wait_for(server.wait_stopped(), timeout=60)
+        await server.stop(graceful=True)
+        feeder.join(timeout=10)
+
+    asyncio.run(main())
+
+
+class TestFanOut:
+    def test_two_queries_share_one_feed_with_parity(self):
+        events = make_events(400)
+        sink_pass, sink_win = CollectSink(), CollectSink()
+        server = StreamServer(stop_after_eos=True)
+        server.register("pass", passthrough_query(events, sink_pass))
+        server.register("win", windowed_query(events, sink_win), mode="batch", batch_size=64)
+        _serve_to_completion(server, events)
+        assert not server.errors
+        assert server.consumed == 400
+
+        # reference: each query replayed alone through the stock engines
+        from repro.streaming.engine import StreamExecutionEngine
+
+        ref_pass, ref_win = CollectSink(), CollectSink()
+        engine = StreamExecutionEngine(measure_bytes=False)
+        engine.execute(passthrough_query(events, ref_pass))
+        engine.execute(windowed_query(events, ref_win))
+        assert [r.as_dict() for r in sink_pass.records] == [
+            r.as_dict() for r in ref_pass.records
+        ]
+        assert [r.as_dict() for r in sink_win.records] == [
+            r.as_dict() for r in ref_win.records
+        ]
+
+    def test_register_validation(self):
+        events = make_events(10)
+        server = StreamServer()
+        server.register("q", passthrough_query(events, CollectSink()))
+        with pytest.raises(ServiceError, match="already registered"):
+            server.register("q", passthrough_query(events, CollectSink()))
+        with pytest.raises(ServiceError, match="mode"):
+            server.register("other", passthrough_query(events, CollectSink()), mode="warp")
+
+    def test_start_without_queries_refused(self):
+        server = StreamServer()
+        with pytest.raises(ServiceError, match="no queries"):
+            asyncio.run(server.start())
+
+    def test_binary_plans_refused(self):
+        events = make_events(10)
+        left = Query.from_source(ListSource(events, SCHEMA), name="left")
+        right = Query.from_source(ListSource(events, SCHEMA), name="right")
+        with pytest.raises(ServiceError, match="binary"):
+            QueryRunner("j", left.join(right, on=["device_id"], window=10.0))
+
+    def test_watermark_validation(self):
+        with pytest.raises(ServiceError, match="watermark"):
+            StreamServer(high_watermark=10, low_watermark=20)
+
+
+class TestBackpressure:
+    def test_pause_and_drain_driven_resume(self):
+        events = make_events(20)
+        server = StreamServer(high_watermark=4, low_watermark=1)
+        bus = MetricBus(interval_events=1, interval_s=1e9, clock=lambda: 0.0)
+        server.register("q", passthrough_query(events, CollectSink()), metric_bus=bus)
+        registration = server._registrations["q"]
+
+        class Snap:
+            gauges = {"service_queue_depth": 5}
+
+        server._backpressure_subscriber(registration)(Snap)
+        assert server.paused
+        assert not server._resume_gate.is_set()
+        # queues are empty, so the worker-side drain check must resume
+        server._after_drain()
+        assert not server.paused
+        assert server._resume_gate.is_set()
+
+    def test_backpressure_engages_under_backlog(self):
+        """A deep ingest backlog pauses the reader via the live snapshot path,
+        and the drain-driven resume releases it — with no records lost."""
+        events = make_events(350)
+        sink = CollectSink()
+        server = StreamServer(high_watermark=16, low_watermark=4, stop_after_eos=True)
+        bus = MetricBus(interval_events=1, interval_s=1e9, clock=lambda: 0.0)
+        server.register("q", passthrough_query(events, sink), metric_bus=bus)
+        registration = server._registrations["q"]
+        pauses = []
+        original = server._pause
+
+        def counting_pause():
+            pauses.append(server._total_queued())
+            original()
+
+        server._pause = counting_pause
+
+        async def main():
+            # a worker starting against a deep backlog: the first snapshots
+            # report depth >= high_watermark and must gate the socket reader
+            for event in events[:50]:
+                registration.queue.put_nowait(Record(dict(event)))
+            await server.start()
+            feeder = _feed_async(server.port, events[50:])
+            await asyncio.wait_for(server.wait_stopped(), timeout=60)
+            await server.stop(graceful=True)
+            feeder.join(timeout=10)
+
+        asyncio.run(main())
+        assert not server.errors
+        assert len(sink.records) == 350  # nothing lost to the pauses
+        assert pauses, "queue depth never tripped the high watermark"
+        # completion despite the pauses proves the drain-driven resume:
+        # a stuck gate would have left the eos line unread and timed out
+
+
+class TestErrorContainment:
+    def test_operator_error_poisons_only_its_query(self, tmp_path):
+        events = make_events(200)
+
+        def _boom(record):
+            if record["timestamp"] >= 50.0:
+                raise RuntimeError("operator exploded")
+            return record["value"]
+
+        path = tmp_path / "bad.ndjson"
+        bad_sink = FileSink(str(path))
+        bad = (
+            Query.from_source(ListSource(events, SCHEMA), name="bad")
+            .map(checked=_boom)
+            .sink(bad_sink)
+        )
+        good_sink = CollectSink()
+        server = StreamServer(stop_after_eos=True)
+        server.register("bad", bad)
+        server.register("good", passthrough_query(events, good_sink))
+        _serve_to_completion(server, events)
+
+        assert set(server.errors) == {"bad"}
+        assert isinstance(server.errors["bad"], RuntimeError)
+        # the sibling query processed the entire feed
+        assert len(good_sink.records) == 200
+        # the poisoned query's sink was closed with valid, line-terminated JSON
+        assert bad_sink._handle.closed
+        with open(path) as handle:
+            for line in handle:
+                json.loads(line)
+
+
+class TestFinalSnapshot:
+    def test_graceful_stop_emits_final_snapshot_per_query(self):
+        events = make_events(100)
+        server = StreamServer()
+        logs = []
+        for name in ("a", "b"):
+            bus = MetricBus(interval_events=10, interval_s=1e9, clock=lambda: 0.0)
+            logs.append(bus.subscribe(SnapshotLog()))
+            server.register(name, passthrough_query(events, CollectSink()), metric_bus=bus)
+
+        async def main():
+            await server.start()
+            feeder = _feed_async(server.port, events, eos=False)
+            while server.consumed < 100:
+                await asyncio.sleep(0.01)
+            await server.stop(graceful=True)  # SIGTERM path: no eos seen
+            feeder.join(timeout=10)
+
+        asyncio.run(main())
+        for log in logs:
+            assert log.snapshots
+            assert log.snapshots[-1].final
+
+
+class TestCheckpointRestore:
+    @pytest.mark.parametrize("mode", ["record", "batch"])
+    def test_crash_and_restore_exact_parity(self, tmp_path, mode):
+        events = make_events(600)
+        ckpt_dir = str(tmp_path / "ckpt")
+        out_path = tmp_path / "q.ndjson"
+
+        def build(resume):
+            return windowed_query(events, FileSink(str(out_path), resume=resume))
+
+        server1 = StreamServer(
+            checkpoint_dir=ckpt_dir, checkpoint_interval_events=150
+        )
+        server1.register("q", build(False), mode=mode, batch_size=32)
+        manager = CheckpointManager(ckpt_dir)
+
+        async def crash():
+            await server1.start()
+            feeder = _feed_async(server1.port, events[:400], eos=False)
+            while not manager.exists():
+                await asyncio.sleep(0.005)
+            # hard crash: no drain, no flush, sinks left dangling
+            await server1.stop(graceful=False)
+            feeder.join(timeout=10)
+
+        asyncio.run(crash())
+        manifest = manager.read_manifest()
+        assert manifest["consumed"] >= 150
+
+        server2 = StreamServer(checkpoint_dir=ckpt_dir, resume=True, stop_after_eos=True)
+        server2.register("q", build(True), mode=mode, batch_size=32)
+        _serve_to_completion(server2, events)  # full feed replayed from the top
+        assert not server2.errors
+        assert server2.consumed == 600
+
+        from repro.streaming.engine import StreamExecutionEngine
+
+        ref_path = tmp_path / "ref.ndjson"
+        StreamExecutionEngine(measure_bytes=False).execute(
+            windowed_query(events, FileSink(str(ref_path)))
+        )
+        assert out_path.read_bytes() == ref_path.read_bytes()
+
+    def test_resume_with_unknown_query_refused(self, tmp_path):
+        events = make_events(50)
+        ckpt_dir = str(tmp_path)
+        server1 = StreamServer(checkpoint_dir=ckpt_dir)
+        server1.register("original", passthrough_query(events, CollectSink()))
+
+        async def checkpoint_once():
+            await server1.start()
+            feeder = _feed_async(server1.port, events, eos=False)
+            while server1.consumed < 50:
+                await asyncio.sleep(0.01)
+            await server1.checkpoint()
+            await server1.stop(graceful=True)
+            feeder.join(timeout=10)
+
+        asyncio.run(checkpoint_once())
+
+        server2 = StreamServer(checkpoint_dir=ckpt_dir, resume=True)
+        server2.register("renamed", passthrough_query(events, CollectSink()))
+        with pytest.raises(ServiceError, match="not registered"):
+            asyncio.run(server2.start())
+
+    def test_checkpoint_without_directory_refused(self):
+        server = StreamServer()
+        server.register("q", passthrough_query(make_events(10), CollectSink()))
+        with pytest.raises(ServiceError, match="checkpoint directory"):
+            asyncio.run(server.checkpoint())
