@@ -300,6 +300,85 @@ def test_process_scaling_gates(query_id, bench_scenario, numpy_backend):
         assert rates["process@4"] >= floor * rates["thread@4"]
 
 
+def test_pool_reuse_gate_q1(bench_scenario, numpy_backend):
+    """Persistent-pool acceptance: a warm Q1 re-execution must reach at
+    least 2x the cold (first-on-pool) rate at the same partition count —
+    the fork, shared-memory export and worker compile really amortize.
+    The cold/warm pair lands in the ``pool_reuse`` entry of the ``scaling``
+    section of ``BENCH_runtime.json``.
+    """
+    import json as json_module
+
+    from repro.runtime.parallel import process_pool_available
+    from repro.runtime.pool import WorkerPool
+
+    if not process_pool_available():
+        pytest.skip("fork start method unavailable")
+
+    info = QUERY_CATALOG["Q1"]
+    partitions = 2
+    pool = WorkerPool(partitions)
+    try:
+        engine = BatchExecutionEngine(
+            batch_size=BATCH_SIZE,
+            measure_bytes=False,
+            num_partitions=partitions,
+            parallelism="process",
+            worker_pool=pool,
+        )
+        cold_run = engine.execute(info.build(bench_scenario))
+        cold = cold_run.metrics.ingestion_rate_eps
+        warm, warm_result = _best_rate(engine, info, bench_scenario, repeat=3)
+        assert pool.stats["warm_executions"] >= 3
+        # parity first: warm reuse must not change the output
+        assert sorted(
+            (sorted(r.as_dict().items(), key=repr) for r in warm_result.records), key=repr
+        ) == sorted(
+            (sorted(r.as_dict().items(), key=repr) for r in cold_run.records), key=repr
+        )
+        pool_reuse = {
+            "partitions": partitions,
+            "cold_eps": round(cold, 1),
+            "warm_eps": round(warm, 1),
+            "ratio": round(warm / cold, 3) if cold else None,
+            "warm_executions": pool.stats["warm_executions"],
+            "compiled_cache_hits": pool.stats["compiled_cache_hits"],
+        }
+    finally:
+        pool.close()
+    data = {}
+    if os.path.exists(BENCH_JSON):
+        with open(BENCH_JSON) as handle:
+            data = json_module.load(handle)
+    data.setdefault("scaling", {}).setdefault("Q1", {})["pool_reuse"] = pool_reuse
+    with open(BENCH_JSON, "w") as handle:
+        json_module.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"\nQ1 pool reuse: cold {cold:,.0f} e/s, warm {warm:,.0f} e/s "
+        f"({warm / cold:.2f}x)"
+    )
+    assert warm >= _ci_floor(2.0) * cold
+
+
+def test_bench_json_service_section_schema():
+    """The sustained-load service snapshot (``bench --serve --json``) must
+    stay parseable: sustained eps present and positive for every entry."""
+    import json as json_module
+
+    if not os.path.exists(BENCH_JSON):
+        pytest.skip("BENCH_runtime.json not generated yet")
+    with open(BENCH_JSON) as handle:
+        data = json_module.load(handle)
+    service = data.get("service")
+    if not service:
+        pytest.skip("no service section recorded (regenerate with bench --serve --json)")
+    for query_id, entry in service.items():
+        assert entry["sustained_eps"] > 0, query_id
+        assert entry["feeders"] >= 1, query_id
+        assert entry["events_in"] > 0, query_id
+
+
 def test_batch_sizes_sweep_q1(bench_scenario):
     """Throughput grows with the batch size, then saturates — record the curve."""
     info = QUERY_CATALOG["Q1"]

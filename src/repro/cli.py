@@ -319,38 +319,11 @@ def cmd_top(args: argparse.Namespace) -> int:
     return cmd_run(args)
 
 
-def cmd_serve(args: argparse.Namespace) -> int:
-    """Long-running stream server: one TCP NDJSON feed, N registered queries."""
-    import asyncio
-
-    from repro.service import StreamServer
+def _register_serve_queries(args, server, scenario, query_ids, writers, pool) -> None:
+    """Register every catalog query on the server (shared by serve / bench --serve)."""
     from repro.streaming.metricbus import MetricBus, SnapshotWriter
     from repro.streaming.sink import FileSink
 
-    query_ids = [query_id.upper() for query_id in args.queries]
-    unknown = [query_id for query_id in query_ids if query_id not in QUERY_CATALOG]
-    if unknown:
-        print(
-            f"unknown queries {', '.join(unknown)}; known: {', '.join(QUERY_CATALOG)}",
-            file=sys.stderr,
-        )
-        return 2
-    if len(set(query_ids)) != len(query_ids):
-        print("duplicate query ids", file=sys.stderr)
-        return 2
-    scenario = _scenario_from(args)
-    _apply_backend(args)
-    server = StreamServer(
-        host=args.host,
-        port=args.port,
-        high_watermark=args.high_watermark,
-        low_watermark=args.low_watermark,
-        checkpoint_dir=args.checkpoint_dir,
-        checkpoint_interval_events=args.checkpoint_every,
-        resume=args.resume,
-        stop_after_eos=args.stop_after_eos,
-    )
-    writers = []
     for query_id in query_ids:
         query = QUERY_CATALOG[query_id].build(scenario)
         if args.out_dir:
@@ -370,11 +343,69 @@ def cmd_serve(args: argparse.Namespace) -> int:
             metric_bus=bus,
             shed_target_eps=args.shed_target_eps,
             adaptive_batch=args.adaptive_batch,
+            pool=pool,
+            partitions=args.partitions if pool is not None else 1,
+            partition_key=args.partition_key,
         )
         if args.metrics_dir:
             os.makedirs(args.metrics_dir, exist_ok=True)
             target = os.path.join(args.metrics_dir, f"{query_id.lower()}_metrics.ndjson")
             writers.append(bus.subscribe(SnapshotWriter(target)))
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Long-running stream server: one TCP NDJSON feed, N registered queries."""
+    import asyncio
+
+    from repro.service import StreamServer
+
+    query_ids = [query_id.upper() for query_id in args.queries]
+    unknown = [query_id for query_id in query_ids if query_id not in QUERY_CATALOG]
+    if unknown:
+        print(
+            f"unknown queries {', '.join(unknown)}; known: {', '.join(QUERY_CATALOG)}",
+            file=sys.stderr,
+        )
+        return 2
+    if len(set(query_ids)) != len(query_ids):
+        print("duplicate query ids", file=sys.stderr)
+        return 2
+    scenario = _scenario_from(args)
+    _apply_backend(args)
+    pool = None
+    if args.parallelism == "process":
+        if args.execution_mode != "batch":
+            print("--parallelism process requires --execution-mode batch", file=sys.stderr)
+            return 2
+        from repro.runtime.pool import WorkerPool
+
+        try:
+            pool = WorkerPool(max(1, args.partitions))
+        except RuntimeError as exc:
+            print(f"cannot start worker pool: {exc}", file=sys.stderr)
+            return 2
+        # fork the workers before any asyncio machinery exists, so children
+        # never inherit the listening socket
+        pool.warm_up()
+    server = StreamServer(
+        host=args.host,
+        port=args.port,
+        high_watermark=args.high_watermark,
+        low_watermark=args.low_watermark,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval_events=args.checkpoint_every,
+        checkpoint_keep=args.checkpoint_keep,
+        resume=args.resume,
+        stop_after_eos=args.stop_after_eos,
+    )
+    writers = []
+    try:
+        _register_serve_queries(args, server, scenario, query_ids, writers, pool)
+    except ServiceError as exc:
+        if pool is not None:
+            pool.close()
+        print(str(exc), file=sys.stderr)
+        return 2
 
     async def _serve() -> None:
         loop = asyncio.get_running_loop()
@@ -401,6 +432,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         for writer in writers:
             writer.close()
+        if pool is not None:
+            pool.close()
     failed = server.errors
     for runner in server.runners:
         status = f"  {runner.name}: in={runner.metrics.events_in} out={runner.events_out}"
@@ -447,7 +480,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     for query_id in query_ids:
         if len(query_ids) > 1:
             print(f"-- {query_id} --")
-        if getattr(args, "scaling", False):
+        if getattr(args, "serve", False):
+            _bench_serve(args, scenario, query_id)
+        elif getattr(args, "scaling", False):
             _bench_scaling(args, scenario, query_id)
         else:
             _bench_one(args, scenario, query_id)
@@ -554,17 +589,204 @@ def _bench_scaling(args: argparse.Namespace, scenario: Scenario, query_id: str) 
         for key, rate in rates.items():
             if key != "batch@1":
                 print(f"{key + ' speedup':>22}: {rate / base:.2f}x")
+    pool_reuse = _bench_pool_reuse(args, scenario, query_id)
+    if pool_reuse:
+        print(
+            f"{'pool cold@2':>22}: {pool_reuse['cold_eps']:>12,.0f} events/s"
+        )
+        print(
+            f"{'pool warm@2':>22}: {pool_reuse['warm_eps']:>12,.0f} events/s "
+            f"({pool_reuse['ratio']:.2f}x cold)"
+        )
     if args.json:
-        merge_bench_scaling(
-            args.json,
-            query_id,
-            rates=rates,
+        extra = dict(
             backend=backend,
             batch_size=args.batch_size,
             events_in=result.metrics.events_in,
             cores=os.cpu_count(),
         )
+        if pool_reuse:
+            extra["pool_reuse"] = pool_reuse
+        merge_bench_scaling(args.json, query_id, rates=rates, **extra)
         print(f"wrote {args.json}")
+
+
+def _bench_pool_reuse(args: argparse.Namespace, scenario: Scenario, query_id: str) -> Optional[dict]:
+    """Cold-vs-warm eps on a persistent worker pool at 2 partitions.
+
+    The cold run pays the pool's fork plus the shared-memory export and the
+    workers' pipeline compile; warm re-executions of the same plan reuse all
+    three.  ``None`` where fork isn't available.
+    """
+    from repro.runtime.parallel import process_pool_available
+    from repro.runtime.pool import WorkerPool
+
+    if not process_pool_available():
+        return None
+    info = QUERY_CATALOG[query_id]
+    partitions = 2
+    pool = WorkerPool(partitions)
+    try:
+        engine = StreamExecutionEngine(
+            measure_bytes=False,
+            execution_mode="batch",
+            batch_size=args.batch_size,
+            num_partitions=partitions,
+            partition_key=args.partition_key,
+            parallelism="process",
+            worker_pool=pool,
+        )
+        # first execution forks the workers, builds the shm export and
+        # compiles in every worker — the amortized costs
+        result = engine.execute(info.build(scenario))
+        cold = result.metrics.ingestion_rate_eps
+        warm = None
+        for _ in range(max(1, args.repeat)):
+            result = engine.execute(info.build(scenario))
+            rate = result.metrics.ingestion_rate_eps
+            warm = rate if warm is None or rate > warm else warm
+        return {
+            "partitions": partitions,
+            "cold_eps": round(cold, 1),
+            "warm_eps": round(warm, 1),
+            "ratio": round(warm / cold, 3) if cold else None,
+            "warm_executions": pool.stats["warm_executions"],
+            "compiled_cache_hits": pool.stats["compiled_cache_hits"],
+        }
+    finally:
+        pool.close()
+
+
+def _bench_serve(args: argparse.Namespace, scenario: Scenario, query_id: str) -> None:
+    """``bench --serve``: sustained service-layer throughput under load.
+
+    Spins up an in-process :class:`StreamServer` (batch runners; sharded
+    over a persistent worker pool when ``--parallelism process`` and
+    ``--partitions > 1``), replays the scenario through ``--feeders``
+    concurrent TCP connections, and reports sustained events/second over
+    the feeding wall clock plus the p99 micro-batch latency from the
+    runner's metric bus.  Persists a ``service`` section into ``--json``.
+    """
+    import asyncio
+    from time import monotonic
+
+    from repro.service import StreamServer, feed_events
+    from repro.streaming.metricbus import MetricBus
+
+    backend = _apply_backend(args)
+    info = QUERY_CATALOG[query_id]
+    parallelism = getattr(args, "parallelism", "thread")
+    pool = None
+    if parallelism == "process" and args.partitions > 1:
+        from repro.runtime.pool import WorkerPool
+
+        try:
+            pool = WorkerPool(max(1, args.partitions))
+        except RuntimeError as exc:
+            print(f"worker pool unavailable ({exc}); running single-process", file=sys.stderr)
+        else:
+            # fork before the event loop exists (children must not inherit
+            # the listening socket)
+            pool.warm_up()
+    bus = MetricBus(interval_events=2000, interval_s=0.5)
+    server = StreamServer(stop_after_eos=True)
+    server.register(
+        query_id,
+        info.build(scenario),
+        mode="batch",
+        batch_size=args.batch_size,
+        metric_bus=bus,
+        pool=pool,
+        partitions=args.partitions if pool is not None else 1,
+        partition_key=args.partition_key,
+    )
+    events = scenario.events
+    feeders = max(1, args.feeders)
+    slices = [events[i::feeders] for i in range(feeders)]
+    timing: dict = {}
+
+    async def _run() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        timing["start"] = monotonic()
+        await asyncio.gather(
+            *(
+                loop.run_in_executor(
+                    None,
+                    lambda s=s: feed_events(server.host, server.port, s, eos=False),
+                )
+                for s in slices
+            )
+        )
+        # a feeder returning means its bytes were *sent*, not consumed —
+        # wait for the server to drain every connection before the EOS
+        # control line (sent on its own connection) can overtake them
+        total = sum(len(s) for s in slices)
+        while server.consumed < total:
+            await asyncio.sleep(0.01)
+        await loop.run_in_executor(
+            None, lambda: feed_events(server.host, server.port, [], eos=True)
+        )
+        await server.wait_stopped()
+        timing["stop"] = monotonic()
+
+    try:
+        asyncio.run(_run())
+    finally:
+        if pool is not None:
+            pool.close()
+    runner = server.runners[0]
+    wall = timing["stop"] - timing["start"]
+    eps = runner.metrics.events_in / wall if wall > 0 else 0.0
+    p99_s = bus.histogram.percentile(0.99)
+    p99_us = round(p99_s * 1e6, 3) if p99_s is not None else None
+    sharded = pool is not None
+    label = f"serve[{args.batch_size}]/{backend}"
+    if sharded:
+        label += f" x{args.partitions} shards"
+    print(f"{label:>22}: {eps:>12,.0f} events/s sustained ({feeders} feeders)")
+    if p99_us is not None:
+        print(f"{'batch p99':>22}: {p99_us:>12,.1f} µs")
+    print(
+        f"{'totals':>22}: in={runner.metrics.events_in} out={runner.events_out} "
+        f"wall={wall:.3f}s"
+    )
+    if args.json:
+        merge_bench_service(
+            args.json,
+            query_id,
+            {
+                "sustained_eps": round(eps, 1),
+                "p99_us": p99_us,
+                "feeders": feeders,
+                "partitions": args.partitions if sharded else 1,
+                "parallelism": "process" if sharded else "single",
+                "batch_size": args.batch_size,
+                "events_in": runner.metrics.events_in,
+                "events_out": runner.events_out,
+                "backend": backend,
+            },
+        )
+        print(f"wrote {args.json}")
+
+
+def merge_bench_service(path: str, query_id: str, payload: dict) -> None:
+    """Merge one query's sustained-load service numbers into the bench JSON
+    (``data["service"][query_id]``; the ``queries``/``scaling`` sections are
+    untouched)."""
+    data: dict = {"queries": {}}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                loaded = json.load(handle)
+        except (OSError, ValueError):
+            loaded = None
+        if isinstance(loaded, dict) and isinstance(loaded.get("queries", {}), dict):
+            data = loaded
+    data.setdefault("service", {})[query_id] = payload
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def merge_bench_scaling(path: str, query_id: str, rates: dict, **extra) -> None:
@@ -717,6 +939,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--batch-size", type=int, default=256, help="rows per micro-batch")
     serve.add_argument(
+        "--parallelism",
+        choices=["single", "process"],
+        default="single",
+        help="'single' runs every query in the server process; 'process' "
+        "shards each batch-mode query across a persistent fork-based worker "
+        "pool (--partitions long-lived shard pipelines, scattered on "
+        "--partition-key, outputs re-merged in event-time order)",
+    )
+    serve.add_argument(
+        "--partitions",
+        type=int,
+        default=2,
+        help="shards per query for --parallelism process",
+    )
+    serve.add_argument(
+        "--partition-key",
+        type=str,
+        default="device_id",
+        help="record field to shard on (must be stable from the source)",
+    )
+    serve.add_argument(
         "--batch-backend",
         choices=["auto", "numpy", "python"],
         default=None,
@@ -767,6 +1010,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint every N ingested events (0 = only on graceful shutdown)",
     )
     serve.add_argument(
+        "--checkpoint-keep",
+        type=int,
+        default=3,
+        help="retain the last N checkpoint pairs in --checkpoint-dir",
+    )
+    serve.add_argument(
         "--resume",
         action="store_true",
         help="restore operator/sink state from --checkpoint-dir and skip the "
@@ -808,6 +1057,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition-scaling sweep instead of record-vs-batch: eps at "
         "1/2/4 partitions for thread and process parallelism, persisted "
         "under the 'scaling' section of --json",
+    )
+    bench.add_argument(
+        "--serve",
+        action="store_true",
+        help="sustained-load service bench instead of replay: an in-process "
+        "server fed over TCP by --feeders concurrent connections (batch "
+        "runners; sharded over a persistent worker pool with --parallelism "
+        "process --partitions N), reporting sustained eps and batch p99, "
+        "persisted under the 'service' section of --json",
+    )
+    bench.add_argument(
+        "--feeders",
+        type=int,
+        default=4,
+        help="concurrent feeder connections for --serve",
     )
     bench.add_argument(
         "--profile",

@@ -41,8 +41,10 @@ from repro.runtime.operators import (
     build_batch_pipeline,
     vectorize,
 )
+from repro.runtime.pool import WorkerPool
 
 __all__ = [
+    "WorkerPool",
     "MISSING",
     "RecordBatch",
     "BatchBuilder",

@@ -94,6 +94,7 @@ class BatchExecutionEngine(StreamExecutionEngine):
         metric_bus=None,
         adaptive_batch: bool = False,
         parallelism: str = "thread",
+        worker_pool=None,
     ) -> None:
         super().__init__(measure_bytes=measure_bytes)
         if batch_size < 1:
@@ -104,6 +105,8 @@ class BatchExecutionEngine(StreamExecutionEngine):
             raise PlanError(
                 f"unknown parallelism {parallelism!r}; expected 'thread' or 'process'"
             )
+        if worker_pool is not None and parallelism != "process":
+            raise PlanError("worker_pool requires parallelism='process'")
         self.batch_size = int(batch_size)
         self.fuse = bool(fuse)
         self.num_partitions = int(num_partitions)
@@ -117,6 +120,14 @@ class BatchExecutionEngine(StreamExecutionEngine):
         #: (``None`` before any, or when partitioning ran in threads) — an
         #: introspection/testing hook.
         self.last_worker_pids: Optional[List[int]] = None
+        #: Input-shipping mode of the last process-partitioned run
+        #: (``"columns"`` / ``"split-columns"`` / ``"records"``) — lets tests
+        #: assert a plan took the shared-memory path, not just that it ran.
+        self.last_parallel_mode: Optional[str] = None
+        #: A persistent :class:`~repro.runtime.pool.WorkerPool` to run
+        #: process partitions on (fork/shm/compile amortized across
+        #: executions); ``None`` keeps the per-execution pool.
+        self.worker_pool = worker_pool
         #: Attribute per-operator wall time (``MetricsReport.operator_seconds``)
         #: — one clock pair per stage per batch, so leave off for headline
         #: throughput runs.
@@ -530,6 +541,12 @@ class BatchExecutionEngine(StreamExecutionEngine):
             from repro.runtime import parallel
 
             if parallel.process_pool_available():
+                if self.worker_pool is not None:
+                    from repro.runtime import pool as worker_pool_module
+
+                    return worker_pool_module.execute_process_pooled(
+                        self, plan, query_name, first_compiled, split
+                    )
                 return parallel.execute_process_partitioned(
                     self, plan, query_name, first_compiled, split
                 )

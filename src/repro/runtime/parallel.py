@@ -28,10 +28,17 @@ Input rows travel two ways:
   batches from slices.  Object-dtype and MISSING-holed columns (strings,
   heterogeneous payloads) don't have a flat native representation; they are
   served from the fork-inherited cache lists by gathered index.
-* **records mode** — everything else (binary plans, map-derived partition
-  keys, the pure-python backend, non-replay sources).  The parent scatters
-  ``(entry, record)`` pairs exactly like the thread path and the partitions
-  are inherited by the forked workers; nothing is pickled on the way in.
+* **split-columns mode** — map-derived-key plans (the Q4 ``cell_id``
+  shape) on the numpy backend.  The parent runs the pre-split prefix
+  itself (exactly like the thread path), then re-transposes the prefix's
+  *output* records into a second :class:`SourceColumnCache` and ships them
+  through the same shared-memory export; rows that enter mid-pipeline
+  (join/union right sides) stay fork-inherited record segments, replayed
+  in the original timestamp-interleaved order.
+* **records mode** — everything else (the pure-python backend, non-replay
+  sources, adaptive batching).  The parent scatters ``(entry, record)``
+  pairs exactly like the thread path and the partitions are inherited by
+  the forked workers; nothing is pickled on the way in.
 
 Shared-memory lifecycle: the block is created, written and **unlinked by
 the parent only**, inside ``try/finally``, so a crashing worker (or a
@@ -184,15 +191,23 @@ class SharedColumnExport:
         return cls(shm, specs, offset, bounds, length), [name for name, _ in native]
 
     def attach(self) -> Tuple[Dict[str, Any], Any]:
-        """Full-length zero-copy views over the block (worker side)."""
+        """Full-length zero-copy views over the block (worker side).
+
+        The views are marked read-only: workers must never mutate the shared
+        block (a persistent pool re-serves it to later executions), and a
+        kernel that tried to write in place should fail loudly rather than
+        corrupt every sibling partition.
+        """
         np = get_numpy()
-        arrays = {
-            name: np.ndarray((self.length,), dtype=np.dtype(dtype), buffer=self.shm.buf, offset=offset)
-            for name, dtype, offset in self.specs
-        }
+        arrays = {}
+        for name, dtype, offset in self.specs:
+            view = np.ndarray((self.length,), dtype=np.dtype(dtype), buffer=self.shm.buf, offset=offset)
+            view.flags.writeable = False
+            arrays[name] = view
         timestamps = np.ndarray(
             (self.length,), dtype=np.float64, buffer=self.shm.buf, offset=self.ts_offset
         )
+        timestamps.flags.writeable = False
         return arrays, timestamps
 
     @staticmethod
@@ -234,6 +249,7 @@ class _WorkerContext:
         "field_order",
         "shm_fields",
         "perm",
+        "segments",
     )
 
     def __init__(
@@ -249,6 +265,7 @@ class _WorkerContext:
         field_order: Optional[List[str]] = None,
         shm_fields: Optional[Sequence[str]] = None,
         perm=None,
+        segments: Optional[List[List[List[Any]]]] = None,
     ) -> None:
         self.engine = engine
         self.plan = plan
@@ -261,8 +278,13 @@ class _WorkerContext:
         self.field_order = field_order or []
         self.shm_fields = frozenset(shm_fields or ())
         self.perm = perm
+        self.segments = segments
 
-    def run(self, index: int) -> Dict[str, Any]:
+    def compile_pipeline(self):
+        """Worker-side pipeline: recompiled from the logical plan, sinks
+        swapped for buffering twins.  Returns ``(stages, operators,
+        sink_buffers)`` — the persistent pool caches this triple per context
+        so warm executions skip recompilation."""
         engine = self.engine
         operators, _, entries = engine.compile(self.plan)
         operators, sink_buffers = swap_buffering_sinks(operators)
@@ -270,10 +292,15 @@ class _WorkerContext:
         if self.split:
             barriers.add(self.split)
         stages = build_batch_pipeline(operators, barriers, fuse=engine.fuse)
-        local = MetricsCollector(self.query_name, profile=engine.profile)
-        out: List[Record] = []
+        return stages, operators, sink_buffers
+
+    def drive(self, index: int, stages, local, out: List[Record]) -> None:
+        """Push partition ``index``'s input through ``stages`` (incl. flush)."""
+        engine = self.engine
         if self.mode == "columns":
             self._run_columns(index, stages, local, out)
+        elif self.mode == "split-columns":
+            self._run_split_columns(index, stages, local, out)
         else:
             for entry_index, records in engine._chunk_runs(self.partitions[index]):
                 batch = engine._run_through(
@@ -282,6 +309,12 @@ class _WorkerContext:
                 if batch is not None and len(batch):
                     out.extend(batch.to_records())
         engine._flush_stages(stages, local, out)
+
+    def run(self, index: int) -> Dict[str, Any]:
+        stages, operators, sink_buffers = self.compile_pipeline()
+        local = MetricsCollector(self.query_name, profile=self.engine.profile)
+        out: List[Record] = []
+        self.drive(index, stages, local, out)
         return {
             "records": out,
             "sinks": sink_buffers,
@@ -291,42 +324,84 @@ class _WorkerContext:
             "pid": os.getpid(),
         }
 
-    def _run_columns(self, index: int, stages, local, out: List[Record]) -> None:
-        """Drive the partition's contiguous shared-memory region batch-wise.
+    def _slice_batch(self, shm_arrays, shm_ts, begin: int, end: int) -> RecordBatch:
+        """A column-backed batch over export rows ``begin:end``.
 
         Native columns become zero-copy view slices; list-backed columns are
         gathered from the inherited full columns by source row index, with
         the same conservative MISSING marking as ``SourceBatch`` (``column``
-        self-heals markers for hole-free slices).
+        self-heals markers for hole-free slices).  ``perm`` maps export rows
+        back to source rows; ``None`` means the export is already in source
+        order (the split-columns re-transposition).
         """
+        perm = self.perm
+        batch = RecordBatch._raw()
+        for name in self.field_order:
+            if name in self.shm_fields:
+                batch._arrays[name] = shm_arrays[name][begin:end]
+            else:
+                full, has_missing = self.list_columns[name]
+                indices = perm[begin:end] if perm is not None else range(begin, end)
+                batch._columns[name] = [full[i] for i in indices]
+                if has_missing:
+                    batch._missing.add(name)
+        ts_view = shm_ts[begin:end]
+        batch._field_order = list(self.field_order)
+        batch._timestamps = ts_view.tolist()
+        batch._ts_array = ts_view
+        batch._length = end - begin
+        return batch
+
+    def _run_columns(self, index: int, stages, local, out: List[Record]) -> None:
+        """Drive the partition's contiguous shared-memory region batch-wise."""
         engine = self.engine
         shm_arrays, shm_ts = self.export.attach()
         start, stop = self.export.bounds[index], self.export.bounds[index + 1]
-        perm = self.perm
-        field_order = self.field_order
-        shm_fields = self.shm_fields
-        list_columns = self.list_columns
         batch_size = max(1, engine.batch_size)
         for begin in range(start, stop, batch_size):
             end = min(begin + batch_size, stop)
-            batch = RecordBatch._raw()
-            for name in field_order:
-                if name in shm_fields:
-                    batch._arrays[name] = shm_arrays[name][begin:end]
-                else:
-                    full, has_missing = list_columns[name]
-                    indices = perm[begin:end]
-                    batch._columns[name] = [full[i] for i in indices]
-                    if has_missing:
-                        batch._missing.add(name)
-            ts_view = shm_ts[begin:end]
-            batch._field_order = list(field_order)
-            batch._timestamps = ts_view.tolist()
-            batch._ts_array = ts_view
-            batch._length = end - begin
+            batch = self._slice_batch(shm_arrays, shm_ts, begin, end)
             batch = engine._run_through(stages, batch, 0, local)
             if batch is not None and len(batch):
                 out.extend(batch.to_records())
+
+    def _run_split_columns(self, index: int, stages, local, out: List[Record]) -> None:
+        """Drive a map-derived-key partition: shm column runs + record runs.
+
+        The partition's input is an ordered list of segments — ``cols``
+        segments reference contiguous rows of the prefix-output export and
+        enter the pipeline at the split barrier; ``recs`` segments are
+        fork-inherited records entering at their own position (join/union
+        right sides).  Segment order preserves the original
+        timestamp-interleaving of the scatter, so stateful operators see
+        events in the same order as the record path.
+        """
+        engine = self.engine
+        split = self.split
+        batch_size = max(1, engine.batch_size)
+        shm_arrays = shm_ts = None
+        for segment in self.segments[index]:
+            if segment[0] == "cols":
+                if shm_arrays is None:
+                    shm_arrays, shm_ts = self.export.attach()
+                start, stop = segment[1], segment[2]
+                for begin in range(start, stop, batch_size):
+                    end = min(begin + batch_size, stop)
+                    batch = self._slice_batch(shm_arrays, shm_ts, begin, end)
+                    batch = engine._run_through(stages, batch, split, local)
+                    if batch is not None and len(batch):
+                        out.extend(batch.to_records())
+            else:
+                entry_index, records = segment[1], segment[2]
+                for begin in range(0, len(records), batch_size):
+                    batch = engine._run_through(
+                        stages,
+                        RecordBatch.from_records(records[begin:begin + batch_size]),
+                        entry_index,
+                        local,
+                    )
+                    if batch is not None and len(batch):
+                        out.extend(batch.to_records())
 
 
 def _run_partition_worker(index: int) -> Dict[str, Any]:
@@ -343,20 +418,30 @@ def _run_partition_worker(index: int) -> Dict[str, Any]:
 # -- parent-side orchestration -----------------------------------------------------
 
 
-def _build_columns_context(engine, plan, query_name: str, metrics) -> Tuple[_WorkerContext, List[int]]:
-    """Scatter a replay source's cached columns into a shared-memory export.
+def _discover_field_order(records) -> List[str]:
+    """Field names in first-appearance order across a record sequence."""
+    field_order: List[str] = []
+    seen = set()
+    for record in records:
+        for name in record.data:
+            if name not in seen:
+                seen.add(name)
+                field_order.append(name)
+    return field_order
 
-    Partition assignment hashes the cached partition-key column directly —
-    no per-record dict probing, no row materialization.  Input accounting
-    (``events_in``/``bytes_in``) reproduces the single-partition batch path
-    exactly: byte estimates come from the same ``SourceBatch`` estimator
-    over the same slicing.
+
+def account_columns_input(engine, plan, metrics) -> None:
+    """Replay the input-side accounting of a columns-mode execution.
+
+    Input accounting (``events_in``/``bytes_in``) reproduces the
+    single-partition batch path exactly: byte estimates come from the same
+    ``SourceBatch`` estimator over the same slicing.  Split out so a warm
+    pool execution (which skips the scatter entirely) still reports the
+    same metrics as a cold one.
     """
     from repro.runtime.storage import SourceBatch, SourceColumnCache
 
-    np = get_numpy()
-    source = plan.source_node.source
-    cache = SourceColumnCache.of(source)
+    cache = SourceColumnCache.of(plan.source_node.source)
     records = cache.records
     total = len(records)
     measure_bytes = engine.measure_bytes
@@ -369,13 +454,23 @@ def _build_columns_context(engine, plan, query_name: str, metrics) -> Tuple[_Wor
         else:
             metrics.record_in(stop - start, 0)
 
-    field_order: List[str] = []
-    seen = set()
-    for record in records:
-        for name in record.data:
-            if name not in seen:
-                seen.add(name)
-                field_order.append(name)
+
+def _build_columns_context(engine, plan, query_name: str, metrics) -> Tuple[_WorkerContext, List[int]]:
+    """Scatter a replay source's cached columns into a shared-memory export.
+
+    Partition assignment hashes the cached partition-key column directly —
+    no per-record dict probing, no row materialization.
+    """
+    from repro.runtime.storage import SourceColumnCache
+
+    np = get_numpy()
+    source = plan.source_node.source
+    cache = SourceColumnCache.of(source)
+    records = cache.records
+    total = len(records)
+    account_columns_input(engine, plan, metrics)
+
+    field_order = _discover_field_order(records)
 
     num_partitions = engine.num_partitions
     index_lists: List[List[int]] = [[] for _ in range(num_partitions)]
@@ -413,6 +508,103 @@ def _build_columns_context(engine, plan, query_name: str, metrics) -> Tuple[_Wor
         perm=perm,
     )
     return context, [len(indices) for indices in index_lists]
+
+
+def _build_split_columns_context(
+    engine, plan, query_name: str, metrics, first_compiled, split: int
+) -> Tuple[_WorkerContext, List[int]]:
+    """Re-transpose a split plan's prefix outputs into a shared-memory export.
+
+    The parent runs the pre-split prefix exactly as the records path does
+    (``_scatter_partitions`` — prefix sinks write, input metrics account),
+    but instead of handing each partition a fork-inherited record list, the
+    prefix's *output* records are transposed through a fresh
+    :class:`SourceColumnCache` and exported once.  Each partition's input
+    becomes an ordered segment list: ``["cols", start, stop]`` for a
+    contiguous run of export rows entering at the split barrier, and
+    ``["recs", entry, records]`` for rows that enter mid-pipeline
+    (join/union right sides), which keep the fork-inherited record path.
+    """
+    from repro.runtime.storage import SourceColumnCache
+
+    np = get_numpy()
+    partitions = engine._scatter_partitions(plan, metrics, first_compiled, split)
+    prefix_records: List[Record] = []
+    segments: List[List[List[Any]]] = []
+    for pairs in partitions:
+        part_segments: List[List[Any]] = []
+        for entry_index, record in pairs:
+            if entry_index == split:
+                position = len(prefix_records)
+                last = part_segments[-1] if part_segments else None
+                if last is not None and last[0] == "cols" and last[2] == position:
+                    last[2] = position + 1
+                else:
+                    part_segments.append(["cols", position, position + 1])
+                prefix_records.append(record)
+            else:
+                last = part_segments[-1] if part_segments else None
+                if last is not None and last[0] == "recs" and last[1] == entry_index:
+                    last[2].append(record)
+                else:
+                    part_segments.append(["recs", entry_index, [record]])
+        segments.append(part_segments)
+
+    field_order = _discover_field_order(prefix_records)
+    cache = SourceColumnCache(prefix_records)
+    total = len(prefix_records)
+    perm = np.arange(total, dtype=np.intp)
+    export, shm_fields = SharedColumnExport.build(cache, field_order, perm, [0, total])
+    shm_set = set(shm_fields)
+    list_columns = {
+        name: cache.list_column(name) for name in field_order if name not in shm_set
+    }
+    context = _WorkerContext(
+        engine=engine,
+        plan=plan,
+        query_name=query_name,
+        split=split,
+        mode="split-columns",
+        export=export,
+        list_columns=list_columns,
+        field_order=field_order,
+        shm_fields=shm_fields,
+        perm=None,
+        segments=segments,
+    )
+    return context, [len(pairs) for pairs in partitions]
+
+
+def merge_worker_payloads(engine, plan, metrics, payloads, sinks, operators, split, num_partitions):
+    """Merge worker result payloads into one :class:`QueryResult`.
+
+    The tail of every process-partitioned execution — stable event-time
+    output merge, per-operator metrics merge, ordered sink drain,
+    adaptivity roll-up — shared by the per-execution pool and the
+    persistent :class:`~repro.runtime.pool.WorkerPool`.
+    """
+    engine.last_worker_pids = sorted({payload["pid"] for payload in payloads})
+    collected = list(
+        heapq.merge(
+            *(payload["records"] for payload in payloads),
+            key=lambda record: record.timestamp,
+        )
+    )
+    for payload in payloads:
+        for label, count in payload["operator_events"].items():
+            metrics.record_operator(label, count)
+        for label, seconds in payload["operator_seconds"].items():
+            metrics.record_operator_time(label, seconds)
+    if sinks:
+        engine._drain_sink_buffers(sinks, [payload["sinks"] for payload in payloads])
+    metrics.stop()
+    prefix_stats = [adaptivity_stats_of(operators)] if split else []
+    metrics.record_adaptivity(
+        merge_adaptivity_stats(
+            *prefix_stats, *(payload["adaptivity"] for payload in payloads)
+        )
+    )
+    return engine._finalize(collected, sinks, metrics, plan, partitions=num_partitions)
 
 
 def _flush_inherited_buffers(sinks) -> None:
@@ -459,29 +651,11 @@ def execute_process_partitioned(engine, plan, query_name: str, first_compiled, s
         bus.set_gauge("batch_size", lambda: engine.batch_size)
     metrics.start()
 
-    source = plan.source_node.source
-    use_columns = (
-        split == 0
-        and not entry_points
-        and hasattr(source, "records_list")
-        and not engine.adaptive_batch
-        and get_numpy() is not None
-    )
     context: Optional[_WorkerContext] = None
     try:
-        if use_columns:
-            context, partition_rows = _build_columns_context(engine, plan, query_name, metrics)
-        else:
-            partitions = engine._scatter_partitions(plan, metrics, first_compiled, split)
-            partition_rows = [len(p) for p in partitions]
-            context = _WorkerContext(
-                engine=engine,
-                plan=plan,
-                query_name=query_name,
-                split=split,
-                mode="records",
-                partitions=partitions,
-            )
+        context, partition_rows = build_worker_context(
+            engine, plan, query_name, metrics, first_compiled, split
+        )
         if bus is not None:
             bus.observe_partition_rows(partition_rows)
         _flush_inherited_buffers(sinks)
@@ -493,29 +667,48 @@ def execute_process_partitioned(engine, plan, query_name: str, first_compiled, s
         abort_execution(metrics, sinks)
         raise
     finally:
+        if context is not None:
+            engine.last_parallel_mode = context.mode
         _WORKER_CONTEXT = None
         if context is not None and context.export is not None:
             context.export.close()
 
-    engine.last_worker_pids = sorted({payload["pid"] for payload in payloads})
-    collected = list(
-        heapq.merge(
-            *(payload["records"] for payload in payloads),
-            key=lambda record: record.timestamp,
-        )
+    return merge_worker_payloads(
+        engine, plan, metrics, payloads, sinks, operators, split, num_partitions
     )
-    for payload in payloads:
-        for label, count in payload["operator_events"].items():
-            metrics.record_operator(label, count)
-        for label, seconds in payload["operator_seconds"].items():
-            metrics.record_operator_time(label, seconds)
-    if sinks:
-        engine._drain_sink_buffers(sinks, [payload["sinks"] for payload in payloads])
-    metrics.stop()
-    prefix_stats = [adaptivity_stats_of(operators)] if split else []
-    metrics.record_adaptivity(
-        merge_adaptivity_stats(
-            *prefix_stats, *(payload["adaptivity"] for payload in payloads)
-        )
+
+
+def build_worker_context(
+    engine, plan, query_name: str, metrics, first_compiled, split: int
+) -> Tuple[_WorkerContext, List[int]]:
+    """Pick and build the richest context the plan qualifies for.
+
+    ``columns`` for linear numpy replay plans, ``split-columns`` for
+    map-derived keys on numpy, fork-inherited ``records`` otherwise.
+    Returns the context plus per-partition input row counts.
+    """
+    _, _, entry_points = first_compiled
+    source = plan.source_node.source
+    use_columns = (
+        split == 0
+        and not entry_points
+        and hasattr(source, "records_list")
+        and not engine.adaptive_batch
+        and get_numpy() is not None
     )
-    return engine._finalize(collected, sinks, metrics, plan, partitions=num_partitions)
+    if use_columns:
+        return _build_columns_context(engine, plan, query_name, metrics)
+    if split > 0 and not engine.adaptive_batch and get_numpy() is not None:
+        return _build_split_columns_context(
+            engine, plan, query_name, metrics, first_compiled, split
+        )
+    partitions = engine._scatter_partitions(plan, metrics, first_compiled, split)
+    context = _WorkerContext(
+        engine=engine,
+        plan=plan,
+        query_name=query_name,
+        split=split,
+        mode="records",
+        partitions=partitions,
+    )
+    return context, [len(p) for p in partitions]

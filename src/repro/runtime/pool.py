@@ -1,0 +1,959 @@
+"""Persistent, reusable process worker pool.
+
+The :mod:`repro.runtime.parallel` pool is per-execution: every ``execute``
+pays fork + shared-memory export + plan compilation, which on short inputs
+costs more than the partitioned work itself (the ``scaling`` section of
+``BENCH_runtime.json`` documents exactly this).  :class:`WorkerPool` keeps
+the forked workers **alive across executions** and amortizes all three:
+
+* **fork once, reuse** — workers are forked lazily, on the first task that
+  needs a context they don't know.  Installed contexts live in the
+  module-global :data:`_POOL_CONTEXTS` registry *before* the fork, so
+  children inherit compiled-plan closures and shared-memory mappings the
+  same way the per-execution pool's children do — nothing is pickled in,
+  and workers never attach shared memory by name (no resource-tracker
+  double-unlink wart).  Installing a context a live worker doesn't know
+  restarts that worker slot; the respawn inherits every current context.
+* **compiled-plan cache** — each worker caches its compiled pipeline per
+  context key (query + plan fingerprint + backend + batch size are all part
+  of the key); a warm execution restores the pipeline's pristine operator
+  state from a pickled snapshot instead of recompiling.
+* **shared-memory block reuse** — columns-mode exports for replay sources
+  are parent-owned and kept installed between executions, keyed by
+  :func:`plan_fingerprint` and validated against the source's
+  :class:`~repro.runtime.storage.SourceColumnCache` identity (rebuilt
+  buffer or backend switch ⇒ rebuild + reinstall).  ``pool.close()`` (and a
+  crash-safe ``atexit`` hook) unlinks every export, so ``/dev/shm`` stays
+  clean even after ``os._exit`` worker crashes.
+
+Fault handling: a dead worker is detected (liveness poll + pipe EOF),
+retired and respawned without poisoning the pool.  Idempotent ``run`` tasks
+are retried once on a fresh worker; a second death raises
+:class:`concurrent.futures.process.BrokenProcessPool` like the
+per-execution pool does.  Stateful shard tasks are never retried — the
+shard is declared broken via :class:`~repro.errors.ServiceError`.
+
+The pool also hosts **server shards**: long-lived worker-resident batch
+pipelines (:meth:`WorkerPool.open_shards`) that the service layer's
+``QueryRunner`` feeds micro-batches continuously.  Shard state stays in the
+worker between feeds; checkpoint barriers snapshot it over the same task
+protocol.
+
+Fingerprint caveat: plan identity is *structural* (node descriptions,
+expression reprs, UDF/factory qualnames).  Two plans that differ only in
+values captured by a closure of the same function fingerprint identically —
+rebuilding the same catalog query must hit warm, so object identity cannot
+participate.  Data identity is covered separately by the source-cache
+validation above.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import traceback
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError
+from repro.runtime.batch import RecordBatch
+from repro.runtime.columns import active_backend, get_numpy
+from repro.runtime.operators import (
+    build_batch_pipeline,
+    iter_operators,
+    swap_buffering_sinks,
+)
+from repro.runtime.parallel import (
+    _build_columns_context,
+    _flush_inherited_buffers,
+    account_columns_input,
+    build_worker_context,
+    merge_worker_payloads,
+    process_pool_available,
+)
+from repro.streaming.engine import abort_execution
+from repro.streaming.metrics import MetricsCollector, adaptivity_stats_of
+from repro.streaming.plan import FlatMapNode, MapNode, OperatorNode
+from repro.streaming.record import Record
+
+
+# -- fork-inherited state -----------------------------------------------------------
+
+# Contexts installed before a worker forks; children inherit the dict.  The
+# per-execution pool uses a single slot (`parallel._WORKER_CONTEXT`); the
+# persistent pool needs many live at once, keyed so workers can tell them
+# apart across executions.
+_POOL_CONTEXTS: Dict[str, Any] = {}
+
+# Parent ends of every live worker pipe.  A freshly forked child inherits
+# copies of these descriptors; if it kept them open, a sibling worker's
+# death would never surface as EOF on the parent's pipe.  Children close
+# every registered connection first thing in their main loop.
+_POOL_PARENT_CONNS: List[Any] = []
+
+
+class _WorkerDied(Exception):
+    """Internal: the worker behind a pipe is gone (EOF or liveness check)."""
+
+
+class ShardContext:
+    """A service shard's inheritable compile recipe (engine + linear plan)."""
+
+    __slots__ = ("engine", "plan", "query_name", "export")
+
+    def __init__(self, engine, plan, query_name: str) -> None:
+        self.engine = engine
+        self.plan = plan
+        self.query_name = query_name
+        self.export = None  # uniform context shape for eviction
+
+
+# -- worker side --------------------------------------------------------------------
+
+
+class _CompiledPipeline:
+    """A worker's cached compiled pipeline for one context key.
+
+    ``reset()`` restores every stateful operator to its pristine
+    post-compile state (from a pickled snapshot taken before the first run)
+    and empties the buffering-sink buffers, so a warm re-execution is
+    indistinguishable from a fresh compile.  Stateful operators snapshot a
+    non-``None`` dict even when empty (the checkpoint contract), so the
+    initial snapshot covers every position that can ever hold state.
+    """
+
+    __slots__ = ("stages", "operators", "sink_buffers", "_initial")
+
+    def __init__(self, context) -> None:
+        self.stages, self.operators, self.sink_buffers = context.compile_pipeline()
+        states = []
+        for operator in iter_operators(self.stages):
+            state = operator.checkpoint()
+            if state is not None:
+                states.append((operator.position, state))
+        self._initial = pickle.dumps(states, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def reset(self) -> None:
+        states = dict(pickle.loads(self._initial))
+        for operator in iter_operators(self.stages):
+            state = states.get(operator.position)
+            if state is not None:
+                operator.restore(state)
+        for buffer in self.sink_buffers:
+            del buffer[:]
+
+
+class _WorkerShard:
+    """One long-lived shard pipeline resident in a worker process."""
+
+    __slots__ = ("context", "stages", "operators", "sink_buffers")
+
+    def __init__(self, context: ShardContext) -> None:
+        engine = context.engine
+        operators, _, entry_points = engine.compile(context.plan)
+        if entry_points:
+            raise ServiceError("sharded service pipelines must be linear")
+        operators, sink_buffers = swap_buffering_sinks(operators)
+        self.context = context
+        self.operators = operators
+        self.sink_buffers = sink_buffers
+        self.stages = build_batch_pipeline(operators, (), fuse=engine.fuse)
+
+    def _payload(self, out: List[Record], local: MetricsCollector) -> Dict[str, Any]:
+        sinks = [list(buffer) for buffer in self.sink_buffers]
+        for buffer in self.sink_buffers:
+            del buffer[:]
+        return {
+            "records": out,
+            "sinks": sinks,
+            "operator_events": local.operator_events,
+            "operator_seconds": local.operator_seconds,
+            "pid": os.getpid(),
+        }
+
+    def feed(self, records: List[Record]) -> Dict[str, Any]:
+        engine = self.context.engine
+        local = MetricsCollector(self.context.query_name)
+        out: List[Record] = []
+        batch = engine._run_through(
+            self.stages, RecordBatch.from_records(records), 0, local
+        )
+        if batch is not None and len(batch):
+            out.extend(batch.to_records())
+        return self._payload(out, local)
+
+    def flush(self) -> Dict[str, Any]:
+        engine = self.context.engine
+        local = MetricsCollector(self.context.query_name)
+        out: List[Record] = []
+        engine._flush_stages(self.stages, local, out)
+        return self._payload(out, local)
+
+    def checkpoint(self) -> List[Tuple[int, Any]]:
+        states = []
+        for operator in iter_operators(self.stages):
+            state = operator.checkpoint()
+            if state is not None:
+                states.append((operator.position, state))
+        return states
+
+    def restore(self, states: Sequence[Tuple[int, Any]]) -> None:
+        positions = {operator.position for operator in iter_operators(self.stages)}
+        unknown = sorted(pos for pos, _ in states if pos not in positions)
+        if unknown:
+            raise ServiceError(
+                f"checkpoint references unknown operator positions {unknown}"
+            )
+        by_position = dict(states)
+        for operator in iter_operators(self.stages):
+            state = by_position.get(operator.position)
+            if state is not None:
+                operator.restore(state)
+
+
+def _dispatch(task, compiled: Dict[str, _CompiledPipeline], shards: Dict[Tuple[str, int], _WorkerShard]):
+    kind = task[0]
+    if kind == "ping":
+        return os.getpid()
+    if kind == "run":
+        _, key, index = task
+        context = _POOL_CONTEXTS.get(key)
+        if context is None:
+            raise RuntimeError(
+                f"worker {os.getpid()} was forked before context {key!r} existed"
+            )
+        pipeline = compiled.get(key)
+        cache_hit = pipeline is not None
+        if pipeline is None:
+            pipeline = compiled[key] = _CompiledPipeline(context)
+        else:
+            pipeline.reset()
+        local = MetricsCollector(context.query_name, profile=context.engine.profile)
+        out: List[Record] = []
+        context.drive(index, pipeline.stages, local, out)
+        return {
+            "records": out,
+            "sinks": [list(buffer) for buffer in pipeline.sink_buffers],
+            "operator_events": local.operator_events,
+            "operator_seconds": local.operator_seconds,
+            "adaptivity": adaptivity_stats_of(pipeline.operators),
+            "pid": os.getpid(),
+            "compiled_cache_hit": cache_hit,
+        }
+    if kind == "shard_open":
+        _, key, index = task
+        context = _POOL_CONTEXTS.get(key)
+        if context is None:
+            raise RuntimeError(
+                f"worker {os.getpid()} was forked before shard context {key!r} existed"
+            )
+        shards[(key, index)] = _WorkerShard(context)
+        return os.getpid()
+    if kind == "shard_feed":
+        _, key, index, records = task
+        return shards[(key, index)].feed(records)
+    if kind == "shard_flush":
+        _, key, index = task
+        return shards[(key, index)].flush()
+    if kind == "shard_checkpoint":
+        _, key, index = task
+        return shards[(key, index)].checkpoint()
+    if kind == "shard_restore":
+        _, key, index, states = task
+        shards[(key, index)].restore(states)
+        return True
+    if kind == "shard_close":
+        _, key, index = task
+        shards.pop((key, index), None)
+        return True
+    raise RuntimeError(f"unknown pool task {task[0]!r}")
+
+
+def _pool_worker_main(conn) -> None:
+    """A pool worker's task loop (child side of one duplex pipe)."""
+    # Drop inherited copies of every *other* worker's pipe end (and our own
+    # parent end): leaked descriptors would mask sibling deaths from the
+    # parent's EOF detection.
+    for other in list(_POOL_PARENT_CONNS):
+        try:
+            other.close()
+        except Exception:
+            pass
+    del _POOL_PARENT_CONNS[:]
+    compiled: Dict[str, _CompiledPipeline] = {}
+    shards: Dict[Tuple[str, int], _WorkerShard] = {}
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task[0] == "exit":
+            return
+        try:
+            reply = ("ok", _dispatch(task, compiled, shards))
+        except BaseException as exc:  # ship the failure, keep serving
+            detail = traceback.format_exc()
+            try:
+                pickle.dumps(exc)
+                reply = ("err", exc, detail)
+            except Exception:
+                reply = ("err", RuntimeError(f"{type(exc).__name__}: {exc}"), detail)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+# -- parent side --------------------------------------------------------------------
+
+
+class _WorkerSlot:
+    __slots__ = ("index", "process", "conn", "known_keys", "shard_keys")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process = None
+        self.conn = None
+        self.known_keys: set = set()
+        self.shard_keys: set = set()
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class _ContextEntry:
+    __slots__ = ("key", "context", "fingerprint", "cache", "pinned")
+
+    def __init__(self, key, context, fingerprint, cache=None, pinned=False) -> None:
+        self.key = key
+        self.context = context
+        self.fingerprint = fingerprint
+        self.cache = cache
+        self.pinned = pinned
+
+
+class ShardGroup:
+    """Parent-side handle on a set of worker-resident shard pipelines."""
+
+    def __init__(self, pool: "WorkerPool", key: str, slots: List[_WorkerSlot]) -> None:
+        self._pool = pool
+        self._key = key
+        self._slots = slots
+        self.closed = False
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._slots)
+
+    def _calls(self, tasks: List[Tuple[int, tuple]]) -> List[Any]:
+        if self.closed:
+            raise ServiceError("shard group is closed")
+        return self._pool._shard_calls(
+            [(self._slots[index], task) for index, task in tasks]
+        )
+
+    def feed(self, per_shard: List[Optional[List[Record]]]) -> List[Optional[Dict[str, Any]]]:
+        """Feed each shard its micro-batch slice (``None``/empty = skip)."""
+        tasks = [
+            (i, ("shard_feed", self._key, i, records))
+            for i, records in enumerate(per_shard)
+            if records
+        ]
+        replies = self._calls(tasks)
+        out: List[Optional[Dict[str, Any]]] = [None] * len(per_shard)
+        for (i, _), reply in zip(tasks, replies):
+            out[i] = reply
+        return out
+
+    def flush(self) -> List[Dict[str, Any]]:
+        return self._calls(
+            [(i, ("shard_flush", self._key, i)) for i in range(len(self._slots))]
+        )
+
+    def checkpoint(self) -> List[List[Tuple[int, Any]]]:
+        return self._calls(
+            [(i, ("shard_checkpoint", self._key, i)) for i in range(len(self._slots))]
+        )
+
+    def restore(self, per_shard_states: Sequence[Sequence[Tuple[int, Any]]]) -> None:
+        if len(per_shard_states) != len(self._slots):
+            raise ServiceError(
+                f"checkpoint has {len(per_shard_states)} shards, group has {len(self._slots)}"
+            )
+        self._calls(
+            [
+                (i, ("shard_restore", self._key, i, list(states)))
+                for i, states in enumerate(per_shard_states)
+            ]
+        )
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        for i, slot in enumerate(self._slots):
+            if slot.alive:
+                try:
+                    self._pool._shard_calls([(slot, ("shard_close", self._key, i))])
+                except Exception:
+                    pass
+            slot.shard_keys.discard((self._key, i))
+        self._pool.evict(self._key)
+
+
+class WorkerPool:
+    """A persistent fork-based worker pool shared across executions.
+
+    Pass it to :class:`~repro.runtime.engine.BatchExecutionEngine` (or
+    :class:`~repro.streaming.engine.StreamExecutionEngine`) as
+    ``worker_pool`` together with ``parallelism="process"``; the service
+    layer shares one pool across all registered queries.  Close it
+    explicitly (``close()``); an ``atexit`` hook covers crashed sessions so
+    ``/dev/shm`` exports can't outlive the parent.
+    """
+
+    def __init__(self, workers: int, max_contexts: int = 8) -> None:
+        if workers < 1:
+            raise ValueError("a worker pool needs at least one worker")
+        if not process_pool_available():
+            raise RuntimeError(
+                "persistent worker pools require the fork start method"
+            )
+        self._slots = [_WorkerSlot(i) for i in range(int(workers))]
+        self._entries: Dict[str, _ContextEntry] = {}
+        self._by_fingerprint: Dict[str, str] = {}
+        self._lru: List[str] = []
+        self._max_contexts = max(1, int(max_contexts))
+        self._next_key = 0
+        self.closed = False
+        self.stats = {
+            "cold_executions": 0,
+            "warm_executions": 0,
+            "respawns": 0,
+            "compiled_cache_hits": 0,
+        }
+        self.last_execution: Optional[Dict[str, Any]] = None
+        atexit.register(self._close_at_exit)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return len(self._slots)
+
+    def worker_pids(self) -> List[int]:
+        return [slot.process.pid for slot in self._slots if slot.alive]
+
+    # -- worker lifecycle -------------------------------------------------------
+
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        import multiprocessing
+
+        mp_context = multiprocessing.get_context("fork")
+        parent_conn, child_conn = mp_context.Pipe(duplex=True)
+        _flush_inherited_buffers(())
+        _POOL_PARENT_CONNS.append(parent_conn)
+        process = mp_context.Process(
+            target=_pool_worker_main, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        slot.process = process
+        slot.conn = parent_conn
+        slot.known_keys = set(_POOL_CONTEXTS)
+        slot.shard_keys = set()
+
+    def _retire(self, slot: _WorkerSlot, graceful: bool = False) -> None:
+        conn, process = slot.conn, slot.process
+        slot.conn = None
+        slot.process = None
+        slot.known_keys = set()
+        slot.shard_keys = set()
+        if conn is not None:
+            try:
+                _POOL_PARENT_CONNS.remove(conn)
+            except ValueError:
+                pass
+            try:
+                conn.close()
+            except Exception:
+                pass
+        if process is None:
+            return
+        if graceful:
+            process.join(timeout=2.0)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=2.0)
+
+    def _ensure(self, slot: _WorkerSlot, keys: set) -> None:
+        """Make ``slot`` a live worker that knows every key in ``keys``."""
+        if not slot.alive:
+            if slot.process is not None:  # died since we last used it
+                self.stats["respawns"] += 1
+            self._retire(slot)
+            self._spawn(slot)
+            return
+        if keys <= slot.known_keys:
+            return
+        if slot.shard_keys:
+            # the worker must restart to inherit the new context, but it
+            # hosts live shard pipelines — migrate them across the restart
+            # (checkpoint over the pipe, respawn, re-open, restore).  Between
+            # feeds the shards' sink buffers are empty (every feed/flush
+            # ships and clears them), so operator state is the whole shard.
+            migrated = sorted(slot.shard_keys)
+            states = self._shard_calls(
+                [(slot, ("shard_checkpoint", key, index)) for key, index in migrated]
+            )
+            self._retire(slot)
+            self._spawn(slot)
+            self._shard_calls(
+                [(slot, ("shard_open", key, index)) for key, index in migrated]
+            )
+            self._shard_calls(
+                [
+                    (slot, ("shard_restore", key, index, list(state)))
+                    for (key, index), state in zip(migrated, states)
+                ]
+            )
+            slot.shard_keys = set(migrated)
+            return
+        self._retire(slot)
+        self._spawn(slot)
+
+    def warm_up(self) -> None:
+        """Eagerly fork every worker (e.g. before entering an event loop, so
+        children don't inherit sockets created later)."""
+        self._check_open()
+        for slot in self._slots:
+            if not slot.alive:
+                self._retire(slot)
+                self._spawn(slot)
+
+    def _recv(self, slot: _WorkerSlot):
+        conn = slot.conn
+        while True:
+            try:
+                if conn.poll(0.05):
+                    return conn.recv()
+            except (EOFError, OSError):
+                raise _WorkerDied()
+            if not slot.alive:
+                # drain a reply the worker managed to write before dying
+                try:
+                    if conn.poll(0):
+                        return conn.recv()
+                except (EOFError, OSError):
+                    pass
+                raise _WorkerDied()
+
+    # -- context registry -------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise RuntimeError("worker pool is closed")
+
+    def install_context(
+        self, context, fingerprint: Optional[str] = None, cache=None, pinned: bool = False
+    ) -> str:
+        """Register a context for inheritance by (re)forked workers.
+
+        Reusable contexts carry a ``fingerprint`` (warm lookups) and the
+        source column ``cache`` they were built from (validity check);
+        ``pinned`` contexts (shards) are exempt from LRU trimming.
+        """
+        self._check_open()
+        key = f"ctx-{self._next_key}"
+        self._next_key += 1
+        if fingerprint is not None:
+            stale = self._by_fingerprint.pop(fingerprint, None)
+            if stale is not None:
+                self.evict(stale)
+            self._by_fingerprint[fingerprint] = key
+        _POOL_CONTEXTS[key] = context
+        self._entries[key] = _ContextEntry(key, context, fingerprint, cache, pinned)
+        self._lru.append(key)
+        self._trim(protect=key)
+        return key
+
+    def lookup(self, fingerprint: str) -> Optional[_ContextEntry]:
+        key = self._by_fingerprint.get(fingerprint)
+        if key is None:
+            return None
+        entry = self._entries.get(key)
+        if entry is not None:
+            try:
+                self._lru.remove(key)
+            except ValueError:
+                pass
+            self._lru.append(key)
+        return entry
+
+    def evict(self, key: str) -> None:
+        entry = self._entries.pop(key, None)
+        _POOL_CONTEXTS.pop(key, None)
+        try:
+            self._lru.remove(key)
+        except ValueError:
+            pass
+        if entry is None:
+            return
+        if entry.fingerprint is not None:
+            if self._by_fingerprint.get(entry.fingerprint) == key:
+                del self._by_fingerprint[entry.fingerprint]
+        export = getattr(entry.context, "export", None)
+        if export is not None:
+            export.close()
+
+    def _trim(self, protect: Optional[str] = None) -> None:
+        evictable = [
+            key
+            for key in self._lru
+            if key != protect and not self._entries[key].pinned
+        ]
+        while len(self._entries) > self._max_contexts and evictable:
+            self.evict(evictable.pop(0))
+
+    # -- task dispatch ----------------------------------------------------------
+
+    def run_partitions(self, key: str, num_partitions: int) -> List[Dict[str, Any]]:
+        """Run partitions 0..N-1 of an installed execution context.
+
+        ``run`` tasks are idempotent (operator state is reset per run, shm
+        views are read-only), so a worker death mid-task is retried once on
+        a respawned worker before the pool gives up.
+        """
+        self._check_open()
+        tasks = [("run", key, index) for index in range(num_partitions)]
+        return self._map_tasks(tasks, {key}, retries=1)
+
+    def _map_tasks(self, tasks, keys: set, retries: int) -> List[Any]:
+        results: List[Any] = [None] * len(tasks)
+        pending = list(enumerate(tasks))
+        attempts = 0
+        while pending:
+            failed: List[Tuple[int, tuple]] = []
+            assignments: List[List[Tuple[int, tuple]]] = [[] for _ in self._slots]
+            for j, item in enumerate(pending):
+                assignments[j % len(self._slots)].append(item)
+            active: List[Tuple[_WorkerSlot, List[Tuple[int, tuple]]]] = []
+            for slot, items in zip(self._slots, assignments):
+                if not items:
+                    continue
+                try:
+                    self._ensure(slot, keys)
+                    for _, task in items:
+                        slot.conn.send(task)
+                except (OSError, ValueError, BrokenPipeError):
+                    self._retire(slot)
+                    failed.extend(items)
+                    continue
+                active.append((slot, items))
+            remote_error: Optional[BaseException] = None
+            remote_detail = ""
+            for slot, items in active:
+                for position, (i, _task) in enumerate(items):
+                    try:
+                        reply = self._recv(slot)
+                    except _WorkerDied:
+                        self._retire(slot)
+                        failed.extend(items[position:])
+                        break
+                    if reply[0] == "err":
+                        if remote_error is None:
+                            remote_error = reply[1]
+                            remote_detail = reply[2]
+                    else:
+                        results[i] = reply[1]
+            if remote_error is not None:
+                # a real (in-worker) failure, not a crash: re-raise it after
+                # every outstanding reply is drained so no stale replies can
+                # poison the next dispatch
+                raise remote_error from RuntimeError(
+                    f"pool worker failed:\n{remote_detail}"
+                )
+            if failed:
+                attempts += 1
+                self.stats["respawns"] += 1
+                if attempts > retries:
+                    from concurrent.futures.process import BrokenProcessPool
+
+                    raise BrokenProcessPool(
+                        "a pool worker died while running a task (retry exhausted)"
+                    )
+            pending = failed
+        return results
+
+    def _shard_calls(self, calls: List[Tuple[_WorkerSlot, tuple]]) -> List[Any]:
+        """Dispatch stateful shard tasks (no retry; death breaks the shard).
+
+        Tasks run in waves of at most one outstanding task per worker so a
+        large payload send can never deadlock against an unread reply.
+        """
+        self._check_open()
+        results: List[Any] = [None] * len(calls)
+        queues: Dict[int, List[Tuple[int, tuple]]] = {}
+        slots: Dict[int, _WorkerSlot] = {}
+        for i, (slot, task) in enumerate(calls):
+            queues.setdefault(slot.index, []).append((i, task))
+            slots[slot.index] = slot
+        while any(queues.values()):
+            wave = []
+            for index, queue in queues.items():
+                if not queue:
+                    continue
+                slot = slots[index]
+                i, task = queue.pop(0)
+                try:
+                    if not slot.alive:
+                        raise _WorkerDied()
+                    slot.conn.send(task)
+                except (_WorkerDied, OSError, ValueError, BrokenPipeError) as exc:
+                    self._retire(slot)
+                    raise ServiceError(
+                        f"shard worker {index} died; its operator state is lost"
+                    ) from exc
+                wave.append((slot, i))
+            remote_error: Optional[BaseException] = None
+            died: Optional[int] = None
+            for slot, i in wave:
+                try:
+                    reply = self._recv(slot)
+                except _WorkerDied:
+                    self._retire(slot)
+                    died = slot.index
+                    continue
+                if reply[0] == "err":
+                    if remote_error is None:
+                        remote_error = reply[1]
+                else:
+                    results[i] = reply[1]
+            if died is not None:
+                raise ServiceError(
+                    f"shard worker {died} died; its operator state is lost"
+                )
+            if remote_error is not None:
+                raise remote_error
+        return results
+
+    # -- server shards ----------------------------------------------------------
+
+    def open_shards(self, query_name: str, engine, plan, num_shards: int) -> ShardGroup:
+        """Open ``num_shards`` long-lived shard pipelines on the pool.
+
+        Shards are assigned round-robin over the worker slots and stay
+        resident (operator state included) until the group is closed.
+        """
+        self._check_open()
+        if num_shards < 1:
+            raise ServiceError("a shard group needs at least one shard")
+        context = ShardContext(engine, plan, query_name)
+        key = self.install_context(context, pinned=True)
+        slots = [self._slots[i % len(self._slots)] for i in range(num_shards)]
+        for slot in dict.fromkeys(slots):
+            self._ensure(slot, {key})
+        group = ShardGroup(self, key, slots)
+        try:
+            group._calls([(i, ("shard_open", key, i)) for i in range(num_shards)])
+        except BaseException:
+            self.evict(key)
+            raise
+        for i, slot in enumerate(slots):
+            slot.shard_keys.add((key, i))
+        return group
+
+    # -- shutdown ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker and unlink every pooled shared-memory export."""
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            atexit.unregister(self._close_at_exit)
+        except Exception:
+            pass
+        for slot in self._slots:
+            if slot.alive:
+                try:
+                    slot.conn.send(("exit",))
+                except Exception:
+                    pass
+        for slot in self._slots:
+            self._retire(slot, graceful=True)
+        for key in list(self._entries):
+            self.evict(key)
+
+    def _close_at_exit(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# -- plan fingerprinting ------------------------------------------------------------
+
+
+def plan_fingerprint(engine, plan, query_name: str) -> str:
+    """A structural identity for (query, plan, backend, engine config).
+
+    Stable across plan *rebuilds* (``QUERY_CATALOG[...].build(...)`` creates
+    fresh node/expression objects every call — warm pool hits require value
+    identity, not object identity), while distinguishing structurally
+    different plans: node kinds, expression reprs, map assignment exprs,
+    UDF/factory qualnames, plus every engine knob that changes compilation
+    or batching.  See the module docstring for the closure caveat.
+    """
+    parts = [
+        f"q={query_name}",
+        f"backend={active_backend()}",
+        f"batch={engine.batch_size}",
+        f"parts={engine.num_partitions}",
+        f"key={engine.partition_key}",
+        f"fuse={engine.fuse}",
+        f"profile={engine.profile}",
+        f"adaptive={engine.adaptive_batch}",
+    ]
+    _fingerprint_nodes(plan, parts)
+    return "|".join(parts)
+
+
+def _fingerprint_nodes(plan, parts: List[str]) -> None:
+    for node in plan.nodes:
+        if isinstance(node, MapNode):
+            parts.append(f"map({node.assignments!r})")
+        elif isinstance(node, FlatMapNode):
+            func = node.func
+            parts.append(
+                "flat_map("
+                f"{getattr(func, '__module__', '')}.{getattr(func, '__qualname__', 'fn')})"
+            )
+        elif isinstance(node, OperatorNode):
+            factory = node.factory
+            parts.append(
+                f"{node.describe()}:"
+                f"{getattr(factory, '__module__', '')}.{getattr(factory, '__qualname__', 'f')}"
+            )
+        else:
+            parts.append(node.describe())
+        right = getattr(node, "right_plan", None)
+        if right is not None:
+            parts.append("[")
+            _fingerprint_nodes(right, parts)
+            parts.append("]")
+
+
+# -- pooled execution ---------------------------------------------------------------
+
+
+def _warm_entry(pool: WorkerPool, engine, plan, fingerprint: str) -> Optional[_ContextEntry]:
+    """The installed reusable context for this plan, if still valid.
+
+    The fingerprint covers structure and config; data validity is the
+    source cache identity — a rebuilt replay buffer or a backend switch
+    rebuilds the cache object, invalidating the export.
+    """
+    from repro.runtime.storage import SourceColumnCache
+
+    entry = pool.lookup(fingerprint)
+    if entry is None:
+        return None
+    cache = SourceColumnCache.of(plan.source_node.source)
+    if entry.cache is not cache:
+        pool.evict(entry.key)
+        return None
+    return entry
+
+
+def execute_process_pooled(engine, plan, query_name: str, first_compiled, split: int):
+    """Run a partitioned plan on the engine's persistent worker pool.
+
+    Mirrors :func:`~repro.runtime.parallel.execute_process_partitioned` end
+    to end, but forks nothing on the warm path: a linear numpy replay plan
+    whose fingerprint and source cache match an installed context skips
+    scatter, export and worker compilation entirely.  Everything else
+    installs a transient context (workers restart to inherit it — the cost
+    of the per-execution pool, no worse) that is evicted afterwards.
+    """
+    pool: WorkerPool = engine.worker_pool
+    num_partitions = engine.num_partitions
+    metrics = MetricsCollector(query_name, profile=engine.profile, bus=engine.metric_bus)
+    operators, sinks, entry_points = first_compiled
+    bus = metrics.bus
+    if bus is not None:
+        bus.set_gauge("batch_size", lambda: engine.batch_size)
+    metrics.start()
+
+    source = plan.source_node.source
+    reusable = (
+        split == 0
+        and not entry_points
+        and hasattr(source, "records_list")
+        and not engine.adaptive_batch
+        and get_numpy() is not None
+    )
+    transient: Optional[str] = None
+    key: Optional[str] = None
+    try:
+        warm = False
+        if reusable:
+            fingerprint = plan_fingerprint(engine, plan, query_name)
+            entry = _warm_entry(pool, engine, plan, fingerprint)
+            if entry is not None:
+                warm = True
+                key = entry.key
+                context = entry.context
+                account_columns_input(engine, plan, metrics)
+                bounds = context.export.bounds
+                partition_rows = [
+                    bounds[i + 1] - bounds[i] for i in range(len(bounds) - 1)
+                ]
+            else:
+                from repro.runtime.storage import SourceColumnCache
+
+                context, partition_rows = _build_columns_context(
+                    engine, plan, query_name, metrics
+                )
+                key = pool.install_context(
+                    context,
+                    fingerprint,
+                    cache=SourceColumnCache.of(plan.source_node.source),
+                )
+        else:
+            context, partition_rows = build_worker_context(
+                engine, plan, query_name, metrics, first_compiled, split
+            )
+            key = transient = pool.install_context(context)
+        if bus is not None:
+            bus.observe_partition_rows(partition_rows)
+        _flush_inherited_buffers(sinks)
+        payloads = pool.run_partitions(key, num_partitions)
+        pool.stats["warm_executions" if warm else "cold_executions"] += 1
+        cache_hits = sum(1 for payload in payloads if payload.get("compiled_cache_hit"))
+        pool.stats["compiled_cache_hits"] += cache_hits
+        pool.last_execution = {
+            "key": key,
+            "warm": warm,
+            "mode": context.mode,
+            "compiled_cache_hits": cache_hits,
+            "partitions": num_partitions,
+        }
+        engine.last_parallel_mode = context.mode
+    except BaseException:
+        abort_execution(metrics, sinks)
+        # a failed execution must not pin its export: evict the context (and
+        # unlink its shm) whether it was freshly installed or a warm hit
+        if key is not None and transient is None and not pool.closed:
+            pool.evict(key)
+        raise
+    finally:
+        if transient is not None:
+            pool.evict(transient)
+    return merge_worker_payloads(
+        engine, plan, metrics, payloads, sinks, operators, split, num_partitions
+    )

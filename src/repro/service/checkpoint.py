@@ -1,19 +1,27 @@
-"""Atomic operator-state checkpoints for the stream server.
+"""Atomic, rotated operator-state checkpoints for the stream server.
 
-A checkpoint is two files in the checkpoint directory:
+A checkpoint is a pair of seq-numbered files in the checkpoint directory:
 
-* ``checkpoint.pkl`` — the pickled payload: per-query operator state (by
-  pipeline position) and sink positions, plus the global ``consumed`` event
-  offset the barrier was taken at;
-* ``checkpoint.json`` — a small manifest (``seq``, ``consumed``, per-query
-  event counters) readable without unpickling, for feeders, tests and
-  humans.
+* ``checkpoint-<seq>.pkl`` — the pickled payload: per-query operator state
+  (by pipeline position) and sink positions, plus the global ``consumed``
+  event offset the barrier was taken at;
+* ``checkpoint-<seq>.json`` — a small manifest (``seq``, ``consumed``,
+  per-query event counters) readable without unpickling, for feeders,
+  tests and humans.
 
-Both are written to temp files and moved into place with ``os.replace``, so
-a crash mid-write leaves the previous checkpoint intact.  The payload is
-pickled *inside the barrier* (operator state may alias live containers) and
-versioned; a future layout change bumps ``FORMAT_VERSION`` and refuses
-mismatched files instead of mis-restoring them.
+Both are written to temp files and moved into place with ``os.replace``
+(payload first, manifest last), so a pair is *complete* exactly when its
+manifest exists — a crash mid-write leaves the previous complete pair
+intact.  The manager keeps the last ``keep`` complete pairs and prunes
+older ones manifest-first, so a crash mid-prune can leave a payload
+without a manifest (ignored as incomplete) but never a manifest without
+its pickle.  The payload is pickled *inside the barrier* (operator state
+may alias live containers) and versioned; a future layout change bumps
+``FORMAT_VERSION`` and refuses mismatched files instead of mis-restoring
+them.
+
+Pre-rotation directories (a single unnumbered ``checkpoint.pkl``/``.json``
+pair) are still readable: the legacy pair acts as the oldest generation.
 """
 
 from __future__ import annotations
@@ -21,30 +29,83 @@ from __future__ import annotations
 import json
 import os
 import pickle
-from typing import Any, Dict, Optional
+import re
+from typing import Any, Dict, List, Optional
 
 from repro.errors import CheckpointError
 
 FORMAT_VERSION = 1
 
-_PAYLOAD_FILE = "checkpoint.pkl"
-_MANIFEST_FILE = "checkpoint.json"
+_LEGACY_PAYLOAD_FILE = "checkpoint.pkl"
+_LEGACY_MANIFEST_FILE = "checkpoint.json"
+_PAIR_RE = re.compile(r"^checkpoint-(\d{8})\.json$")
 
 
 class CheckpointManager:
-    """Writes and reads the server's checkpoint pair in one directory."""
+    """Writes, rotates and reads the server's checkpoint pairs in one directory."""
 
-    def __init__(self, directory: str) -> None:
+    def __init__(self, directory: str, keep: int = 3) -> None:
         self.directory = directory
+        self.keep = max(1, int(keep))
         os.makedirs(directory, exist_ok=True)
-        self.payload_path = os.path.join(directory, _PAYLOAD_FILE)
-        self.manifest_path = os.path.join(directory, _MANIFEST_FILE)
+
+    # -- pair discovery ---------------------------------------------------------
+
+    def _pair(self, seq: int) -> "tuple[str, str]":
+        stem = os.path.join(self.directory, f"checkpoint-{seq:08d}")
+        return stem + ".pkl", stem + ".json"
+
+    def _complete_seqs(self) -> List[int]:
+        """Ascending seq numbers whose payload *and* manifest both exist."""
+        seqs = []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        for name in names:
+            match = _PAIR_RE.match(name)
+            if match is None:
+                continue
+            seq = int(match.group(1))
+            if os.path.exists(self._pair(seq)[0]):
+                seqs.append(seq)
+        return sorted(seqs)
+
+    def _legacy_complete(self) -> bool:
+        return os.path.exists(
+            os.path.join(self.directory, _LEGACY_PAYLOAD_FILE)
+        ) and os.path.exists(os.path.join(self.directory, _LEGACY_MANIFEST_FILE))
+
+    @property
+    def payload_path(self) -> str:
+        """The latest complete pair's payload (legacy fallback, else the
+        path the next write would land on)."""
+        seqs = self._complete_seqs()
+        if seqs:
+            return self._pair(seqs[-1])[0]
+        return os.path.join(self.directory, _LEGACY_PAYLOAD_FILE)
+
+    @property
+    def manifest_path(self) -> str:
+        """The latest complete pair's manifest (legacy fallback)."""
+        seqs = self._complete_seqs()
+        if seqs:
+            return self._pair(seqs[-1])[1]
+        return os.path.join(self.directory, _LEGACY_MANIFEST_FILE)
 
     def exists(self) -> bool:
-        return os.path.exists(self.payload_path) and os.path.exists(self.manifest_path)
+        return bool(self._complete_seqs()) or self._legacy_complete()
+
+    # -- write + rotate ---------------------------------------------------------
 
     def write(self, seq: int, consumed: int, queries: Dict[str, Dict[str, Any]]) -> None:
-        """Persist one barrier's state atomically (payload first, then manifest)."""
+        """Persist one barrier's state atomically, then prune old pairs.
+
+        Payload first, manifest second (the pair is complete only once the
+        manifest lands); pruning deletes manifests before their payloads so
+        an interrupted prune can never leave a manifest whose pickle is
+        gone.
+        """
         payload = {
             "version": FORMAT_VERSION,
             "seq": seq,
@@ -55,7 +116,8 @@ class CheckpointManager:
             blob = pickle.dumps(payload)
         except Exception as exc:
             raise CheckpointError(f"operator state is not picklable: {exc}") from exc
-        self._replace(self.payload_path, blob)
+        payload_path, manifest_path = self._pair(seq)
+        self._replace(payload_path, blob)
         manifest = {
             "version": FORMAT_VERSION,
             "seq": seq,
@@ -68,7 +130,28 @@ class CheckpointManager:
                 for name, state in queries.items()
             },
         }
-        self._replace(self.manifest_path, (json.dumps(manifest) + "\n").encode("utf-8"))
+        self._replace(manifest_path, (json.dumps(manifest) + "\n").encode("utf-8"))
+        self._prune(current=seq)
+
+    def _prune(self, current: int) -> None:
+        survivors = [seq for seq in self._complete_seqs() if seq != current]
+        excess = len(survivors) - (self.keep - 1)
+        for seq in survivors[:max(0, excess)]:
+            payload_path, manifest_path = self._pair(seq)
+            self._remove(manifest_path)
+            self._remove(payload_path)
+        if self._legacy_complete() and len(self._complete_seqs()) >= self.keep:
+            # the pre-rotation pair is the oldest generation; retire it once
+            # enough numbered pairs cover the keep window
+            self._remove(os.path.join(self.directory, _LEGACY_MANIFEST_FILE))
+            self._remove(os.path.join(self.directory, _LEGACY_PAYLOAD_FILE))
+
+    @staticmethod
+    def _remove(path: str) -> None:
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            pass
 
     @staticmethod
     def _replace(path: str, data: bytes) -> None:
@@ -79,14 +162,16 @@ class CheckpointManager:
             os.fsync(handle.fileno())
         os.replace(tmp, path)
 
+    # -- read -------------------------------------------------------------------
+
     def read_manifest(self) -> Optional[Dict[str, Any]]:
-        if not os.path.exists(self.manifest_path):
+        if not self.exists():
             return None
         with open(self.manifest_path) as handle:
             return json.load(handle)
 
     def load(self) -> Optional[Dict[str, Any]]:
-        """The latest checkpoint payload, or ``None`` when none was written."""
+        """The latest complete checkpoint payload, or ``None`` when none exists."""
         if not self.exists():
             return None
         with open(self.payload_path, "rb") as handle:

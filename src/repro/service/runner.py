@@ -10,10 +10,20 @@ same events through ``engine.execute`` (the parity the service tests pin).
 
 Runners are single-threaded: the server drives each one from its own worker
 coroutine and quiesces all of them before checkpointing.
+
+A batch runner given a :class:`~repro.runtime.pool.WorkerPool` and
+``partitions > 1`` becomes *sharded*: it opens long-lived shard pipelines in
+the pool's worker processes (one compiled copy per shard, resident across
+micro-batches), scatters each drained buffer by the partition key's stable
+hash, and re-merges shard outputs in event-time order.  Only plans whose
+partition key is stable from the source qualify (``_partition_split == 0``)
+— the same record-parity contract as the replay engines' partitioned path.
 """
 
 from __future__ import annotations
 
+import heapq
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Union
 
 from repro.errors import ServiceError
@@ -38,6 +48,10 @@ class QueryRunner:
     :class:`~repro.streaming.adaptivity.AdaptiveLoadShedder` ahead of the
     query's own operators — the hook the server's backpressure control loop
     engages without touching the registered query.
+
+    ``pool`` + ``partitions > 1`` (batch mode only) runs the pipeline
+    sharded across the pool's resident worker processes instead of in this
+    process; see the module docstring.
     """
 
     def __init__(
@@ -49,12 +63,18 @@ class QueryRunner:
         fuse: bool = True,
         metric_bus=None,
         shed_target_eps: Optional[float] = None,
+        pool=None,
+        partitions: int = 1,
+        partition_key: str = "device_id",
     ) -> None:
         if mode not in _MODES:
             raise ServiceError(f"unknown runner mode {mode!r}; expected one of {_MODES}")
         self.name = name
         self.mode = mode
         self.batch_size = max(1, int(batch_size))
+        self.partitions = max(1, int(partitions))
+        self.partition_key = partition_key
+        sharded = pool is not None and self.partitions > 1
         plan = query.plan()
         self._engine = StreamExecutionEngine(measure_bytes=False)
         operators, sinks, entry_points = self._engine.compile(plan)
@@ -63,6 +83,16 @@ class QueryRunner:
                 f"query {name!r} has a binary node (join/union); the service layer "
                 "runs linear plans only — materialize the side into the feed instead"
             )
+        if sharded:
+            if mode != "batch":
+                raise ServiceError(
+                    f"query {name!r}: sharded execution requires mode='batch'"
+                )
+            if shed_target_eps is not None:
+                raise ServiceError(
+                    f"query {name!r}: shed_target_eps is incompatible with sharded "
+                    "execution — the shedder would only see the parent's scatter"
+                )
         self.shedder: Optional[AdaptiveLoadShedder] = None
         if shed_target_eps is not None:
             self.shedder = AdaptiveLoadShedder(shed_target_eps)
@@ -73,8 +103,11 @@ class QueryRunner:
         self.events_out = 0
         self.finished = False
         self._stages = None
+        self._shards = None
         self._buffer: List[Record] = []
-        if mode == "batch":
+        if sharded:
+            self._shards = self._open_shards(pool, plan, fuse)
+        elif mode == "batch":
             from repro.runtime.operators import build_batch_pipeline
 
             self._stages = build_batch_pipeline(operators, (), fuse=fuse)
@@ -84,6 +117,27 @@ class QueryRunner:
             bus.set_gauge("adaptivity", lambda: adaptivity_stats_of(self.operators))
         self.metrics.start()
 
+    def _open_shards(self, pool, plan, fuse: bool):
+        """Qualify the plan for sharding and open the shard pipelines."""
+        from repro.runtime.engine import BatchExecutionEngine
+
+        engine = BatchExecutionEngine(
+            batch_size=self.batch_size,
+            measure_bytes=False,
+            fuse=fuse,
+            num_partitions=self.partitions,
+            partition_key=self.partition_key,
+        )
+        compiled = engine.compile(plan)
+        split = engine._partition_split(plan, compiled)
+        if split != 0:
+            raise ServiceError(
+                f"query {self.name!r} cannot shard on {self.partition_key!r}: the key "
+                "must be stable from the source (map-derived or unstable keys need "
+                "a single-partition prefix the push-driven service does not run)"
+            )
+        return pool.open_shards(self.name, engine, plan, self.partitions)
+
     # -- feeding ---------------------------------------------------------------------
 
     def process(self, record: Record) -> int:
@@ -91,7 +145,7 @@ class QueryRunner:
         if self.finished:
             return 0
         self.metrics.record_in(1, estimate_record_bytes(record))
-        if self._stages is None:
+        if self._stages is None and self._shards is None:
             produced = 0
             for _ in self._engine._push(record, self.operators, 0, self.metrics):
                 produced += 1
@@ -104,16 +158,58 @@ class QueryRunner:
 
     def drain(self) -> int:
         """Run the buffered partial batch through the stages (batch mode)."""
-        if self._stages is None or not self._buffer:
+        if (self._stages is None and self._shards is None) or not self._buffer:
             return 0
-        from repro.runtime.batch import RecordBatch
-        from repro.runtime.engine import BatchExecutionEngine
+        started = perf_counter()
+        if self._shards is not None:
+            produced = self._drain_sharded()
+        else:
+            from repro.runtime.batch import RecordBatch
+            from repro.runtime.engine import BatchExecutionEngine
 
-        batch = RecordBatch.from_records(self._buffer)
-        self._buffer = []
-        out = BatchExecutionEngine._run_through(self._stages, batch, 0, self.metrics)
-        produced = len(out) if out is not None else 0
+            batch = RecordBatch.from_records(self._buffer)
+            self._buffer = []
+            out = BatchExecutionEngine._run_through(self._stages, batch, 0, self.metrics)
+            produced = len(out) if out is not None else 0
         self.events_out += produced
+        bus = self.metrics.bus
+        if bus is not None and produced:
+            bus.observe_latency(perf_counter() - started, produced)
+        return produced
+
+    def _drain_sharded(self) -> int:
+        """Scatter the buffer across the shards and merge their outputs."""
+        from repro.runtime.parallel import stable_hash
+
+        num_shards = self._shards.num_shards
+        per_shard: List[List[Record]] = [[] for _ in range(num_shards)]
+        key = self.partition_key
+        for record in self._buffer:
+            per_shard[stable_hash(record.data.get(key)) % num_shards].append(record)
+        self._buffer = []
+        payloads = self._shards.feed(per_shard)
+        return self._merge_shard_payloads([p for p in payloads if p is not None])
+
+    def _merge_shard_payloads(self, payloads: List[Dict[str, Any]]) -> int:
+        """Fold shard outputs into the parent: event-time-merged records,
+        operator metric deltas, and sink writes replayed in timestamp order."""
+        if not payloads:
+            return 0
+        produced = 0
+        for record in heapq.merge(
+            *(p["records"] for p in payloads), key=lambda r: r.timestamp
+        ):
+            produced += 1
+        for payload in payloads:
+            for label, count in payload["operator_events"].items():
+                self.metrics.record_operator(label, count)
+            for label, seconds in payload["operator_seconds"].items():
+                self.metrics.record_operator_time(label, seconds)
+        for index, sink in enumerate(self.sinks):
+            for record in heapq.merge(
+                *(p["sinks"][index] for p in payloads), key=lambda r: r.timestamp
+            ):
+                sink.accept(record)
         return produced
 
     def set_batch_size(self, batch_size: int) -> None:
@@ -130,7 +226,11 @@ class QueryRunner:
             return 0
         self.finished = True
         produced = 0
-        if self._stages is None:
+        if self._shards is not None:
+            self.drain()
+            produced = self._merge_shard_payloads(self._shards.flush())
+            self._shards.close()
+        elif self._stages is None:
             for _ in self._engine._flush(self.operators, 0, self.metrics):
                 produced += 1
         else:
@@ -152,6 +252,11 @@ class QueryRunner:
         if self.finished:
             return
         self.finished = True
+        if self._shards is not None:
+            try:
+                self._shards.close()
+            except Exception:
+                pass
         self.metrics.stop()
         self.metrics.events_out = self.events_out
         try:
@@ -163,6 +268,8 @@ class QueryRunner:
 
     def buffered_depth(self) -> int:
         depth = len(self._buffer)
+        if self._shards is not None:
+            return depth  # worker-resident operator state is not visible here
         if self._stages is None:
             for operator in self.operators:
                 depth += operator.buffered_depth()
@@ -181,6 +288,16 @@ class QueryRunner:
         while keeping in-flight records out of the checkpoint.
         """
         self.drain()
+        if self._shards is not None:
+            state = self._common_checkpoint_fields()
+            state.update(
+                {
+                    "sharded": True,
+                    "num_shards": self._shards.num_shards,
+                    "shards": self._shards.checkpoint(),
+                }
+            )
+            return state
         operator_states: List[Any] = []
         if self._stages is None:
             for position, operator in enumerate(self.operators):
@@ -194,6 +311,11 @@ class QueryRunner:
                 state = stage.checkpoint()
                 if state is not None:
                     operator_states.append((stage.position, state))
+        state = self._common_checkpoint_fields()
+        state["operators"] = operator_states
+        return state
+
+    def _common_checkpoint_fields(self) -> Dict[str, Any]:
         sink_positions: List[Any] = []
         for sink in self.sinks:
             if hasattr(sink, "checkpoint_position"):
@@ -201,13 +323,33 @@ class QueryRunner:
             else:
                 sink_positions.append(None)
         return {
-            "operators": operator_states,
             "sinks": sink_positions,
             "events_in": self.metrics.events_in,
             "events_out": self.events_out,
         }
 
     def restore_state(self, state: Dict[str, Any]) -> None:
+        if self._shards is not None:
+            if not state.get("sharded"):
+                raise ServiceError(
+                    f"checkpoint for {self.name!r} was taken without sharding; "
+                    "restore it with a non-sharded runner or re-checkpoint"
+                )
+            if state["num_shards"] != self._shards.num_shards:
+                raise ServiceError(
+                    f"checkpoint for {self.name!r} has {state['num_shards']} shards "
+                    f"but this runner opened {self._shards.num_shards} — restart "
+                    "with matching --partitions"
+                )
+            self._shards.restore(state["shards"])
+            self._restore_common(state)
+            return
+        if state.get("sharded"):
+            raise ServiceError(
+                f"checkpoint for {self.name!r} was taken with {state['num_shards']} "
+                "shards; restore it with a sharded runner (--parallelism process "
+                "and matching --partitions)"
+            )
         by_position = dict(state["operators"])
         if self._stages is None:
             for position, operator in enumerate(self.operators):
@@ -225,6 +367,9 @@ class QueryRunner:
                 f"{sorted(by_position)} this pipeline does not have — was the query "
                 "or execution mode changed since the checkpoint?"
             )
+        self._restore_common(state)
+
+    def _restore_common(self, state: Dict[str, Any]) -> None:
         for sink, position in zip(self.sinks, state["sinks"]):
             if position is not None:
                 if not hasattr(sink, "restore_position"):

@@ -62,6 +62,7 @@ class StreamServer:
         low_watermark: int = 1_000,
         checkpoint_dir: Optional[str] = None,
         checkpoint_interval_events: int = 0,
+        checkpoint_keep: int = 3,
         resume: bool = False,
         stop_after_eos: bool = False,
     ) -> None:
@@ -73,7 +74,11 @@ class StreamServer:
         self.low_watermark = int(low_watermark)
         self.checkpoint_interval_events = int(checkpoint_interval_events)
         self.stop_after_eos = stop_after_eos
-        self.checkpoints = CheckpointManager(checkpoint_dir) if checkpoint_dir else None
+        self.checkpoints = (
+            CheckpointManager(checkpoint_dir, keep=checkpoint_keep)
+            if checkpoint_dir
+            else None
+        )
         self.resume = resume
         self.consumed = 0  # events fanned out over the server's lifetime (incl. restored)
         self.eos_seen = False
@@ -100,8 +105,15 @@ class StreamServer:
         metric_bus=None,
         shed_target_eps: Optional[float] = None,
         adaptive_batch: bool = False,
+        pool=None,
+        partitions: int = 1,
+        partition_key: str = "device_id",
     ) -> QueryRunner:
-        """Add a continuous query.  Must be called before :meth:`start`."""
+        """Add a continuous query.  Must be called before :meth:`start`.
+
+        ``pool`` + ``partitions > 1`` shards a batch-mode query across the
+        pool's resident worker processes (see :class:`QueryRunner`).
+        """
         if self._server is not None:
             raise ServiceError("register queries before starting the server")
         if name in self._registrations:
@@ -113,6 +125,9 @@ class StreamServer:
             batch_size=batch_size,
             metric_bus=metric_bus,
             shed_target_eps=shed_target_eps,
+            pool=pool,
+            partitions=partitions,
+            partition_key=partition_key,
         )
         registration = _Registration(runner)
         bus = runner.metrics.bus

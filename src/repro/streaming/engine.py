@@ -129,6 +129,7 @@ class StreamExecutionEngine:
         metric_bus=None,
         adaptive_batch: bool = False,
         parallelism: str = "thread",
+        worker_pool=None,
     ) -> None:
         if execution_mode not in ("record", "batch"):
             raise PlanError(
@@ -162,6 +163,9 @@ class StreamExecutionEngine:
         #: ``AdaptiveBatchSizer`` hook).  Off by default: the static paths
         #: read ``batch_size`` once per execution.
         self.adaptive_batch = adaptive_batch
+        #: Persistent :class:`~repro.runtime.pool.WorkerPool` forwarded to the
+        #: batch delegate (process parallelism with amortized fork/shm).
+        self.worker_pool = worker_pool
         self._batch_delegate = None
 
     def set_batch_size(self, batch_size: int) -> None:
@@ -329,6 +333,7 @@ class StreamExecutionEngine:
                 metric_bus=self.metric_bus,
                 adaptive_batch=self.adaptive_batch,
                 parallelism=self.parallelism,
+                worker_pool=self.worker_pool,
             )
         return self._batch_delegate
 

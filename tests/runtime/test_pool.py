@@ -1,0 +1,211 @@
+"""Persistent worker-pool lifecycle: warm reuse, invalidation, fault recovery.
+
+The :class:`~repro.runtime.pool.WorkerPool` amortizes fork, shared-memory
+export and worker-side pipeline compilation across executions.  That reuse
+must be invisible in the results: a warm re-execution is record-identical
+to a cold one (and to the record engine), a *changed* plan never hits a
+stale compiled pipeline, a killed worker is respawned without poisoning the
+pool, and no ``/dev/shm`` segment outlives ``pool.close()`` — even when
+workers die without unwinding.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.queries import QUERY_CATALOG
+from repro.runtime.parallel import process_pool_available
+from repro.runtime.pool import WorkerPool, plan_fingerprint
+from repro.streaming import ListSource, Query, Schema, col
+from repro.streaming.engine import StreamExecutionEngine
+from tests.conftest import canonical_records
+from tests.runtime.test_process_parallel import _assert_process_parity, _shm_entries
+
+fork_required = pytest.mark.skipif(
+    not process_pool_available(), reason="fork start method unavailable"
+)
+
+SCHEMA = Schema.of("pool", device_id=str, value=float, timestamp=float)
+
+
+def _events(n=400):
+    return [
+        {"device_id": f"d{i % 4}", "value": float(i % 9), "timestamp": float(i)}
+        for i in range(n)
+    ]
+
+
+def _pooled_engine(pool, **kwargs):
+    from repro.runtime import BatchExecutionEngine
+
+    kwargs.setdefault("batch_size", 256)
+    kwargs.setdefault("num_partitions", pool.workers)
+    return BatchExecutionEngine(parallelism="process", worker_pool=pool, **kwargs)
+
+
+@pytest.fixture()
+def pool():
+    if not process_pool_available():
+        pytest.skip("fork start method unavailable")
+    pool = WorkerPool(2)
+    yield pool
+    pool.close()
+
+
+@fork_required
+@pytest.mark.usefixtures("column_backend")
+class TestWarmPoolCatalogParity:
+    """Cold + warm pooled executions vs the record engine, whole catalog."""
+
+    @pytest.fixture(scope="class")
+    def record_results(self, full_scenario, column_backend):
+        engine = StreamExecutionEngine()
+        return {
+            query_id: engine.execute(info.build(full_scenario))
+            for query_id, info in QUERY_CATALOG.items()
+        }
+
+    @pytest.fixture(scope="class")
+    def class_pool(self):
+        pool = WorkerPool(2)
+        yield pool
+        pool.close()
+
+    @pytest.mark.parametrize("query_id", sorted(QUERY_CATALOG))
+    def test_cold_then_warm_parity(
+        self, query_id, full_scenario, record_results, class_pool
+    ):
+        engine = _pooled_engine(
+            class_pool,
+            partition_key="cell_id" if query_id == "Q4" else "device_id",
+        )
+        cold = engine.execute(QUERY_CATALOG[query_id].build(full_scenario))
+        _assert_process_parity(record_results[query_id], cold, engine)
+        # rebuilt plan (new object graph, same structure) must hit warm
+        warm = engine.execute(QUERY_CATALOG[query_id].build(full_scenario))
+        _assert_process_parity(record_results[query_id], warm, engine)
+        assert canonical_records(r.as_dict() for r in warm.records) == canonical_records(
+            r.as_dict() for r in cold.records
+        )
+
+
+@fork_required
+def test_warm_execution_reuses_workers_and_shm(full_scenario, pool):
+    """A same-plan re-execution hits the warm path: same worker pids, the
+    compiled-pipeline cache, and the pooled shm export (no new segments)."""
+    engine = _pooled_engine(pool)
+    build = lambda: QUERY_CATALOG["Q1"].build(full_scenario)  # noqa: E731
+    engine.execute(build())
+    assert pool.stats["cold_executions"] >= 1
+    first_pids = set(pool.worker_pids())
+    shm_after_cold = _shm_entries()
+    warm_before = pool.stats["warm_executions"]
+    hits_before = pool.stats["compiled_cache_hits"]
+    engine.execute(build())
+    assert pool.stats["warm_executions"] == warm_before + 1
+    assert pool.stats["compiled_cache_hits"] > hits_before
+    assert set(pool.worker_pids()) == first_pids, "warm run must not refork"
+    assert _shm_entries() == shm_after_cold, "warm run must reuse the shm export"
+    assert pool.last_execution["warm"] is True
+
+
+@fork_required
+def test_plan_change_invalidates_compiled_cache(pool):
+    """Structurally different plans must not share fingerprints or results."""
+    events = _events()
+
+    def build(threshold):
+        return (
+            Query.from_source(ListSource(events, SCHEMA), name="inval")
+            .filter(col("value") > threshold)
+        )
+
+    engine = _pooled_engine(pool)
+    first = engine.execute(build(4.0))
+    second = engine.execute(build(6.0))  # same shape, different expression
+    probe = StreamExecutionEngine()
+    assert canonical_records(r.as_dict() for r in first.records) == canonical_records(
+        r.as_dict() for r in probe.execute(build(4.0)).records
+    )
+    assert canonical_records(r.as_dict() for r in second.records) == canonical_records(
+        r.as_dict() for r in probe.execute(build(6.0)).records
+    )
+    assert len(first.records) != len(second.records)
+    fp = lambda t: plan_fingerprint(  # noqa: E731
+        engine, build(t).plan(), "inval"
+    )
+    assert fp(4.0) != fp(6.0)
+    assert fp(4.0) == fp(4.0), "rebuilt identical plans must co-fingerprint"
+
+
+@fork_required
+def test_killed_worker_respawns_with_correct_results(full_scenario, pool):
+    """SIGKILLing an idle worker is healed on the next execution."""
+    engine = _pooled_engine(pool)
+    build = lambda: QUERY_CATALOG["Q1"].build(full_scenario)  # noqa: E731
+    expected = canonical_records(
+        r.as_dict() for r in engine.execute(build()).records
+    )
+    victim = pool.worker_pids()[0]
+    os.kill(victim, signal.SIGKILL)
+    result = engine.execute(build())
+    assert canonical_records(r.as_dict() for r in result.records) == expected
+    assert pool.stats["respawns"] >= 1
+    assert victim not in pool.worker_pids()
+
+
+@fork_required
+def test_mid_task_worker_death_raises_but_pool_survives(pool):
+    """os._exit mid-task surfaces as BrokenProcessPool (after one retry);
+    the pool stays usable and /dev/shm stays clean."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.streaming.expressions import udf
+
+    def die(record):
+        os._exit(13)
+
+    events = _events(100)
+    dying = Query.from_source(ListSource(events, SCHEMA), name="dies").map(
+        boom=udf(die, name="die")
+    )
+    healthy = Query.from_source(ListSource(events, SCHEMA), name="lives").filter(
+        col("value") > 3.0
+    )
+    engine = _pooled_engine(pool, batch_size=32)
+    before = _shm_entries()
+    with pytest.raises(BrokenProcessPool):
+        engine.execute(dying)
+    assert _shm_entries() == before, "crashed execution leaked /dev/shm segments"
+    result = engine.execute(healthy)
+    expected = StreamExecutionEngine().execute(healthy)
+    assert canonical_records(r.as_dict() for r in result.records) == canonical_records(
+        r.as_dict() for r in expected.records
+    )
+
+
+@fork_required
+def test_context_switching_stays_warm(full_scenario, pool):
+    """Alternating queries keep their own cache entries (Q1 → Q3 → Q1 warm)."""
+    engine = _pooled_engine(pool)
+    engine.execute(QUERY_CATALOG["Q1"].build(full_scenario))
+    engine.execute(QUERY_CATALOG["Q3"].build(full_scenario))
+    warm_before = pool.stats["warm_executions"]
+    engine.execute(QUERY_CATALOG["Q1"].build(full_scenario))
+    assert pool.stats["warm_executions"] == warm_before + 1
+
+
+@fork_required
+def test_close_unlinks_all_pooled_segments(full_scenario):
+    """Exports pooled across executions are unlinked exactly at close()."""
+    before = _shm_entries()
+    pool = WorkerPool(2)
+    try:
+        engine = _pooled_engine(pool)
+        engine.execute(QUERY_CATALOG["Q1"].build(full_scenario))
+        engine.execute(QUERY_CATALOG["Q5"].build(full_scenario))
+    finally:
+        pool.close()
+    assert _shm_entries() == before, "pool.close() left /dev/shm segments"
+    assert pool.closed

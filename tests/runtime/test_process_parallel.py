@@ -19,7 +19,7 @@ import pytest
 
 from repro.errors import StreamError
 from repro.queries import QUERY_CATALOG
-from repro.runtime import BatchExecutionEngine
+from repro.runtime import BatchExecutionEngine, columns
 from repro.runtime.batch import MISSING
 from repro.runtime.parallel import process_pool_available, stable_hash
 from repro.streaming import ListSource, Query, Schema, col
@@ -93,6 +93,11 @@ class TestProcessCatalogParity:
         result = engine.execute(QUERY_CATALOG[query_id].build(full_scenario))
         _assert_process_parity(record_results[query_id], result, engine)
         assert _shm_entries() == before, "execution leaked /dev/shm segments"
+        if query_id == "Q4" and columns.active_backend() == "numpy":
+            # Q4 partitions on the map-derived cell_id: the prefix runs in
+            # the parent and its output ships as a second shm column export
+            # instead of degrading to record scatter
+            assert engine.last_parallel_mode == "split-columns"
 
 
 @fork_required

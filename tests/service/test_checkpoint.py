@@ -45,6 +45,49 @@ class TestCheckpointManager:
         manager.write(2, 20, {})
         assert manager.load()["consumed"] == 20
 
+    def test_rotation_keeps_last_n_pairs(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), keep=3)
+        for seq in range(1, 7):
+            manager.write(seq, seq * 10, {})
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == [
+            "checkpoint-00000004.json", "checkpoint-00000004.pkl",
+            "checkpoint-00000005.json", "checkpoint-00000005.pkl",
+            "checkpoint-00000006.json", "checkpoint-00000006.pkl",
+        ]
+        assert manager.load()["consumed"] == 60
+
+    def test_prune_never_orphans_a_manifest(self, tmp_path):
+        """Every manifest on disk must always have its payload (manifests
+        are deleted first, so a crash mid-prune leaves at worst a payload
+        without a manifest — ignored as incomplete)."""
+        manager = CheckpointManager(str(tmp_path), keep=2)
+        for seq in range(1, 9):
+            manager.write(seq, seq, {})
+            for manifest in tmp_path.glob("checkpoint-*.json"):
+                assert manifest.with_suffix(".pkl").exists(), manifest.name
+        # an orphaned payload (crash between manifest and payload delete)
+        # must not resurface as a loadable checkpoint
+        (tmp_path / "checkpoint-00000003.pkl").write_bytes(b"stale")
+        assert manager.load()["seq"] == 8
+
+    def test_legacy_unnumbered_pair_read_then_retired(self, tmp_path):
+        legacy = CheckpointManager(str(tmp_path))
+        legacy.write(1, 11, {})
+        import os
+        payload_path, manifest_path = legacy.payload_path, legacy.manifest_path
+        os.rename(payload_path, str(tmp_path / "checkpoint.pkl"))
+        os.rename(manifest_path, str(tmp_path / "checkpoint.json"))
+        manager = CheckpointManager(str(tmp_path), keep=2)
+        assert manager.exists()
+        assert manager.load()["consumed"] == 11  # legacy pair is the oldest generation
+        manager.write(2, 22, {})
+        assert (tmp_path / "checkpoint.pkl").exists(), "retire only once keep is covered"
+        manager.write(3, 33, {})
+        assert not (tmp_path / "checkpoint.pkl").exists()
+        assert not (tmp_path / "checkpoint.json").exists()
+        assert manager.load()["consumed"] == 33
+
     def test_version_mismatch_refused(self, tmp_path):
         manager = CheckpointManager(str(tmp_path))
         manager.write(1, 10, {})

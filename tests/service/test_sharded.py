@@ -1,0 +1,221 @@
+"""Sharded service execution: pool-backed runners must match single-process.
+
+A batch :class:`~repro.service.runner.QueryRunner` given a
+:class:`~repro.runtime.pool.WorkerPool` and ``partitions > 1`` scatters
+micro-batches to long-lived worker-resident shard pipelines and re-merges
+their outputs in event-time order.  The contract mirrors the replay
+engines' partitioned path: cumulative sink output identical to the
+single-process runner, checkpoint/restore across barrier boundaries, and
+a clean ``/dev/shm`` once the pool closes.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.runtime.parallel import process_pool_available
+from repro.runtime.pool import WorkerPool
+from repro.service.runner import QueryRunner
+from repro.streaming.record import Record
+from repro.streaming.sink import CollectSink
+
+from tests.service.conftest import make_events, passthrough_query, windowed_query
+
+fork_required = pytest.mark.skipif(
+    not process_pool_available(), reason="fork start method unavailable"
+)
+
+
+def _records(events):
+    return [Record(data=dict(e), timestamp=e["timestamp"]) for e in events]
+
+
+def _drive(runner, records):
+    for record in records:
+        runner.process(Record(data=dict(record.data), timestamp=record.timestamp))
+    runner.finish()
+
+
+def _sorted_out(sink):
+    return sorted((r.timestamp, tuple(sorted(r.as_dict().items()))) for r in sink.records)
+
+
+def _timestamps(sink):
+    return [r.timestamp for r in sink.records]
+
+
+@pytest.fixture()
+def pool():
+    if not process_pool_available():
+        pytest.skip("fork start method unavailable")
+    pool = WorkerPool(2)
+    yield pool
+    pool.close()
+
+
+@fork_required
+class TestShardedRunnerParity:
+    @pytest.mark.parametrize("build", [passthrough_query, windowed_query])
+    def test_cumulative_output_matches_single_process(self, build, pool):
+        events = make_events(500)
+        records = _records(events)
+        single_sink, shard_sink = CollectSink(), CollectSink()
+        _drive(
+            QueryRunner("q", build(events, single_sink), mode="batch", batch_size=64),
+            records,
+        )
+        _drive(
+            QueryRunner(
+                "q",
+                build(events, shard_sink),
+                mode="batch",
+                batch_size=64,
+                pool=pool,
+                partitions=2,
+            ),
+            records,
+        )
+        assert _sorted_out(shard_sink) == _sorted_out(single_sink)
+        assert _timestamps(shard_sink) == sorted(_timestamps(shard_sink))
+
+    def test_concurrent_sharded_runners_with_migration(self, pool):
+        """Opening a group after another holds state migrates the live
+        shards across the worker restart without losing window state."""
+        events = make_events(500)
+        records = _records(events)
+        reference = CollectSink()
+        _drive(
+            QueryRunner("ref", windowed_query(events, reference), mode="batch", batch_size=64),
+            records,
+        )
+        sink = CollectSink()
+        runner = QueryRunner(
+            "w1", windowed_query(events, sink), mode="batch", batch_size=64,
+            pool=pool, partitions=2,
+        )
+        for record in records[:250]:
+            runner.process(Record(data=dict(record.data), timestamp=record.timestamp))
+        # second group forces a restart of the shared workers mid-stream
+        other = QueryRunner(
+            "w2", windowed_query(events, CollectSink()), mode="batch", batch_size=64,
+            pool=pool, partitions=2,
+        )
+        for record in records[250:]:
+            runner.process(Record(data=dict(record.data), timestamp=record.timestamp))
+        runner.finish()
+        other.abort()
+        assert _sorted_out(sink) == _sorted_out(reference)
+
+    def test_checkpoint_restore_resumes_exactly(self, pool):
+        events = make_events(500)
+        records = _records(events)
+        reference = CollectSink()
+        _drive(
+            QueryRunner("ref", windowed_query(events, reference), mode="batch", batch_size=64),
+            records,
+        )
+        sink_a = CollectSink()
+        runner_a = QueryRunner(
+            "w", windowed_query(events, sink_a), mode="batch", batch_size=64,
+            pool=pool, partitions=2,
+        )
+        for record in records[:250]:
+            runner_a.process(Record(data=dict(record.data), timestamp=record.timestamp))
+        state = pickle.loads(pickle.dumps(runner_a.checkpoint_state()))
+        assert state["sharded"] and state["num_shards"] == 2
+        sink_b = CollectSink()
+        runner_b = QueryRunner(
+            "w", windowed_query(events, sink_b), mode="batch", batch_size=64,
+            pool=pool, partitions=2,
+        )
+        runner_b.restore_state(state)
+        for record in records[250:]:
+            runner_b.process(Record(data=dict(record.data), timestamp=record.timestamp))
+        runner_a.abort()
+        runner_b.finish()
+        combined = [r.as_dict() for r in sink_a.records + sink_b.records]
+        assert combined == [r.as_dict() for r in reference.records]
+
+
+@fork_required
+class TestShardedValidation:
+    def test_record_mode_refused(self, pool):
+        events = make_events(10)
+        with pytest.raises(ServiceError, match="mode='batch'"):
+            QueryRunner(
+                "q", passthrough_query(events, CollectSink()),
+                pool=pool, partitions=2,
+            )
+
+    def test_shedder_refused(self, pool):
+        events = make_events(10)
+        with pytest.raises(ServiceError, match="shed_target_eps"):
+            QueryRunner(
+                "q", passthrough_query(events, CollectSink()), mode="batch",
+                shed_target_eps=100.0, pool=pool, partitions=2,
+            )
+
+    def test_shard_count_mismatch_on_restore(self, pool):
+        events = make_events(200)
+        runner = QueryRunner(
+            "q", windowed_query(events, CollectSink()), mode="batch",
+            pool=pool, partitions=2,
+        )
+        state = runner.checkpoint_state()
+        state["num_shards"] = 4
+        state["shards"] = state["shards"] * 2
+        with pytest.raises(ServiceError, match="--partitions"):
+            runner.restore_state(state)
+
+    def test_unsharded_checkpoint_refused_by_sharded_runner(self, pool):
+        events = make_events(200)
+        plain = QueryRunner("q", windowed_query(events, CollectSink()), mode="batch")
+        state = plain.checkpoint_state()
+        sharded = QueryRunner(
+            "q", windowed_query(events, CollectSink()), mode="batch",
+            pool=pool, partitions=2,
+        )
+        with pytest.raises(ServiceError, match="without sharding"):
+            sharded.restore_state(state)
+
+    def test_sharded_checkpoint_refused_by_plain_runner(self, pool):
+        events = make_events(200)
+        sharded = QueryRunner(
+            "q", windowed_query(events, CollectSink()), mode="batch",
+            pool=pool, partitions=2,
+        )
+        state = sharded.checkpoint_state()
+        plain = QueryRunner("q", windowed_query(events, CollectSink()), mode="batch")
+        with pytest.raises(ServiceError, match="sharded"):
+            plain.restore_state(state)
+
+
+@fork_required
+def test_server_fans_out_to_sharded_runners():
+    """End-to-end over TCP: a sharded registration matches the stock engine."""
+    import asyncio
+
+    from repro.service import StreamServer
+    from repro.streaming.engine import StreamExecutionEngine
+
+    from tests.service.test_server import _serve_to_completion
+
+    events = make_events(400)
+    sink = CollectSink()
+    pool = WorkerPool(2)
+    try:
+        server = StreamServer(stop_after_eos=True)
+        server.register(
+            "win", windowed_query(events, sink), mode="batch", batch_size=64,
+            pool=pool, partitions=2,
+        )
+        _serve_to_completion(server, events)
+    finally:
+        pool.close()
+    assert not server.errors
+    reference = CollectSink()
+    StreamExecutionEngine(measure_bytes=False).execute(windowed_query(events, reference))
+    assert _sorted_out(sink) == _sorted_out(reference)
