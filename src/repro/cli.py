@@ -372,6 +372,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     scenario = _scenario_from(args)
     _apply_backend(args)
+    restart_policy = None
+    if args.restart_policy:
+        from repro.service.retry import RestartPolicy
+
+        try:
+            restart_policy = RestartPolicy.parse(args.restart_policy)
+        except ServiceError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    if args.fault_plan:
+        # arm before the pool forks so workers inherit the injector
+        from repro.testing import faults as _faults
+
+        _faults.arm(_faults.FaultPlan.from_json(args.fault_plan))
     pool = None
     if args.parallelism == "process":
         if args.execution_mode != "batch":
@@ -379,8 +393,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
             return 2
         from repro.runtime.pool import WorkerPool
 
+        respawn_policy = None
+        if args.restart_policy:
+            from repro.service.retry import RestartPolicy
+
+            respawn_policy = RestartPolicy.parse(args.restart_policy)
         try:
-            pool = WorkerPool(max(1, args.partitions))
+            pool = WorkerPool(
+                max(1, args.partitions),
+                respawn_policy=respawn_policy,
+                task_timeout_s=args.task_timeout,
+            )
         except RuntimeError as exc:
             print(f"cannot start worker pool: {exc}", file=sys.stderr)
             return 2
@@ -397,6 +420,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_keep=args.checkpoint_keep,
         resume=args.resume,
         stop_after_eos=args.stop_after_eos,
+        restart_policy=restart_policy,
+        dlq_dir=args.dlq_dir,
     )
     writers = []
     try:
@@ -435,11 +460,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if pool is not None:
             pool.close()
     failed = server.errors
+    health = server.health()
     for runner in server.runners:
+        info = health["queries"][runner.name]
         status = f"  {runner.name}: in={runner.metrics.events_in} out={runner.events_out}"
-        if runner.name in failed:
-            status += f"  FAILED: {failed[runner.name]}"
+        if info["restarts"]:
+            status += f"  restarts={info['restarts']}"
+        if info["dlq"]:
+            status += f"  dlq={info['dlq']}"
+        if info["status"] != "running":
+            status += f"  {info['status'].upper()}: {info['error']}"
         print(status)
+    if health["malformed"]:
+        print(f"  malformed lines: {health['malformed']}")
     if args.checkpoint_dir and server.checkpoints is not None and server.checkpoints.exists():
         print(f"checkpoint seq {server.checkpoint_seq} in {args.checkpoint_dir}")
     return 1 if failed else 0
@@ -460,11 +493,41 @@ def cmd_feed(args: argparse.Namespace) -> int:
         events = _scenario_from(args).events
     if args.limit is not None:
         events = events[: args.limit]
+    if args.fault_plan:
+        from repro.testing import faults as _faults
+
+        _faults.arm(_faults.FaultPlan.from_json(args.fault_plan))
     with _graceful_signals():
-        sent = feed_events(args.host, args.port, events, eps=args.eps, eos=not args.no_eos)
+        sent = feed_events(
+            args.host,
+            args.port,
+            events,
+            eps=args.eps,
+            eos=not args.no_eos,
+            session=args.session,
+        )
     suffix = "" if args.no_eos else " (+ eos)"
     print(f"fed {sent} events to {args.host}:{args.port}{suffix}")
     return 0
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    """Print a running server's supervision status; exit 1 unless all running."""
+    from repro.service import request_health
+
+    try:
+        reply = request_health(args.host, args.port)
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    reply.pop("__control__", None)
+    print(json.dumps(reply, indent=2))
+    unhealthy = [
+        name
+        for name, info in reply.get("queries", {}).items()
+        if info.get("status") != "running"
+    ]
+    return 1 if unhealthy else 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -1026,7 +1089,43 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit once an end-of-stream control line has been drained (scripted runs)",
     )
+    serve.add_argument(
+        "--restart-policy",
+        default=None,
+        metavar="K[/WINDOW_S]",
+        help="supervise crashed queries: restart from the newest valid "
+        "checkpoint up to K times per rolling window (then mark the query "
+        "degraded while siblings keep serving); also arms the pool's "
+        "crash-loop breaker under --parallelism process",
+    )
+    serve.add_argument(
+        "--dlq-dir",
+        default=None,
+        help="route malformed wire lines and poison records to per-query "
+        "dead-letter NDJSON files in this directory instead of failing",
+    )
+    serve.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="watchdog on pool pipe replies: a worker silent this long is "
+        "retired like a dead one (--parallelism process)",
+    )
+    serve.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help="arm a seeded fault-injection plan (JSON; chaos testing only)",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    health = subparsers.add_parser(
+        "health", help="query a running server's supervision status over the wire"
+    )
+    health.add_argument("--host", default="127.0.0.1")
+    health.add_argument("--port", type=int, required=True)
+    health.set_defaults(func=cmd_health)
 
     feed = subparsers.add_parser(
         "feed", help="send scenario or NDJSON-file events to a running server"
@@ -1041,6 +1140,19 @@ def build_parser() -> argparse.ArgumentParser:
     feed.add_argument("--eps", type=float, default=None, help="pace the feed (events/second)")
     feed.add_argument(
         "--no-eos", action="store_true", help="do not send the end-of-stream control line"
+    )
+    feed.add_argument(
+        "--session",
+        default=None,
+        metavar="ID",
+        help="feed under a named session: a dropped connection reconnects and "
+        "resumes from the server's acknowledged offset ('auto' generates one)",
+    )
+    feed.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help="arm a seeded fault-injection plan (JSON; chaos testing only)",
     )
     feed.set_defaults(func=cmd_feed)
 

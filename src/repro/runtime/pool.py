@@ -31,7 +31,16 @@ retired and respawned without poisoning the pool.  Idempotent ``run`` tasks
 are retried once on a fresh worker; a second death raises
 :class:`concurrent.futures.process.BrokenProcessPool` like the
 per-execution pool does.  Stateful shard tasks are never retried — the
-shard is declared broken via :class:`~repro.errors.ServiceError`.
+shard is declared broken via :class:`~repro.errors.ServiceError`.  Three
+optional hardening knobs (all duck-typed so the runtime layer stays
+independent of :mod:`repro.service`): ``respawn_policy`` (a
+:class:`~repro.service.retry.RestartPolicy`) is a crash-loop breaker — once
+worker deaths exceed its budget the pool raises ``BrokenProcessPool``
+instead of respawning forever; ``respawn_backoff`` (a
+:class:`~repro.service.retry.RetryPolicy`) sleeps between a death and the
+respawn so a crash loop cannot spin hot; ``task_timeout_s`` is a watchdog
+on every pipe reply — a worker that stops answering is retired like a dead
+one instead of hanging the caller.
 
 The pool also hosts **server shards**: long-lived worker-resident batch
 pipelines (:meth:`WorkerPool.open_shards`) that the service layer's
@@ -53,6 +62,7 @@ import atexit
 import os
 import pickle
 import traceback
+from time import monotonic
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ServiceError
@@ -75,6 +85,7 @@ from repro.streaming.engine import abort_execution
 from repro.streaming.metrics import MetricsCollector, adaptivity_stats_of
 from repro.streaming.plan import FlatMapNode, MapNode, OperatorNode
 from repro.streaming.record import Record
+from repro.testing import faults as _faults
 
 
 # -- fork-inherited state -----------------------------------------------------------
@@ -290,6 +301,8 @@ def _pool_worker_main(conn) -> None:
         if task[0] == "exit":
             return
         try:
+            if _faults.ACTIVE is not None:
+                _faults.ACTIVE.hit("pool.worker.task", kind=task[0])
             reply = ("ok", _dispatch(task, compiled, shards))
         except BaseException as exc:  # ship the failure, keep serving
             detail = traceback.format_exc()
@@ -413,13 +426,29 @@ class WorkerPool:
     ``/dev/shm`` exports can't outlive the parent.
     """
 
-    def __init__(self, workers: int, max_contexts: int = 8) -> None:
+    def __init__(
+        self,
+        workers: int,
+        max_contexts: int = 8,
+        respawn_policy=None,
+        respawn_backoff=None,
+        task_timeout_s: Optional[float] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("a worker pool needs at least one worker")
         if not process_pool_available():
             raise RuntimeError(
                 "persistent worker pools require the fork start method"
             )
+        self.respawn_policy = respawn_policy  # RestartPolicy: crash-loop breaker
+        self.respawn_backoff = respawn_backoff  # RetryPolicy: sleep between respawns
+        self.task_timeout_s = (
+            None if task_timeout_s is None else max(0.1, float(task_timeout_s))
+        )
+        self._respawn_history = (
+            respawn_policy.new_history() if respawn_policy is not None else None
+        )
+        self._respawn_delay: Optional[float] = None
         self._slots = [_WorkerSlot(i) for i in range(int(workers))]
         self._entries: Dict[str, _ContextEntry] = {}
         self._by_fingerprint: Dict[str, str] = {}
@@ -463,6 +492,28 @@ class WorkerPool:
         slot.conn = parent_conn
         slot.known_keys = set(_POOL_CONTEXTS)
         slot.shard_keys = set()
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.hit("pool.spawn", slot=slot.index)
+
+    def _note_respawn(self) -> None:
+        """Count one worker death; trip the crash-loop breaker past budget."""
+        self.stats["respawns"] += 1
+        if self.respawn_policy is not None and not self.respawn_policy.admit(
+            self._respawn_history
+        ):
+            from concurrent.futures.process import BrokenProcessPool
+
+            raise BrokenProcessPool(
+                "pool workers are crash-looping "
+                f"(budget: {self.respawn_policy.describe()})"
+            )
+
+    def _respawn(self, slot: _WorkerSlot) -> None:
+        self._retire(slot)
+        if self.respawn_backoff is not None:
+            self._respawn_delay = self.respawn_backoff.next_delay(self._respawn_delay)
+            self.respawn_backoff.sleep(self._respawn_delay)
+        self._spawn(slot)
 
     def _retire(self, slot: _WorkerSlot, graceful: bool = False) -> None:
         conn, process = slot.conn, slot.process
@@ -494,9 +545,8 @@ class WorkerPool:
         """Make ``slot`` a live worker that knows every key in ``keys``."""
         if not slot.alive:
             if slot.process is not None:  # died since we last used it
-                self.stats["respawns"] += 1
-            self._retire(slot)
-            self._spawn(slot)
+                self._note_respawn()
+            self._respawn(slot)
             return
         if keys <= slot.known_keys:
             return
@@ -537,11 +587,19 @@ class WorkerPool:
 
     def _recv(self, slot: _WorkerSlot):
         conn = slot.conn
+        deadline = (
+            monotonic() + self.task_timeout_s if self.task_timeout_s is not None else None
+        )
         while True:
             try:
                 if conn.poll(0.05):
                     return conn.recv()
             except (EOFError, OSError):
+                raise _WorkerDied()
+            if deadline is not None and monotonic() > deadline:
+                # watchdog: a worker that stops replying is as gone as a dead
+                # one — retire it so the caller's retry path can respawn
+                self._retire(slot)
                 raise _WorkerDied()
             if not slot.alive:
                 # drain a reply the worker managed to write before dying
@@ -679,7 +737,7 @@ class WorkerPool:
                 )
             if failed:
                 attempts += 1
-                self.stats["respawns"] += 1
+                self._note_respawn()
                 if attempts > retries:
                     from concurrent.futures.process import BrokenProcessPool
 

@@ -10,15 +10,22 @@ protocol.
 """
 
 from repro.service.checkpoint import CheckpointManager
-from repro.service.net import SocketSink, SocketSource, feed_events
+from repro.service.dlq import DeadLetterQueue
+from repro.service.net import SocketSink, SocketSource, feed_events, request_health
+from repro.service.retry import RestartPolicy, RetryExhausted, RetryPolicy
 from repro.service.runner import QueryRunner
 from repro.service.server import StreamServer
 
 __all__ = [
     "CheckpointManager",
+    "DeadLetterQueue",
     "QueryRunner",
+    "RestartPolicy",
+    "RetryExhausted",
+    "RetryPolicy",
     "SocketSink",
     "SocketSource",
     "StreamServer",
     "feed_events",
+    "request_health",
 ]

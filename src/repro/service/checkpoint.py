@@ -20,6 +20,18 @@ may alias live containers) and versioned; a future layout change bumps
 ``FORMAT_VERSION`` and refuses mismatched files instead of mis-restoring
 them.
 
+**Auto-recovery.**  Each manifest carries a CRC-32 of its payload pickle.
+:meth:`CheckpointManager.load` resolves the generation list *once*, then
+scans newest-to-oldest: a pair whose payload is missing, truncated, fails
+its checksum, fails to unpickle, or carries a mismatched format version is
+skipped (recorded on ``last_skipped``) and the next-oldest complete pair is
+tried.  Only when *every* generation is damaged does the manager refuse with
+a :class:`CheckpointError` — the pre-PR-10 behaviour, now the last resort.
+Resolving the list once and re-verifying the chosen pair during the scan
+also closes the prune race: a pair deleted mid-scan by a concurrent
+rotation simply falls through to the next candidate instead of crashing the
+restore.
+
 Pre-rotation directories (a single unnumbered ``checkpoint.pkl``/``.json``
 pair) are still readable: the legacy pair acts as the oldest generation.
 """
@@ -30,9 +42,11 @@ import json
 import os
 import pickle
 import re
-from typing import Any, Dict, List, Optional
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import CheckpointError
+from repro.testing import faults as _faults
 
 FORMAT_VERSION = 1
 
@@ -47,6 +61,10 @@ class CheckpointManager:
     def __init__(self, directory: str, keep: int = 3) -> None:
         self.directory = directory
         self.keep = max(1, int(keep))
+        # generations load() had to skip on the last scan: [(seq, reason)]
+        self.last_skipped: List[Tuple[Optional[int], str]] = []
+        # the generation the last successful load() actually returned
+        self.last_loaded_seq: Optional[int] = None
         os.makedirs(directory, exist_ok=True)
 
     # -- pair discovery ---------------------------------------------------------
@@ -122,6 +140,8 @@ class CheckpointManager:
             "version": FORMAT_VERSION,
             "seq": seq,
             "consumed": consumed,
+            "crc32": zlib.crc32(blob) & 0xFFFFFFFF,
+            "payload_bytes": len(blob),
             "queries": {
                 name: {
                     "events_in": state.get("events_in"),
@@ -132,6 +152,10 @@ class CheckpointManager:
         }
         self._replace(manifest_path, (json.dumps(manifest) + "\n").encode("utf-8"))
         self._prune(current=seq)
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.hit(
+                "checkpoint.written", path=payload_path, manifest=manifest_path, seq=seq
+            )
 
     def _prune(self, current: int) -> None:
         survivors = [seq for seq in self._complete_seqs() if seq != current]
@@ -170,18 +194,106 @@ class CheckpointManager:
         with open(self.manifest_path) as handle:
             return json.load(handle)
 
-    def load(self) -> Optional[Dict[str, Any]]:
-        """The latest complete checkpoint payload, or ``None`` when none exists."""
-        if not self.exists():
-            return None
-        with open(self.payload_path, "rb") as handle:
+    def consumed_floor(self) -> Optional[int]:
+        """The smallest ``consumed`` offset among the retained generations.
+
+        A supervisor that keeps an in-memory replay log pruned to this floor
+        can restore from *any* retained generation — including after the
+        newest one turns out to be corrupt — and still cover the gap.
+        """
+        floors: List[int] = []
+        for seq in self._complete_seqs():
             try:
-                payload = pickle.load(handle)
-            except Exception as exc:
-                raise CheckpointError(f"unreadable checkpoint payload: {exc}") from exc
+                with open(self._pair(seq)[1]) as handle:
+                    floors.append(int(json.load(handle)["consumed"]))
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+        if self._legacy_complete():
+            try:
+                with open(os.path.join(self.directory, _LEGACY_MANIFEST_FILE)) as handle:
+                    floors.append(int(json.load(handle)["consumed"]))
+            except (OSError, ValueError, KeyError, TypeError):
+                pass
+        return min(floors) if floors else None
+
+    def _verify_and_load(
+        self, payload_path: str, manifest_path: str
+    ) -> Dict[str, Any]:
+        """Load one pair, verifying size + CRC against its manifest.
+
+        Raises :class:`CheckpointError` on any damage; the scan in
+        :meth:`load` converts that into a fall-through to the next-oldest
+        generation.  Re-reading the manifest here (after the candidate list
+        was resolved) is what closes the prune race — a pair deleted between
+        listing and loading surfaces as a clean miss, not a crash.
+        """
+        try:
+            with open(manifest_path) as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError as exc:
+            raise CheckpointError("manifest vanished (pruned mid-scan)") from exc
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(f"unreadable manifest: {exc}") from exc
+        try:
+            with open(payload_path, "rb") as handle:
+                blob = handle.read()
+        except FileNotFoundError as exc:
+            raise CheckpointError("payload vanished (pruned mid-scan)") from exc
+        except OSError as exc:
+            raise CheckpointError(f"unreadable payload: {exc}") from exc
+        expected_bytes = manifest.get("payload_bytes")
+        if expected_bytes is not None and len(blob) != int(expected_bytes):
+            raise CheckpointError(
+                f"payload is {len(blob)} bytes, manifest says {expected_bytes} (truncated?)"
+            )
+        expected_crc = manifest.get("crc32")
+        if expected_crc is not None and (zlib.crc32(blob) & 0xFFFFFFFF) != int(expected_crc):
+            raise CheckpointError("payload fails its manifest CRC-32 (corrupted)")
+        try:
+            payload = pickle.loads(blob)
+        except Exception as exc:
+            raise CheckpointError(f"unreadable checkpoint payload: {exc}") from exc
         version = payload.get("version")
         if version != FORMAT_VERSION:
             raise CheckpointError(
                 f"checkpoint format v{version} does not match this build (v{FORMAT_VERSION})"
             )
         return payload
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        """The newest *valid* checkpoint payload, or ``None`` when none exists.
+
+        The generation list is resolved once, then scanned newest-to-oldest;
+        damaged or mid-prune-deleted pairs are skipped (see ``last_skipped``)
+        and only when every generation is unusable does the manager raise.
+        """
+        self.last_skipped = []
+        self.last_loaded_seq = None
+        candidates: List[Tuple[Optional[int], str, str]] = [
+            (seq,) + self._pair(seq) for seq in reversed(self._complete_seqs())
+        ]
+        if self._legacy_complete():
+            candidates.append(
+                (
+                    None,
+                    os.path.join(self.directory, _LEGACY_PAYLOAD_FILE),
+                    os.path.join(self.directory, _LEGACY_MANIFEST_FILE),
+                )
+            )
+        if not candidates:
+            return None
+        for seq, payload_path, manifest_path in candidates:
+            try:
+                payload = self._verify_and_load(payload_path, manifest_path)
+            except CheckpointError as exc:
+                self.last_skipped.append((seq, str(exc)))
+                continue
+            self.last_loaded_seq = seq
+            return payload
+        tried = ", ".join(
+            f"{'legacy' if seq is None else f'seq {seq}'}: {reason}"
+            for seq, reason in self.last_skipped
+        )
+        raise CheckpointError(
+            f"no valid checkpoint generation in {self.directory} ({tried})"
+        )

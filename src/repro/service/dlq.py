@@ -1,0 +1,64 @@
+"""Per-query dead-letter queues for malformed and poison events.
+
+A dead letter is an event the pipeline cannot make progress on: a wire line
+that does not parse (routed by the server's ingestion loop), or a *poison*
+record that deterministically crashes an operator (identified during
+supervised replay-after-restore — see ``StreamServer``).  Instead of
+aborting the query, the event is appended to
+``<directory>/<query>.dlq.ndjson`` as one JSON line carrying the original
+payload, a ``reason`` string and the stream offset, so an operator can
+inspect, fix and optionally re-feed it later.
+
+Writes are line-buffered append-only NDJSON — a crash mid-write loses at
+most the current line, never earlier letters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional, Union
+
+from repro.streaming.record import Record
+
+INGEST_QUEUE = "_ingest"  # the server-level queue for unparseable wire lines
+
+
+class DeadLetterQueue:
+    """One query's NDJSON dead-letter sink (lazily opened, append mode)."""
+
+    def __init__(self, directory: str, query: str) -> None:
+        self.directory = directory
+        self.query = query
+        self.path = os.path.join(directory, f"{query}.dlq.ndjson")
+        self.count = 0
+        self._handle = None
+
+    def write(
+        self,
+        event: Union[Record, Dict[str, Any], str, bytes, None],
+        reason: str,
+        offset: Optional[int] = None,
+    ) -> None:
+        if self._handle is None:
+            os.makedirs(self.directory, exist_ok=True)
+            self._handle = open(self.path, "a", buffering=1)
+        if isinstance(event, Record):
+            payload: Any = event.as_dict()
+        elif isinstance(event, bytes):
+            payload = event.decode("utf-8", errors="replace")
+        else:
+            payload = event
+        letter: Dict[str, Any] = {"query": self.query, "reason": reason, "event": payload}
+        if offset is not None:
+            letter["offset"] = offset
+        self._handle.write(json.dumps(letter, default=str) + "\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __repr__(self) -> str:
+        return f"DeadLetterQueue({self.query!r}, count={self.count})"

@@ -13,23 +13,54 @@ next to :class:`~repro.streaming.source.ListSource` behind the existing
 ``Source``/``Sink`` contracts, so any engine can replay straight off a
 socket; the asyncio :class:`~repro.service.server.StreamServer` speaks the
 same protocol with its own reader.
+
+Further control messages support self-healing feeds: a feeder that opens
+with ``{"__control__": "hello", "session": <id>}`` gets back
+``{"__control__": "resume", "offset": N}`` — the count of events the server
+has already ingested on that session — so a reconnect after a mid-feed
+disconnect *resumes from the last acknowledged offset* instead of
+re-sending (or worse, skipping) events.  ``{"__control__": "health"}``
+returns the server's per-query supervision status as one JSON line.
+
+Every connect loop here runs on the shared
+:class:`~repro.service.retry.RetryPolicy` (exponential backoff, decorrelated
+jitter, cap, deadline); an exhausted budget surfaces a
+:class:`~repro.service.retry.RetryExhausted` carrying attempts, elapsed time
+and the last errno instead of a bare ``ConnectionRefusedError``.
 """
 
 from __future__ import annotations
 
 import json
 import socket
-import time
-from typing import Any, Dict, Iterable, Iterator, Optional, Union
+import uuid
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.errors import ServiceError
+from repro.service.retry import RetryPolicy
 from repro.streaming.record import Record
 from repro.streaming.schema import Schema
 from repro.streaming.sink import Sink
 from repro.streaming.source import Source
+from repro.testing import faults as _faults
 
 CONTROL_FIELD = "__control__"
 EOS = "eos"
+HELLO = "hello"
+RESUME = "resume"
+HEALTH = "health"
+
+
+def _connect_policy(
+    retries: int, delay_s: float, deadline_s: Optional[float] = None
+) -> RetryPolicy:
+    """The default connect policy, shaped from the legacy retry knobs."""
+    return RetryPolicy(
+        base_delay_s=max(1e-4, float(delay_s)),
+        max_delay_s=max(0.25, float(delay_s) * 8),
+        max_attempts=max(1, int(retries)),
+        deadline_s=deadline_s,
+    )
 
 
 def encode_event(payload: Dict[str, Any]) -> bytes:
@@ -84,6 +115,7 @@ class SocketSource(Source):
         mode: str = "connect",
         connect_retries: int = 20,
         retry_delay_s: float = 0.05,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if mode not in ("connect", "listen"):
             raise ServiceError(f"unknown SocketSource mode {mode!r}")
@@ -91,8 +123,7 @@ class SocketSource(Source):
         self.host = host
         self.port = port
         self.mode = mode
-        self.connect_retries = int(connect_retries)
-        self.retry_delay_s = float(retry_delay_s)
+        self.retry_policy = retry_policy or _connect_policy(connect_retries, retry_delay_s)
         self._listener: Optional[socket.socket] = None
         if mode == "listen":
             self._listener = socket.create_server((host, port))
@@ -102,16 +133,11 @@ class SocketSource(Source):
         if self._listener is not None:
             conn, _ = self._listener.accept()
             return conn
-        last_error: Optional[Exception] = None
-        for _ in range(max(1, self.connect_retries)):
-            try:
-                return socket.create_connection((self.host, self.port))
-            except OSError as exc:
-                last_error = exc
-                time.sleep(self.retry_delay_s)
-        raise ServiceError(
-            f"could not connect to {self.host}:{self.port}: {last_error}"
-        ) from last_error
+        return self.retry_policy.call(
+            lambda: socket.create_connection((self.host, self.port)),
+            retry_on=(OSError,),
+            label=f"connect to {self.host}:{self.port}",
+        )
 
     def records(self) -> Iterator[Record]:
         conn = self._open()
@@ -125,6 +151,8 @@ class SocketSource(Source):
                         if parsed.get(CONTROL_FIELD) == EOS:
                             return
                         continue
+                    if _faults.ACTIVE is not None:
+                        _faults.ACTIVE.hit("socket.source.event", source=self.name)
                     yield parsed
         finally:
             conn.close()
@@ -143,28 +171,24 @@ class SocketSink(Sink):
         connect_retries: int = 20,
         retry_delay_s: float = 0.05,
         send_eos: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.send_eos = send_eos
         self.count = 0
-        last_error: Optional[Exception] = None
-        self._conn: Optional[socket.socket] = None
-        for _ in range(max(1, int(connect_retries))):
-            try:
-                self._conn = socket.create_connection((host, port))
-                break
-            except OSError as exc:
-                last_error = exc
-                time.sleep(retry_delay_s)
-        if self._conn is None:
-            raise ServiceError(
-                f"could not connect to {host}:{port}: {last_error}"
-            ) from last_error
+        policy = retry_policy or _connect_policy(connect_retries, retry_delay_s)
+        self._conn: Optional[socket.socket] = policy.call(
+            lambda: socket.create_connection((host, port)),
+            retry_on=(OSError,),
+            label=f"connect to {host}:{port}",
+        )
 
     def accept(self, record: Record) -> None:
         assert self._conn is not None
         self.count += 1
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.hit("socket.sink.event")
         self._conn.sendall(encode_event(record.as_dict()))
 
     def close(self) -> None:
@@ -179,6 +203,38 @@ class SocketSink(Sink):
         self._conn = None
 
 
+def request_health(
+    host: str,
+    port: int,
+    connect_retries: int = 40,
+    retry_delay_s: float = 0.05,
+) -> Dict[str, Any]:
+    """Ask a running server for its supervision status over the wire.
+
+    Sends ``{"__control__": "health"}`` on a fresh connection and returns
+    the decoded one-line JSON reply (per-query status, restart counts, DLQ
+    depths, consumed offset).
+    """
+    policy = _connect_policy(connect_retries, retry_delay_s)
+    conn = policy.call(
+        lambda: socket.create_connection((host, port)),
+        retry_on=(OSError,),
+        label=f"connect to {host}:{port}",
+    )
+    try:
+        conn.sendall(encode_control(HEALTH))
+        with conn.makefile("r", encoding="utf-8") as stream:
+            line = stream.readline()
+    finally:
+        conn.close()
+    if not line:
+        raise ServiceError("server closed the connection without a health reply")
+    reply = json.loads(line)
+    if reply.get(CONTROL_FIELD) != HEALTH:
+        raise ServiceError(f"unexpected health reply: {line[:200]!r}")
+    return reply
+
+
 def feed_events(
     host: str,
     port: int,
@@ -187,40 +243,94 @@ def feed_events(
     eos: bool = True,
     connect_retries: int = 40,
     retry_delay_s: float = 0.05,
+    session: Optional[str] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    max_reconnects: int = 20,
 ) -> int:
-    """Replay events into a listening server over one TCP connection.
+    """Replay events into a listening server, surviving disconnects.
 
     ``eps`` paces the replay (events per second, wall clock); ``None`` sends
-    as fast as the socket accepts.  Returns the number of events sent.
-    The connection is retried so a feeder started alongside `serve` need not
-    race its bind.
+    as fast as the socket accepts.  Returns the number of events sent.  The
+    initial connection runs on the shared :class:`RetryPolicy`, so a feeder
+    started alongside `serve` need not race its bind.
+
+    ``session`` arms *reconnect-and-resume*: the feeder opens with a
+    ``hello`` control line and the server replies with the count of events
+    it has already ingested on that session.  A connection lost mid-feed is
+    re-dialed (same policy) and the replay resumes from the server's
+    acknowledged offset — events the server consumed are never re-sent, and
+    events lost in flight are.  ``session="auto"`` generates a fresh id.
+    Without a session, a mid-feed disconnect raises a :class:`ServiceError`
+    (resuming blind could duplicate or drop events).
     """
-    last_error: Optional[Exception] = None
-    conn: Optional[socket.socket] = None
-    for _ in range(max(1, int(connect_retries))):
-        try:
-            conn = socket.create_connection((host, port))
-            break
-        except OSError as exc:
-            last_error = exc
-            time.sleep(retry_delay_s)
-    if conn is None:
-        raise ServiceError(f"could not connect to {host}:{port}: {last_error}") from last_error
-    sent = 0
+    import time
+
+    if session == "auto":
+        session = uuid.uuid4().hex
+    policy = retry_policy or _connect_policy(connect_retries, retry_delay_s)
+    batch: List[Union[Record, Dict[str, Any]]] = (
+        events if isinstance(events, list) else list(events)
+    )
     interval = (1.0 / eps) if eps else 0.0
     next_send = time.monotonic()
-    try:
-        for event in events:
-            payload = event.as_dict() if isinstance(event, Record) else dict(event)
-            if interval:
-                now = time.monotonic()
-                if now < next_send:
-                    time.sleep(next_send - now)
-                next_send += interval
-            conn.sendall(encode_event(payload))
-            sent += 1
-        if eos:
-            conn.sendall(encode_control(EOS))
-    finally:
-        conn.close()
-    return sent
+    reconnects = 0
+    sent = 0
+
+    def _dial() -> socket.socket:
+        return policy.call(
+            lambda: socket.create_connection((host, port)),
+            retry_on=(OSError,),
+            label=f"connect to {host}:{port}",
+        )
+
+    while True:
+        conn = _dial()
+        try:
+            offset = sent
+            if session is not None:
+                conn.sendall(
+                    (json.dumps({CONTROL_FIELD: HELLO, "session": session}) + "\n").encode(
+                        "utf-8"
+                    )
+                )
+                reply = conn.makefile("r", encoding="utf-8").readline()
+                if not reply:
+                    raise ConnectionResetError("server closed before resume reply")
+                parsed = json.loads(reply)
+                if parsed.get(CONTROL_FIELD) != RESUME:
+                    raise ServiceError(
+                        f"expected a resume reply to hello, got {reply[:120]!r}"
+                    )
+                offset = int(parsed.get("offset", 0))
+            for index in range(offset, len(batch)):
+                event = batch[index]
+                payload = event.as_dict() if isinstance(event, Record) else dict(event)
+                if interval:
+                    now = time.monotonic()
+                    if now < next_send:
+                        time.sleep(next_send - now)
+                    next_send += interval
+                if _faults.ACTIVE is not None:
+                    _faults.ACTIVE.hit("feed.event", index=index)
+                conn.sendall(encode_event(payload))
+                sent = index + 1
+            sent = max(sent, len(batch))
+            if eos:
+                conn.sendall(encode_control(EOS))
+            return sent
+        except (ConnectionError, BrokenPipeError, OSError) as exc:
+            if session is None:
+                raise ServiceError(
+                    f"feed to {host}:{port} lost after {sent} events: {exc} "
+                    "(pass session=... for reconnect-and-resume)"
+                ) from exc
+            reconnects += 1
+            if reconnects > max_reconnects:
+                raise ServiceError(
+                    f"feed to {host}:{port} gave up after {reconnects - 1} reconnects: {exc}"
+                ) from exc
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass

@@ -1,0 +1,180 @@
+"""Retry and restart policies shared across the runtime and service layers.
+
+One :class:`RetryPolicy` shape covers every reconnect/respawn loop in the
+repo — exponential backoff with *decorrelated jitter* (each sleep is drawn
+uniformly from ``[base, 3 * previous]``, capped), plus three independent
+budgets: a maximum attempt count, a wall-clock deadline, and the cap on any
+single sleep.  When the budget runs out the caller gets a
+:class:`RetryExhausted` carrying the attempt count, elapsed time and the
+last error (errno included) — never a bare ``ConnectionRefusedError`` with
+no history.
+
+:class:`RestartPolicy` is the supervision-side sibling: a token bucket of
+"at most K restarts per rolling window", used by the stream server's
+per-query supervisor and as the crash-loop breaker on pool worker respawn.
+
+Both take injectable ``sleep``/``clock``/``rng`` so tests run them
+deterministically without wall-clock waits.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Callable, Deque, Optional, Tuple, Type, Union
+
+from collections import deque
+
+from repro.errors import ServiceError
+
+
+class RetryExhausted(ServiceError):
+    """A retried operation ran out of budget; carries the full history."""
+
+    def __init__(
+        self,
+        label: str,
+        attempts: int,
+        elapsed_s: float,
+        last_error: Optional[BaseException],
+    ) -> None:
+        self.label = label
+        self.attempts = attempts
+        self.elapsed_s = elapsed_s
+        self.last_error = last_error
+        detail = f"{label} failed after {attempts} attempt(s) in {elapsed_s:.2f}s"
+        if last_error is not None:
+            errno = getattr(last_error, "errno", None)
+            if errno is not None:
+                detail += f" (last error: {type(last_error).__name__} errno={errno}: {last_error})"
+            else:
+                detail += f" (last error: {type(last_error).__name__}: {last_error})"
+        super().__init__(detail)
+
+
+class RetryPolicy:
+    """Exponential backoff with decorrelated jitter, cap, deadline and budget.
+
+    ``max_attempts=None`` / ``deadline_s=None`` disable that budget (but at
+    least one should be set — both unset retries forever).  The jitter RNG
+    defaults to a private seeded generator so a policy's sleep sequence is
+    reproducible; pass ``rng=random.Random()`` for production entropy or a
+    fixed-seed instance for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        base_delay_s: float = 0.05,
+        max_delay_s: float = 2.0,
+        max_attempts: Optional[int] = 20,
+        deadline_s: Optional[float] = None,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if base_delay_s <= 0:
+            raise ValueError("base_delay_s must be positive")
+        self.base_delay_s = float(base_delay_s)
+        self.max_delay_s = max(self.base_delay_s, float(max_delay_s))
+        self.max_attempts = None if max_attempts is None else max(1, int(max_attempts))
+        self.deadline_s = None if deadline_s is None else float(deadline_s)
+        self.rng = rng if rng is not None else random.Random(0x5EED)
+        self.sleep = sleep
+        self.clock = clock
+
+    def next_delay(self, previous: Optional[float]) -> float:
+        """One decorrelated-jitter step: uniform in [base, 3*previous], capped."""
+        if previous is None:
+            return self.base_delay_s
+        upper = min(self.max_delay_s, max(self.base_delay_s, previous * 3.0))
+        return self.rng.uniform(self.base_delay_s, upper)
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        retry_on: Union[Type[BaseException], Tuple[Type[BaseException], ...]] = (OSError,),
+        label: str = "operation",
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ) -> Any:
+        """Run ``fn`` until it succeeds or the budget is spent.
+
+        Retries only exceptions matching ``retry_on``; anything else
+        propagates immediately.  Raises :class:`RetryExhausted` when the
+        attempt or deadline budget runs out.
+        """
+        start = self.clock()
+        attempts = 0
+        delay: Optional[float] = None
+        while True:
+            attempts += 1
+            try:
+                return fn()
+            except retry_on as exc:
+                elapsed = self.clock() - start
+                out_of_attempts = (
+                    self.max_attempts is not None and attempts >= self.max_attempts
+                )
+                past_deadline = self.deadline_s is not None and elapsed >= self.deadline_s
+                if out_of_attempts or past_deadline:
+                    raise RetryExhausted(label, attempts, elapsed, exc) from exc
+                if on_retry is not None:
+                    on_retry(attempts, exc)
+                delay = self.next_delay(delay)
+                if self.deadline_s is not None:
+                    delay = min(delay, max(0.0, self.deadline_s - elapsed))
+                self.sleep(delay)
+
+
+class RestartPolicy:
+    """At most ``max_restarts`` restarts per rolling ``window_s`` seconds.
+
+    ``admit()`` consumes one restart credit when available (recording the
+    attempt) and returns ``False`` once the window is saturated — the
+    caller's cue to stop healing and declare the subject degraded.
+    ``window_s=None`` makes the budget lifetime-total instead of rolling.
+    """
+
+    def __init__(
+        self,
+        max_restarts: int = 3,
+        window_s: Optional[float] = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        self.max_restarts = int(max_restarts)
+        self.window_s = None if window_s is None else float(window_s)
+        self.clock = clock
+
+    @classmethod
+    def parse(cls, text: str) -> "RestartPolicy":
+        """Parse the CLI form ``"K/W"`` (K restarts per W seconds) or ``"K"``."""
+        text = text.strip()
+        try:
+            if "/" in text:
+                count, window = text.split("/", 1)
+                return cls(int(count), float(window.rstrip("s")))
+            return cls(int(text), None)
+        except (ValueError, TypeError) as exc:
+            raise ServiceError(
+                f"bad restart policy {text!r}; expected 'K' or 'K/WINDOW_SECONDS'"
+            ) from exc
+
+    def admit(self, history: Deque[float]) -> bool:
+        """Record-and-check one restart against a caller-owned timestamp log."""
+        now = self.clock()
+        if self.window_s is not None:
+            while history and now - history[0] > self.window_s:
+                history.popleft()
+        if len(history) >= self.max_restarts:
+            return False
+        history.append(now)
+        return True
+
+    def new_history(self) -> Deque[float]:
+        return deque()
+
+    def describe(self) -> str:
+        if self.window_s is None:
+            return f"{self.max_restarts} restarts total"
+        return f"{self.max_restarts} restarts per {self.window_s:g}s"

@@ -23,6 +23,7 @@ partition key is stable from the source qualify (``_partition_split == 0``)
 from __future__ import annotations
 
 import heapq
+import pickle
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Union
 
@@ -105,6 +106,9 @@ class QueryRunner:
         self._stages = None
         self._shards = None
         self._buffer: List[Record] = []
+        self._pool = pool
+        self._plan = plan
+        self._fuse = fuse
         if sharded:
             self._shards = self._open_shards(pool, plan, fuse)
         elif mode == "batch":
@@ -115,6 +119,12 @@ class QueryRunner:
         if bus is not None:
             bus.set_gauge("buffer_depth", lambda: self.buffered_depth())
             bus.set_gauge("adaptivity", lambda: adaptivity_stats_of(self.operators))
+        # Pre-event state snapshot: the supervisor's restart-from-scratch
+        # fallback when no valid checkpoint generation exists yet.
+        try:
+            self._pristine: Optional[bytes] = pickle.dumps(self.checkpoint_state())
+        except Exception:
+            self._pristine = None
         self.metrics.start()
 
     def _open_shards(self, pool, plan, fuse: bool):
@@ -329,6 +339,11 @@ class QueryRunner:
         }
 
     def restore_state(self, state: Dict[str, Any]) -> None:
+        """Overwrite live state with a checkpoint's; also un-finishes the
+        runner and discards any buffered-but-unprocessed records, so the
+        supervisor can restore the *same* runner object after a crash."""
+        self._buffer = []
+        self.finished = False
         if self._shards is not None:
             if not state.get("sharded"):
                 raise ServiceError(
@@ -379,6 +394,28 @@ class QueryRunner:
                 sink.restore_position(position)
         self.metrics.events_in = state["events_in"]
         self.events_out = state["events_out"]
+
+    def restore_pristine(self) -> None:
+        """Reset to the pre-event snapshot taken at construction — the
+        restart path when no checkpoint generation survived."""
+        if self._pristine is None:
+            raise ServiceError(
+                f"query {self.name!r} has no pristine snapshot to restart from"
+            )
+        self.restore_state(pickle.loads(self._pristine))
+
+    def reopen_shards(self) -> None:
+        """Rebuild the shard pipelines after a worker death (sharded only).
+
+        The pool respawns dead workers on the next open; restoring state is
+        the caller's job (``restore_state`` / ``restore_pristine``)."""
+        if self._shards is None:
+            return
+        try:
+            self._shards.close()
+        except Exception:
+            pass
+        self._shards = self._open_shards(self._pool, self._plan, self._fuse)
 
     # -- teardown --------------------------------------------------------------------
 

@@ -24,31 +24,73 @@ the global ``consumed`` offset, write atomically
 started with ``resume=True`` restores that state and discards the first
 ``consumed`` events of the (re-played) feed, so its sinks continue exactly
 where the checkpoint left off — byte-identical to a run that never died.
+
+**Supervision** (``restart_policy``) turns a crashing query from fatal into
+self-healing.  The server keeps an in-memory *replay log* of fanned-out
+events, pruned after each checkpoint to the oldest retained generation's
+``consumed`` offset.  When a runner raises, the supervisor restores it from
+the newest *valid* checkpoint (scanning past corrupt generations — see the
+checkpoint manager) or from its pristine pre-event snapshot, then replays
+the retained gap record-at-a-time, so the query's cumulative sink output is
+byte-identical to a run that never crashed.  A record that crashes the
+runner *again* during replay is poison: it goes to the query's dead-letter
+queue (``dlq_dir``), its offset joins a skip set, and the restore-and-replay
+loop runs once more without it.  The :class:`~repro.service.retry.RestartPolicy`
+bounds healing to K restarts per rolling window; past the budget the query
+is marked ``degraded`` (aborted, sinks closed) while sibling queries keep
+producing.  ``{"__control__": "health"}`` reports all of this over the wire.
+
+**Sessions** make feeders resumable: a connection that opens with
+``{"__control__": "hello", "session": id}`` gets back the count of events
+the server already ingested on that session, and each ``hello`` bumps the
+session's epoch so an event still in flight on a superseded connection is
+dropped instead of double-ingested.
+
+Malformed wire lines never abort a connection or a query: they are counted
+(``malformed``) and routed to the server-level ``_ingest`` dead-letter
+queue when ``dlq_dir`` is set.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, List, Optional
+import json
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple, Union
 
-from repro.errors import ServiceError
+from repro.errors import CheckpointError, ServiceError
 from repro.service.checkpoint import CheckpointManager
-from repro.service.net import CONTROL_FIELD, EOS, parse_line
+from repro.service.dlq import INGEST_QUEUE, DeadLetterQueue
+from repro.service.net import CONTROL_FIELD, EOS, HEALTH, HELLO, RESUME, parse_line
+from repro.service.retry import RestartPolicy
 from repro.service.runner import QueryRunner
 from repro.streaming.query import Query
 from repro.streaming.record import Record
+from repro.testing import faults as _faults
 
 _STOP = object()  # queue sentinel: worker exits without flushing
 _FLUSH = object()  # queue sentinel: end-of-stream, worker flushes the runner
+
+# _Registration.status values
+RUNNING = "running"
+DEGRADED = "degraded"  # restart budget exhausted; aborted, siblings unaffected
+FAILED = "failed"  # crashed with no restart policy armed (legacy behaviour)
 
 
 class _Registration:
     def __init__(self, runner: QueryRunner) -> None:
         self.runner = runner
+        # items are (offset, Record) tuples or the _STOP/_FLUSH sentinels
         self.queue: "asyncio.Queue[Any]" = asyncio.Queue()
         self.task: Optional[asyncio.Task] = None
         self.sizer = None
         self.error: Optional[BaseException] = None
+        self.status = RUNNING
+        self.restarts = 0
+        self.restart_history: Deque[float] = deque()
+        self.delivered = 0  # offset of the last record dequeued by the worker
+        self.skip_offsets: Set[int] = set()  # poison records excluded from replay
+        self.dlq: Optional[DeadLetterQueue] = None
 
 
 class StreamServer:
@@ -65,6 +107,8 @@ class StreamServer:
         checkpoint_keep: int = 3,
         resume: bool = False,
         stop_after_eos: bool = False,
+        restart_policy: Optional[Union[RestartPolicy, str]] = None,
+        dlq_dir: Optional[str] = None,
     ) -> None:
         if low_watermark > high_watermark:
             raise ServiceError("low_watermark must not exceed high_watermark")
@@ -80,10 +124,15 @@ class StreamServer:
             else None
         )
         self.resume = resume
+        if isinstance(restart_policy, str):
+            restart_policy = RestartPolicy.parse(restart_policy)
+        self.restart_policy = restart_policy
+        self.dlq_dir = dlq_dir
         self.consumed = 0  # events fanned out over the server's lifetime (incl. restored)
         self.eos_seen = False
         self.paused = False
         self.checkpoint_seq = 0
+        self.malformed = 0  # wire lines that did not parse (counted, never fatal)
         self._skip = 0
         self._since_checkpoint = 0
         self._registrations: Dict[str, _Registration] = {}
@@ -93,6 +142,17 @@ class StreamServer:
         self._stopped = asyncio.Event()
         self._checkpoint_lock = asyncio.Lock()
         self._stopping = False
+        # replay log for supervised restarts: (offset, record), pruned after
+        # each checkpoint to the oldest retained generation's consumed offset
+        self._replay: Optional[Deque[Tuple[int, Record]]] = (
+            deque() if restart_policy is not None else None
+        )
+        self._replay_floor = 0
+        # feeder sessions: id -> {"count": events ingested, "epoch": hello count}
+        self._sessions: Dict[str, Dict[str, int]] = {}
+        self._ingest_dlq = (
+            DeadLetterQueue(dlq_dir, INGEST_QUEUE) if dlq_dir else None
+        )
 
     # -- registration ----------------------------------------------------------------
 
@@ -130,6 +190,8 @@ class StreamServer:
             partition_key=partition_key,
         )
         registration = _Registration(runner)
+        if self.dlq_dir:
+            registration.dlq = DeadLetterQueue(self.dlq_dir, name)
         bus = runner.metrics.bus
         if bus is not None:
             bus.set_gauge("service_queue_depth", lambda r=registration: r.queue.qsize())
@@ -152,6 +214,31 @@ class StreamServer:
             name: registration.error
             for name, registration in self._registrations.items()
             if registration.error is not None
+        }
+
+    def health(self) -> Dict[str, Any]:
+        """Supervision status: per-query state, restarts, counters, DLQ depths."""
+        queries: Dict[str, Any] = {}
+        for name, registration in self._registrations.items():
+            queries[name] = {
+                "status": registration.status,
+                "restarts": registration.restarts,
+                "events_in": registration.runner.metrics.events_in,
+                "events_out": registration.runner.events_out,
+                "dlq": registration.dlq.count if registration.dlq is not None else 0,
+                "error": (
+                    str(registration.error) if registration.error is not None else None
+                ),
+            }
+        return {
+            "consumed": self.consumed,
+            "malformed": self.malformed,
+            "paused": self.paused,
+            "checkpoint_seq": self.checkpoint_seq,
+            "restart_policy": (
+                self.restart_policy.describe() if self.restart_policy else None
+            ),
+            "queries": queries,
         }
 
     # -- backpressure ----------------------------------------------------------------
@@ -218,38 +305,86 @@ class StreamServer:
         self.consumed = int(payload["consumed"])
         self._skip = self.consumed
         self.checkpoint_seq = int(payload["seq"])
+        self._replay_floor = self.consumed
 
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        session_id: Optional[str] = None
+        epoch = 0
         try:
             while True:
                 await self._resume_gate.wait()
                 line = await reader.readline()
                 if not line:
                     break
-                parsed = parse_line(line)
+                try:
+                    parsed = parse_line(line)
+                except ServiceError as exc:
+                    self.malformed += 1
+                    if self._ingest_dlq is not None:
+                        self._ingest_dlq.write(line, str(exc))
+                    continue
                 if parsed is None:
                     continue
                 if isinstance(parsed, dict):
-                    if parsed.get(CONTROL_FIELD) == EOS:
+                    kind = parsed.get(CONTROL_FIELD)
+                    if kind == EOS:
                         await self._on_eos()
+                    elif kind == HELLO:
+                        session_id = str(parsed.get("session", ""))
+                        session = self._sessions.setdefault(
+                            session_id, {"count": 0, "epoch": 0}
+                        )
+                        session["epoch"] += 1
+                        epoch = session["epoch"]
+                        writer.write(
+                            (
+                                json.dumps(
+                                    {CONTROL_FIELD: RESUME, "offset": session["count"]}
+                                )
+                                + "\n"
+                            ).encode("utf-8")
+                        )
+                        await writer.drain()
+                    elif kind == HEALTH:
+                        reply = self.health()
+                        reply[CONTROL_FIELD] = HEALTH
+                        writer.write((json.dumps(reply) + "\n").encode("utf-8"))
+                        await writer.drain()
                     continue
-                await self._ingest(parsed)
+                if session_id is not None:
+                    session = self._sessions[session_id]
+                    if session["epoch"] != epoch:
+                        # a newer hello superseded this connection; dropping the
+                        # stale tail is what makes the resume offset exact
+                        continue
+                    # count before the await: a hello arriving while _ingest is
+                    # suspended must see this event as already consumed, or the
+                    # resume offset would re-send it (duplicate)
+                    session["count"] += 1
+                    await self._ingest(parsed)
+                else:
+                    await self._ingest(parsed)
         finally:
             writer.close()
 
     async def _ingest(self, record: Record) -> None:
         if self.eos_seen or self._stopping:
             return
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.hit("server.ingest", offset=self.consumed + 1)
         if self._skip > 0:
             # resumed server: this prefix of the replayed feed is already in
             # the restored state and the rewound sinks
             self._skip -= 1
             return
         self.consumed += 1
+        offset = self.consumed
         for registration in self._registrations.values():
-            registration.queue.put_nowait(record)
+            registration.queue.put_nowait((offset, record))
+        if self._replay is not None:
+            self._replay.append((offset, record))
         self._since_checkpoint += 1
         if (
             self.checkpoints is not None
@@ -275,8 +410,10 @@ class StreamServer:
     async def _worker(self, registration: _Registration) -> None:
         """Drain one query's ingest queue into its runner.
 
-        A raising operator poisons only its own query: the runner is aborted
-        (final snapshot emitted) and its sinks closed, but the worker keeps
+        A raising operator poisons only its own query.  With a restart
+        policy armed the supervisor restores and replays (see
+        :meth:`_supervise`); without one the runner is aborted (final
+        snapshot emitted) and its sinks closed.  Either way the worker keeps
         consuming — and acknowledging — queue items so barrier drains and
         sibling queries are unaffected.
         """
@@ -284,23 +421,151 @@ class StreamServer:
         runner = registration.runner
         while True:
             item = await queue.get()
+            finishing = False
             try:
                 if item is _STOP:
                     return
                 if item is _FLUSH:
-                    if registration.error is None:
+                    finishing = True
+                    if registration.status == RUNNING:
                         runner.finish()
                         runner.flush_sinks()
-                    continue
-                if registration.error is None:
-                    runner.process(item)
+                else:
+                    offset, record = item
+                    registration.delivered = offset
+                    if (
+                        registration.status == RUNNING
+                        and offset not in registration.skip_offsets
+                    ):
+                        if _faults.ACTIVE is not None:
+                            _faults.ACTIVE.hit(
+                                "server.worker", query=runner.name, offset=offset
+                            )
+                        runner.process(record)
             except Exception as exc:
-                registration.error = exc
-                runner.abort()
-                runner.close_sinks()
+                self._supervise(registration, exc, finishing=finishing)
             finally:
                 queue.task_done()
             self._after_drain()
+
+    # -- supervision -----------------------------------------------------------------
+
+    def _supervise(
+        self, registration: _Registration, exc: BaseException, finishing: bool = False
+    ) -> None:
+        """Heal one crashed query, or declare it failed/degraded.
+
+        Restore-and-replay repeats while restarts keep failing and the
+        :class:`RestartPolicy` still admits them; the budget exhausted, the
+        query is aborted and marked ``degraded`` — siblings keep running.
+        """
+        runner = registration.runner
+        registration.error = exc
+        if self.restart_policy is None:
+            registration.status = FAILED
+            runner.abort()
+            runner.close_sinks()
+            return
+        while True:
+            if not self.restart_policy.admit(registration.restart_history):
+                registration.status = DEGRADED
+                runner.abort()
+                runner.close_sinks()
+                return
+            registration.restarts += 1
+            try:
+                self._restart(registration)
+                if finishing:
+                    runner.finish()
+                    runner.flush_sinks()
+            except Exception as retry_exc:
+                registration.error = retry_exc
+                continue
+            registration.error = None
+            registration.status = RUNNING
+            return
+
+    def _restart(self, registration: _Registration) -> None:
+        """Restore from the newest valid checkpoint (or pristine) and replay.
+
+        Replay runs record-at-a-time with a drain after each record — batch
+        boundaries never change *which* records come out, so the early
+        boundaries preserve output parity while isolating exactly which
+        record is poison.  A record that crashes the restored runner is
+        dead-lettered, added to the skip set, and the restore-and-replay
+        loop runs again without it, so one poison event can never wedge the
+        query.
+        """
+        runner = registration.runner
+        state, base = self._restore_source(runner.name)
+        if base < self._replay_floor:
+            raise ServiceError(
+                f"cannot restart {runner.name!r}: newest valid checkpoint is at "
+                f"offset {base} but the replay log starts after {self._replay_floor}"
+            )
+        upto = registration.delivered
+        replay = list(self._replay) if self._replay is not None else []
+        while True:
+            self._revive(runner, state)
+            poison: Optional[Tuple[int, Record, BaseException]] = None
+            for offset, record in replay:
+                if (
+                    offset <= base
+                    or offset > upto
+                    or offset in registration.skip_offsets
+                ):
+                    continue
+                try:
+                    runner.process(record)
+                    runner.drain()
+                except Exception as replay_exc:
+                    poison = (offset, record, replay_exc)
+                    break
+            if poison is None:
+                return
+            offset, record, replay_exc = poison
+            registration.skip_offsets.add(offset)
+            if registration.dlq is not None:
+                registration.dlq.write(
+                    record, f"poison record: {replay_exc}", offset=offset
+                )
+
+    def _restore_source(self, name: str) -> Tuple[Optional[Dict[str, Any]], int]:
+        """(per-query checkpoint state, consumed offset) to restart from.
+
+        ``(None, 0)`` means restart pristine and replay everything retained
+        — the path when no checkpoint exists, every generation is damaged,
+        or the query was not in the checkpoint.
+        """
+        if self.checkpoints is None or not self.checkpoints.exists():
+            return None, 0
+        try:
+            payload = self.checkpoints.load()
+        except CheckpointError:
+            return None, 0
+        if payload is None:
+            return None, 0
+        state = payload["queries"].get(name)
+        if state is None:
+            return None, 0
+        return state, int(payload["consumed"])
+
+    @staticmethod
+    def _revive(runner: QueryRunner, state: Optional[Dict[str, Any]]) -> None:
+        """Restore a runner in place, rebuilding dead shard pipelines first."""
+        try:
+            if state is None:
+                runner.restore_pristine()
+            else:
+                runner.restore_state(state)
+        except (ServiceError, OSError):
+            if runner._shards is None:
+                raise
+            runner.reopen_shards()
+            if state is None:
+                runner.restore_pristine()
+            else:
+                runner.restore_state(state)
 
     async def _join_queues(self) -> None:
         await asyncio.gather(*(r.queue.join() for r in self._registrations.values()))
@@ -320,13 +585,27 @@ class StreamServer:
                 states = {
                     name: registration.runner.checkpoint_state()
                     for name, registration in self._registrations.items()
+                    if registration.status == RUNNING
                 }
                 self.checkpoints.write(self.checkpoint_seq, self.consumed, states)
                 self._since_checkpoint = 0
+                self._prune_replay()
             finally:
                 if not was_paused and not self._stopping:
                     self._resume_gate.set()
             return self.checkpoint_seq
+
+    def _prune_replay(self) -> None:
+        """Drop replay-log entries every retained generation already covers."""
+        if self._replay is None or self.checkpoints is None:
+            return
+        floor = self.checkpoints.consumed_floor()
+        if floor is None:
+            return
+        while self._replay and self._replay[0][0] <= floor:
+            self._replay.popleft()
+        if floor > self._replay_floor:
+            self._replay_floor = floor
 
     # -- shutdown --------------------------------------------------------------------
 
@@ -362,8 +641,10 @@ class StreamServer:
             states = {
                 name: registration.runner.checkpoint_state()
                 for name, registration in self._registrations.items()
+                if registration.status == RUNNING
             }
             self.checkpoints.write(self.checkpoint_seq, self.consumed, states)
+            self._prune_replay()
         for registration in self._registrations.values():
             registration.queue.put_nowait(_STOP)
         for registration in self._registrations.values():
@@ -377,6 +658,10 @@ class StreamServer:
                 runner.abort()
             runner.flush_sinks()
             runner.close_sinks()
+            if registration.dlq is not None:
+                registration.dlq.close()
+        if self._ingest_dlq is not None:
+            self._ingest_dlq.close()
         self._stopped.set()
 
     async def run_until_stopped(self) -> None:

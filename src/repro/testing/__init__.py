@@ -1,0 +1,21 @@
+"""Deterministic testing utilities: the seeded fault-injection harness."""
+
+from repro.testing.faults import (
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    arm,
+    disarm,
+    injected_faults,
+)
+
+__all__ = [
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "arm",
+    "disarm",
+    "injected_faults",
+]

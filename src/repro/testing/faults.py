@@ -1,0 +1,306 @@
+"""Deterministic, seeded fault injection for the runtime and service layers.
+
+Production code is threaded with *hook points* — named call sites such as
+``pool.worker.task`` or ``checkpoint.written`` — that are a no-op unless a
+:class:`FaultPlan` has been armed (the same ``if bus is None`` twin-gating
+the metrics bus uses: one module-attribute load and an ``is None`` check on
+the hot path, nothing else).  A plan schedules faults *by count*: "kill the
+worker on its 3rd task", "drop the feeder connection after 120 events",
+"corrupt the 2nd checkpoint pair written".  Counts may be drawn from seeded
+ranges, resolved once at plan construction, so a chaos suite replays the
+exact same failure schedule on every run with the same seed.
+
+Hook sites call :func:`hit` (via the armed injector) with keyword context —
+``ACTIVE.hit("server.worker", query=name)`` — and each plan entry keeps its
+own counter over the hits that match its ``match`` filter.  When the counter
+reaches ``after`` the entry fires its action (and keeps firing for ``times``
+consecutive matching hits).  Everything that fired is recorded on the
+injector's ``fired`` log so tests can assert the schedule executed exactly.
+
+Forked pool workers inherit the armed injector (module global, copied at
+fork), so ``kill`` / ``exit`` entries scheduled before the pool forks take
+down real worker processes; their counters advance independently per
+process, which is still deterministic for a fixed task assignment.
+
+Known hook points (``HOOKS``):
+
+=====================  ==============================================
+``pool.worker.task``   worker side, before dispatching each pool task
+``pool.spawn``         parent side, after forking a worker
+``server.worker``      per queue item drained into a query runner
+``server.ingest``      per event fanned out by the stream server
+``checkpoint.written`` after a checkpoint pair lands on disk
+``socket.source.event``per event yielded by a :class:`SocketSource`
+``socket.sink.event``  per event sent by a :class:`SocketSink`
+``feed.event``         per event sent by :func:`feed_events`
+=====================  ==============================================
+
+Actions: ``raise`` (a :class:`FaultInjected`), ``kill`` (SIGKILL own pid),
+``exit`` (``os._exit``), ``delay`` (sleep ``seconds``), ``disconnect``
+(raise :class:`ConnectionResetError`), ``corrupt`` / ``truncate`` (damage
+the file named by the hook's ``path`` context, e.g. a checkpoint payload).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import random
+import signal
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+HOOKS = (
+    "pool.worker.task",
+    "pool.spawn",
+    "server.worker",
+    "server.ingest",
+    "checkpoint.written",
+    "socket.source.event",
+    "socket.sink.event",
+    "feed.event",
+)
+
+ACTIONS = ("raise", "kill", "exit", "delay", "disconnect", "corrupt", "truncate")
+
+
+class FaultInjected(RuntimeError):
+    """The exception raised by a ``raise`` fault action."""
+
+    def __init__(self, hook: str, detail: str = "") -> None:
+        message = f"injected fault at {hook}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.hook = hook
+
+
+class FaultSpec:
+    """One scheduled fault: fire ``action`` on the ``after``-th matching hit.
+
+    ``after`` is 1-based and may be an ``(lo, hi)`` range resolved with the
+    plan's seeded RNG at construction.  ``times`` fires the action on that
+    many *consecutive* matching hits (a crash-looping worker is
+    ``times=10``).  ``match`` filters hits by context equality — e.g.
+    ``{"query": "Q1"}`` only counts hits whose ``query`` kwarg equals
+    ``"Q1"``.  ``args`` parameterizes the action (``seconds`` for ``delay``,
+    ``code`` for ``exit``, ``detail`` for ``raise``).
+    """
+
+    __slots__ = ("hook", "action", "after", "times", "match", "args", "_hits", "_fired")
+
+    def __init__(
+        self,
+        hook: str,
+        action: str,
+        after: Union[int, Tuple[int, int], List[int]] = 1,
+        times: int = 1,
+        match: Optional[Dict[str, Any]] = None,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if hook not in HOOKS:
+            raise ValueError(f"unknown fault hook {hook!r}; known: {', '.join(HOOKS)}")
+        if action not in ACTIONS:
+            raise ValueError(
+                f"unknown fault action {action!r}; known: {', '.join(ACTIONS)}"
+            )
+        self.hook = hook
+        self.action = action
+        self.after = after
+        self.times = max(1, int(times))
+        self.match = dict(match) if match else {}
+        self.args = dict(args) if args else {}
+        self._hits = 0
+        self._fired = 0
+
+    def resolve(self, rng: random.Random) -> None:
+        """Fix a ranged ``after`` to a concrete count (seeded, done once)."""
+        if isinstance(self.after, (tuple, list)):
+            lo, hi = self.after
+            self.after = rng.randint(int(lo), int(hi))
+        else:
+            self.after = int(self.after)
+        if self.after < 1:
+            raise ValueError("a fault's 'after' count must be >= 1")
+
+    def reset(self) -> None:
+        """Zero the hit/fired counters so the spec can run again (re-arming)."""
+        self._hits = 0
+        self._fired = 0
+
+    def matches(self, ctx: Dict[str, Any]) -> bool:
+        return all(ctx.get(key) == value for key, value in self.match.items())
+
+    def should_fire(self) -> bool:
+        """Advance this spec's counter; True when this hit is scheduled."""
+        self._hits += 1
+        if self._fired >= self.times:
+            return False
+        if self._hits >= self.after:
+            self._fired += 1
+            return True
+        return False
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hook": self.hook,
+            "action": self.action,
+            "after": self.after,
+            "times": self.times,
+            "match": dict(self.match),
+            "args": dict(self.args),
+        }
+
+    def __repr__(self) -> str:
+        return f"FaultSpec({self.hook!r}, {self.action!r}, after={self.after})"
+
+
+class FaultPlan:
+    """A seeded, fully-resolved schedule of faults.
+
+    Ranged ``after`` counts are drawn from ``random.Random(seed)`` exactly
+    once, in spec order, at construction — two plans built from the same
+    specs and seed are identical, and replaying one produces the same
+    failure schedule every time.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec], seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.specs: List[FaultSpec] = list(specs)
+        self.rng = random.Random(self.seed)
+        for spec in self.specs:
+            spec.resolve(self.rng)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        specs = [
+            FaultSpec(
+                entry["hook"],
+                entry["action"],
+                after=entry.get("after", 1),
+                times=entry.get("times", 1),
+                match=entry.get("match"),
+                args=entry.get("args"),
+            )
+            for entry in payload.get("faults", [])
+        ]
+        return cls(specs, seed=payload.get("seed", 0))
+
+    @classmethod
+    def from_json(cls, path: str) -> "FaultPlan":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "faults": [spec.as_dict() for spec in self.specs]}
+
+    def specs_for(self, hook: str) -> List[FaultSpec]:
+        return [spec for spec in self.specs if spec.hook == hook]
+
+
+class FaultInjector:
+    """Executes an armed :class:`FaultPlan` at the hook points it names.
+
+    ``fired`` records every action taken as ``(hook, hit_count, action)``
+    tuples — the determinism tests replay a plan twice and compare logs.
+    Only hooks that appear in the plan pay the per-hit bookkeeping; hits on
+    other hooks return after one dict lookup.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.fired: List[Tuple[str, int, str]] = []
+        self._by_hook: Dict[str, List[FaultSpec]] = {}
+        for spec in plan.specs:
+            spec.reset()  # re-arming a plan replays its schedule from hit zero
+            self._by_hook.setdefault(spec.hook, []).append(spec)
+        self._lock = threading.Lock()
+
+    def hit(self, hook: str, **ctx: Any) -> None:
+        specs = self._by_hook.get(hook)
+        if not specs:
+            return
+        with self._lock:
+            due = [
+                spec
+                for spec in specs
+                if spec.matches(ctx) and spec.should_fire()
+            ]
+            for spec in due:
+                self.fired.append((hook, spec._hits, spec.action))
+        for spec in due:
+            self._execute(spec, ctx)
+
+    def _execute(self, spec: FaultSpec, ctx: Dict[str, Any]) -> None:
+        action = spec.action
+        if action == "raise":
+            raise FaultInjected(spec.hook, spec.args.get("detail", ""))
+        if action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+            return  # pragma: no cover - unreachable
+        if action == "exit":
+            os._exit(int(spec.args.get("code", 3)))
+            return  # pragma: no cover - unreachable
+        if action == "delay":
+            time.sleep(float(spec.args.get("seconds", 0.05)))
+            return
+        if action == "disconnect":
+            raise ConnectionResetError(f"injected disconnect at {spec.hook}")
+        if action in ("corrupt", "truncate"):
+            path = spec.args.get("path") or ctx.get("path")
+            if not path:
+                raise ValueError(
+                    f"fault action {action!r} at {spec.hook} needs a 'path' context"
+                )
+            _damage_file(path, action, self.plan.rng)
+            return
+        raise ValueError(f"unknown fault action {action!r}")  # pragma: no cover
+
+
+def _damage_file(path: str, action: str, rng: random.Random) -> None:
+    """Deterministically corrupt (flip bytes mid-file) or truncate a file."""
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        if action == "truncate":
+            handle.truncate(size // 2)
+            return
+        offset = size // 2
+        handle.seek(offset)
+        original = handle.read(8)
+        handle.seek(offset)
+        handle.write(bytes((byte ^ 0xFF) for byte in original) or b"\xff")
+
+
+# -- arming -------------------------------------------------------------------------
+
+# The armed injector.  Hook sites gate on `faults.ACTIVE is not None`, so an
+# unarmed process pays one attribute load per hook — the hot-path contract.
+ACTIVE: Optional[FaultInjector] = None
+
+
+def arm(plan: Union[FaultPlan, Dict[str, Any], Sequence[FaultSpec]]) -> FaultInjector:
+    """Arm a plan process-wide; returns the injector (for its ``fired`` log)."""
+    global ACTIVE
+    if isinstance(plan, dict):
+        plan = FaultPlan.from_dict(plan)
+    elif not isinstance(plan, FaultPlan):
+        plan = FaultPlan(plan)
+    ACTIVE = FaultInjector(plan)
+    return ACTIVE
+
+
+def disarm() -> None:
+    global ACTIVE
+    ACTIVE = None
+
+
+@contextlib.contextmanager
+def injected_faults(plan: Union[FaultPlan, Dict[str, Any], Sequence[FaultSpec]]):
+    """``with injected_faults(plan) as injector: ...`` — arm, run, disarm."""
+    injector = arm(plan)
+    try:
+        yield injector
+    finally:
+        disarm()

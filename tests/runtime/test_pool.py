@@ -196,6 +196,110 @@ def test_context_switching_stays_warm(full_scenario, pool):
     assert pool.stats["warm_executions"] == warm_before + 1
 
 
+class _RecordingBackoff:
+    """Duck-typed respawn_backoff: records delays instead of sleeping."""
+
+    def __init__(self):
+        self.slept = []
+
+    def next_delay(self, previous):
+        return 0.001
+
+    def sleep(self, seconds):
+        self.slept.append(seconds)
+
+
+@fork_required
+@pytest.mark.usefixtures("column_backend")
+class TestInjectedFaults:
+    """Seeded fault plans against live forked workers.
+
+    Workers inherit the armed injector at fork, and a respawned worker forks
+    from the parent (whose worker-side counters never advance) — so every
+    fresh worker replays the plan from hit zero.  ``after=2`` means "each
+    worker survives its first run task and dies on its second"; ``after=1``
+    is a crash loop.
+    """
+
+    def test_injected_kill_respawns_and_retry_succeeds(self):
+        from repro.testing import FaultSpec, injected_faults
+
+        backoff = _RecordingBackoff()
+        with injected_faults(
+            # each worker survives its first ping and dies on its second
+            [FaultSpec("pool.worker.task", "kill", after=2, match={"kind": "ping"})]
+        ):
+            pool = WorkerPool(2, respawn_backoff=backoff)
+            try:
+                pool.warm_up()
+                first = pool._map_tasks([("ping",)] * 2, set(), retries=1)
+                second = pool._map_tasks([("ping",)] * 2, set(), retries=1)
+            finally:
+                pool.close()
+        assert len(set(first)) == 2, "round one must ping both workers"
+        # round two killed both; the retry ran on freshly respawned workers
+        assert all(second) and set(second).isdisjoint(set(first))
+        assert pool.stats["respawns"] >= 1
+        assert backoff.slept, "respawn must pass through the backoff policy"
+
+    def test_crash_loop_trips_respawn_breaker(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.service.retry import RestartPolicy
+        from repro.testing import FaultSpec, injected_faults
+
+        events = _events(200)
+        with injected_faults(
+            # every worker (initial and respawned) dies on its first run task
+            [FaultSpec("pool.worker.task", "kill", after=1, match={"kind": "run"})]
+        ):
+            pool = WorkerPool(2, respawn_policy=RestartPolicy(max_restarts=1, window_s=None))
+            try:
+                engine = _pooled_engine(pool, batch_size=64)
+                query = Query.from_source(ListSource(events, SCHEMA), name="loop").filter(
+                    col("value") > 3.0
+                )
+                with pytest.raises(BrokenProcessPool, match="crash-looping"):
+                    engine.execute(query)
+            finally:
+                pool.close()
+
+    def test_task_watchdog_retires_hung_worker(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.testing import FaultSpec, disarm, injected_faults
+
+        events = _events(200)
+        with injected_faults(
+            # every worker hangs (well past the watchdog) on its first run task
+            [
+                FaultSpec(
+                    "pool.worker.task",
+                    "delay",
+                    after=1,
+                    match={"kind": "run"},
+                    args={"seconds": 5.0},
+                )
+            ]
+        ):
+            pool = WorkerPool(2, task_timeout_s=0.3)
+            try:
+                engine = _pooled_engine(pool, batch_size=64)
+                query = Query.from_source(ListSource(events, SCHEMA), name="hang").filter(
+                    col("value") > 3.0
+                )
+                with pytest.raises(BrokenProcessPool):
+                    engine.execute(query)
+                disarm()  # healed pool must serve the same query correctly
+                result = engine.execute(query)
+            finally:
+                pool.close()
+        expected = StreamExecutionEngine().execute(query)
+        assert canonical_records(r.as_dict() for r in result.records) == (
+            canonical_records(r.as_dict() for r in expected.records)
+        )
+
+
 @fork_required
 def test_close_unlinks_all_pooled_segments(full_scenario):
     """Exports pooled across executions are unlinked exactly at close()."""

@@ -89,21 +89,33 @@ class TestCheckpointManager:
         assert manager.load()["consumed"] == 33
 
     def test_version_mismatch_refused(self, tmp_path):
+        import json
+        import zlib
+
         manager = CheckpointManager(str(tmp_path))
         manager.write(1, 10, {})
+        blob = pickle.dumps({"version": FORMAT_VERSION + 1, "seq": 1, "consumed": 10,
+                             "queries": {}})
         with open(manager.payload_path, "wb") as handle:
-            pickle.dump({"version": FORMAT_VERSION + 1, "seq": 1, "consumed": 10,
-                         "queries": {}}, handle)
+            handle.write(blob)
+        # keep the manifest consistent so the *version* check is what refuses
+        with open(manager.manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["crc32"] = zlib.crc32(blob) & 0xFFFFFFFF
+        manifest["payload_bytes"] = len(blob)
+        with open(manager.manifest_path, "w") as handle:
+            json.dump(manifest, handle)
         with pytest.raises(CheckpointError, match="format"):
             manager.load()
 
-    def test_corrupt_payload_refused(self, tmp_path):
+    def test_corrupt_payload_refused_when_no_fallback(self, tmp_path):
         manager = CheckpointManager(str(tmp_path))
         manager.write(1, 10, {})
         with open(manager.payload_path, "wb") as handle:
             handle.write(b"not a pickle")
-        with pytest.raises(CheckpointError, match="unreadable"):
+        with pytest.raises(CheckpointError, match="no valid checkpoint generation"):
             manager.load()
+        assert manager.last_skipped and manager.last_skipped[0][0] == 1
 
     def test_unpicklable_state_refused(self, tmp_path):
         manager = CheckpointManager(str(tmp_path))

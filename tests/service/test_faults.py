@@ -1,0 +1,164 @@
+"""The fault-injection harness itself: scheduling, determinism, no-op gating."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.runner import QueryRunner
+from repro.streaming.record import Record
+from repro.streaming.sink import CollectSink
+from repro.testing import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    arm,
+    disarm,
+    faults,
+    injected_faults,
+)
+
+from tests.service.conftest import make_events, passthrough_query
+
+
+@pytest.fixture(autouse=True)
+def always_disarm():
+    yield
+    disarm()
+
+
+class TestFaultSpec:
+    def test_unknown_hook_and_action_rejected(self):
+        with pytest.raises(ValueError, match="hook"):
+            FaultSpec("no.such.hook", "raise")
+        with pytest.raises(ValueError, match="action"):
+            FaultSpec("server.worker", "explode")
+
+    def test_fires_exactly_once_per_entry(self):
+        injector = arm([FaultSpec("server.worker", "delay", after=3, args={"seconds": 0})])
+        for _ in range(10):
+            faults.ACTIVE.hit("server.worker")
+        assert injector.fired == [("server.worker", 3, "delay")]
+
+    def test_times_fires_on_consecutive_hits(self):
+        injector = arm(
+            [FaultSpec("server.worker", "delay", after=2, times=3, args={"seconds": 0})]
+        )
+        for _ in range(10):
+            faults.ACTIVE.hit("server.worker")
+        assert [hit for _, hit, _ in injector.fired] == [2, 3, 4]
+
+    def test_match_filters_by_context(self):
+        injector = arm(
+            [FaultSpec("server.worker", "delay", after=2, match={"query": "Q1"},
+                       args={"seconds": 0})]
+        )
+        for query in ["Q2", "Q1", "Q2", "Q2", "Q1", "Q1"]:
+            faults.ACTIVE.hit("server.worker", query=query)
+        # only Q1 hits count: fires on the 2nd Q1 hit (5th overall)
+        assert injector.fired == [("server.worker", 2, "delay")]
+
+    def test_raise_action_carries_hook(self):
+        arm([FaultSpec("server.worker", "raise", args={"detail": "chaos"})])
+        with pytest.raises(FaultInjected, match="server.worker.*chaos") as info:
+            faults.ACTIVE.hit("server.worker")
+        assert info.value.hook == "server.worker"
+
+    def test_disconnect_action(self):
+        arm([FaultSpec("feed.event", "disconnect")])
+        with pytest.raises(ConnectionResetError):
+            faults.ACTIVE.hit("feed.event")
+
+
+class TestFaultPlan:
+    def test_seeded_range_resolution_is_deterministic(self):
+        build = lambda: FaultPlan(
+            [FaultSpec("server.worker", "raise", after=(10, 1000)),
+             FaultSpec("feed.event", "disconnect", after=(1, 500))],
+            seed=42,
+        )
+        a, b = build(), build()
+        assert [s.after for s in a.specs] == [s.after for s in b.specs]
+        assert all(10 <= a.specs[0].after <= 1000 for _ in [0])
+        different = FaultPlan([FaultSpec("server.worker", "raise", after=(10, 1000))],
+                              seed=43)
+        # not guaranteed for every seed pair, but pinned for this one
+        assert different.specs[0].after != a.specs[0].after
+
+    def test_json_roundtrip(self, tmp_path):
+        plan = FaultPlan(
+            [FaultSpec("pool.worker.task", "kill", after=3,
+                       match={"kind": "shard_feed"})],
+            seed=7,
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.as_dict()))
+        loaded = FaultPlan.from_json(str(path))
+        assert loaded.as_dict() == plan.as_dict()
+
+    def test_replayed_plan_fires_identically(self):
+        schedule = [FaultSpec("server.worker", "delay", after=(2, 9),
+                              args={"seconds": 0})]
+        logs = []
+        for _ in range(2):
+            injector = arm(FaultPlan(list(schedule), seed=5))
+            for i in range(12):
+                faults.ACTIVE.hit("server.worker", offset=i)
+            logs.append(list(injector.fired))
+            disarm()
+        assert logs[0] == logs[1] and logs[0]
+
+
+class TestFileDamage:
+    def test_corrupt_flips_bytes_in_place(self, tmp_path):
+        target = tmp_path / "payload.bin"
+        original = bytes(range(64))
+        target.write_bytes(original)
+        arm([FaultSpec("checkpoint.written", "corrupt")])
+        faults.ACTIVE.hit("checkpoint.written", path=str(target))
+        damaged = target.read_bytes()
+        assert len(damaged) == len(original)
+        assert damaged != original
+
+    def test_truncate_halves_the_file(self, tmp_path):
+        target = tmp_path / "payload.bin"
+        target.write_bytes(b"x" * 100)
+        arm([FaultSpec("checkpoint.written", "truncate")])
+        faults.ACTIVE.hit("checkpoint.written", path=str(target))
+        assert target.stat().st_size == 50
+
+    def test_damage_without_path_context_rejected(self):
+        arm([FaultSpec("checkpoint.written", "corrupt")])
+        with pytest.raises(ValueError, match="path"):
+            faults.ACTIVE.hit("checkpoint.written")
+
+
+class TestArming:
+    def test_context_manager_arms_and_disarms(self):
+        assert faults.ACTIVE is None
+        with injected_faults([FaultSpec("server.worker", "delay", args={"seconds": 0})]) as injector:
+            assert faults.ACTIVE is injector
+        assert faults.ACTIVE is None
+
+    def test_unarmed_hooks_are_noops_with_identical_output(self):
+        """The hot-path contract: a disarmed process produces bitwise-identical
+        output, and so does an armed plan whose entries never match."""
+        events = make_events(300)
+
+        def run():
+            sink = CollectSink()
+            runner = QueryRunner("q", passthrough_query(events, sink), mode="batch",
+                                 batch_size=32)
+            for event in events:
+                runner.process(Record(dict(event)))
+            runner.finish()
+            return [r.as_dict() for r in sink.records]
+
+        baseline = run()
+        assert faults.ACTIVE is None
+        with injected_faults(
+            [FaultSpec("server.worker", "raise", after=10**9)]  # never due
+        ):
+            armed = run()
+        assert armed == baseline

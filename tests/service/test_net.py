@@ -101,14 +101,21 @@ class TestSocketPairs:
         assert len(received) == 20
 
     def test_connect_failure_raises_service_error(self):
+        from repro.service.retry import RetryExhausted
+
         # bind then close a port so nothing is listening on it
         probe = socket.create_server(("127.0.0.1", 0))
         port = probe.getsockname()[1]
         probe.close()
-        with pytest.raises(ServiceError, match="could not connect"):
+        with pytest.raises(ServiceError, match="failed after 2 attempt"):
             feed_events("127.0.0.1", port, [], connect_retries=2, retry_delay_s=0.01)
-        with pytest.raises(ServiceError, match="could not connect"):
+        with pytest.raises(RetryExhausted) as info:
             SocketSink("127.0.0.1", port, connect_retries=2, retry_delay_s=0.01)
+        # the exhausted error carries the full history, not a bare refusal
+        assert info.value.attempts == 2
+        assert info.value.elapsed_s >= 0.0
+        assert isinstance(info.value.last_error, ConnectionRefusedError)
+        assert "errno" in str(info.value)
 
     def test_unknown_source_mode_raises(self):
         with pytest.raises(ServiceError):

@@ -1,0 +1,128 @@
+"""RetryPolicy / RestartPolicy units — deterministic, no wall-clock sleeps."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.retry import RestartPolicy, RetryExhausted, RetryPolicy
+
+
+def _policy(**kwargs):
+    """A policy whose sleeps are recorded instead of slept, on a fake clock."""
+    slept = []
+    clock = {"now": 0.0}
+
+    def sleep(seconds):
+        slept.append(seconds)
+        clock["now"] += seconds
+
+    policy = RetryPolicy(
+        rng=random.Random(7), sleep=sleep, clock=lambda: clock["now"], **kwargs
+    )
+    return policy, slept, clock
+
+
+class TestRetryPolicy:
+    def test_succeeds_after_transient_failures(self):
+        policy, slept, _ = _policy(base_delay_s=0.01, max_attempts=10)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 4:
+                raise ConnectionRefusedError(111, "refused")
+            return "ok"
+
+        assert policy.call(flaky, retry_on=(OSError,)) == "ok"
+        assert calls["n"] == 4
+        assert len(slept) == 3  # one sleep between each attempt
+
+    def test_decorrelated_jitter_is_bounded(self):
+        policy, _, _ = _policy(base_delay_s=0.05, max_delay_s=2.0)
+        previous = None
+        for _ in range(200):
+            delay = policy.next_delay(previous)
+            assert policy.base_delay_s <= delay <= policy.max_delay_s
+            if previous is not None:
+                assert delay <= max(policy.base_delay_s, previous * 3.0)
+            previous = delay
+
+    def test_same_seed_same_sleep_sequence(self):
+        a = RetryPolicy(rng=random.Random(3))
+        b = RetryPolicy(rng=random.Random(3))
+        prev_a = prev_b = None
+        for _ in range(20):
+            prev_a, prev_b = a.next_delay(prev_a), b.next_delay(prev_b)
+            assert prev_a == prev_b
+
+    def test_attempt_budget_exhausted(self):
+        policy, slept, _ = _policy(base_delay_s=0.01, max_attempts=3)
+        with pytest.raises(RetryExhausted) as info:
+            policy.call(
+                lambda: (_ for _ in ()).throw(ConnectionRefusedError(111, "no")),
+                label="dial",
+            )
+        err = info.value
+        assert err.attempts == 3
+        assert err.label == "dial"
+        assert isinstance(err.last_error, ConnectionRefusedError)
+        assert "errno=111" in str(err)
+        assert isinstance(err, ServiceError)  # catchable at the service boundary
+        assert len(slept) == 2
+
+    def test_deadline_budget_exhausted(self):
+        policy, _, clock = _policy(
+            base_delay_s=1.0, max_delay_s=1.0, max_attempts=None, deadline_s=2.5
+        )
+
+        def fail():
+            raise OSError("down")
+
+        with pytest.raises(RetryExhausted) as info:
+            policy.call(fail)
+        assert info.value.elapsed_s >= 2.5
+        assert clock["now"] <= 3.5  # the last sleep was clamped to the deadline
+
+    def test_unmatched_exception_propagates_immediately(self):
+        policy, slept, _ = _policy(max_attempts=10)
+
+        def boom():
+            raise ValueError("not retryable")
+
+        with pytest.raises(ValueError):
+            policy.call(boom, retry_on=(OSError,))
+        assert slept == []
+
+    def test_rejects_nonpositive_base_delay(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=0.0)
+
+
+class TestRestartPolicy:
+    def test_parse_forms(self):
+        policy = RestartPolicy.parse("3/60")
+        assert policy.max_restarts == 3 and policy.window_s == 60.0
+        policy = RestartPolicy.parse("5")
+        assert policy.max_restarts == 5 and policy.window_s is None
+        assert "5 restarts total" == policy.describe()
+        with pytest.raises(ServiceError, match="restart policy"):
+            RestartPolicy.parse("lots")
+
+    def test_rolling_window_admits_and_refuses(self):
+        clock = {"now": 0.0}
+        policy = RestartPolicy(max_restarts=2, window_s=10.0, clock=lambda: clock["now"])
+        history = policy.new_history()
+        assert policy.admit(history)
+        assert policy.admit(history)
+        assert not policy.admit(history)  # saturated
+        clock["now"] = 11.0  # the first two restarts age out of the window
+        assert policy.admit(history)
+
+    def test_lifetime_budget(self):
+        policy = RestartPolicy(max_restarts=1, window_s=None)
+        history = policy.new_history()
+        assert policy.admit(history)
+        assert not policy.admit(history)

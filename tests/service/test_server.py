@@ -136,8 +136,8 @@ class TestBackpressure:
         async def main():
             # a worker starting against a deep backlog: the first snapshots
             # report depth >= high_watermark and must gate the socket reader
-            for event in events[:50]:
-                registration.queue.put_nowait(Record(dict(event)))
+            for offset, event in enumerate(events[:50], start=1):
+                registration.queue.put_nowait((offset, Record(dict(event))))
             await server.start()
             feeder = _feed_async(server.port, events[50:])
             await asyncio.wait_for(server.wait_stopped(), timeout=60)

@@ -1,0 +1,337 @@
+"""Self-healing supervision: restart-from-checkpoint parity, chaos end-to-end,
+degraded queries, dead-letter routing, session resume, malformed containment.
+
+The invariant every test here pins: a supervised server's *cumulative* sink
+output is byte-identical to a run that never faulted — crashes, feeder
+disconnects and corrupt checkpoint generations included.  Poison records are
+the one exception: they leave the stream (into the DLQ), so parity is
+against a reference feed without them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.service import StreamServer, feed_events, request_health
+from repro.streaming.engine import StreamExecutionEngine
+from repro.streaming.query import Query
+from repro.streaming.sink import CollectSink, FileSink
+from repro.streaming.source import ListSource
+from repro.testing import FaultSpec, disarm, injected_faults
+
+from tests.service.conftest import SCHEMA, make_events, passthrough_query, windowed_query
+
+HOST = "127.0.0.1"
+
+
+@pytest.fixture(autouse=True)
+def always_disarm():
+    yield
+    disarm()
+
+
+def _feed_async(port, events, **kwargs):
+    thread = threading.Thread(
+        target=feed_events, args=(HOST, port, events), kwargs=kwargs, daemon=True
+    )
+    thread.start()
+    return thread
+
+
+def _serve_to_completion(server, events, **feed_kwargs):
+    async def main():
+        await server.start()
+        feeder = _feed_async(server.port, events, **feed_kwargs)
+        await asyncio.wait_for(server.wait_stopped(), timeout=60)
+        await server.stop(graceful=True)
+        feeder.join(timeout=10)
+
+    asyncio.run(main())
+
+
+def _reference(build, events):
+    sink = CollectSink()
+    StreamExecutionEngine(measure_bytes=False).execute(build(events, sink))
+    return sink.as_dicts()
+
+
+def _explode_on_negative(record):
+    if record.data["value"] < 0:
+        raise RuntimeError(f"poison value {record.data['value']}")
+    return [record]
+
+
+def poison_query(events, sink):
+    return (
+        Query.from_source(ListSource(events, SCHEMA), name="p")
+        .flat_map(_explode_on_negative)
+        .sink(sink)
+    )
+
+
+class TestRestartParity:
+    @pytest.mark.parametrize("mode", ["record", "batch"])
+    def test_crash_mid_stream_restarts_with_exact_output(self, mode, tmp_path):
+        events = make_events(600)
+        reference = _reference(windowed_query, events)
+        assert reference
+
+        sink = CollectSink()
+        server = StreamServer(
+            stop_after_eos=True,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            checkpoint_interval_events=100,
+            restart_policy="3/60",
+        )
+        server.register("win", windowed_query(events, sink), mode=mode, batch_size=64)
+        with injected_faults(
+            [FaultSpec("server.worker", "raise", after=250, match={"query": "win"})]
+        ) as injector:
+            _serve_to_completion(server, events)
+        assert [("server.worker", 250, "raise")] == injector.fired
+        assert not server.errors
+        health = server.health()["queries"]["win"]
+        assert health["status"] == "running"
+        assert health["restarts"] == 1
+        assert sink.as_dicts() == reference
+
+    def test_crash_without_checkpoints_restarts_from_pristine(self):
+        """No checkpoint dir: the supervisor replays the whole retained log
+        onto the pristine snapshot taken at registration."""
+        events = make_events(300)
+        reference = _reference(windowed_query, events)
+        sink = CollectSink()
+        server = StreamServer(stop_after_eos=True, restart_policy="3/60")
+        server.register("win", windowed_query(events, sink), mode="record")
+        with injected_faults(
+            [FaultSpec("server.worker", "raise", after=150)]
+        ):
+            _serve_to_completion(server, events)
+        assert not server.errors
+        assert server.health()["queries"]["win"]["restarts"] == 1
+        assert sink.as_dicts() == reference
+
+    def test_no_restart_policy_keeps_legacy_failure(self):
+        events = make_events(100)
+        sink = CollectSink()
+        server = StreamServer(stop_after_eos=True)
+        server.register("win", windowed_query(events, sink), mode="record")
+        with injected_faults([FaultSpec("server.worker", "raise", after=50)]):
+            _serve_to_completion(server, events)
+        assert "win" in server.errors
+        assert server.health()["queries"]["win"]["status"] == "failed"
+
+
+class TestChaosEndToEnd:
+    @pytest.mark.parametrize("mode", ["record", "batch"])
+    def test_kill_disconnect_and_corrupt_checkpoint(self, mode, tmp_path):
+        """The acceptance scenario: a seeded plan crashes the worker
+        mid-stream, drops the feeder once (session resume), and corrupts the
+        2nd checkpoint pair — the supervisor falls back to the newest valid
+        generation and the output file is byte-identical to an unfaulted run.
+        """
+        events = make_events(600)
+
+        def run(faulted: bool, out_path, ckpt_dir):
+            sink = FileSink(str(out_path))
+            server = StreamServer(
+                stop_after_eos=True,
+                checkpoint_dir=str(ckpt_dir),
+                checkpoint_interval_events=100,
+                restart_policy="4/60",
+                dlq_dir=str(ckpt_dir) + "-dlq",
+            )
+            server.register("win", windowed_query(events, sink), mode=mode,
+                            batch_size=64)
+            plan = [
+                # damage the 2nd checkpoint payload the moment it lands
+                FaultSpec("checkpoint.written", "corrupt", after=2),
+                # crash the query's worker on its 250th record
+                FaultSpec("server.worker", "raise", after=250, match={"query": "win"}),
+                # drop the feeder connection before its 121st event
+                FaultSpec("feed.event", "disconnect", after=120),
+            ]
+            if faulted:
+                with injected_faults(plan) as injector:
+                    _serve_to_completion(server, events, session="chaos")
+                fired_hooks = [hook for hook, _, _ in injector.fired]
+                assert fired_hooks.count("server.worker") == 1
+                assert fired_hooks.count("feed.event") == 1
+                assert fired_hooks.count("checkpoint.written") == 1
+            else:
+                _serve_to_completion(server, events, session="plain")
+            assert not server.errors
+            return server
+
+        plain_out = tmp_path / "plain.ndjson"
+        run(False, plain_out, tmp_path / "ckpt-plain")
+        chaos_out = tmp_path / "chaos.ndjson"
+        server = run(True, chaos_out, tmp_path / "ckpt-chaos")
+
+        assert server.consumed == 600  # disconnect+resume neither dropped nor duplicated
+        health = server.health()["queries"]["win"]
+        assert health["status"] == "running" and health["restarts"] == 1
+        # the restart skipped the corrupt generation for an older valid one
+        assert server.checkpoints.last_skipped
+        assert chaos_out.read_bytes() == plain_out.read_bytes()
+
+
+class TestDegraded:
+    def test_budget_exhausted_marks_degraded_siblings_keep_producing(self, tmp_path):
+        events = make_events(300)
+        reference = _reference(passthrough_query, events)
+        sink_good, sink_bad = CollectSink(), CollectSink()
+        server = StreamServer(
+            stop_after_eos=True,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            checkpoint_interval_events=100,
+            restart_policy="2/60",
+        )
+        server.register("good", passthrough_query(events, sink_good, name="good"))
+        server.register("bad", passthrough_query(events, sink_bad, name="bad"))
+
+        health_reply = {}
+
+        async def main():
+            await server.start()
+            feeder = _feed_async(server.port, events, eos=False, session="s")
+            loop = asyncio.get_running_loop()
+            # wait for the crash loop to burn through the restart budget
+            while server.health()["queries"]["bad"]["status"] != "degraded":
+                await asyncio.sleep(0.02)
+            health_reply.update(
+                await loop.run_in_executor(
+                    None, lambda: request_health(HOST, server.port)
+                )
+            )
+            feed_events(HOST, server.port, [], eos=True)
+            await asyncio.wait_for(server.wait_stopped(), timeout=60)
+            await server.stop(graceful=True)
+            feeder.join(timeout=10)
+
+        with injected_faults(
+            # every record from the 100th on crashes 'bad': restart succeeds
+            # (replay bypasses the hook) but the next delivery crashes again
+            [FaultSpec("server.worker", "raise", after=100, times=10**9,
+                       match={"query": "bad"})]
+        ):
+            asyncio.run(main())
+
+        assert health_reply["queries"]["bad"]["status"] == "degraded"
+        assert health_reply["queries"]["bad"]["restarts"] == 2
+        assert health_reply["queries"]["good"]["status"] == "running"
+        assert server.errors.keys() == {"bad"}
+        assert sink_good.as_dicts() == reference  # the sibling never noticed
+
+
+class TestDeadLetters:
+    def test_poison_record_routed_to_dlq_and_skipped(self, tmp_path):
+        events = make_events(200)
+        events[120] = dict(events[120], value=-1.0)  # deterministic poison
+        clean = [e for i, e in enumerate(events) if i != 120]
+        reference = _reference(poison_query, clean)
+        assert reference
+
+        sink = CollectSink()
+        server = StreamServer(
+            stop_after_eos=True,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            checkpoint_interval_events=50,
+            restart_policy="3/60",
+            dlq_dir=str(tmp_path / "dlq"),
+        )
+        server.register("p", poison_query(events, sink))
+        _serve_to_completion(server, events)
+
+        assert not server.errors
+        health = server.health()["queries"]["p"]
+        assert health["status"] == "running"
+        assert health["dlq"] == 1
+        assert sink.as_dicts() == reference
+
+        letters = [
+            json.loads(line)
+            for line in (tmp_path / "dlq" / "p.dlq.ndjson").read_text().splitlines()
+        ]
+        assert len(letters) == 1
+        assert letters[0]["offset"] == 121  # 1-based stream offset
+        assert "poison" in letters[0]["reason"]
+        assert letters[0]["event"]["value"] == -1.0
+
+    def test_malformed_lines_counted_and_dead_lettered(self, tmp_path):
+        events = make_events(20)
+        sink = CollectSink()
+        server = StreamServer(stop_after_eos=True, dlq_dir=str(tmp_path / "dlq"))
+        server.register("q", passthrough_query(events, sink))
+
+        async def main():
+            await server.start()
+
+            def feed_raw():
+                conn = socket.create_connection((HOST, server.port))
+                for i, event in enumerate(events):
+                    conn.sendall((json.dumps(event) + "\n").encode())
+                    if i == 10:
+                        conn.sendall(b"this is not json\n")
+                        conn.sendall(b'{"no_timestamp": true}\n')
+                conn.sendall(b'{"__control__": "eos"}\n')
+                conn.close()
+
+            feeder = threading.Thread(target=feed_raw, daemon=True)
+            feeder.start()
+            await asyncio.wait_for(server.wait_stopped(), timeout=60)
+            await server.stop(graceful=True)
+            feeder.join(timeout=10)
+
+        asyncio.run(main())
+        assert not server.errors
+        assert server.malformed == 2
+        assert len(sink.records) == 20  # every valid event still flowed
+        letters = (tmp_path / "dlq" / "_ingest.dlq.ndjson").read_text().splitlines()
+        assert len(letters) == 2
+        assert "not json" in letters[0]
+
+
+class TestSessionResume:
+    def test_disconnect_resumes_from_acked_offset(self):
+        events = make_events(200)
+        reference = _reference(passthrough_query, events)
+        sink = CollectSink()
+        server = StreamServer(stop_after_eos=True)
+        server.register("q", passthrough_query(events, sink))
+        with injected_faults([FaultSpec("feed.event", "disconnect", after=50)]):
+            _serve_to_completion(server, events, session="auto")
+        assert server.consumed == 200
+        assert sink.as_dicts() == reference
+
+    def test_feed_without_session_raises_on_disconnect(self):
+        events = make_events(100)
+        server = StreamServer(stop_after_eos=True)
+        server.register("q", passthrough_query(events, CollectSink()))
+        from repro.errors import ServiceError
+
+        failures = []
+
+        def feed_and_record():
+            try:
+                feed_events(HOST, server.port, events)
+            except ServiceError as exc:
+                failures.append(exc)
+                feed_events(HOST, server.port, [], eos=True)  # let the server stop
+
+        async def main():
+            await server.start()
+            feeder = threading.Thread(target=feed_and_record, daemon=True)
+            with injected_faults([FaultSpec("feed.event", "disconnect", after=30)]):
+                feeder.start()
+                await asyncio.wait_for(server.wait_stopped(), timeout=60)
+            await server.stop(graceful=True)
+            feeder.join(timeout=10)
+
+        asyncio.run(main())
+        assert failures and "session" in str(failures[0])
